@@ -1,0 +1,57 @@
+//! Benchmarks backing the §4/§5 claims: the reopt normal-equation solve
+//! (`O(nB² + B³)`, paper §5) and the full claims pipeline, with the measured
+//! claim ratios printed alongside the timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use synoptic_bench::paper_data;
+use synoptic_core::RoundingMode;
+use synoptic_data::zipf::ZipfConfig;
+use synoptic_eval::claims::run_all_claims;
+use synoptic_eval::figure1::Fig1Config;
+use synoptic_eval::methods::MethodSpec;
+use synoptic_hist::opta::{build_opt_a, OptAConfig};
+use synoptic_hist::reopt::{normal_equations, reoptimize};
+
+fn bench_reopt(c: &mut Criterion) {
+    let (_, ps) = paper_data();
+    let mut group = c.benchmark_group("reopt");
+    for b in [8usize, 16, 32] {
+        let base = build_opt_a(&ps, &OptAConfig::exact(b, RoundingMode::None)).unwrap();
+        let bk = base.histogram.bucketing().clone();
+        group.bench_with_input(BenchmarkId::new("normal_equations", b), &b, |bench, _| {
+            bench.iter(|| black_box(normal_equations(&bk, &ps)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_reopt", b), &b, |bench, _| {
+            bench.iter(|| black_box(reoptimize(&bk, &ps, "OPT-A").unwrap()))
+        });
+        let re = reoptimize(&bk, &ps, "OPT-A").unwrap();
+        eprintln!(
+            "reopt gain at B = {b}: {:.1}% (paper T4: up to 41%)",
+            100.0 * (1.0 - re.sse / base.sse)
+        );
+    }
+    group.finish();
+}
+
+fn bench_claims_pipeline(c: &mut Criterion) {
+    let cfg = Fig1Config {
+        dataset: ZipfConfig::default(),
+        budgets: vec![16, 32, 48],
+        methods: MethodSpec::paper_figure1(),
+    };
+    // Print the claims once so the bench log records the measured ratios.
+    let report = run_all_claims(&cfg).expect("claims run");
+    for claim in &report.claims {
+        eprintln!("[{}] {} — {}", claim.id, claim.paper, claim.measured);
+    }
+    let mut group = c.benchmark_group("claims_pipeline");
+    group.sample_size(10);
+    group.bench_function("run_all_claims", |bench| {
+        bench.iter(|| black_box(run_all_claims(&cfg).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reopt, bench_claims_pipeline);
+criterion_main!(benches);

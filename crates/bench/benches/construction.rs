@@ -1,0 +1,73 @@
+//! Construction-time scaling per algorithm: the complexity shapes of the
+//! paper's theorems (O(n²B) for SAP0/SAP1/POINT-OPT — Thms 6/8; the
+//! hull-pruned pseudo-polynomial OPT-A DP — Thm 2; O(n log n) wavelets —
+//! Thm 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use synoptic_bench::data_of_size;
+use synoptic_core::RoundingMode;
+use synoptic_hist::opta::{build_opt_a, OptAConfig};
+use synoptic_hist::sap0::build_sap0;
+use synoptic_hist::sap1::build_sap1;
+use synoptic_hist::vopt::{build_point_opt, PointWeighting};
+use synoptic_wavelet::RangeOptimalWavelet;
+
+fn bench_scaling_in_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction_vs_n");
+    group.sample_size(10);
+    let b = 8;
+    for n in [64usize, 127, 256, 512] {
+        let (data, ps) = data_of_size(n);
+        group.bench_with_input(BenchmarkId::new("sap0", n), &n, |bench, _| {
+            bench.iter(|| black_box(build_sap0(&ps, b).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("sap1", n), &n, |bench, _| {
+            bench.iter(|| black_box(build_sap1(&ps, b).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("point_opt", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    build_point_opt(data.values(), &ps, b, PointWeighting::RangeInclusion)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("opt_a_unrounded", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(build_opt_a(&ps, &OptAConfig::exact(b, RoundingMode::None)).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("wavelet_range", n), &n, |bench, _| {
+            bench.iter(|| black_box(RangeOptimalWavelet::build(&ps, b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction_vs_b");
+    group.sample_size(10);
+    let (_, ps) = data_of_size(127);
+    for b in [4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("sap0", b), &b, |bench, &b| {
+            bench.iter(|| black_box(build_sap0(&ps, b).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("opt_a_unrounded", b), &b, |bench, &b| {
+            bench.iter(|| {
+                black_box(build_opt_a(&ps, &OptAConfig::exact(b, RoundingMode::None)).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("opt_a_integral", b), &b, |bench, &b| {
+            bench.iter(|| {
+                black_box(
+                    build_opt_a(&ps, &OptAConfig::exact(b, RoundingMode::NearestInt)).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_in_n, bench_scaling_in_b);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 1 regeneration bench: times the full `(method × budget)` sweep on
+//! the paper's dataset and prints the SSE series (the figure's y-values)
+//! alongside the timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use synoptic_bench::paper_data;
+use synoptic_eval::methods::{exact_sse, MethodSpec};
+
+fn bench_fig1(c: &mut Criterion) {
+    let (data, ps) = paper_data();
+    let budgets = [8usize, 16, 32, 64];
+
+    // Print the figure's series once, so `cargo bench` output doubles as the
+    // figure regeneration record.
+    eprintln!("\n== Figure 1 series (n = {}, SSE over all ranges) ==", data.n());
+    for m in MethodSpec::paper_figure1() {
+        eprint!("{:<12}", m.name());
+        for &b in &budgets {
+            match m.build_at_budget(data.values(), &ps, b) {
+                Ok(est) => eprint!(" {:>12.4e}", exact_sse(est.as_ref(), &ps)),
+                Err(_) => eprint!(" {:>12}", "-"),
+            }
+        }
+        eprintln!();
+    }
+
+    let mut group = c.benchmark_group("fig1_build_and_score");
+    group.sample_size(10);
+    for m in MethodSpec::paper_figure1() {
+        for &budget in &budgets {
+            if m.build_at_budget(data.values(), &ps, budget).is_err() {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(m.name(), budget),
+                &budget,
+                |bench, &budget| {
+                    bench.iter(|| {
+                        let est = m
+                            .build_at_budget(black_box(data.values()), &ps, budget)
+                            .expect("buildable");
+                        black_box(exact_sse(est.as_ref(), &ps))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

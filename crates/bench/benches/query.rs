@@ -1,0 +1,44 @@
+//! Per-query estimation latency per representation: value histograms answer
+//! in O(1) through the telescoping prefix table, SAP0/SAP1 in O(log B) for
+//! the bucket lookup, wavelet synopses in O(B).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use synoptic_bench::paper_data;
+use synoptic_core::{RangeEstimator, RangeQuery};
+use synoptic_data::workload::random_ranges;
+use synoptic_eval::methods::MethodSpec;
+
+fn bench_query(c: &mut Criterion) {
+    let (data, ps) = paper_data();
+    let queries: Vec<RangeQuery> = random_ranges(data.n(), 1024, 7);
+    let budget = 32;
+
+    let mut group = c.benchmark_group("query_latency_1024");
+    for m in [
+        MethodSpec::Naive,
+        MethodSpec::OptA,
+        MethodSpec::OptAIntegral,
+        MethodSpec::Sap0,
+        MethodSpec::Sap1,
+        MethodSpec::WaveletPoint,
+        MethodSpec::WaveletRange,
+    ] {
+        let est = m
+            .build_at_budget(data.values(), &ps, budget)
+            .expect("buildable at 32 words");
+        group.bench_function(m.name(), |bench| {
+            bench.iter(|| {
+                let mut acc = 0.0;
+                for &q in &queries {
+                    acc += est.estimate(black_box(q));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! 2-D extension benches: tile-histogram and tensor-wavelet construction and
+//! rectangle-query latency on synthetic joint distributions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use synoptic_twod::{GreedyTileHistogram, Grid2D, GridHistogram, RectEstimator, RectQuery, Wavelet2D};
+
+fn bumpy(n: usize) -> Grid2D {
+    let mut g = Grid2D::zeros(n, n).expect("n > 0");
+    for x in 0..n {
+        for y in 0..n {
+            let v = 40.0 * (-(((x as f64 - n as f64 * 0.3).powi(2)
+                + (y as f64 - n as f64 * 0.6).powi(2))
+                / (n as f64)))
+                .exp()
+                + ((x * 7 + y * 3) % 5) as f64;
+            *g.get_mut(x, y) = v.round() as i64;
+        }
+    }
+    g
+}
+
+fn bench_build_2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("twod_build");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let g = bumpy(n);
+        let ps = g.prefix_sums();
+        group.bench_with_input(BenchmarkId::new("grid_4x4", n), &n, |bench, _| {
+            bench.iter(|| black_box(GridHistogram::build(&ps, 4, 4).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("mhist_16", n), &n, |bench, _| {
+            bench.iter(|| black_box(GreedyTileHistogram::build(&g, &ps, 16).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("wavelet_16", n), &n, |bench, _| {
+            bench.iter(|| black_box(Wavelet2D::build(&g, 16)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_2d(c: &mut Criterion) {
+    let n = 64usize;
+    let g = bumpy(n);
+    let ps = g.prefix_sums();
+    let grid = GridHistogram::build(&ps, 4, 4).unwrap();
+    let mhist = GreedyTileHistogram::build(&g, &ps, 16).unwrap();
+    let wave = Wavelet2D::build(&g, 16);
+    let queries: Vec<RectQuery> = (0..512)
+        .map(|i| {
+            let x0 = (i * 13) % n;
+            let y0 = (i * 29) % n;
+            RectQuery {
+                x0: x0.min(n - 2),
+                x1: (x0 + 11).min(n - 1).max(x0.min(n - 2)),
+                y0: y0.min(n - 2),
+                y1: (y0 + 17).min(n - 1).max(y0.min(n - 2)),
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("twod_query_512");
+    group.bench_function("grid", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for &q in &queries {
+                acc += grid.estimate(black_box(q));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("mhist", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for &q in &queries {
+                acc += mhist.estimate(black_box(q));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("wavelet", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for &q in &queries {
+                acc += wave.estimate(black_box(q));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_2d, bench_query_2d);
+criterion_main!(benches);

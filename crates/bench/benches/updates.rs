@@ -1,0 +1,66 @@
+//! Streaming-maintenance benches: O(log n) coefficient updates vs full
+//! rebuilds, across domain sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use synoptic_bench::data_of_size;
+use synoptic_stream::{Fenwick, StreamingHaar, StreamingRangeOptimal};
+use synoptic_wavelet::RangeOptimalWavelet;
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_update");
+    for n in [128usize, 1024, 8192] {
+        let (data, _) = data_of_size(n);
+        group.bench_with_input(BenchmarkId::new("fenwick", n), &n, |bench, &n| {
+            let mut f = Fenwick::from_values(data.values());
+            let mut i = 0usize;
+            bench.iter(|| {
+                f.update(i % n, 1);
+                i = i.wrapping_add(7919);
+                black_box(&f);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("streaming_haar", n), &n, |bench, &n| {
+            let mut s = StreamingHaar::new(data.values()).unwrap();
+            let mut i = 0usize;
+            bench.iter(|| {
+                s.update(i % n, 1).unwrap();
+                i = i.wrapping_add(7919);
+                black_box(&s);
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("streaming_range_optimal", n),
+            &n,
+            |bench, &n| {
+                let mut s = StreamingRangeOptimal::new(data.values()).unwrap();
+                let mut i = 0usize;
+                bench.iter(|| {
+                    s.update(i % n, 1).unwrap();
+                    i = i.wrapping_add(7919);
+                    black_box(&s);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_snapshot_vs_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refresh_b16");
+    group.sample_size(20);
+    for n in [1024usize, 8192] {
+        let (data, ps) = data_of_size(n);
+        let streaming = StreamingRangeOptimal::new(data.values()).unwrap();
+        group.bench_with_input(BenchmarkId::new("snapshot", n), &n, |bench, _| {
+            bench.iter(|| black_box(streaming.snapshot(16)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_rebuild", n), &n, |bench, _| {
+            bench.iter(|| black_box(RangeOptimalWavelet::build(&ps, 16)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_snapshot_vs_rebuild);
+criterion_main!(benches);

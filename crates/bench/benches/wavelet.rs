@@ -1,0 +1,55 @@
+//! Wavelet microbenches: the Haar transform substrate and the three
+//! synopsis constructions, including Theorem 9's near-linear-time claim
+//! (compare `wavelet_build/range_optimal` against `construction_vs_n`'s
+//! quadratic histogram DPs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use synoptic_bench::data_of_size;
+use synoptic_wavelet::haar::{forward, inverse};
+use synoptic_wavelet::{PointWaveletSynopsis, PrefixWaveletSynopsis, RangeOptimalWavelet};
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("haar_transform");
+    for log in [8usize, 12, 16] {
+        let n = 1usize << log;
+        let signal: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 251) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut d = signal.clone();
+                forward(&mut d);
+                black_box(d)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("roundtrip", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut d = signal.clone();
+                forward(&mut d);
+                inverse(&mut d);
+                black_box(d)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wavelet_build");
+    let b = 16;
+    for n in [127usize, 1024, 8192] {
+        let (data, ps) = data_of_size(n);
+        group.bench_with_input(BenchmarkId::new("point_topb", n), &n, |bench, _| {
+            bench.iter(|| black_box(PointWaveletSynopsis::build(data.values(), b)))
+        });
+        group.bench_with_input(BenchmarkId::new("prefix_topb", n), &n, |bench, _| {
+            bench.iter(|| black_box(PrefixWaveletSynopsis::build(&ps, b)))
+        });
+        group.bench_with_input(BenchmarkId::new("range_optimal", n), &n, |bench, _| {
+            bench.iter(|| black_box(RangeOptimalWavelet::build(&ps, b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! # synoptic-bench
+//!
+//! Criterion benchmark harness for the `synoptic` workspace. Each bench
+//! target regenerates one artifact of the paper's evaluation:
+//!
+//! * `fig1_sse` — Figure 1: builds every method at every budget on the
+//!   127-key Zipf(1.8) dataset and reports both wall-clock and the SSE
+//!   series (printed to stderr alongside the timings).
+//! * `claims` — the §4 narrative claims, including the reopt (§5) pass.
+//! * `construction` — construction-time scaling per method across `n` and
+//!   `B` (the complexity shapes of Theorems 2, 6, 8, 9).
+//! * `query` — per-query estimation latency per representation.
+//! * `wavelet` — Haar transform and synopsis-construction microbenches.
+//!
+//! Shared dataset helpers live here so every bench measures the same inputs.
+
+use synoptic_core::{DataArray, PrefixSums};
+use synoptic_data::zipf::{paper_dataset, ZipfConfig};
+
+/// The paper's dataset (127 keys, Zipf 1.8, fair-coin rounding, seed 2001).
+pub fn paper_data() -> (DataArray, PrefixSums) {
+    let d = paper_dataset(&ZipfConfig::default());
+    let ps = d.prefix_sums();
+    (d, ps)
+}
+
+/// A scaled variant of the paper's dataset for `n`-sweeps.
+pub fn data_of_size(n: usize) -> (DataArray, PrefixSums) {
+    let d = paper_dataset(&ZipfConfig {
+        n,
+        ..ZipfConfig::default()
+    });
+    let ps = d.prefix_sums();
+    (d, ps)
+}

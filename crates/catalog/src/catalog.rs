@@ -1,0 +1,220 @@
+//! The named-column statistics catalog with JSON persistence.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use synoptic_core::{RangeEstimator, RangeQuery, Result, SynopticError};
+
+use crate::persist::{LoadedSynopsis, PersistentSynopsis};
+
+/// Metadata + synopsis for one column.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ColumnEntry {
+    /// Domain size of the column's value distribution.
+    pub n: usize,
+    /// Total row count at build time.
+    pub total_rows: i64,
+    /// The persisted synopsis.
+    pub synopsis: PersistentSynopsis,
+}
+
+/// A catalog of per-column synopses, as a database engine would keep in its
+/// system tables.
+#[derive(Debug, Default, Serialize, Deserialize, PartialEq)]
+pub struct Catalog {
+    columns: BTreeMap<String, ColumnEntry>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a column's synopsis.
+    pub fn insert(&mut self, name: impl Into<String>, entry: ColumnEntry) {
+        self.columns.insert(name.into(), entry);
+    }
+
+    /// Removes a column; returns whether it existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.columns.remove(name).is_some()
+    }
+
+    /// Looks up a column.
+    pub fn get(&self, name: &str) -> Option<&ColumnEntry> {
+        self.columns.get(name)
+    }
+
+    /// Column names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Total storage footprint across all columns (paper words).
+    pub fn total_words(&self) -> usize {
+        self.columns
+            .values()
+            .map(|e| e.synopsis.storage_words())
+            .sum()
+    }
+
+    /// Loads a column's estimator.
+    pub fn estimator(&self, name: &str) -> Result<LoadedSynopsis> {
+        self.columns
+            .get(name)
+            .ok_or_else(|| SynopticError::InvalidParameter(format!("unknown column '{name}'")))?
+            .synopsis
+            .load()
+    }
+
+    /// One-shot estimate for `column BETWEEN q.lo AND q.hi`.
+    pub fn estimate(&self, name: &str, q: RangeQuery) -> Result<f64> {
+        let est = self.estimator(name)?;
+        q.check_bounds(est.n())?;
+        Ok(est.estimate(q))
+    }
+
+    /// Serializes to a JSON string.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| SynopticError::InvalidParameter(format!("serialize: {e}")))
+    }
+
+    /// Deserializes from a JSON string.
+    pub fn from_json(js: &str) -> Result<Self> {
+        serde_json::from_str(js)
+            .map_err(|e| SynopticError::InvalidParameter(format!("deserialize: {e}")))
+    }
+
+    /// Saves to a file.
+    pub fn save(&self, path: &str) -> Result<()> {
+        std::fs::write(path, self.to_json()?)
+            .map_err(|e| SynopticError::InvalidParameter(format!("write {path}: {e}")))
+    }
+
+    /// Loads from a file.
+    pub fn load(path: &str) -> Result<Self> {
+        let js = std::fs::read_to_string(path)
+            .map_err(|e| SynopticError::InvalidParameter(format!("read {path}: {e}")))?;
+        Self::from_json(&js)
+    }
+
+    /// A human-readable summary table.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<20} {:>8} {:>12} {:>8}",
+            "column", "n", "rows", "words"
+        );
+        for (name, e) in &self.columns {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>8} {:>12} {:>8}",
+                name,
+                e.n,
+                e.total_rows,
+                e.synopsis.storage_words()
+            );
+        }
+        let _ = writeln!(out, "total words: {}", self.total_words());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synoptic_core::{PrefixSums, ValueHistogram};
+    use synoptic_hist::sap0::build_sap0;
+
+    fn entry(vals: &[i64]) -> ColumnEntry {
+        let ps = PrefixSums::from_values(vals);
+        let h = build_sap0(&ps, 3).unwrap();
+        ColumnEntry {
+            n: vals.len(),
+            total_rows: ps.total() as i64,
+            synopsis: PersistentSynopsis::from_sap0(&h),
+        }
+    }
+
+    #[test]
+    fn insert_query_remove() {
+        let mut cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.insert("price", entry(&[5, 1, 8, 8, 2, 9, 0, 3, 7, 7]));
+        cat.insert("age", entry(&[2, 4, 9, 9, 4, 2]));
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.names(), vec!["age", "price"]);
+        let e = cat.estimate("price", RangeQuery { lo: 0, hi: 9 }).unwrap();
+        assert!((e - 50.0).abs() < 1e-6, "whole-domain estimate {e}");
+        assert!(cat.estimate("nope", RangeQuery::point(0)).is_err());
+        assert!(cat
+            .estimate("age", RangeQuery { lo: 0, hi: 99 })
+            .is_err());
+        assert!(cat.remove("age"));
+        assert!(!cat.remove("age"));
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_answers() {
+        let mut cat = Catalog::new();
+        let vals = vec![12i64, 9, 4, 1, 1, 0, 2, 14, 13, 6];
+        cat.insert("qty", entry(&vals));
+        let ps = PrefixSums::from_values(&vals);
+        let b = synoptic_core::Bucketing::new(10, vec![0, 5]).unwrap();
+        let h = ValueHistogram::with_averages(b, &ps, "OPT-A").unwrap();
+        cat.insert(
+            "amount",
+            ColumnEntry {
+                n: 10,
+                total_rows: ps.total() as i64,
+                synopsis: PersistentSynopsis::from_value_histogram(&h),
+            },
+        );
+        let js = cat.to_json().unwrap();
+        let back = Catalog::from_json(&js).unwrap();
+        assert_eq!(back, cat);
+        for q in RangeQuery::all(10) {
+            let a = cat.estimate("qty", q).unwrap();
+            let b2 = back.estimate("qty", q).unwrap();
+            assert!((a - b2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut cat = Catalog::new();
+        cat.insert("x", entry(&[1, 2, 3, 4, 5, 6]));
+        let path = std::env::temp_dir().join("synoptic_catalog_test.json");
+        let path = path.to_str().unwrap();
+        cat.save(path).unwrap();
+        let back = Catalog::load(path).unwrap();
+        assert_eq!(back, cat);
+        let _ = std::fs::remove_file(path);
+        assert!(Catalog::load("/nonexistent/really/not.json").is_err());
+    }
+
+    #[test]
+    fn summary_and_accounting() {
+        let mut cat = Catalog::new();
+        cat.insert("a", entry(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        let words = cat.total_words();
+        assert!(words > 0);
+        let s = cat.summary();
+        assert!(s.contains('a') && s.contains(&words.to_string()), "{s}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # synoptic-catalog
+//!
+//! The systems layer a database engine would wrap around the paper's
+//! algorithms: a **statistics catalog** holding one synopsis per column,
+//! persisted to disk at exactly the storage costs the paper's theorems
+//! claim, plus a **budget allocator** that splits a global word budget
+//! across columns to minimize total (weighted) error.
+//!
+//! * [`persist`] — serializable synopsis representations. Persistence is a
+//!   direct exercise of the storage theorems: SAP0 stores boundaries +
+//!   `suff`/`pref` only (3B words, Theorem 7) and *recovers* the bucket
+//!   averages on load via `avg = (suff + pref)/(len + 1)`; SAP1 stores its
+//!   four fit values (5B words, Theorem 8) and recovers averages from the
+//!   fitted means; wavelets store `(index, value)` pairs.
+//! * [`allocation`] — exact grid-DP and greedy allocation of a total word
+//!   budget across columns under per-column SSE curves.
+//! * [`catalog`] — the named-column registry with JSON save/load.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod catalog;
+pub mod persist;
+
+pub use allocation::{allocate_budget, AllocationResult, ColumnCurve};
+pub use catalog::{Catalog, ColumnEntry};
+pub use persist::PersistentSynopsis;

@@ -1,0 +1,124 @@
+//! Property-based tests for the catalog subsystem: allocation optimality on
+//! random curves and persistence round-trips on random synopses.
+
+use proptest::prelude::*;
+use synoptic_catalog::allocation::allocate_budget_greedy;
+use synoptic_catalog::{allocate_budget, ColumnCurve, PersistentSynopsis};
+use synoptic_core::{Bucketing, PrefixSums, RangeEstimator, RangeQuery};
+use synoptic_hist::sap0::build_sap0;
+use synoptic_hist::sap1::build_sap1;
+
+/// Random strictly-increasing (words, sse) curves with decreasing-ish SSE.
+fn arb_curve(name: &'static str) -> impl Strategy<Value = ColumnCurve> {
+    (
+        prop::collection::vec((1usize..5, 0.0f64..100.0), 1..5),
+        0.1f64..4.0,
+    )
+        .prop_map(move |(steps, weight)| {
+            let mut points = Vec::new();
+            let mut words = 0usize;
+            let mut sse = 1000.0f64;
+            for (dw, drop) in steps {
+                words += dw;
+                sse = (sse - drop).max(0.0);
+                points.push((words, sse));
+            }
+            ColumnCurve {
+                name: name.to_string(),
+                weight,
+                points,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dp_allocation_is_optimal_over_the_grid(
+        (a, b, budget) in (arb_curve("a"), arb_curve("b"), 2usize..24)
+    ) {
+        let curves = [a.clone(), b.clone()];
+        let Ok(dp) = allocate_budget(&curves, budget) else {
+            // Budget below the minimum grid points — acceptable.
+            return Ok(());
+        };
+        prop_assert!(dp.total_words <= budget);
+        // Brute force over all grid pairs.
+        let mut best = f64::INFINITY;
+        for &(wa, sa) in &a.points {
+            for &(wb, sb) in &b.points {
+                if wa + wb <= budget {
+                    best = best.min(a.weight * sa + b.weight * sb);
+                }
+            }
+        }
+        prop_assert!(
+            (dp.total_weighted_sse - best).abs() <= 1e-9 * (1.0 + best),
+            "dp {} vs brute {}", dp.total_weighted_sse, best
+        );
+        // Reconstruction consistency: choices re-sum to the reported value.
+        let resum: f64 = dp
+            .choices
+            .iter()
+            .zip(&curves)
+            .map(|(&(_, _, s), c)| c.weight * s)
+            .sum();
+        prop_assert!((resum - dp.total_weighted_sse).abs() <= 1e-9 * (1.0 + resum));
+    }
+
+    #[test]
+    fn greedy_never_beats_dp((a, b, budget) in (arb_curve("a"), arb_curve("b"), 2usize..24)) {
+        let curves = [a, b];
+        let (Ok(dp), Ok(gr)) = (
+            allocate_budget(&curves, budget),
+            allocate_budget_greedy(&curves, budget),
+        ) else {
+            return Ok(());
+        };
+        prop_assert!(dp.total_weighted_sse <= gr.total_weighted_sse + 1e-9);
+        prop_assert!(gr.total_words <= budget);
+    }
+
+    #[test]
+    fn sap_persistence_round_trips_on_random_data(
+        (vals, cuts) in (
+            prop::collection::vec(0i64..120, 4..20),
+            prop::collection::vec(any::<bool>(), 19),
+        )
+    ) {
+        let n = vals.len();
+        let ps = PrefixSums::from_values(&vals);
+        let mut starts = vec![0usize];
+        for (i, &c) in cuts.iter().take(n - 1).enumerate() {
+            if c {
+                starts.push(i + 1);
+            }
+        }
+        let b = starts.len().min(n);
+        let _ = Bucketing::new(n, starts).unwrap();
+        // SAP0 round-trip.
+        let h0 = build_sap0(&ps, b).unwrap();
+        let p0 = PersistentSynopsis::from_sap0(&h0);
+        let js = serde_json::to_string(&p0).unwrap();
+        let loaded = serde_json::from_str::<PersistentSynopsis>(&js)
+            .unwrap()
+            .load()
+            .unwrap();
+        for q in RangeQuery::all(n) {
+            let (x, y) = (h0.estimate(q), loaded.estimate(q));
+            prop_assert!((x - y).abs() <= 1e-6 * (1.0 + x.abs()), "{:?}: {} vs {}", q, x, y);
+        }
+        // SAP1 round-trip.
+        let h1 = build_sap1(&ps, b).unwrap();
+        let p1 = PersistentSynopsis::from_sap1(&h1);
+        let loaded = p1.load().unwrap();
+        for q in RangeQuery::all(n) {
+            let (x, y) = (h1.estimate(q), loaded.estimate(q));
+            prop_assert!((x - y).abs() <= 1e-6 * (1.0 + x.abs()), "{:?}", q);
+        }
+        // Storage accounting matches the theorems.
+        prop_assert_eq!(p0.storage_words(), 3 * h0.bucketing().num_buckets());
+        prop_assert_eq!(p1.storage_words(), 5 * h1.bucketing().num_buckets());
+    }
+}

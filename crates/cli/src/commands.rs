@@ -1,0 +1,282 @@
+//! The CLI subcommands.
+
+use synoptic_catalog::{Catalog, ColumnEntry, PersistentSynopsis};
+use synoptic_core::{PrefixSums, RangeEstimator, RangeQuery, RoundingMode};
+use synoptic_data::zipf::{paper_dataset, ZipfConfig};
+use synoptic_eval::methods::{exact_sse, MethodSpec};
+use synoptic_hist::opta::{build_opt_a, OptAConfig};
+use synoptic_hist::reopt::reoptimize;
+use synoptic_hist::sap0::build_sap0;
+use synoptic_hist::sap1::build_sap1;
+use synoptic_wavelet::RangeOptimalWavelet;
+
+use crate::io::{parse_range, read_column, write_column, Flags};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+synoptic — range-sum synopses from the PODS 2001 paper
+
+USAGE:
+  synoptic generate --n N [--alpha A] [--mass M] [--seed S] [--permuted] --out FILE
+  synoptic build    --input FILE --method METHOD --budget WORDS \\
+                    --catalog FILE --column NAME
+  synoptic estimate --catalog FILE --column NAME --range LO..HI
+  synoptic evaluate --input FILE [--budget WORDS]
+  synoptic report   --catalog FILE
+
+METHODS: naive | opt-a | opt-a-reopt | sap0 | sap1 | wavelet-range
+FILES:   one integer frequency per line ('#' comments allowed)";
+
+/// `generate`: emit a synthetic Zipf column per the paper's recipe.
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let cfg = ZipfConfig {
+        n: f.parsed("n")?,
+        alpha: f.parsed_or("alpha", 1.8)?,
+        total_mass: f.parsed_or("mass", 10_000.0)?,
+        permute: f.switch("permuted"),
+        seed: f.parsed_or("seed", 2001)?,
+        ..ZipfConfig::default()
+    };
+    let out = f.required("out")?;
+    let data = paper_dataset(&cfg);
+    write_column(out, data.values())?;
+    println!(
+        "wrote {} values (total mass {}) to {out}",
+        data.n(),
+        data.total()
+    );
+    Ok(())
+}
+
+fn build_synopsis(
+    method: &str,
+    ps: &PrefixSums,
+    budget: usize,
+) -> Result<PersistentSynopsis, String> {
+    let err = |e: synoptic_core::SynopticError| e.to_string();
+    Ok(match method {
+        "naive" => PersistentSynopsis::from_naive(ps),
+        "opt-a" => {
+            let b = (budget / 2).clamp(1, ps.n());
+            let r = build_opt_a(ps, &OptAConfig::exact(b, RoundingMode::None)).map_err(err)?;
+            let vh = synoptic_core::ValueHistogram::with_averages(
+                r.histogram.bucketing().clone(),
+                ps,
+                "OPT-A",
+            )
+            .map_err(err)?;
+            PersistentSynopsis::from_value_histogram(&vh)
+        }
+        "opt-a-reopt" => {
+            let b = (budget / 2).clamp(1, ps.n());
+            let base = build_opt_a(ps, &OptAConfig::exact(b, RoundingMode::None)).map_err(err)?;
+            let re = reoptimize(base.histogram.bucketing(), ps, "OPT-A").map_err(err)?;
+            PersistentSynopsis::from_value_histogram(&re.histogram)
+        }
+        "sap0" => {
+            let b = (budget / 3).clamp(1, ps.n());
+            PersistentSynopsis::from_sap0(&build_sap0(ps, b).map_err(err)?)
+        }
+        "sap1" => {
+            let b = (budget / 5).clamp(1, ps.n());
+            PersistentSynopsis::from_sap1(&build_sap1(ps, b).map_err(err)?)
+        }
+        "wavelet-range" => {
+            let b = (budget / 2).max(1);
+            PersistentSynopsis::from_wavelet_range(&RangeOptimalWavelet::build(ps, b))
+        }
+        other => {
+            return Err(format!(
+                "unknown method '{other}' (naive|opt-a|opt-a-reopt|sap0|sap1|wavelet-range)"
+            ));
+        }
+    })
+}
+
+/// `build`: construct a synopsis and store it in the catalog.
+pub fn build(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let input = f.required("input")?;
+    let method = f.required("method")?;
+    let budget: usize = f.parsed_or("budget", 32)?;
+    let catalog_path = f.required("catalog")?;
+    let column = f.required("column")?;
+
+    let values = read_column(input)?;
+    let ps = PrefixSums::from_values(&values);
+    let synopsis = build_synopsis(method, &ps, budget)?;
+
+    let mut catalog = if std::path::Path::new(catalog_path).exists() {
+        Catalog::load(catalog_path).map_err(|e| e.to_string())?
+    } else {
+        Catalog::new()
+    };
+    let words = synopsis.storage_words();
+    catalog.insert(
+        column,
+        ColumnEntry {
+            n: values.len(),
+            total_rows: ps.total() as i64,
+            synopsis,
+        },
+    );
+    catalog.save(catalog_path).map_err(|e| e.to_string())?;
+    println!(
+        "built {method} for column '{column}' ({words} words) → {catalog_path}"
+    );
+    Ok(())
+}
+
+/// `estimate`: answer one range query from a stored synopsis.
+pub fn estimate(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let catalog = Catalog::load(f.required("catalog")?).map_err(|e| e.to_string())?;
+    let column = f.required("column")?;
+    let (lo, hi) = parse_range(f.required("range")?)?;
+    let q = RangeQuery::new(lo, hi).map_err(|e| e.to_string())?;
+    let answer = catalog.estimate(column, q).map_err(|e| e.to_string())?;
+    println!("{answer:.2}");
+    Ok(())
+}
+
+/// `evaluate`: compare methods on a column file at one budget.
+pub fn evaluate(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let values = read_column(f.required("input")?)?;
+    let ps = PrefixSums::from_values(&values);
+    let budget: usize = f.parsed_or("budget", 32)?;
+    println!(
+        "n = {}, rows = {}, budget = {budget} words; SSE over all {} ranges",
+        values.len(),
+        ps.total(),
+        RangeQuery::count_all(values.len())
+    );
+    println!("{:<14} {:>8} {:>14} {:>12}", "method", "words", "sse", "rmse");
+    for m in [
+        MethodSpec::Naive,
+        MethodSpec::EquiDepth,
+        MethodSpec::PointOpt,
+        MethodSpec::Sap0,
+        MethodSpec::Sap1,
+        MethodSpec::OptA,
+        MethodSpec::OptAReopt,
+        MethodSpec::WaveletRange,
+    ] {
+        match m.build_at_budget(&values, &ps, budget) {
+            Ok(est) => {
+                let sse = exact_sse(est.as_ref(), &ps);
+                let rmse =
+                    (sse / RangeQuery::count_all(values.len()) as f64).sqrt();
+                println!(
+                    "{:<14} {:>8} {:>14.4e} {:>12.2}",
+                    m.name(),
+                    est.storage_words(),
+                    sse,
+                    rmse
+                );
+            }
+            Err(e) => println!("{:<14} {:>8} {e}", m.name(), "-"),
+        }
+    }
+    Ok(())
+}
+
+/// `report`: summarize a catalog file.
+pub fn report(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let catalog = Catalog::load(f.required("catalog")?).map_err(|e| e.to_string())?;
+    print!("{}", catalog.summary());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(name)
+            .to_str()
+            .unwrap()
+            .to_string()
+    }
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn full_cli_pipeline() {
+        let col = tmp("synoptic_cli_col.txt");
+        let cat = tmp("synoptic_cli_cat.json");
+        let _ = std::fs::remove_file(&cat);
+
+        generate(&s(&["--n", "32", "--out", &col])).unwrap();
+        build(&s(&[
+            "--input", &col, "--method", "sap0", "--budget", "18", "--catalog", &cat,
+            "--column", "price",
+        ]))
+        .unwrap();
+        build(&s(&[
+            "--input", &col, "--method", "opt-a", "--budget", "16", "--catalog", &cat,
+            "--column", "qty",
+        ]))
+        .unwrap();
+        estimate(&s(&["--catalog", &cat, "--column", "price", "--range", "0..31"])).unwrap();
+        report(&s(&["--catalog", &cat])).unwrap();
+        evaluate(&s(&["--input", &col, "--budget", "16"])).unwrap();
+
+        // The catalog answers the whole-domain query near the true total.
+        let values = read_column(&col).unwrap();
+        let total: i64 = values.iter().sum();
+        let loaded = Catalog::load(&cat).unwrap();
+        let e = loaded
+            .estimate("qty", RangeQuery { lo: 0, hi: 31 })
+            .unwrap();
+        assert!((e - total as f64).abs() < 1.0, "estimate {e} vs total {total}");
+
+        let _ = std::fs::remove_file(&col);
+        let _ = std::fs::remove_file(&cat);
+    }
+
+    #[test]
+    fn build_rejects_unknown_method() {
+        let col = tmp("synoptic_cli_col2.txt");
+        write_column(&col, &[1, 2, 3, 4]).unwrap();
+        let err = build(&s(&[
+            "--input", &col, "--method", "magic", "--catalog", "/dev/null", "--column", "x",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown method"));
+        let _ = std::fs::remove_file(&col);
+    }
+
+    #[test]
+    fn estimate_errors_cleanly_on_missing_catalog() {
+        let err = estimate(&s(&[
+            "--catalog", "/nonexistent/cat.json", "--column", "x", "--range", "0..1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("read"), "{err}");
+    }
+
+    #[test]
+    fn every_cli_method_builds() {
+        let col = tmp("synoptic_cli_col3.txt");
+        let cat = tmp("synoptic_cli_cat3.json");
+        let _ = std::fs::remove_file(&cat);
+        generate(&s(&["--n", "24", "--out", &col])).unwrap();
+        for m in ["naive", "opt-a", "opt-a-reopt", "sap0", "sap1", "wavelet-range"] {
+            build(&s(&[
+                "--input", &col, "--method", m, "--budget", "20", "--catalog", &cat,
+                "--column", m,
+            ]))
+            .unwrap();
+        }
+        let loaded = Catalog::load(&cat).unwrap();
+        assert_eq!(loaded.len(), 6);
+        let _ = std::fs::remove_file(&col);
+        let _ = std::fs::remove_file(&cat);
+    }
+}

@@ -1,0 +1,167 @@
+//! Flag parsing and column-file I/O for the CLI.
+
+use std::collections::HashMap;
+
+/// Parsed `--flag value` pairs plus bare switches.
+pub struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs; a `--key` followed by another `--key` (or
+    /// nothing) is a switch.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{a}'"));
+            };
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    values.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                _ => {
+                    switches.push(key.to_string());
+                    i += 1;
+                }
+            }
+        }
+        Ok(Self { values, switches })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional string flag.
+    #[allow(dead_code)] // part of the flag API; exercised in tests
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A parsed optional flag with default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+
+    /// A parsed required flag.
+    pub fn parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let v = self.required(key)?;
+        v.parse()
+            .map_err(|_| format!("invalid value '{v}' for --{key}"))
+    }
+
+    /// Whether a bare switch was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+/// Reads a column file: one integer per line; blank lines and `#` comments
+/// ignored.
+pub fn read_column(path: &str) -> Result<Vec<i64>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let v: i64 = trimmed
+            .parse()
+            .map_err(|_| format!("{path}:{}: not an integer: '{trimmed}'", lineno + 1))?;
+        out.push(v);
+    }
+    if out.is_empty() {
+        return Err(format!("'{path}' contains no values"));
+    }
+    Ok(out)
+}
+
+/// Writes a column file.
+pub fn write_column(path: &str, values: &[i64]) -> Result<(), String> {
+    let body: String = values
+        .iter()
+        .map(|v| format!("{v}\n"))
+        .collect();
+    std::fs::write(path, body).map_err(|e| format!("cannot write '{path}': {e}"))
+}
+
+/// Parses `lo..hi` (inclusive).
+pub fn parse_range(s: &str) -> Result<(usize, usize), String> {
+    let (lo, hi) = s
+        .split_once("..")
+        .ok_or_else(|| format!("range must look like lo..hi, got '{s}'"))?;
+    let lo: usize = lo.parse().map_err(|_| format!("bad range start '{lo}'"))?;
+    let hi: usize = hi.parse().map_err(|_| format!("bad range end '{hi}'"))?;
+    if lo > hi {
+        return Err(format!("range start {lo} exceeds end {hi}"));
+    }
+    Ok((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(parts: &[&str]) -> Flags {
+        let v: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        Flags::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let f = flags(&["--input", "x.txt", "--verbose", "--budget", "32"]);
+        assert_eq!(f.required("input").unwrap(), "x.txt");
+        assert_eq!(f.parsed_or::<usize>("budget", 8).unwrap(), 32);
+        assert!(f.switch("verbose"));
+        assert!(!f.switch("quiet"));
+        assert!(f.required("missing").is_err());
+        assert!(f.parsed_or::<usize>("input", 1).is_err());
+    }
+
+    #[test]
+    fn rejects_positional_args() {
+        let v = vec!["stray".to_string()];
+        assert!(Flags::parse(&v).is_err());
+    }
+
+    #[test]
+    fn range_parsing() {
+        assert_eq!(parse_range("3..9").unwrap(), (3, 9));
+        assert_eq!(parse_range("0..0").unwrap(), (0, 0));
+        assert!(parse_range("9..3").is_err());
+        assert!(parse_range("abc").is_err());
+        assert!(parse_range("1..x").is_err());
+    }
+
+    #[test]
+    fn column_file_roundtrip() {
+        let p = std::env::temp_dir().join("synoptic_cli_io_test.txt");
+        let p = p.to_str().unwrap();
+        write_column(p, &[3, -1, 42]).unwrap();
+        assert_eq!(read_column(p).unwrap(), vec![3, -1, 42]);
+        std::fs::write(p, "# comment\n5\n\n7\n").unwrap();
+        assert_eq!(read_column(p).unwrap(), vec![5, 7]);
+        std::fs::write(p, "5\nnope\n").unwrap();
+        assert!(read_column(p).is_err());
+        std::fs::write(p, "# only comments\n").unwrap();
+        assert!(read_column(p).is_err());
+        let _ = std::fs::remove_file(p);
+    }
+}

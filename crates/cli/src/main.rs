@@ -1,0 +1,47 @@
+//! `synoptic` — build, persist, and query range-sum synopses from the
+//! command line.
+//!
+//! ```text
+//! synoptic generate --n 127 --alpha 1.8 --out column.txt
+//! synoptic build    --input column.txt --method sap0 --budget 32 \
+//!                   --catalog stats.json --column price
+//! synoptic estimate --catalog stats.json --column price --range 10..40
+//! synoptic evaluate --input column.txt --budget 32
+//! synoptic report   --catalog stats.json
+//! ```
+//!
+//! Input files hold one integer frequency per line (`#` comments allowed).
+//! Argument parsing is deliberately dependency-free.
+
+mod commands;
+mod io;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(rest),
+        "build" => commands::build(rest),
+        "estimate" => commands::estimate(rest),
+        "evaluate" => commands::evaluate(rest),
+        "report" => commands::report(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

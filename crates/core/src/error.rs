@@ -1,0 +1,130 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias used by every fallible API in the workspace.
+pub type Result<T> = std::result::Result<T, SynopticError>;
+
+/// Errors produced while validating inputs or constructing synopses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynopticError {
+    /// The input array was empty where a non-empty array is required.
+    EmptyInput,
+    /// A query or parameter referenced indices outside `0..n`.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The array length the index was checked against.
+        n: usize,
+    },
+    /// A range query had `lo > hi`.
+    InvalidRange {
+        /// Lower endpoint of the query.
+        lo: usize,
+        /// Upper endpoint of the query.
+        hi: usize,
+    },
+    /// A bucket count was zero or exceeded the array length.
+    InvalidBucketCount {
+        /// Requested number of buckets.
+        buckets: usize,
+        /// Array length.
+        n: usize,
+    },
+    /// Bucket boundaries were not strictly increasing, did not start at 0, or
+    /// exceeded the array length.
+    InvalidBoundaries(String),
+    /// A storage budget was too small to hold even a single bucket or
+    /// coefficient of the requested representation.
+    BudgetTooSmall {
+        /// Requested budget, in machine words.
+        words: usize,
+        /// Minimum number of words the representation requires.
+        minimum: usize,
+    },
+    /// A numeric parameter was outside its valid domain (e.g. `ε ≤ 0`).
+    InvalidParameter(String),
+    /// A linear system arising in re-optimization was singular and could not
+    /// be solved even with ridge fallback.
+    SingularSystem(String),
+    /// Prefix sums overflowed `i128` (astronomically large inputs).
+    Overflow,
+}
+
+impl fmt::Display for SynopticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyInput => write!(f, "input array must be non-empty"),
+            Self::IndexOutOfBounds { index, n } => {
+                write!(f, "index {index} out of bounds for array of length {n}")
+            }
+            Self::InvalidRange { lo, hi } => {
+                write!(f, "invalid range query: lo={lo} > hi={hi}")
+            }
+            Self::InvalidBucketCount { buckets, n } => {
+                write!(f, "bucket count {buckets} invalid for array of length {n}")
+            }
+            Self::InvalidBoundaries(msg) => write!(f, "invalid bucket boundaries: {msg}"),
+            Self::BudgetTooSmall { words, minimum } => {
+                write!(
+                    f,
+                    "storage budget of {words} words below the minimum of {minimum}"
+                )
+            }
+            Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Self::SingularSystem(msg) => write!(f, "singular linear system: {msg}"),
+            Self::Overflow => write!(f, "arithmetic overflow in prefix-sum computation"),
+        }
+    }
+}
+
+impl std::error::Error for SynopticError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(SynopticError, &str)> = vec![
+            (SynopticError::EmptyInput, "non-empty"),
+            (
+                SynopticError::IndexOutOfBounds { index: 9, n: 4 },
+                "index 9",
+            ),
+            (SynopticError::InvalidRange { lo: 3, hi: 1 }, "lo=3"),
+            (
+                SynopticError::InvalidBucketCount { buckets: 0, n: 10 },
+                "bucket count 0",
+            ),
+            (
+                SynopticError::InvalidBoundaries("x".into()),
+                "boundaries",
+            ),
+            (
+                SynopticError::BudgetTooSmall {
+                    words: 1,
+                    minimum: 2,
+                },
+                "minimum of 2",
+            ),
+            (
+                SynopticError::InvalidParameter("eps".into()),
+                "eps",
+            ),
+            (SynopticError::SingularSystem("Q".into()), "singular"),
+            (SynopticError::Overflow, "overflow"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<SynopticError>();
+    }
+}

@@ -1,0 +1,90 @@
+//! The trait implemented by every synopsis.
+
+use crate::query::RangeQuery;
+
+/// A synopsis that can estimate range sums.
+///
+/// Implementations include every histogram representation in
+/// [`crate::histogram`] and the wavelet synopses in `synoptic-wavelet`.
+/// Estimates are `f64`: the OPT-A answering procedure with
+/// [`crate::RoundingMode::NearestInt`] produces integral estimates, all other
+/// procedures are real-valued.
+pub trait RangeEstimator {
+    /// Domain size the synopsis was built for.
+    fn n(&self) -> usize;
+
+    /// Estimated range sum `ŝ[q.lo, q.hi]`.
+    fn estimate(&self, q: RangeQuery) -> f64;
+
+    /// Storage footprint in machine words, using the paper's accounting:
+    /// bucket boundaries and summary values cost one word each, wavelet
+    /// coefficients cost two (index + value).
+    fn storage_words(&self) -> usize;
+
+    /// Short method name used in reports (e.g. `"OPT-A"`, `"SAP0"`).
+    fn method_name(&self) -> &str;
+}
+
+/// Blanket impl so `&T` and boxed estimators can be passed around uniformly.
+impl<T: RangeEstimator + ?Sized> RangeEstimator for &T {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn estimate(&self, q: RangeQuery) -> f64 {
+        (**self).estimate(q)
+    }
+    fn storage_words(&self) -> usize {
+        (**self).storage_words()
+    }
+    fn method_name(&self) -> &str {
+        (**self).method_name()
+    }
+}
+
+impl<T: RangeEstimator + ?Sized> RangeEstimator for Box<T> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn estimate(&self, q: RangeQuery) -> f64 {
+        (**self).estimate(q)
+    }
+    fn storage_words(&self) -> usize {
+        (**self).storage_words()
+    }
+    fn method_name(&self) -> &str {
+        (**self).method_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl RangeEstimator for Dummy {
+        fn n(&self) -> usize {
+            3
+        }
+        fn estimate(&self, q: RangeQuery) -> f64 {
+            (q.hi - q.lo + 1) as f64
+        }
+        fn storage_words(&self) -> usize {
+            1
+        }
+        fn method_name(&self) -> &str {
+            "DUMMY"
+        }
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let d = Dummy;
+        let r: &dyn RangeEstimator = &d;
+        assert_eq!(r.n(), 3);
+        assert_eq!(r.estimate(RangeQuery { lo: 0, hi: 2 }), 3.0);
+        let b: Box<dyn RangeEstimator> = Box::new(Dummy);
+        assert_eq!(b.storage_words(), 1);
+        assert_eq!(b.method_name(), "DUMMY");
+        assert_eq!(b.n(), 3);
+    }
+}

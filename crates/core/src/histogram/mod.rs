@@ -1,0 +1,78 @@
+//! Histogram representations and their answering procedures.
+//!
+//! Each representation pairs a [`crate::Bucketing`] with per-bucket summary
+//! statistics and a fixed query-answering procedure:
+//!
+//! | Type | Stored per bucket | Words | Paper section |
+//! |------|-------------------|-------|---------------|
+//! | [`opta::OptAHistogram`] | average (answering eq. 1, optional rounding) | `2B` | §2.1 |
+//! | [`value::ValueHistogram`] | arbitrary value `x(i)` (answers `Σ x(buck(i))`) | `2B` | §4 (A0, POINT-OPT, NAIVE, reopt) |
+//! | [`sap0::Sap0Histogram`] | `suff`, `pref` (avg recovered) | `3B` | §2.2.1 |
+//! | [`sap1::Sap1Histogram`] | `suff'`, `suff`, `pref'`, `pref` | `5B` | §2.2.2 |
+//! | [`naive::NaiveEstimator`] | single global average | `1` | §4 |
+//! | [`bounded::BoundedHistogram`] | average + min + max (certified intervals) | `4B` | extension |
+//!
+//! Construction (choosing the boundaries and values optimally) lives in the
+//! `synoptic-hist` crate; these types only *represent* and *answer*.
+
+pub mod bounded;
+pub mod naive;
+pub mod opta;
+pub mod sap0;
+pub mod sap1;
+pub mod value;
+
+use crate::array::PrefixSums;
+use crate::bucketing::Bucketing;
+
+/// Exact per-bucket sums plus their cumulative table, the shared machinery
+/// behind every answering procedure's "middle piece is exact" property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BucketSums {
+    /// `sums[b]` = exact total of bucket `b`.
+    pub sums: Vec<i128>,
+    /// `cum[b]` = total of buckets `0..b` (so `cum[0] = 0`).
+    pub cum: Vec<i128>,
+}
+
+impl BucketSums {
+    pub fn new(bucketing: &Bucketing, ps: &PrefixSums) -> Self {
+        let nb = bucketing.num_buckets();
+        let mut sums = Vec::with_capacity(nb);
+        let mut cum = Vec::with_capacity(nb + 1);
+        cum.push(0i128);
+        let mut acc = 0i128;
+        for (l, r) in bucketing.iter() {
+            let s = ps.range_sum(l, r);
+            sums.push(s);
+            acc += s;
+            cum.push(acc);
+        }
+        Self { sums, cum }
+    }
+
+    /// Exact sum of buckets `p+1 ..= q−1` (the "middle piece" of an
+    /// inter-bucket query spanning buckets `p < q`).
+    #[inline]
+    pub fn middle(&self, p: usize, q: usize) -> i128 {
+        self.cum[q] - self.cum[p + 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_sums_and_middle() {
+        let vals = vec![1i64, 2, 3, 4, 5, 6];
+        let ps = PrefixSums::from_values(&vals);
+        let b = Bucketing::new(6, vec![0, 2, 4]).unwrap();
+        let bs = BucketSums::new(&b, &ps);
+        assert_eq!(bs.sums, vec![3, 7, 11]);
+        assert_eq!(bs.cum, vec![0, 3, 10, 21]);
+        assert_eq!(bs.middle(0, 2), 7); // only bucket 1 between 0 and 2
+        assert_eq!(bs.middle(0, 1), 0); // adjacent buckets, empty middle
+        assert_eq!(bs.middle(1, 2), 0);
+    }
+}

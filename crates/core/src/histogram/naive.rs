@@ -1,0 +1,73 @@
+//! The NAIVE baseline: a single global average.
+
+use crate::array::PrefixSums;
+use crate::estimator::RangeEstimator;
+use crate::query::RangeQuery;
+
+/// The paper's NAIVE summary: answer every query `[a, b]` with
+/// `(b − a + 1) · avg(A)`. Included "only to provide a reasonable upper bound
+/// for SSE" (paper §4). Storage: one word.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveEstimator {
+    n: usize,
+    avg: f64,
+}
+
+impl NaiveEstimator {
+    /// Builds the NAIVE estimator from prefix sums.
+    pub fn new(ps: &PrefixSums) -> Self {
+        Self {
+            n: ps.n(),
+            avg: ps.total() as f64 / ps.n() as f64,
+        }
+    }
+
+    /// The stored global average.
+    pub fn avg(&self) -> f64 {
+        self.avg
+    }
+}
+
+impl RangeEstimator for NaiveEstimator {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn estimate(&self, q: RangeQuery) -> f64 {
+        q.len() as f64 * self.avg
+    }
+
+    fn storage_words(&self) -> usize {
+        1
+    }
+
+    fn method_name(&self) -> &str {
+        "NAIVE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answers_are_length_times_average() {
+        let ps = PrefixSums::from_values(&[2, 4, 6, 8]);
+        let e = NaiveEstimator::new(&ps);
+        assert_eq!(e.avg(), 5.0);
+        assert_eq!(e.estimate(RangeQuery { lo: 0, hi: 3 }), 20.0);
+        assert_eq!(e.estimate(RangeQuery::point(1)), 5.0);
+        assert_eq!(e.estimate(RangeQuery { lo: 1, hi: 2 }), 10.0);
+        assert_eq!(e.storage_words(), 1);
+        assert_eq!(e.method_name(), "NAIVE");
+        assert_eq!(e.n(), 4);
+    }
+
+    #[test]
+    fn whole_domain_query_is_exact() {
+        let ps = PrefixSums::from_values(&[1, 1, 2, 3, 5, 8]);
+        let e = NaiveEstimator::new(&ps);
+        let q = RangeQuery { lo: 0, hi: 5 };
+        assert!((e.estimate(q) - ps.answer(q) as f64).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,186 @@
+//! Generic per-bucket-value histograms.
+//!
+//! A *value histogram* stores one real value `x(b)` per bucket and answers
+//! `ŝ[a,b] = Σ_{i∈[a,b]} x(buck(i))` — equivalently, eq. (1) of the paper
+//! with `avg(i)` replaced by `x(i)` and no rounding. This single
+//! representation covers:
+//!
+//! * **OPT-A without rounding** — `x(b) = avg(b)`;
+//! * **A0** (paper §4) — same values, boundaries from the cross-term-blind DP;
+//! * **POINT-OPT** — `x(b)` = (weighted) bucket mean, boundaries from the
+//!   V-optimal DP;
+//! * **A-reopt** (paper §5) — `x` from the quadratic re-optimization;
+//! * arbitrary heuristics (equi-width/depth, max-diff).
+//!
+//! Because the estimate telescopes through the per-position value prefix
+//! table `X`, queries are O(1) and the *exact* all-ranges SSE has the O(n)
+//! closed form implemented in [`crate::sse::sse_value_histogram`].
+
+use crate::array::PrefixSums;
+use crate::bucketing::Bucketing;
+use crate::error::Result;
+use crate::estimator::RangeEstimator;
+use crate::query::RangeQuery;
+
+/// A histogram storing one value per bucket, answering queries as the sum of
+/// per-position values. Storage: `2B` words (`B − 1` interior boundaries plus
+/// `B` values, rounded up to the paper's `2B` accounting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueHistogram {
+    bucketing: Bucketing,
+    values: Vec<f64>,
+    /// `x[i] = Σ_{j<i} value(buck(j))` for `i ∈ 0..=n`.
+    xprefix: Vec<f64>,
+    name: String,
+}
+
+impl ValueHistogram {
+    /// Builds a value histogram from boundaries and per-bucket values.
+    pub fn new(bucketing: Bucketing, values: Vec<f64>, name: impl Into<String>) -> Result<Self> {
+        use crate::error::SynopticError;
+        if values.len() != bucketing.num_buckets() {
+            return Err(SynopticError::InvalidParameter(format!(
+                "expected {} bucket values, got {}",
+                bucketing.num_buckets(),
+                values.len()
+            )));
+        }
+        let n = bucketing.n();
+        let mut xprefix = Vec::with_capacity(n + 1);
+        xprefix.push(0.0);
+        let mut acc = 0.0;
+        for (b, &v) in values.iter().enumerate() {
+            // `b` tracks the bucket index alongside its value.
+            for _ in bucketing.left(b)..=bucketing.right(b) {
+                acc += v;
+                xprefix.push(acc);
+            }
+        }
+        Ok(Self {
+            bucketing,
+            values,
+            xprefix,
+            name: name.into(),
+        })
+    }
+
+    /// The classical histogram: per-bucket **averages** of the data.
+    pub fn with_averages(
+        bucketing: Bucketing,
+        ps: &PrefixSums,
+        name: impl Into<String>,
+    ) -> Result<Self> {
+        let values = bucketing
+            .iter()
+            .map(|(l, r)| ps.range_sum(l, r) as f64 / (r - l + 1) as f64)
+            .collect();
+        Self::new(bucketing, values, name)
+    }
+
+    /// The bucket boundaries.
+    pub fn bucketing(&self) -> &Bucketing {
+        &self.bucketing
+    }
+
+    /// The stored per-bucket values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The per-position value prefix table `X[0..=n]` (exposed for the O(n)
+    /// SSE closed form).
+    pub fn xprefix(&self) -> &[f64] {
+        &self.xprefix
+    }
+
+    /// Renames the histogram (labels in reports).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl RangeEstimator for ValueHistogram {
+    fn n(&self) -> usize {
+        self.bucketing.n()
+    }
+
+    fn estimate(&self, q: RangeQuery) -> f64 {
+        self.xprefix[q.hi + 1] - self.xprefix[q.lo]
+    }
+
+    fn storage_words(&self) -> usize {
+        2 * self.bucketing.num_buckets()
+    }
+
+    fn method_name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(vals: &[i64]) -> PrefixSums {
+        PrefixSums::from_values(vals)
+    }
+
+    #[test]
+    fn rejects_wrong_value_count() {
+        let b = Bucketing::new(4, vec![0, 2]).unwrap();
+        assert!(ValueHistogram::new(b, vec![1.0], "x").is_err());
+    }
+
+    #[test]
+    fn estimate_is_sum_of_per_position_values() {
+        let b = Bucketing::new(6, vec![0, 2, 4]).unwrap();
+        let h = ValueHistogram::new(b, vec![1.0, 10.0, 100.0], "t").unwrap();
+        assert_eq!(h.estimate(RangeQuery { lo: 0, hi: 5 }), 222.0);
+        assert_eq!(h.estimate(RangeQuery { lo: 1, hi: 2 }), 11.0);
+        assert_eq!(h.estimate(RangeQuery::point(4)), 100.0);
+        assert_eq!(h.estimate(RangeQuery { lo: 3, hi: 4 }), 110.0);
+    }
+
+    #[test]
+    fn averages_reproduce_paper_example() {
+        // Paper §2.1.1: A = (1,3,5,11,…), buckets (1,3) and (5,11) have
+        // averages 2 and 8.
+        let p = ps(&[1, 3, 5, 11]);
+        let b = Bucketing::new(4, vec![0, 2]).unwrap();
+        let h = ValueHistogram::with_averages(b, &p, "OPT-A").unwrap();
+        assert_eq!(h.values(), &[2.0, 8.0]);
+        // Inter-bucket query [1, 3]: 3 ≈ 2, 5+11 ≈ 16 exactly ⇒ estimate 18.
+        assert_eq!(h.estimate(RangeQuery { lo: 1, hi: 3 }), 18.0);
+    }
+
+    #[test]
+    fn whole_bucket_queries_are_exact_for_averages() {
+        let p = ps(&[4, 9, 2, 7, 7, 1, 3, 3]);
+        let b = Bucketing::new(8, vec![0, 3, 5]).unwrap();
+        let h = ValueHistogram::with_averages(b.clone(), &p, "OPT-A").unwrap();
+        for bi in 0..b.num_buckets() {
+            let q = RangeQuery {
+                lo: b.left(bi),
+                hi: b.right(bi),
+            };
+            assert!(
+                (h.estimate(q) - p.answer(q) as f64).abs() < 1e-9,
+                "bucket {bi}"
+            );
+        }
+        // And so is any union of whole buckets.
+        let q = RangeQuery { lo: 0, hi: 4 };
+        assert!((h.estimate(q) - p.answer(q) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_and_name() {
+        let b = Bucketing::new(4, vec![0, 2]).unwrap();
+        let h = ValueHistogram::new(b, vec![0.0, 0.0], "A0").unwrap();
+        assert_eq!(h.storage_words(), 4);
+        assert_eq!(h.method_name(), "A0");
+        let h = h.with_name("REOPT");
+        assert_eq!(h.method_name(), "REOPT");
+    }
+}

@@ -1,0 +1,173 @@
+//! Quantile estimation from any range-sum synopsis.
+//!
+//! A synopsis that answers range sums also answers the inverse question —
+//! *"which value is the φ-quantile?"* — by searching for the smallest index
+//! whose estimated prefix mass reaches `φ·total`. Since some synopses
+//! (wavelets, re-optimized histograms) can produce locally non-monotone
+//! prefix estimates, the search runs over the **monotone envelope** (running
+//! maximum) of the estimated prefixes, which preserves correctness for
+//! genuinely non-negative data and degrades gracefully otherwise.
+
+use crate::estimator::RangeEstimator;
+use crate::query::RangeQuery;
+use crate::{Result, SynopticError};
+
+/// Estimates the φ-quantile index: the smallest `i` whose estimated prefix
+/// mass `ŝ[0, i]` reaches `φ · ŝ[0, n−1]`.
+///
+/// Runs in O(n · query) (a linear sweep; prefix estimates are O(1)–O(B) per
+/// query for every synopsis in this workspace).
+pub fn quantile_index<E: RangeEstimator>(est: &E, phi: f64) -> Result<usize> {
+    if !(0.0..=1.0).contains(&phi) {
+        return Err(SynopticError::InvalidParameter(format!(
+            "quantile fraction must be in [0, 1], got {phi}"
+        )));
+    }
+    let n = est.n();
+    let total = est
+        .estimate(RangeQuery { lo: 0, hi: n - 1 })
+        .max(0.0);
+    let target = phi * total;
+    let mut running = f64::NEG_INFINITY;
+    for i in 0..n {
+        let p = est.estimate(RangeQuery { lo: 0, hi: i });
+        running = running.max(p); // monotone envelope
+        if running >= target - 1e-9 {
+            return Ok(i);
+        }
+    }
+    Ok(n - 1)
+}
+
+/// Estimates several quantiles at once (single sweep).
+pub fn quantile_indices<E: RangeEstimator>(est: &E, phis: &[f64]) -> Result<Vec<usize>> {
+    for &phi in phis {
+        if !(0.0..=1.0).contains(&phi) {
+            return Err(SynopticError::InvalidParameter(format!(
+                "quantile fraction must be in [0, 1], got {phi}"
+            )));
+        }
+    }
+    let n = est.n();
+    let total = est
+        .estimate(RangeQuery { lo: 0, hi: n - 1 })
+        .max(0.0);
+    // Sort targets, sweep once, then un-sort.
+    let mut order: Vec<usize> = (0..phis.len()).collect();
+    order.sort_by(|&a, &b| phis[a].total_cmp(&phis[b]));
+    let mut out = vec![n - 1; phis.len()];
+    let mut running = f64::NEG_INFINITY;
+    let mut next = 0usize;
+    for i in 0..n {
+        let p = est.estimate(RangeQuery { lo: 0, hi: i });
+        running = running.max(p);
+        while next < order.len() && running >= phis[order[next]] * total - 1e-9 {
+            out[order[next]] = i;
+            next += 1;
+        }
+        if next == order.len() {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Exact quantile index from prefix sums (the ground truth the estimators
+/// are compared against).
+pub fn exact_quantile_index(ps: &crate::PrefixSums, phi: f64) -> Result<usize> {
+    if !(0.0..=1.0).contains(&phi) {
+        return Err(SynopticError::InvalidParameter(format!(
+            "quantile fraction must be in [0, 1], got {phi}"
+        )));
+    }
+    let n = ps.n();
+    let total = ps.total();
+    if total <= 0 {
+        return Ok(0);
+    }
+    let target = phi * total as f64;
+    for i in 0..n {
+        if ps.p(i + 1) as f64 >= target - 1e-9 {
+            return Ok(i);
+        }
+    }
+    Ok(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::value::ValueHistogram;
+    use crate::{Bucketing, PrefixSums};
+
+    fn exact_hist(vals: &[i64]) -> (PrefixSums, ValueHistogram) {
+        let ps = PrefixSums::from_values(vals);
+        let b = Bucketing::new(vals.len(), (0..vals.len()).collect()).unwrap();
+        let h = ValueHistogram::with_averages(b, &ps, "exact").unwrap();
+        (ps, h)
+    }
+
+    #[test]
+    fn exact_synopsis_recovers_exact_quantiles() {
+        let vals = vec![10i64, 0, 0, 10, 0, 10, 50, 20];
+        let (ps, h) = exact_hist(&vals);
+        for phi in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let want = exact_quantile_index(&ps, phi).unwrap();
+            let got = quantile_index(&h, phi).unwrap();
+            assert_eq!(got, want, "phi={phi}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let vals = vec![3i64, 1, 4, 1, 5, 9, 2, 6, 5, 3];
+        let (_, h) = exact_hist(&vals);
+        let phis = [0.9, 0.1, 0.5, 0.25];
+        let batch = quantile_indices(&h, &phis).unwrap();
+        for (i, &phi) in phis.iter().enumerate() {
+            assert_eq!(batch[i], quantile_index(&h, phi).unwrap(), "phi={phi}");
+        }
+    }
+
+    #[test]
+    fn coarse_histogram_quantiles_are_near_the_truth() {
+        // Heavy head: the median sits at index 0; even a 2-bucket histogram
+        // should place it in the first bucket.
+        let vals = vec![1000i64, 10, 10, 10, 10, 10, 10, 10];
+        let ps = PrefixSums::from_values(&vals);
+        let b = Bucketing::new(8, vec![0, 4]).unwrap();
+        let h = ValueHistogram::with_averages(b, &ps, "h").unwrap();
+        let exact = exact_quantile_index(&ps, 0.5).unwrap();
+        let est = quantile_index(&h, 0.5).unwrap();
+        assert_eq!(exact, 0);
+        assert!(est <= 2, "coarse estimate {est} strays too far");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let vals = vec![0i64, 0, 0];
+        let ps = PrefixSums::from_values(&vals);
+        assert_eq!(exact_quantile_index(&ps, 0.5).unwrap(), 0);
+        let (_, h) = exact_hist(&vals);
+        // Zero total ⇒ the first index reaches the (zero) target.
+        assert_eq!(quantile_index(&h, 0.5).unwrap(), 0);
+        assert!(quantile_index(&h, -0.1).is_err());
+        assert!(quantile_index(&h, 1.5).is_err());
+        assert!(exact_quantile_index(&ps, 2.0).is_err());
+        assert!(quantile_indices(&h, &[0.5, 7.0]).is_err());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_phi() {
+        let vals = vec![5i64, 9, 1, 7, 3, 8, 2, 6, 4, 4, 9, 1];
+        let ps = PrefixSums::from_values(&vals);
+        let b = Bucketing::new(12, vec![0, 4, 8]).unwrap();
+        let h = ValueHistogram::with_averages(b, &ps, "h").unwrap();
+        let mut prev = 0usize;
+        for phi in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let i = quantile_index(&h, phi).unwrap();
+            assert!(i >= prev, "phi={phi}: {i} < {prev}");
+            prev = i;
+        }
+    }
+}

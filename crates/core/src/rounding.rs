@@ -1,0 +1,104 @@
+//! Rounding conventions for histogram answering procedures.
+//!
+//! Equation (1) of the paper rounds its argument "to a nearby integer in an
+//! arbitrary way". For the OPT-A dynamic program the rounding must be fixed
+//! and must keep the per-endpoint error decomposition exact, so we round the
+//! two *end-piece* contributions separately (see DESIGN.md §4.2); the summed
+//! answer remains an admissible "nearby integer". The unrounded mode — the
+//! default for cross-method comparisons — skips rounding entirely, which
+//! matches the SAP0/SAP1/wavelet procedures that are defined without it.
+
+use serde::{Deserialize, Serialize};
+
+/// How a histogram's fractional range-sum contributions are rounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RoundingMode {
+    /// No rounding: estimates are real-valued sums of per-position bucket
+    /// averages. Default.
+    #[default]
+    None,
+    /// Round each end-piece contribution (and each intra-bucket answer) to
+    /// the nearest integer, ties away from zero. This makes every estimate —
+    /// and therefore every error term `δ` and DP state `Λ` — integral, as the
+    /// paper's pseudo-polynomial analysis requires.
+    NearestInt,
+}
+
+impl RoundingMode {
+    /// Applies the rounding convention to a raw contribution.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            RoundingMode::None => x,
+            RoundingMode::NearestInt => x.round(),
+        }
+    }
+
+    /// Whether estimates under this mode are guaranteed integral for integral
+    /// data.
+    pub fn is_integral(self) -> bool {
+        matches!(self, RoundingMode::NearestInt)
+    }
+}
+
+/// Rounds `len · avg` where `avg = sum / bucket_len`, exactly in integer
+/// arithmetic (avoids `f64` ties-behaviour surprises for large sums).
+///
+/// Computes `round(len · sum / bucket_len)` with ties away from zero.
+#[inline]
+pub fn round_scaled(len: i128, sum: i128, bucket_len: i128) -> i128 {
+    debug_assert!(bucket_len > 0 && len >= 0);
+    let num = len * sum;
+    // round(num / den) with ties away from zero, den > 0.
+    let den = bucket_len;
+    if num >= 0 {
+        (2 * num + den) / (2 * den)
+    } else {
+        -((2 * (-num) + den) / (2 * den))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        assert_eq!(RoundingMode::None.apply(2.7), 2.7);
+        assert_eq!(RoundingMode::None.apply(-0.4), -0.4);
+        assert!(!RoundingMode::None.is_integral());
+    }
+
+    #[test]
+    fn nearest_rounds_half_away_from_zero() {
+        let m = RoundingMode::NearestInt;
+        assert_eq!(m.apply(2.5), 3.0);
+        assert_eq!(m.apply(2.4), 2.0);
+        assert_eq!(m.apply(-2.5), -3.0);
+        assert_eq!(m.apply(-2.4), -2.0);
+        assert!(m.is_integral());
+    }
+
+    #[test]
+    fn round_scaled_matches_f64_rounding_on_small_inputs() {
+        for len in 0..10i128 {
+            for sum in -30..30i128 {
+                for bl in 1..7i128 {
+                    let exact = round_scaled(len, sum, bl);
+                    let viaf = ((len * sum) as f64 / bl as f64).round() as i128;
+                    assert_eq!(exact, viaf, "len={len} sum={sum} bl={bl}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_scaled_is_exact_for_large_inputs() {
+        // 2^70 / 3 would lose precision in f64; integer path stays exact.
+        let big = 1i128 << 70;
+        let r = round_scaled(1, big + 1, 3);
+        // (2^70 + 1)/3 rounded.
+        let q = (2 * (big + 1) + 3) / 6;
+        assert_eq!(r, q);
+    }
+}

@@ -1,0 +1,113 @@
+//! Synthetic dataset families beyond the paper's Zipf recipe, used by the
+//! extended sweeps (EXPERIMENTS.md, ablation A4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use synoptic_core::DataArray;
+
+/// Uniform integer frequencies in `[lo, hi]`.
+pub fn uniform(n: usize, lo: i64, hi: i64, seed: u64) -> DataArray {
+    assert!(n > 0 && lo <= hi);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values = (0..n).map(|_| rng.random_range(lo..=hi)).collect();
+    DataArray::new(values).expect("n > 0")
+}
+
+/// A mixture of `modes` Gaussian bumps over the domain, a common shape for
+/// real attribute-value distributions (e.g. multimodal ages or prices).
+/// Values are non-negative integers with peak height ≈ `peak`.
+pub fn normal_mixture(n: usize, modes: usize, peak: f64, seed: u64) -> DataArray {
+    assert!(n > 0 && modes > 0 && peak >= 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<f64> = (0..modes).map(|_| rng.random_range(0.0..n as f64)).collect();
+    let widths: Vec<f64> = (0..modes)
+        .map(|_| rng.random_range(n as f64 / 40.0..n as f64 / 8.0).max(0.5))
+        .collect();
+    let values = (0..n)
+        .map(|i| {
+            let x = i as f64;
+            let v: f64 = centers
+                .iter()
+                .zip(&widths)
+                .map(|(&c, &w)| peak * (-((x - c) / w).powi(2) / 2.0).exp())
+                .sum();
+            v.round() as i64
+        })
+        .collect();
+    DataArray::new(values).expect("n > 0")
+}
+
+/// A piecewise-constant "steps" distribution with `segments` plateaus of
+/// random heights in `[0, peak]` — the best case for histograms (a B-bucket
+/// histogram with B ≥ segments is exact), useful as a sanity anchor.
+pub fn steps(n: usize, segments: usize, peak: i64, seed: u64) -> DataArray {
+    assert!(n > 0 && segments > 0 && segments <= n && peak >= 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Choose segment boundaries.
+    let mut cuts: Vec<usize> = (1..n).collect();
+    let mut chosen = Vec::with_capacity(segments - 1);
+    for _ in 0..segments - 1 {
+        let idx = rng.random_range(0..cuts.len());
+        chosen.push(cuts.swap_remove(idx));
+    }
+    chosen.sort_unstable();
+    chosen.push(n);
+    let mut values = Vec::with_capacity(n);
+    let mut start = 0usize;
+    for &end in &chosen {
+        let h = rng.random_range(0..=peak);
+        for _ in start..end {
+            values.push(h);
+        }
+        start = end;
+    }
+    DataArray::new(values).expect("n > 0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bounds_and_seed() {
+        let d = uniform(100, 5, 9, 3);
+        assert_eq!(d.n(), 100);
+        assert!(d.values().iter().all(|&v| (5..=9).contains(&v)));
+        assert_eq!(d, uniform(100, 5, 9, 3));
+        assert_ne!(d, uniform(100, 5, 9, 4));
+    }
+
+    #[test]
+    fn normal_mixture_is_nonnegative_and_bounded() {
+        let d = normal_mixture(200, 3, 100.0, 11);
+        assert_eq!(d.n(), 200);
+        assert!(d.is_non_negative());
+        let max = *d.values().iter().max().unwrap();
+        assert!(max <= 3 * 100 + 1, "max {max} exceeds modes·peak");
+        assert!(max > 10, "mixture should have visible bumps, max {max}");
+    }
+
+    #[test]
+    fn steps_has_requested_plateau_count() {
+        let d = steps(50, 5, 100, 7);
+        assert_eq!(d.n(), 50);
+        let v = d.values();
+        let plateaus = 1 + v.windows(2).filter(|w| w[0] != w[1]).count();
+        // Adjacent segments may draw the same height, so ≤ segments.
+        assert!(plateaus <= 5, "got {plateaus}");
+        assert!(d.is_non_negative());
+    }
+
+    #[test]
+    fn steps_single_segment_is_constant() {
+        let d = steps(10, 1, 42, 0);
+        let first = d.get(0);
+        assert!(d.values().iter().all(|&v| v == first));
+    }
+
+    #[test]
+    #[should_panic]
+    fn steps_rejects_more_segments_than_keys() {
+        let _ = steps(3, 4, 10, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Row-sampling estimator — the classical alternative to histograms and
+//! wavelets for selectivity estimation, included as an extended baseline.
+//!
+//! A uniform with-replacement sample of `m` *records* (not domain positions)
+//! is drawn from the table; `s[a,b]` is estimated as
+//! `N · |{sampled records with value ∈ [a,b]}| / m`. Unbiased, with standard
+//! binomial error `N·√(p(1−p)/m)` per query — typically far worse per stored
+//! word than the optimized histograms on skewed data, which is exactly why
+//! the paper's line of work exists.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use synoptic_core::{DataArray, PrefixSums, RangeEstimator, RangeQuery, Result, SynopticError};
+
+/// A uniform row sample as a range-sum estimator.
+#[derive(Debug, Clone)]
+pub struct SampleEstimator {
+    n: usize,
+    total: f64,
+    /// Sorted sampled domain positions (one per sampled record).
+    sample: Vec<u32>,
+}
+
+impl SampleEstimator {
+    /// Draws `m` records uniformly with replacement (proportional to the
+    /// frequencies) from the distribution. Requires non-negative data with
+    /// positive total mass.
+    pub fn build(data: &DataArray, ps: &PrefixSums, m: usize, seed: u64) -> Result<Self> {
+        if m == 0 {
+            return Err(SynopticError::InvalidParameter(
+                "sample size must be positive".into(),
+            ));
+        }
+        if !data.is_non_negative() || ps.total() <= 0 {
+            return Err(SynopticError::InvalidParameter(
+                "sampling requires non-negative data with positive total".into(),
+            ));
+        }
+        let total = ps.total();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sample: Vec<u32> = (0..m)
+            .map(|_| {
+                // Draw a record rank in [1, total] and map to its position
+                // via binary search on the prefix table.
+                let r = rng.random_range(1..=total as u128) as i128;
+                let pos = ps.table().partition_point(|&p| p < r) - 1;
+                pos as u32
+            })
+            .collect();
+        sample.sort_unstable();
+        Ok(Self {
+            n: data.n(),
+            total: total as f64,
+            sample,
+        })
+    }
+
+    /// Number of sampled records.
+    pub fn sample_size(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Number of sampled records with position in `[lo, hi]` (O(log m)).
+    fn hits(&self, lo: usize, hi: usize) -> usize {
+        let a = self.sample.partition_point(|&p| (p as usize) < lo);
+        let b = self.sample.partition_point(|&p| (p as usize) <= hi);
+        b - a
+    }
+
+    /// A ~95% binomial half-width for the estimate of query `q`:
+    /// `1.96·N·√(p̂(1−p̂)/m)`.
+    pub fn error_halfwidth(&self, q: RangeQuery) -> f64 {
+        let m = self.sample.len() as f64;
+        let p = self.hits(q.lo, q.hi) as f64 / m;
+        1.96 * self.total * (p * (1.0 - p) / m).sqrt()
+    }
+}
+
+impl RangeEstimator for SampleEstimator {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn estimate(&self, q: RangeQuery) -> f64 {
+        self.total * self.hits(q.lo, q.hi) as f64 / self.sample.len() as f64
+    }
+
+    fn storage_words(&self) -> usize {
+        // One word per sampled value (positions fit a word each).
+        self.sample.len()
+    }
+
+    fn method_name(&self) -> &str {
+        "SAMPLE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(vals: &[i64], m: usize) -> (PrefixSums, SampleEstimator) {
+        let d = DataArray::new(vals.to_vec()).unwrap();
+        let ps = d.prefix_sums();
+        let s = SampleEstimator::build(&d, &ps, m, 7).unwrap();
+        (ps, s)
+    }
+
+    #[test]
+    fn whole_domain_estimate_is_exact() {
+        let (ps, s) = setup(&[5, 0, 9, 2, 2, 7], 50);
+        let q = RangeQuery { lo: 0, hi: 5 };
+        assert_eq!(s.estimate(q), ps.total() as f64);
+        assert_eq!(s.sample_size(), 50);
+        assert_eq!(s.storage_words(), 50);
+    }
+
+    #[test]
+    fn estimates_converge_with_sample_size() {
+        let vals = vec![100i64, 0, 0, 0, 0, 0, 0, 100];
+        let d = DataArray::new(vals).unwrap();
+        let ps = d.prefix_sums();
+        let q = RangeQuery { lo: 0, hi: 0 }; // true answer 100 of 200
+        let small = SampleEstimator::build(&d, &ps, 10, 3).unwrap();
+        let big = SampleEstimator::build(&d, &ps, 10_000, 3).unwrap();
+        let err_small = (small.estimate(q) - 100.0).abs();
+        let err_big = (big.estimate(q) - 100.0).abs();
+        assert!(err_big <= err_small.max(10.0), "{err_big} vs {err_small}");
+        assert!(err_big < 10.0, "10k samples should nail a 50/50 split");
+    }
+
+    #[test]
+    fn zero_mass_regions_estimate_zero_ish() {
+        let (_, s) = setup(&[1000, 0, 0, 0, 0, 0, 0, 0], 100);
+        assert_eq!(s.estimate(RangeQuery { lo: 1, hi: 7 }), 0.0);
+        assert_eq!(s.estimate(RangeQuery { lo: 0, hi: 0 }), 1000.0);
+    }
+
+    #[test]
+    fn sampling_is_proportional_to_mass() {
+        // 90% of mass at position 2: ~90% of samples must land there.
+        let (_, s) = setup(&[50, 50, 900], 2000);
+        let hits2 = s.estimate(RangeQuery::point(2)) / 1000.0; // fraction
+        assert!((hits2 - 0.9).abs() < 0.05, "fraction {hits2}");
+    }
+
+    #[test]
+    fn error_halfwidth_is_sane() {
+        let (ps, s) = setup(&[10, 20, 30, 40], 400);
+        let q = RangeQuery { lo: 0, hi: 1 };
+        let hw = s.error_halfwidth(q);
+        assert!(hw > 0.0 && hw < ps.total() as f64);
+        // The realized error should usually be below ~2 half-widths.
+        let err = (s.estimate(q) - ps.answer(q) as f64).abs();
+        assert!(err <= 2.0 * hw + 1e-9, "err {err} vs hw {hw}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let d = DataArray::new(vec![1, 2]).unwrap();
+        let ps = d.prefix_sums();
+        assert!(SampleEstimator::build(&d, &ps, 0, 1).is_err());
+        let neg = DataArray::new(vec![-1, 2]).unwrap();
+        assert!(SampleEstimator::build(&neg, &neg.prefix_sums(), 5, 1).is_err());
+        let zero = DataArray::new(vec![0, 0]).unwrap();
+        assert!(SampleEstimator::build(&zero, &zero.prefix_sums(), 5, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = DataArray::new(vec![3, 1, 4, 1, 5]).unwrap();
+        let ps = d.prefix_sums();
+        let a = SampleEstimator::build(&d, &ps, 64, 9).unwrap();
+        let b = SampleEstimator::build(&d, &ps, 64, 9).unwrap();
+        let c = SampleEstimator::build(&d, &ps, 64, 10).unwrap();
+        assert_eq!(a.sample, b.sample);
+        assert_ne!(a.sample, c.sample);
+    }
+}

@@ -1,0 +1,134 @@
+//! Query-workload generators.
+//!
+//! The paper's objective sums over *all* `n(n+1)/2` ranges; the harness also
+//! evaluates restricted workloads (random ranges, points, prefixes) for the
+//! extended experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use synoptic_core::RangeQuery;
+
+/// Every range query on a domain of size `n` (materialized; prefer
+/// [`RangeQuery::all`] for streaming).
+pub fn all_ranges(n: usize) -> Vec<RangeQuery> {
+    RangeQuery::all(n).collect()
+}
+
+/// `count` uniformly random range queries: endpoints drawn uniformly from
+/// the `n(n+1)/2` possible ranges.
+pub fn random_ranges(n: usize, count: usize, seed: u64) -> Vec<RangeQuery> {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            // Uniform over unordered pairs {x ≤ y}: sample two endpoints and
+            // order them, rejecting nothing (each unordered pair with x < y
+            // has probability 2/n², pairs with x = y probability 1/n² — the
+            // standard "uniform random range" used in selectivity papers).
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            RangeQuery {
+                lo: a.min(b),
+                hi: a.max(b),
+            }
+        })
+        .collect()
+}
+
+/// All `n` point (equality) queries.
+pub fn point_queries(n: usize) -> Vec<RangeQuery> {
+    (0..n).map(RangeQuery::point).collect()
+}
+
+/// All `n` prefix queries `[0, i]`.
+pub fn prefix_queries(n: usize) -> Vec<RangeQuery> {
+    (0..n).map(RangeQuery::prefix).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ranges_counts() {
+        assert_eq!(all_ranges(5).len(), 15);
+        assert_eq!(all_ranges(1), vec![RangeQuery { lo: 0, hi: 0 }]);
+    }
+
+    #[test]
+    fn random_ranges_are_valid_and_deterministic() {
+        let qs = random_ranges(10, 100, 5);
+        assert_eq!(qs.len(), 100);
+        for q in &qs {
+            assert!(q.lo <= q.hi && q.hi < 10);
+        }
+        assert_eq!(qs, random_ranges(10, 100, 5));
+        assert_ne!(qs, random_ranges(10, 100, 6));
+    }
+
+    #[test]
+    fn random_ranges_cover_the_domain() {
+        let qs = random_ranges(4, 2000, 9);
+        // Every one of the 10 ranges should appear with ~200 expected hits.
+        for want in RangeQuery::all(4) {
+            assert!(
+                qs.contains(&want),
+                "range {want:?} never sampled"
+            );
+        }
+    }
+
+    #[test]
+    fn point_and_prefix_workloads() {
+        let pts = point_queries(3);
+        assert_eq!(pts.len(), 3);
+        assert!(pts.iter().all(|q| q.lo == q.hi));
+        let pre = prefix_queries(3);
+        assert_eq!(pre.len(), 3);
+        assert!(pre.iter().all(|q| q.lo == 0));
+        assert_eq!(pre[2].hi, 2);
+    }
+}
+
+/// All *dyadic* (hierarchically aligned) ranges on a domain of size `n`:
+/// every block `[k·2^j, (k+1)·2^j − 1]` that fits. These are the
+/// "hierarchically-limited range queries" for which prior work (ref. 9 of the
+/// paper) had optimal constructions.
+pub fn dyadic_ranges(n: usize) -> Vec<synoptic_core::RangeQuery> {
+    let mut out = Vec::new();
+    let mut width = 1usize;
+    while width <= n {
+        let mut lo = 0;
+        while lo + width <= n {
+            out.push(synoptic_core::RangeQuery {
+                lo,
+                hi: lo + width - 1,
+            });
+            lo += width;
+        }
+        width *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod dyadic_tests {
+    use super::dyadic_ranges;
+
+    #[test]
+    fn dyadic_count_is_sum_of_level_blocks() {
+        // n = 8: 8 + 4 + 2 + 1 = 15 dyadic ranges.
+        assert_eq!(dyadic_ranges(8).len(), 15);
+        // Non-power-of-two domains only keep fully contained blocks.
+        assert_eq!(dyadic_ranges(5).len(), 5 + 2 + 1);
+    }
+
+    #[test]
+    fn dyadic_ranges_are_aligned() {
+        for q in dyadic_ranges(16) {
+            let w = q.hi - q.lo + 1;
+            assert!(w.is_power_of_two());
+            assert_eq!(q.lo % w, 0);
+        }
+    }
+}

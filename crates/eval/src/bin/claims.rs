@@ -1,0 +1,39 @@
+//! Checks the paper's four quantitative narrative claims (§4) against this
+//! implementation: T1 POINT-OPT vs OPT-A, T2 OPT-A vs SAP1, T3 SAP0
+//! inferiority, T4 reopt gains.
+//!
+//! Usage: `claims [--out DIR] [--n N] [--seed S]`
+
+use synoptic_data::zipf::ZipfConfig;
+use synoptic_eval::claims::run_all_claims;
+use synoptic_eval::figure1::Fig1Config;
+use synoptic_eval::report::{claims_text, write_artifact};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out = get("--out").unwrap_or_else(|| "results".into());
+    let mut dataset = ZipfConfig::default();
+    if let Some(n) = get("--n").and_then(|s| s.parse().ok()) {
+        dataset.n = n;
+    }
+    if let Some(seed) = get("--seed").and_then(|s| s.parse().ok()) {
+        dataset.seed = seed;
+    }
+    let cfg = Fig1Config {
+        dataset,
+        ..Fig1Config::default()
+    };
+    eprintln!("claims: n = {}, seed = {}", cfg.dataset.n, cfg.dataset.seed);
+    let report = run_all_claims(&cfg).expect("claims run failed");
+    println!("{}", claims_text(&report));
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    match write_artifact(&out, "claims.json", &json) {
+        Ok(p) => eprintln!("wrote {p}"),
+        Err(e) => eprintln!("artifact write failed: {e}"),
+    }
+}

@@ -1,0 +1,51 @@
+//! Regenerates the paper's Figure 1: SSE vs storage for every summary
+//! representation on the 127-key Zipf(1.8) dataset.
+//!
+//! Usage: `fig1 [--out DIR] [--n N] [--seed S] [--permuted]`
+//!
+//! Writes `fig1.csv` and `fig1.json` under `--out` (default `results/`)
+//! and prints the ASCII table.
+
+use synoptic_data::zipf::ZipfConfig;
+use synoptic_eval::figure1::{run_figure1, Fig1Config};
+use synoptic_eval::report::{fig1_csv, fig1_table, write_artifact};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out = get("--out").unwrap_or_else(|| "results".into());
+    let mut dataset = ZipfConfig::default();
+    if let Some(n) = get("--n").and_then(|s| s.parse().ok()) {
+        dataset.n = n;
+    }
+    if let Some(seed) = get("--seed").and_then(|s| s.parse().ok()) {
+        dataset.seed = seed;
+    }
+    if args.iter().any(|a| a == "--permuted") {
+        dataset.permute = true;
+    }
+
+    let cfg = Fig1Config {
+        dataset,
+        ..Fig1Config::default()
+    };
+    eprintln!(
+        "figure 1: n = {}, seed = {}, permuted = {}, budgets = {:?}",
+        cfg.dataset.n, cfg.dataset.seed, cfg.dataset.permute, cfg.budgets
+    );
+    let fig = run_figure1(&cfg).expect("figure 1 run failed");
+    println!("{}", fig1_table(&fig));
+    let csv = fig1_csv(&fig);
+    let json = serde_json::to_string_pretty(&fig).expect("serializable");
+    match (
+        write_artifact(&out, "fig1.csv", &csv),
+        write_artifact(&out, "fig1.json", &json),
+    ) {
+        (Ok(a), Ok(b)) => eprintln!("wrote {a} and {b}"),
+        (a, b) => eprintln!("artifact write issues: {a:?} {b:?}"),
+    }
+}

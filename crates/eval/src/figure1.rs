@@ -1,0 +1,197 @@
+//! Figure 1 of the paper: SSE (log y) vs storage budget for every summary
+//! representation, on the 127-key Zipf(1.8) dataset.
+
+use serde::{Deserialize, Serialize};
+use synoptic_core::Result;
+use synoptic_data::zipf::{paper_dataset, ZipfConfig};
+
+use crate::methods::{exact_sse, MethodSpec};
+
+/// Configuration of a Figure 1 run.
+#[derive(Debug, Clone)]
+pub struct Fig1Config {
+    /// Dataset recipe (paper default: n = 127, α = 1.8, fair-coin rounding).
+    pub dataset: ZipfConfig,
+    /// Storage budgets (words) to sweep — the x-axis.
+    pub budgets: Vec<usize>,
+    /// Methods to plot.
+    pub methods: Vec<MethodSpec>,
+}
+
+impl Default for Fig1Config {
+    fn default() -> Self {
+        Self {
+            dataset: ZipfConfig::default(),
+            budgets: vec![8, 12, 16, 20, 24, 32, 40, 48, 56, 64],
+            methods: MethodSpec::paper_figure1(),
+        }
+    }
+}
+
+/// One data point of the figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Row {
+    /// Method name.
+    pub method: String,
+    /// Requested storage budget (words).
+    pub budget_words: usize,
+    /// Words actually consumed (≤ budget; whole buckets/coefficients only).
+    pub actual_words: usize,
+    /// Exact SSE over all `n(n+1)/2` ranges.
+    pub sse: f64,
+}
+
+/// A complete Figure 1 run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Result {
+    /// Domain size of the dataset.
+    pub n: usize,
+    /// Total mass of the dataset.
+    pub total_mass: i64,
+    /// Dataset seed (for reproducibility records).
+    pub seed: u64,
+    /// All `(method × budget)` measurements.
+    pub rows: Vec<Fig1Row>,
+}
+
+impl Fig1Result {
+    /// The SSE of `method` at `budget`, if measured.
+    pub fn sse_of(&self, method: &str, budget: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.method == method && r.budget_words == budget)
+            .map(|r| r.sse)
+    }
+
+    /// All budgets present, sorted.
+    pub fn budgets(&self) -> Vec<usize> {
+        let mut b: Vec<usize> = self.rows.iter().map(|r| r.budget_words).collect();
+        b.sort_unstable();
+        b.dedup();
+        b
+    }
+
+    /// All method names, in first-seen order.
+    pub fn methods(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for r in &self.rows {
+            if !seen.contains(&r.method) {
+                seen.push(r.method.clone());
+            }
+        }
+        seen
+    }
+}
+
+/// Runs the figure: builds every method at every budget and measures the
+/// exact SSE. Methods whose minimum footprint exceeds a budget are skipped
+/// at that budget (e.g. SAP1 below 5 words), mirroring the figure's sparser
+/// series.
+pub fn run_figure1(cfg: &Fig1Config) -> Result<Fig1Result> {
+    let data = paper_dataset(&cfg.dataset);
+    let ps = data.prefix_sums();
+    let mut rows = Vec::new();
+    for m in &cfg.methods {
+        for &budget in &cfg.budgets {
+            match m.build_at_budget(data.values(), &ps, budget) {
+                Ok(est) => rows.push(Fig1Row {
+                    method: m.name().to_string(),
+                    budget_words: budget,
+                    actual_words: est.storage_words(),
+                    sse: exact_sse(est.as_ref(), &ps),
+                }),
+                Err(synoptic_core::SynopticError::BudgetTooSmall { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(Fig1Result {
+        n: data.n(),
+        total_mass: data.total() as i64,
+        seed: cfg.dataset.seed,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> Fig1Config {
+        Fig1Config {
+            dataset: ZipfConfig {
+                n: 32,
+                ..ZipfConfig::default()
+            },
+            budgets: vec![8, 16, 24],
+            methods: MethodSpec::paper_figure1(),
+        }
+    }
+
+    #[test]
+    fn produces_a_row_per_method_and_budget() {
+        let r = run_figure1(&small_cfg()).unwrap();
+        assert_eq!(r.n, 32);
+        // 7 methods × 3 budgets, none skipped at ≥ 8 words.
+        assert_eq!(r.rows.len(), 21);
+        assert_eq!(r.budgets(), vec![8, 16, 24]);
+        assert_eq!(r.methods().len(), 7);
+    }
+
+    #[test]
+    fn sse_is_monotone_in_budget_for_optimal_methods() {
+        let r = run_figure1(&small_cfg()).unwrap();
+        for m in ["OPT-A", "SAP0", "SAP1"] {
+            let mut prev = f64::INFINITY;
+            for b in r.budgets() {
+                if let Some(s) = r.sse_of(m, b) {
+                    assert!(s <= prev + 1e-6, "{m} at {b}: {s} > {prev}");
+                    prev = s;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_upper_bounds_everything() {
+        let r = run_figure1(&small_cfg()).unwrap();
+        let naive = r.sse_of("NAIVE", 8).unwrap();
+        for row in &r.rows {
+            if row.method != "NAIVE" && row.method != "TOPBB" && row.budget_words >= 16 {
+                assert!(
+                    row.sse <= naive * 1.001,
+                    "{} at {} words ({}) exceeds NAIVE ({naive})",
+                    row.method,
+                    row.budget_words,
+                    row.sse
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opt_a_dominates_the_other_histograms_at_equal_budget() {
+        // OPT-A is optimal among 2-words-per-bucket average histograms, so
+        // at equal budget it must beat A0 and POINT-OPT (which share its
+        // representation), up to tolerance.
+        let r = run_figure1(&small_cfg()).unwrap();
+        for b in r.budgets() {
+            let opta = r.sse_of("OPT-A", b).unwrap();
+            for other in ["A0", "POINT-OPT"] {
+                let s = r.sse_of(other, b).unwrap();
+                assert!(
+                    opta <= s + 1e-6 + 1e-9 * s,
+                    "budget {b}: OPT-A {opta} vs {other} {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = run_figure1(&small_cfg()).unwrap();
+        let js = serde_json::to_string(&r).unwrap();
+        let back: Fig1Result = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.rows.len(), r.rows.len());
+    }
+}

@@ -1,0 +1,248 @@
+//! Uniform access to every synopsis family at a given storage budget.
+
+use serde::{Deserialize, Serialize};
+use synoptic_core::{PrefixSums, RangeEstimator, Result, SynopticError};
+use synoptic_hist::builder::{build as build_hist, HistogramMethod};
+use synoptic_wavelet::{PointWaveletSynopsis, PrefixWaveletSynopsis, RangeOptimalWavelet};
+
+/// Every method the harness can evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MethodSpec {
+    /// Single global average.
+    Naive,
+    /// Equi-width histogram.
+    EquiWidth,
+    /// Equi-depth histogram.
+    EquiDepth,
+    /// Max-diff histogram.
+    MaxDiff,
+    /// Classical V-optimal point histogram (uniform weights).
+    VOptUniform,
+    /// The paper's POINT-OPT baseline (range-inclusion weights).
+    PointOpt,
+    /// The paper's A0 heuristic.
+    A0,
+    /// Range-optimal SAP0 (3 words/bucket).
+    Sap0,
+    /// Range-optimal SAP1 (5 words/bucket).
+    Sap1,
+    /// Range-optimal OPT-A, unrounded answering.
+    OptA,
+    /// Range-optimal OPT-A, integral (paper) answering.
+    OptAIntegral,
+    /// OPT-A-ROUNDED with parameter ε.
+    OptARounded(f64),
+    /// OPT-A boundaries + §5 re-optimized values.
+    OptAReopt,
+    /// A0 boundaries + §5 re-optimized values.
+    A0Reopt,
+    /// OPT-A boundaries + per-bucket min/max (certified intervals;
+    /// 4 words/bucket, extension).
+    BoundedOptA,
+    /// Top-B Haar coefficients of `A` (Matias–Vitter–Wang).
+    WaveletPoint,
+    /// Top-B Haar coefficients of the prefix sums.
+    WaveletPrefix,
+    /// The paper's range-optimal virtual-matrix wavelets (Theorem 9); the
+    /// figure's `TOPBB` series.
+    WaveletRange,
+    /// OMP-style greedy selection + value re-fit over the same family
+    /// (extension; see `synoptic_wavelet::range_greedy`).
+    WaveletRangeGreedy,
+}
+
+impl MethodSpec {
+    /// Display name used in tables and CSV headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodSpec::Naive => "NAIVE",
+            MethodSpec::EquiWidth => "EQUI-WIDTH",
+            MethodSpec::EquiDepth => "EQUI-DEPTH",
+            MethodSpec::MaxDiff => "MAX-DIFF",
+            MethodSpec::VOptUniform => "V-OPT",
+            MethodSpec::PointOpt => "POINT-OPT",
+            MethodSpec::A0 => "A0",
+            MethodSpec::Sap0 => "SAP0",
+            MethodSpec::Sap1 => "SAP1",
+            MethodSpec::OptA => "OPT-A",
+            MethodSpec::OptAIntegral => "OPT-A(int)",
+            MethodSpec::OptARounded(_) => "OPT-A-ROUNDED",
+            MethodSpec::OptAReopt => "OPT-A-reopt",
+            MethodSpec::A0Reopt => "A0-reopt",
+            MethodSpec::BoundedOptA => "BOUNDED",
+            MethodSpec::WaveletPoint => "WAVELET-POINT",
+            MethodSpec::WaveletPrefix => "WAVELET-PREFIX",
+            MethodSpec::WaveletRange => "TOPBB",
+            MethodSpec::WaveletRangeGreedy => "TOPBB-GREEDY",
+        }
+    }
+
+    /// The method set plotted in the paper's Figure 1.
+    pub fn paper_figure1() -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::Naive,
+            MethodSpec::PointOpt,
+            MethodSpec::A0,
+            MethodSpec::Sap0,
+            MethodSpec::Sap1,
+            MethodSpec::OptA,
+            MethodSpec::WaveletRange,
+        ]
+    }
+
+    /// Everything, for the extended sweeps.
+    pub fn all() -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::Naive,
+            MethodSpec::EquiWidth,
+            MethodSpec::EquiDepth,
+            MethodSpec::MaxDiff,
+            MethodSpec::VOptUniform,
+            MethodSpec::PointOpt,
+            MethodSpec::A0,
+            MethodSpec::Sap0,
+            MethodSpec::Sap1,
+            MethodSpec::OptA,
+            MethodSpec::OptAIntegral,
+            MethodSpec::OptARounded(0.25),
+            MethodSpec::OptAReopt,
+            MethodSpec::A0Reopt,
+            MethodSpec::BoundedOptA,
+            MethodSpec::WaveletPoint,
+            MethodSpec::WaveletPrefix,
+            MethodSpec::WaveletRange,
+            MethodSpec::WaveletRangeGreedy,
+        ]
+    }
+
+    /// Builds the estimator within `budget_words` of storage. Wavelet
+    /// methods keep `budget/2` coefficients (index + value per coefficient);
+    /// histogram methods use their per-bucket word accounting.
+    pub fn build_at_budget(
+        &self,
+        values: &[i64],
+        ps: &PrefixSums,
+        budget_words: usize,
+    ) -> Result<Box<dyn RangeEstimator>> {
+        let wavelet_b = |budget: usize| -> Result<usize> {
+            if budget < 2 {
+                return Err(SynopticError::BudgetTooSmall {
+                    words: budget,
+                    minimum: 2,
+                });
+            }
+            Ok(budget / 2)
+        };
+        Ok(match self {
+            MethodSpec::WaveletPoint => {
+                Box::new(PointWaveletSynopsis::build(values, wavelet_b(budget_words)?))
+            }
+            MethodSpec::WaveletPrefix => {
+                Box::new(PrefixWaveletSynopsis::build(ps, wavelet_b(budget_words)?))
+            }
+            MethodSpec::WaveletRange => {
+                Box::new(RangeOptimalWavelet::build(ps, wavelet_b(budget_words)?))
+            }
+            MethodSpec::WaveletRangeGreedy => Box::new(
+                synoptic_wavelet::build_range_greedy(ps, wavelet_b(budget_words)?),
+            ),
+            hist => {
+                let hm = match hist {
+                    MethodSpec::Naive => HistogramMethod::Naive,
+                    MethodSpec::EquiWidth => HistogramMethod::EquiWidth,
+                    MethodSpec::EquiDepth => HistogramMethod::EquiDepth,
+                    MethodSpec::MaxDiff => HistogramMethod::MaxDiff,
+                    MethodSpec::VOptUniform => HistogramMethod::VOptUniform,
+                    MethodSpec::PointOpt => HistogramMethod::PointOpt,
+                    MethodSpec::A0 => HistogramMethod::A0,
+                    MethodSpec::Sap0 => HistogramMethod::Sap0,
+                    MethodSpec::Sap1 => HistogramMethod::Sap1,
+                    MethodSpec::OptA => HistogramMethod::OptA,
+                    MethodSpec::OptAIntegral => HistogramMethod::OptAIntegral,
+                    MethodSpec::OptARounded(eps) => HistogramMethod::OptARounded { eps: *eps },
+                    MethodSpec::OptAReopt => HistogramMethod::OptAReopt,
+                    MethodSpec::A0Reopt => HistogramMethod::A0Reopt,
+                    MethodSpec::BoundedOptA => HistogramMethod::BoundedOptA,
+                    _ => unreachable!("wavelets handled above"),
+                };
+                build_hist(hm, values, ps, budget_words)?
+            }
+        })
+    }
+}
+
+/// Exact all-ranges SSE of an estimator (brute force through the public
+/// interface — `O(n²)` queries, exact for every answering procedure, and
+/// cheap at the paper's scale).
+pub fn exact_sse(est: &dyn RangeEstimator, ps: &PrefixSums) -> f64 {
+    synoptic_core::sse::sse_brute(&est, ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synoptic_data::zipf::{paper_dataset, ZipfConfig};
+
+    #[test]
+    fn every_method_builds_on_the_paper_dataset() {
+        let cfg = ZipfConfig {
+            n: 32, // keep the unit test quick; binaries use the full 127
+            ..ZipfConfig::default()
+        };
+        let d = paper_dataset(&cfg);
+        let ps = d.prefix_sums();
+        for m in MethodSpec::all() {
+            let est = m.build_at_budget(d.values(), &ps, 12).unwrap();
+            let sse = exact_sse(est.as_ref(), &ps);
+            assert!(sse.is_finite() && sse >= 0.0, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn budgets_are_respected() {
+        let cfg = ZipfConfig {
+            n: 32,
+            ..ZipfConfig::default()
+        };
+        let d = paper_dataset(&cfg);
+        let ps = d.prefix_sums();
+        for m in MethodSpec::all() {
+            for budget in [6, 10, 20] {
+                let est = m.build_at_budget(d.values(), &ps, budget).unwrap();
+                assert!(
+                    est.storage_words() <= budget,
+                    "{} at {budget}: used {}",
+                    m.name(),
+                    est.storage_words()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_budgets_error_cleanly() {
+        let d = paper_dataset(&ZipfConfig {
+            n: 16,
+            ..ZipfConfig::default()
+        });
+        let ps = d.prefix_sums();
+        assert!(MethodSpec::Sap1
+            .build_at_budget(d.values(), &ps, 3)
+            .is_err());
+        assert!(MethodSpec::WaveletRange
+            .build_at_budget(d.values(), &ps, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn figure1_set_matches_paper() {
+        let names: Vec<&str> = MethodSpec::paper_figure1()
+            .iter()
+            .map(|m| m.name())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["NAIVE", "POINT-OPT", "A0", "SAP0", "SAP1", "OPT-A", "TOPBB"]
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Per-query error distributions beyond the paper's single SSE number.
+//!
+//! AQP deployments care about the *distribution* of errors — median and tail
+//! relative error, worst absolute error — not only the aggregate SSE. This
+//! module computes those over any workload, for any estimator, plus the
+//! certified-interval statistics of the bounded histograms.
+
+use serde::{Deserialize, Serialize};
+use synoptic_core::{BoundedHistogram, PrefixSums, RangeEstimator, RangeQuery};
+
+/// Summary of an estimator's per-query error distribution over a workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorProfile {
+    /// Number of queries evaluated.
+    pub queries: usize,
+    /// Sum-squared error (the paper's metric).
+    pub sse: f64,
+    /// Root-mean-squared absolute error.
+    pub rmse: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Largest absolute error.
+    pub max_abs: f64,
+    /// Median relative error (|δ| / max(1, truth); zero-truth queries use
+    /// the absolute error).
+    pub median_rel: f64,
+    /// 95th-percentile relative error.
+    pub p95_rel: f64,
+}
+
+/// Computes an [`ErrorProfile`] over an explicit workload.
+pub fn error_profile<E: RangeEstimator>(
+    est: &E,
+    ps: &PrefixSums,
+    queries: &[RangeQuery],
+) -> ErrorProfile {
+    assert!(!queries.is_empty(), "workload must be non-empty");
+    let mut sse = 0.0;
+    let mut abs_sum = 0.0;
+    let mut max_abs = 0.0f64;
+    let mut rels: Vec<f64> = Vec::with_capacity(queries.len());
+    for &q in queries {
+        let truth = ps.answer(q) as f64;
+        let err = est.estimate(q) - truth;
+        sse += err * err;
+        abs_sum += err.abs();
+        max_abs = max_abs.max(err.abs());
+        rels.push(err.abs() / truth.abs().max(1.0));
+    }
+    rels.sort_by(f64::total_cmp);
+    let k = queries.len();
+    let pct = |p: f64| -> f64 {
+        let idx = ((p * (k - 1) as f64).round() as usize).min(k - 1);
+        rels[idx]
+    };
+    ErrorProfile {
+        queries: k,
+        sse,
+        rmse: (sse / k as f64).sqrt(),
+        mae: abs_sum / k as f64,
+        max_abs,
+        median_rel: pct(0.5),
+        p95_rel: pct(0.95),
+    }
+}
+
+/// Convenience: the profile over all `n(n+1)/2` ranges.
+pub fn error_profile_all_ranges<E: RangeEstimator>(est: &E, ps: &PrefixSums) -> ErrorProfile {
+    let queries: Vec<RangeQuery> = RangeQuery::all(ps.n()).collect();
+    error_profile(est, ps, &queries)
+}
+
+/// Summary of a bounded histogram's certified intervals over all ranges.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntervalProfile {
+    /// Number of queries evaluated.
+    pub queries: usize,
+    /// Mean certified interval width.
+    pub mean_width: f64,
+    /// Largest certified width.
+    pub max_width: f64,
+    /// Fraction of queries whose interval has zero width (answered exactly).
+    pub exact_fraction: f64,
+    /// Whether every interval contained the truth (must be `true`;
+    /// recorded for the report).
+    pub all_sound: bool,
+}
+
+/// Computes certified-interval statistics for a [`BoundedHistogram`].
+pub fn interval_profile(h: &BoundedHistogram, ps: &PrefixSums) -> IntervalProfile {
+    let mut widths = 0.0;
+    let mut max_width = 0.0f64;
+    let mut exact = 0usize;
+    let mut sound = true;
+    let mut count = 0usize;
+    for q in RangeQuery::all(ps.n()) {
+        let b = h.bounds(q);
+        let w = b.width();
+        widths += w;
+        max_width = max_width.max(w);
+        if w < 1e-9 {
+            exact += 1;
+        }
+        sound &= b.contains(ps.answer(q) as f64);
+        count += 1;
+    }
+    IntervalProfile {
+        queries: count,
+        mean_width: widths / count as f64,
+        max_width,
+        exact_fraction: exact as f64 / count as f64,
+        all_sound: sound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synoptic_core::{Bucketing, NaiveEstimator, ValueHistogram};
+
+    fn data() -> (Vec<i64>, PrefixSums) {
+        let vals = vec![12i64, 9, 4, 1, 1, 0, 2, 14, 13, 6, 2, 1];
+        let ps = PrefixSums::from_values(&vals);
+        (vals, ps)
+    }
+
+    #[test]
+    fn exact_estimator_has_zero_profile() {
+        let (_, ps) = data();
+        let b = Bucketing::new(12, (0..12).collect()).unwrap();
+        let h = ValueHistogram::with_averages(b, &ps, "exact").unwrap();
+        let p = error_profile_all_ranges(&h, &ps);
+        assert_eq!(p.queries, 78);
+        assert!(p.sse < 1e-9 && p.rmse < 1e-9 && p.mae < 1e-9);
+        assert!(p.max_abs < 1e-9 && p.median_rel < 1e-9 && p.p95_rel < 1e-9);
+    }
+
+    #[test]
+    fn profile_orders_metrics_sanely() {
+        let (_, ps) = data();
+        let e = NaiveEstimator::new(&ps);
+        let p = error_profile_all_ranges(&e, &ps);
+        assert!(p.mae <= p.rmse + 1e-9, "MAE ≤ RMSE (Jensen)");
+        assert!(p.rmse <= p.max_abs + 1e-9);
+        assert!(p.median_rel <= p.p95_rel + 1e-12);
+        assert!((p.rmse * p.rmse * p.queries as f64 - p.sse).abs() <= 1e-6 * (1.0 + p.sse));
+    }
+
+    #[test]
+    fn interval_profile_is_sound_and_partially_exact() {
+        let (vals, ps) = data();
+        let b = Bucketing::new(12, vec![0, 4, 8]).unwrap();
+        let h = BoundedHistogram::build(b, &vals, &ps).unwrap();
+        let p = interval_profile(&h, &ps);
+        assert!(p.all_sound);
+        assert!(p.exact_fraction > 0.0, "whole-bucket queries are exact");
+        assert!(p.mean_width <= p.max_width);
+    }
+
+    #[test]
+    fn workload_restriction_changes_the_profile() {
+        let (_, ps) = data();
+        let e = NaiveEstimator::new(&ps);
+        let all = error_profile_all_ranges(&e, &ps);
+        let points: Vec<RangeQuery> = (0..12).map(RangeQuery::point).collect();
+        let pts = error_profile(&e, &ps, &points);
+        assert_eq!(pts.queries, 12);
+        assert!(pts.sse <= all.sse);
+    }
+}

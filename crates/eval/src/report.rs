@@ -1,0 +1,135 @@
+//! ASCII tables, CSV and JSON artifacts for the experiment binaries.
+
+use std::fmt::Write as _;
+
+use crate::claims::ClaimsReport;
+use crate::figure1::Fig1Result;
+
+/// Renders a Figure 1 run as an ASCII table: methods × budgets, SSE cells
+/// in scientific notation (the figure's log-scale y-axis).
+pub fn fig1_table(fig: &Fig1Result) -> String {
+    let budgets = fig.budgets();
+    let methods = fig.methods();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "SSE over all {}·{}/2 = {} range queries (n = {}, total mass ≈ {})",
+        fig.n,
+        fig.n + 1,
+        fig.n * (fig.n + 1) / 2,
+        fig.n,
+        fig.total_mass
+    );
+    let _ = write!(out, "{:<14}", "words:");
+    for b in &budgets {
+        let _ = write!(out, "{b:>11}");
+    }
+    out.push('\n');
+    let _ = writeln!(out, "{}", "-".repeat(14 + 11 * budgets.len()));
+    for m in &methods {
+        let _ = write!(out, "{m:<14}");
+        for &b in &budgets {
+            match fig.sse_of(m, b) {
+                Some(s) => {
+                    let _ = write!(out, "{s:>11.3e}");
+                }
+                None => {
+                    let _ = write!(out, "{:>11}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV form of a Figure 1 run (`method,budget_words,actual_words,sse`).
+pub fn fig1_csv(fig: &Fig1Result) -> String {
+    let mut out = String::from("method,budget_words,actual_words,sse\n");
+    for r in &fig.rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            r.method, r.budget_words, r.actual_words, r.sse
+        );
+    }
+    out
+}
+
+/// Human-readable claims report.
+pub fn claims_text(report: &ClaimsReport) -> String {
+    let mut out = String::new();
+    for c in &report.claims {
+        let _ = writeln!(out, "[{}] paper:    {}", c.id, c.paper);
+        let _ = writeln!(out, "     measured: {}", c.measured);
+        let _ = writeln!(
+            out,
+            "     verdict:  {}",
+            if c.holds { "HOLDS" } else { "DOES NOT HOLD" }
+        );
+        if !c.ratios.is_empty() {
+            let series: Vec<String> = c
+                .ratios
+                .iter()
+                .map(|(b, r)| format!("{b}w:{r:.2}"))
+                .collect();
+            let _ = writeln!(out, "     series:   {}", series.join("  "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes an artifact under `dir`, creating it if needed. Returns the path.
+pub fn write_artifact(dir: &str, name: &str, contents: &str) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let path = format!("{dir}/{name}");
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::{run_figure1, Fig1Config};
+    use crate::methods::MethodSpec;
+    use synoptic_data::zipf::ZipfConfig;
+
+    fn tiny_fig() -> Fig1Result {
+        run_figure1(&Fig1Config {
+            dataset: ZipfConfig {
+                n: 16,
+                ..ZipfConfig::default()
+            },
+            budgets: vec![8, 12],
+            methods: vec![MethodSpec::Naive, MethodSpec::OptA, MethodSpec::Sap0],
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn table_contains_all_methods_and_budgets() {
+        let t = fig1_table(&tiny_fig());
+        for needle in ["NAIVE", "OPT-A", "SAP0", "8", "12"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let fig = tiny_fig();
+        let csv = fig1_csv(&fig);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "method,budget_words,actual_words,sse");
+        assert_eq!(lines.len(), fig.rows.len() + 1);
+    }
+
+    #[test]
+    fn artifacts_are_written() {
+        let dir = std::env::temp_dir().join("synoptic_report_test");
+        let dir = dir.to_str().unwrap();
+        let p = write_artifact(dir, "x.csv", "a,b\n1,2\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,252 @@
+//! A unified, budget-aware construction facade.
+//!
+//! Experiments compare methods at equal **storage budgets** (machine words),
+//! not equal bucket counts, because the representations store different
+//! numbers of values per bucket (paper §4, Figure 1's x-axis). This module
+//! maps `(method, budget)` to a concrete construction with
+//! `B = ⌊budget / words_per_bucket⌋` buckets.
+
+use synoptic_core::{
+    NaiveEstimator, PrefixSums, RangeEstimator, Result, RoundingMode, SynopticError,
+};
+
+use crate::a0::build_a0;
+use crate::heuristics::{build_equi_depth, build_equi_width, build_max_diff};
+use crate::opta::{build_opt_a, OptAConfig};
+use crate::opta_rounded::build_opt_a_rounded_eps;
+use crate::reopt::reoptimize;
+use crate::sap0::build_sap0;
+use crate::sap1::build_sap1;
+use crate::vopt::{build_point_opt, PointWeighting};
+
+/// The histogram families exposed through [`build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HistogramMethod {
+    /// Single global average (1 word).
+    Naive,
+    /// Equal-width buckets (2 words/bucket).
+    EquiWidth,
+    /// Mass-balanced buckets (2 words/bucket).
+    EquiDepth,
+    /// Boundaries at the largest adjacent differences (2 words/bucket).
+    MaxDiff,
+    /// Classical point-query V-optimal histogram (2 words/bucket).
+    VOptUniform,
+    /// The paper's POINT-OPT: V-optimal with range-inclusion weights
+    /// (2 words/bucket).
+    PointOpt,
+    /// The paper's A0 heuristic (2 words/bucket).
+    A0,
+    /// Range-optimal SAP0 (3 words/bucket).
+    Sap0,
+    /// Range-optimal SAP1 (5 words/bucket).
+    Sap1,
+    /// Range-optimal OPT-A, unrounded answering (2 words/bucket).
+    OptA,
+    /// Range-optimal OPT-A with the paper's integral answering
+    /// (2 words/bucket).
+    OptAIntegral,
+    /// OPT-A-ROUNDED with approximation parameter ε (2 words/bucket).
+    OptARounded {
+        /// Target approximation parameter.
+        eps: f64,
+    },
+    /// OPT-A boundaries with §5 re-optimized values (2 words/bucket).
+    OptAReopt,
+    /// A0 boundaries with §5 re-optimized values (2 words/bucket).
+    A0Reopt,
+    /// OPT-A boundaries with per-bucket min/max for certified error
+    /// intervals (4 words/bucket; extension).
+    BoundedOptA,
+}
+
+impl HistogramMethod {
+    /// Storage accounting: words consumed per bucket (paper's convention).
+    pub fn words_per_bucket(&self) -> usize {
+        match self {
+            HistogramMethod::Naive => 1,
+            HistogramMethod::Sap0 => 3,
+            HistogramMethod::BoundedOptA => 4,
+            HistogramMethod::Sap1 => 5,
+            _ => 2,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HistogramMethod::Naive => "NAIVE",
+            HistogramMethod::EquiWidth => "EQUI-WIDTH",
+            HistogramMethod::EquiDepth => "EQUI-DEPTH",
+            HistogramMethod::MaxDiff => "MAX-DIFF",
+            HistogramMethod::VOptUniform => "V-OPT",
+            HistogramMethod::PointOpt => "POINT-OPT",
+            HistogramMethod::A0 => "A0",
+            HistogramMethod::Sap0 => "SAP0",
+            HistogramMethod::Sap1 => "SAP1",
+            HistogramMethod::OptA => "OPT-A",
+            HistogramMethod::OptAIntegral => "OPT-A(int)",
+            HistogramMethod::OptARounded { .. } => "OPT-A-ROUNDED",
+            HistogramMethod::OptAReopt => "OPT-A-reopt",
+            HistogramMethod::A0Reopt => "A0-reopt",
+            HistogramMethod::BoundedOptA => "BOUNDED",
+        }
+    }
+
+    /// Bucket count affordable within `budget_words`, clamped to `[1, n]`.
+    pub fn buckets_for_budget(&self, budget_words: usize, n: usize) -> Result<usize> {
+        let wpb = self.words_per_bucket();
+        if budget_words < wpb {
+            return Err(SynopticError::BudgetTooSmall {
+                words: budget_words,
+                minimum: wpb,
+            });
+        }
+        Ok((budget_words / wpb).clamp(1, n))
+    }
+}
+
+/// Builds the requested method within `budget_words` of storage.
+pub fn build(
+    method: HistogramMethod,
+    values: &[i64],
+    ps: &PrefixSums,
+    budget_words: usize,
+) -> Result<Box<dyn RangeEstimator>> {
+    let n = ps.n();
+    let b = method.buckets_for_budget(budget_words, n)?;
+    Ok(match method {
+        HistogramMethod::Naive => Box::new(NaiveEstimator::new(ps)),
+        HistogramMethod::EquiWidth => Box::new(build_equi_width(ps, b)?),
+        HistogramMethod::EquiDepth => Box::new(build_equi_depth(ps, b)?),
+        HistogramMethod::MaxDiff => Box::new(build_max_diff(values, ps, b)?),
+        HistogramMethod::VOptUniform => {
+            Box::new(build_point_opt(values, ps, b, PointWeighting::Uniform)?)
+        }
+        HistogramMethod::PointOpt => Box::new(build_point_opt(
+            values,
+            ps,
+            b,
+            PointWeighting::RangeInclusion,
+        )?),
+        HistogramMethod::A0 => Box::new(build_a0(ps, b)?),
+        HistogramMethod::Sap0 => Box::new(build_sap0(ps, b)?),
+        HistogramMethod::Sap1 => Box::new(build_sap1(ps, b)?),
+        HistogramMethod::OptA => Box::new(
+            build_opt_a(ps, &OptAConfig::exact(b, RoundingMode::None))?
+                .histogram,
+        ),
+        HistogramMethod::OptAIntegral => Box::new(
+            build_opt_a(ps, &OptAConfig::exact(b, RoundingMode::NearestInt))?.histogram,
+        ),
+        HistogramMethod::OptARounded { eps } => {
+            Box::new(build_opt_a_rounded_eps(ps, values, b, eps)?.histogram)
+        }
+        HistogramMethod::OptAReopt => {
+            let base = build_opt_a(ps, &OptAConfig::exact(b, RoundingMode::None))?;
+            Box::new(reoptimize(base.histogram.bucketing(), ps, "OPT-A")?.histogram)
+        }
+        HistogramMethod::A0Reopt => {
+            let base = build_a0(ps, b)?;
+            Box::new(reoptimize(base.bucketing(), ps, "A0")?.histogram)
+        }
+        HistogramMethod::BoundedOptA => {
+            let base = build_opt_a(ps, &OptAConfig::exact(b, RoundingMode::None))?;
+            Box::new(synoptic_core::BoundedHistogram::build(
+                base.histogram.bucketing().clone(),
+                values,
+                ps,
+            )?)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synoptic_core::sse::sse_brute;
+
+    fn all_methods() -> Vec<HistogramMethod> {
+        vec![
+            HistogramMethod::Naive,
+            HistogramMethod::EquiWidth,
+            HistogramMethod::EquiDepth,
+            HistogramMethod::MaxDiff,
+            HistogramMethod::VOptUniform,
+            HistogramMethod::PointOpt,
+            HistogramMethod::A0,
+            HistogramMethod::Sap0,
+            HistogramMethod::Sap1,
+            HistogramMethod::OptA,
+            HistogramMethod::OptAIntegral,
+            HistogramMethod::OptARounded { eps: 0.25 },
+            HistogramMethod::OptAReopt,
+            HistogramMethod::A0Reopt,
+            HistogramMethod::BoundedOptA,
+        ]
+    }
+
+    #[test]
+    fn every_method_builds_within_budget() {
+        let vals = vec![12i64, 9, 4, 1, 1, 0, 2, 14, 13, 6, 2, 1, 7, 7, 3, 9];
+        let ps = PrefixSums::from_values(&vals);
+        for m in all_methods() {
+            let est = build(m, &vals, &ps, 12).unwrap();
+            assert!(
+                est.storage_words() <= 12 || matches!(m, HistogramMethod::Naive),
+                "{} used {} words",
+                m.name(),
+                est.storage_words()
+            );
+            let sse = sse_brute(&est, &ps);
+            assert!(sse.is_finite() && sse >= 0.0, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn budget_accounting_matches_words_per_bucket() {
+        assert_eq!(HistogramMethod::Sap0.buckets_for_budget(12, 100).unwrap(), 4);
+        assert_eq!(HistogramMethod::Sap1.buckets_for_budget(12, 100).unwrap(), 2);
+        assert_eq!(HistogramMethod::OptA.buckets_for_budget(12, 100).unwrap(), 6);
+        assert_eq!(HistogramMethod::OptA.buckets_for_budget(12, 4).unwrap(), 4);
+        assert!(HistogramMethod::Sap1.buckets_for_budget(4, 100).is_err());
+    }
+
+    #[test]
+    fn optimal_methods_dominate_naive() {
+        let vals = vec![40i64, 1, 2, 1, 0, 0, 33, 35, 2, 1, 1, 0, 28, 3, 1, 2];
+        let ps = PrefixSums::from_values(&vals);
+        let naive = sse_brute(&build(HistogramMethod::Naive, &vals, &ps, 2).unwrap(), &ps);
+        for m in [
+            HistogramMethod::OptA,
+            HistogramMethod::Sap0,
+            HistogramMethod::Sap1,
+            HistogramMethod::OptAReopt,
+        ] {
+            let sse = sse_brute(&build(m, &vals, &ps, 12).unwrap(), &ps);
+            assert!(
+                sse < naive,
+                "{} at 12 words ({sse}) should beat NAIVE ({naive})",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn reopt_never_worse_than_its_base() {
+        let vals = vec![12i64, 9, 4, 1, 1, 0, 2, 14, 13, 6, 2, 1];
+        let ps = PrefixSums::from_values(&vals);
+        let base = sse_brute(&build(HistogramMethod::OptA, &vals, &ps, 8).unwrap(), &ps);
+        let re = sse_brute(
+            &build(HistogramMethod::OptAReopt, &vals, &ps, 8).unwrap(),
+            &ps,
+        );
+        assert!(re <= base + 1e-6, "reopt {re} vs base {base}");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(HistogramMethod::OptA.name(), "OPT-A");
+        assert_eq!(HistogramMethod::OptARounded { eps: 0.1 }.name(), "OPT-A-ROUNDED");
+    }
+}

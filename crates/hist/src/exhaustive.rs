@@ -1,0 +1,115 @@
+//! Exhaustive search over all bucketings — the ground truth that the DP
+//! algorithms are validated against in tests. Exponential (`2^{n−1}`
+//! bucketings), so only usable for small `n`.
+
+use synoptic_core::{Bucketing, Result, SynopticError};
+
+/// Enumerates every bucketing of `0..n` with at most `max_buckets` buckets
+/// and returns the one minimizing `evaluate` (plus its value).
+///
+/// `evaluate` receives each candidate [`Bucketing`] and must return its cost
+/// (e.g. the exact SSE of a histogram built over it).
+///
+/// # Errors
+/// On `n == 0`, `n > 24` (enumeration would exceed ~8M bucketings), or an
+/// invalid bucket count.
+pub fn exhaustive_optimal<F>(
+    n: usize,
+    max_buckets: usize,
+    mut evaluate: F,
+) -> Result<(Bucketing, f64)>
+where
+    F: FnMut(&Bucketing) -> f64,
+{
+    if n == 0 {
+        return Err(SynopticError::EmptyInput);
+    }
+    if n > 24 {
+        return Err(SynopticError::InvalidParameter(format!(
+            "exhaustive search limited to n ≤ 24, got {n}"
+        )));
+    }
+    if max_buckets == 0 || max_buckets > n {
+        return Err(SynopticError::InvalidBucketCount {
+            buckets: max_buckets,
+            n,
+        });
+    }
+    let interior = n - 1;
+    let mut best: Option<(Bucketing, f64)> = None;
+    for mask in 0u32..(1u32 << interior) {
+        if (mask.count_ones() as usize) + 1 > max_buckets {
+            continue;
+        }
+        let mut starts = Vec::with_capacity(mask.count_ones() as usize + 1);
+        starts.push(0usize);
+        for i in 0..interior {
+            if mask >> i & 1 == 1 {
+                starts.push(i + 1);
+            }
+        }
+        let bucketing = Bucketing::new(n, starts)?;
+        let cost = evaluate(&bucketing);
+        match &best {
+            Some((_, c)) if *c <= cost => {}
+            _ => best = Some((bucketing, cost)),
+        }
+    }
+    Ok(best.expect("at least the single-bucket partition is enumerated"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_zero_cost_partition() {
+        // Cost zero iff boundaries exactly {0, 3}; positive otherwise.
+        let (b, c) = exhaustive_optimal(6, 3, |bk| {
+            if bk.starts() == [0, 3] {
+                0.0
+            } else {
+                1.0 + bk.num_buckets() as f64
+            }
+        })
+        .unwrap();
+        assert_eq!(b.starts(), &[0, 3]);
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn respects_bucket_limit() {
+        let (_, _) = exhaustive_optimal(5, 2, |bk| {
+            assert!(bk.num_buckets() <= 2);
+            0.5
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn counts_all_bucketings() {
+        // Σ_{k=0}^{B−1} C(n−1, k) candidates.
+        let mut count = 0usize;
+        let _ = exhaustive_optimal(6, 6, |_| {
+            count += 1;
+            1.0
+        })
+        .unwrap();
+        assert_eq!(count, 32); // 2^5 bucketings of 6 elements
+        count = 0;
+        let _ = exhaustive_optimal(6, 2, |_| {
+            count += 1;
+            1.0
+        })
+        .unwrap();
+        assert_eq!(count, 1 + 5); // 1 bucket + C(5,1) two-bucket splits
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(exhaustive_optimal(0, 1, |_| 0.0).is_err());
+        assert!(exhaustive_optimal(25, 2, |_| 0.0).is_err());
+        assert!(exhaustive_optimal(5, 0, |_| 0.0).is_err());
+        assert!(exhaustive_optimal(5, 9, |_| 0.0).is_err());
+    }
+}

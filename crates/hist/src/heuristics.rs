@@ -1,0 +1,154 @@
+//! Classical O(n log n) bucketing heuristics: equi-width, equi-depth,
+//! max-diff. These are the cheap baselines database engines actually ship;
+//! the paper's point is precisely that such heuristics (and even point-query
+//! optimal histograms) can be far from range-optimal.
+
+use synoptic_core::{Bucketing, PrefixSums, Result, SynopticError, ValueHistogram};
+
+/// Equi-width histogram: buckets of (near-)equal index width, bucket
+/// averages as values.
+pub fn build_equi_width(ps: &PrefixSums, buckets: usize) -> Result<ValueHistogram> {
+    let b = Bucketing::equi_width(ps.n(), buckets)?;
+    ValueHistogram::with_averages(b, ps, "EQUI-WIDTH")
+}
+
+/// Equi-depth bucketing: boundaries at (approximate) quantiles of the mass,
+/// so every bucket holds roughly `total/buckets` records. Requires
+/// non-negative data.
+pub fn equi_depth_bucketing(ps: &PrefixSums, buckets: usize) -> Result<Bucketing> {
+    let n = ps.n();
+    if buckets == 0 || buckets > n {
+        return Err(SynopticError::InvalidBucketCount { buckets, n });
+    }
+    let total = ps.total();
+    if total < 0 {
+        return Err(SynopticError::InvalidParameter(
+            "equi-depth requires non-negative total mass".into(),
+        ));
+    }
+    let mut starts = vec![0usize];
+    let mut next_start = 1usize;
+    for k in 1..buckets {
+        // Target mass for the k-th boundary.
+        let target = total * k as i128 / buckets as i128;
+        // First index whose prefix mass strictly exceeds the target, but
+        // always advance to keep buckets non-empty and leave room for the
+        // remaining ones.
+        let mut idx = next_start;
+        while idx < n - (buckets - k - 1) && ps.p(idx) < target {
+            idx += 1;
+        }
+        let idx = idx.min(n - (buckets - k)).max(next_start);
+        starts.push(idx);
+        next_start = idx + 1;
+    }
+    Bucketing::new(n, starts)
+}
+
+/// Equi-depth histogram with bucket averages as values.
+pub fn build_equi_depth(ps: &PrefixSums, buckets: usize) -> Result<ValueHistogram> {
+    let b = equi_depth_bucketing(ps, buckets)?;
+    ValueHistogram::with_averages(b, ps, "EQUI-DEPTH")
+}
+
+/// Max-diff bucketing: place the `B − 1` boundaries at the largest adjacent
+/// differences `|A[i+1] − A[i]|` (Poosala et al.'s MaxDiff heuristic).
+pub fn max_diff_bucketing(values: &[i64], buckets: usize) -> Result<Bucketing> {
+    let n = values.len();
+    if n == 0 {
+        return Err(SynopticError::EmptyInput);
+    }
+    if buckets == 0 || buckets > n {
+        return Err(SynopticError::InvalidBucketCount { buckets, n });
+    }
+    let mut diffs: Vec<(i64, usize)> = values
+        .windows(2)
+        .enumerate()
+        .map(|(i, w)| ((w[1] - w[0]).abs(), i + 1))
+        .collect();
+    // Largest diffs first; ties broken by position for determinism.
+    diffs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut starts: Vec<usize> = diffs.iter().take(buckets - 1).map(|&(_, i)| i).collect();
+    starts.push(0);
+    starts.sort_unstable();
+    starts.dedup();
+    Bucketing::new(n, starts)
+}
+
+/// Max-diff histogram with bucket averages as values.
+pub fn build_max_diff(values: &[i64], ps: &PrefixSums, buckets: usize) -> Result<ValueHistogram> {
+    let b = max_diff_bucketing(values, buckets)?;
+    ValueHistogram::with_averages(b, ps, "MAX-DIFF")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equi_width_shapes() {
+        let ps = PrefixSums::from_values(&[1; 10]);
+        let h = build_equi_width(&ps, 3).unwrap();
+        let b = h.bucketing();
+        assert_eq!(b.num_buckets(), 3);
+        let widths: Vec<_> = (0..3).map(|i| b.len(i)).collect();
+        assert_eq!(widths.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn equi_depth_balances_mass() {
+        // Mass concentrated at the front: equi-depth buckets must be narrow
+        // there and wide in the tail.
+        let vals = vec![100i64, 100, 100, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+        let ps = PrefixSums::from_values(&vals);
+        let b = equi_depth_bucketing(&ps, 3).unwrap();
+        assert_eq!(b.num_buckets(), 3);
+        assert!(b.len(0) <= b.len(2), "starts={:?}", b.starts());
+        // Every bucket non-empty, full coverage.
+        let total: usize = (0..3).map(|i| b.len(i)).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn equi_depth_handles_all_zero_mass() {
+        let ps = PrefixSums::from_values(&[0i64; 6]);
+        let b = equi_depth_bucketing(&ps, 3).unwrap();
+        assert_eq!(b.num_buckets(), 3);
+    }
+
+    #[test]
+    fn equi_depth_extreme_bucket_counts() {
+        let ps = PrefixSums::from_values(&[5i64, 5, 5, 5]);
+        assert_eq!(equi_depth_bucketing(&ps, 1).unwrap().num_buckets(), 1);
+        assert_eq!(equi_depth_bucketing(&ps, 4).unwrap().num_buckets(), 4);
+        assert!(equi_depth_bucketing(&ps, 5).is_err());
+    }
+
+    #[test]
+    fn max_diff_cuts_at_the_jumps() {
+        let vals = vec![1i64, 1, 1, 50, 50, 50, 2, 2];
+        let b = max_diff_bucketing(&vals, 3).unwrap();
+        // Jumps at index 3 (49) and 6 (−48) are the two biggest.
+        assert_eq!(b.starts(), &[0, 3, 6]);
+    }
+
+    #[test]
+    fn max_diff_single_bucket() {
+        let vals = vec![4i64, 1, 9];
+        let b = max_diff_bucketing(&vals, 1).unwrap();
+        assert_eq!(b.num_buckets(), 1);
+    }
+
+    #[test]
+    fn heuristic_names() {
+        use synoptic_core::RangeEstimator;
+        let vals = vec![1i64, 5, 9, 2, 4, 4];
+        let ps = PrefixSums::from_values(&vals);
+        assert_eq!(build_equi_width(&ps, 2).unwrap().method_name(), "EQUI-WIDTH");
+        assert_eq!(build_equi_depth(&ps, 2).unwrap().method_name(), "EQUI-DEPTH");
+        assert_eq!(
+            build_max_diff(&vals, &ps, 2).unwrap().method_name(),
+            "MAX-DIFF"
+        );
+    }
+}

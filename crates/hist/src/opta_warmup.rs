@@ -1,0 +1,249 @@
+//! The paper's warm-up OPT-A algorithm (§2.1.1, Theorem 1): the explicit
+//! state table over `E*(i, k, Λ₂, Λ)`.
+//!
+//! The warm-up DP accounts for every SSE term *as soon as both endpoints are
+//! placed*, which requires carrying **two** running aggregates of the
+//! suffix-piece errors `u(a)`:
+//!
+//! * `Λ = Σ_{a ≤ i} u(a)` — feeds the cross terms `2·λ·V₁(new bucket)`, and
+//! * `Λ₂ = Σ_{a ≤ i} u(a)²` — each new bucket of width `w` adds `λ₂ · w`
+//!   (every earlier left endpoint gains `w` new right endpoints).
+//!
+//! The improved algorithm of §2.1.2 (implemented in [`crate::opta`]) removes
+//! `Λ₂` by charging `u(a)²·(n − right)` once, at bucket-close time. The
+//! warm-up is retained as an independent cross-check: both must agree on the
+//! optimum, and tests assert they do. States are kept in a hash table keyed
+//! by the *integral* `(Λ₂, Λ)` pair, so this implementation requires
+//! [`RoundingMode::NearestInt`] — exactly the integral setting in which the
+//! paper states Theorem 1. State counts explode quickly; intended for
+//! `n ≲ 16`.
+
+use std::collections::HashMap;
+
+use synoptic_core::rounding::round_scaled;
+use synoptic_core::sse::sse_brute;
+use synoptic_core::{
+    Bucketing, OptAHistogram, PrefixSums, Result, RoundingMode, SynopticError,
+};
+
+/// Result of the warm-up table DP.
+#[derive(Debug, Clone)]
+pub struct WarmupResult {
+    /// The constructed histogram (rounded answering).
+    pub histogram: OptAHistogram,
+    /// Exact SSE, re-evaluated on the constructed histogram.
+    pub sse: f64,
+    /// The DP objective (must equal `sse`; tested).
+    pub dp_objective: f64,
+    /// Total number of `(i, k, Λ₂, Λ)` states materialized — the quantity
+    /// the paper bounds by `O(n·B·Λ₂*·Λ*)`.
+    pub states: u64,
+}
+
+/// Integer window ingredients under the rounded answering procedure.
+#[derive(Debug, Clone, Copy)]
+struct IntCost {
+    intra: i128,
+    u1: i128,
+    u2: i128,
+    v1: i128,
+    v2: i128,
+}
+
+fn window_cost(p: &[i128], l: usize, r: usize) -> IntCost {
+    let len = (r - l + 1) as i128;
+    let s = p[r + 1] - p[l];
+    let (mut u1, mut u2, mut v1, mut v2) = (0i128, 0i128, 0i128, 0i128);
+    for a in l..=r {
+        let t = (r - a + 1) as i128;
+        let u = (p[r + 1] - p[a]) - round_scaled(t, s, len);
+        u1 += u;
+        u2 += u * u;
+        let t = (a - l + 1) as i128;
+        let v = (p[a + 1] - p[l]) - round_scaled(t, s, len);
+        v1 += v;
+        v2 += v * v;
+    }
+    let mut intra = 0i128;
+    for d in 1..=(r - l + 1) {
+        let piece = round_scaled(d as i128, s, len);
+        for a in l..=(r + 1 - d) {
+            let delta = (p[a + d] - p[a]) - piece;
+            intra += delta * delta;
+        }
+    }
+    IntCost {
+        intra,
+        u1,
+        u2,
+        v1,
+        v2,
+    }
+}
+
+/// Runs the warm-up `E*(i, k, Λ₂, Λ)` table DP with at most `buckets`
+/// buckets under the rounded (integral) answering procedure.
+///
+/// # Errors
+/// On invalid bucket counts or `n > 16` (the table blows up beyond that; the
+/// improved algorithm in [`crate::opta`] has no such limit).
+pub fn build_opt_a_warmup(ps: &PrefixSums, buckets: usize) -> Result<WarmupResult> {
+    let n = ps.n();
+    if buckets == 0 || buckets > n {
+        return Err(SynopticError::InvalidBucketCount { buckets, n });
+    }
+    if n > 16 {
+        return Err(SynopticError::InvalidParameter(format!(
+            "warm-up table DP limited to n ≤ 16, got {n} (use opta::build_opt_a)"
+        )));
+    }
+    let p = ps.table();
+
+    // table[k][i]: (λ2, λ) → (E, parent (j, λ2, λ))
+    type Key = (i128, i128);
+    type Val = (i128, usize, Key);
+    let mut table: Vec<Vec<HashMap<Key, Val>>> = vec![vec![HashMap::new(); n + 1]; buckets + 1];
+    table[0][0].insert((0, 0), (0, usize::MAX, (0, 0)));
+    let mut states = 1u64;
+
+    for k in 1..=buckets {
+        for i in k..=n {
+            let mut fresh: HashMap<Key, Val> = HashMap::new();
+            #[allow(clippy::needless_range_loop)] // j is an index *and* a boundary value
+            for j in (k - 1)..i {
+                if table[k - 1][j].is_empty() {
+                    continue;
+                }
+                let wc = window_cost(p, j, i - 1);
+                let width = (i - j) as i128;
+                for (&(l2, l1), &(e, _, _)) in &table[k - 1][j] {
+                    // New pairs completed by this bucket: its intra queries,
+                    // plus (a ≤ j, b in bucket): Σu²·width + Σv²·j + 2λ·V₁.
+                    let cost =
+                        e + wc.intra + l2 * width + wc.v2 * j as i128 + 2 * l1 * wc.v1;
+                    let key = (l2 + wc.u2, l1 + wc.u1);
+                    let entry = fresh.entry(key).or_insert((i128::MAX, 0, (0, 0)));
+                    if cost < entry.0 {
+                        *entry = (cost, j, (l2, l1));
+                    }
+                }
+            }
+            states += fresh.len() as u64;
+            table[k][i] = fresh;
+        }
+    }
+
+    // Best over at most `buckets` buckets; Λ₂/Λ are irrelevant at i = n.
+    let mut best: Option<(i128, usize, Key)> = None;
+    for (k, tk) in table.iter().enumerate().take(buckets + 1).skip(1) {
+        for (&key, &(e, _, _)) in &tk[n] {
+            if best.is_none() || e < best.unwrap().0 {
+                best = Some((e, k, key));
+            }
+        }
+    }
+    let (dp_objective, mut k, mut key) = best.expect("k = 1 always reachable");
+
+    // Walk parents.
+    let mut starts = Vec::with_capacity(k);
+    let mut i = n;
+    while k > 0 {
+        let &(_, j, pkey) = table[k][i]
+            .get(&key)
+            .expect("reconstruction follows stored parents");
+        starts.push(j);
+        i = j;
+        key = pkey;
+        k -= 1;
+    }
+    starts.reverse();
+
+    let histogram = OptAHistogram::new(Bucketing::new(n, starts)?, ps, RoundingMode::NearestInt)?;
+    let sse = sse_brute(&histogram, ps);
+    Ok(WarmupResult {
+        histogram,
+        sse,
+        dp_objective: dp_objective as f64,
+        states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opta::{build_opt_a, OptAConfig};
+
+    fn ps(vals: &[i64]) -> PrefixSums {
+        PrefixSums::from_values(vals)
+    }
+
+    #[test]
+    fn dp_objective_equals_true_sse() {
+        for vals in [
+            vec![1i64, 3, 5, 11],
+            vec![12, 9, 4, 1, 1, 0, 2, 14],
+            vec![0, 7, 0, 7, 0, 7],
+        ] {
+            let p = ps(&vals);
+            for b in 1..=3 {
+                let r = build_opt_a_warmup(&p, b).unwrap();
+                assert!(
+                    (r.dp_objective - r.sse).abs() < 1e-9,
+                    "vals={vals:?} b={b}: dp={} sse={}",
+                    r.dp_objective,
+                    r.sse
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_and_improved_algorithms_agree() {
+        // Theorem 1 and Theorem 2 describe the same optimum.
+        for vals in [
+            vec![1i64, 3, 5, 11, 12, 13],
+            vec![12, 9, 4, 1, 1, 0, 2, 14],
+            vec![100, 1, 1, 1, 1, 90],
+        ] {
+            let p = ps(&vals);
+            for b in 1..=4 {
+                let w = build_opt_a_warmup(&p, b).unwrap();
+                let f = build_opt_a(&p, &OptAConfig::exact(b, RoundingMode::NearestInt)).unwrap();
+                assert!(
+                    (w.sse - f.sse).abs() < 1e-9,
+                    "vals={vals:?} b={b}: warmup {} vs improved {}",
+                    w.sse,
+                    f.sse
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_state_is_reachable() {
+        // Paper §2.1.1: A = (1,3,5,11), equal split ⇒ Λ = 4, Λ₂ = 10.
+        // Our warm-up enumerates that state when forced to 2 buckets of 2.
+        let p = ps(&[1, 3, 5, 11]);
+        let wc0 = window_cost(p.table(), 0, 1);
+        let wc1 = window_cost(p.table(), 2, 3);
+        assert_eq!(wc0.u1 + wc1.u1, 4, "Λ of the paper's example");
+        assert_eq!(wc0.u2 + wc1.u2, 10, "Λ₂ of the paper's example");
+    }
+
+    #[test]
+    fn rejects_large_n_and_bad_bucket_counts() {
+        let p = ps(&[1i64; 20]);
+        assert!(build_opt_a_warmup(&p, 2).is_err());
+        let p = ps(&[1, 2, 3]);
+        assert!(build_opt_a_warmup(&p, 0).is_err());
+        assert!(build_opt_a_warmup(&p, 4).is_err());
+    }
+
+    #[test]
+    fn state_counts_grow_with_buckets() {
+        let p = ps(&[12i64, 9, 4, 1, 1, 0, 2, 14]);
+        let s1 = build_opt_a_warmup(&p, 1).unwrap().states;
+        let s3 = build_opt_a_warmup(&p, 3).unwrap().states;
+        assert!(s3 > s1);
+    }
+}

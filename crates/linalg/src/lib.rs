@@ -1,0 +1,26 @@
+//! # synoptic-linalg
+//!
+//! A small, dependency-free dense linear-algebra substrate for the
+//! `synoptic` workspace. Its sole customer is the histogram
+//! *re-optimization* step of the paper (§5): solving the `B × B` normal
+//! equations `Q x = −g/2` that minimize the quadratic
+//! `SSE(x) = x Q xᵀ + g xᵀ + c`, where `B` is the bucket count (tens, not
+//! thousands). The implementation therefore favours clarity and numerical
+//! robustness over asymptotic tricks:
+//!
+//! * [`Matrix`] — a dense row-major `f64` matrix.
+//! * [`lu_solve`] — Gaussian elimination with partial pivoting.
+//! * [`cholesky_solve`] — for symmetric positive-definite systems (the
+//!   re-optimization `Q` is PSD by construction).
+//! * [`solve_spd_with_ridge`] — Cholesky with a tiny ridge fallback when `Q`
+//!   is singular (e.g. duplicate bucket structures), which is how the `reopt`
+//!   module consumes this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod solve;
+
+pub use matrix::Matrix;
+pub use solve::{cholesky_solve, lu_solve, solve_spd_with_ridge, LinalgError};

@@ -1,0 +1,285 @@
+//! Direct solvers for small dense systems.
+
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// Errors from the direct solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// The system matrix is singular (pivot below tolerance).
+    Singular {
+        /// Index of the failed pivot.
+        pivot: usize,
+    },
+    /// The matrix is not square or dimensions disagree with the RHS.
+    Shape(String),
+    /// Cholesky hit a non-positive diagonal (matrix not positive definite).
+    NotPositiveDefinite {
+        /// Index of the failed diagonal.
+        index: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Singular { pivot } => write!(f, "singular matrix at pivot {pivot}"),
+            Self::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+            Self::NotPositiveDefinite { index } => {
+                write!(f, "matrix not positive definite at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+fn check_square(a: &Matrix, b: &[f64]) -> Result<usize, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::Shape(format!(
+            "matrix is {}×{}, expected square",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if b.len() != n {
+        return Err(LinalgError::Shape(format!(
+            "rhs has length {}, expected {n}",
+            b.len()
+        )));
+    }
+    Ok(n)
+}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// O(n³); suitable for the `B × B` systems of the re-optimization step.
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = check_square(a, b)?;
+    let mut m = a.clone();
+    let mut x = b.to_vec();
+    for col in 0..n {
+        // Partial pivot: largest |entry| in this column at or below the diagonal.
+        let (mut best, mut best_val) = (col, m[(col, col)].abs());
+        for r in (col + 1)..n {
+            let v = m[(r, col)].abs();
+            if v > best_val {
+                best = r;
+                best_val = v;
+            }
+        }
+        if best_val < f64::EPSILON * (1.0 + m.max_abs_diag()) {
+            return Err(LinalgError::Singular { pivot: col });
+        }
+        m.swap_rows(col, best);
+        x.swap(col, best);
+        let pivot = m[(col, col)];
+        for r in (col + 1)..n {
+            let factor = m[(r, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            m[(r, col)] = 0.0;
+            for c in (col + 1)..n {
+                let above = m[(col, c)];
+                m[(r, c)] -= factor * above;
+            }
+            x[r] -= factor * x[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = x[col];
+        for c in (col + 1)..n {
+            acc -= m[(col, c)] * x[c];
+        }
+        x[col] = acc / m[(col, col)];
+    }
+    Ok(x)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky
+/// factorization `A = L Lᵀ`.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = check_square(a, b)?;
+    // Factor.
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite { index: i });
+                }
+                l[(i, i)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    // Forward solve L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = b[i];
+        for k in 0..i {
+            acc -= l[(i, k)] * y[k];
+        }
+        y[i] = acc / l[(i, i)];
+    }
+    // Back solve Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = y[i];
+        for k in (i + 1)..n {
+            acc -= l[(k, i)] * x[k];
+        }
+        x[i] = acc / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Solves a symmetric positive *semi*-definite system, escalating through a
+/// ridge fallback: try Cholesky as-is, then with diagonal regularization
+/// `λ = scale·(1e-12, 1e-9, 1e-6)`, then LU as a last resort.
+///
+/// The re-optimization matrix `Q` is PSD by construction but can be singular
+/// (e.g. structurally identical buckets), in which case any minimizer is
+/// acceptable — the ridge picks the one with smallest norm, which is fine for
+/// an estimator.
+pub fn solve_spd_with_ridge(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if let Ok(x) = cholesky_solve(a, b) {
+        return Ok(x);
+    }
+    let scale = a.max_abs_diag().max(1.0);
+    for exp in [1e-12, 1e-9, 1e-6] {
+        let mut m = a.clone();
+        m.add_ridge(scale * exp);
+        if let Ok(x) = cholesky_solve(&m, b) {
+            return Ok(x);
+        }
+    }
+    lu_solve(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        a.matvec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bb)| (ax - bb).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn lu_solves_known_system() {
+        let a = Matrix::from_rows(3, 3, vec![2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0]);
+        let b = vec![8.0, -11.0, -3.0];
+        let x = lu_solve(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+        assert!((x[2] - -1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = lu_solve(&a, &[3.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(
+            lu_solve(&a, &[1.0, 2.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn lu_shape_errors() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            lu_solve(&a, &[1.0, 2.0]),
+            Err(LinalgError::Shape(_))
+        ));
+        let a = Matrix::identity(2);
+        assert!(matches!(
+            lu_solve(&a, &[1.0]),
+            Err(LinalgError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        let a = Matrix::from_rows(3, 3, vec![4.0, 2.0, 0.6, 2.0, 2.0, 0.4, 0.6, 0.4, 1.0]);
+        let b = vec![1.0, 2.0, 3.0];
+        let x = cholesky_solve(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-10);
+        // Cross-check against LU.
+        let y = lu_solve(&a, &b).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((xi - yi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(matches!(
+            cholesky_solve(&a, &[1.0, 1.0]),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn ridge_fallback_handles_singular_psd() {
+        // Rank-1 PSD matrix vvᵀ with v = (1, 1); b in the column space.
+        let a = Matrix::from_rows(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        let b = vec![2.0, 2.0];
+        let x = solve_spd_with_ridge(&a, &b).unwrap();
+        // Any solution with x0 + x1 = 2 is a minimizer.
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-3, "{x:?}");
+    }
+
+    #[test]
+    fn random_spd_systems_solve_accurately() {
+        // Deterministic pseudo-random SPD matrices: A = MᵀM + I.
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for n in [1usize, 2, 5, 12] {
+            let mut m = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    m[(i, j)] = next();
+                }
+            }
+            let mut a = Matrix::identity(n);
+            for i in 0..n {
+                for j in 0..n {
+                    let mut dot = 0.0;
+                    for k in 0..n {
+                        dot += m[(k, i)] * m[(k, j)];
+                    }
+                    a[(i, j)] += dot;
+                }
+            }
+            let b: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+            let x = cholesky_solve(&a, &b).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-8, "n={n}");
+            let x = lu_solve(&a, &b).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-8, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! A binary-indexed (Fenwick) tree over `i64` frequencies: the exact,
+//! update-friendly companion to the static `PrefixSums` table.
+
+/// Fenwick tree supporting O(log n) point updates and prefix sums.
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    /// 1-based internal tree; `tree[0]` unused.
+    tree: Vec<i128>,
+    n: usize,
+}
+
+impl Fenwick {
+    /// An all-zero tree over `n` positions.
+    pub fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+            n,
+        }
+    }
+
+    /// Builds from initial frequencies in O(n).
+    pub fn from_values(values: &[i64]) -> Self {
+        let n = values.len();
+        let mut tree = vec![0i128; n + 1];
+        for (i, &v) in values.iter().enumerate() {
+            tree[i + 1] += v as i128;
+            let j = (i + 1) + ((i + 1) & (i + 1).wrapping_neg());
+            if j <= n {
+                let carried = tree[i + 1];
+                tree[j] += carried;
+            }
+        }
+        Self { tree, n }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `A[i] += delta` in O(log n).
+    pub fn update(&mut self, i: usize, delta: i64) {
+        assert!(i < self.n, "index {i} out of bounds for n={}", self.n);
+        let mut j = i + 1;
+        while j <= self.n {
+            self.tree[j] += delta as i128;
+            j += j & j.wrapping_neg();
+        }
+    }
+
+    /// Prefix sum `A[0] + … + A[i−1]` (i.e. `P[i]`), `i ∈ 0..=n`, O(log n).
+    pub fn prefix(&self, i: usize) -> i128 {
+        debug_assert!(i <= self.n);
+        let mut acc = 0i128;
+        let mut j = i;
+        while j > 0 {
+            acc += self.tree[j];
+            j -= j & j.wrapping_neg();
+        }
+        acc
+    }
+
+    /// Inclusive range sum `s[a, b]`.
+    pub fn range_sum(&self, a: usize, b: usize) -> i128 {
+        self.prefix(b + 1) - self.prefix(a)
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> i128 {
+        self.prefix(self.n)
+    }
+
+    /// Materializes the current frequencies in O(n log n).
+    pub fn to_values(&self) -> Vec<i64> {
+        (0..self.n)
+            .map(|i| (self.range_sum(i, i)) as i64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_matches_naive_prefixes() {
+        let vals = vec![3i64, -1, 4, 1, -5, 9, 2, 6, 5];
+        let f = Fenwick::from_values(&vals);
+        let mut acc = 0i128;
+        for i in 0..=vals.len() {
+            assert_eq!(f.prefix(i), acc, "prefix({i})");
+            if i < vals.len() {
+                acc += vals[i] as i128;
+            }
+        }
+        assert_eq!(f.to_values(), vals);
+    }
+
+    #[test]
+    fn updates_are_reflected_everywhere() {
+        let mut f = Fenwick::new(8);
+        f.update(3, 10);
+        f.update(0, 2);
+        f.update(7, -4);
+        assert_eq!(f.range_sum(0, 7), 8);
+        assert_eq!(f.range_sum(3, 3), 10);
+        assert_eq!(f.range_sum(4, 6), 0);
+        f.update(3, -10);
+        assert_eq!(f.range_sum(3, 3), 0);
+    }
+
+    #[test]
+    fn random_update_query_interleave_matches_reference() {
+        let n = 33;
+        let mut f = Fenwick::new(n);
+        let mut reference = vec![0i64; n];
+        let mut s = 12345u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s
+        };
+        for _ in 0..500 {
+            let i = (next() % n as u64) as usize;
+            let d = (next() % 41) as i64 - 20;
+            f.update(i, d);
+            reference[i] += d;
+            let a = (next() % n as u64) as usize;
+            let b = a + (next() as usize % (n - a));
+            let want: i128 = reference[a..=b].iter().map(|&v| v as i128).sum();
+            assert_eq!(f.range_sum(a, b), want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn update_bounds_checked() {
+        Fenwick::new(4).update(4, 1);
+    }
+}

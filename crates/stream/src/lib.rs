@@ -1,0 +1,37 @@
+//! # synoptic-stream
+//!
+//! Dynamic maintenance of range-sum synopses under point updates
+//! (`A[i] += δ`) — the "dynamic maintenance of such statistics" direction
+//! the paper cites from the wavelet literature (§3), built out as a full
+//! subsystem:
+//!
+//! * [`fenwick`] — a binary-indexed tree over the live frequencies: exact
+//!   O(log n) point updates and prefix sums, the maintenance-side source of
+//!   truth.
+//! * [`haar_stream`] — **O(log n)-per-update** maintenance of Haar
+//!   coefficient sets: [`haar_stream::StreamingHaar`] tracks the transform
+//!   of `A` itself; [`haar_stream::StreamingRangeOptimal`] tracks the
+//!   first-row/first-column coefficients of the paper's virtual range-sum
+//!   matrix (Theorem 9). The key fact making the latter cheap: a point
+//!   update shifts the prefix-sum vector by a *step function*, which is
+//!   orthogonal to every wavelet whose support does not straddle the update
+//!   position — so only one wavelet per level changes.
+//! * [`progressive`] — online query answering (the paper's §1 scenario):
+//!   a synopsis answer refined by user-paced scanning, with certified
+//!   shrinking bounds.
+//! * [`maintained`] — a rebuild-policy wrapper around any histogram family:
+//!   ingest updates, serve the last-built synopsis, and rebuild when the
+//!   accumulated drift or update count crosses a policy threshold.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fenwick;
+pub mod haar_stream;
+pub mod maintained;
+pub mod progressive;
+
+pub use fenwick::Fenwick;
+pub use haar_stream::{StreamingHaar, StreamingRangeOptimal};
+pub use maintained::{MaintainedHistogram, RebuildPolicy, RebuildStats};
+pub use progressive::{ProgressiveAnswer, ProgressiveQuery};

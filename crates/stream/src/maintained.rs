@@ -1,0 +1,217 @@
+//! Rebuild-policy maintenance for histogram synopses.
+//!
+//! Histograms have no cheap incremental form (their boundaries are the
+//! optimized object), so production systems ingest updates into the base
+//! table and *rebuild* statistics when they have drifted enough. This module
+//! packages that loop: a [`crate::Fenwick`] tree as the live source of
+//! truth, a pluggable construction function, and a [`RebuildPolicy`]
+//! deciding when to refresh.
+
+use synoptic_core::{PrefixSums, RangeEstimator, RangeQuery, Result, SynopticError};
+
+use crate::fenwick::Fenwick;
+
+/// When to rebuild the synopsis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RebuildPolicy {
+    /// Rebuild after every `k` updates.
+    EveryKUpdates(u64),
+    /// Rebuild when the accumulated absolute update mass `Σ|δ|` exceeds the
+    /// given fraction of the total mass at last build.
+    DriftFraction(f64),
+    /// Only rebuild when [`MaintainedHistogram::rebuild_now`] is called.
+    Manual,
+}
+
+/// Counters describing the maintenance history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebuildStats {
+    /// Total updates ingested.
+    pub updates: u64,
+    /// Updates since the last rebuild.
+    pub updates_since_rebuild: u64,
+    /// Number of rebuilds performed (excluding the initial build).
+    pub rebuilds: u64,
+}
+
+/// A histogram synopsis kept (approximately) fresh under point updates.
+pub struct MaintainedHistogram<F>
+where
+    F: FnMut(&[i64], &PrefixSums) -> Result<Box<dyn RangeEstimator>>,
+{
+    fenwick: Fenwick,
+    build: F,
+    policy: RebuildPolicy,
+    current: Box<dyn RangeEstimator>,
+    drift_abs: i128,
+    mass_at_build: i128,
+    stats: RebuildStats,
+}
+
+impl<F> MaintainedHistogram<F>
+where
+    F: FnMut(&[i64], &PrefixSums) -> Result<Box<dyn RangeEstimator>>,
+{
+    /// Builds the initial synopsis over `values` with the given policy.
+    pub fn new(values: &[i64], mut build: F, policy: RebuildPolicy) -> Result<Self> {
+        if let RebuildPolicy::DriftFraction(f) = policy {
+            if f.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(SynopticError::InvalidParameter(
+                    "drift fraction must be positive".into(),
+                ));
+            }
+        }
+        if let RebuildPolicy::EveryKUpdates(0) = policy {
+            return Err(SynopticError::InvalidParameter(
+                "update period must be positive".into(),
+            ));
+        }
+        let ps = PrefixSums::from_values(values);
+        let current = build(values, &ps)?;
+        Ok(Self {
+            fenwick: Fenwick::from_values(values),
+            build,
+            policy,
+            current,
+            drift_abs: 0,
+            mass_at_build: ps.total().abs(),
+            stats: RebuildStats::default(),
+        })
+    }
+
+    /// Ingests `A[i] += delta`, rebuilding if the policy fires. Returns
+    /// whether a rebuild happened.
+    pub fn update(&mut self, i: usize, delta: i64) -> Result<bool> {
+        self.fenwick.update(i, delta);
+        self.drift_abs += (delta as i128).abs();
+        self.stats.updates += 1;
+        self.stats.updates_since_rebuild += 1;
+        let fire = match self.policy {
+            RebuildPolicy::EveryKUpdates(k) => self.stats.updates_since_rebuild >= k,
+            RebuildPolicy::DriftFraction(f) => {
+                self.drift_abs as f64 > f * self.mass_at_build.max(1) as f64
+            }
+            RebuildPolicy::Manual => false,
+        };
+        if fire {
+            self.rebuild_now()?;
+        }
+        Ok(fire)
+    }
+
+    /// Forces a rebuild from the live frequencies.
+    pub fn rebuild_now(&mut self) -> Result<()> {
+        let values = self.fenwick.to_values();
+        let ps = PrefixSums::from_values(&values);
+        self.current = (self.build)(&values, &ps)?;
+        self.drift_abs = 0;
+        self.mass_at_build = ps.total().abs();
+        self.stats.updates_since_rebuild = 0;
+        self.stats.rebuilds += 1;
+        Ok(())
+    }
+
+    /// The synopsis as of the last (re)build.
+    pub fn estimator(&self) -> &dyn RangeEstimator {
+        self.current.as_ref()
+    }
+
+    /// Exact current answer from the live Fenwick tree (maintenance-side).
+    pub fn exact(&self, q: RangeQuery) -> i128 {
+        self.fenwick.range_sum(q.lo, q.hi)
+    }
+
+    /// Maintenance counters.
+    pub fn stats(&self) -> RebuildStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synoptic_hist::sap0::build_sap0;
+
+    fn builder() -> impl FnMut(&[i64], &PrefixSums) -> Result<Box<dyn RangeEstimator>> {
+        |_vals: &[i64], ps: &PrefixSums| {
+            Ok(Box::new(build_sap0(ps, 3)?) as Box<dyn RangeEstimator>)
+        }
+    }
+
+    #[test]
+    fn every_k_policy_rebuilds_on_schedule() {
+        let vals = vec![10i64; 12];
+        let mut m =
+            MaintainedHistogram::new(&vals, builder(), RebuildPolicy::EveryKUpdates(5)).unwrap();
+        let mut rebuilds = 0;
+        for t in 0..12 {
+            if m.update(t % 12, 1).unwrap() {
+                rebuilds += 1;
+            }
+        }
+        assert_eq!(rebuilds, 2);
+        assert_eq!(m.stats().rebuilds, 2);
+        assert_eq!(m.stats().updates, 12);
+        assert_eq!(m.stats().updates_since_rebuild, 2);
+    }
+
+    #[test]
+    fn drift_policy_fires_on_mass_change() {
+        let vals = vec![100i64; 10]; // mass 1000
+        let mut m = MaintainedHistogram::new(&vals, builder(), RebuildPolicy::DriftFraction(0.1))
+            .unwrap();
+        // 100 units of |δ| = 10% of mass ⇒ the 101st unit fires.
+        let mut fired = false;
+        for _ in 0..101 {
+            fired = m.update(3, 1).unwrap();
+        }
+        assert!(fired);
+        assert_eq!(m.stats().rebuilds, 1);
+    }
+
+    #[test]
+    fn manual_policy_never_auto_rebuilds_but_tracks_exact_answers() {
+        let vals = vec![5i64, 5, 5, 5, 5, 5];
+        let mut m =
+            MaintainedHistogram::new(&vals, builder(), RebuildPolicy::Manual).unwrap();
+        for _ in 0..50 {
+            assert!(!m.update(0, 2).unwrap());
+        }
+        // Estimator is stale…
+        let q = RangeQuery { lo: 0, hi: 0 };
+        let stale = m.estimator().estimate(q);
+        // …but the maintenance side is exact.
+        assert_eq!(m.exact(q), 105);
+        m.rebuild_now().unwrap();
+        let fresh = m.estimator().estimate(q);
+        assert!(
+            (fresh - 105.0).abs() < (stale - 105.0).abs(),
+            "rebuild should tighten the estimate: stale {stale}, fresh {fresh}"
+        );
+    }
+
+    #[test]
+    fn rebuild_refreshes_toward_current_data() {
+        let vals = vec![0i64; 8];
+        let mut m =
+            MaintainedHistogram::new(&vals, builder(), RebuildPolicy::EveryKUpdates(4)).unwrap();
+        for _ in 0..4 {
+            m.update(7, 25).unwrap(); // spike appears at the end
+        }
+        // After the rebuild the estimator must see the spike.
+        let est = m.estimator().estimate(RangeQuery { lo: 7, hi: 7 });
+        assert!(est > 10.0, "estimate {est} should reflect the new spike");
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected() {
+        let vals = vec![1i64, 2];
+        assert!(
+            MaintainedHistogram::new(&vals, builder(), RebuildPolicy::EveryKUpdates(0)).is_err()
+        );
+        assert!(
+            MaintainedHistogram::new(&vals, builder(), RebuildPolicy::DriftFraction(0.0))
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Progressive (online) range-query answering — the paper's third
+//! motivating scenario (§1): "online query processing wherein fast
+//! estimates are provided and they get refined over time at rates
+//! controlled by the user".
+//!
+//! A [`ProgressiveQuery`] starts from a synopsis answer and refines it by
+//! scanning the queried range in user-controlled chunks: the scanned part
+//! becomes exact, the unscanned remainder stays estimated. With a
+//! [`BoundedHistogram`] the remainder also carries a certified interval, so
+//! the user watches a guaranteed bracket collapse onto the true answer.
+
+use synoptic_core::{
+    BoundedHistogram, Bucketing, PrefixSums, RangeEstimator, RangeQuery, Result, SynopticError,
+};
+
+/// A snapshot of a progressive answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressiveAnswer {
+    /// Current best estimate (exact part + estimated remainder).
+    pub estimate: f64,
+    /// Certified lower bound.
+    pub lo: f64,
+    /// Certified upper bound.
+    pub hi: f64,
+    /// Cells scanned so far.
+    pub scanned: usize,
+    /// Cells remaining.
+    pub remaining: usize,
+}
+
+impl ProgressiveAnswer {
+    /// Whether the answer is final (remainder empty; bounds collapsed).
+    pub fn is_final(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// A running progressive computation over one range query.
+pub struct ProgressiveQuery<'a> {
+    values: &'a [i64],
+    synopsis: &'a BoundedHistogram,
+    query: RangeQuery,
+    /// Next unscanned index (scans left → right).
+    cursor: usize,
+    /// Exact sum of the scanned prefix of the range.
+    exact: i128,
+}
+
+impl<'a> ProgressiveQuery<'a> {
+    /// Starts a progressive computation. The synopsis provides the initial
+    /// estimate and the certified remainder bounds.
+    pub fn new(
+        values: &'a [i64],
+        synopsis: &'a BoundedHistogram,
+        query: RangeQuery,
+    ) -> Result<Self> {
+        query.check_bounds(values.len())?;
+        if synopsis.n() != values.len() {
+            return Err(SynopticError::InvalidParameter(format!(
+                "synopsis covers n={}, data has n={}",
+                synopsis.n(),
+                values.len()
+            )));
+        }
+        Ok(Self {
+            values,
+            synopsis,
+            query,
+            cursor: query.lo,
+            exact: 0,
+        })
+    }
+
+    /// The current snapshot without scanning further.
+    ///
+    /// The remainder's first bucket is bounded with *scan-aware* complement
+    /// information: the cells of that bucket already scanned are known
+    /// exactly, so only the cells outside the query (before `q.lo` / after
+    /// `q.hi`) contribute uncertainty. This keeps the certified interval
+    /// (empirically) non-increasing as the scan proceeds — in particular,
+    /// once the scan covers a whole-bucket prefix the remainder piece of
+    /// that bucket is exact, matching the pre-scan whole-bucket exactness.
+    pub fn answer(&self) -> ProgressiveAnswer {
+        let scanned = self.cursor - self.query.lo;
+        let remaining = self.query.hi + 1 - self.cursor;
+        if remaining == 0 {
+            let e = self.exact as f64;
+            return ProgressiveAnswer {
+                estimate: e,
+                lo: e,
+                hi: e,
+                scanned,
+                remaining,
+            };
+        }
+        let bk = self.synopsis.bucketing();
+        let p = bk.bucket_of(self.cursor);
+        let (left_p, right_p) = (bk.left(p), bk.right(p));
+        // Exactly-known part of bucket p: the scanned cells inside it.
+        let scan_start = self.query.lo.max(left_p);
+        let known: i128 = self.values[scan_start..self.cursor]
+            .iter()
+            .map(|&v| v as i128)
+            .sum();
+        // Unknown bucket-p cells outside the query.
+        let u = self.query.lo.saturating_sub(left_p); // before q.lo
+        let piece_end = self.query.hi.min(right_p);
+        let w = right_p - piece_end; // after q.hi (intra-bucket end)
+        let t = piece_end + 1 - self.cursor; // remainder cells in bucket p
+        let (min_p, max_p) = self.synopsis.extrema(p);
+        let (min_p, max_p) = (min_p as f64, max_p as f64);
+        let sp = self.synopsis.bucket_sum(p) as f64 - known as f64;
+        let uw = (u + w) as f64;
+        let tf = t as f64;
+        let first_lo = (tf * min_p).max(sp - uw * max_p);
+        let first_hi = (tf * max_p).min(sp - uw * min_p);
+        // Tail beyond bucket p (starts at a bucket boundary, so its own
+        // leading piece is a whole-bucket prefix — handled exactly by the
+        // synopsis bounds).
+        let (tail_lo, tail_hi, tail_mid) = if self.query.hi > right_p {
+            let tail = RangeQuery {
+                lo: right_p + 1,
+                hi: self.query.hi,
+            };
+            let b = self.synopsis.bounds(tail);
+            (b.lo, b.hi, self.synopsis.estimate(tail))
+        } else {
+            (0.0, 0.0, 0.0)
+        };
+        let base = self.exact as f64;
+        ProgressiveAnswer {
+            estimate: base + (first_lo + first_hi) / 2.0 + tail_mid,
+            lo: base + first_lo + tail_lo,
+            hi: base + first_hi + tail_hi,
+            scanned,
+            remaining,
+        }
+    }
+
+    /// Scans up to `chunk` more cells and returns the refined snapshot.
+    pub fn refine(&mut self, chunk: usize) -> ProgressiveAnswer {
+        let end = (self.cursor + chunk.max(1)).min(self.query.hi + 1);
+        while self.cursor < end {
+            self.exact += self.values[self.cursor] as i128;
+            self.cursor += 1;
+        }
+        self.answer()
+    }
+
+    /// Runs to completion, collecting one snapshot per chunk (diagnostics /
+    /// UI simulation).
+    pub fn run_to_completion(mut self, chunk: usize) -> Vec<ProgressiveAnswer> {
+        let mut out = vec![self.answer()];
+        while !out.last().expect("non-empty").is_final() {
+            out.push(self.refine(chunk));
+        }
+        out
+    }
+}
+
+/// Convenience: build a bounded synopsis over OPT-A-style equi-width
+/// boundaries for progressive use (callers with an optimized bucketing
+/// should build [`BoundedHistogram`] directly).
+pub fn bounded_synopsis(
+    values: &[i64],
+    ps: &PrefixSums,
+    buckets: usize,
+) -> Result<BoundedHistogram> {
+    let b = Bucketing::equi_width(values.len(), buckets)?;
+    BoundedHistogram::build(b, values, ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(vals: &[i64]) -> (PrefixSums, BoundedHistogram) {
+        let ps = PrefixSums::from_values(vals);
+        let h = bounded_synopsis(vals, &ps, 3).unwrap();
+        (ps, h)
+    }
+
+    #[test]
+    fn refinement_converges_to_the_exact_answer() {
+        let vals = vec![12i64, 9, 4, 1, 1, 0, 2, 14, 13, 6, 2, 1];
+        let (ps, h) = setup(&vals);
+        let q = RangeQuery { lo: 2, hi: 10 };
+        let truth = ps.answer(q) as f64;
+        let snaps = ProgressiveQuery::new(&vals, &h, q)
+            .unwrap()
+            .run_to_completion(2);
+        // Every snapshot's certified interval contains the truth.
+        for s in &snaps {
+            assert!(s.lo - 1e-9 <= truth && truth <= s.hi + 1e-9, "{s:?}");
+            assert!(s.lo <= s.estimate + 1e-9 && s.estimate <= s.hi + 1e-9);
+        }
+        // Bounds shrink monotonically to zero width.
+        for w in snaps.windows(2) {
+            assert!(w[1].hi - w[1].lo <= w[0].hi - w[0].lo + 1e-9);
+        }
+        let last = snaps.last().unwrap();
+        assert!(last.is_final());
+        assert_eq!(last.estimate, truth);
+        assert_eq!(last.scanned, q.len());
+    }
+
+    #[test]
+    fn initial_answer_matches_the_synopsis() {
+        let vals = vec![5i64, 1, 8, 8, 2, 9, 0, 3, 7];
+        let (_, h) = setup(&vals);
+        let q = RangeQuery { lo: 1, hi: 7 };
+        let p = ProgressiveQuery::new(&vals, &h, q).unwrap();
+        let first = p.answer();
+        assert_eq!(first.scanned, 0);
+        assert_eq!(first.remaining, 7);
+        assert!((first.estimate - h.estimate(q)).abs() < 1e-9);
+        let b = h.bounds(q);
+        assert!((first.lo - b.lo).abs() < 1e-9 && (first.hi - b.hi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_refine_with_huge_chunk_finishes_immediately() {
+        let vals = vec![4i64, 7, 7, 2];
+        let (ps, h) = setup(&vals);
+        let q = RangeQuery { lo: 0, hi: 3 };
+        let mut p = ProgressiveQuery::new(&vals, &h, q).unwrap();
+        let s = p.refine(1000);
+        assert!(s.is_final());
+        assert_eq!(s.estimate, ps.answer(q) as f64);
+    }
+
+    #[test]
+    fn zero_chunk_is_clamped_to_progress() {
+        let vals = vec![1i64, 2, 3];
+        let (_, h) = setup(&vals);
+        let mut p = ProgressiveQuery::new(&vals, &h, RangeQuery { lo: 0, hi: 2 }).unwrap();
+        let s = p.refine(0); // max(1) ⇒ still advances
+        assert_eq!(s.scanned, 1);
+    }
+
+    #[test]
+    fn validation() {
+        let vals = vec![1i64, 2, 3];
+        let ps = PrefixSums::from_values(&vals);
+        let h = bounded_synopsis(&vals, &ps, 2).unwrap();
+        assert!(ProgressiveQuery::new(&vals, &h, RangeQuery { lo: 0, hi: 5 }).is_err());
+        let other = vec![1i64, 2, 3, 4];
+        assert!(ProgressiveQuery::new(&other, &h, RangeQuery { lo: 0, hi: 2 }).is_err());
+    }
+}

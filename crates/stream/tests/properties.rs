@@ -1,0 +1,115 @@
+//! Property-based tests for the streaming-maintenance subsystem: after any
+//! update sequence, maintained state must match a from-scratch rebuild.
+
+use proptest::prelude::*;
+use synoptic_core::{PrefixSums, RangeEstimator, RangeQuery};
+use synoptic_stream::{Fenwick, StreamingHaar, StreamingRangeOptimal};
+use synoptic_wavelet::RangeOptimalWavelet;
+
+/// A starting array plus a bounded update script.
+fn arb_scenario() -> impl Strategy<Value = (Vec<i64>, Vec<(usize, i64)>)> {
+    prop::collection::vec(0i64..60, 2..20).prop_flat_map(|vals| {
+        let n = vals.len();
+        let updates = prop::collection::vec((0..n, -15i64..30), 0..60);
+        (Just(vals), updates)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fenwick_matches_reference_after_any_script((vals, ups) in arb_scenario()) {
+        let mut f = Fenwick::from_values(&vals);
+        let mut reference = vals.clone();
+        for &(i, d) in &ups {
+            f.update(i, d);
+            reference[i] += d;
+        }
+        prop_assert_eq!(f.to_values(), reference.clone());
+        let ps = PrefixSums::from_values(&reference);
+        for i in 0..=reference.len() {
+            prop_assert_eq!(f.prefix(i), ps.p(i));
+        }
+    }
+
+    #[test]
+    fn streaming_haar_equals_rebuild((vals, ups) in arb_scenario()) {
+        let mut sh = StreamingHaar::new(&vals).unwrap();
+        let mut reference = vals.clone();
+        for &(i, d) in &ups {
+            sh.update(i, d).unwrap();
+            reference[i] += d;
+        }
+        let fresh = StreamingHaar::new(&reference).unwrap();
+        for (a, b) in sh.dense().iter().zip(fresh.dense()) {
+            prop_assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()), "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn streaming_range_optimal_snapshot_equals_rebuild((vals, ups) in arb_scenario()) {
+        let mut sr = StreamingRangeOptimal::new(&vals).unwrap();
+        let mut reference = vals.clone();
+        for &(i, d) in &ups {
+            sr.update(i, d).unwrap();
+            reference[i] += d;
+        }
+        let ps = PrefixSums::from_values(&reference);
+        let b = 6;
+        let live = sr.snapshot(b);
+        let scratch = RangeOptimalWavelet::build(&ps, b);
+        for q in RangeQuery::all(reference.len()) {
+            let (x, y) = (live.estimate(q), scratch.estimate(q));
+            prop_assert!((x - y).abs() <= 1e-5 * (1.0 + y.abs()),
+                "{:?}: {} vs {}", q, x, y);
+        }
+    }
+}
+
+mod progressive_props {
+    use proptest::prelude::*;
+    use synoptic_core::{PrefixSums, RangeQuery};
+    use synoptic_stream::progressive::{bounded_synopsis, ProgressiveQuery};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// For any data, query, and chunk schedule: every certified interval
+        /// contains the truth and the final snapshot is exact.
+        #[test]
+        fn progressive_intervals_are_always_sound(
+            (vals, lo_frac, hi_frac, chunk) in (
+                prop::collection::vec(0i64..80, 3..24),
+                0.0f64..1.0,
+                0.0f64..1.0,
+                1usize..5,
+            )
+        ) {
+            let n = vals.len();
+            let a = ((lo_frac * n as f64) as usize).min(n - 1);
+            let b = ((hi_frac * n as f64) as usize).min(n - 1);
+            let q = RangeQuery { lo: a.min(b), hi: a.max(b) };
+            let ps = PrefixSums::from_values(&vals);
+            let h = bounded_synopsis(&vals, &ps, 3.min(n)).unwrap();
+            let truth = ps.answer(q) as f64;
+            let snaps = ProgressiveQuery::new(&vals, &h, q)
+                .unwrap()
+                .run_to_completion(chunk);
+            for s in &snaps {
+                prop_assert!(s.lo - 1e-9 <= truth && truth <= s.hi + 1e-9, "{:?}", s);
+                prop_assert!(s.lo <= s.estimate + 1e-9 && s.estimate <= s.hi + 1e-9);
+            }
+            let last = snaps.last().unwrap();
+            prop_assert!(last.is_final());
+            prop_assert!((last.estimate - truth).abs() < 1e-9);
+            // Widths never grow.
+            for w in snaps.windows(2) {
+                prop_assert!(
+                    w[1].hi - w[1].lo <= w[0].hi - w[0].lo + 1e-9,
+                    "width grew: {:?} -> {:?}", w[0], w[1]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The joint attribute-value distribution and its 2-D prefix sums.
+
+use synoptic_core::{Result, SynopticError};
+
+/// An inclusive rectangle query `[x0, x1] × [y0, y1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RectQuery {
+    /// Left column (inclusive).
+    pub x0: usize,
+    /// Right column (inclusive).
+    pub x1: usize,
+    /// Bottom row (inclusive).
+    pub y0: usize,
+    /// Top row (inclusive).
+    pub y1: usize,
+}
+
+impl RectQuery {
+    /// Creates a rectangle, validating the corner ordering.
+    pub fn new(x0: usize, x1: usize, y0: usize, y1: usize) -> Result<Self> {
+        if x0 > x1 {
+            return Err(SynopticError::InvalidRange { lo: x0, hi: x1 });
+        }
+        if y0 > y1 {
+            return Err(SynopticError::InvalidRange { lo: y0, hi: y1 });
+        }
+        Ok(Self { x0, x1, y0, y1 })
+    }
+
+    /// Number of cells covered.
+    pub fn area(&self) -> usize {
+        (self.x1 - self.x0 + 1) * (self.y1 - self.y0 + 1)
+    }
+
+    /// Iterator over every rectangle on an `nx × ny` grid —
+    /// `nx(nx+1)/2 · ny(ny+1)/2` of them.
+    pub fn all(nx: usize, ny: usize) -> impl Iterator<Item = RectQuery> {
+        (0..nx).flat_map(move |x0| {
+            (x0..nx).flat_map(move |x1| {
+                (0..ny).flat_map(move |y0| {
+                    (y0..ny).map(move |y1| RectQuery { x0, x1, y0, y1 })
+                })
+            })
+        })
+    }
+
+    /// Total rectangle count on an `nx × ny` grid.
+    pub fn count_all(nx: usize, ny: usize) -> u64 {
+        let rx = nx as u64 * (nx as u64 + 1) / 2;
+        let ry = ny as u64 * (ny as u64 + 1) / 2;
+        rx * ry
+    }
+}
+
+/// A dense `nx × ny` grid of integer frequencies (row-major: `a[x][y]` at
+/// `x·ny + y`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid2D {
+    nx: usize,
+    ny: usize,
+    values: Vec<i64>,
+}
+
+impl Grid2D {
+    /// Wraps a row-major frequency grid.
+    pub fn new(nx: usize, ny: usize, values: Vec<i64>) -> Result<Self> {
+        if nx == 0 || ny == 0 {
+            return Err(SynopticError::EmptyInput);
+        }
+        if values.len() != nx * ny {
+            return Err(SynopticError::InvalidParameter(format!(
+                "expected {} values for a {nx}×{ny} grid, got {}",
+                nx * ny,
+                values.len()
+            )));
+        }
+        Ok(Self { nx, ny, values })
+    }
+
+    /// An all-zero grid.
+    pub fn zeros(nx: usize, ny: usize) -> Result<Self> {
+        Self::new(nx, ny, vec![0; nx * ny])
+    }
+
+    /// Grid width (x extent).
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height (y extent).
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Frequency at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> i64 {
+        self.values[x * self.ny + y]
+    }
+
+    /// Mutable access to `(x, y)`.
+    pub fn get_mut(&mut self, x: usize, y: usize) -> &mut i64 {
+        &mut self.values[x * self.ny + y]
+    }
+
+    /// Raw row-major values.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> i128 {
+        self.values.iter().map(|&v| v as i128).sum()
+    }
+
+    /// Exact 2-D prefix sums.
+    pub fn prefix_sums(&self) -> PrefixSums2D {
+        PrefixSums2D::from_grid(self)
+    }
+}
+
+/// Exact 2-D prefix sums `P[x][y] = Σ_{i<x, j<y} A[i][j]` with
+/// `(nx+1)(ny+1)` entries, answering any rectangle by inclusion–exclusion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixSums2D {
+    nx: usize,
+    ny: usize,
+    /// `(nx+1) × (ny+1)` row-major table.
+    p: Vec<i128>,
+}
+
+impl PrefixSums2D {
+    /// Builds from a grid in O(nx·ny).
+    pub fn from_grid(g: &Grid2D) -> Self {
+        let (nx, ny) = (g.nx, g.ny);
+        let w = ny + 1;
+        let mut p = vec![0i128; (nx + 1) * w];
+        for x in 0..nx {
+            let mut row_acc = 0i128;
+            for y in 0..ny {
+                row_acc += g.get(x, y) as i128;
+                p[(x + 1) * w + (y + 1)] = p[x * w + (y + 1)] + row_acc;
+            }
+        }
+        Self { nx, ny, p }
+    }
+
+    /// Grid width.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// `P[x][y]` (corner-exclusive prefix).
+    #[inline]
+    pub fn p(&self, x: usize, y: usize) -> i128 {
+        self.p[x * (self.ny + 1) + y]
+    }
+
+    /// Exact rectangle sum by inclusion–exclusion.
+    pub fn answer(&self, q: RectQuery) -> i128 {
+        debug_assert!(q.x1 < self.nx && q.y1 < self.ny);
+        self.p(q.x1 + 1, q.y1 + 1) - self.p(q.x0, q.y1 + 1) - self.p(q.x1 + 1, q.y0)
+            + self.p(q.x0, q.y0)
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> i128 {
+        self.p(self.nx, self.ny)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid2D {
+        // 3×4 grid, values 1..=12 row-major.
+        Grid2D::new(3, 4, (1..=12).collect()).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Grid2D::new(0, 3, vec![]).is_err());
+        assert!(Grid2D::new(2, 2, vec![1, 2, 3]).is_err());
+        assert!(Grid2D::zeros(2, 2).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let g = grid();
+        assert_eq!((g.nx(), g.ny()), (3, 4));
+        assert_eq!(g.get(0, 0), 1);
+        assert_eq!(g.get(2, 3), 12);
+        assert_eq!(g.total(), 78);
+        let mut g = g;
+        *g.get_mut(1, 1) += 5;
+        assert_eq!(g.get(1, 1), 11);
+    }
+
+    #[test]
+    fn prefix_sums_answer_every_rectangle() {
+        let g = grid();
+        let ps = g.prefix_sums();
+        assert_eq!(ps.total(), 78);
+        for q in RectQuery::all(3, 4) {
+            let mut brute = 0i128;
+            for x in q.x0..=q.x1 {
+                for y in q.y0..=q.y1 {
+                    brute += g.get(x, y) as i128;
+                }
+            }
+            assert_eq!(ps.answer(q), brute, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn rect_query_enumeration_and_count() {
+        let all: Vec<_> = RectQuery::all(3, 2).collect();
+        assert_eq!(all.len() as u64, RectQuery::count_all(3, 2));
+        assert_eq!(RectQuery::count_all(3, 2), 6 * 3);
+        for q in &all {
+            assert!(q.x0 <= q.x1 && q.y0 <= q.y1);
+        }
+        assert_eq!(RectQuery::new(0, 1, 0, 1).unwrap().area(), 4);
+        assert!(RectQuery::new(2, 1, 0, 0).is_err());
+        assert!(RectQuery::new(0, 0, 3, 1).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # synoptic-twod
+//!
+//! Two-dimensional range-sum synopses — the "straightforward extension … to
+//! higher dimensions" the paper flags as possible but defers (§1,
+//! footnote 2). This crate builds the 2-D substrate and the natural
+//! counterparts of the 1-D methods:
+//!
+//! * [`grid`] — the joint attribute-value distribution `A[x][y]`, exact 2-D
+//!   prefix sums with inclusion–exclusion, and rectangle queries.
+//! * [`hist2d`] — tile histograms: a regular `g×g` grid partition and a
+//!   greedy recursive-split (MHIST-style) partition, both storing per-tile
+//!   averages.
+//! * [`wavelet2d`] — the standard (tensor) 2-D Haar transform with top-B
+//!   coefficient thresholding: point-wise optimal by Parseval, answering
+//!   rectangle sums in O(B) via products of 1-D basis range sums.
+//! * [`sse2d`] — exact SSE over **all** rectangles (the 2-D analog of the
+//!   paper's objective), by brute force over the `≈ n_x²·n_y²/4` rectangles.
+//!
+//! The 1-D paper's *optimal* bucketing DP does not carry over — 2-D
+//! partitioning into arbitrary tiles is NP-hard territory (hence MHIST-style
+//! greedy heuristics here), which is presumably why the paper calls for
+//! "more extensive investigation".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod hist2d;
+pub mod sse2d;
+pub mod wavelet2d;
+
+pub use grid::{Grid2D, PrefixSums2D, RectQuery};
+pub use hist2d::{GreedyTileHistogram, GridHistogram};
+pub use sse2d::{sse2d_brute, RectEstimator};
+pub use wavelet2d::Wavelet2D;

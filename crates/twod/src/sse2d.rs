@@ -1,0 +1,109 @@
+//! The 2-D quality objective: SSE over all rectangles.
+
+use crate::grid::{PrefixSums2D, RectQuery};
+
+/// A synopsis answering rectangle-sum queries.
+pub trait RectEstimator {
+    /// Grid width the synopsis was built for.
+    fn nx(&self) -> usize;
+    /// Grid height.
+    fn ny(&self) -> usize;
+    /// Estimated rectangle sum.
+    fn estimate(&self, q: RectQuery) -> f64;
+    /// Storage footprint in words.
+    fn storage_words(&self) -> usize;
+    /// Short method name.
+    fn method_name(&self) -> &str;
+}
+
+impl<T: RectEstimator + ?Sized> RectEstimator for &T {
+    fn nx(&self) -> usize {
+        (**self).nx()
+    }
+    fn ny(&self) -> usize {
+        (**self).ny()
+    }
+    fn estimate(&self, q: RectQuery) -> f64 {
+        (**self).estimate(q)
+    }
+    fn storage_words(&self) -> usize {
+        (**self).storage_words()
+    }
+    fn method_name(&self) -> &str {
+        (**self).method_name()
+    }
+}
+
+/// Exact SSE over every rectangle:
+/// `Σ_{all rects} (s(rect) − ŝ(rect))²` — `≈ nx²·ny²/4` queries, fine for
+/// the grid sizes this crate targets (≤ 64×64).
+pub fn sse2d_brute<E: RectEstimator>(est: &E, ps: &PrefixSums2D) -> f64 {
+    assert_eq!(est.nx(), ps.nx());
+    assert_eq!(est.ny(), ps.ny());
+    let mut sse = 0.0;
+    for q in RectQuery::all(ps.nx(), ps.ny()) {
+        let d = ps.answer(q) as f64 - est.estimate(q);
+        sse += d * d;
+    }
+    sse
+}
+
+/// SSE over a fixed rectangle workload.
+pub fn sse2d_workload<E: RectEstimator>(
+    est: &E,
+    ps: &PrefixSums2D,
+    queries: &[RectQuery],
+) -> f64 {
+    let mut sse = 0.0;
+    for &q in queries {
+        let d = ps.answer(q) as f64 - est.estimate(q);
+        sse += d * d;
+    }
+    sse
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid2D;
+
+    struct Zero {
+        nx: usize,
+        ny: usize,
+    }
+    impl RectEstimator for Zero {
+        fn nx(&self) -> usize {
+            self.nx
+        }
+        fn ny(&self) -> usize {
+            self.ny
+        }
+        fn estimate(&self, _q: RectQuery) -> f64 {
+            0.0
+        }
+        fn storage_words(&self) -> usize {
+            0
+        }
+        fn method_name(&self) -> &str {
+            "ZERO"
+        }
+    }
+
+    #[test]
+    fn zero_estimator_sse_is_sum_of_squared_answers() {
+        let g = Grid2D::new(2, 2, vec![1, 2, 3, 4]).unwrap();
+        let ps = g.prefix_sums();
+        let z = Zero { nx: 2, ny: 2 };
+        let want: f64 = RectQuery::all(2, 2)
+            .map(|q| (ps.answer(q) as f64).powi(2))
+            .sum();
+        assert_eq!(sse2d_brute(&z, &ps), want);
+        // Workload restriction.
+        let some = vec![RectQuery::new(0, 1, 0, 1).unwrap()];
+        assert_eq!(sse2d_workload(&z, &ps, &some), 100.0);
+        // Blanket &T impl delegates.
+        let r: &dyn RectEstimator = &z;
+        assert_eq!((&r).method_name(), "ZERO");
+        assert_eq!((&r).storage_words(), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! The standard (tensor) 2-D Haar synopsis with top-B thresholding.
+//!
+//! The 2-D transform applies the orthonormal 1-D transform to every row and
+//! then to every column; the basis is the tensor product
+//! `h_{cx}(x)·h_{cy}(y)`, so a rectangle sum of one basis function is the
+//! *product* of two O(1) 1-D range sums and a `B`-coefficient synopsis
+//! answers any rectangle in O(B). By Parseval, keeping the `B` largest
+//! coefficients is point-wise (cell-wise) optimal — the 2-D counterpart of
+//! the point-top-B baseline, and the natural comparator for the tile
+//! histograms of [`crate::hist2d`].
+
+use crate::grid::{Grid2D, RectQuery};
+use crate::sse2d::RectEstimator;
+use synoptic_wavelet::haar::{forward, next_pow2, BasisFn};
+
+/// A sparse 2-D Haar synopsis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wavelet2D {
+    nx: usize,
+    ny: usize,
+    /// Padded power-of-two extents.
+    px: usize,
+    py: usize,
+    /// `(cx, cy, value)` retained coefficients.
+    coeffs: Vec<(u32, u32, f64)>,
+}
+
+impl Wavelet2D {
+    /// Builds the synopsis keeping `b` coefficients (zero-padding to powers
+    /// of two, O(px·py·log) transform).
+    pub fn build(g: &Grid2D, b: usize) -> Self {
+        let (nx, ny) = (g.nx(), g.ny());
+        let (px, py) = (next_pow2(nx), next_pow2(ny));
+        // Row-major padded matrix, rows indexed by x.
+        let mut m = vec![0.0f64; px * py];
+        for x in 0..nx {
+            for y in 0..ny {
+                m[x * py + y] = g.get(x, y) as f64;
+            }
+        }
+        // Transform rows (y direction)…
+        let mut rowbuf = vec![0.0f64; py];
+        for x in 0..px {
+            rowbuf.copy_from_slice(&m[x * py..(x + 1) * py]);
+            forward(&mut rowbuf);
+            m[x * py..(x + 1) * py].copy_from_slice(&rowbuf);
+        }
+        // …then columns (x direction).
+        let mut colbuf = vec![0.0f64; px];
+        for y in 0..py {
+            for x in 0..px {
+                colbuf[x] = m[x * py + y];
+            }
+            forward(&mut colbuf);
+            for x in 0..px {
+                m[x * py + y] = colbuf[x];
+            }
+        }
+        // Top-B by |value| (deterministic tie-break on indices).
+        let mut order: Vec<usize> = (0..m.len()).collect();
+        order.sort_by(|&a, &bb| m[bb].abs().total_cmp(&m[a].abs()).then(a.cmp(&bb)));
+        let mut coeffs: Vec<(u32, u32, f64)> = order
+            .into_iter()
+            .take(b)
+            .filter(|&i| m[i] != 0.0)
+            .map(|i| ((i / py) as u32, (i % py) as u32, m[i]))
+            .collect();
+        coeffs.sort_unstable_by_key(|&(cx, cy, _)| (cx, cy));
+        Self {
+            nx,
+            ny,
+            px,
+            py,
+            coeffs,
+        }
+    }
+
+    /// Retained `(cx, cy, value)` coefficients.
+    pub fn coeffs(&self) -> &[(u32, u32, f64)] {
+        &self.coeffs
+    }
+
+    /// Cell-wise reconstruction at `(x, y)` in O(B).
+    pub fn eval(&self, x: usize, y: usize) -> f64 {
+        self.coeffs
+            .iter()
+            .map(|&(cx, cy, v)| {
+                v * BasisFn::for_index(cx as usize, self.px).eval(x)
+                    * BasisFn::for_index(cy as usize, self.py).eval(y)
+            })
+            .sum()
+    }
+}
+
+impl RectEstimator for Wavelet2D {
+    fn nx(&self) -> usize {
+        self.nx
+    }
+    fn ny(&self) -> usize {
+        self.ny
+    }
+    fn estimate(&self, q: RectQuery) -> f64 {
+        self.coeffs
+            .iter()
+            .map(|&(cx, cy, v)| {
+                v * BasisFn::for_index(cx as usize, self.px).range_sum(q.x0, q.x1)
+                    * BasisFn::for_index(cy as usize, self.py).range_sum(q.y0, q.y1)
+            })
+            .sum()
+    }
+    fn storage_words(&self) -> usize {
+        // (cx, cy) pack into one index word + one value word.
+        2 * self.coeffs.len()
+    }
+    fn method_name(&self) -> &str {
+        "WAVELET-2D"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::PrefixSums2D;
+    use crate::sse2d::sse2d_brute;
+
+    fn grid() -> Grid2D {
+        let mut g = Grid2D::zeros(4, 4).unwrap();
+        for x in 0..4 {
+            for y in 0..4 {
+                *g.get_mut(x, y) = ((x * 5 + y * 3) % 11) as i64;
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn full_budget_reconstructs_exactly() {
+        let g = grid();
+        let ps = PrefixSums2D::from_grid(&g);
+        let w = Wavelet2D::build(&g, 16);
+        for x in 0..4 {
+            for y in 0..4 {
+                assert!(
+                    (w.eval(x, y) - g.get(x, y) as f64).abs() < 1e-9,
+                    "cell ({x},{y})"
+                );
+            }
+        }
+        assert!(sse2d_brute(&w, &ps) < 1e-6);
+    }
+
+    #[test]
+    fn rectangle_sums_match_cellwise_reconstruction() {
+        let g = grid();
+        let w = Wavelet2D::build(&g, 5);
+        for q in RectQuery::all(4, 4) {
+            let direct: f64 = (q.x0..=q.x1)
+                .flat_map(|x| (q.y0..=q.y1).map(move |y| (x, y)))
+                .map(|(x, y)| w.eval(x, y))
+                .sum();
+            assert!(
+                (w.estimate(q) - direct).abs() < 1e-9,
+                "{q:?}: {} vs {direct}",
+                w.estimate(q)
+            );
+        }
+    }
+
+    #[test]
+    fn parseval_l2_decreases_with_budget() {
+        let g = grid();
+        let l2 = |w: &Wavelet2D| -> f64 {
+            (0..4)
+                .flat_map(|x| (0..4).map(move |y| (x, y)))
+                .map(|(x, y)| {
+                    let d = w.eval(x, y) - g.get(x, y) as f64;
+                    d * d
+                })
+                .sum()
+        };
+        let mut prev = f64::INFINITY;
+        for b in [1usize, 2, 4, 8, 16] {
+            let w = Wavelet2D::build(&g, b);
+            let e = l2(&w);
+            assert!(e <= prev + 1e-9, "b={b}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn constant_grid_needs_one_coefficient() {
+        let g = Grid2D::new(4, 8, vec![6; 32]).unwrap();
+        let ps = PrefixSums2D::from_grid(&g);
+        let w = Wavelet2D::build(&g, 1);
+        assert_eq!(w.coeffs().len(), 1);
+        assert_eq!(w.coeffs()[0].0, 0);
+        assert_eq!(w.coeffs()[0].1, 0);
+        assert!(sse2d_brute(&w, &ps) < 1e-6);
+    }
+
+    #[test]
+    fn non_pow2_grids_are_padded() {
+        let g = Grid2D::new(3, 5, (0..15).collect()).unwrap();
+        let ps = PrefixSums2D::from_grid(&g);
+        let w = Wavelet2D::build(&g, 8 * 4); // full padded budget
+        assert!(sse2d_brute(&w, &ps) < 1e-6);
+        assert_eq!((w.nx(), w.ny()), (3, 5));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the 2-D substrate and synopses.
+
+use proptest::prelude::*;
+use synoptic_twod::{
+    sse2d_brute, GreedyTileHistogram, Grid2D, GridHistogram, PrefixSums2D, RectEstimator,
+    RectQuery, Wavelet2D,
+};
+
+fn arb_grid() -> impl Strategy<Value = Grid2D> {
+    (1usize..7, 1usize..7)
+        .prop_flat_map(|(nx, ny)| {
+            prop::collection::vec(0i64..100, nx * ny).prop_map(move |v| {
+                Grid2D::new(nx, ny, v).expect("dimensions match")
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prefix_sums_answer_all_rectangles_exactly(g in arb_grid()) {
+        let ps = PrefixSums2D::from_grid(&g);
+        for q in RectQuery::all(g.nx(), g.ny()) {
+            let mut brute = 0i128;
+            for x in q.x0..=q.x1 {
+                for y in q.y0..=q.y1 {
+                    brute += g.get(x, y) as i128;
+                }
+            }
+            prop_assert_eq!(ps.answer(q), brute);
+        }
+    }
+
+    #[test]
+    fn full_resolution_synopses_are_exact(g in arb_grid()) {
+        let ps = g.prefix_sums();
+        let (nx, ny) = (g.nx(), g.ny());
+        // Grid histogram with one tile per cell.
+        let h = GridHistogram::build(&ps, nx, ny).unwrap();
+        prop_assert!(sse2d_brute(&h, &ps) < 1e-6);
+        // Greedy with one tile per cell can always reach zero.
+        let gt = GreedyTileHistogram::build(&g, &ps, nx * ny).unwrap();
+        prop_assert!(sse2d_brute(&gt, &ps) < 1e-6);
+        // Wavelet with full padded budget.
+        let w = Wavelet2D::build(&g, nx.next_power_of_two() * ny.next_power_of_two());
+        prop_assert!(sse2d_brute(&w, &ps) < 1e-5);
+    }
+
+    #[test]
+    fn whole_domain_query_is_exact_for_tile_histograms(g in arb_grid()) {
+        let ps = g.prefix_sums();
+        let full = RectQuery { x0: 0, x1: g.nx() - 1, y0: 0, y1: g.ny() - 1 };
+        let h = GridHistogram::build(&ps, 1.max(g.nx() / 2), 1.max(g.ny() / 2)).unwrap();
+        prop_assert!((h.estimate(full) - ps.total() as f64).abs() < 1e-6);
+        let gt = GreedyTileHistogram::build(&g, &ps, 3.min(g.nx() * g.ny())).unwrap();
+        prop_assert!((gt.estimate(full) - ps.total() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn greedy_tiles_partition_the_domain(g in arb_grid()) {
+        let ps = g.prefix_sums();
+        let t = 5.min(g.nx() * g.ny());
+        let h = GreedyTileHistogram::build(&g, &ps, t).unwrap();
+        // Every cell covered exactly once.
+        let mut cover = vec![0u8; g.nx() * g.ny()];
+        for tile in h.tiles() {
+            for x in tile.rect.x0..=tile.rect.x1 {
+                for y in tile.rect.y0..=tile.rect.y1 {
+                    cover[x * g.ny() + y] += 1;
+                }
+            }
+        }
+        prop_assert!(cover.iter().all(|&c| c == 1), "cover: {:?}", cover);
+    }
+
+    #[test]
+    fn wavelet_estimates_are_finite_and_storage_bounded(g in arb_grid()) {
+        for b in [1usize, 3, 6] {
+            let w = Wavelet2D::build(&g, b);
+            prop_assert!(w.storage_words() <= 2 * b);
+            for q in RectQuery::all(g.nx(), g.ny()) {
+                prop_assert!(w.estimate(q).is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The 1-D orthonormal Haar transform and O(1) basis-function evaluation.
+//!
+//! Coefficients use the standard Mallat layout for a signal of length
+//! `N = 2^L`:
+//!
+//! * index `0` — the scaling coefficient (`φ(x) = 1/√N`),
+//! * indices `c ∈ [2^j, 2^{j+1})`, `j = 0..L` — the `2^j` wavelets of level
+//!   `j`, each supported on a block of `N / 2^j` positions with amplitude
+//!   `√(2^j / N)`, positive on the first half of its block and negative on
+//!   the second.
+//!
+//! The transform is orthonormal: `‖data‖₂ = ‖coeffs‖₂` (Parseval), which is
+//! what makes largest-`B` coefficient thresholding L2-optimal.
+
+/// Smallest power of two ≥ `n` (and ≥ 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward orthonormal Haar transform.
+///
+/// # Panics
+/// If the length is not a power of two.
+pub fn forward(data: &mut [f64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    let mut scratch = vec![0.0; n];
+    let mut len = n;
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    while len > 1 {
+        let half = len / 2;
+        for i in 0..half {
+            let a = data[2 * i];
+            let b = data[2 * i + 1];
+            scratch[i] = (a + b) * inv_sqrt2;
+            scratch[half + i] = (a - b) * inv_sqrt2;
+        }
+        data[..len].copy_from_slice(&scratch[..len]);
+        len = half;
+    }
+}
+
+/// In-place inverse orthonormal Haar transform.
+///
+/// # Panics
+/// If the length is not a power of two.
+pub fn inverse(data: &mut [f64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    let mut scratch = vec![0.0; n];
+    let mut len = 2;
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    while len <= n {
+        let half = len / 2;
+        for i in 0..half {
+            let s = data[i];
+            let d = data[half + i];
+            scratch[2 * i] = (s + d) * inv_sqrt2;
+            scratch[2 * i + 1] = (s - d) * inv_sqrt2;
+        }
+        data[..len].copy_from_slice(&scratch[..len]);
+        len *= 2;
+    }
+}
+
+/// Geometry of one Haar basis function over a domain of length `n` (a power
+/// of two).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BasisFn {
+    /// Support start (inclusive).
+    pub start: usize,
+    /// Midpoint: positive part is `[start, mid)`, negative is `[mid, end)`.
+    pub mid: usize,
+    /// Support end (exclusive).
+    pub end: usize,
+    /// Amplitude `√(2^level / n)`; the scaling function has `mid == end`
+    /// and amplitude `1/√n` (all-positive).
+    pub amp: f64,
+}
+
+impl BasisFn {
+    /// The basis function for coefficient index `c` in the Mallat layout.
+    pub fn for_index(c: usize, n: usize) -> Self {
+        debug_assert!(n.is_power_of_two() && c < n);
+        if c == 0 {
+            return Self {
+                start: 0,
+                mid: n,
+                end: n,
+                amp: 1.0 / (n as f64).sqrt(),
+            };
+        }
+        let level = usize::BITS - 1 - c.leading_zeros(); // floor(log2 c)
+        let j = level as usize;
+        let k = c - (1usize << j);
+        let block = n >> j;
+        let start = k * block;
+        Self {
+            start,
+            mid: start + block / 2,
+            end: start + block,
+            amp: ((1usize << j) as f64 / n as f64).sqrt(),
+        }
+    }
+
+    /// Value of the basis function at position `x`.
+    #[inline]
+    pub fn eval(&self, x: usize) -> f64 {
+        if x < self.start || x >= self.end {
+            0.0
+        } else if x < self.mid {
+            self.amp
+        } else {
+            -self.amp
+        }
+    }
+
+    /// `Σ_{a ≤ x ≤ b}` of the basis function over an inclusive range — O(1).
+    pub fn range_sum(&self, a: usize, b: usize) -> f64 {
+        if b < self.start || a >= self.end {
+            return 0.0;
+        }
+        let overlap = |lo: usize, hi: usize| -> f64 {
+            // overlap of [a, b] (inclusive) with [lo, hi) as a count
+            let s = a.max(lo);
+            let e = (b + 1).min(hi);
+            e.saturating_sub(s) as f64
+        };
+        self.amp * (overlap(self.start, self.mid) - overlap(self.mid, self.end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(127), 128);
+        assert_eq!(next_pow2(128), 128);
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [1usize, 2, 4, 8, 32] {
+            let orig: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 23) as f64 - 7.0).collect();
+            let mut data = orig.clone();
+            forward(&mut data);
+            inverse(&mut data);
+            for (a, b) in orig.iter().zip(&data) {
+                assert!((a - b).abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_is_orthonormal() {
+        let orig: Vec<f64> = vec![3.0, -1.0, 4.0, 1.0, -5.0, 9.0, 2.0, 6.0];
+        let mut data = orig.clone();
+        forward(&mut data);
+        let e1: f64 = orig.iter().map(|x| x * x).sum();
+        let e2: f64 = data.iter().map(|x| x * x).sum();
+        assert!((e1 - e2).abs() < 1e-9, "Parseval: {e1} vs {e2}");
+    }
+
+    #[test]
+    fn known_small_transform() {
+        // [1, 1, 1, 1] → scaling 2, all details 0 (orthonormal: Σ/√4 per
+        // level twice ⇒ 4·(1/2) = 2).
+        let mut data = vec![1.0, 1.0, 1.0, 1.0];
+        forward(&mut data);
+        assert!((data[0] - 2.0).abs() < 1e-12);
+        for &d in &data[1..] {
+            assert!(d.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coefficients_are_inner_products_with_basis() {
+        let n = 16usize;
+        let signal: Vec<f64> = (0..n).map(|i| ((i * i * 13 + 5) % 29) as f64).collect();
+        let mut coeffs = signal.clone();
+        forward(&mut coeffs);
+        for (c, &coeff) in coeffs.iter().enumerate() {
+            let basis = BasisFn::for_index(c, n);
+            let ip: f64 = signal.iter().enumerate().map(|(x, &v)| v * basis.eval(x)).sum();
+            assert!(
+                (coeff - ip).abs() < 1e-9,
+                "coefficient {c}: transform {coeff} vs inner product {ip}"
+            );
+        }
+    }
+
+    #[test]
+    fn reconstruction_from_basis_functions() {
+        let n = 8usize;
+        let signal: Vec<f64> = vec![5.0, 1.0, -2.0, 8.0, 0.0, 3.0, 3.0, -1.0];
+        let mut coeffs = signal.clone();
+        forward(&mut coeffs);
+        for (x, &want) in signal.iter().enumerate() {
+            let rec: f64 = coeffs
+                .iter()
+                .enumerate()
+                .map(|(c, &v)| v * BasisFn::for_index(c, n).eval(x))
+                .sum();
+            assert!((rec - want).abs() < 1e-9, "position {x}");
+        }
+    }
+
+    #[test]
+    fn basis_geometry() {
+        let n = 8;
+        let b = BasisFn::for_index(0, n);
+        assert_eq!((b.start, b.mid, b.end), (0, 8, 8));
+        let b = BasisFn::for_index(1, n); // level 0, whole domain
+        assert_eq!((b.start, b.mid, b.end), (0, 4, 8));
+        let b = BasisFn::for_index(3, n); // level 1, second half
+        assert_eq!((b.start, b.mid, b.end), (4, 6, 8));
+        let b = BasisFn::for_index(7, n); // level 2, last block
+        assert_eq!((b.start, b.mid, b.end), (6, 7, 8));
+        assert!((b.amp - (4.0f64 / 8.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_sum_matches_pointwise_sum() {
+        let n = 16;
+        for c in 0..n {
+            let basis = BasisFn::for_index(c, n);
+            for a in 0..n {
+                for b in a..n {
+                    let brute: f64 = (a..=b).map(|x| basis.eval(x)).sum();
+                    let fast = basis.range_sum(a, b);
+                    assert!(
+                        (brute - fast).abs() < 1e-12,
+                        "c={c} range=({a},{b}): {fast} vs {brute}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn forward_rejects_non_pow2() {
+        let mut d = vec![1.0, 2.0, 3.0];
+        forward(&mut d);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the wavelet substrate and synopses.
+
+use proptest::prelude::*;
+use synoptic_core::sse::sse_brute;
+use synoptic_core::{PrefixSums, RangeEstimator, RangeQuery};
+use synoptic_wavelet::haar::{forward, inverse, next_pow2, BasisFn};
+use synoptic_wavelet::{PointWaveletSynopsis, PrefixWaveletSynopsis, RangeOptimalWavelet};
+
+fn arb_signal() -> impl Strategy<Value = Vec<f64>> {
+    (1usize..6).prop_flat_map(|log| {
+        prop::collection::vec(-100.0f64..100.0, 1usize << log..=(1usize << log))
+    })
+}
+
+fn arb_values() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(0i64..200, 2..28)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn forward_inverse_roundtrip(signal in arb_signal()) {
+        let mut data = signal.clone();
+        forward(&mut data);
+        inverse(&mut data);
+        for (a, b) in signal.iter().zip(&data) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(signal in arb_signal()) {
+        let mut data = signal.clone();
+        forward(&mut data);
+        let e1: f64 = signal.iter().map(|x| x * x).sum();
+        let e2: f64 = data.iter().map(|x| x * x).sum();
+        prop_assert!((e1 - e2).abs() <= 1e-8 * (1.0 + e1));
+    }
+
+    #[test]
+    fn basis_range_sums_match_pointwise(signal in arb_signal()) {
+        let n = signal.len();
+        for c in 0..n {
+            let basis = BasisFn::for_index(c, n);
+            // Check a few ranges, including full domain.
+            for (a, b) in [(0, n - 1), (0, 0), (n / 2, n - 1)] {
+                let brute: f64 = (a..=b).map(|x| basis.eval(x)).sum();
+                prop_assert!((basis.range_sum(a, b) - brute).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn full_budget_point_synopsis_is_exact(vals in arb_values()) {
+        let ps = PrefixSums::from_values(&vals);
+        let b = next_pow2(vals.len());
+        let w = PointWaveletSynopsis::build(&vals, b);
+        prop_assert!(sse_brute(&w, &ps) < 1e-5);
+    }
+
+    #[test]
+    fn full_budget_prefix_synopsis_is_exact(vals in arb_values()) {
+        let ps = PrefixSums::from_values(&vals);
+        let b = next_pow2(vals.len() + 1);
+        let w = PrefixWaveletSynopsis::build(&ps, b);
+        prop_assert!(sse_brute(&w, &ps) < 1e-5);
+    }
+
+    #[test]
+    fn full_budget_range_optimal_is_exact(vals in arb_values()) {
+        let ps = PrefixSums::from_values(&vals);
+        let nn = next_pow2(vals.len() + 1);
+        let w = RangeOptimalWavelet::build(&ps, 2 * nn - 1);
+        prop_assert!(sse_brute(&w, &ps) < 1e-5);
+    }
+
+    #[test]
+    fn range_optimal_virtual_error_is_monotone_in_budget(vals in arb_values()) {
+        let ps = PrefixSums::from_values(&vals);
+        let mut prev = f64::INFINITY;
+        for b in [1usize, 2, 4, 8, 16] {
+            let w = RangeOptimalWavelet::build(&ps, b);
+            prop_assert!(w.virtual_matrix_error() <= prev + 1e-6);
+            prev = w.virtual_matrix_error();
+        }
+    }
+
+    #[test]
+    fn estimates_are_finite_for_every_budget_and_query(vals in arb_values()) {
+        let ps = PrefixSums::from_values(&vals);
+        let n = vals.len();
+        for b in [1usize, 3, 7] {
+            let estimators: Vec<Box<dyn RangeEstimator>> = vec![
+                Box::new(PointWaveletSynopsis::build(&vals, b)),
+                Box::new(PrefixWaveletSynopsis::build(&ps, b)),
+                Box::new(RangeOptimalWavelet::build(&ps, b)),
+            ];
+            for est in &estimators {
+                for q in RangeQuery::all(n) {
+                    prop_assert!(est.estimate(q).is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn storage_never_exceeds_two_words_per_coefficient(vals in arb_values()) {
+        let ps = PrefixSums::from_values(&vals);
+        for b in [1usize, 4, 9] {
+            prop_assert!(PointWaveletSynopsis::build(&vals, b).storage_words() <= 2 * b);
+            prop_assert!(PrefixWaveletSynopsis::build(&ps, b).storage_words() <= 2 * b);
+            prop_assert!(RangeOptimalWavelet::build(&ps, b).storage_words() <= 2 * b);
+        }
+    }
+
+    #[test]
+    fn range_optimal_endpoint_errors_match_estimates(vals in arb_values()) {
+        use synoptic_core::sse::sse_two_function;
+        let ps = PrefixSums::from_values(&vals);
+        let w = RangeOptimalWavelet::build(&ps, 5);
+        let (e, d) = w.endpoint_errors(&ps);
+        let fast = sse_two_function(&e, &d);
+        let brute = sse_brute(&w, &ps);
+        prop_assert!((fast - brute).abs() <= 1e-6 * (1.0 + brute));
+    }
+}

@@ -1,0 +1,98 @@
+//! A table's statistics catalog: allocate one global storage budget across
+//! columns, persist the chosen synopses, and answer predicates after a
+//! reload — the workflow a database engine wraps around the paper's
+//! algorithms.
+//!
+//! Run with: `cargo run --release --example statistics_catalog`
+
+use synoptic::catalog::{
+    allocate_budget, Catalog, ColumnCurve, ColumnEntry, PersistentSynopsis,
+};
+use synoptic::core::sse::sse_brute;
+use synoptic::data::generators::{normal_mixture, steps, uniform};
+use synoptic::data::zipf::{paper_dataset, ZipfConfig};
+use synoptic::hist::sap0::build_sap0;
+use synoptic::prelude::*;
+
+fn main() -> Result<()> {
+    // Four columns with very different shapes.
+    let columns: Vec<(&str, DataArray, f64)> = vec![
+        (
+            "price",
+            paper_dataset(&ZipfConfig {
+                n: 64,
+                ..ZipfConfig::default()
+            }),
+            3.0, // queried often → higher weight
+        ),
+        ("age", normal_mixture(64, 3, 200.0, 5), 2.0),
+        ("discount", steps(64, 4, 120, 9), 1.0),
+        ("noise", uniform(64, 0, 50, 11), 0.5),
+    ];
+
+    // Per-column error curves for SAP0 on a budget grid.
+    let grid = [6usize, 9, 12, 18, 24, 36, 48];
+    let mut curves = Vec::new();
+    for (name, data, weight) in &columns {
+        let ps = data.prefix_sums();
+        let points: Vec<(usize, f64)> = grid
+            .iter()
+            .filter_map(|&w| {
+                let b = w / 3;
+                if b == 0 {
+                    return None;
+                }
+                let h = build_sap0(&ps, b).ok()?;
+                Some((w, sse_brute(&h, &ps)))
+            })
+            .collect();
+        curves.push(ColumnCurve {
+            name: name.to_string(),
+            weight: *weight,
+            points,
+        });
+    }
+
+    // Split 72 words across the four columns, optimally over the grid.
+    let total_budget = 72;
+    let alloc = allocate_budget(&curves, total_budget)?;
+    println!("global budget: {total_budget} words\n");
+    println!("{:<10} {:>7} {:>14}", "column", "words", "sse at choice");
+    for (name, words, sse) in &alloc.choices {
+        println!("{name:<10} {words:>7} {sse:>14.4e}");
+    }
+    println!(
+        "spent {} words, total weighted SSE {:.4e}\n",
+        alloc.total_words, alloc.total_weighted_sse
+    );
+
+    // Build the allocated synopses and persist the catalog.
+    let mut catalog = Catalog::new();
+    for ((name, data, _), (_, words, _)) in columns.iter().zip(&alloc.choices) {
+        let ps = data.prefix_sums();
+        let h = build_sap0(&ps, (words / 3).max(1))?;
+        catalog.insert(
+            *name,
+            ColumnEntry {
+                n: data.n(),
+                total_rows: ps.total() as i64,
+                synopsis: PersistentSynopsis::from_sap0(&h),
+            },
+        );
+    }
+    let path = std::env::temp_dir().join("synoptic_stats.json");
+    let path = path.to_str().expect("utf-8 temp path");
+    catalog.save(path)?;
+    println!("persisted catalog ({} words) to {path}", catalog.total_words());
+
+    // Reload and answer predicates — no base data needed.
+    let loaded = Catalog::load(path)?;
+    println!("\nreloaded; sample predicates:");
+    for (col, lo, hi) in [("price", 0, 9), ("age", 20, 40), ("discount", 10, 30)] {
+        let est = loaded.estimate(col, RangeQuery::new(lo, hi)?)?;
+        println!("  {col} BETWEEN {lo} AND {hi}  →  ~{est:.0} rows");
+    }
+    println!("\n{}", loaded.summary());
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Synopsis tuning: pick the cheapest summary meeting an accuracy target.
+//!
+//! DBAs rarely ask "what is the SSE at 32 words?" — they ask "how many words
+//! must I spend so a typical BETWEEN estimate is within X rows?". This
+//! example sweeps storage budgets for several methods, prints the
+//! accuracy/storage frontier, and reports the cheapest configuration meeting
+//! the target, exercising the library exactly the way a tuning advisor
+//! would.
+//!
+//! Run with: `cargo run --release --example synopsis_tuning [target_rmse]`
+
+use synoptic::core::sse::mse_from_sse;
+use synoptic::data::zipf::{paper_dataset, ZipfConfig};
+use synoptic::eval::methods::{exact_sse, MethodSpec};
+use synoptic::prelude::*;
+
+fn main() -> Result<()> {
+    let target_rmse: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25.0);
+
+    let data = paper_dataset(&ZipfConfig::default());
+    let ps = data.prefix_sums();
+    println!(
+        "column: {} rows over {} values; target: all-ranges RMSE ≤ {target_rmse} rows\n",
+        ps.total(),
+        data.n()
+    );
+
+    let methods = [
+        MethodSpec::EquiDepth,
+        MethodSpec::PointOpt,
+        MethodSpec::Sap0,
+        MethodSpec::Sap1,
+        MethodSpec::OptA,
+        MethodSpec::OptAReopt,
+        MethodSpec::WaveletRange,
+    ];
+    let budgets = [8usize, 12, 16, 20, 24, 32, 40, 48, 64, 80];
+
+    // Frontier table: RMSE per (method × budget).
+    print!("{:<14}", "words:");
+    for b in budgets {
+        print!("{b:>9}");
+    }
+    println!();
+    let mut winner: Option<(String, usize, f64)> = None;
+    for m in methods {
+        print!("{:<14}", m.name());
+        for b in budgets {
+            match m.build_at_budget(data.values(), &ps, b) {
+                Ok(est) => {
+                    let rmse = mse_from_sse(exact_sse(est.as_ref(), &ps), data.n()).sqrt();
+                    print!("{rmse:>9.1}");
+                    let qualifies = rmse <= target_rmse;
+                    let cheaper = winner
+                        .as_ref()
+                        .map(|&(_, wb, wr)| b < wb || (b == wb && rmse < wr))
+                        .unwrap_or(true);
+                    if qualifies && cheaper {
+                        winner = Some((m.name().to_string(), b, rmse));
+                    }
+                }
+                Err(_) => print!("{:>9}", "-"),
+            }
+        }
+        println!();
+    }
+
+    match winner {
+        Some((name, words, rmse)) => println!(
+            "\nadvisor: use {name} at {words} words (RMSE {rmse:.1} ≤ target {target_rmse})"
+        ),
+        None => println!(
+            "\nadvisor: no configuration up to {} words meets RMSE ≤ {target_rmse}; \
+             raise the budget or the tolerance",
+            budgets.last().unwrap()
+        ),
+    }
+    Ok(())
+}
