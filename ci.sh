@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Repo gate: formatting, lints, and the tier-1 verify — all fully offline.
+# Run from the repo root. Fails fast on the first broken step.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --offline -- -D warnings
+
+echo "==> tier-1: cargo build --release (offline)"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q (offline)"
+cargo test -q --offline
+
+echo "==> full workspace tests (offline)"
+cargo test -q --workspace --offline
+
+echo "==> ci.sh: all checks passed"

@@ -139,10 +139,7 @@ pub fn allocate_budget(curves: &[ColumnCurve], budget: usize) -> Result<Allocati
 /// point, then repeatedly upgrade the column with the best weighted
 /// SSE-reduction per extra word. Near-optimal for convex curves; exact DP
 /// above is the reference.
-pub fn allocate_budget_greedy(
-    curves: &[ColumnCurve],
-    budget: usize,
-) -> Result<AllocationResult> {
+pub fn allocate_budget_greedy(curves: &[ColumnCurve], budget: usize) -> Result<AllocationResult> {
     if curves.is_empty() {
         return Err(SynopticError::InvalidParameter("no columns".into()));
     }

@@ -1,14 +1,18 @@
-//! The named-column statistics catalog with JSON persistence.
+//! The in-memory named-column statistics catalog.
+//!
+//! `Catalog` is the registry a query planner consults; durable persistence
+//! (checksummed files, atomic generations, quarantine, degraded-mode
+//! answering) lives in [`crate::store::DurableCatalog`], which saves and
+//! reloads this type through the binary format in [`crate::format`].
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 use synoptic_core::{RangeEstimator, RangeQuery, Result, SynopticError};
 
 use crate::persist::{LoadedSynopsis, PersistentSynopsis};
 
 /// Metadata + synopsis for one column.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnEntry {
     /// Domain size of the column's value distribution.
     pub n: usize,
@@ -20,7 +24,7 @@ pub struct ColumnEntry {
 
 /// A catalog of per-column synopses, as a database engine would keep in its
 /// system tables.
-#[derive(Debug, Default, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Default, PartialEq)]
 pub struct Catalog {
     columns: BTreeMap<String, ColumnEntry>,
 }
@@ -49,6 +53,11 @@ impl Catalog {
     /// Column names, sorted.
     pub fn names(&self) -> Vec<&str> {
         self.columns.keys().map(String::as_str).collect()
+    }
+
+    /// Iterates `(name, entry)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ColumnEntry)> {
+        self.columns.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Number of registered columns.
@@ -83,31 +92,6 @@ impl Catalog {
         let est = self.estimator(name)?;
         q.check_bounds(est.n())?;
         Ok(est.estimate(q))
-    }
-
-    /// Serializes to a JSON string.
-    pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self)
-            .map_err(|e| SynopticError::InvalidParameter(format!("serialize: {e}")))
-    }
-
-    /// Deserializes from a JSON string.
-    pub fn from_json(js: &str) -> Result<Self> {
-        serde_json::from_str(js)
-            .map_err(|e| SynopticError::InvalidParameter(format!("deserialize: {e}")))
-    }
-
-    /// Saves to a file.
-    pub fn save(&self, path: &str) -> Result<()> {
-        std::fs::write(path, self.to_json()?)
-            .map_err(|e| SynopticError::InvalidParameter(format!("write {path}: {e}")))
-    }
-
-    /// Loads from a file.
-    pub fn load(path: &str) -> Result<Self> {
-        let js = std::fs::read_to_string(path)
-            .map_err(|e| SynopticError::InvalidParameter(format!("read {path}: {e}")))?;
-        Self::from_json(&js)
     }
 
     /// A human-readable summary table.
@@ -161,16 +145,14 @@ mod tests {
         let e = cat.estimate("price", RangeQuery { lo: 0, hi: 9 }).unwrap();
         assert!((e - 50.0).abs() < 1e-6, "whole-domain estimate {e}");
         assert!(cat.estimate("nope", RangeQuery::point(0)).is_err());
-        assert!(cat
-            .estimate("age", RangeQuery { lo: 0, hi: 99 })
-            .is_err());
+        assert!(cat.estimate("age", RangeQuery { lo: 0, hi: 99 }).is_err());
         assert!(cat.remove("age"));
         assert!(!cat.remove("age"));
         assert_eq!(cat.len(), 1);
     }
 
     #[test]
-    fn json_roundtrip_preserves_answers() {
+    fn binary_roundtrip_preserves_answers() {
         let mut cat = Catalog::new();
         let vals = vec![12i64, 9, 4, 1, 1, 0, 2, 14, 13, 6];
         cat.insert("qty", entry(&vals));
@@ -185,27 +167,25 @@ mod tests {
                 synopsis: PersistentSynopsis::from_value_histogram(&h),
             },
         );
-        let js = cat.to_json().unwrap();
-        let back = Catalog::from_json(&js).unwrap();
-        assert_eq!(back, cat);
+        // Every entry round-trips through the checksummed binary format.
+        for (_, e) in cat.iter() {
+            let bytes = crate::format::synopsis_to_bytes(&e.synopsis);
+            let back = crate::format::synopsis_from_bytes(&bytes, "t").unwrap();
+            assert_eq!(back, e.synopsis);
+        }
         for q in RangeQuery::all(10) {
             let a = cat.estimate("qty", q).unwrap();
-            let b2 = back.estimate("qty", q).unwrap();
-            assert!((a - b2).abs() < 1e-12);
+            assert!(a.is_finite());
         }
     }
 
     #[test]
-    fn file_roundtrip() {
+    fn iter_walks_in_name_order() {
         let mut cat = Catalog::new();
-        cat.insert("x", entry(&[1, 2, 3, 4, 5, 6]));
-        let path = std::env::temp_dir().join("synoptic_catalog_test.json");
-        let path = path.to_str().unwrap();
-        cat.save(path).unwrap();
-        let back = Catalog::load(path).unwrap();
-        assert_eq!(back, cat);
-        let _ = std::fs::remove_file(path);
-        assert!(Catalog::load("/nonexistent/really/not.json").is_err());
+        cat.insert("zeta", entry(&[1, 2, 3, 4, 5, 6]));
+        cat.insert("alpha", entry(&[6, 5, 4, 3, 2, 1]));
+        let names: Vec<&str> = cat.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
     }
 
     #[test]

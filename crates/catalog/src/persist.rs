@@ -5,8 +5,11 @@
 //! position maps) is recovered on load. The round-trip tests assert that a
 //! persisted-and-reloaded synopsis answers every query identically to the
 //! original.
+//!
+//! The on-disk encoding lives in [`crate::format`] (a checksummed,
+//! self-describing binary frame); this module is the in-memory
+//! representation plus the semantic validation run at load time.
 
-use serde::{Deserialize, Serialize};
 use synoptic_core::{
     Bucketing, NaiveEstimator, PrefixSums, RangeEstimator, RangeQuery, Result, SynopticError,
     ValueHistogram,
@@ -16,7 +19,7 @@ use synoptic_wavelet::range_optimal::CoeffSlot;
 use synoptic_wavelet::{PointWaveletSynopsis, RangeOptimalWavelet};
 
 /// A self-contained, serializable synopsis.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PersistentSynopsis {
     /// One global average (1 word).
     Naive {
@@ -109,6 +112,17 @@ pub enum LoadedSynopsis {
 pub struct NaiveEstimatorShim {
     n: usize,
     avg: f64,
+}
+
+impl NaiveEstimatorShim {
+    /// A NAIVE answering shim for a domain of size `n` whose stored global
+    /// average is `avg`. Used both when reloading a persisted `Naive`
+    /// synopsis and as the last link of the degraded-mode fallback chain,
+    /// where `avg` is reconstructed from manifest metadata
+    /// (`total_rows / n`).
+    pub fn new(n: usize, avg: f64) -> Self {
+        Self { n, avg }
+    }
 }
 
 impl RangeEstimator for NaiveEstimatorShim {
@@ -364,9 +378,15 @@ impl PersistentSynopsis {
                 let b = Bucketing::new(*n, starts.clone())?;
                 let nb = b.num_buckets();
                 if suff.len() != nb || pref.len() != nb {
-                    return Err(SynopticError::InvalidParameter(
-                        "SAP0 summary-value count mismatch".into(),
-                    ));
+                    return Err(SynopticError::CorruptSynopsis {
+                        context: "SAP0".into(),
+                        detail: format!(
+                            "summary-value count mismatch: {} buckets but {} suff / {} pref",
+                            nb,
+                            suff.len(),
+                            pref.len()
+                        ),
+                    });
                 }
                 LoadedSynopsis::Sap(SapAnswering::new(
                     b,
@@ -392,9 +412,10 @@ impl PersistentSynopsis {
                     .iter()
                     .any(|v| v.len() != nb)
                 {
-                    return Err(SynopticError::InvalidParameter(
-                        "SAP1 summary-value count mismatch".into(),
-                    ));
+                    return Err(SynopticError::CorruptSynopsis {
+                        context: "SAP1".into(),
+                        detail: format!("fit-value count mismatch: expected {nb} per vector"),
+                    });
                 }
                 LoadedSynopsis::Sap(SapAnswering::new(
                     b,
@@ -408,18 +429,31 @@ impl PersistentSynopsis {
             }
             PersistentSynopsis::WaveletPoint { n, padded, entries } => {
                 if !padded.is_power_of_two() || *padded < *n {
-                    return Err(SynopticError::InvalidParameter(
-                        "invalid padded transform length".into(),
-                    ));
+                    return Err(SynopticError::CorruptSynopsis {
+                        context: "wavelet-point".into(),
+                        detail: format!(
+                            "padded transform length {padded} is not a power of two ≥ n = {n}"
+                        ),
+                    });
+                }
+                if entries.iter().any(|(i, _)| *i as usize >= *padded) {
+                    return Err(SynopticError::CorruptSynopsis {
+                        context: "wavelet-point".into(),
+                        detail: format!("coefficient index out of range (padded = {padded})"),
+                    });
                 }
                 let coeffs = SparseCoeffs::from_entries(*padded, entries.clone());
                 LoadedSynopsis::WaveletPoint(PointWaveletSynopsis::from_coeffs(*n, coeffs))
             }
             PersistentSynopsis::WaveletRange { n, padded, entries } => {
                 if !padded.is_power_of_two() || *padded < *n + 1 {
-                    return Err(SynopticError::InvalidParameter(
-                        "invalid padded transform length".into(),
-                    ));
+                    return Err(SynopticError::CorruptSynopsis {
+                        context: "wavelet-range".into(),
+                        detail: format!(
+                            "padded transform length {padded} is not a power of two ≥ n + 1 = {}",
+                            *n + 1
+                        ),
+                    });
                 }
                 LoadedSynopsis::WaveletRange(RangeOptimalWavelet::from_parts(
                     *n,
@@ -446,9 +480,9 @@ mod tests {
     }
 
     fn assert_roundtrip(original: &dyn RangeEstimator, p: &PersistentSynopsis, tol: f64) {
-        // Serde JSON round-trip.
-        let js = serde_json::to_string(p).unwrap();
-        let back: PersistentSynopsis = serde_json::from_str(&js).unwrap();
+        // Checksummed binary round-trip through the on-disk format.
+        let bytes = crate::format::synopsis_to_bytes(p);
+        let back = crate::format::synopsis_from_bytes(&bytes, "test").unwrap();
         assert_eq!(&back, p);
         let loaded = back.load().unwrap();
         assert_eq!(loaded.n(), original.n());

@@ -1,6 +1,6 @@
 //! The CLI subcommands.
 
-use synoptic_catalog::{Catalog, ColumnEntry, PersistentSynopsis};
+use synoptic_catalog::{Catalog, ColumnEntry, DurableCatalog, FsStorage, PersistentSynopsis};
 use synoptic_core::{PrefixSums, RangeEstimator, RangeQuery, RoundingMode};
 use synoptic_data::zipf::{paper_dataset, ZipfConfig};
 use synoptic_eval::methods::{exact_sse, MethodSpec};
@@ -19,13 +19,27 @@ synoptic — range-sum synopses from the PODS 2001 paper
 USAGE:
   synoptic generate --n N [--alpha A] [--mass M] [--seed S] [--permuted] --out FILE
   synoptic build    --input FILE --method METHOD --budget WORDS \\
-                    --catalog FILE --column NAME
-  synoptic estimate --catalog FILE --column NAME --range LO..HI
+                    --catalog DIR --column NAME
+  synoptic estimate --catalog DIR --column NAME --range LO..HI
   synoptic evaluate --input FILE [--budget WORDS]
-  synoptic report   --catalog FILE
+  synoptic report   --catalog DIR
+  synoptic fsck     --catalog DIR
+  synoptic repair   --catalog DIR
 
 METHODS: naive | opt-a | opt-a-reopt | sap0 | sap1 | wavelet-range
-FILES:   one integer frequency per line ('#' comments allowed)";
+FILES:   one integer frequency per line ('#' comments allowed)
+CATALOG: a store directory of checksummed synopsis files with generational
+         manifests (see docs/PERSISTENCE.md); corrupt files are quarantined,
+         never deleted, and estimates degrade gracefully with a warning.";
+
+/// Opens the store at `dir`, creating it only when `create` is set —
+/// read-only commands must not invent an empty store at a mistyped path.
+fn open_store(dir: &str, create: bool) -> Result<DurableCatalog<FsStorage>, String> {
+    if !create && !std::path::Path::new(dir).is_dir() {
+        return Err(format!("catalog store '{dir}' does not exist"));
+    }
+    DurableCatalog::open(dir, FsStorage::new()).map_err(|e| e.to_string())
+}
 
 /// `generate`: emit a synthetic Zipf column per the paper's recipe.
 pub fn generate(args: &[String]) -> Result<(), String> {
@@ -94,23 +108,27 @@ fn build_synopsis(
     })
 }
 
-/// `build`: construct a synopsis and store it in the catalog.
+/// `build`: construct a synopsis and commit it to the store as a new
+/// generation (the previous generation stays on disk for fallback).
 pub fn build(args: &[String]) -> Result<(), String> {
     let f = Flags::parse(args)?;
     let input = f.required("input")?;
     let method = f.required("method")?;
     let budget: usize = f.parsed_or("budget", 32)?;
-    let catalog_path = f.required("catalog")?;
+    let store_dir = f.required("catalog")?;
     let column = f.required("column")?;
 
     let values = read_column(input)?;
     let ps = PrefixSums::from_values(&values);
     let synopsis = build_synopsis(method, &ps, budget)?;
 
-    let mut catalog = if std::path::Path::new(catalog_path).exists() {
-        Catalog::load(catalog_path).map_err(|e| e.to_string())?
-    } else {
-        Catalog::new()
+    let store = open_store(store_dir, true)?;
+    // Start from the committed generation when one exists; a damaged store
+    // refuses here — run `fsck`/`repair` first rather than overwriting
+    // evidence.
+    let mut catalog = match store.effective_manifest() {
+        Ok(_) => store.load().map_err(|e| e.to_string())?,
+        Err(_) => Catalog::new(),
     };
     let words = synopsis.storage_words();
     catalog.insert(
@@ -121,22 +139,30 @@ pub fn build(args: &[String]) -> Result<(), String> {
             synopsis,
         },
     );
-    catalog.save(catalog_path).map_err(|e| e.to_string())?;
+    let generation = store.save(&catalog).map_err(|e| e.to_string())?;
     println!(
-        "built {method} for column '{column}' ({words} words) → {catalog_path}"
+        "built {method} for column '{column}' ({words} words) → {store_dir} generation {generation}"
     );
     Ok(())
 }
 
-/// `estimate`: answer one range query from a stored synopsis.
+/// `estimate`: answer one range query through the degraded-mode-aware
+/// fallback chain. A non-primary answer prints a warning on stderr so
+/// degradation is never silent.
 pub fn estimate(args: &[String]) -> Result<(), String> {
     let f = Flags::parse(args)?;
-    let catalog = Catalog::load(f.required("catalog")?).map_err(|e| e.to_string())?;
+    let store = open_store(f.required("catalog")?, false)?;
     let column = f.required("column")?;
     let (lo, hi) = parse_range(f.required("range")?)?;
     let q = RangeQuery::new(lo, hi).map_err(|e| e.to_string())?;
-    let answer = catalog.estimate(column, q).map_err(|e| e.to_string())?;
-    println!("{answer:.2}");
+    let answer = store.estimate(column, q).map_err(|e| e.to_string())?;
+    if answer.source.is_degraded() {
+        eprintln!(
+            "warning: degraded answer for column '{column}' (source: {})",
+            answer.source
+        );
+    }
+    println!("{:.2}", answer.value);
     Ok(())
 }
 
@@ -152,7 +178,10 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
         ps.total(),
         RangeQuery::count_all(values.len())
     );
-    println!("{:<14} {:>8} {:>14} {:>12}", "method", "words", "sse", "rmse");
+    println!(
+        "{:<14} {:>8} {:>14} {:>12}",
+        "method", "words", "sse", "rmse"
+    );
     for m in [
         MethodSpec::Naive,
         MethodSpec::EquiDepth,
@@ -166,8 +195,7 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
         match m.build_at_budget(&values, &ps, budget) {
             Ok(est) => {
                 let sse = exact_sse(est.as_ref(), &ps);
-                let rmse =
-                    (sse / RangeQuery::count_all(values.len()) as f64).sqrt();
+                let rmse = (sse / RangeQuery::count_all(values.len()) as f64).sqrt();
                 println!(
                     "{:<14} {:>8} {:>14.4e} {:>12.2}",
                     m.name(),
@@ -182,21 +210,51 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `report`: summarize a catalog file.
+/// `report`: summarize the committed generation of a store.
 pub fn report(args: &[String]) -> Result<(), String> {
     let f = Flags::parse(args)?;
-    let catalog = Catalog::load(f.required("catalog")?).map_err(|e| e.to_string())?;
+    let store = open_store(f.required("catalog")?, false)?;
+    let m = store.effective_manifest().map_err(|e| e.to_string())?;
+    let catalog = store.load().map_err(|e| e.to_string())?;
+    println!("generation {}", m.generation);
     print!("{}", catalog.summary());
+    Ok(())
+}
+
+/// `fsck`: read-only consistency check. Exits non-zero when issues exist.
+pub fn fsck(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let store = open_store(f.required("catalog")?, false)?;
+    let report = store.fsck().map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    if report.healthy() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} issue(s) found — run `synoptic repair --catalog DIR` to quarantine damage",
+            report.issues.len()
+        ))
+    }
+}
+
+/// `repair`: quarantine corrupt/stray files and re-point `CURRENT` at the
+/// newest valid generation. Never deletes anything.
+pub fn repair(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let store = open_store(f.required("catalog")?, false)?;
+    let report = store.repair().map_err(|e| e.to_string())?;
+    print!("{}", report.render());
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use synoptic_core::AnswerSource;
 
     fn tmp(name: &str) -> String {
         std::env::temp_dir()
-            .join(name)
+            .join(format!("{name}_{}", std::process::id()))
             .to_str()
             .unwrap()
             .to_string()
@@ -209,35 +267,64 @@ mod tests {
     #[test]
     fn full_cli_pipeline() {
         let col = tmp("synoptic_cli_col.txt");
-        let cat = tmp("synoptic_cli_cat.json");
-        let _ = std::fs::remove_file(&cat);
+        let cat = tmp("synoptic_cli_store");
+        let _ = std::fs::remove_dir_all(&cat);
 
         generate(&s(&["--n", "32", "--out", &col])).unwrap();
         build(&s(&[
-            "--input", &col, "--method", "sap0", "--budget", "18", "--catalog", &cat,
-            "--column", "price",
+            "--input",
+            &col,
+            "--method",
+            "sap0",
+            "--budget",
+            "18",
+            "--catalog",
+            &cat,
+            "--column",
+            "price",
         ]))
         .unwrap();
         build(&s(&[
-            "--input", &col, "--method", "opt-a", "--budget", "16", "--catalog", &cat,
-            "--column", "qty",
+            "--input",
+            &col,
+            "--method",
+            "opt-a",
+            "--budget",
+            "16",
+            "--catalog",
+            &cat,
+            "--column",
+            "qty",
         ]))
         .unwrap();
-        estimate(&s(&["--catalog", &cat, "--column", "price", "--range", "0..31"])).unwrap();
+        estimate(&s(&[
+            "--catalog",
+            &cat,
+            "--column",
+            "price",
+            "--range",
+            "0..31",
+        ]))
+        .unwrap();
         report(&s(&["--catalog", &cat])).unwrap();
+        fsck(&s(&["--catalog", &cat])).unwrap();
         evaluate(&s(&["--input", &col, "--budget", "16"])).unwrap();
 
-        // The catalog answers the whole-domain query near the true total.
+        // The store answers the whole-domain query near the true total, from
+        // the primary synopsis.
         let values = read_column(&col).unwrap();
         let total: i64 = values.iter().sum();
-        let loaded = Catalog::load(&cat).unwrap();
-        let e = loaded
-            .estimate("qty", RangeQuery { lo: 0, hi: 31 })
-            .unwrap();
-        assert!((e - total as f64).abs() < 1.0, "estimate {e} vs total {total}");
+        let store = open_store(&cat, false).unwrap();
+        let e = store.estimate("qty", RangeQuery { lo: 0, hi: 31 }).unwrap();
+        assert_eq!(e.source, AnswerSource::Primary);
+        assert!(
+            (e.value - total as f64).abs() < 1.0,
+            "estimate {} vs total {total}",
+            e.value
+        );
 
         let _ = std::fs::remove_file(&col);
-        let _ = std::fs::remove_file(&cat);
+        let _ = std::fs::remove_dir_all(&cat);
     }
 
     #[test]
@@ -245,7 +332,14 @@ mod tests {
         let col = tmp("synoptic_cli_col2.txt");
         write_column(&col, &[1, 2, 3, 4]).unwrap();
         let err = build(&s(&[
-            "--input", &col, "--method", "magic", "--catalog", "/dev/null", "--column", "x",
+            "--input",
+            &col,
+            "--method",
+            "magic",
+            "--catalog",
+            "/dev/null",
+            "--column",
+            "x",
         ]))
         .unwrap_err();
         assert!(err.contains("unknown method"));
@@ -253,30 +347,109 @@ mod tests {
     }
 
     #[test]
-    fn estimate_errors_cleanly_on_missing_catalog() {
+    fn estimate_errors_cleanly_on_missing_store() {
         let err = estimate(&s(&[
-            "--catalog", "/nonexistent/cat.json", "--column", "x", "--range", "0..1",
+            "--catalog",
+            "/nonexistent/stats",
+            "--column",
+            "x",
+            "--range",
+            "0..1",
         ]))
         .unwrap_err();
-        assert!(err.contains("read"), "{err}");
+        assert!(err.contains("does not exist"), "{err}");
     }
 
     #[test]
     fn every_cli_method_builds() {
         let col = tmp("synoptic_cli_col3.txt");
-        let cat = tmp("synoptic_cli_cat3.json");
-        let _ = std::fs::remove_file(&cat);
+        let cat = tmp("synoptic_cli_store3");
+        let _ = std::fs::remove_dir_all(&cat);
         generate(&s(&["--n", "24", "--out", &col])).unwrap();
-        for m in ["naive", "opt-a", "opt-a-reopt", "sap0", "sap1", "wavelet-range"] {
+        for m in [
+            "naive",
+            "opt-a",
+            "opt-a-reopt",
+            "sap0",
+            "sap1",
+            "wavelet-range",
+        ] {
             build(&s(&[
-                "--input", &col, "--method", m, "--budget", "20", "--catalog", &cat,
-                "--column", m,
+                "--input",
+                &col,
+                "--method",
+                m,
+                "--budget",
+                "20",
+                "--catalog",
+                &cat,
+                "--column",
+                m,
             ]))
             .unwrap();
         }
-        let loaded = Catalog::load(&cat).unwrap();
+        let store = open_store(&cat, false).unwrap();
+        let loaded = store.load().unwrap();
         assert_eq!(loaded.len(), 6);
         let _ = std::fs::remove_file(&col);
-        let _ = std::fs::remove_file(&cat);
+        let _ = std::fs::remove_dir_all(&cat);
+    }
+
+    #[test]
+    fn fsck_flags_damage_and_repair_restores_service() {
+        let col = tmp("synoptic_cli_col4.txt");
+        let cat = tmp("synoptic_cli_store4");
+        let _ = std::fs::remove_dir_all(&cat);
+        generate(&s(&["--n", "16", "--out", &col])).unwrap();
+        for _ in 0..2 {
+            build(&s(&[
+                "--input",
+                &col,
+                "--method",
+                "sap1",
+                "--budget",
+                "20",
+                "--catalog",
+                &cat,
+                "--column",
+                "price",
+            ]))
+            .unwrap();
+        }
+        // Corrupt the newest synopsis file.
+        let victim = std::path::Path::new(&cat).join("price-2.syn");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x20;
+        std::fs::write(&victim, bytes).unwrap();
+
+        let err = fsck(&s(&["--catalog", &cat])).unwrap_err();
+        assert!(err.contains("issue"), "{err}");
+        repair(&s(&["--catalog", &cat])).unwrap();
+        // Damage was quarantined, not deleted.
+        assert!(std::path::Path::new(&cat)
+            .join("quarantine")
+            .join("price-2.syn")
+            .exists());
+        // Repair rolled CURRENT back to the last fully-valid generation, so
+        // estimates serve it as primary again.
+        estimate(&s(&[
+            "--catalog",
+            &cat,
+            "--column",
+            "price",
+            "--range",
+            "0..15",
+        ]))
+        .unwrap();
+        let store = open_store(&cat, false).unwrap();
+        let e = store
+            .estimate("price", RangeQuery { lo: 0, hi: 15 })
+            .unwrap();
+        assert_eq!(e.source, AnswerSource::Primary);
+        // And fsck is clean again.
+        fsck(&s(&["--catalog", &cat])).unwrap();
+        let _ = std::fs::remove_file(&col);
+        let _ = std::fs::remove_dir_all(&cat);
     }
 }

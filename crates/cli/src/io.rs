@@ -1,31 +1,59 @@
 //! Flag parsing and column-file I/O for the CLI.
+//!
+//! ## Flag grammar
+//!
+//! * `--key value` — a valued flag. Giving the same `--key` twice is an
+//!   error (silently taking the last value hid typos).
+//! * `--key` followed by another flag (or nothing) — a bare switch.
+//! * Negative numbers are valid values: a token beginning with `-` (or even
+//!   `--` followed by a digit, e.g. `--5`) is treated as a *value*, not a
+//!   flag, so `--lo -5` parses as expected.
+//! * Anything else positional is rejected.
 
 use std::collections::HashMap;
 
 /// Parsed `--flag value` pairs plus bare switches.
+#[derive(Debug)]
 pub struct Flags {
     values: HashMap<String, String>,
     switches: Vec<String>,
 }
 
+/// A token is a flag iff it is `--` followed by a non-digit: `--budget` is a
+/// flag, `-5` and `--5` are (negative-number) values.
+fn is_flag(tok: &str) -> bool {
+    tok.strip_prefix("--")
+        .and_then(|rest| rest.chars().next())
+        .is_some_and(|c| !c.is_ascii_digit())
+}
+
 impl Flags {
     /// Parses `--key value` pairs; a `--key` followed by another `--key` (or
-    /// nothing) is a switch.
+    /// nothing) is a switch. Duplicate keys are rejected.
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut values = HashMap::new();
-        let mut switches = Vec::new();
+        let mut switches: Vec<String> = Vec::new();
         let mut i = 0;
         while i < args.len() {
             let a = &args[i];
-            let Some(key) = a.strip_prefix("--") else {
+            if !is_flag(a) {
                 return Err(format!("unexpected positional argument '{a}'"));
-            };
+            }
+            let key = &a[2..];
+            let dup = |k: &str| format!("duplicate flag --{k}");
             match args.get(i + 1) {
-                Some(v) if !v.starts_with("--") => {
-                    values.insert(key.to_string(), v.clone());
+                Some(v) if !is_flag(v) => {
+                    if values.insert(key.to_string(), v.clone()).is_some()
+                        || switches.iter().any(|s| s == key)
+                    {
+                        return Err(dup(key));
+                    }
                     i += 2;
                 }
                 _ => {
+                    if switches.iter().any(|s| s == key) || values.contains_key(key) {
+                        return Err(dup(key));
+                    }
                     switches.push(key.to_string());
                     i += 1;
                 }
@@ -72,19 +100,25 @@ impl Flags {
 }
 
 /// Reads a column file: one integer per line; blank lines and `#` comments
-/// ignored.
+/// ignored. Errors carry the file path, line number, and byte offset of the
+/// offending line so large machine-generated files can be fixed by seeking.
 pub fn read_column(path: &str) -> Result<Vec<i64>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     let mut out = Vec::new();
+    let mut offset = 0usize;
     for (lineno, line) in text.lines().enumerate() {
+        let line_start = offset;
+        offset += line.len() + 1; // '\n'
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let v: i64 = trimmed
-            .parse()
-            .map_err(|_| format!("{path}:{}: not an integer: '{trimmed}'", lineno + 1))?;
+        let v: i64 = trimmed.parse().map_err(|_| {
+            format!(
+                "{path}:{} (byte offset {line_start}): not an integer: '{trimmed}'",
+                lineno + 1
+            )
+        })?;
         out.push(v);
     }
     if out.is_empty() {
@@ -95,10 +129,7 @@ pub fn read_column(path: &str) -> Result<Vec<i64>, String> {
 
 /// Writes a column file.
 pub fn write_column(path: &str, values: &[i64]) -> Result<(), String> {
-    let body: String = values
-        .iter()
-        .map(|v| format!("{v}\n"))
-        .collect();
+    let body: String = values.iter().map(|v| format!("{v}\n")).collect();
     std::fs::write(path, body).map_err(|e| format!("cannot write '{path}': {e}"))
 }
 
@@ -124,6 +155,11 @@ mod tests {
         Flags::parse(&v).unwrap()
     }
 
+    fn parse_err(parts: &[&str]) -> String {
+        let v: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        Flags::parse(&v).unwrap_err()
+    }
+
     #[test]
     fn parses_pairs_and_switches() {
         let f = flags(&["--input", "x.txt", "--verbose", "--budget", "32"]);
@@ -139,6 +175,28 @@ mod tests {
     fn rejects_positional_args() {
         let v = vec!["stray".to_string()];
         assert!(Flags::parse(&v).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_flags() {
+        let e = parse_err(&["--n", "5", "--n", "6"]);
+        assert!(e.contains("duplicate flag --n"), "{e}");
+        let e = parse_err(&["--verbose", "--verbose"]);
+        assert!(e.contains("duplicate flag --verbose"), "{e}");
+        // Mixed valued + switch duplicates are also rejected.
+        let e = parse_err(&["--n", "5", "--n"]);
+        assert!(e.contains("duplicate flag --n"), "{e}");
+        let e = parse_err(&["--n", "--n", "5"]);
+        assert!(e.contains("duplicate flag --n"), "{e}");
+    }
+
+    #[test]
+    fn negative_values_are_values_not_flags() {
+        let f = flags(&["--lo", "-5", "--hi", "--7"]);
+        assert_eq!(f.parsed::<i64>("lo").unwrap(), -5);
+        // '--7' begins with a digit after '--', so it is a value too.
+        assert_eq!(f.required("hi").unwrap(), "--7");
+        assert!(!f.switch("lo"));
     }
 
     #[test]
@@ -163,5 +221,20 @@ mod tests {
         std::fs::write(p, "# only comments\n").unwrap();
         assert!(read_column(p).is_err());
         let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn column_file_errors_carry_path_line_and_byte_offset() {
+        let p = std::env::temp_dir().join("synoptic_cli_io_offsets.txt");
+        let path = p.to_str().unwrap();
+        // "10\n" (3 bytes) + "# c\n" (4 bytes) → bad line starts at byte 7.
+        std::fs::write(path, "10\n# c\nbad\n").unwrap();
+        let e = read_column(path).unwrap_err();
+        assert!(e.contains(path), "{e}");
+        assert!(e.contains(":3"), "{e}");
+        assert!(e.contains("byte offset 7"), "{e}");
+        let _ = std::fs::remove_file(&p);
+        let e = read_column("/nonexistent/col.txt").unwrap_err();
+        assert!(e.contains("/nonexistent/col.txt"), "{e}");
     }
 }

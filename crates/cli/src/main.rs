@@ -4,10 +4,12 @@
 //! ```text
 //! synoptic generate --n 127 --alpha 1.8 --out column.txt
 //! synoptic build    --input column.txt --method sap0 --budget 32 \
-//!                   --catalog stats.json --column price
-//! synoptic estimate --catalog stats.json --column price --range 10..40
+//!                   --catalog stats/ --column price
+//! synoptic estimate --catalog stats/ --column price --range 10..40
 //! synoptic evaluate --input column.txt --budget 32
-//! synoptic report   --catalog stats.json
+//! synoptic report   --catalog stats/
+//! synoptic fsck     --catalog stats/
+//! synoptic repair   --catalog stats/
 //! ```
 //!
 //! Input files hold one integer frequency per line (`#` comments allowed).
@@ -31,6 +33,8 @@ fn main() -> ExitCode {
         "estimate" => commands::estimate(rest),
         "evaluate" => commands::evaluate(rest),
         "report" => commands::report(rest),
+        "fsck" => commands::fsck(rest),
+        "repair" => commands::repair(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

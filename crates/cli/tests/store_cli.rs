@@ -1,0 +1,141 @@
+//! End-to-end test of the `synoptic` binary's durable-store commands:
+//! build → estimate → fsck → (inject corruption) → fsck fails → repair →
+//! fsck clean → estimate still answers, with degradation warned on stderr.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_synoptic")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("failed to launch synoptic binary")
+}
+
+fn ok(args: &[&str]) -> Output {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "`synoptic {}` failed:\nstdout: {}\nstderr: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("{name}_{}", std::process::id()))
+}
+
+#[test]
+fn fsck_and_repair_lifecycle() {
+    let col = tmp("synoptic_e2e_col.txt");
+    let store = tmp("synoptic_e2e_store");
+    let _ = std::fs::remove_dir_all(&store);
+    let col_s = col.to_str().unwrap();
+    let store_s = store.to_str().unwrap();
+
+    ok(&["generate", "--n", "32", "--seed", "7", "--out", col_s]);
+    // Two builds → two generations of the same column.
+    for _ in 0..2 {
+        ok(&[
+            "build",
+            "--input",
+            col_s,
+            "--method",
+            "sap0",
+            "--budget",
+            "18",
+            "--catalog",
+            store_s,
+            "--column",
+            "price",
+        ]);
+    }
+
+    // A healthy store: estimate answers without warnings, fsck is clean.
+    let est = ok(&[
+        "estimate",
+        "--catalog",
+        store_s,
+        "--column",
+        "price",
+        "--range",
+        "0..31",
+    ]);
+    assert!(est.stderr.is_empty(), "unexpected stderr: {:?}", est.stderr);
+    let clean: f64 = String::from_utf8_lossy(&est.stdout).trim().parse().unwrap();
+    ok(&["fsck", "--catalog", store_s]);
+    let report = ok(&["report", "--catalog", store_s]);
+    let report_text = String::from_utf8_lossy(&report.stdout).to_string();
+    assert!(report_text.contains("generation 2"), "{report_text}");
+    assert!(report_text.contains("price"), "{report_text}");
+
+    // Flip one bit in the committed generation's synopsis.
+    let victim = store.join("price-2.syn");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x04;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    // fsck now fails with a non-zero exit and names the damaged file.
+    let f = run(&["fsck", "--catalog", store_s]);
+    assert!(!f.status.success());
+    let fsck_text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&f.stdout),
+        String::from_utf8_lossy(&f.stderr)
+    );
+    assert!(fsck_text.contains("price-2.syn"), "{fsck_text}");
+
+    // Estimation still works — degraded, loudly, and with the same answer
+    // served from the older generation.
+    let est = ok(&[
+        "estimate",
+        "--catalog",
+        store_s,
+        "--column",
+        "price",
+        "--range",
+        "0..31",
+    ]);
+    let degraded: f64 = String::from_utf8_lossy(&est.stdout).trim().parse().unwrap();
+    assert_eq!(degraded, clean);
+    let warn = String::from_utf8_lossy(&est.stderr).to_string();
+    assert!(warn.contains("degraded"), "{warn}");
+
+    // Repair quarantines (never deletes) and restores a clean fsck.
+    ok(&["repair", "--catalog", store_s]);
+    assert!(store.join("quarantine").join("price-2.syn").exists());
+    ok(&["fsck", "--catalog", store_s]);
+    let est = ok(&[
+        "estimate",
+        "--catalog",
+        store_s,
+        "--column",
+        "price",
+        "--range",
+        "0..31",
+    ]);
+    assert!(est.stderr.is_empty(), "still degraded after repair");
+
+    // Unknown store paths fail cleanly without inventing directories.
+    let bad = run(&[
+        "estimate",
+        "--catalog",
+        "/nonexistent/store",
+        "--column",
+        "x",
+        "--range",
+        "0..1",
+    ]);
+    assert!(!bad.status.success());
+
+    let _ = std::fs::remove_file(&col);
+    let _ = std::fs::remove_dir_all(&store);
+}

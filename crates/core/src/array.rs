@@ -2,7 +2,6 @@
 
 use crate::error::{Result, SynopticError};
 use crate::query::RangeQuery;
-use serde::{Deserialize, Serialize};
 
 /// An attribute-value distribution: `A[i]` is the number of records whose
 /// attribute equals the `i`-th domain value.
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// The paper assumes non-negative integral frequencies; this type accepts any
 /// `i64` values (the construction algorithms remain correct), but the
 /// pseudo-polynomial bounds of the paper are stated for non-negative data.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataArray {
     values: Vec<i64>,
 }

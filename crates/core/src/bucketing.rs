@@ -1,7 +1,6 @@
 //! Contiguous bucket boundaries shared by every histogram representation.
 
 use crate::error::{Result, SynopticError};
-use serde::{Deserialize, Serialize};
 
 /// A partition of the index domain `0..n` into `B` contiguous, non-empty
 /// buckets.
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// `starts = [0 = s₀ < s₁ < … < s_{B−1} < n]`; bucket `i` covers the
 /// inclusive index range `[starts[i], starts[i+1] − 1]` (the last bucket ends
 /// at `n − 1`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Bucketing {
     n: usize,
     starts: Vec<usize>,

@@ -50,6 +50,30 @@ pub enum SynopticError {
     SingularSystem(String),
     /// Prefix sums overflowed `i128` (astronomically large inputs).
     Overflow,
+    /// A persisted synopsis failed integrity or semantic validation on load
+    /// (bad magic, checksum mismatch, truncation, non-finite floats,
+    /// inconsistent lengths, …). The bytes are never trusted after this.
+    CorruptSynopsis {
+        /// What was being loaded (file path, column name, or section).
+        context: String,
+        /// What exactly failed validation.
+        detail: String,
+    },
+    /// A persisted artifact declared a format version this build does not
+    /// understand.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Highest version this build supports.
+        supported: u16,
+    },
+    /// An I/O failure in the persistence layer, with location context.
+    Io {
+        /// File or directory the operation touched.
+        path: String,
+        /// The underlying OS error rendered as text.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SynopticError {
@@ -75,6 +99,16 @@ impl fmt::Display for SynopticError {
             Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             Self::SingularSystem(msg) => write!(f, "singular linear system: {msg}"),
             Self::Overflow => write!(f, "arithmetic overflow in prefix-sum computation"),
+            Self::CorruptSynopsis { context, detail } => {
+                write!(f, "corrupt synopsis ({context}): {detail}")
+            }
+            Self::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (this build supports up to {supported})"
+                )
+            }
+            Self::Io { path, detail } => write!(f, "i/o error at {path}: {detail}"),
         }
     }
 }
@@ -98,10 +132,7 @@ mod tests {
                 SynopticError::InvalidBucketCount { buckets: 0, n: 10 },
                 "bucket count 0",
             ),
-            (
-                SynopticError::InvalidBoundaries("x".into()),
-                "boundaries",
-            ),
+            (SynopticError::InvalidBoundaries("x".into()), "boundaries"),
             (
                 SynopticError::BudgetTooSmall {
                     words: 1,
@@ -109,12 +140,30 @@ mod tests {
                 },
                 "minimum of 2",
             ),
-            (
-                SynopticError::InvalidParameter("eps".into()),
-                "eps",
-            ),
+            (SynopticError::InvalidParameter("eps".into()), "eps"),
             (SynopticError::SingularSystem("Q".into()), "singular"),
             (SynopticError::Overflow, "overflow"),
+            (
+                SynopticError::CorruptSynopsis {
+                    context: "col_a/gen-3.syn".into(),
+                    detail: "payload CRC mismatch".into(),
+                },
+                "CRC mismatch",
+            ),
+            (
+                SynopticError::UnsupportedVersion {
+                    found: 9,
+                    supported: 1,
+                },
+                "version 9",
+            ),
+            (
+                SynopticError::Io {
+                    path: "/tmp/x".into(),
+                    detail: "permission denied".into(),
+                },
+                "/tmp/x",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -25,6 +25,57 @@ pub trait RangeEstimator {
     fn method_name(&self) -> &str;
 }
 
+/// Where a served estimate actually came from, for systems that answer
+/// through a fallback chain (see `synoptic-catalog`): the primary synopsis,
+/// an older persisted generation, or a last-resort metadata-only estimator.
+///
+/// Serving layers thread this alongside every answer so that a degraded
+/// catalog **never lies silently** — callers can observe that a corruption
+/// was detected and a weaker estimator substituted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnswerSource {
+    /// The requested synopsis, loaded and fully validated.
+    Primary,
+    /// An older persisted generation was substituted after the newest one
+    /// failed validation.
+    FallbackGeneration {
+        /// Generation number actually served.
+        generation: u64,
+    },
+    /// All persisted synopses failed validation; the answer comes from a
+    /// naive estimator reconstructed from manifest metadata (`n`, total).
+    FallbackNaive,
+}
+
+impl AnswerSource {
+    /// `true` unless the primary synopsis answered.
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, AnswerSource::Primary)
+    }
+}
+
+impl std::fmt::Display for AnswerSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnswerSource::Primary => write!(f, "primary"),
+            AnswerSource::FallbackGeneration { generation } => {
+                write!(f, "fallback:generation-{generation}")
+            }
+            AnswerSource::FallbackNaive => write!(f, "fallback:naive"),
+        }
+    }
+}
+
+/// An estimate paired with its provenance, returned by degraded-mode-aware
+/// serving paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourcedEstimate {
+    /// The estimated range sum.
+    pub value: f64,
+    /// Which link of the fallback chain produced it.
+    pub source: AnswerSource,
+}
+
 /// Blanket impl so `&T` and boxed estimators can be passed around uniformly.
 impl<T: RangeEstimator + ?Sized> RangeEstimator for &T {
     fn n(&self) -> usize {
@@ -86,5 +137,18 @@ mod tests {
         assert_eq!(b.storage_words(), 1);
         assert_eq!(b.method_name(), "DUMMY");
         assert_eq!(b.n(), 3);
+    }
+
+    #[test]
+    fn answer_source_degradation_and_display() {
+        assert!(!AnswerSource::Primary.is_degraded());
+        assert!(AnswerSource::FallbackGeneration { generation: 3 }.is_degraded());
+        assert!(AnswerSource::FallbackNaive.is_degraded());
+        assert_eq!(AnswerSource::Primary.to_string(), "primary");
+        assert_eq!(
+            AnswerSource::FallbackGeneration { generation: 3 }.to_string(),
+            "fallback:generation-3"
+        );
+        assert_eq!(AnswerSource::FallbackNaive.to_string(), "fallback:naive");
     }
 }

@@ -198,7 +198,8 @@ mod tests {
         // δ_{1,2} (0-based query [0,1]) = 4 − 4 = 0; δ_{1,1} = 1 − 2 = −1.
         let vals = vec![1i64, 3, 5, 11];
         let (ps, h) = setup(&vals, vec![0, 2], RoundingMode::NearestInt);
-        let d = |lo, hi| ps.answer(RangeQuery { lo, hi }) as f64 - h.estimate(RangeQuery { lo, hi });
+        let d =
+            |lo, hi| ps.answer(RangeQuery { lo, hi }) as f64 - h.estimate(RangeQuery { lo, hi });
         assert_eq!(d(0, 0), -1.0);
         assert_eq!(d(0, 1), 0.0);
         assert_eq!(d(1, 1), 1.0);

@@ -52,6 +52,7 @@ pub mod estimator;
 pub mod histogram;
 pub mod quantile;
 pub mod query;
+pub mod rng;
 pub mod rounding;
 pub mod sse;
 pub mod window;
@@ -59,10 +60,11 @@ pub mod window;
 pub use array::{DataArray, PrefixSums};
 pub use bucketing::Bucketing;
 pub use error::{Result, SynopticError};
-pub use estimator::RangeEstimator;
+pub use estimator::{AnswerSource, RangeEstimator, SourcedEstimate};
 pub use histogram::{
     bounded::BoundedHistogram, naive::NaiveEstimator, opta::OptAHistogram, sap0::Sap0Histogram,
     sap1::Sap1Histogram, value::ValueHistogram,
 };
 pub use query::RangeQuery;
+pub use rng::Rng;
 pub use rounding::RoundingMode;

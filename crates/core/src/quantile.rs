@@ -24,9 +24,7 @@ pub fn quantile_index<E: RangeEstimator>(est: &E, phi: f64) -> Result<usize> {
         )));
     }
     let n = est.n();
-    let total = est
-        .estimate(RangeQuery { lo: 0, hi: n - 1 })
-        .max(0.0);
+    let total = est.estimate(RangeQuery { lo: 0, hi: n - 1 }).max(0.0);
     let target = phi * total;
     let mut running = f64::NEG_INFINITY;
     for i in 0..n {
@@ -49,9 +47,7 @@ pub fn quantile_indices<E: RangeEstimator>(est: &E, phis: &[f64]) -> Result<Vec<
         }
     }
     let n = est.n();
-    let total = est
-        .estimate(RangeQuery { lo: 0, hi: n - 1 })
-        .max(0.0);
+    let total = est.estimate(RangeQuery { lo: 0, hi: n - 1 }).max(0.0);
     // Sort targets, sweep once, then un-sort.
     let mut order: Vec<usize> = (0..phis.len()).collect();
     order.sort_by(|&a, &b| phis[a].total_cmp(&phis[b]));

@@ -1,13 +1,12 @@
 //! Range queries over the attribute-value domain.
 
 use crate::error::{Result, SynopticError};
-use serde::{Deserialize, Serialize};
 
 /// An inclusive range `[lo, hi]` over 0-based value indices.
 ///
 /// A *range-sum query* asks for `s[lo, hi] = Σ_{lo ≤ i ≤ hi} A[i]`. Point
 /// (equality) queries are the special case `lo == hi`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RangeQuery {
     /// Lower endpoint (inclusive, 0-based).
     pub lo: usize,

@@ -8,10 +8,8 @@
 //! default for cross-method comparisons — skips rounding entirely, which
 //! matches the SAP0/SAP1/wavelet procedures that are defined without it.
 
-use serde::{Deserialize, Serialize};
-
 /// How a histogram's fractional range-sum contributions are rounded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RoundingMode {
     /// No rounding: estimates are real-valued sums of per-position bucket
     /// averages. Default.

@@ -164,8 +164,7 @@ impl WindowOracle {
             let (a, b) = (x0 as i128, x1 as i128);
             (a + b) * (b - a + 1) / 2
         };
-        let sxp =
-            self.sum_xp(x0, x1) - (x0 as i128) * sp - mul(pc, sum_x) + (x0 as i128) * pc * k;
+        let sxp = self.sum_xp(x0, x1) - (x0 as i128) * sp - mul(pc, sum_x) + (x0 as i128) * pc * k;
         Centered { k, s1, s2, sxp }
     }
 
@@ -521,11 +520,7 @@ mod tests {
                     let (p1, p2, pt) = o.prefix_moments(l, r);
                     assert_eq!(p1, pf.iter().sum::<f64>());
                     assert_eq!(p2, pf.iter().map(|x| x * x).sum::<f64>());
-                    let tpy: f64 = pf
-                        .iter()
-                        .enumerate()
-                        .map(|(i, x)| (i + 1) as f64 * x)
-                        .sum();
+                    let tpy: f64 = pf.iter().enumerate().map(|(i, x)| (i + 1) as f64 * x).sum();
                     assert_eq!(pt, tpy);
                 }
             }
@@ -551,14 +546,18 @@ mod tests {
                         "prefix_var({l},{r}): {} vs {pv}",
                         o.prefix_var(l, r)
                     );
-                    assert!((o.suffix_mean(l, r)
-                        - br.suffixes(l, r).iter().sum::<f64>() / (r - l + 1) as f64)
-                        .abs()
-                        < 1e-9);
-                    assert!((o.prefix_mean(l, r)
-                        - br.prefixes(l, r).iter().sum::<f64>() / (r - l + 1) as f64)
-                        .abs()
-                        < 1e-9);
+                    assert!(
+                        (o.suffix_mean(l, r)
+                            - br.suffixes(l, r).iter().sum::<f64>() / (r - l + 1) as f64)
+                            .abs()
+                            < 1e-9
+                    );
+                    assert!(
+                        (o.prefix_mean(l, r)
+                            - br.prefixes(l, r).iter().sum::<f64>() / (r - l + 1) as f64)
+                            .abs()
+                            < 1e-9
+                    );
                 }
             }
         }
@@ -745,9 +744,7 @@ mod tests {
         let vals = vec![1000000i64, 2, 999999, 5, 4, 3, 2, 1, 0, 100];
         let ps = PrefixSums::from_values(&vals);
         let o = WindowOracle::new(&ps);
-        let pf: Vec<f64> = (2..=4)
-            .map(|b| ps.range_sum(2, b) as f64)
-            .collect();
+        let pf: Vec<f64> = (2..=4).map(|b| ps.range_sum(2, b) as f64).collect();
         let m = pf.iter().sum::<f64>() / 3.0;
         let exact: f64 = pf.iter().map(|x| (x - m) * (x - m)).sum();
         assert!((o.prefix_var(2, 4) - 122.0 / 3.0).abs() < 1e-9);

@@ -1,6 +1,8 @@
-//! Property-based tests for the core data structures and evaluators.
+//! Randomized property tests for the core data structures and evaluators,
+//! driven by the in-repo seeded [`Rng`] so they run fully offline and are
+//! reproducible from the printed seed.
 
-use proptest::prelude::*;
+use synoptic_core::rng::Rng;
 use synoptic_core::sse::{
     sse_brute, sse_endpoint_decomposed, sse_two_function, sse_value_histogram,
 };
@@ -10,61 +12,63 @@ use synoptic_core::{
     Sap0Histogram, Sap1Histogram, ValueHistogram,
 };
 
+const CASES: u64 = 64;
+
 /// A random non-empty data array of bounded length and magnitude.
-fn arb_values() -> impl Strategy<Value = Vec<i64>> {
-    prop::collection::vec(-50i64..200, 1..24)
+fn rand_values(rng: &mut Rng) -> Vec<i64> {
+    let n = rng.usize_in(1, 24);
+    (0..n).map(|_| rng.i64_in(-50, 199)).collect()
 }
 
 /// A random valid bucketing of a domain of size `n`.
-fn arb_bucketing(n: usize) -> impl Strategy<Value = Bucketing> {
-    prop::collection::vec(any::<bool>(), n - 1).prop_map(move |cuts| {
-        let mut starts = vec![0usize];
-        for (i, &c) in cuts.iter().enumerate() {
-            if c {
-                starts.push(i + 1);
-            }
+fn rand_bucketing(rng: &mut Rng, n: usize) -> Bucketing {
+    let mut starts = vec![0usize];
+    for i in 1..n {
+        if rng.bool() {
+            starts.push(i);
         }
-        Bucketing::new(n, starts).expect("constructed starts are valid")
-    })
+    }
+    Bucketing::new(n, starts).expect("constructed starts are valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn prefix_sums_match_naive_summation(vals in arb_values()) {
+#[test]
+fn prefix_sums_match_naive_summation() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x1000 + case);
+        let vals = rand_values(&mut rng);
         let ps = PrefixSums::from_values(&vals);
         for a in 0..vals.len() {
             for b in a..vals.len() {
                 let naive: i128 = vals[a..=b].iter().map(|&v| v as i128).sum();
-                prop_assert_eq!(ps.range_sum(a, b), naive);
+                assert_eq!(ps.range_sum(a, b), naive, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn value_histogram_closed_form_equals_brute((vals, seed) in (arb_values(), any::<u64>())) {
+#[test]
+fn value_histogram_closed_form_equals_brute() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x2000 + case);
+        let vals = rand_values(&mut rng);
         let n = vals.len();
         let ps = PrefixSums::from_values(&vals);
-        // Derive a bucketing deterministically from the seed.
-        let mut starts = vec![0usize];
-        let mut s = seed;
-        for i in 1..n {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            if s % 3 == 0 {
-                starts.push(i);
-            }
-        }
-        let b = Bucketing::new(n, starts).unwrap();
+        let b = rand_bucketing(&mut rng, n);
         let h = ValueHistogram::with_averages(b, &ps, "p").unwrap();
         let brute = sse_brute(&h, &ps);
         let fast = sse_value_histogram(h.xprefix(), &ps);
-        prop_assert!((brute - fast).abs() <= 1e-6 * (1.0 + brute),
-            "brute {} vs fast {}", brute, fast);
+        assert!(
+            (brute - fast).abs() <= 1e-6 * (1.0 + brute),
+            "case {case}: brute {brute} vs fast {fast}"
+        );
     }
+}
 
-    #[test]
-    fn window_oracle_intra_matches_brute(vals in arb_values()) {
+#[test]
+fn window_oracle_intra_matches_brute() {
+    for case in 0..CASES / 4 {
+        let mut rng = Rng::new(0x3000 + case);
+        let vals = rand_values(&mut rng);
         let ps = PrefixSums::from_values(&vals);
         let o = WindowOracle::new(&ps);
         let n = vals.len();
@@ -79,28 +83,45 @@ proptest! {
                     }
                 }
                 let fast = o.intra_avg_sse(l, r);
-                prop_assert!((fast - brute).abs() <= 1e-6 * (1.0 + brute));
+                assert!(
+                    (fast - brute).abs() <= 1e-6 * (1.0 + brute),
+                    "case {case}: window ({l},{r})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn suffix_and_prefix_errors_sum_to_zero_under_optimal_sap0(vals in arb_values()) {
-        prop_assume!(vals.len() >= 2);
+#[test]
+fn suffix_errors_sum_to_zero_under_optimal_sap0() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x4000 + case);
+        let vals = rand_values(&mut rng);
+        if vals.len() < 2 {
+            continue;
+        }
         let n = vals.len();
         let ps = PrefixSums::from_values(&vals);
         let b = Bucketing::new(n, vec![0, n / 2]).unwrap();
         let h = Sap0Histogram::optimal_values(b.clone(), &ps).unwrap();
         for bi in 0..b.num_buckets() {
             let (l, r) = (b.left(bi), b.right(bi));
-            let su: f64 = (l..=r).map(|a| ps.range_sum(a, r) as f64 - h.suff()[bi]).sum();
-            prop_assert!(su.abs() < 1e-6, "bucket {} suffix sum {}", bi, su);
+            let su: f64 = (l..=r)
+                .map(|a| ps.range_sum(a, r) as f64 - h.suff()[bi])
+                .sum();
+            assert!(su.abs() < 1e-6, "case {case}: bucket {bi} suffix sum {su}");
         }
     }
+}
 
-    #[test]
-    fn sap1_never_worse_than_sap0_at_fixed_boundaries(vals in arb_values()) {
-        prop_assume!(vals.len() >= 3);
+#[test]
+fn sap1_never_worse_than_sap0_at_fixed_boundaries() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5000 + case);
+        let vals = rand_values(&mut rng);
+        if vals.len() < 3 {
+            continue;
+        }
         let n = vals.len();
         let ps = PrefixSums::from_values(&vals);
         let b = Bucketing::new(n, vec![0, n / 3 + 1]).unwrap();
@@ -108,26 +129,39 @@ proptest! {
         let s1 = sse_brute(&Sap1Histogram::optimal_values(b, &ps).unwrap(), &ps);
         // SAP1's linear fit subsumes SAP0's constant fit per bucket, and the
         // cross terms vanish for both, so SAP1 ≤ SAP0 at fixed boundaries.
-        prop_assert!(s1 <= s0 + 1e-6 * (1.0 + s0), "SAP1 {} vs SAP0 {}", s1, s0);
+        assert!(
+            s1 <= s0 + 1e-6 * (1.0 + s0),
+            "case {case}: SAP1 {s1} vs SAP0 {s0}"
+        );
     }
+}
 
-    #[test]
-    fn rounded_opta_estimates_are_integral_and_close(vals in prop::collection::vec(0i64..200, 2..20)) {
-        let n = vals.len();
+#[test]
+fn rounded_opta_estimates_are_integral_and_close() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x6000 + case);
+        let n = rng.usize_in(2, 20);
+        let vals: Vec<i64> = (0..n).map(|_| rng.i64_in(0, 199)).collect();
         let ps = PrefixSums::from_values(&vals);
         let b = Bucketing::new(n, vec![0, n / 2]).unwrap();
         let hr = OptAHistogram::new(b.clone(), &ps, RoundingMode::NearestInt).unwrap();
         let hu = OptAHistogram::new(b, &ps, RoundingMode::None).unwrap();
         for q in RangeQuery::all(n) {
             let e = hr.estimate(q);
-            prop_assert_eq!(e, e.round());
-            prop_assert!((e - hu.estimate(q)).abs() <= 1.0 + 1e-9);
+            assert_eq!(e, e.round(), "case {case}: non-integral estimate at {q:?}");
+            assert!((e - hu.estimate(q)).abs() <= 1.0 + 1e-9, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn endpoint_decomposed_evaluator_is_exact(vals in arb_values()) {
-        prop_assume!(vals.len() >= 4);
+#[test]
+fn endpoint_decomposed_evaluator_is_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x7000 + case);
+        let vals = rand_values(&mut rng);
+        if vals.len() < 4 {
+            continue;
+        }
         let n = vals.len();
         let ps = PrefixSums::from_values(&vals);
         let bks = Bucketing::new(n, vec![0, n / 4 + 1, n / 2 + 1]).unwrap();
@@ -147,18 +181,20 @@ proptest! {
         }
         let fast = sse_endpoint_decomposed(&u, &v, &bks, intra);
         let brute = sse_brute(&h, &ps);
-        prop_assert!((fast - brute).abs() <= 1e-6 * (1.0 + brute));
+        assert!(
+            (fast - brute).abs() <= 1e-6 * (1.0 + brute),
+            "case {case}: fast {fast} vs brute {brute}"
+        );
     }
+}
 
-    #[test]
-    fn two_function_evaluator_is_exact(e in prop::collection::vec(-100.0f64..100.0, 1..16),
-                                       dseed in any::<u64>()) {
-        let n = e.len();
-        let mut s = dseed;
-        let d: Vec<f64> = (0..n).map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(99);
-            ((s >> 33) as f64 / (1u64 << 30) as f64) - 4.0
-        }).collect();
+#[test]
+fn two_function_evaluator_is_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x8000 + case);
+        let n = rng.usize_in(1, 16);
+        let e: Vec<f64> = (0..n).map(|_| rng.f64_in(-100.0, 100.0)).collect();
+        let d: Vec<f64> = (0..n).map(|_| rng.f64_in(-4.0, 4.0)).collect();
         let mut direct = 0.0;
         for (b, &eb) in e.iter().enumerate() {
             for &da in &d[..=b] {
@@ -167,43 +203,55 @@ proptest! {
             }
         }
         let fast = sse_two_function(&e, &d);
-        prop_assert!((fast - direct).abs() <= 1e-6 * (1.0 + direct));
+        assert!(
+            (fast - direct).abs() <= 1e-6 * (1.0 + direct),
+            "case {case}: fast {fast} vs direct {direct}"
+        );
     }
+}
 
-    #[test]
-    fn weighted_oracle_cost_is_nonnegative_and_additive_at_split(vals in arb_values()) {
+#[test]
+fn weighted_oracle_cost_is_nonnegative_and_additive_at_split() {
+    for case in 0..CASES / 2 {
+        let mut rng = Rng::new(0x9000 + case);
+        let vals = rand_values(&mut rng);
         let o = WeightedPointOracle::range_inclusion(&vals);
         let n = vals.len();
         for l in 0..n {
             for r in l..n {
-                prop_assert!(o.cost(l, r) >= 0.0);
+                assert!(o.cost(l, r) >= 0.0, "case {case}");
                 // Splitting a window cannot increase total cost.
                 if r > l {
                     let mid = (l + r) / 2;
-                    prop_assert!(
+                    assert!(
                         o.cost(l, mid) + o.cost(mid + 1, r) <= o.cost(l, r) + 1e-6,
-                        "split ({},{}) at {}", l, r, mid
+                        "case {case}: split ({l},{r}) at {mid}"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn any_bucketing_gives_finite_nonneg_sse((vals, cuts) in arb_values()
-        .prop_flat_map(|v| {
-            let n = v.len();
-            (Just(v), arb_bucketing(n))
-        })) {
+#[test]
+fn any_bucketing_gives_finite_nonneg_sse() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xA000 + case);
+        let vals = rand_values(&mut rng);
+        let b = rand_bucketing(&mut rng, vals.len());
         let ps = PrefixSums::from_values(&vals);
-        let h = ValueHistogram::with_averages(cuts, &ps, "x").unwrap();
+        let h = ValueHistogram::with_averages(b, &ps, "x").unwrap();
         let sse = sse_value_histogram(h.xprefix(), &ps);
-        prop_assert!(sse.is_finite() && sse >= 0.0);
+        assert!(sse.is_finite() && sse >= 0.0, "case {case}: sse {sse}");
     }
+}
 
-    #[test]
-    fn data_array_total_matches_prefix_total(vals in arb_values()) {
-        let d = DataArray::new(vals.clone()).unwrap();
-        prop_assert_eq!(d.total(), d.prefix_sums().total());
+#[test]
+fn data_array_total_matches_prefix_total() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xB000 + case);
+        let vals = rand_values(&mut rng);
+        let d = DataArray::new(vals).unwrap();
+        assert_eq!(d.total(), d.prefix_sums().total(), "case {case}");
     }
 }

@@ -1,15 +1,14 @@
 //! Synthetic dataset families beyond the paper's Zipf recipe, used by the
 //! extended sweeps (EXPERIMENTS.md, ablation A4).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use synoptic_core::rng::Rng;
 use synoptic_core::DataArray;
 
 /// Uniform integer frequencies in `[lo, hi]`.
 pub fn uniform(n: usize, lo: i64, hi: i64, seed: u64) -> DataArray {
     assert!(n > 0 && lo <= hi);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let values = (0..n).map(|_| rng.random_range(lo..=hi)).collect();
+    let mut rng = Rng::new(seed);
+    let values = (0..n).map(|_| rng.i64_in(lo, hi)).collect();
     DataArray::new(values).expect("n > 0")
 }
 
@@ -18,10 +17,10 @@ pub fn uniform(n: usize, lo: i64, hi: i64, seed: u64) -> DataArray {
 /// Values are non-negative integers with peak height ≈ `peak`.
 pub fn normal_mixture(n: usize, modes: usize, peak: f64, seed: u64) -> DataArray {
     assert!(n > 0 && modes > 0 && peak >= 0.0);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let centers: Vec<f64> = (0..modes).map(|_| rng.random_range(0.0..n as f64)).collect();
+    let mut rng = Rng::new(seed);
+    let centers: Vec<f64> = (0..modes).map(|_| rng.f64_in(0.0, n as f64)).collect();
     let widths: Vec<f64> = (0..modes)
-        .map(|_| rng.random_range(n as f64 / 40.0..n as f64 / 8.0).max(0.5))
+        .map(|_| rng.f64_in(n as f64 / 40.0, n as f64 / 8.0).max(0.5))
         .collect();
     let values = (0..n)
         .map(|i| {
@@ -42,12 +41,12 @@ pub fn normal_mixture(n: usize, modes: usize, peak: f64, seed: u64) -> DataArray
 /// histogram with B ≥ segments is exact), useful as a sanity anchor.
 pub fn steps(n: usize, segments: usize, peak: i64, seed: u64) -> DataArray {
     assert!(n > 0 && segments > 0 && segments <= n && peak >= 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     // Choose segment boundaries.
     let mut cuts: Vec<usize> = (1..n).collect();
     let mut chosen = Vec::with_capacity(segments - 1);
     for _ in 0..segments - 1 {
-        let idx = rng.random_range(0..cuts.len());
+        let idx = rng.usize_in(0, cuts.len());
         chosen.push(cuts.swap_remove(idx));
     }
     chosen.sort_unstable();
@@ -55,7 +54,7 @@ pub fn steps(n: usize, segments: usize, peak: i64, seed: u64) -> DataArray {
     let mut values = Vec::with_capacity(n);
     let mut start = 0usize;
     for &end in &chosen {
-        let h = rng.random_range(0..=peak);
+        let h = rng.i64_in(0, peak);
         for _ in start..end {
             values.push(h);
         }

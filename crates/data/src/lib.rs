@@ -10,8 +10,9 @@
 //! sweeps (uniform, normal mixtures, steps); [`workload`] produces query
 //! workloads (all ranges, uniform random ranges, points, prefixes).
 //!
-//! All generators are deterministic given a seed (`StdRng`), so every figure
-//! in EXPERIMENTS.md is exactly reproducible.
+//! All generators are deterministic given a seed (the in-repo
+//! [`synoptic_core::rng::Rng`]), so every figure in EXPERIMENTS.md is
+//! exactly reproducible.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

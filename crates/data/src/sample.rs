@@ -8,8 +8,7 @@
 //! word than the optimized histograms on skewed data, which is exactly why
 //! the paper's line of work exists.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use synoptic_core::rng::Rng;
 use synoptic_core::{DataArray, PrefixSums, RangeEstimator, RangeQuery, Result, SynopticError};
 
 /// A uniform row sample as a range-sum estimator.
@@ -37,12 +36,12 @@ impl SampleEstimator {
             ));
         }
         let total = ps.total();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let mut sample: Vec<u32> = (0..m)
             .map(|_| {
                 // Draw a record rank in [1, total] and map to its position
                 // via binary search on the prefix table.
-                let r = rng.random_range(1..=total as u128) as i128;
+                let r = rng.u128_in_1(total as u128) as i128;
                 let pos = ps.table().partition_point(|&p| p < r) - 1;
                 pos as u32
             })

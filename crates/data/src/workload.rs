@@ -4,8 +4,7 @@
 //! evaluates restricted workloads (random ranges, points, prefixes) for the
 //! extended experiments.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use synoptic_core::rng::Rng;
 use synoptic_core::RangeQuery;
 
 /// Every range query on a domain of size `n` (materialized; prefer
@@ -18,15 +17,15 @@ pub fn all_ranges(n: usize) -> Vec<RangeQuery> {
 /// the `n(n+1)/2` possible ranges.
 pub fn random_ranges(n: usize, count: usize, seed: u64) -> Vec<RangeQuery> {
     assert!(n > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     (0..count)
         .map(|_| {
             // Uniform over unordered pairs {x ≤ y}: sample two endpoints and
             // order them, rejecting nothing (each unordered pair with x < y
             // has probability 2/n², pairs with x = y probability 1/n² — the
             // standard "uniform random range" used in selectivity papers).
-            let a = rng.random_range(0..n);
-            let b = rng.random_range(0..n);
+            let a = rng.usize_in(0, n);
+            let b = rng.usize_in(0, n);
             RangeQuery {
                 lo: a.min(b),
                 hi: a.max(b),
@@ -71,10 +70,7 @@ mod tests {
         let qs = random_ranges(4, 2000, 9);
         // Every one of the 10 ranges should appear with ~200 expected hits.
         for want in RangeQuery::all(4) {
-            assert!(
-                qs.contains(&want),
-                "range {want:?} never sampled"
-            );
+            assert!(qs.contains(&want), "range {want:?} never sampled");
         }
     }
 

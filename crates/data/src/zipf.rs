@@ -16,9 +16,7 @@
 //!   claimed ratios closely) or a random rank (permuted, reported in
 //!   EXPERIMENTS.md as a sensitivity variant).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use synoptic_core::rng::Rng;
 use synoptic_core::DataArray;
 
 /// How fractional Zipf frequencies are converted to integers.
@@ -82,10 +80,10 @@ pub fn zipf_frequencies(n: usize, alpha: f64, total_mass: f64) -> Vec<f64> {
 
 /// Generates a dataset per the paper's recipe.
 pub fn paper_dataset(cfg: &ZipfConfig) -> DataArray {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::new(cfg.seed);
     let mut freqs = zipf_frequencies(cfg.n, cfg.alpha, cfg.total_mass);
     if cfg.permute {
-        freqs.shuffle(&mut rng);
+        rng.shuffle(&mut freqs);
     }
     let values: Vec<i64> = freqs
         .iter()
@@ -94,7 +92,7 @@ pub fn paper_dataset(cfg: &ZipfConfig) -> DataArray {
     DataArray::new(values).expect("n > 0 guaranteed by zipf_frequencies")
 }
 
-fn round_value(f: f64, style: RoundingStyle, rng: &mut StdRng) -> i64 {
+fn round_value(f: f64, style: RoundingStyle, rng: &mut Rng) -> i64 {
     debug_assert!(f >= 0.0);
     let floor = f.floor();
     let frac = f - floor;
@@ -103,10 +101,10 @@ fn round_value(f: f64, style: RoundingStyle, rng: &mut StdRng) -> i64 {
             if frac == 0.0 {
                 false
             } else {
-                rng.random::<bool>()
+                rng.bool()
             }
         }
-        RoundingStyle::Unbiased => rng.random::<f64>() < frac,
+        RoundingStyle::Unbiased => rng.f64() < frac,
         RoundingStyle::Nearest => frac >= 0.5,
     };
     floor as i64 + i64::from(up)
@@ -188,7 +186,7 @@ mod tests {
     #[test]
     fn unbiased_rounding_is_unbiased_in_expectation() {
         // Round 0.25 many times: mean should approach 0.25.
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::new(42);
         let k = 20_000;
         let sum: i64 = (0..k)
             .map(|_| round_value(0.25, RoundingStyle::Unbiased, &mut rng))
@@ -205,7 +203,7 @@ mod tests {
 
     #[test]
     fn integral_floats_never_round_up() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::new(1);
         for style in [RoundingStyle::FairCoin, RoundingStyle::Unbiased] {
             for _ in 0..100 {
                 assert_eq!(round_value(3.0, style, &mut rng), 3);

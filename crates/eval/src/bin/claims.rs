@@ -31,7 +31,7 @@ fn main() {
     eprintln!("claims: n = {}, seed = {}", cfg.dataset.n, cfg.dataset.seed);
     let report = run_all_claims(&cfg).expect("claims run failed");
     println!("{}", claims_text(&report));
-    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    let json = synoptic_eval::json::to_string_pretty(&report);
     match write_artifact(&out, "claims.json", &json) {
         Ok(p) => eprintln!("wrote {p}"),
         Err(e) => eprintln!("artifact write failed: {e}"),

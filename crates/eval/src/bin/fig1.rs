@@ -40,7 +40,7 @@ fn main() {
     let fig = run_figure1(&cfg).expect("figure 1 run failed");
     println!("{}", fig1_table(&fig));
     let csv = fig1_csv(&fig);
-    let json = serde_json::to_string_pretty(&fig).expect("serializable");
+    let json = synoptic_eval::json::to_string_pretty(&fig);
     match (
         write_artifact(&out, "fig1.csv", &csv),
         write_artifact(&out, "fig1.json", &json),

@@ -30,7 +30,7 @@ fn run_rounding(out: &str) {
             r.scale, r.sse, r.ratio_vs_exact, r.states_kept, r.seconds
         );
     }
-    let json = serde_json::to_string_pretty(&rows).unwrap();
+    let json = synoptic_eval::json::to_string_pretty(&rows);
     let _ = write_artifact(out, "sweep_rounding.json", &json);
 }
 
@@ -44,11 +44,10 @@ fn run_states(out: &str) {
     for r in &rows {
         println!(
             "{:>5} {:>12} {:>9} {:>18} {:>9.3} {:>14.4e} {:>12.0}",
-            r.n, r.states_kept, r.max_hull, r.paper_table_width, r.seconds, r.sse,
-            r.max_abs_lambda
+            r.n, r.states_kept, r.max_hull, r.paper_table_width, r.seconds, r.sse, r.max_abs_lambda
         );
     }
-    let json = serde_json::to_string_pretty(&rows).unwrap();
+    let json = synoptic_eval::json::to_string_pretty(&rows);
     let _ = write_artifact(out, "sweep_states.json", &json);
 }
 
@@ -70,7 +69,7 @@ fn run_wavelets(out: &str) {
         }
         println!();
     }
-    let json = serde_json::to_string_pretty(&rows).unwrap();
+    let json = synoptic_eval::json::to_string_pretty(&rows);
     let _ = write_artifact(out, "sweep_wavelets.json", &json);
 }
 
@@ -100,7 +99,7 @@ fn run_datasets(out: &str) {
         }
         println!();
     }
-    let json = serde_json::to_string_pretty(&rows).unwrap();
+    let json = synoptic_eval::json::to_string_pretty(&rows);
     let _ = write_artifact(out, "sweep_datasets.json", &json);
 }
 
@@ -122,7 +121,7 @@ fn run_bounds(out: &str) {
             r.rmse
         );
     }
-    let json = serde_json::to_string_pretty(&rows).unwrap();
+    let json = synoptic_eval::json::to_string_pretty(&rows);
     let _ = write_artifact(out, "sweep_bounds.json", &json);
 }
 
@@ -140,7 +139,7 @@ fn run_hull(out: &str) {
             r.cap, r.sse, r.ratio_vs_exact, r.states_kept, r.seconds
         );
     }
-    let json = serde_json::to_string_pretty(&rows).unwrap();
+    let json = synoptic_eval::json::to_string_pretty(&rows);
     let _ = write_artifact(out, "sweep_hull.json", &json);
 }
 

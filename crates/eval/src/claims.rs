@@ -1,18 +1,18 @@
 //! The paper's four quantitative narrative claims (§4), each reproduced as
 //! a checkable "table".
 
-use serde::{Deserialize, Serialize};
 use synoptic_core::Result;
+use synoptic_core::RoundingMode;
 use synoptic_data::zipf::{paper_dataset, ZipfConfig};
 use synoptic_hist::opta::{build_opt_a, OptAConfig};
 use synoptic_hist::reopt::reoptimize;
-use synoptic_core::RoundingMode;
 
 use crate::figure1::{run_figure1, Fig1Config, Fig1Result};
+use crate::json::{JsonValue, ToJson};
 use crate::methods::MethodSpec;
 
 /// The measured counterpart of one narrative claim.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClaimResult {
     /// Claim id (T1–T4 in EXPERIMENTS.md).
     pub id: String,
@@ -28,10 +28,28 @@ pub struct ClaimResult {
 
 /// All four claims, computed from one Figure 1 run (plus a dedicated reopt
 /// pass for T4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClaimsReport {
     /// Individual claim outcomes.
     pub claims: Vec<ClaimResult>,
+}
+
+impl ToJson for ClaimResult {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("id", self.id.to_json()),
+            ("paper", self.paper.to_json()),
+            ("measured", self.measured.to_json()),
+            ("ratios", self.ratios.to_json()),
+            ("holds", self.holds.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ClaimsReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([("claims", self.claims.to_json())])
+    }
 }
 
 fn ratio_series(fig: &Fig1Result, num: &str, den: &str) -> Vec<(usize, f64)> {
@@ -105,7 +123,9 @@ pub fn sap0_inferior(fig: &Fig1Result) -> ClaimResult {
     ClaimResult {
         id: "T3".into(),
         paper: "SAP0 inferior per unit storage to the other range histograms".into(),
-        measured: format!("SAP0 worst of the range histograms at {worst_count}/{comparable} budgets"),
+        measured: format!(
+            "SAP0 worst of the range histograms at {worst_count}/{comparable} budgets"
+        ),
         holds: comparable > 0 && worst_count * 2 >= comparable,
         ratios,
     }
@@ -142,7 +162,12 @@ pub fn reopt_gain(dataset: &ZipfConfig, bucket_counts: &[usize]) -> Result<Claim
 /// Runs everything with the paper's dataset configuration.
 pub fn run_all_claims(cfg: &Fig1Config) -> Result<ClaimsReport> {
     let mut methods = cfg.methods.clone();
-    for needed in [MethodSpec::PointOpt, MethodSpec::OptA, MethodSpec::Sap0, MethodSpec::Sap1] {
+    for needed in [
+        MethodSpec::PointOpt,
+        MethodSpec::OptA,
+        MethodSpec::Sap0,
+        MethodSpec::Sap1,
+    ] {
         if !methods.contains(&needed) {
             methods.push(needed);
         }
@@ -204,15 +229,21 @@ mod tests {
             assert!(r.is_finite() && *r > 0.0, "budget {b}: ratio {r}");
         }
         for b in fig.budgets() {
-            let (a0, opta) = (fig.sse_of("A0", b).unwrap(), fig.sse_of("OPT-A", b).unwrap());
-            assert!(opta <= a0 + 1e-6 + 1e-9 * a0, "budget {b}: OPT-A {opta} vs A0 {a0}");
+            let (a0, opta) = (
+                fig.sse_of("A0", b).unwrap(),
+                fig.sse_of("OPT-A", b).unwrap(),
+            );
+            assert!(
+                opta <= a0 + 1e-6 + 1e-9 * a0,
+                "budget {b}: OPT-A {opta} vs A0 {a0}"
+            );
         }
     }
 
     #[test]
     fn claims_serialize() {
         let report = run_all_claims(&small_cfg()).unwrap();
-        let js = serde_json::to_string_pretty(&report).unwrap();
+        let js = crate::json::to_string_pretty(&report);
         assert!(js.contains("T1") && js.contains("T4"));
     }
 }

@@ -1,0 +1,295 @@
+//! A minimal JSON *emitter* (output only) for the experiment artifacts.
+//!
+//! The workspace builds fully offline, so `serde_json` is unavailable; the
+//! harness only ever needs to *write* JSON (figures, claims, sweeps are
+//! consumed by plotting scripts), so a small value tree plus a
+//! pretty-printer suffices. Strings are escaped per RFC 8259; non-finite
+//! floats (which JSON cannot represent) are emitted as `null`.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (emitted via Rust's shortest-round-trip float formatting;
+    /// non-finite values print as `null`).
+    Num(f64),
+    /// An exact integer (kept separate so `u64`/`i64` never lose precision).
+    Int(i128),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An object builder: `JsonValue::obj([("k", v), …])`.
+    pub fn obj<I>(fields: I) -> Self
+    where
+        I: IntoIterator<Item = (&'static str, JsonValue)>,
+    {
+        JsonValue::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// An array from anything convertible.
+    pub fn arr<T: ToJson, I: IntoIterator<Item = T>>(items: I) -> Self {
+        JsonValue::Arr(items.into_iter().map(|x| x.to_json()).collect())
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline-free
+    /// body (mirroring `serde_json::to_string_pretty`).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out
+    }
+
+    /// Compact single-line form.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Num(x) => {
+                if x.is_finite() {
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        // Emit integral floats with a ".0" so readers keep
+                        // the float type (matches serde_json's behaviour).
+                        let _ = write!(out, "{:.1}", x);
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        push_indent(out, indent + 1);
+                    }
+                    item.write(out, indent + 1, pretty);
+                }
+                if pretty {
+                    out.push('\n');
+                    push_indent(out, indent);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        push_indent(out, indent + 1);
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write(out, indent + 1, pretty);
+                }
+                if pretty {
+                    out.push('\n');
+                    push_indent(out, indent);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`JsonValue`]; implemented by every artifact row type.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> JsonValue;
+}
+
+impl ToJson for JsonValue {
+    fn to_json(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Num(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Int(*self as i128)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Int(*self as i128)
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Int(*self as i128)
+    }
+}
+
+impl ToJson for u128 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Int(*self as i128)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str((*self).to_string())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(|x| x.to_json()).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> JsonValue {
+        (*self).to_json()
+    }
+}
+
+/// `to_string_pretty(&value)` for any convertible type — drop-in for the
+/// old `serde_json::to_string_pretty` call sites.
+pub fn to_string_pretty<T: ToJson>(value: &T) -> String {
+    value.to_json().to_string_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.to_string_compact(), "null");
+        assert_eq!(JsonValue::Bool(true).to_string_compact(), "true");
+        assert_eq!(JsonValue::Int(42).to_string_compact(), "42");
+        assert_eq!(JsonValue::Num(1.5).to_string_compact(), "1.5");
+        assert_eq!(JsonValue::Num(2.0).to_string_compact(), "2.0");
+        assert_eq!(JsonValue::Num(f64::NAN).to_string_compact(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let v = JsonValue::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(v.to_string_compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_object_matches_expected_layout() {
+        let v = JsonValue::obj([
+            ("name", JsonValue::Str("x".into())),
+            ("vals", JsonValue::arr([1.0f64, 2.5])),
+            ("empty", JsonValue::Arr(vec![])),
+        ]);
+        let expect =
+            "{\n  \"name\": \"x\",\n  \"vals\": [\n    1.0,\n    2.5\n  ],\n  \"empty\": []\n}";
+        assert_eq!(v.to_string_pretty(), expect);
+    }
+
+    #[test]
+    fn tuples_and_vecs_convert() {
+        let pairs: Vec<(usize, f64)> = vec![(8, 0.5), (16, 0.25)];
+        assert_eq!(pairs.to_json().to_string_compact(), "[[8,0.5],[16,0.25]]");
+    }
+
+    #[test]
+    fn float_precision_round_trips() {
+        // Shortest-round-trip formatting must preserve the exact value.
+        for x in [0.1, 1.0 / 3.0, 123456.789, 1e-12, 1e15 + 0.5] {
+            let s = JsonValue::Num(x).to_string_compact();
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back, x, "{s}");
+        }
+    }
+}

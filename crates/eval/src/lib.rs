@@ -24,10 +24,12 @@
 
 pub mod claims;
 pub mod figure1;
+pub mod json;
 pub mod methods;
 pub mod metrics;
 pub mod report;
 pub mod sweeps;
 
 pub use figure1::{run_figure1, Fig1Config, Fig1Result, Fig1Row};
+pub use json::{to_string_pretty, JsonValue, ToJson};
 pub use methods::MethodSpec;

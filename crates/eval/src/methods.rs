@@ -1,12 +1,11 @@
 //! Uniform access to every synopsis family at a given storage budget.
 
-use serde::{Deserialize, Serialize};
 use synoptic_core::{PrefixSums, RangeEstimator, Result, SynopticError};
 use synoptic_hist::builder::{build as build_hist, HistogramMethod};
 use synoptic_wavelet::{PointWaveletSynopsis, PrefixWaveletSynopsis, RangeOptimalWavelet};
 
 /// Every method the harness can evaluate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MethodSpec {
     /// Single global average.
     Naive,
@@ -134,18 +133,20 @@ impl MethodSpec {
             Ok(budget / 2)
         };
         Ok(match self {
-            MethodSpec::WaveletPoint => {
-                Box::new(PointWaveletSynopsis::build(values, wavelet_b(budget_words)?))
-            }
+            MethodSpec::WaveletPoint => Box::new(PointWaveletSynopsis::build(
+                values,
+                wavelet_b(budget_words)?,
+            )),
             MethodSpec::WaveletPrefix => {
                 Box::new(PrefixWaveletSynopsis::build(ps, wavelet_b(budget_words)?))
             }
             MethodSpec::WaveletRange => {
                 Box::new(RangeOptimalWavelet::build(ps, wavelet_b(budget_words)?))
             }
-            MethodSpec::WaveletRangeGreedy => Box::new(
-                synoptic_wavelet::build_range_greedy(ps, wavelet_b(budget_words)?),
-            ),
+            MethodSpec::WaveletRangeGreedy => Box::new(synoptic_wavelet::build_range_greedy(
+                ps,
+                wavelet_b(budget_words)?,
+            )),
             hist => {
                 let hm = match hist {
                     MethodSpec::Naive => HistogramMethod::Naive,

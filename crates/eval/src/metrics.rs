@@ -5,11 +5,12 @@
 //! module computes those over any workload, for any estimator, plus the
 //! certified-interval statistics of the bounded histograms.
 
-use serde::{Deserialize, Serialize};
 use synoptic_core::{BoundedHistogram, PrefixSums, RangeEstimator, RangeQuery};
 
+use crate::json::{JsonValue, ToJson};
+
 /// Summary of an estimator's per-query error distribution over a workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ErrorProfile {
     /// Number of queries evaluated.
     pub queries: usize,
@@ -26,6 +27,20 @@ pub struct ErrorProfile {
     pub median_rel: f64,
     /// 95th-percentile relative error.
     pub p95_rel: f64,
+}
+
+impl ToJson for ErrorProfile {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("queries", self.queries.to_json()),
+            ("sse", self.sse.to_json()),
+            ("rmse", self.rmse.to_json()),
+            ("mae", self.mae.to_json()),
+            ("max_abs", self.max_abs.to_json()),
+            ("median_rel", self.median_rel.to_json()),
+            ("p95_rel", self.p95_rel.to_json()),
+        ])
+    }
 }
 
 /// Computes an [`ErrorProfile`] over an explicit workload.
@@ -71,7 +86,7 @@ pub fn error_profile_all_ranges<E: RangeEstimator>(est: &E, ps: &PrefixSums) -> 
 }
 
 /// Summary of a bounded histogram's certified intervals over all ranges.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IntervalProfile {
     /// Number of queries evaluated.
     pub queries: usize,
@@ -84,6 +99,18 @@ pub struct IntervalProfile {
     /// Whether every interval contained the truth (must be `true`;
     /// recorded for the report).
     pub all_sound: bool,
+}
+
+impl ToJson for IntervalProfile {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("queries", self.queries.to_json()),
+            ("mean_width", self.mean_width.to_json()),
+            ("max_width", self.max_width.to_json()),
+            ("exact_fraction", self.exact_fraction.to_json()),
+            ("all_sound", self.all_sound.to_json()),
+        ])
+    }
 }
 
 /// Computes certified-interval statistics for a [`BoundedHistogram`].

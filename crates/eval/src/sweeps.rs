@@ -1,16 +1,16 @@
 //! Extended ablations A1–A4 (see DESIGN.md §6 and EXPERIMENTS.md).
 
-use serde::{Deserialize, Serialize};
 use synoptic_core::{DataArray, Result, RoundingMode};
 use synoptic_data::generators::{normal_mixture, steps, uniform};
 use synoptic_data::zipf::{paper_dataset, ZipfConfig};
 use synoptic_hist::opta::{build_opt_a, OptAConfig};
 use synoptic_hist::opta_rounded::build_opt_a_rounded;
 
+use crate::json::{JsonValue, ToJson};
 use crate::methods::{exact_sse, MethodSpec};
 
 /// A1 — OPT-A-ROUNDED: quality and DP-state shrinkage vs the data scale `x`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RoundingSweepRow {
     /// Data scale `x`.
     pub scale: i64,
@@ -22,6 +22,18 @@ pub struct RoundingSweepRow {
     pub states_kept: u64,
     /// DP seconds on the scaled data.
     pub seconds: f64,
+}
+
+impl ToJson for RoundingSweepRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("scale", self.scale.to_json()),
+            ("sse", self.sse.to_json()),
+            ("ratio_vs_exact", self.ratio_vs_exact.to_json()),
+            ("states_kept", self.states_kept.to_json()),
+            ("seconds", self.seconds.to_json()),
+        ])
+    }
 }
 
 /// Runs ablation A1 on the paper dataset with `buckets` buckets.
@@ -40,7 +52,11 @@ pub fn rounding_sweep(
             Ok(RoundingSweepRow {
                 scale,
                 sse: r.sse,
-                ratio_vs_exact: if exact.sse > 0.0 { r.sse / exact.sse } else { 1.0 },
+                ratio_vs_exact: if exact.sse > 0.0 {
+                    r.sse / exact.sse
+                } else {
+                    1.0
+                },
                 states_kept: r.stats.states_kept,
                 seconds: r.stats.seconds,
             })
@@ -49,7 +65,7 @@ pub fn rounding_sweep(
 }
 
 /// A2 — hull-pruned DP state counts vs the paper's `Λ*`-table bound.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StatesSweepRow {
     /// Domain size.
     pub n: usize,
@@ -68,6 +84,21 @@ pub struct StatesSweepRow {
     pub sse: f64,
     /// Largest |Λ| among kept states; the paper notes `Λ* ≤ OPT`.
     pub max_abs_lambda: f64,
+}
+
+impl ToJson for StatesSweepRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("n", self.n.to_json()),
+            ("buckets", self.buckets.to_json()),
+            ("states_kept", self.states_kept.to_json()),
+            ("max_hull", self.max_hull.to_json()),
+            ("paper_table_width", self.paper_table_width.to_json()),
+            ("seconds", self.seconds.to_json()),
+            ("sse", self.sse.to_json()),
+            ("max_abs_lambda", self.max_abs_lambda.to_json()),
+        ])
+    }
 }
 
 /// Runs ablation A2 across domain sizes.
@@ -97,12 +128,21 @@ pub fn states_sweep(ns: &[usize], buckets: usize, seed: u64) -> Result<Vec<State
 }
 
 /// A3 — wavelet strategy comparison row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WaveletSweepRow {
     /// Storage budget in words.
     pub budget_words: usize,
     /// SSE per strategy, keyed by method name.
     pub sse: Vec<(String, f64)>,
+}
+
+impl ToJson for WaveletSweepRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("budget_words", self.budget_words.to_json()),
+            ("sse", self.sse.to_json()),
+        ])
+    }
 }
 
 /// Runs ablation A3: the three wavelet strategies plus OPT-A across budgets.
@@ -133,7 +173,7 @@ pub fn wavelet_sweep(dataset: &ZipfConfig, budgets: &[usize]) -> Result<Vec<Wave
 }
 
 /// A4 — dataset-family sensitivity row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetSweepRow {
     /// Dataset family label.
     pub dataset: String,
@@ -141,6 +181,16 @@ pub struct DatasetSweepRow {
     pub n: usize,
     /// SSE per method at the fixed budget, keyed by method name.
     pub sse: Vec<(String, f64)>,
+}
+
+impl ToJson for DatasetSweepRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("dataset", self.dataset.to_json()),
+            ("n", self.n.to_json()),
+            ("sse", self.sse.to_json()),
+        ])
+    }
 }
 
 /// The dataset families of ablation A4.
@@ -284,7 +334,7 @@ mod tests {
 
 /// A5 — certified-interval width vs budget for the bounded histogram
 /// (extension; see `synoptic_core::histogram::bounded`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BoundsSweepRow {
     /// Storage budget in words.
     pub budget_words: usize,
@@ -296,6 +346,18 @@ pub struct BoundsSweepRow {
     pub exact_fraction: f64,
     /// RMSE of the midpoint estimate, for scale.
     pub rmse: f64,
+}
+
+impl ToJson for BoundsSweepRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("budget_words", self.budget_words.to_json()),
+            ("mean_width", self.mean_width.to_json()),
+            ("max_width", self.max_width.to_json()),
+            ("exact_fraction", self.exact_fraction.to_json()),
+            ("rmse", self.rmse.to_json()),
+        ])
+    }
 }
 
 /// Runs ablation A5 on the paper dataset.
@@ -311,11 +373,8 @@ pub fn bounds_sweep(dataset: &ZipfConfig, budgets: &[usize]) -> Result<Vec<Bound
         .map(|&budget| {
             let b = (budget / 4).clamp(1, ps.n());
             let base = build_opt_a(&ps, &OptAConfig::exact(b, RoundingMode::None))?;
-            let h = BoundedHistogram::build(
-                base.histogram.bucketing().clone(),
-                data.values(),
-                &ps,
-            )?;
+            let h =
+                BoundedHistogram::build(base.histogram.bucketing().clone(), data.values(), &ps)?;
             let ip = interval_profile(&h, &ps);
             let ep = error_profile_all_ranges(&h, &ps);
             Ok(BoundsSweepRow {
@@ -381,7 +440,7 @@ mod lambda_bound_tests {
 /// A6 — hull-cap ablation: quality/speed impact of capping the per-cell
 /// state hull (the `max_hull_states` knob of `OptAConfig`), the one
 /// approximation lever DESIGN.md §4.1 introduces on top of the paper.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HullCapSweepRow {
     /// Cap (0 = unlimited = exact).
     pub cap: usize,
@@ -393,6 +452,18 @@ pub struct HullCapSweepRow {
     pub states_kept: u64,
     /// DP seconds.
     pub seconds: f64,
+}
+
+impl ToJson for HullCapSweepRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("cap", self.cap.to_json()),
+            ("sse", self.sse.to_json()),
+            ("ratio_vs_exact", self.ratio_vs_exact.to_json()),
+            ("states_kept", self.states_kept.to_json()),
+            ("seconds", self.seconds.to_json()),
+        ])
+    }
 }
 
 /// Runs ablation A6 on the paper dataset with `buckets` buckets.
@@ -419,7 +490,11 @@ pub fn hull_cap_sweep(
             Ok(HullCapSweepRow {
                 cap,
                 sse: r.sse,
-                ratio_vs_exact: if exact.sse > 0.0 { r.sse / exact.sse } else { 1.0 },
+                ratio_vs_exact: if exact.sse > 0.0 {
+                    r.sse / exact.sse
+                } else {
+                    1.0
+                },
                 states_kept: r.stats.states_kept,
                 seconds: r.stats.seconds,
             })

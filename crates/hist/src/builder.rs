@@ -132,13 +132,12 @@ pub fn build(
         HistogramMethod::A0 => Box::new(build_a0(ps, b)?),
         HistogramMethod::Sap0 => Box::new(build_sap0(ps, b)?),
         HistogramMethod::Sap1 => Box::new(build_sap1(ps, b)?),
-        HistogramMethod::OptA => Box::new(
-            build_opt_a(ps, &OptAConfig::exact(b, RoundingMode::None))?
-                .histogram,
-        ),
-        HistogramMethod::OptAIntegral => Box::new(
-            build_opt_a(ps, &OptAConfig::exact(b, RoundingMode::NearestInt))?.histogram,
-        ),
+        HistogramMethod::OptA => {
+            Box::new(build_opt_a(ps, &OptAConfig::exact(b, RoundingMode::None))?.histogram)
+        }
+        HistogramMethod::OptAIntegral => {
+            Box::new(build_opt_a(ps, &OptAConfig::exact(b, RoundingMode::NearestInt))?.histogram)
+        }
         HistogramMethod::OptARounded { eps } => {
             Box::new(build_opt_a_rounded_eps(ps, values, b, eps)?.histogram)
         }
@@ -205,9 +204,18 @@ mod tests {
 
     #[test]
     fn budget_accounting_matches_words_per_bucket() {
-        assert_eq!(HistogramMethod::Sap0.buckets_for_budget(12, 100).unwrap(), 4);
-        assert_eq!(HistogramMethod::Sap1.buckets_for_budget(12, 100).unwrap(), 2);
-        assert_eq!(HistogramMethod::OptA.buckets_for_budget(12, 100).unwrap(), 6);
+        assert_eq!(
+            HistogramMethod::Sap0.buckets_for_budget(12, 100).unwrap(),
+            4
+        );
+        assert_eq!(
+            HistogramMethod::Sap1.buckets_for_budget(12, 100).unwrap(),
+            2
+        );
+        assert_eq!(
+            HistogramMethod::OptA.buckets_for_budget(12, 100).unwrap(),
+            6
+        );
         assert_eq!(HistogramMethod::OptA.buckets_for_budget(12, 4).unwrap(), 4);
         assert!(HistogramMethod::Sap1.buckets_for_budget(4, 100).is_err());
     }
@@ -247,6 +255,9 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(HistogramMethod::OptA.name(), "OPT-A");
-        assert_eq!(HistogramMethod::OptARounded { eps: 0.1 }.name(), "OPT-A-ROUNDED");
+        assert_eq!(
+            HistogramMethod::OptARounded { eps: 0.1 }.name(),
+            "OPT-A-ROUNDED"
+        );
     }
 }

@@ -163,11 +163,7 @@ mod tests {
                     sol.objective
                 );
                 // Reconstructed bucketing must reproduce the objective.
-                let recon: f64 = sol
-                    .bucketing
-                    .iter()
-                    .map(|(l, r)| cost(l, r))
-                    .sum();
+                let recon: f64 = sol.bucketing.iter().map(|(l, r)| cost(l, r)).sum();
                 assert!((recon - sol.objective).abs() < 1e-9, "n={n} b={b}");
                 assert!(sol.bucketing.num_buckets() <= b);
             }

@@ -144,8 +144,14 @@ mod tests {
         use synoptic_core::RangeEstimator;
         let vals = vec![1i64, 5, 9, 2, 4, 4];
         let ps = PrefixSums::from_values(&vals);
-        assert_eq!(build_equi_width(&ps, 2).unwrap().method_name(), "EQUI-WIDTH");
-        assert_eq!(build_equi_depth(&ps, 2).unwrap().method_name(), "EQUI-DEPTH");
+        assert_eq!(
+            build_equi_width(&ps, 2).unwrap().method_name(),
+            "EQUI-WIDTH"
+        );
+        assert_eq!(
+            build_equi_depth(&ps, 2).unwrap().method_name(),
+            "EQUI-DEPTH"
+        );
         assert_eq!(
             build_max_diff(&vals, &ps, 2).unwrap().method_name(),
             "MAX-DIFF"

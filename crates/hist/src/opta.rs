@@ -437,8 +437,7 @@ mod tests {
         for vals in datasets() {
             let p = ps(&vals);
             for b in 1..=4 {
-                let r =
-                    build_opt_a(&p, &OptAConfig::exact(b, RoundingMode::NearestInt)).unwrap();
+                let r = build_opt_a(&p, &OptAConfig::exact(b, RoundingMode::NearestInt)).unwrap();
                 assert!(
                     (r.dp_objective - r.sse).abs() <= 1e-6 * (1.0 + r.sse),
                     "vals={vals:?} b={b}: dp={} sse={}",
@@ -457,8 +456,7 @@ mod tests {
             for b in 1..=3.min(n) {
                 let r = build_opt_a(&p, &OptAConfig::exact(b, RoundingMode::None)).unwrap();
                 let (_, best) = exhaustive_optimal(n, b, |bk| {
-                    let vh =
-                        ValueHistogram::with_averages(bk.clone(), &p, "cand").unwrap();
+                    let vh = ValueHistogram::with_averages(bk.clone(), &p, "cand").unwrap();
                     sse_value_histogram(vh.xprefix(), &p)
                 })
                 .unwrap();
@@ -477,11 +475,9 @@ mod tests {
             let p = ps(&vals);
             let n = vals.len();
             for b in 1..=3.min(n) {
-                let r =
-                    build_opt_a(&p, &OptAConfig::exact(b, RoundingMode::NearestInt)).unwrap();
+                let r = build_opt_a(&p, &OptAConfig::exact(b, RoundingMode::NearestInt)).unwrap();
                 let (_, best) = exhaustive_optimal(n, b, |bk| {
-                    let h =
-                        OptAHistogram::new(bk.clone(), &p, RoundingMode::NearestInt).unwrap();
+                    let h = OptAHistogram::new(bk.clone(), &p, RoundingMode::NearestInt).unwrap();
                     sse_brute(&h, &p)
                 })
                 .unwrap();
@@ -591,7 +587,7 @@ mod tests {
         };
         let hull = lower_hull(vec![
             mk(0.0, 0.0),
-            mk(1.0, 5.0),  // above segment (0,0)–(2,0): pruned
+            mk(1.0, 5.0), // above segment (0,0)–(2,0): pruned
             mk(2.0, 0.0),
             mk(1.5, -3.0), // below: kept
             mk(1.5, -1.0), // duplicate Λ, worse cost: pruned

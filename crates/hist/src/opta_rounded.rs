@@ -122,7 +122,10 @@ pub fn build_opt_a_rounded(
             "scale must be ≥ 1, got {scale}"
         )));
     }
-    let scaled: Vec<i64> = values.iter().map(|&v| round_to_multiple(v, scale)).collect();
+    let scaled: Vec<i64> = values
+        .iter()
+        .map(|&v| round_to_multiple(v, scale))
+        .collect();
     let scaled_ps = PrefixSums::from_values(&scaled);
     // The DP runs on the divided data; RoundingMode::NearestInt keeps Λ
     // integral on the divided scale, which is where the ×x state shrinkage
@@ -161,8 +164,8 @@ pub fn scale_for_epsilon(values: &[i64], eps: f64) -> Result<i64> {
             "epsilon must be positive, got {eps}"
         )));
     }
-    let mean = values.iter().map(|&v| v.unsigned_abs() as f64).sum::<f64>()
-        / values.len().max(1) as f64;
+    let mean =
+        values.iter().map(|&v| v.unsigned_abs() as f64).sum::<f64>() / values.len().max(1) as f64;
     Ok(((eps * mean).floor() as i64).max(1))
 }
 
@@ -201,8 +204,8 @@ mod tests {
 
     #[test]
     fn rounding_to_multiples() {
-        assert_eq!(round_to_multiple(7, 5), 1);  // 7 → 5/5
-        assert_eq!(round_to_multiple(8, 5), 2);  // 8 → 10/5
+        assert_eq!(round_to_multiple(7, 5), 1); // 7 → 5/5
+        assert_eq!(round_to_multiple(8, 5), 2); // 8 → 10/5
         assert_eq!(round_to_multiple(-7, 5), -1);
         assert_eq!(round_to_multiple(-8, 5), -2);
         assert_eq!(round_to_multiple(10, 5), 2);

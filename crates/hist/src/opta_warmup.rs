@@ -22,9 +22,7 @@ use std::collections::HashMap;
 
 use synoptic_core::rounding::round_scaled;
 use synoptic_core::sse::sse_brute;
-use synoptic_core::{
-    Bucketing, OptAHistogram, PrefixSums, Result, RoundingMode, SynopticError,
-};
+use synoptic_core::{Bucketing, OptAHistogram, PrefixSums, Result, RoundingMode, SynopticError};
 
 /// Result of the warm-up table DP.
 #[derive(Debug, Clone)]
@@ -119,8 +117,7 @@ pub fn build_opt_a_warmup(ps: &PrefixSums, buckets: usize) -> Result<WarmupResul
                 for (&(l2, l1), &(e, _, _)) in &table[k - 1][j] {
                     // New pairs completed by this bucket: its intra queries,
                     // plus (a ≤ j, b in bucket): Σu²·width + Σv²·j + 2λ·V₁.
-                    let cost =
-                        e + wc.intra + l2 * width + wc.v2 * j as i128 + 2 * l1 * wc.v1;
+                    let cost = e + wc.intra + l2 * width + wc.v2 * j as i128 + 2 * l1 * wc.v1;
                     let key = (l2 + wc.u2, l1 + wc.u1);
                     let entry = fresh.entry(key).or_insert((i128::MAX, 0, (0, 0)));
                     if cost < entry.0 {

@@ -40,7 +40,7 @@ pub fn normal_equations(bucketing: &Bucketing, ps: &PrefixSums) -> (Matrix, Vec<
     let mut cap_c = vec![0.0; nb]; // C = Σ c(i)
     let mut sum_dc = vec![0.0; nb]; // Σ P[i]·c(i)
     let mut cap_d = 0.0; // Σ P[i]
-    // c(i) is built incrementally: position i−1 lives in bucket b(i−1).
+                         // c(i) is built incrementally: position i−1 lives in bucket b(i−1).
     let mut c = vec![0.0; nb];
     let posmap = bucketing.position_map();
     for i in 0..=n {
@@ -64,26 +64,24 @@ pub fn normal_equations(bucketing: &Bucketing, ps: &PrefixSums) -> (Matrix, Vec<
     let mut q = Matrix::zeros(nb, nb);
     for t in 0..nb {
         for u in 0..nb {
-            let cc = if u >= t { sum_cc[(t, u)] } else { sum_cc[(u, t)] };
+            let cc = if u >= t {
+                sum_cc[(t, u)]
+            } else {
+                sum_cc[(u, t)]
+            };
             q[(t, u)] = kf * cc - cap_c[t] * cap_c[u];
         }
     }
-    let rhs: Vec<f64> = (0..nb)
-        .map(|t| kf * sum_dc[t] - cap_d * cap_c[t])
-        .collect();
+    let rhs: Vec<f64> = (0..nb).map(|t| kf * sum_dc[t] - cap_d * cap_c[t]).collect();
     (q, rhs)
 }
 
 /// Re-optimizes the per-bucket values of any bucketing for the all-ranges
 /// SSE. `base_name` labels the result (e.g. `"OPT-A"` → `"OPT-A-reopt"`).
-pub fn reoptimize(
-    bucketing: &Bucketing,
-    ps: &PrefixSums,
-    base_name: &str,
-) -> Result<ReoptResult> {
+pub fn reoptimize(bucketing: &Bucketing, ps: &PrefixSums, base_name: &str) -> Result<ReoptResult> {
     let (q, rhs) = normal_equations(bucketing, ps);
-    let x = solve_spd_with_ridge(&q, &rhs)
-        .map_err(|e| SynopticError::SingularSystem(e.to_string()))?;
+    let x =
+        solve_spd_with_ridge(&q, &rhs).map_err(|e| SynopticError::SingularSystem(e.to_string()))?;
     let histogram = ValueHistogram::new(bucketing.clone(), x, format!("{base_name}-reopt"))?;
     let sse = sse_value_histogram(histogram.xprefix(), ps);
     Ok(ReoptResult { histogram, sse })

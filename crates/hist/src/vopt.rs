@@ -66,11 +66,7 @@ pub fn build_point_opt_with_objective(
 
 /// Weighted point-query SSE of an arbitrary bucketing with weighted-mean
 /// values (for tests and diagnostics).
-pub fn weighted_point_sse(
-    values: &[i64],
-    bucketing: &Bucketing,
-    weighting: PointWeighting,
-) -> f64 {
+pub fn weighted_point_sse(values: &[i64], bucketing: &Bucketing, weighting: PointWeighting) -> f64 {
     let oracle = match weighting {
         PointWeighting::Uniform => WeightedPointOracle::uniform(values),
         PointWeighting::RangeInclusion => WeightedPointOracle::range_inclusion(values),
@@ -91,8 +87,8 @@ mod tests {
     fn uniform_vopt_minimizes_point_sse() {
         let vals = vec![1i64, 1, 1, 50, 50, 50, 2, 2];
         let p = ps(&vals);
-        let (h, obj) = build_point_opt_with_objective(&vals, &p, 3, PointWeighting::Uniform)
-            .unwrap();
+        let (h, obj) =
+            build_point_opt_with_objective(&vals, &p, 3, PointWeighting::Uniform).unwrap();
         // Perfect split: [0..2], [3..5], [6..7] ⇒ zero point error.
         assert!(obj < 1e-9, "objective {obj}");
         let point_sse: f64 = (0..8)
@@ -111,8 +107,7 @@ mod tests {
         let p = ps(&vals);
         for w in [PointWeighting::Uniform, PointWeighting::RangeInclusion] {
             for b in 1..=4 {
-                let (h, obj) =
-                    build_point_opt_with_objective(&vals, &p, b, w).unwrap();
+                let (h, obj) = build_point_opt_with_objective(&vals, &p, b, w).unwrap();
                 let recomputed = weighted_point_sse(&vals, h.bucketing(), w);
                 assert!(
                     (obj - recomputed).abs() <= 1e-6 * (1.0 + obj),

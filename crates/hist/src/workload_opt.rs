@@ -88,8 +88,8 @@ pub fn reoptimize_for_workload(
     name: &str,
 ) -> Result<ValueHistogram> {
     let (q, rhs) = workload_normal_equations(bucketing, ps, queries)?;
-    let x = solve_spd_with_ridge(&q, &rhs)
-        .map_err(|e| SynopticError::SingularSystem(e.to_string()))?;
+    let x =
+        solve_spd_with_ridge(&q, &rhs).map_err(|e| SynopticError::SingularSystem(e.to_string()))?;
     ValueHistogram::new(bucketing.clone(), x, name.to_string())
 }
 
@@ -179,7 +179,10 @@ mod tests {
         let (q1, r1) = workload_normal_equations(&b, &p, &all_queries(10)).unwrap();
         let (q2, r2) = normal_equations(&b, &p);
         for t in 0..3 {
-            assert!((r1[t] - r2[t]).abs() <= 1e-6 * (1.0 + r2[t].abs()), "rhs[{t}]");
+            assert!(
+                (r1[t] - r2[t]).abs() <= 1e-6 * (1.0 + r2[t].abs()),
+                "rhs[{t}]"
+            );
             for u in 0..3 {
                 assert!(
                     (q1[(t, u)] - q2[(t, u)]).abs() <= 1e-6 * (1.0 + q2[(t, u)].abs()),

@@ -212,10 +212,7 @@ mod tests {
             Err(LinalgError::Shape(_))
         ));
         let a = Matrix::identity(2);
-        assert!(matches!(
-            lu_solve(&a, &[1.0]),
-            Err(LinalgError::Shape(_))
-        ));
+        assert!(matches!(lu_solve(&a, &[1.0]), Err(LinalgError::Shape(_))));
     }
 
     #[test]
@@ -255,7 +252,9 @@ mod tests {
         // Deterministic pseudo-random SPD matrices: A = MᵀM + I.
         let mut seed = 0x12345678u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         for n in [1usize, 2, 5, 12] {

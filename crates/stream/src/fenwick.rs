@@ -72,9 +72,7 @@ impl Fenwick {
 
     /// Materializes the current frequencies in O(n log n).
     pub fn to_values(&self) -> Vec<i64> {
-        (0..self.n)
-            .map(|i| (self.range_sum(i, i)) as i64)
-            .collect()
+        (0..self.n).map(|i| (self.range_sum(i, i)) as i64).collect()
     }
 }
 

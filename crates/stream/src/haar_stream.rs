@@ -68,7 +68,10 @@ impl StreamingHaar {
     /// Applies `A[i] += delta` in O(log n).
     pub fn update(&mut self, i: usize, delta: i64) -> Result<()> {
         if i >= self.n {
-            return Err(SynopticError::IndexOutOfBounds { index: i, n: self.n });
+            return Err(SynopticError::IndexOutOfBounds {
+                index: i,
+                n: self.n,
+            });
         }
         let d = delta as f64;
         for c in touching_indices(i, self.nn) {
@@ -165,7 +168,10 @@ impl StreamingRangeOptimal {
     /// `x ≥ i + 1`; the constant padding (total mass) shifts with both.
     pub fn update(&mut self, i: usize, delta: i64) -> Result<()> {
         if i >= self.n {
-            return Err(SynopticError::IndexOutOfBounds { index: i, n: self.n });
+            return Err(SynopticError::IndexOutOfBounds {
+                index: i,
+                n: self.n,
+            });
         }
         let d = delta as f64;
         Self::add_step(&mut self.hp, self.nn, i, d);
@@ -192,7 +198,9 @@ mod tests {
     use synoptic_core::{PrefixSums, RangeEstimator, RangeQuery};
 
     fn lcg(seed: &mut u64) -> u64 {
-        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         *seed >> 33
     }
 

@@ -133,9 +133,7 @@ mod tests {
     use synoptic_hist::sap0::build_sap0;
 
     fn builder() -> impl FnMut(&[i64], &PrefixSums) -> Result<Box<dyn RangeEstimator>> {
-        |_vals: &[i64], ps: &PrefixSums| {
-            Ok(Box::new(build_sap0(ps, 3)?) as Box<dyn RangeEstimator>)
-        }
+        |_vals: &[i64], ps: &PrefixSums| Ok(Box::new(build_sap0(ps, 3)?) as Box<dyn RangeEstimator>)
     }
 
     #[test]
@@ -158,8 +156,8 @@ mod tests {
     #[test]
     fn drift_policy_fires_on_mass_change() {
         let vals = vec![100i64; 10]; // mass 1000
-        let mut m = MaintainedHistogram::new(&vals, builder(), RebuildPolicy::DriftFraction(0.1))
-            .unwrap();
+        let mut m =
+            MaintainedHistogram::new(&vals, builder(), RebuildPolicy::DriftFraction(0.1)).unwrap();
         // 100 units of |δ| = 10% of mass ⇒ the 101st unit fires.
         let mut fired = false;
         for _ in 0..101 {
@@ -172,8 +170,7 @@ mod tests {
     #[test]
     fn manual_policy_never_auto_rebuilds_but_tracks_exact_answers() {
         let vals = vec![5i64, 5, 5, 5, 5, 5];
-        let mut m =
-            MaintainedHistogram::new(&vals, builder(), RebuildPolicy::Manual).unwrap();
+        let mut m = MaintainedHistogram::new(&vals, builder(), RebuildPolicy::Manual).unwrap();
         for _ in 0..50 {
             assert!(!m.update(0, 2).unwrap());
         }
@@ -210,8 +207,7 @@ mod tests {
             MaintainedHistogram::new(&vals, builder(), RebuildPolicy::EveryKUpdates(0)).is_err()
         );
         assert!(
-            MaintainedHistogram::new(&vals, builder(), RebuildPolicy::DriftFraction(0.0))
-                .is_err()
+            MaintainedHistogram::new(&vals, builder(), RebuildPolicy::DriftFraction(0.0)).is_err()
         );
     }
 }

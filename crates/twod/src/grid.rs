@@ -37,9 +37,7 @@ impl RectQuery {
     pub fn all(nx: usize, ny: usize) -> impl Iterator<Item = RectQuery> {
         (0..nx).flat_map(move |x0| {
             (x0..nx).flat_map(move |x1| {
-                (0..ny).flat_map(move |y0| {
-                    (y0..ny).map(move |y1| RectQuery { x0, x1, y0, y1 })
-                })
+                (0..ny).flat_map(move |y0| (y0..ny).map(move |y1| RectQuery { x0, x1, y0, y1 }))
             })
         })
     }

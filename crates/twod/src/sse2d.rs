@@ -49,11 +49,7 @@ pub fn sse2d_brute<E: RectEstimator>(est: &E, ps: &PrefixSums2D) -> f64 {
 }
 
 /// SSE over a fixed rectangle workload.
-pub fn sse2d_workload<E: RectEstimator>(
-    est: &E,
-    ps: &PrefixSums2D,
-    queries: &[RectQuery],
-) -> f64 {
+pub fn sse2d_workload<E: RectEstimator>(est: &E, ps: &PrefixSums2D, queries: &[RectQuery]) -> f64 {
     let mut sse = 0.0;
     for &q in queries {
         let d = ps.answer(q) as f64 - est.estimate(q);

@@ -1,25 +1,27 @@
-//! Property-based tests for the 2-D substrate and synopses.
+//! Randomized tests for the 2-D substrate and synopses, driven by the
+//! in-repo seeded [`Rng`] so they run fully offline.
 
-use proptest::prelude::*;
+use synoptic_core::rng::Rng;
 use synoptic_twod::{
     sse2d_brute, GreedyTileHistogram, Grid2D, GridHistogram, PrefixSums2D, RectEstimator,
     RectQuery, Wavelet2D,
 };
 
-fn arb_grid() -> impl Strategy<Value = Grid2D> {
-    (1usize..7, 1usize..7)
-        .prop_flat_map(|(nx, ny)| {
-            prop::collection::vec(0i64..100, nx * ny).prop_map(move |v| {
-                Grid2D::new(nx, ny, v).expect("dimensions match")
-            })
-        })
+const CASES: u64 = 48;
+
+/// A random grid with dimensions in 1..7 and cell values in 0..100.
+fn rand_grid(rng: &mut Rng) -> Grid2D {
+    let nx = rng.usize_in(1, 7);
+    let ny = rng.usize_in(1, 7);
+    let v: Vec<i64> = (0..nx * ny).map(|_| rng.i64_in(0, 99)).collect();
+    Grid2D::new(nx, ny, v).expect("dimensions match")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn prefix_sums_answer_all_rectangles_exactly(g in arb_grid()) {
+#[test]
+fn prefix_sums_answer_all_rectangles_exactly() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x41_000 + case);
+        let g = rand_grid(&mut rng);
         let ps = PrefixSums2D::from_grid(&g);
         for q in RectQuery::all(g.nx(), g.ny()) {
             let mut brute = 0i128;
@@ -28,37 +30,60 @@ proptest! {
                     brute += g.get(x, y) as i128;
                 }
             }
-            prop_assert_eq!(ps.answer(q), brute);
+            assert_eq!(ps.answer(q), brute, "case {case}: {q:?}");
         }
     }
+}
 
-    #[test]
-    fn full_resolution_synopses_are_exact(g in arb_grid()) {
+#[test]
+fn full_resolution_synopses_are_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x42_000 + case);
+        let g = rand_grid(&mut rng);
         let ps = g.prefix_sums();
         let (nx, ny) = (g.nx(), g.ny());
         // Grid histogram with one tile per cell.
         let h = GridHistogram::build(&ps, nx, ny).unwrap();
-        prop_assert!(sse2d_brute(&h, &ps) < 1e-6);
+        assert!(sse2d_brute(&h, &ps) < 1e-6, "case {case}");
         // Greedy with one tile per cell can always reach zero.
         let gt = GreedyTileHistogram::build(&g, &ps, nx * ny).unwrap();
-        prop_assert!(sse2d_brute(&gt, &ps) < 1e-6);
+        assert!(sse2d_brute(&gt, &ps) < 1e-6, "case {case}");
         // Wavelet with full padded budget.
         let w = Wavelet2D::build(&g, nx.next_power_of_two() * ny.next_power_of_two());
-        prop_assert!(sse2d_brute(&w, &ps) < 1e-5);
+        assert!(sse2d_brute(&w, &ps) < 1e-5, "case {case}");
     }
+}
 
-    #[test]
-    fn whole_domain_query_is_exact_for_tile_histograms(g in arb_grid()) {
+#[test]
+fn whole_domain_query_is_exact_for_tile_histograms() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x43_000 + case);
+        let g = rand_grid(&mut rng);
         let ps = g.prefix_sums();
-        let full = RectQuery { x0: 0, x1: g.nx() - 1, y0: 0, y1: g.ny() - 1 };
+        let full = RectQuery {
+            x0: 0,
+            x1: g.nx() - 1,
+            y0: 0,
+            y1: g.ny() - 1,
+        };
         let h = GridHistogram::build(&ps, 1.max(g.nx() / 2), 1.max(g.ny() / 2)).unwrap();
-        prop_assert!((h.estimate(full) - ps.total() as f64).abs() < 1e-6);
+        assert!(
+            (h.estimate(full) - ps.total() as f64).abs() < 1e-6,
+            "case {case}"
+        );
         let gt = GreedyTileHistogram::build(&g, &ps, 3.min(g.nx() * g.ny())).unwrap();
-        prop_assert!((gt.estimate(full) - ps.total() as f64).abs() < 1e-6);
+        assert!(
+            (gt.estimate(full) - ps.total() as f64).abs() < 1e-6,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn greedy_tiles_partition_the_domain(g in arb_grid()) {
+#[test]
+fn greedy_tiles_partition_the_domain() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x44_000 + case);
+        let g = rand_grid(&mut rng);
         let ps = g.prefix_sums();
         let t = 5.min(g.nx() * g.ny());
         let h = GreedyTileHistogram::build(&g, &ps, t).unwrap();
@@ -71,16 +96,23 @@ proptest! {
                 }
             }
         }
-        prop_assert!(cover.iter().all(|&c| c == 1), "cover: {:?}", cover);
+        assert!(
+            cover.iter().all(|&c| c == 1),
+            "case {case}: cover: {cover:?}"
+        );
     }
+}
 
-    #[test]
-    fn wavelet_estimates_are_finite_and_storage_bounded(g in arb_grid()) {
+#[test]
+fn wavelet_estimates_are_finite_and_storage_bounded() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x45_000 + case);
+        let g = rand_grid(&mut rng);
         for b in [1usize, 3, 6] {
             let w = Wavelet2D::build(&g, b);
-            prop_assert!(w.storage_words() <= 2 * b);
+            assert!(w.storage_words() <= 2 * b, "case {case}: budget {b}");
             for q in RectQuery::all(g.nx(), g.ny()) {
-                prop_assert!(w.estimate(q).is_finite());
+                assert!(w.estimate(q).is_finite(), "case {case}: {q:?}");
             }
         }
     }

@@ -136,11 +136,7 @@ mod tests {
                 for k in (j + 1)..8 {
                     let sub = SparseCoeffs::from_entries(
                         8,
-                        vec![
-                            (idx[i], dense[i]),
-                            (idx[j], dense[j]),
-                            (idx[k], dense[k]),
-                        ],
+                        vec![(idx[i], dense[i]), (idx[j], dense[j]), (idx[k], dense[k])],
                     );
                     assert!(
                         top_err <= l2(&sub) + 1e-9,

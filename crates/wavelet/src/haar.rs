@@ -187,7 +187,11 @@ mod tests {
         forward(&mut coeffs);
         for (c, &coeff) in coeffs.iter().enumerate() {
             let basis = BasisFn::for_index(c, n);
-            let ip: f64 = signal.iter().enumerate().map(|(x, &v)| v * basis.eval(x)).sum();
+            let ip: f64 = signal
+                .iter()
+                .enumerate()
+                .map(|(x, &v)| v * basis.eval(x))
+                .sum();
             assert!(
                 (coeff - ip).abs() < 1e-9,
                 "coefficient {c}: transform {coeff} vs inner product {ip}"

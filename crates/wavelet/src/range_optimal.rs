@@ -38,7 +38,7 @@ use synoptic_core::{PrefixSums, RangeEstimator, RangeQuery};
 
 /// Which half of the virtual matrix's transform a retained coefficient
 /// belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoeffSlot {
     /// `Θ[0][0]` — the joint scaling coefficient.
     Corner,
@@ -200,9 +200,7 @@ impl RangeOptimalWavelet {
         let e = (0..self.n)
             .map(|b| ps.p(b + 1) as f64 - self.f_at(b))
             .collect();
-        let d = (0..self.n)
-            .map(|a| ps.p(a) as f64 + self.g_at(a))
-            .collect();
+        let d = (0..self.n).map(|a| ps.p(a) as f64 + self.g_at(a)).collect();
         (e, d)
     }
 }
@@ -324,8 +322,7 @@ mod tests {
         // The b=4 error equals b=5 error + (5th coefficient)².
         let fifth = w5.coeffs()[4].1;
         assert!(
-            (w4.virtual_matrix_error() - (w5.virtual_matrix_error() + fifth * fifth)).abs()
-                < 1e-6,
+            (w4.virtual_matrix_error() - (w5.virtual_matrix_error() + fifth * fifth)).abs() < 1e-6,
             "Parseval accounting"
         );
     }

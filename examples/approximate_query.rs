@@ -18,11 +18,7 @@ fn main() -> Result<()> {
     // An "age" column with three demographic bumps, domain 0..128.
     let data = normal_mixture(128, 3, 400.0, 7);
     let ps = data.prefix_sums();
-    println!(
-        "fact table: {} rows over ages 0..{}",
-        ps.total(),
-        data.n()
-    );
+    println!("fact table: {} rows over ages 0..{}", ps.total(), data.n());
 
     let budget = 24; // words the dashboard is willing to cache per column
     let methods = [
@@ -61,9 +57,7 @@ fn main() -> Result<()> {
             } else {
                 0.0
             };
-            println!(
-                "  {label:<16} truth {truth:>8.0}   estimate {guess:>9.1}   ({rel:+6.1}%)"
-            );
+            println!("  {label:<16} truth {truth:>8.0}   estimate {guess:>9.1}   ({rel:+6.1}%)");
         }
     }
 

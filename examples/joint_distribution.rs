@@ -22,8 +22,14 @@ fn make_grid(n: usize) -> Grid2D {
     for x in 0..n {
         for y in 0..n {
             let (xf, yf) = (x as f64, y as f64);
-            let v = bump(xf, yf, n as f64 * 0.3, n as f64 * 0.25, n as f64 / 8.0, 90.0)
-                + bump(xf, yf, n as f64 * 0.7, n as f64 * 0.7, n as f64 / 6.0, 60.0);
+            let v = bump(
+                xf,
+                yf,
+                n as f64 * 0.3,
+                n as f64 * 0.25,
+                n as f64 / 8.0,
+                90.0,
+            ) + bump(xf, yf, n as f64 * 0.7, n as f64 * 0.7, n as f64 / 6.0, 60.0);
             *g.get_mut(x, y) = v.round() as i64;
         }
     }
@@ -70,7 +76,10 @@ fn main() -> Result<()> {
     // A concrete drill-down: prime-age, mid-income block.
     let q = RectQuery::new(n / 4, n / 2, n / 4, n / 2)?;
     let truth = ps.answer(q) as f64;
-    println!("\npredicate age∈[{},{}] ∧ income∈[{},{}]: truth {truth:.0}", q.x0, q.x1, q.y0, q.y1);
+    println!(
+        "\npredicate age∈[{},{}] ∧ income∈[{},{}]: truth {truth:.0}",
+        q.x0, q.x1, q.y0, q.y1
+    );
     println!("  GRID-2D   → {:.0}", grid_h.estimate(q));
     println!("  MHIST-2D  → {:.0}", greedy_h.estimate(q));
     println!("  WAVELET-2D→ {:.0}", wave.estimate(q));

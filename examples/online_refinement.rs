@@ -21,8 +21,7 @@ fn main() -> Result<()> {
 
     // A bounded synopsis over range-optimal OPT-A boundaries (12 buckets).
     let base = build_opt_a(&ps, &OptAConfig::exact(12, RoundingMode::None))?;
-    let synopsis =
-        BoundedHistogram::build(base.histogram.bucketing().clone(), data.values(), &ps)?;
+    let synopsis = BoundedHistogram::build(base.histogram.bucketing().clone(), data.values(), &ps)?;
 
     let q = RangeQuery::new(5, 95)?;
     let truth = ps.answer(q) as f64;
@@ -58,6 +57,9 @@ fn main() -> Result<()> {
         }
         snap = progressive.refine(13); // the user's refresh rate
     }
-    println!("\nfinal answer is exact: {:.0} (certified at every step)", snap.estimate);
+    println!(
+        "\nfinal answer is exact: {:.0} (certified at every step)",
+        snap.estimate
+    );
     Ok(())
 }

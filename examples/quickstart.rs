@@ -48,7 +48,10 @@ fn main() -> Result<()> {
     }
 
     // The paper's quality metric: SSE over all n(n+1)/2 ranges.
-    println!("\nexact SSE over all {} ranges:", RangeQuery::count_all(data.n()));
+    println!(
+        "\nexact SSE over all {} ranges:",
+        RangeQuery::count_all(data.n())
+    );
     for (name, est) in &estimators {
         println!("  {name:<12} {:12.1}", sse_brute(est, &ps));
     }
@@ -56,6 +59,9 @@ fn main() -> Result<()> {
     // The optimal DP's objective equals the measured SSE (the implementation
     // re-checks this internally).
     assert!((opta.dp_objective - opta.sse).abs() < 1e-6 * (1.0 + opta.sse));
-    println!("\nOPT-A DP objective matches its measured SSE: {:.1}", opta.sse);
+    println!(
+        "\nOPT-A DP objective matches its measured SSE: {:.1}",
+        opta.sse
+    );
     Ok(())
 }

@@ -46,7 +46,10 @@ fn main() -> Result<()> {
     // A workload of 2000 BETWEEN predicates.
     let queries = random_ranges(data.n(), 2000, 42);
 
-    println!("\n{:<12} {:>10} {:>12} {:>14}", "method", "words", "plan errors", "mean |sel err|");
+    println!(
+        "\n{:<12} {:>10} {:>12} {:>14}",
+        "method", "words", "plan errors", "mean |sel err|"
+    );
     for m in methods {
         let est = build(m, data.values(), &ps, budget)?;
         let mut plan_errors = 0usize;

@@ -6,7 +6,8 @@
 //! Run with: `cargo run --release --example statistics_catalog`
 
 use synoptic::catalog::{
-    allocate_budget, Catalog, ColumnCurve, ColumnEntry, PersistentSynopsis,
+    allocate_budget, Catalog, ColumnCurve, ColumnEntry, DurableCatalog, FsStorage,
+    PersistentSynopsis,
 };
 use synoptic::core::sse::sse_brute;
 use synoptic::data::generators::{normal_mixture, steps, uniform};
@@ -80,19 +81,24 @@ fn main() -> Result<()> {
             },
         );
     }
-    let path = std::env::temp_dir().join("synoptic_stats.json");
-    let path = path.to_str().expect("utf-8 temp path");
-    catalog.save(path)?;
-    println!("persisted catalog ({} words) to {path}", catalog.total_words());
+    let dir = std::env::temp_dir().join("synoptic_stats_store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DurableCatalog::open(&dir, FsStorage::new())?;
+    let generation = store.save(&catalog)?;
+    println!(
+        "persisted catalog ({} words) to {} as generation {generation}",
+        catalog.total_words(),
+        dir.display()
+    );
 
     // Reload and answer predicates — no base data needed.
-    let loaded = Catalog::load(path)?;
+    let loaded = store.load()?;
     println!("\nreloaded; sample predicates:");
     for (col, lo, hi) in [("price", 0, 9), ("age", 20, 40), ("discount", 10, 30)] {
         let est = loaded.estimate(col, RangeQuery::new(lo, hi)?)?;
         println!("  {col} BETWEEN {lo} AND {hi}  →  ~{est:.0} rows");
     }
     println!("\n{}", loaded.summary());
-    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

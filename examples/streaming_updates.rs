@@ -11,8 +11,7 @@
 //!
 //! Run with: `cargo run --release --example streaming_updates`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use synoptic::core::rng::Rng;
 use synoptic::core::sse::sse_brute;
 use synoptic::data::zipf::{paper_dataset, ZipfConfig};
 use synoptic::prelude::*;
@@ -33,8 +32,7 @@ fn main() -> Result<()> {
     let mut maintained = MaintainedHistogram::new(
         data.values(),
         |_vals: &[i64], ps: &PrefixSums| {
-            Ok(Box::new(synoptic::hist::sap0::build_sap0(ps, 8)?)
-                as Box<dyn RangeEstimator>)
+            Ok(Box::new(synoptic::hist::sap0::build_sap0(ps, 8)?) as Box<dyn RangeEstimator>)
         },
         RebuildPolicy::DriftFraction(0.05),
     )?;
@@ -43,15 +41,15 @@ fn main() -> Result<()> {
     let mut streaming = StreamingRangeOptimal::new(data.values())?;
 
     // A bursty update feed: inserts concentrated on a hot region.
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Rng::new(99);
     let updates = 3000usize;
     for _ in 0..updates {
-        let i = if rng.random::<f64>() < 0.7 {
-            rng.random_range(40..56) // hot region
+        let i = if rng.f64() < 0.7 {
+            rng.usize_in(40, 56) // hot region
         } else {
-            rng.random_range(0..64)
+            rng.usize_in(0, 64)
         };
-        let delta = rng.random_range(1..=3);
+        let delta = rng.i64_in(1, 3);
         live[i] += delta;
         maintained.update(i, delta)?;
         streaming.update(i, delta)?;
@@ -67,19 +65,34 @@ fn main() -> Result<()> {
     let fresh = synoptic::hist::sap0::build_sap0(&ps_now, 8)?;
     let snap = streaming.snapshot(12);
     println!("\nall-ranges SSE against the *current* data:");
-    println!("  {:<26} {:>14.4e}", "stale SAP0 (never rebuilt)", sse_brute(&stale, &ps_now));
+    println!(
+        "  {:<26} {:>14.4e}",
+        "stale SAP0 (never rebuilt)",
+        sse_brute(&stale, &ps_now)
+    );
     println!(
         "  {:<26} {:>14.4e}",
         "maintained SAP0 (5% drift)",
         sse_brute(&maintained.estimator(), &ps_now)
     );
-    println!("  {:<26} {:>14.4e}", "fresh SAP0 (rebuilt now)", sse_brute(&fresh, &ps_now));
-    println!("  {:<26} {:>14.4e}", "streaming wavelet snapshot", sse_brute(&snap, &ps_now));
+    println!(
+        "  {:<26} {:>14.4e}",
+        "fresh SAP0 (rebuilt now)",
+        sse_brute(&fresh, &ps_now)
+    );
+    println!(
+        "  {:<26} {:>14.4e}",
+        "streaming wavelet snapshot",
+        sse_brute(&snap, &ps_now)
+    );
 
     // The streaming snapshot must coincide with a from-scratch build.
     let scratch = synoptic::wavelet::RangeOptimalWavelet::build(&ps_now, 12);
     let (a, b) = (sse_brute(&snap, &ps_now), sse_brute(&scratch, &ps_now));
-    assert!((a - b).abs() <= 1e-9 * (1.0 + b), "streaming and from-scratch must agree: {a} vs {b}");
+    assert!(
+        (a - b).abs() <= 1e-9 * (1.0 + b),
+        "streaming and from-scratch must agree: {a} vs {b}"
+    );
     println!("\nstreaming snapshot ≡ from-scratch rebuild (checked).");
     Ok(())
 }

@@ -179,13 +179,20 @@ fn rounding_modes_agree_up_to_one_unit_per_query() {
     // Different optima are allowed, but both are near-identical in quality.
     let lo = ru.sse.min(rr.sse);
     let hi = ru.sse.max(rr.sse);
-    assert!(hi <= lo * 1.2 + 100.0, "unrounded {} vs rounded {}", ru.sse, rr.sse);
+    assert!(
+        hi <= lo * 1.2 + 100.0,
+        "unrounded {} vs rounded {}",
+        ru.sse,
+        rr.sse
+    );
 }
 
 #[test]
 fn mse_units_are_sane() {
     let (d, ps) = dataset(32);
-    let est = MethodSpec::OptA.build_at_budget(d.values(), &ps, 16).unwrap();
+    let est = MethodSpec::OptA
+        .build_at_budget(d.values(), &ps, 16)
+        .unwrap();
     let sse = exact_sse(est.as_ref(), &ps);
     let mse = mse_from_sse(sse, 32);
     assert!(mse <= sse);

@@ -2,7 +2,9 @@
 //! workload optimization, sampling) working together with the core paper
 //! algorithms.
 
-use synoptic::catalog::{allocate_budget, Catalog, ColumnCurve, ColumnEntry, PersistentSynopsis};
+use synoptic::catalog::{
+    allocate_budget, Catalog, ColumnCurve, ColumnEntry, DurableCatalog, PersistentSynopsis,
+};
 use synoptic::core::sse::{sse_brute, sse_workload};
 use synoptic::data::sample::SampleEstimator;
 use synoptic::data::workload::{dyadic_ranges, prefix_queries};
@@ -28,9 +30,7 @@ fn updated_column_flows_into_a_persisted_catalog() {
     let (d, _) = dataset(48);
     let mut m = MaintainedHistogram::new(
         d.values(),
-        |_v: &[i64], ps: &PrefixSums| {
-            Ok(Box::new(build_sap0(ps, 5)?) as Box<dyn RangeEstimator>)
-        },
+        |_v: &[i64], ps: &PrefixSums| Ok(Box::new(build_sap0(ps, 5)?) as Box<dyn RangeEstimator>),
         RebuildPolicy::EveryKUpdates(10),
     )
     .unwrap();
@@ -55,8 +55,12 @@ fn updated_column_flows_into_a_persisted_catalog() {
             synopsis: PersistentSynopsis::from_sap0(&h),
         },
     );
-    let js = cat.to_json().unwrap();
-    let back = Catalog::from_json(&js).unwrap();
+    // Persist through the durable binary store and answer from a reload.
+    let dir = std::env::temp_dir().join(format!("synoptic_ext_cat_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DurableCatalog::open(&dir, synoptic::catalog::FsStorage::new()).unwrap();
+    store.save(&cat).unwrap();
+    let back = store.load().unwrap();
     // Round-trip fidelity: the reloaded synopsis answers every query as the
     // original histogram did (SAP0's inter-bucket answers use suffix/prefix
     // *means*, so they are close to—but not exactly—the truth by design).
@@ -67,6 +71,7 @@ fn updated_column_flows_into_a_persisted_catalog() {
             "{q:?}"
         );
     }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

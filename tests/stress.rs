@@ -20,7 +20,10 @@ fn big(n: usize) -> (DataArray, PrefixSums) {
 /// The default-suite smoke check at a beyond-paper size: exact OPT-A on
 /// n = 512, verified self-consistent.
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; run with --release"
+)]
 fn opt_a_exact_at_n_512() {
     let (_, ps) = big(512);
     let r = build_opt_a(&ps, &OptAConfig::exact(16, RoundingMode::None)).unwrap();
@@ -33,7 +36,10 @@ fn opt_a_exact_at_n_512() {
 
 /// SAP0 at n = 2048 (its O(n²B) DP is the practical workhorse).
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; run with --release"
+)]
 fn sap0_at_n_2048() {
     let (_, ps) = big(2048);
     let (h, obj) = build_sap0_with_sse(&ps, 32).unwrap();
@@ -60,7 +66,10 @@ fn opt_a_exact_at_n_1024() {
 
 /// Streaming maintenance under a long update script at n = 4096.
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; run with --release"
+)]
 fn streaming_long_run_at_n_4096() {
     use synoptic::stream::StreamingRangeOptimal;
     use synoptic::wavelet::RangeOptimalWavelet;
@@ -69,7 +78,9 @@ fn streaming_long_run_at_n_4096() {
     let mut sr = StreamingRangeOptimal::new(&vals).unwrap();
     let mut s = 0xC0FFEEu64;
     for _ in 0..20_000 {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let i = (s >> 33) as usize % 4096;
         let delta = ((s >> 17) % 7) as i64 - 3;
         vals[i] += delta;
@@ -84,16 +95,16 @@ fn streaming_long_run_at_n_4096() {
         let b = a + (k * 17) % (4096 - a);
         let q = RangeQuery { lo: a, hi: b };
         let (x, y) = (live.estimate(q), scratch.estimate(q));
-        assert!(
-            (x - y).abs() <= 1e-4 * (1.0 + y.abs()),
-            "{q:?}: {x} vs {y}"
-        );
+        assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "{q:?}: {x} vs {y}");
     }
 }
 
 /// Wavelet build at n = 65 536: Theorem 9's near-linear claim in practice.
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; run with --release"
+)]
 fn range_optimal_wavelet_at_n_65536() {
     use std::time::Instant;
     use synoptic::wavelet::RangeOptimalWavelet;
@@ -107,10 +118,7 @@ fn range_optimal_wavelet_at_n_65536() {
         "near-linear build should be fast even in a shared CI box: {secs}s"
     );
     // Whole-domain estimate lands near the total.
-    let q = RangeQuery {
-        lo: 0,
-        hi: 65_535,
-    };
+    let q = RangeQuery { lo: 0, hi: 65_535 };
     let truth = ps.answer(q) as f64;
     let rel = (w.estimate(q) - truth).abs() / truth.max(1.0);
     assert!(rel < 0.05, "whole-domain relative error {rel}");
