@@ -3,6 +3,18 @@
 # Run from the repo root. Fails fast on the first broken step.
 set -eu
 
+# Hard wall-clock cap for each test invocation (seconds). A hung test —
+# e.g. a rebuild loop that stops observing its cancellation token — must
+# fail CI, not wedge it. `timeout` is in coreutils; degrade gracefully to
+# an uncapped run where it is unavailable.
+TEST_CAP="${CI_TEST_CAP_SECS:-900}"
+if command -v timeout >/dev/null 2>&1; then
+    CAP="timeout ${TEST_CAP}"
+else
+    echo "warning: coreutils 'timeout' not found; running tests uncapped" >&2
+    CAP=""
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -12,10 +24,13 @@ cargo clippy --workspace --offline -- -D warnings
 echo "==> tier-1: cargo build --release (offline)"
 cargo build --release --offline
 
-echo "==> tier-1: cargo test -q (offline)"
-cargo test -q --offline
+echo "==> tier-1: cargo test -q (offline, capped at ${TEST_CAP}s)"
+${CAP} cargo test -q --offline
 
-echo "==> full workspace tests (offline)"
-cargo test -q --workspace --offline
+echo "==> full workspace tests (offline, capped at ${TEST_CAP}s)"
+${CAP} cargo test -q --workspace --offline
+
+echo "==> doc tests (offline, capped at ${TEST_CAP}s)"
+${CAP} cargo test -q --workspace --doc --offline
 
 echo "==> ci.sh: all checks passed"

@@ -308,10 +308,39 @@ impl<S: Storage> DurableCatalog<S> {
             &self.path(&manifest_file(generation)),
             &manifest_to_bytes(&manifest),
         )?;
+        // Read-back verification: before advancing CURRENT, every byte that
+        // the new generation will serve from must re-read and re-validate
+        // (checksums included). A torn or corrupted write surfaces *here* —
+        // while the previous generation is still the committed one — so the
+        // pointer never advances to a generation that cannot be loaded.
+        self.verify_generation(generation)?;
         // The commit point.
         self.storage
             .write_atomic(&self.path(CURRENT_FILE), &current_to_bytes(generation))?;
         Ok(generation)
+    }
+
+    /// Re-reads and validates generation `generation` from storage: the
+    /// manifest must parse and carry the expected generation number, and
+    /// every synopsis file it references must pass its checksum and decode.
+    fn verify_generation(&self, generation: u64) -> Result<()> {
+        let mf = manifest_file(generation);
+        let bytes = self.storage.read(&self.path(&mf))?;
+        let manifest = manifest_from_bytes(&bytes, &mf)?;
+        if manifest.generation != generation {
+            return Err(SynopticError::CorruptSynopsis {
+                context: mf,
+                detail: format!(
+                    "manifest read-back carries generation {} (expected {generation})",
+                    manifest.generation
+                ),
+            });
+        }
+        for c in &manifest.columns {
+            let bytes = self.storage.read(&self.path(&c.file))?;
+            synopsis_from_bytes(&bytes, &c.file)?;
+        }
+        Ok(())
     }
 
     /// Strictly loads the committed generation: every synopsis must
@@ -833,6 +862,32 @@ mod tests {
             store.estimate("nope", RangeQuery::point(0)),
             Err(SynopticError::InvalidParameter(_))
         ));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_synopsis_write_fails_save_before_current_advances() {
+        // Read-back verification: a torn synopsis write (silent at write
+        // time — the bytes land, just short) must be caught by save()'s
+        // pre-commit read-back, so CURRENT never points at the bad
+        // generation.
+        let root = tmp_root("tornsave");
+        {
+            let store = DurableCatalog::open(&root, FsStorage::new()).unwrap();
+            store.save(&sample_catalog()).unwrap();
+        }
+        let faulty = FaultyStorage::new(FsStorage::new(), vec![Fault::TornWrite { keep: 10 }]);
+        let store = DurableCatalog::open(&root, faulty).unwrap();
+        let err = store.save(&sample_catalog()).unwrap_err();
+        assert!(
+            matches!(err, SynopticError::CorruptSynopsis { .. }),
+            "{err:?}"
+        );
+        assert_eq!(store.storage().faults_fired(), 1);
+        // The committed pointer still names generation 1, which loads fine.
+        let store = DurableCatalog::open(&root, FsStorage::new()).unwrap();
+        assert_eq!(store.effective_manifest().unwrap().generation, 1);
+        assert!(store.load().is_ok());
         let _ = std::fs::remove_dir_all(&root);
     }
 

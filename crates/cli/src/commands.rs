@@ -1,16 +1,92 @@
 //! The CLI subcommands.
 
+use std::time::{Duration, Instant};
+
 use synoptic_catalog::{Catalog, ColumnEntry, DurableCatalog, FsStorage, PersistentSynopsis};
-use synoptic_core::{PrefixSums, RangeEstimator, RangeQuery, RoundingMode};
+use synoptic_core::{
+    Budget, BuildAttempt, BuildOutcome, CancelToken, PrefixSums, RangeEstimator, RangeQuery,
+    RoundingMode, SynopticError,
+};
 use synoptic_data::zipf::{paper_dataset, ZipfConfig};
 use synoptic_eval::methods::{exact_sse, MethodSpec};
-use synoptic_hist::opta::{build_opt_a, OptAConfig};
-use synoptic_hist::reopt::reoptimize;
-use synoptic_hist::sap0::build_sap0;
-use synoptic_hist::sap1::build_sap1;
+use synoptic_hist::opta::{build_opt_a_with_budget, OptAConfig};
+use synoptic_hist::reopt::reoptimize_with_budget;
+use synoptic_hist::sap0::build_sap0_with_budget;
+use synoptic_hist::sap1::build_sap1_with_budget;
 use synoptic_wavelet::RangeOptimalWavelet;
 
 use crate::io::{parse_range, read_column, write_column, Flags};
+
+/// Exit code for generic failures (I/O, invalid data, internal errors).
+pub const EXIT_FAILURE: u8 = 1;
+/// Exit code for usage errors (bad flags, unknown commands/methods).
+pub const EXIT_USAGE: u8 = 2;
+/// Exit code when a synopsis or store fails checksum/format validation.
+pub const EXIT_CORRUPT: u8 = 4;
+/// Exit code when a `--deadline-ms`/`--max-cells` budget is exhausted and no
+/// fallback absorbed it.
+pub const EXIT_DEADLINE: u8 = 5;
+/// Exit code when the build was cancelled (cancellation always aborts; it is
+/// never absorbed by the fallback ladder).
+pub const EXIT_CANCELLED: u8 = 6;
+
+/// A CLI failure carrying the process exit code it maps to. The code
+/// contract is part of the CLI's public interface (see `USAGE` and
+/// `crates/cli/tests/store_cli.rs`).
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message, printed to stderr by `main`.
+    pub msg: String,
+    /// Process exit code (one of the `EXIT_*` constants).
+    pub code: u8,
+}
+
+impl CliError {
+    /// A usage error (exit 2).
+    pub fn usage(msg: impl Into<String>) -> Self {
+        Self {
+            msg: msg.into(),
+            code: EXIT_USAGE,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        Self {
+            msg,
+            code: EXIT_FAILURE,
+        }
+    }
+}
+
+impl From<SynopticError> for CliError {
+    fn from(e: SynopticError) -> Self {
+        let code = match &e {
+            SynopticError::Cancelled => EXIT_CANCELLED,
+            SynopticError::DeadlineExceeded { .. } | SynopticError::CellBudgetExceeded { .. } => {
+                EXIT_DEADLINE
+            }
+            SynopticError::CorruptSynopsis { .. } => EXIT_CORRUPT,
+            _ => EXIT_FAILURE,
+        };
+        Self {
+            msg: e.to_string(),
+            code,
+        }
+    }
+}
+
+/// Maps flag/usage-layer `Result<_, String>` values to exit-2 errors.
+trait UsageExt<T> {
+    fn usage(self) -> Result<T, CliError>;
+}
+
+impl<T> UsageExt<T> for Result<T, String> {
+    fn usage(self) -> Result<T, CliError> {
+        self.map_err(CliError::usage)
+    }
+}
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -19,9 +95,11 @@ synoptic — range-sum synopses from the PODS 2001 paper
 USAGE:
   synoptic generate --n N [--alpha A] [--mass M] [--seed S] [--permuted] --out FILE
   synoptic build    --input FILE --method METHOD --budget WORDS \\
-                    --catalog DIR --column NAME
+                    --catalog DIR --column NAME \\
+                    [--deadline-ms MS] [--max-cells N] [--anytime] \\
+                    [--cancel-after-checks K]
   synoptic estimate --catalog DIR --column NAME --range LO..HI
-  synoptic evaluate --input FILE [--budget WORDS]
+  synoptic evaluate --input FILE [--budget WORDS] [--deadline-ms MS] [--max-cells N]
   synoptic report   --catalog DIR
   synoptic fsck     --catalog DIR
   synoptic repair   --catalog DIR
@@ -30,29 +108,41 @@ METHODS: naive | opt-a | opt-a-reopt | sap0 | sap1 | wavelet-range
 FILES:   one integer frequency per line ('#' comments allowed)
 CATALOG: a store directory of checksummed synopsis files with generational
          manifests (see docs/PERSISTENCE.md); corrupt files are quarantined,
-         never deleted, and estimates degrade gracefully with a warning.";
+         never deleted, and estimates degrade gracefully with a warning.
+BUDGETS: --deadline-ms / --max-cells bound the build (wall clock / DP cells).
+         By default an exhausted budget aborts with a distinct exit code;
+         with --anytime the build falls down a cheaper-method ladder and the
+         committed synopsis reports its provenance (see docs/ROBUSTNESS.md).
+         --cancel-after-checks K trips cooperative cancellation at the K-th
+         budget checkpoint (deterministic; for scripting and tests).
+
+EXIT CODES:
+  0 success    1 failure    2 usage error    4 corrupt synopsis/store
+  5 deadline or cell budget exceeded         6 build cancelled";
 
 /// Opens the store at `dir`, creating it only when `create` is set —
 /// read-only commands must not invent an empty store at a mistyped path.
-fn open_store(dir: &str, create: bool) -> Result<DurableCatalog<FsStorage>, String> {
+fn open_store(dir: &str, create: bool) -> Result<DurableCatalog<FsStorage>, CliError> {
     if !create && !std::path::Path::new(dir).is_dir() {
-        return Err(format!("catalog store '{dir}' does not exist"));
+        return Err(CliError::usage(format!(
+            "catalog store '{dir}' does not exist"
+        )));
     }
-    DurableCatalog::open(dir, FsStorage::new()).map_err(|e| e.to_string())
+    Ok(DurableCatalog::open(dir, FsStorage::new())?)
 }
 
 /// `generate`: emit a synthetic Zipf column per the paper's recipe.
-pub fn generate(args: &[String]) -> Result<(), String> {
-    let f = Flags::parse(args)?;
+pub fn generate(args: &[String]) -> Result<(), CliError> {
+    let f = Flags::parse(args).usage()?;
     let cfg = ZipfConfig {
-        n: f.parsed("n")?,
-        alpha: f.parsed_or("alpha", 1.8)?,
-        total_mass: f.parsed_or("mass", 10_000.0)?,
+        n: f.parsed("n").usage()?,
+        alpha: f.parsed_or("alpha", 1.8).usage()?,
+        total_mass: f.parsed_or("mass", 10_000.0).usage()?,
         permute: f.switch("permuted"),
-        seed: f.parsed_or("seed", 2001)?,
+        seed: f.parsed_or("seed", 2001).usage()?,
         ..ZipfConfig::default()
     };
-    let out = f.required("out")?;
+    let out = f.required("out").usage()?;
     let data = paper_dataset(&cfg);
     write_column(out, data.values())?;
     println!(
@@ -63,71 +153,211 @@ pub fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Execution-control knobs parsed from `--deadline-ms` / `--max-cells` /
+/// `--cancel-after-checks`. Fresh [`Budget`]s are minted per build attempt
+/// (ladder rungs each get the full allowance); the cancel token is shared,
+/// so cancellation cuts through every rung.
+struct BudgetFlags {
+    deadline: Option<Duration>,
+    max_cells: Option<u64>,
+    cancel: Option<CancelToken>,
+}
+
+impl BudgetFlags {
+    fn parse(f: &Flags) -> Result<Self, CliError> {
+        let deadline = f
+            .parsed_opt::<u64>("deadline-ms")
+            .usage()?
+            .map(Duration::from_millis);
+        let max_cells = f.parsed_opt::<u64>("max-cells").usage()?;
+        let cancel = f
+            .parsed_opt::<u64>("cancel-after-checks")
+            .usage()?
+            .map(|k| {
+                let t = CancelToken::new();
+                t.cancel_after_checks(k);
+                t
+            });
+        Ok(Self {
+            deadline,
+            max_cells,
+            cancel,
+        })
+    }
+
+    fn is_constrained(&self) -> bool {
+        self.deadline.is_some() || self.max_cells.is_some() || self.cancel.is_some()
+    }
+
+    /// A fresh budget for one attempt. When `enforce` is false only the
+    /// cancel token applies — the terminal ladder rung must not fail on
+    /// resources, or a tiny deadline could leave the store with nothing.
+    fn budget(&self, enforce: bool) -> Budget {
+        let mut b = Budget::unlimited();
+        if enforce {
+            if let Some(d) = self.deadline {
+                b = b.with_deadline(d);
+            }
+            if let Some(c) = self.max_cells {
+                b = b.with_max_cells(c);
+            }
+        }
+        if let Some(t) = &self.cancel {
+            b = b.with_cancel_token(t.clone());
+        }
+        b
+    }
+}
+
 fn build_synopsis(
     method: &str,
     ps: &PrefixSums,
     budget: usize,
-) -> Result<PersistentSynopsis, String> {
-    let err = |e: synoptic_core::SynopticError| e.to_string();
+    exec: &Budget,
+) -> Result<PersistentSynopsis, CliError> {
     Ok(match method {
-        "naive" => PersistentSynopsis::from_naive(ps),
+        "naive" => {
+            exec.check()?;
+            PersistentSynopsis::from_naive(ps)
+        }
         "opt-a" => {
             let b = (budget / 2).clamp(1, ps.n());
-            let r = build_opt_a(ps, &OptAConfig::exact(b, RoundingMode::None)).map_err(err)?;
+            let r = build_opt_a_with_budget(ps, &OptAConfig::exact(b, RoundingMode::None), exec)?;
             let vh = synoptic_core::ValueHistogram::with_averages(
                 r.histogram.bucketing().clone(),
                 ps,
                 "OPT-A",
-            )
-            .map_err(err)?;
+            )?;
             PersistentSynopsis::from_value_histogram(&vh)
         }
         "opt-a-reopt" => {
             let b = (budget / 2).clamp(1, ps.n());
-            let base = build_opt_a(ps, &OptAConfig::exact(b, RoundingMode::None)).map_err(err)?;
-            let re = reoptimize(base.histogram.bucketing(), ps, "OPT-A").map_err(err)?;
+            let base =
+                build_opt_a_with_budget(ps, &OptAConfig::exact(b, RoundingMode::None), exec)?;
+            let re = reoptimize_with_budget(base.histogram.bucketing(), ps, "OPT-A", exec)?;
             PersistentSynopsis::from_value_histogram(&re.histogram)
         }
         "sap0" => {
             let b = (budget / 3).clamp(1, ps.n());
-            PersistentSynopsis::from_sap0(&build_sap0(ps, b).map_err(err)?)
+            PersistentSynopsis::from_sap0(&build_sap0_with_budget(ps, b, exec)?)
         }
         "sap1" => {
             let b = (budget / 5).clamp(1, ps.n());
-            PersistentSynopsis::from_sap1(&build_sap1(ps, b).map_err(err)?)
+            PersistentSynopsis::from_sap1(&build_sap1_with_budget(ps, b, exec)?)
         }
         "wavelet-range" => {
             let b = (budget / 2).max(1);
-            PersistentSynopsis::from_wavelet_range(&RangeOptimalWavelet::build(ps, b))
+            PersistentSynopsis::from_wavelet_range(&RangeOptimalWavelet::build_with_budget(
+                ps, b, exec,
+            )?)
         }
         other => {
-            return Err(format!(
+            return Err(CliError::usage(format!(
                 "unknown method '{other}' (naive|opt-a|opt-a-reopt|sap0|sap1|wavelet-range)"
-            ));
+            )));
         }
     })
 }
 
+/// The CLI-side fallback ladder over *persistable* methods, mirroring the
+/// library ladder in `synoptic_hist::fallback_ladder`. The terminal `naive`
+/// rung runs without resource constraints so a synopsis always lands.
+fn persistable_ladder(method: &str) -> Option<Vec<(&'static str, bool)>> {
+    Some(match method {
+        "naive" => vec![("naive", false)],
+        "opt-a" => vec![("opt-a", true), ("sap0", true), ("naive", false)],
+        "opt-a-reopt" => vec![("opt-a-reopt", true), ("sap0", true), ("naive", false)],
+        "sap0" => vec![("sap0", true), ("naive", false)],
+        "sap1" => vec![("sap1", true), ("sap0", true), ("naive", false)],
+        "wavelet-range" => vec![("wavelet-range", true), ("naive", false)],
+        _ => return None,
+    })
+}
+
+/// Builds `method` under the budget flags. Without `--anytime` any budget
+/// exhaustion aborts (distinct exit code); with it the build descends
+/// [`persistable_ladder`] and the returned [`BuildOutcome`] says what
+/// actually got committed. Cancellation always aborts.
+fn build_with_flags(
+    method: &str,
+    ps: &PrefixSums,
+    budget: usize,
+    exec: &BudgetFlags,
+    anytime: bool,
+) -> Result<(PersistentSynopsis, BuildOutcome), CliError> {
+    let started = Instant::now();
+    if !anytime {
+        let b = exec.budget(true);
+        let syn = build_synopsis(method, ps, budget, &b)?;
+        let outcome =
+            BuildOutcome::direct(method, started.elapsed().as_millis() as u64, b.cells_used());
+        return Ok((syn, outcome));
+    }
+    let Some(ladder) = persistable_ladder(method) else {
+        // Surface the canonical unknown-method usage error.
+        return Err(build_synopsis(method, ps, budget, &Budget::unlimited())
+            .map(|_| ())
+            .expect_err("unknown method must error"));
+    };
+    let mut attempts = Vec::new();
+    let mut total_cells = 0u64;
+    let last = ladder.len() - 1;
+    for (tier, &(rung, enforce)) in ladder.iter().enumerate() {
+        let b = exec.budget(enforce);
+        let attempt_started = Instant::now();
+        match build_synopsis(rung, ps, budget, &b) {
+            Ok(syn) => {
+                total_cells += b.cells_used();
+                let outcome = BuildOutcome {
+                    requested: method.to_string(),
+                    used: rung.to_string(),
+                    tier,
+                    attempts,
+                    elapsed_ms: started.elapsed().as_millis() as u64,
+                    cells: total_cells,
+                };
+                return Ok((syn, outcome));
+            }
+            Err(e) if e.code == EXIT_DEADLINE && tier < last => {
+                total_cells += b.cells_used();
+                attempts.push(BuildAttempt {
+                    method: rung.to_string(),
+                    error: e.msg,
+                    elapsed_ms: attempt_started.elapsed().as_millis() as u64,
+                    cells: b.cells_used(),
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("the terminal ladder rung cannot fail on resources")
+}
+
 /// `build`: construct a synopsis and commit it to the store as a new
 /// generation (the previous generation stays on disk for fallback).
-pub fn build(args: &[String]) -> Result<(), String> {
-    let f = Flags::parse(args)?;
-    let input = f.required("input")?;
-    let method = f.required("method")?;
-    let budget: usize = f.parsed_or("budget", 32)?;
-    let store_dir = f.required("catalog")?;
-    let column = f.required("column")?;
+pub fn build(args: &[String]) -> Result<(), CliError> {
+    let f = Flags::parse(args).usage()?;
+    let input = f.required("input").usage()?;
+    let method = f.required("method").usage()?;
+    let budget: usize = f.parsed_or("budget", 32).usage()?;
+    let store_dir = f.required("catalog").usage()?;
+    let column = f.required("column").usage()?;
+    let exec = BudgetFlags::parse(&f)?;
+    let anytime = f.switch("anytime");
 
     let values = read_column(input)?;
     let ps = PrefixSums::from_values(&values);
-    let synopsis = build_synopsis(method, &ps, budget)?;
+    let (synopsis, outcome) = build_with_flags(method, &ps, budget, &exec, anytime)?;
+    if outcome.is_degraded() {
+        eprintln!("warning: degraded build for column '{column}' ({outcome})");
+    }
 
     let store = open_store(store_dir, true)?;
     // Start from the committed generation when one exists; a damaged store
     // refuses here — run `fsck`/`repair` first rather than overwriting
     // evidence.
     let mut catalog = match store.effective_manifest() {
-        Ok(_) => store.load().map_err(|e| e.to_string())?,
+        Ok(_) => store.load()?,
         Err(_) => Catalog::new(),
     };
     let words = synopsis.storage_words();
@@ -139,23 +369,26 @@ pub fn build(args: &[String]) -> Result<(), String> {
             synopsis,
         },
     );
-    let generation = store.save(&catalog).map_err(|e| e.to_string())?;
+    let generation = store.save(&catalog)?;
     println!(
         "built {method} for column '{column}' ({words} words) → {store_dir} generation {generation}"
     );
+    if exec.is_constrained() || anytime {
+        println!("provenance: {outcome}");
+    }
     Ok(())
 }
 
 /// `estimate`: answer one range query through the degraded-mode-aware
 /// fallback chain. A non-primary answer prints a warning on stderr so
 /// degradation is never silent.
-pub fn estimate(args: &[String]) -> Result<(), String> {
-    let f = Flags::parse(args)?;
-    let store = open_store(f.required("catalog")?, false)?;
-    let column = f.required("column")?;
-    let (lo, hi) = parse_range(f.required("range")?)?;
-    let q = RangeQuery::new(lo, hi).map_err(|e| e.to_string())?;
-    let answer = store.estimate(column, q).map_err(|e| e.to_string())?;
+pub fn estimate(args: &[String]) -> Result<(), CliError> {
+    let f = Flags::parse(args).usage()?;
+    let store = open_store(f.required("catalog").usage()?, false)?;
+    let column = f.required("column").usage()?;
+    let (lo, hi) = parse_range(f.required("range").usage()?).usage()?;
+    let q = RangeQuery::new(lo, hi)?;
+    let answer = store.estimate(column, q)?;
     if answer.source.is_degraded() {
         eprintln!(
             "warning: degraded answer for column '{column}' (source: {})",
@@ -166,22 +399,44 @@ pub fn estimate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `evaluate`: compare methods on a column file at one budget.
-pub fn evaluate(args: &[String]) -> Result<(), String> {
-    let f = Flags::parse(args)?;
-    let values = read_column(f.required("input")?)?;
+/// `evaluate`: compare methods on a column file at one budget. With
+/// `--deadline-ms`/`--max-cells` every method builds through the anytime
+/// ladder and the table gains a provenance column, so a slow method shows
+/// *what it degraded to* rather than silently misreporting its error.
+pub fn evaluate(args: &[String]) -> Result<(), CliError> {
+    let f = Flags::parse(args).usage()?;
+    let values = read_column(f.required("input").usage()?)?;
     let ps = PrefixSums::from_values(&values);
-    let budget: usize = f.parsed_or("budget", 32)?;
+    let budget: usize = f.parsed_or("budget", 32).usage()?;
+    let exec = BudgetFlags::parse(&f)?;
+    let mut params = synoptic_hist::AnytimeParams::unconstrained();
+    if let Some(d) = exec.deadline {
+        params = params.with_deadline(d);
+    }
+    if let Some(c) = exec.max_cells {
+        params = params.with_max_cells(c);
+    }
+    if let Some(t) = &exec.cancel {
+        params = params.with_cancel_token(t.clone());
+    }
+    let constrained = exec.is_constrained();
     println!(
         "n = {}, rows = {}, budget = {budget} words; SSE over all {} ranges",
         values.len(),
         ps.total(),
         RangeQuery::count_all(values.len())
     );
-    println!(
-        "{:<14} {:>8} {:>14} {:>12}",
-        "method", "words", "sse", "rmse"
-    );
+    if constrained {
+        println!(
+            "{:<14} {:>8} {:>14} {:>12}  provenance",
+            "method", "words", "sse", "rmse"
+        );
+    } else {
+        println!(
+            "{:<14} {:>8} {:>14} {:>12}",
+            "method", "words", "sse", "rmse"
+        );
+    }
     for m in [
         MethodSpec::Naive,
         MethodSpec::EquiDepth,
@@ -192,18 +447,29 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
         MethodSpec::OptAReopt,
         MethodSpec::WaveletRange,
     ] {
-        match m.build_at_budget(&values, &ps, budget) {
-            Ok(est) => {
+        match m.build_tracked(&values, &ps, budget, &params) {
+            Ok((est, outcome)) => {
                 let sse = exact_sse(est.as_ref(), &ps);
                 let rmse = (sse / RangeQuery::count_all(values.len()) as f64).sqrt();
-                println!(
-                    "{:<14} {:>8} {:>14.4e} {:>12.2}",
-                    m.name(),
-                    est.storage_words(),
-                    sse,
-                    rmse
-                );
+                if constrained {
+                    println!(
+                        "{:<14} {:>8} {:>14.4e} {:>12.2}  {outcome}",
+                        m.name(),
+                        est.storage_words(),
+                        sse,
+                        rmse
+                    );
+                } else {
+                    println!(
+                        "{:<14} {:>8} {:>14.4e} {:>12.2}",
+                        m.name(),
+                        est.storage_words(),
+                        sse,
+                        rmse
+                    );
+                }
             }
+            Err(e @ SynopticError::Cancelled) => return Err(e.into()),
             Err(e) => println!("{:<14} {:>8} {e}", m.name(), "-"),
         }
     }
@@ -211,38 +477,41 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
 }
 
 /// `report`: summarize the committed generation of a store.
-pub fn report(args: &[String]) -> Result<(), String> {
-    let f = Flags::parse(args)?;
-    let store = open_store(f.required("catalog")?, false)?;
-    let m = store.effective_manifest().map_err(|e| e.to_string())?;
-    let catalog = store.load().map_err(|e| e.to_string())?;
+pub fn report(args: &[String]) -> Result<(), CliError> {
+    let f = Flags::parse(args).usage()?;
+    let store = open_store(f.required("catalog").usage()?, false)?;
+    let m = store.effective_manifest()?;
+    let catalog = store.load()?;
     println!("generation {}", m.generation);
     print!("{}", catalog.summary());
     Ok(())
 }
 
 /// `fsck`: read-only consistency check. Exits non-zero when issues exist.
-pub fn fsck(args: &[String]) -> Result<(), String> {
-    let f = Flags::parse(args)?;
-    let store = open_store(f.required("catalog")?, false)?;
-    let report = store.fsck().map_err(|e| e.to_string())?;
+pub fn fsck(args: &[String]) -> Result<(), CliError> {
+    let f = Flags::parse(args).usage()?;
+    let store = open_store(f.required("catalog").usage()?, false)?;
+    let report = store.fsck()?;
     print!("{}", report.render());
     if report.healthy() {
         Ok(())
     } else {
-        Err(format!(
-            "{} issue(s) found — run `synoptic repair --catalog DIR` to quarantine damage",
-            report.issues.len()
-        ))
+        Err(CliError {
+            msg: format!(
+                "{} issue(s) found — run `synoptic repair --catalog DIR` to quarantine damage",
+                report.issues.len()
+            ),
+            code: EXIT_CORRUPT,
+        })
     }
 }
 
 /// `repair`: quarantine corrupt/stray files and re-point `CURRENT` at the
 /// newest valid generation. Never deletes anything.
-pub fn repair(args: &[String]) -> Result<(), String> {
-    let f = Flags::parse(args)?;
-    let store = open_store(f.required("catalog")?, false)?;
-    let report = store.repair().map_err(|e| e.to_string())?;
+pub fn repair(args: &[String]) -> Result<(), CliError> {
+    let f = Flags::parse(args).usage()?;
+    let store = open_store(f.required("catalog").usage()?, false)?;
+    let report = store.repair()?;
     print!("{}", report.render());
     Ok(())
 }
@@ -342,7 +611,8 @@ mod tests {
             "x",
         ]))
         .unwrap_err();
-        assert!(err.contains("unknown method"));
+        assert!(err.msg.contains("unknown method"));
+        assert_eq!(err.code, EXIT_USAGE);
         let _ = std::fs::remove_file(&col);
     }
 
@@ -357,7 +627,8 @@ mod tests {
             "0..1",
         ]))
         .unwrap_err();
-        assert!(err.contains("does not exist"), "{err}");
+        assert!(err.msg.contains("does not exist"), "{}", err.msg);
+        assert_eq!(err.code, EXIT_USAGE);
     }
 
     #[test]
@@ -424,7 +695,8 @@ mod tests {
         std::fs::write(&victim, bytes).unwrap();
 
         let err = fsck(&s(&["--catalog", &cat])).unwrap_err();
-        assert!(err.contains("issue"), "{err}");
+        assert!(err.msg.contains("issue"), "{}", err.msg);
+        assert_eq!(err.code, EXIT_CORRUPT);
         repair(&s(&["--catalog", &cat])).unwrap();
         // Damage was quarantined, not deleted.
         assert!(std::path::Path::new(&cat)

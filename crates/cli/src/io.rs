@@ -86,6 +86,18 @@ impl Flags {
         }
     }
 
+    /// A parsed optional flag: `Ok(None)` when absent, `Err` when present
+    /// but unparseable (a silent default would mask the typo).
+    pub fn parsed_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+
     /// A parsed required flag.
     pub fn parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
         let v = self.required(key)?;
@@ -169,6 +181,9 @@ mod tests {
         assert!(!f.switch("quiet"));
         assert!(f.required("missing").is_err());
         assert!(f.parsed_or::<usize>("input", 1).is_err());
+        assert_eq!(f.parsed_opt::<usize>("budget").unwrap(), Some(32));
+        assert_eq!(f.parsed_opt::<usize>("missing").unwrap(), None);
+        assert!(f.parsed_opt::<usize>("input").is_err());
     }
 
     #[test]

@@ -39,13 +39,16 @@ fn main() -> ExitCode {
             println!("{}", commands::USAGE);
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n{}", commands::USAGE)),
+        other => Err(commands::CliError::usage(format!(
+            "unknown command '{other}'\n{}",
+            commands::USAGE
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {}", e.msg);
+            ExitCode::from(e.code)
         }
     }
 }

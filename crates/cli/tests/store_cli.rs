@@ -139,3 +139,147 @@ fn fsck_and_repair_lifecycle() {
     let _ = std::fs::remove_file(&col);
     let _ = std::fs::remove_dir_all(&store);
 }
+
+/// The documented exit-code contract (see `synoptic help`):
+/// 0 success, 1 failure, 2 usage, 4 corrupt synopsis/store,
+/// 5 deadline/cell budget exceeded, 6 cancelled.
+#[test]
+fn exit_code_contract() {
+    let col = tmp("synoptic_exit_col.txt");
+    let store = tmp("synoptic_exit_store");
+    let _ = std::fs::remove_dir_all(&store);
+    let col_s = col.to_str().unwrap();
+    let store_s = store.to_str().unwrap();
+
+    // 2: usage errors — unknown command, missing flag, unknown method.
+    assert_eq!(run(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(run(&["generate", "--out", col_s]).status.code(), Some(2));
+    ok(&["generate", "--n", "32", "--seed", "7", "--out", col_s]);
+    assert_eq!(
+        run(&[
+            "build",
+            "--input",
+            col_s,
+            "--method",
+            "magic",
+            "--catalog",
+            store_s,
+            "--column",
+            "x",
+        ])
+        .status
+        .code(),
+        Some(2)
+    );
+
+    // 1: generic failure — unreadable input file.
+    assert_eq!(
+        run(&[
+            "build",
+            "--input",
+            "/nonexistent/col.txt",
+            "--method",
+            "sap0",
+            "--catalog",
+            store_s,
+            "--column",
+            "x",
+        ])
+        .status
+        .code(),
+        Some(1)
+    );
+
+    // 5: an exhausted budget aborts the build by default (strict mode) —
+    // wall-clock deadline and cell cap land on the same code.
+    for limit in [&["--deadline-ms", "0"][..], &["--max-cells", "5"][..]] {
+        let mut args = vec![
+            "build",
+            "--input",
+            col_s,
+            "--method",
+            "opt-a",
+            "--budget",
+            "18",
+            "--catalog",
+            store_s,
+            "--column",
+            "price",
+        ];
+        args.extend_from_slice(limit);
+        let out = run(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(5),
+            "{limit:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // …and the aborted builds committed nothing.
+    assert!(!store.exists() || run(&["report", "--catalog", store_s]).status.code() != Some(0));
+
+    // 6: cancellation always aborts, even in anytime mode — the ladder
+    // never substitutes a weaker synopsis for an explicit abort.
+    for extra in [&[][..], &["--anytime"][..]] {
+        let mut args = vec![
+            "build",
+            "--input",
+            col_s,
+            "--method",
+            "sap0",
+            "--budget",
+            "18",
+            "--catalog",
+            store_s,
+            "--column",
+            "price",
+            "--cancel-after-checks",
+            "0",
+        ];
+        args.extend_from_slice(extra);
+        assert_eq!(run(&args).status.code(), Some(6), "extra={extra:?}");
+    }
+
+    // 0 + provenance: with --anytime a hopeless deadline still commits a
+    // usable synopsis and reports what it degraded to.
+    let out = ok(&[
+        "build",
+        "--input",
+        col_s,
+        "--method",
+        "opt-a",
+        "--budget",
+        "18",
+        "--catalog",
+        store_s,
+        "--column",
+        "price",
+        "--deadline-ms",
+        "0",
+        "--anytime",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stdout.contains("provenance: degraded:"), "{stdout}");
+    assert!(stderr.contains("degraded build"), "{stderr}");
+    ok(&[
+        "estimate",
+        "--catalog",
+        store_s,
+        "--column",
+        "price",
+        "--range",
+        "0..31",
+    ]);
+
+    // 4: corruption has its own code — fsck on a damaged store.
+    let victim = store.join("price-1.syn");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x08;
+    std::fs::write(&victim, &bytes).unwrap();
+    assert_eq!(run(&["fsck", "--catalog", store_s]).status.code(), Some(4));
+
+    let _ = std::fs::remove_file(&col);
+    let _ = std::fs::remove_dir_all(&store);
+}

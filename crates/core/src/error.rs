@@ -74,6 +74,32 @@ pub enum SynopticError {
         /// The underlying OS error rendered as text.
         detail: String,
     },
+    /// A build was cancelled via a [`crate::CancelToken`]. This is explicit
+    /// caller intent, so anytime builders propagate it instead of falling
+    /// down the quality ladder.
+    Cancelled,
+    /// A build exceeded its wall-clock deadline and was abandoned at a
+    /// checkpoint. Anytime builders treat this as a signal to fall back to
+    /// a cheaper construction.
+    DeadlineExceeded {
+        /// Wall-clock milliseconds elapsed when the deadline fired.
+        elapsed_ms: u64,
+    },
+    /// A build charged more DP cells (work units) than its budget allows.
+    /// Anytime builders treat this as a signal to fall back to a cheaper
+    /// construction.
+    CellBudgetExceeded {
+        /// Work units charged when the cap fired.
+        used: u64,
+        /// The configured cap.
+        limit: u64,
+    },
+    /// A builder panicked and the panic was contained at the subsystem
+    /// boundary (`catch_unwind`); the previous synopsis keeps serving.
+    BuildPanicked {
+        /// The panic payload rendered as text, when it was a string.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SynopticError {
@@ -109,6 +135,14 @@ impl fmt::Display for SynopticError {
                 )
             }
             Self::Io { path, detail } => write!(f, "i/o error at {path}: {detail}"),
+            Self::Cancelled => write!(f, "build cancelled"),
+            Self::DeadlineExceeded { elapsed_ms } => {
+                write!(f, "deadline exceeded after {elapsed_ms} ms")
+            }
+            Self::CellBudgetExceeded { used, limit } => {
+                write!(f, "cell budget exceeded: {used} cells used, limit {limit}")
+            }
+            Self::BuildPanicked { detail } => write!(f, "builder panicked: {detail}"),
         }
     }
 }
@@ -163,6 +197,21 @@ mod tests {
                     detail: "permission denied".into(),
                 },
                 "/tmp/x",
+            ),
+            (SynopticError::Cancelled, "cancelled"),
+            (SynopticError::DeadlineExceeded { elapsed_ms: 42 }, "42 ms"),
+            (
+                SynopticError::CellBudgetExceeded {
+                    used: 101,
+                    limit: 100,
+                },
+                "limit 100",
+            ),
+            (
+                SynopticError::BuildPanicked {
+                    detail: "index out of range".into(),
+                },
+                "panicked",
             ),
         ];
         for (err, needle) in cases {

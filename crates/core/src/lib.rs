@@ -47,9 +47,11 @@
 
 pub mod array;
 pub mod bucketing;
+pub mod budget;
 pub mod error;
 pub mod estimator;
 pub mod histogram;
+pub mod outcome;
 pub mod quantile;
 pub mod query;
 pub mod rng;
@@ -59,12 +61,14 @@ pub mod window;
 
 pub use array::{DataArray, PrefixSums};
 pub use bucketing::Bucketing;
+pub use budget::{Budget, CancelToken};
 pub use error::{Result, SynopticError};
 pub use estimator::{AnswerSource, RangeEstimator, SourcedEstimate};
 pub use histogram::{
     bounded::BoundedHistogram, naive::NaiveEstimator, opta::OptAHistogram, sap0::Sap0Histogram,
     sap1::Sap1Histogram, value::ValueHistogram,
 };
+pub use outcome::{BuildAttempt, BuildOutcome};
 pub use query::RangeQuery;
 pub use rng::Rng;
 pub use rounding::RoundingMode;

@@ -1,7 +1,11 @@
 //! Uniform access to every synopsis family at a given storage budget.
 
-use synoptic_core::{PrefixSums, RangeEstimator, Result, SynopticError};
-use synoptic_hist::builder::{build as build_hist, HistogramMethod};
+use std::time::Instant;
+
+use synoptic_core::{
+    Budget, BuildAttempt, BuildOutcome, PrefixSums, RangeEstimator, Result, SynopticError,
+};
+use synoptic_hist::builder::{build as build_hist, build_anytime, AnytimeParams, HistogramMethod};
 use synoptic_wavelet::{PointWaveletSynopsis, PrefixWaveletSynopsis, RangeOptimalWavelet};
 
 /// Every method the harness can evaluate.
@@ -148,27 +152,115 @@ impl MethodSpec {
                 wavelet_b(budget_words)?,
             )),
             hist => {
-                let hm = match hist {
-                    MethodSpec::Naive => HistogramMethod::Naive,
-                    MethodSpec::EquiWidth => HistogramMethod::EquiWidth,
-                    MethodSpec::EquiDepth => HistogramMethod::EquiDepth,
-                    MethodSpec::MaxDiff => HistogramMethod::MaxDiff,
-                    MethodSpec::VOptUniform => HistogramMethod::VOptUniform,
-                    MethodSpec::PointOpt => HistogramMethod::PointOpt,
-                    MethodSpec::A0 => HistogramMethod::A0,
-                    MethodSpec::Sap0 => HistogramMethod::Sap0,
-                    MethodSpec::Sap1 => HistogramMethod::Sap1,
-                    MethodSpec::OptA => HistogramMethod::OptA,
-                    MethodSpec::OptAIntegral => HistogramMethod::OptAIntegral,
-                    MethodSpec::OptARounded(eps) => HistogramMethod::OptARounded { eps: *eps },
-                    MethodSpec::OptAReopt => HistogramMethod::OptAReopt,
-                    MethodSpec::A0Reopt => HistogramMethod::A0Reopt,
-                    MethodSpec::BoundedOptA => HistogramMethod::BoundedOptA,
-                    _ => unreachable!("wavelets handled above"),
-                };
+                let hm = hist
+                    .histogram_method()
+                    .expect("wavelets handled above; everything else is a histogram");
                 build_hist(hm, values, ps, budget_words)?
             }
         })
+    }
+
+    /// The histogram-builder equivalent, `None` for wavelet methods.
+    pub fn histogram_method(&self) -> Option<HistogramMethod> {
+        Some(match self {
+            MethodSpec::Naive => HistogramMethod::Naive,
+            MethodSpec::EquiWidth => HistogramMethod::EquiWidth,
+            MethodSpec::EquiDepth => HistogramMethod::EquiDepth,
+            MethodSpec::MaxDiff => HistogramMethod::MaxDiff,
+            MethodSpec::VOptUniform => HistogramMethod::VOptUniform,
+            MethodSpec::PointOpt => HistogramMethod::PointOpt,
+            MethodSpec::A0 => HistogramMethod::A0,
+            MethodSpec::Sap0 => HistogramMethod::Sap0,
+            MethodSpec::Sap1 => HistogramMethod::Sap1,
+            MethodSpec::OptA => HistogramMethod::OptA,
+            MethodSpec::OptAIntegral => HistogramMethod::OptAIntegral,
+            MethodSpec::OptARounded(eps) => HistogramMethod::OptARounded { eps: *eps },
+            MethodSpec::OptAReopt => HistogramMethod::OptAReopt,
+            MethodSpec::A0Reopt => HistogramMethod::A0Reopt,
+            MethodSpec::BoundedOptA => HistogramMethod::BoundedOptA,
+            MethodSpec::WaveletPoint
+            | MethodSpec::WaveletPrefix
+            | MethodSpec::WaveletRange
+            | MethodSpec::WaveletRangeGreedy => return None,
+        })
+    }
+
+    /// Like [`MethodSpec::build_at_budget`] but under execution control,
+    /// returning the estimator together with its [`BuildOutcome`]
+    /// provenance. Histogram methods descend the anytime ladder
+    /// (`synoptic_hist::build_anytime`); a wavelet method that exhausts its
+    /// budget records the failed attempt and falls into the histogram
+    /// ladder at the equi-depth tier. Unconstrained `params` reproduce
+    /// [`MethodSpec::build_at_budget`] bit-for-bit.
+    pub fn build_tracked(
+        &self,
+        values: &[i64],
+        ps: &PrefixSums,
+        budget_words: usize,
+        params: &AnytimeParams,
+    ) -> Result<(Box<dyn RangeEstimator>, BuildOutcome)> {
+        if let Some(hm) = self.histogram_method() {
+            let r = build_anytime(hm, values, ps, budget_words, params)?;
+            return Ok((r.estimator, r.outcome));
+        }
+        // Wavelet tier: one constrained attempt of the method itself.
+        let mut budget = Budget::unlimited();
+        if let Some(d) = params.deadline {
+            budget = budget.with_deadline(d);
+        }
+        if let Some(c) = params.max_cells {
+            budget = budget.with_max_cells(c);
+        }
+        if let Some(t) = &params.cancel {
+            budget = budget.with_cancel_token(t.clone());
+        }
+        let b = if budget_words < 2 {
+            return Err(SynopticError::BudgetTooSmall {
+                words: budget_words,
+                minimum: 2,
+            });
+        } else {
+            budget_words / 2
+        };
+        let started = Instant::now();
+        let attempt: Result<Box<dyn RangeEstimator>> = match self {
+            MethodSpec::WaveletPoint => PointWaveletSynopsis::build_with_budget(values, b, &budget)
+                .map(|w| Box::new(w) as Box<dyn RangeEstimator>),
+            MethodSpec::WaveletPrefix => PrefixWaveletSynopsis::build_with_budget(ps, b, &budget)
+                .map(|w| Box::new(w) as Box<dyn RangeEstimator>),
+            MethodSpec::WaveletRange => RangeOptimalWavelet::build_with_budget(ps, b, &budget)
+                .map(|w| Box::new(w) as Box<dyn RangeEstimator>),
+            MethodSpec::WaveletRangeGreedy => {
+                synoptic_wavelet::build_range_greedy_with_budget(ps, b, &budget)
+                    .map(|w| Box::new(w) as Box<dyn RangeEstimator>)
+            }
+            _ => unreachable!("histograms handled above"),
+        };
+        let elapsed_ms = started.elapsed().as_millis() as u64;
+        match attempt {
+            Ok(est) => Ok((
+                est,
+                BuildOutcome::direct(self.name(), elapsed_ms, budget.cells_used()),
+            )),
+            Err(e) if BuildOutcome::error_triggers_fallback(&e) => {
+                let failed = BuildAttempt {
+                    method: self.name().to_string(),
+                    error: e.to_string(),
+                    elapsed_ms,
+                    cells: budget.cells_used(),
+                };
+                let r =
+                    build_anytime(HistogramMethod::EquiDepth, values, ps, budget_words, params)?;
+                let mut outcome = r.outcome;
+                outcome.requested = self.name().to_string();
+                outcome.tier += 1;
+                outcome.elapsed_ms += failed.elapsed_ms;
+                outcome.cells += failed.cells;
+                outcome.attempts.insert(0, failed);
+                Ok((r.estimator, outcome))
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -233,6 +325,74 @@ mod tests {
         assert!(MethodSpec::WaveletRange
             .build_at_budget(d.values(), &ps, 1)
             .is_err());
+    }
+
+    #[test]
+    fn tracked_unconstrained_matches_build_at_budget() {
+        use synoptic_core::RangeQuery;
+        let d = paper_dataset(&ZipfConfig {
+            n: 32,
+            ..ZipfConfig::default()
+        });
+        let ps = d.prefix_sums();
+        for m in MethodSpec::all() {
+            let plain = m.build_at_budget(d.values(), &ps, 14).unwrap();
+            let (tracked, outcome) = m
+                .build_tracked(d.values(), &ps, 14, &AnytimeParams::unconstrained())
+                .unwrap();
+            assert!(!outcome.is_degraded(), "{}: {outcome}", m.name());
+            assert_eq!(outcome.used, m.name());
+            for q in RangeQuery::all(32) {
+                assert_eq!(
+                    plain.estimate(q).to_bits(),
+                    tracked.estimate(q).to_bits(),
+                    "{} at {q:?}",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_wavelet_falls_into_histogram_ladder_under_tiny_cap() {
+        let d = paper_dataset(&ZipfConfig {
+            n: 32,
+            ..ZipfConfig::default()
+        });
+        let ps = d.prefix_sums();
+        let params = AnytimeParams::unconstrained().with_max_cells(1);
+        for m in [
+            MethodSpec::WaveletRange,
+            MethodSpec::WaveletPoint,
+            MethodSpec::WaveletPrefix,
+            MethodSpec::WaveletRangeGreedy,
+        ] {
+            let (est, outcome) = m.build_tracked(d.values(), &ps, 14, &params).unwrap();
+            assert!(outcome.is_degraded(), "{}: {outcome}", m.name());
+            assert_eq!(outcome.requested, m.name());
+            assert_eq!(outcome.attempts.first().unwrap().method, m.name());
+            assert!(exact_sse(est.as_ref(), &ps).is_finite());
+        }
+    }
+
+    #[test]
+    fn tracked_cancellation_propagates() {
+        use synoptic_core::CancelToken;
+        let d = paper_dataset(&ZipfConfig {
+            n: 32,
+            ..ZipfConfig::default()
+        });
+        let ps = d.prefix_sums();
+        let token = CancelToken::new();
+        token.cancel();
+        let params = AnytimeParams::unconstrained().with_cancel_token(token);
+        for m in [MethodSpec::OptA, MethodSpec::WaveletRange] {
+            let err = m
+                .build_tracked(d.values(), &ps, 14, &params)
+                .err()
+                .expect("cancellation must propagate");
+            assert!(matches!(err, SynopticError::Cancelled), "{}", m.name());
+        }
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! DP minimizes (`objective`) is only a lower-ish proxy for the true SSE,
 //! which callers should measure with the exact evaluators.
 
-use crate::dp::optimal_bucketing;
+use crate::dp::{optimal_bucketing, optimal_bucketing_with_budget};
 use synoptic_core::window::WindowOracle;
-use synoptic_core::{PrefixSums, Result, ValueHistogram};
+use synoptic_core::{Budget, PrefixSums, Result, ValueHistogram};
 
 /// The cross-term-blind A0 bucket cost: identical shape to SAP0's, but with
 /// the suffix/prefix errors measured against `(len piece)·avg` (the actual
@@ -26,6 +26,20 @@ pub fn a0_bucket_cost(oracle: &WindowOracle, n: usize, l: usize, r: usize) -> f6
 /// [`synoptic_core::sse::sse_value_histogram`].
 pub fn build_a0(ps: &PrefixSums, buckets: usize) -> Result<ValueHistogram> {
     Ok(build_a0_with_objective(ps, buckets)?.0)
+}
+
+/// [`build_a0`] under execution control; bit-identical with
+/// [`Budget::unlimited`], aborts with the budget's error otherwise.
+pub fn build_a0_with_budget(
+    ps: &PrefixSums,
+    buckets: usize,
+    budget: &Budget,
+) -> Result<ValueHistogram> {
+    let oracle = WindowOracle::new(ps);
+    let n = ps.n();
+    let sol =
+        optimal_bucketing_with_budget(n, buckets, |l, r| a0_bucket_cost(&oracle, n, l, r), budget)?;
+    ValueHistogram::with_averages(sol.bucketing, ps, "A0")
 }
 
 /// Builds A0 and also returns the (cross-term-blind) DP objective.

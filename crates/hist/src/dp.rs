@@ -15,7 +15,7 @@
 //! exactly `k` buckets and `cost(l, r)` is the (O(1)-oracle) cost of a bucket
 //! over the inclusive index window `[l, r]`.
 
-use synoptic_core::{Bucketing, Result, SynopticError};
+use synoptic_core::{Bucketing, Budget, Result, SynopticError};
 
 /// Result of the bucket-additive DP: boundaries, the DP objective value, and
 /// the number of buckets actually used.
@@ -41,6 +41,23 @@ pub fn optimal_bucketing<C>(n: usize, max_buckets: usize, cost: C) -> Result<DpS
 where
     C: Fn(usize, usize) -> f64,
 {
+    optimal_bucketing_with_budget(n, max_buckets, cost, &Budget::unlimited())
+}
+
+/// [`optimal_bucketing`] under execution control: the DP charges its
+/// [`Budget`] one checkpoint per `(k, i)` cell (counting the candidate
+/// split points examined as work units) and aborts with the budget's error
+/// at the first exhausted constraint. With [`Budget::unlimited`] this is
+/// bit-identical to [`optimal_bucketing`].
+pub fn optimal_bucketing_with_budget<C>(
+    n: usize,
+    max_buckets: usize,
+    cost: C,
+    budget: &Budget,
+) -> Result<DpSolution>
+where
+    C: Fn(usize, usize) -> f64,
+{
     if n == 0 {
         return Err(SynopticError::EmptyInput);
     }
@@ -59,6 +76,7 @@ where
     for k in 1..=b {
         // With k buckets we can cover at least k and at most n positions.
         for i in k..=n {
+            budget.charge((i - (k - 1)) as u64)?;
             let mut best = f64::INFINITY;
             let mut best_j = usize::MAX;
             #[allow(clippy::needless_range_loop)] // j is an index *and* a boundary value
@@ -179,6 +197,24 @@ mod tests {
         let sol = optimal_bucketing(6, 6, cost).unwrap();
         assert_eq!(sol.objective, 0.0);
         assert_eq!(sol.bucketing.num_buckets(), 6);
+    }
+
+    #[test]
+    fn budgeted_dp_matches_unbudgeted_and_aborts_cleanly() {
+        use synoptic_core::SynopticError;
+        let cost = |l: usize, r: usize| ((r - l) as f64) * 1.25 + ((l * 7 + r) % 5) as f64;
+        let free = optimal_bucketing(12, 4, cost).unwrap();
+        let metered = Budget::unlimited();
+        let budgeted = optimal_bucketing_with_budget(12, 4, cost, &metered).unwrap();
+        assert_eq!(free.bucketing.starts(), budgeted.bucketing.starts());
+        assert_eq!(free.objective, budgeted.objective);
+        assert!(metered.cells_used() > 0);
+        // A cap below the metered usage must abort with the budget error.
+        let capped = Budget::unlimited().with_max_cells(metered.cells_used() / 2);
+        match optimal_bucketing_with_budget(12, 4, cost, &capped) {
+            Err(SynopticError::CellBudgetExceeded { .. }) => {}
+            other => panic!("expected CellBudgetExceeded, got {other:?}"),
+        }
     }
 
     #[test]

@@ -39,5 +39,8 @@ pub mod sap1;
 pub mod vopt;
 pub mod workload_opt;
 
-pub use builder::{build, HistogramMethod};
-pub use opta::{build_opt_a, OptAConfig, OptAResult};
+pub use builder::{
+    build, build_anytime, build_with_budget, fallback_ladder, AnytimeParams, AnytimeResult,
+    HistogramMethod,
+};
+pub use opta::{build_opt_a, build_opt_a_with_budget, OptAConfig, OptAResult};

@@ -7,7 +7,7 @@
 //! boundary-move neighbourhood; with the exact SSE as cost this is a strong,
 //! cheap post-pass for heuristics like equi-depth or max-diff.
 
-use synoptic_core::{Bucketing, Result};
+use synoptic_core::{Bucketing, Budget, Result};
 
 /// Outcome of a local search run.
 #[derive(Debug, Clone)]
@@ -25,10 +25,22 @@ pub struct LocalSearchResult {
 /// Hill-climbs bucket boundaries under `cost`. `max_passes` bounds the
 /// number of full sweeps (each sweep tries every boundary at step sizes
 /// 1, 2, 4, … while they fit).
-pub fn local_search<F>(
+pub fn local_search<F>(start: Bucketing, cost: F, max_passes: usize) -> Result<LocalSearchResult>
+where
+    F: FnMut(&Bucketing) -> f64,
+{
+    local_search_with_budget(start, cost, max_passes, &Budget::unlimited())
+}
+
+/// [`local_search`] under execution control: one checkpoint per boundary
+/// visited (each checkpoint covers the candidate evaluations at that
+/// boundary, charged as work units). Bit-identical with
+/// [`Budget::unlimited`]; aborts with the budget's error otherwise.
+pub fn local_search_with_budget<F>(
     start: Bucketing,
     mut cost: F,
     max_passes: usize,
+    budget: &Budget,
 ) -> Result<LocalSearchResult>
 where
     F: FnMut(&Bucketing) -> f64,
@@ -44,6 +56,9 @@ where
         let mut improved = false;
         // Interior boundaries are starts[1..]; starts[0] is pinned at 0.
         for bi in 1..starts.len() {
+            // Each boundary visit evaluates O(log n) candidate shifts; charge
+            // them as one checkpoint so cancellation lands between boundaries.
+            budget.charge(n.max(1).ilog2() as u64 + 1)?;
             let lo = starts[bi - 1] + 1; // keep left neighbour non-empty
             let hi = if bi + 1 < starts.len() {
                 starts[bi + 1] - 1

@@ -33,7 +33,8 @@ use std::time::Instant;
 use synoptic_core::sse::sse_brute;
 use synoptic_core::window::WindowOracle;
 use synoptic_core::{
-    Bucketing, OptAHistogram, PrefixSums, RangeEstimator, Result, RoundingMode, SynopticError,
+    Bucketing, Budget, OptAHistogram, PrefixSums, RangeEstimator, Result, RoundingMode,
+    SynopticError,
 };
 
 /// Configuration for the OPT-A construction.
@@ -144,13 +145,17 @@ impl<'a> Costs<'a> {
 /// the price of the paper's integral answering procedure. Practical for
 /// `n` in the hundreds (the paper's own experiment uses `n = 127` for
 /// exactly this reason).
-fn rounded_table(ps: &PrefixSums) -> Vec<WindowCost> {
+fn rounded_table(ps: &PrefixSums, budget: &Budget) -> Result<Vec<WindowCost>> {
     use synoptic_core::rounding::round_scaled;
     let n = ps.n();
     let p = ps.table();
     let mut table = vec![WindowCost::default(); n * (n + 1) / 2];
     for l in 0..n {
         for r in l..n {
+            // One checkpoint per window; its cost is quadratic in the width
+            // (the rounded intra-SSE double loop below).
+            let width = (r - l + 1) as u64;
+            budget.charge(width * width)?;
             let len = (r - l + 1) as i128;
             let s = p[r + 1] - p[l];
             let (mut u1, mut u2, mut v1, mut v2) = (0i128, 0i128, 0i128, 0i128);
@@ -182,7 +187,7 @@ fn rounded_table(ps: &PrefixSums) -> Vec<WindowCost> {
             };
         }
     }
-    table
+    Ok(table)
 }
 
 /// One DP state: a vertex of the `(Λ, F)` lower hull with its predecessor.
@@ -267,6 +272,19 @@ fn cap_hull(hull: Vec<State>, cap: usize) -> Vec<State> {
 /// histogram with an exact evaluator, so it is trustworthy even under
 /// quantization or hull capping.
 pub fn build_opt_a(ps: &PrefixSums, cfg: &OptAConfig) -> Result<OptAResult> {
+    build_opt_a_with_budget(ps, cfg, &Budget::unlimited())
+}
+
+/// [`build_opt_a`] under execution control (deadline / cell cap /
+/// cancellation). Checkpoints are charged once per `(k, i)` DP cell — and,
+/// in rounded mode, once per window of the `O(n⁴)` cost table, the actual
+/// hot spot — so an exhausted budget aborts within one cell-group of work.
+/// With [`Budget::unlimited`] the run is bit-identical to [`build_opt_a`].
+pub fn build_opt_a_with_budget(
+    ps: &PrefixSums,
+    cfg: &OptAConfig,
+    budget: &Budget,
+) -> Result<OptAResult> {
     let n = ps.n();
     if cfg.buckets == 0 || cfg.buckets > n {
         return Err(SynopticError::InvalidBucketCount {
@@ -288,7 +306,7 @@ pub fn build_opt_a(ps: &PrefixSums, cfg: &OptAConfig) -> Result<OptAResult> {
         }
         RoundingMode::NearestInt => Costs::Rounded {
             n,
-            table: rounded_table(ps),
+            table: rounded_table(ps, budget)?,
         },
     };
 
@@ -316,6 +334,7 @@ pub fn build_opt_a(ps: &PrefixSums, cfg: &OptAConfig) -> Result<OptAResult> {
 
     for k in 1..=b {
         for i in k..=n {
+            budget.charge((i - (k - 1)) as u64)?;
             let mut cands: Vec<State> = Vec::new();
             #[allow(clippy::needless_range_loop)] // j is an index *and* a boundary value
             for j in (k - 1)..i {
@@ -575,6 +594,53 @@ mod tests {
         let nv = synoptic_core::NaiveEstimator::new(&p);
         let brute = sse_brute(&nv, &p);
         assert!((r.sse - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budgeted_build_is_identical_when_unconstrained_and_aborts_when_capped() {
+        use synoptic_core::CancelToken;
+        let vals = vec![12i64, 9, 4, 1, 1, 0, 2, 14, 13, 6];
+        let p = ps(&vals);
+        let cfg = OptAConfig::exact(3, RoundingMode::None);
+        let free = build_opt_a(&p, &cfg).unwrap();
+        let metered = Budget::unlimited();
+        let tracked = build_opt_a_with_budget(&p, &cfg, &metered).unwrap();
+        assert_eq!(
+            free.histogram.bucketing().starts(),
+            tracked.histogram.bucketing().starts()
+        );
+        assert_eq!(free.sse.to_bits(), tracked.sse.to_bits());
+        assert!(metered.cells_used() > 0);
+        // Cell cap below usage ⇒ clean abort with the budget error.
+        let capped = Budget::unlimited().with_max_cells(metered.cells_used() / 2);
+        match build_opt_a_with_budget(&p, &cfg, &capped) {
+            Err(SynopticError::CellBudgetExceeded { .. }) => {}
+            other => panic!("expected CellBudgetExceeded, got {other:?}"),
+        }
+        // Pre-cancelled token ⇒ Cancelled at the first checkpoint.
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = Budget::unlimited().with_cancel_token(token);
+        match build_opt_a_with_budget(&p, &cfg, &cancelled) {
+            Err(SynopticError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rounded_mode_charges_the_cost_table() {
+        let vals = vec![5i64, 1, 7, 2, 6, 3];
+        let p = ps(&vals);
+        let cfg = OptAConfig::exact(2, RoundingMode::NearestInt);
+        let metered = Budget::unlimited();
+        build_opt_a_with_budget(&p, &cfg, &metered).unwrap();
+        // The O(n⁴) table dominates: far more cells than the DP alone.
+        assert!(metered.cells_used() > 100, "{}", metered.cells_used());
+        let capped = Budget::unlimited().with_max_cells(10);
+        assert!(matches!(
+            build_opt_a_with_budget(&p, &cfg, &capped),
+            Err(SynopticError::CellBudgetExceeded { .. })
+        ));
     }
 
     #[test]

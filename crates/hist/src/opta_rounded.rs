@@ -9,9 +9,9 @@
 //! inflation by `(1 + ε)` for a suitable `x = x(ε)`.
 
 use synoptic_core::sse::sse_value_histogram;
-use synoptic_core::{PrefixSums, Result, RoundingMode, SynopticError, ValueHistogram};
+use synoptic_core::{Budget, PrefixSums, Result, RoundingMode, SynopticError, ValueHistogram};
 
-use crate::opta::{build_opt_a, DpStats, OptAConfig};
+use crate::opta::{build_opt_a, build_opt_a_with_budget, DpStats, OptAConfig};
 
 /// Result of an OPT-A-ROUNDED construction.
 #[derive(Debug, Clone)]
@@ -117,6 +117,19 @@ pub fn build_opt_a_rounded(
     buckets: usize,
     scale: i64,
 ) -> Result<OptARoundedResult> {
+    build_opt_a_rounded_with_budget(ps, values, buckets, scale, &Budget::unlimited())
+}
+
+/// [`build_opt_a_rounded`] under execution control: the inner scaled DP
+/// (and its `O(n⁴)` rounded cost table, the true hot spot) charge the
+/// budget. Bit-identical with [`Budget::unlimited`].
+pub fn build_opt_a_rounded_with_budget(
+    ps: &PrefixSums,
+    values: &[i64],
+    buckets: usize,
+    scale: i64,
+    budget: &Budget,
+) -> Result<OptARoundedResult> {
     if scale < 1 {
         return Err(SynopticError::InvalidParameter(format!(
             "scale must be ≥ 1, got {scale}"
@@ -130,9 +143,10 @@ pub fn build_opt_a_rounded(
     // The DP runs on the divided data; RoundingMode::NearestInt keeps Λ
     // integral on the divided scale, which is where the ×x state shrinkage
     // comes from.
-    let inner = build_opt_a(
+    let inner = build_opt_a_with_budget(
         &scaled_ps,
         &OptAConfig::exact(buckets, RoundingMode::NearestInt),
+        budget,
     )?;
     let bucketing = inner.histogram.bucketing().clone();
     // "Multiply through by x": values are x · avg(divided bucket), i.e. the
@@ -178,6 +192,18 @@ pub fn build_opt_a_rounded_eps(
 ) -> Result<OptARoundedResult> {
     let scale = scale_for_epsilon(values, eps)?;
     build_opt_a_rounded(ps, values, buckets, scale)
+}
+
+/// [`build_opt_a_rounded_eps`] under execution control.
+pub fn build_opt_a_rounded_eps_with_budget(
+    ps: &PrefixSums,
+    values: &[i64],
+    buckets: usize,
+    eps: f64,
+    budget: &Budget,
+) -> Result<OptARoundedResult> {
+    let scale = scale_for_epsilon(values, eps)?;
+    build_opt_a_rounded_with_budget(ps, values, buckets, scale, budget)
 }
 
 #[cfg(test)]

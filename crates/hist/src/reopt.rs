@@ -18,7 +18,7 @@
 //! acceptable.
 
 use synoptic_core::sse::sse_value_histogram;
-use synoptic_core::{Bucketing, PrefixSums, Result, SynopticError, ValueHistogram};
+use synoptic_core::{Bucketing, Budget, PrefixSums, Result, SynopticError, ValueHistogram};
 use synoptic_linalg::{solve_spd_with_ridge, Matrix};
 
 /// Result of a re-optimization.
@@ -33,6 +33,18 @@ pub struct ReoptResult {
 /// Builds the normal-equation system `(Q, rhs)` for the given boundaries.
 /// Exposed for tests and diagnostics.
 pub fn normal_equations(bucketing: &Bucketing, ps: &PrefixSums) -> (Matrix, Vec<f64>) {
+    normal_equations_with_budget(bucketing, ps, &Budget::unlimited())
+        .expect("unlimited budget cannot fail")
+}
+
+/// [`normal_equations`] under execution control: charges one checkpoint per
+/// position row (`O(B²)` work units each). Bit-identical with
+/// [`Budget::unlimited`].
+pub fn normal_equations_with_budget(
+    bucketing: &Bucketing,
+    ps: &PrefixSums,
+    budget: &Budget,
+) -> Result<(Matrix, Vec<f64>)> {
     let n = bucketing.n();
     let nb = bucketing.num_buckets();
     let kf = (n + 1) as f64;
@@ -44,6 +56,7 @@ pub fn normal_equations(bucketing: &Bucketing, ps: &PrefixSums) -> (Matrix, Vec<
     let mut c = vec![0.0; nb];
     let posmap = bucketing.position_map();
     for i in 0..=n {
+        budget.charge((nb * nb) as u64)?;
         if i > 0 {
             c[posmap[i - 1] as usize] += 1.0;
         }
@@ -73,13 +86,24 @@ pub fn normal_equations(bucketing: &Bucketing, ps: &PrefixSums) -> (Matrix, Vec<
         }
     }
     let rhs: Vec<f64> = (0..nb).map(|t| kf * sum_dc[t] - cap_d * cap_c[t]).collect();
-    (q, rhs)
+    Ok((q, rhs))
 }
 
 /// Re-optimizes the per-bucket values of any bucketing for the all-ranges
 /// SSE. `base_name` labels the result (e.g. `"OPT-A"` → `"OPT-A-reopt"`).
 pub fn reoptimize(bucketing: &Bucketing, ps: &PrefixSums, base_name: &str) -> Result<ReoptResult> {
-    let (q, rhs) = normal_equations(bucketing, ps);
+    reoptimize_with_budget(bucketing, ps, base_name, &Budget::unlimited())
+}
+
+/// [`reoptimize`] under execution control; bit-identical with
+/// [`Budget::unlimited`], aborts with the budget's error otherwise.
+pub fn reoptimize_with_budget(
+    bucketing: &Bucketing,
+    ps: &PrefixSums,
+    base_name: &str,
+    budget: &Budget,
+) -> Result<ReoptResult> {
+    let (q, rhs) = normal_equations_with_budget(bucketing, ps, budget)?;
     let x =
         solve_spd_with_ridge(&q, &rhs).map_err(|e| SynopticError::SingularSystem(e.to_string()))?;
     let histogram = ValueHistogram::new(bucketing.clone(), x, format!("{base_name}-reopt"))?;

@@ -1,8 +1,8 @@
 //! Optimal SAP0 construction (paper Theorem 6).
 
-use crate::dp::optimal_bucketing;
+use crate::dp::{optimal_bucketing, optimal_bucketing_with_budget};
 use synoptic_core::window::WindowOracle;
-use synoptic_core::{PrefixSums, Result, Sap0Histogram};
+use synoptic_core::{Budget, PrefixSums, Result, Sap0Histogram};
 
 /// Bucket-additive SAP0 cost of a candidate bucket `[l, r]` (0-based) in a
 /// domain of size `n`:
@@ -29,6 +29,24 @@ pub fn build_sap0(ps: &PrefixSums, buckets: usize) -> Result<Sap0Histogram> {
     let oracle = WindowOracle::new(ps);
     let n = ps.n();
     let sol = optimal_bucketing(n, buckets, |l, r| sap0_bucket_cost(&oracle, n, l, r))?;
+    Sap0Histogram::optimal_values(sol.bucketing, ps)
+}
+
+/// [`build_sap0`] under execution control; bit-identical with
+/// [`Budget::unlimited`], aborts with the budget's error otherwise.
+pub fn build_sap0_with_budget(
+    ps: &PrefixSums,
+    buckets: usize,
+    budget: &Budget,
+) -> Result<Sap0Histogram> {
+    let oracle = WindowOracle::new(ps);
+    let n = ps.n();
+    let sol = optimal_bucketing_with_budget(
+        n,
+        buckets,
+        |l, r| sap0_bucket_cost(&oracle, n, l, r),
+        budget,
+    )?;
     Sap0Histogram::optimal_values(sol.bucketing, ps)
 }
 

@@ -1,8 +1,8 @@
 //! Optimal SAP1 construction (paper Theorem 8).
 
-use crate::dp::optimal_bucketing;
+use crate::dp::{optimal_bucketing, optimal_bucketing_with_budget};
 use synoptic_core::window::WindowOracle;
-use synoptic_core::{PrefixSums, Result, Sap1Histogram};
+use synoptic_core::{Budget, PrefixSums, Result, Sap1Histogram};
 
 /// Bucket-additive SAP1 cost: as SAP0 but with the *regression residuals*
 /// of the best linear fits to the suffix/prefix sums instead of their
@@ -18,6 +18,24 @@ pub fn sap1_bucket_cost(oracle: &WindowOracle, n: usize, l: usize, r: usize) -> 
 /// `O(n²·buckets)` (Theorem 8).
 pub fn build_sap1(ps: &PrefixSums, buckets: usize) -> Result<Sap1Histogram> {
     Ok(build_sap1_with_sse(ps, buckets)?.0)
+}
+
+/// [`build_sap1`] under execution control; bit-identical with
+/// [`Budget::unlimited`], aborts with the budget's error otherwise.
+pub fn build_sap1_with_budget(
+    ps: &PrefixSums,
+    buckets: usize,
+    budget: &Budget,
+) -> Result<Sap1Histogram> {
+    let oracle = WindowOracle::new(ps);
+    let n = ps.n();
+    let sol = optimal_bucketing_with_budget(
+        n,
+        buckets,
+        |l, r| sap1_bucket_cost(&oracle, n, l, r),
+        budget,
+    )?;
+    Sap1Histogram::optimal_values(sol.bucketing, ps)
 }
 
 /// Builds SAP1 and also returns the DP objective (= the exact SSE).

@@ -10,9 +10,9 @@
 //! for the weighted point objective); range queries are answered through the
 //! usual eq.-1 value-histogram procedure.
 
-use crate::dp::optimal_bucketing;
+use crate::dp::{optimal_bucketing, optimal_bucketing_with_budget};
 use synoptic_core::window::WeightedPointOracle;
-use synoptic_core::{Bucketing, PrefixSums, Result, ValueHistogram};
+use synoptic_core::{Bucketing, Budget, PrefixSums, Result, ValueHistogram};
 
 /// Which point-query weighting to optimize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,6 +34,35 @@ pub fn build_point_opt(
     weighting: PointWeighting,
 ) -> Result<ValueHistogram> {
     Ok(build_point_opt_with_objective(values, ps, buckets, weighting)?.0)
+}
+
+/// [`build_point_opt`] under execution control; bit-identical with
+/// [`Budget::unlimited`], aborts with the budget's error otherwise.
+pub fn build_point_opt_with_budget(
+    values: &[i64],
+    ps: &PrefixSums,
+    buckets: usize,
+    weighting: PointWeighting,
+    budget: &Budget,
+) -> Result<ValueHistogram> {
+    let oracle = match weighting {
+        PointWeighting::Uniform => WeightedPointOracle::uniform(values),
+        PointWeighting::RangeInclusion => WeightedPointOracle::range_inclusion(values),
+    };
+    let n = values.len();
+    let sol = optimal_bucketing_with_budget(n, buckets, |l, r| oracle.cost(l, r), budget)?;
+    let vals: Vec<f64> = sol
+        .bucketing
+        .iter()
+        .map(|(l, r)| oracle.wmean(l, r))
+        .collect();
+    let name = match weighting {
+        PointWeighting::Uniform => "V-OPT",
+        PointWeighting::RangeInclusion => "POINT-OPT",
+    };
+    let h = ValueHistogram::new(sol.bucketing, vals, name)?;
+    let _ = ps; // kept in the signature for API symmetry with other builders
+    Ok(h)
 }
 
 /// As [`build_point_opt`], also returning the weighted point-query objective

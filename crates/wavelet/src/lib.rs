@@ -35,5 +35,5 @@ pub mod range_optimal;
 pub use coeff::SparseCoeffs;
 pub use point_topb::PointWaveletSynopsis;
 pub use prefix_topb::PrefixWaveletSynopsis;
-pub use range_greedy::build_range_greedy;
+pub use range_greedy::{build_range_greedy, build_range_greedy_with_budget};
 pub use range_optimal::RangeOptimalWavelet;

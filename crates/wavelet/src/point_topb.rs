@@ -3,7 +3,7 @@
 
 use crate::coeff::SparseCoeffs;
 use crate::haar::{forward, next_pow2};
-use synoptic_core::{RangeEstimator, RangeQuery};
+use synoptic_core::{Budget, RangeEstimator, RangeQuery, Result};
 
 /// Top-`B` orthonormal Haar coefficients of the data array itself.
 ///
@@ -22,12 +22,25 @@ impl PointWaveletSynopsis {
     /// zero-padded to the next power of two (coefficient selection sees the
     /// padding, as in the standard constructions).
     pub fn build(values: &[i64], b: usize) -> Self {
+        Self::build_with_budget(values, b, &Budget::unlimited())
+            .expect("unlimited budget cannot fail")
+    }
+
+    /// [`PointWaveletSynopsis::build`] under execution control: one
+    /// checkpoint per phase (signal materialization, forward transform,
+    /// top-`b` selection). Bit-identical to [`PointWaveletSynopsis::build`]
+    /// with [`synoptic_core::Budget::unlimited`].
+    pub fn build_with_budget(values: &[i64], b: usize, budget: &Budget) -> Result<Self> {
         let n = values.len();
         let nn = next_pow2(n);
+        let transform_cells = (nn.max(2).ilog2() as u64 + 1) * nn as u64;
+        budget.charge(nn as u64)?;
         let mut signal: Vec<f64> = values.iter().map(|&v| v as f64).collect();
         signal.resize(nn, 0.0);
+        budget.charge(transform_cells)?;
         forward(&mut signal);
-        Self::from_dense(n, &signal, b)
+        budget.charge(transform_cells)?; // top-b selection in from_dense
+        Ok(Self::from_dense(n, &signal, b))
     }
 
     /// Builds the synopsis from an already-computed dense transform over the
@@ -148,6 +161,22 @@ mod tests {
             assert!(l2 <= prev + 1e-9, "b={b}");
             prev = l2;
         }
+    }
+
+    #[test]
+    fn budgeted_build_matches_and_aborts_cleanly() {
+        use synoptic_core::{Budget, SynopticError};
+        let vals = vec![12i64, 9, 4, 1, 1, 0, 2, 14];
+        let free = PointWaveletSynopsis::build(&vals, 4);
+        let metered = Budget::unlimited();
+        let tracked = PointWaveletSynopsis::build_with_budget(&vals, 4, &metered).unwrap();
+        assert_eq!(free.reconstruct(), tracked.reconstruct());
+        assert!(metered.cells_used() > 0);
+        let capped = Budget::unlimited().with_max_cells(1);
+        assert!(matches!(
+            PointWaveletSynopsis::build_with_budget(&vals, 4, &capped),
+            Err(SynopticError::CellBudgetExceeded { .. })
+        ));
     }
 
     #[test]

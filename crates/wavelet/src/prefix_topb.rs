@@ -9,7 +9,7 @@
 
 use crate::coeff::SparseCoeffs;
 use crate::haar::{forward, next_pow2};
-use synoptic_core::{PrefixSums, RangeEstimator, RangeQuery};
+use synoptic_core::{Budget, PrefixSums, RangeEstimator, RangeQuery, Result};
 
 /// Top-`B` orthonormal Haar coefficients of `P[0..=n]`.
 #[derive(Debug, Clone)]
@@ -24,15 +24,27 @@ impl PrefixWaveletSynopsis {
     /// flat past the domain, unlike zero-padding which would fabricate a
     /// cliff).
     pub fn build(ps: &PrefixSums, b: usize) -> Self {
+        Self::build_with_budget(ps, b, &Budget::unlimited()).expect("unlimited budget cannot fail")
+    }
+
+    /// [`PrefixWaveletSynopsis::build`] under execution control: one
+    /// checkpoint per phase (signal materialization, forward transform,
+    /// top-`b` selection). Bit-identical to [`PrefixWaveletSynopsis::build`]
+    /// with [`synoptic_core::Budget::unlimited`].
+    pub fn build_with_budget(ps: &PrefixSums, b: usize, budget: &Budget) -> Result<Self> {
         let n = ps.n();
         let nn = next_pow2(n + 1);
+        let transform_cells = (nn.max(2).ilog2() as u64 + 1) * nn as u64;
+        budget.charge(nn as u64)?;
         let mut signal: Vec<f64> = ps.table().iter().map(|&p| p as f64).collect();
         signal.resize(nn, ps.total() as f64);
+        budget.charge(transform_cells)?;
         forward(&mut signal);
-        Self {
+        budget.charge(transform_cells)?; // top-b selection
+        Ok(Self {
             n,
             coeffs: SparseCoeffs::top_b(&signal, b),
-        }
+        })
     }
 
     /// The retained coefficients.
@@ -104,6 +116,23 @@ mod tests {
         let fast = sse_value_histogram(&w.xprefix(), &p);
         let brute = sse_brute(&w, &p);
         assert!((fast - brute).abs() <= 1e-6 * (1.0 + brute));
+    }
+
+    #[test]
+    fn budgeted_build_matches_and_aborts_cleanly() {
+        use synoptic_core::{Budget, SynopticError};
+        let vals = vec![12i64, 9, 4, 1, 1, 0, 2, 14];
+        let p = ps(&vals);
+        let free = PrefixWaveletSynopsis::build(&p, 4);
+        let metered = Budget::unlimited();
+        let tracked = PrefixWaveletSynopsis::build_with_budget(&p, 4, &metered).unwrap();
+        assert_eq!(free.xprefix(), tracked.xprefix());
+        assert!(metered.cells_used() > 0);
+        let capped = Budget::unlimited().with_max_cells(1);
+        assert!(matches!(
+            PrefixWaveletSynopsis::build_with_budget(&p, 4, &capped),
+            Err(SynopticError::CellBudgetExceeded { .. })
+        ));
     }
 
     #[test]

@@ -31,7 +31,7 @@
 
 use crate::haar::{forward, next_pow2, BasisFn};
 use crate::range_optimal::{CoeffSlot, RangeOptimalWavelet};
-use synoptic_core::PrefixSums;
+use synoptic_core::{Budget, PrefixSums, Result};
 use synoptic_linalg::{solve_spd_with_ridge, Matrix};
 
 /// One selectable coefficient: its slot label, raw transform value (for the
@@ -66,8 +66,22 @@ fn bilinear(e1: &[f64], d1: &[f64], e2: &[f64], d2: &[f64]) -> f64 {
 /// Builds a `b`-coefficient synopsis by OMP-style greedy selection with
 /// per-round least-squares value re-fitting on the exact all-ranges SSE.
 pub fn build_range_greedy(ps: &PrefixSums, b: usize) -> RangeOptimalWavelet {
+    build_range_greedy_with_budget(ps, b, &Budget::unlimited())
+        .expect("unlimited budget cannot fail")
+}
+
+/// [`build_range_greedy`] under execution control: checkpoints at feature
+/// setup, the rhs/gram precompute, and once per greedy round (the candidate
+/// scan, the hot loop). Bit-identical to [`build_range_greedy`] with
+/// [`synoptic_core::Budget::unlimited`].
+pub fn build_range_greedy_with_budget(
+    ps: &PrefixSums,
+    b: usize,
+    budget: &Budget,
+) -> Result<RangeOptimalWavelet> {
     let n = ps.n();
     let nn = next_pow2(n + 1);
+    budget.charge(2 * nn as u64)?;
     let total = ps.total() as f64;
     let mut hp: Vec<f64> = (0..nn)
         .map(|j| if j < n { ps.p(j + 1) as f64 } else { total })
@@ -135,6 +149,7 @@ pub fn build_range_greedy(ps: &PrefixSums, b: usize) -> RangeOptimalWavelet {
     // Precompute each feature's rhs ⟨r0, f⟩ and self-gram ⟨f, f⟩; maintain
     // the gram rows against the selected set incrementally.
     let m = features.len();
+    budget.charge(2 * (m * n) as u64)?;
     let rhs_all: Vec<f64> = features
         .iter()
         .map(|f| bilinear(&e0, &d0, &f.pe, &negate(&f.pd)))
@@ -153,6 +168,8 @@ pub fn build_range_greedy(ps: &PrefixSums, b: usize) -> RangeOptimalWavelet {
 
     for _ in 0..b.min(m) {
         let k = selected.len();
+        // One checkpoint per greedy round, charging the candidate scan.
+        budget.charge((m * (k + 1)) as u64)?;
         let mut best: Option<(usize, f64, Vec<f64>)> = None;
         for c in 0..m {
             if selected.contains(&c) || gram_self[c] <= 1e-12 {
@@ -232,7 +249,7 @@ pub fn build_range_greedy(ps: &PrefixSums, b: usize) -> RangeOptimalWavelet {
         .filter(|c| !selected.contains(c))
         .map(|c| features[c].raw_value * features[c].raw_value)
         .sum();
-    RangeOptimalWavelet::from_parts(n, nn, kept, dropped).with_name("TOPBB-GREEDY")
+    Ok(RangeOptimalWavelet::from_parts(n, nn, kept, dropped).with_name("TOPBB-GREEDY"))
 }
 
 fn negate(v: &[f64]) -> Vec<f64> {
@@ -329,6 +346,23 @@ mod tests {
         let w = build_range_greedy(&p, 12);
         assert!(w.coeffs().is_empty(), "kept {}", w.coeffs().len());
         assert!(sse_brute(&w, &p) < 1e-9);
+    }
+
+    #[test]
+    fn budgeted_build_matches_and_aborts_cleanly() {
+        use synoptic_core::{Budget, SynopticError};
+        let vals = vec![12i64, 9, 4, 1, 1, 0, 2, 14];
+        let p = ps(&vals);
+        let free = build_range_greedy(&p, 4);
+        let metered = Budget::unlimited();
+        let tracked = build_range_greedy_with_budget(&p, 4, &metered).unwrap();
+        assert_eq!(free.coeffs(), tracked.coeffs());
+        assert!(metered.cells_used() > 0);
+        let capped = Budget::unlimited().with_max_cells(1);
+        assert!(matches!(
+            build_range_greedy_with_budget(&p, 4, &capped),
+            Err(SynopticError::CellBudgetExceeded { .. })
+        ));
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! terms and `G` the first-column terms — `O(B)` per query.
 
 use crate::haar::{forward, next_pow2, BasisFn};
-use synoptic_core::{PrefixSums, RangeEstimator, RangeQuery};
+use synoptic_core::{Budget, PrefixSums, RangeEstimator, RangeQuery, Result};
 
 /// Which half of the virtual matrix's transform a retained coefficient
 /// belongs to.
@@ -71,9 +71,20 @@ impl RangeOptimalWavelet {
     /// `P[n]` (the virtual matrix extended by empty ranges) rather than
     /// zeros, so padding adds no artificial energy.
     pub fn build(ps: &PrefixSums, b: usize) -> Self {
+        Self::build_with_budget(ps, b, &Budget::unlimited()).expect("unlimited budget cannot fail")
+    }
+
+    /// [`RangeOptimalWavelet::build`] under execution control: one
+    /// checkpoint per phase (endpoint vectors, each 1-D transform, the
+    /// top-`b` selection), charged with `O(N log N)`-scale work units.
+    /// Bit-identical to [`RangeOptimalWavelet::build`] with
+    /// [`synoptic_core::Budget::unlimited`].
+    pub fn build_with_budget(ps: &PrefixSums, b: usize, budget: &Budget) -> Result<Self> {
         let n = ps.n();
         let nn = next_pow2(n + 1);
         let total = ps.total() as f64;
+        let transform_cells = (nn.ilog2() as u64 + 1) * nn as u64;
+        budget.charge(nn as u64)?;
         // p(j) = P[j+1], q(i) = P[i], both length nn with constant padding.
         let mut hp: Vec<f64> = (0..nn)
             .map(|j| if j < n { ps.p(j + 1) as f64 } else { total })
@@ -81,9 +92,12 @@ impl RangeOptimalWavelet {
         let mut hq: Vec<f64> = (0..nn)
             .map(|i| if i <= n { ps.p(i) as f64 } else { total })
             .collect();
+        budget.charge(transform_cells)?;
         forward(&mut hp);
+        budget.charge(transform_cells)?;
         forward(&mut hq);
-        Self::from_transforms(n, &hp, &hq, b)
+        budget.charge(transform_cells)?; // sort + selection in from_transforms
+        Ok(Self::from_transforms(n, &hp, &hq, b))
     }
 
     /// Builds the synopsis from already-computed 1-D transforms of the two
@@ -346,6 +360,23 @@ mod tests {
             r_sse < p_sse,
             "range-optimal ({r_sse}) should beat point-top-B ({p_sse}) at b={b}"
         );
+    }
+
+    #[test]
+    fn budgeted_build_matches_and_aborts_cleanly() {
+        use synoptic_core::SynopticError;
+        let vals = vec![12i64, 9, 4, 1, 1, 0, 2, 14, 13, 6];
+        let p = ps(&vals);
+        let free = RangeOptimalWavelet::build(&p, 5);
+        let metered = Budget::unlimited();
+        let tracked = RangeOptimalWavelet::build_with_budget(&p, 5, &metered).unwrap();
+        assert_eq!(free.coeffs(), tracked.coeffs());
+        assert!(metered.cells_used() > 0);
+        let capped = Budget::unlimited().with_max_cells(1);
+        assert!(matches!(
+            RangeOptimalWavelet::build_with_budget(&p, 5, &capped),
+            Err(SynopticError::CellBudgetExceeded { .. })
+        ));
     }
 
     #[test]

@@ -31,8 +31,11 @@ fn main() -> Result<()> {
     // Policy-maintained histogram: rebuild at 5% drift.
     let mut maintained = MaintainedHistogram::new(
         data.values(),
-        |_vals: &[i64], ps: &PrefixSums| {
-            Ok(Box::new(synoptic::hist::sap0::build_sap0(ps, 8)?) as Box<dyn RangeEstimator>)
+        |_vals: &[i64], ps: &PrefixSums, budget: &synoptic::core::Budget| {
+            Ok(
+                Box::new(synoptic::hist::sap0::build_sap0_with_budget(ps, 8, budget)?)
+                    as Box<dyn RangeEstimator>,
+            )
         },
         RebuildPolicy::DriftFraction(0.05),
     )?;

@@ -30,7 +30,12 @@ fn updated_column_flows_into_a_persisted_catalog() {
     let (d, _) = dataset(48);
     let mut m = MaintainedHistogram::new(
         d.values(),
-        |_v: &[i64], ps: &PrefixSums| Ok(Box::new(build_sap0(ps, 5)?) as Box<dyn RangeEstimator>),
+        |_v: &[i64], ps: &PrefixSums, budget: &synoptic::core::Budget| {
+            Ok(
+                Box::new(synoptic::hist::sap0::build_sap0_with_budget(ps, 5, budget)?)
+                    as Box<dyn RangeEstimator>,
+            )
+        },
         RebuildPolicy::EveryKUpdates(10),
     )
     .unwrap();
