@@ -22,10 +22,20 @@ echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --offline -- -D warnings
 
 echo "==> tier-1: cargo build --release (offline)"
+# This build doubles as the compile-time thread-safety gate: const-context
+# `assert_send_sync` proofs in crates/core/src/budget.rs (Budget,
+# CancelToken), crates/core/src/swap.rs (HotSwap/HotSwapReader),
+# crates/stream/src/pool.rs (ColumnHandle, MaintainedPool, and the Send
+# bound on PersistFn — the persist hook crosses a thread boundary), and
+# crates/catalog/src/store.rs (DurableCatalog behind the persist hook)
+# fail the build if any of them regresses to !Send or !Sync.
 cargo build --release --offline
 
 echo "==> tier-1: cargo test -q (offline, capped at ${TEST_CAP}s)"
 ${CAP} cargo test -q --offline
+
+echo "==> threaded stress suite: pool under fault injection (capped at ${TEST_CAP}s)"
+${CAP} cargo test -q -p synoptic-stream --test pool_stress --offline
 
 echo "==> full workspace tests (offline, capped at ${TEST_CAP}s)"
 ${CAP} cargo test -q --workspace --offline

@@ -7,9 +7,10 @@
 //! truncations, bit flips, partial reads and `ENOSPC` without touching a
 //! real failing disk.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 use synoptic_core::{Result, SynopticError};
 
@@ -182,12 +183,18 @@ impl Fault {
 /// Deterministic by construction: the schedule is a queue, and each
 /// read/write pops at most one matching fault. Operations beyond the
 /// schedule pass through untouched.
+///
+/// Thread-safe: the fault queues are behind mutexes so the harness can be
+/// driven from a test thread while a background persist worker writes
+/// through it (the maintained-pool fault tests do exactly this). A poisoned
+/// queue mutex is recovered, not propagated — fault scheduling state stays
+/// usable even if an injected fault panicked a writer.
 pub struct FaultyStorage<S: Storage> {
     inner: S,
-    write_faults: RefCell<VecDeque<Fault>>,
-    read_faults: RefCell<VecDeque<Fault>>,
+    write_faults: Mutex<VecDeque<Fault>>,
+    read_faults: Mutex<VecDeque<Fault>>,
     /// Count of faults actually fired (for test assertions).
-    fired: RefCell<usize>,
+    fired: AtomicUsize,
 }
 
 impl<S: Storage> FaultyStorage<S> {
@@ -198,34 +205,44 @@ impl<S: Storage> FaultyStorage<S> {
             schedule.into_iter().partition(Fault::is_write_fault);
         Self {
             inner,
-            write_faults: RefCell::new(writes.into()),
-            read_faults: RefCell::new(reads.into()),
-            fired: RefCell::new(0),
+            write_faults: Mutex::new(writes.into()),
+            read_faults: Mutex::new(reads.into()),
+            fired: AtomicUsize::new(0),
         }
     }
 
     /// How many scripted faults have fired so far.
     pub fn faults_fired(&self) -> usize {
-        *self.fired.borrow()
+        self.fired.load(Ordering::SeqCst)
     }
 
     /// Appends more faults to the schedule.
     pub fn push_fault(&self, fault: Fault) {
         if fault.is_write_fault() {
-            self.write_faults.borrow_mut().push_back(fault);
+            self.write_faults
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(fault);
         } else {
-            self.read_faults.borrow_mut().push_back(fault);
+            self.read_faults
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(fault);
         }
     }
 
     fn fire(&self) {
-        *self.fired.borrow_mut() += 1;
+        self.fired.fetch_add(1, Ordering::SeqCst);
     }
 }
 
 impl<S: Storage> Storage for FaultyStorage<S> {
     fn read(&self, path: &Path) -> Result<Vec<u8>> {
-        let fault = self.read_faults.borrow_mut().pop_front();
+        let fault = self
+            .read_faults
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front();
         let mut bytes = self.inner.read(path)?;
         match fault {
             None => Ok(bytes),
@@ -254,7 +271,11 @@ impl<S: Storage> Storage for FaultyStorage<S> {
     }
 
     fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<()> {
-        let fault = self.write_faults.borrow_mut().pop_front();
+        let fault = self
+            .write_faults
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front();
         match fault {
             None => self.inner.write_atomic(path, bytes),
             Some(Fault::TornWrite { keep }) => {

@@ -65,6 +65,17 @@ pub struct DurableCatalog<S: Storage> {
     storage: S,
 }
 
+/// Compile-time proof that the durable persist path can cross a thread
+/// boundary: the maintained-pool worker owns the persist hook, so the
+/// store (with either the production or the fault-injecting backend) must
+/// be `Send + Sync`. Checked by every `cargo build`, including the release
+/// gate in `ci.sh`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DurableCatalog<crate::FsStorage>>();
+    assert_send_sync::<DurableCatalog<crate::FaultyStorage<crate::FsStorage>>>();
+};
+
 /// One problem found by [`DurableCatalog::fsck`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FsckIssue {

@@ -100,15 +100,25 @@ USAGE:
                     [--cancel-after-checks K]
   synoptic estimate --catalog DIR --column NAME --range LO..HI
   synoptic evaluate --input FILE [--budget WORDS] [--deadline-ms MS] [--max-cells N]
+  synoptic maintain --input FILE --method METHOD [--budget WORDS] \\
+                    [--updates U] [--every-k K | --drift F] [--workers W] \\
+                    [--upgrade-in-background] [--upgrade-factor X] \\
+                    [--deadline-ms MS] [--max-cells N] [--seed S]
   synoptic report   --catalog DIR
   synoptic fsck     --catalog DIR
   synoptic repair   --catalog DIR
 
 METHODS: naive | opt-a | opt-a-reopt | sap0 | sap1 | wavelet-range
+         (maintain: naive | equi-depth | point-opt | a0 | sap0 | sap1 | opt-a)
 FILES:   one integer frequency per line ('#' comments allowed)
 CATALOG: a store directory of checksummed synopsis files with generational
          manifests (see docs/PERSISTENCE.md); corrupt files are quarantined,
          never deleted, and estimates degrade gracefully with a warning.
+MAINTAIN: simulates a live column on the background worker pool: U updates
+         ingest while rebuilds run off-thread (--workers threads, --every-k /
+         --drift policy); --upgrade-in-background re-runs the requested
+         method at --upgrade-factor x budget after a degraded rebuild and
+         hot-swaps the result (see docs/ROBUSTNESS.md).
 BUDGETS: --deadline-ms / --max-cells bound the build (wall clock / DP cells).
          By default an exhausted budget aborts with a distinct exit code;
          with --anytime the build falls down a cheaper-method ladder and the
@@ -476,6 +486,129 @@ pub fn evaluate(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Maps a CLI method spelling to the anytime-ladder histogram family used
+/// by `maintain` (the pool rebuilds through `build_anytime`, so only
+/// histogram methods — not wavelets — are maintainable this way).
+fn maintained_method(name: &str) -> Result<synoptic_hist::HistogramMethod, CliError> {
+    use synoptic_hist::HistogramMethod as M;
+    Ok(match name {
+        "naive" => M::Naive,
+        "equi-depth" => M::EquiDepth,
+        "point-opt" => M::PointOpt,
+        "a0" => M::A0,
+        "sap0" => M::Sap0,
+        "sap1" => M::Sap1,
+        "opt-a" => M::OptA,
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown maintainable method '{other}' \
+                 (naive|equi-depth|point-opt|a0|sap0|sap1|opt-a)"
+            )));
+        }
+    })
+}
+
+/// `maintain`: simulate a live column on the sharded background worker
+/// pool — ingest a pseudo-random update stream, let the rebuild policy
+/// fire, and report what the maintenance layer did. With budget flags the
+/// rebuilds degrade down the anytime ladder; with
+/// `--upgrade-in-background` the pool then quietly re-runs the requested
+/// method at a larger budget and hot-swaps the better synopsis in.
+pub fn maintain(args: &[String]) -> Result<(), CliError> {
+    use synoptic_stream::{ColumnBuild, MaintainedPool, RebuildConfig, RebuildPolicy};
+
+    let f = Flags::parse(args).usage()?;
+    let values = read_column(f.required("input").usage()?)?;
+    let method_name = f.required("method").usage()?;
+    let method = maintained_method(method_name)?;
+    let budget: usize = f.parsed_or("budget", 32).usage()?;
+    let updates: u64 = f.parsed_or("updates", 256).usage()?;
+    let workers: usize = f.parsed_or("workers", 2).usage()?;
+    let every_k: u64 = f.parsed_or("every-k", (updates / 8).max(1)).usage()?;
+    let drift: Option<f64> = f.parsed_opt("drift").usage()?;
+    let seed: u64 = f.parsed_or("seed", 2001).usage()?;
+    let exec = BudgetFlags::parse(&f)?;
+
+    let policy = match drift {
+        Some(fr) => RebuildPolicy::DriftFraction(fr),
+        None => RebuildPolicy::EveryKUpdates(every_k),
+    };
+    let mut config = RebuildConfig::new(policy);
+    if let Some(d) = exec.deadline {
+        config = config.with_deadline(d);
+    }
+    if let Some(c) = exec.max_cells {
+        config = config.with_max_cells(c);
+    }
+    if let Some(t) = &exec.cancel {
+        config = config.with_cancel_token(t.clone());
+    }
+    if f.switch("upgrade-in-background") {
+        let factor: u32 = f.parsed_or("upgrade-factor", 4).usage()?;
+        config = config.with_background_upgrade(factor);
+    }
+
+    let n = values.len();
+    let pool = MaintainedPool::new(workers);
+    let col = pool.add_column(
+        "cli",
+        &values,
+        ColumnBuild::Anytime {
+            method,
+            budget_words: budget,
+        },
+        config,
+    )?;
+    if let Some(outcome) = col.last_outcome() {
+        println!("initial build: {outcome}");
+    }
+
+    // A deterministic xorshift update stream: positions over the domain,
+    // deltas in ±[1, 8].
+    let mut state = seed | 1;
+    let mut scheduled = 0u64;
+    for _ in 0..updates {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let i = (state % n as u64) as usize;
+        let delta = ((state >> 32) % 8 + 1) as i64 * if state & 1 == 0 { 1 } else { -1 };
+        if col.update(i, delta)? {
+            scheduled += 1;
+        }
+    }
+    col.quiesce();
+
+    let stats = col.stats();
+    let full = RangeQuery { lo: 0, hi: n - 1 };
+    let exact = col.exact(full);
+    let est = col.estimate(full);
+    println!(
+        "ingested {} updates on {} worker(s): {} rebuilds scheduled, \
+         {} completed, {} failed, {} upgrades ({} failed)",
+        stats.updates,
+        pool.workers(),
+        scheduled,
+        stats.rebuilds,
+        stats.failed_rebuilds,
+        stats.upgrades,
+        stats.failed_upgrades
+    );
+    if let Some(outcome) = col.last_outcome() {
+        println!(
+            "serving: {} (generation {}) — {outcome}",
+            col.estimator().method_name(),
+            col.serving_generation()
+        );
+    }
+    if let Some(err) = col.last_error() {
+        eprintln!("warning: last maintenance error: {err}");
+    }
+    println!("full-range estimate {est:.2} vs exact {exact} after the stream");
+    pool.shutdown();
+    Ok(())
+}
+
 /// `report`: summarize the committed generation of a store.
 pub fn report(args: &[String]) -> Result<(), CliError> {
     let f = Flags::parse(args).usage()?;
@@ -664,6 +797,62 @@ mod tests {
         assert_eq!(loaded.len(), 6);
         let _ = std::fs::remove_file(&col);
         let _ = std::fs::remove_dir_all(&cat);
+    }
+
+    #[test]
+    fn maintain_runs_the_pool_end_to_end() {
+        let col = tmp("synoptic_cli_col5.txt");
+        generate(&s(&["--n", "48", "--out", &col])).unwrap();
+        maintain(&s(&[
+            "--input",
+            &col,
+            "--method",
+            "sap0",
+            "--budget",
+            "18",
+            "--updates",
+            "200",
+            "--every-k",
+            "25",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        // Degraded + upgrade path: a 0-cell budget forces the ladder down to
+        // naive, then the background upgrade (huge factor) restores opt-a.
+        maintain(&s(&[
+            "--input",
+            &col,
+            "--method",
+            "opt-a",
+            "--budget",
+            "16",
+            "--updates",
+            "64",
+            "--every-k",
+            "16",
+            "--max-cells",
+            "1",
+            "--upgrade-in-background",
+            "--upgrade-factor",
+            "1000000",
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_file(&col);
+    }
+
+    #[test]
+    fn maintain_rejects_unmaintainable_method() {
+        let col = tmp("synoptic_cli_col6.txt");
+        write_column(&col, &[1, 2, 3, 4]).unwrap();
+        let err = maintain(&s(&["--input", &col, "--method", "wavelet-range"])).unwrap_err();
+        assert!(
+            err.msg.contains("unknown maintainable method"),
+            "{}",
+            err.msg
+        );
+        assert_eq!(err.code, EXIT_USAGE);
+        let _ = std::fs::remove_file(&col);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //!                   --catalog stats/ --column price
 //! synoptic estimate --catalog stats/ --column price --range 10..40
 //! synoptic evaluate --input column.txt --budget 32
+//! synoptic maintain --input column.txt --method opt-a --updates 512 --workers 2
 //! synoptic report   --catalog stats/
 //! synoptic fsck     --catalog stats/
 //! synoptic repair   --catalog stats/
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "build" => commands::build(rest),
         "estimate" => commands::estimate(rest),
         "evaluate" => commands::evaluate(rest),
+        "maintain" => commands::maintain(rest),
         "report" => commands::report(rest),
         "fsck" => commands::fsck(rest),
         "repair" => commands::repair(rest),

@@ -24,7 +24,18 @@
 //! Checkpoint semantics for tests: [`CancelToken::cancel_after_checks`]
 //! arms the token to trip at an exact checkpoint index, which lets property
 //! tests drive cancellation through *every* checkpoint of a build
-//! deterministically and offline (no timing dependence).
+//! deterministically and offline (no timing dependence). Armed trip points
+//! are consumed only by [`CancelToken::observe`] (which [`Budget::charge`]
+//! calls); the read-only [`CancelToken::is_cancelled`] never perturbs them,
+//! so diagnostics and logging can poll the token freely without an
+//! observer effect on cancellation tests.
+//!
+//! Both [`Budget`] and [`CancelToken`] are `Send + Sync`: a budget can be
+//! shared by reference with a background rebuild worker while the owner
+//! watches its meters, and the token is the cross-thread cancel handle.
+//! The counters are relaxed atomics — they are monotone meters, not
+//! synchronization edges — so the unconstrained fast path stays a few
+//! nanoseconds per checkpoint.
 //!
 //! # Example
 //!
@@ -47,8 +58,7 @@
 //! assert!(matches!(budget.check(), Err(SynopticError::Cancelled)));
 //! ```
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -106,9 +116,23 @@ impl CancelToken {
     }
 
     /// Whether cancellation has been requested (or an armed trip point has
-    /// been reached). Each call on a token with an armed trip point counts
-    /// as one observation.
+    /// already been reached by a previous [`CancelToken::observe`]).
+    ///
+    /// This is a **pure read**: it never advances an armed trip point, so a
+    /// diagnostic or logging call cannot perturb the checkpoint at which a
+    /// `cancel_after_checks` sweep trips. The counted primitive — the one
+    /// [`Budget::charge`] uses at every checkpoint — is
+    /// [`CancelToken::observe`].
     pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Records one *checkpoint observation* and reports whether the build
+    /// should abort. Identical to [`CancelToken::is_cancelled`] for plain
+    /// tokens; on a token armed with [`CancelToken::cancel_after_checks`],
+    /// each call consumes one allowed check and the call after the allowance
+    /// trips (and latches) cancellation.
+    pub fn observe(&self) -> bool {
         if self.inner.cancelled.load(Ordering::SeqCst) {
             return true;
         }
@@ -140,8 +164,10 @@ impl CancelToken {
 /// cooperative cancellation, checked together at coarse checkpoints.
 ///
 /// A `Budget` is created per build attempt and passed by shared reference
-/// down the call tree (it is deliberately `!Sync`; the cross-thread handle
-/// is the [`CancelToken`]). Builders call [`Budget::charge`] with the
+/// down the call tree. It is `Send + Sync`: a background rebuild worker can
+/// run a build under a budget while another thread reads its meters
+/// ([`Budget::cells_used`], [`Budget::elapsed`]) or cancels through the
+/// attached [`CancelToken`]. Builders call [`Budget::charge`] with the
 /// number of DP cells (or comparable work units) completed since the last
 /// checkpoint; the budget accumulates usage and fails the build with the
 /// first exhausted constraint.
@@ -164,9 +190,19 @@ pub struct Budget {
     deadline: Option<Instant>,
     max_cells: Option<u64>,
     cancel: Option<CancelToken>,
-    cells: Cell<u64>,
-    checks: Cell<u64>,
+    cells: AtomicU64,
+    checks: AtomicU64,
 }
+
+/// Compile-time proof (checked by every `cargo build`, including the
+/// release gate in `ci.sh`) that the execution-control types can cross
+/// thread boundaries: a serving thread hands a `Budget` to a rebuild
+/// worker and keeps a `CancelToken` clone as the abort handle.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Budget>();
+    assert_send_sync::<CancelToken>();
+};
 
 impl Default for Budget {
     fn default() -> Self {
@@ -183,8 +219,8 @@ impl Budget {
             deadline: None,
             max_cells: None,
             cancel: None,
-            cells: Cell::new(0),
-            checks: Cell::new(0),
+            cells: AtomicU64::new(0),
+            checks: AtomicU64::new(0),
         }
     }
 
@@ -224,10 +260,23 @@ impl Budget {
     /// lets callers distinguish "abort, don't fall back" from "fall down
     /// the quality ladder".
     pub fn charge(&self, cells: u64) -> Result<()> {
-        self.cells.set(self.cells.get().saturating_add(cells));
-        self.checks.set(self.checks.get() + 1);
+        // Saturating add via CAS: the meters are relaxed (they order
+        // nothing; they are read for provenance), but saturation must hold
+        // even under concurrent charging.
+        let mut cur = self.cells.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(cells);
+            match self
+                .cells
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.checks.fetch_add(1, Ordering::Relaxed);
         if let Some(token) = &self.cancel {
-            if token.is_cancelled() {
+            if token.observe() {
                 return Err(SynopticError::Cancelled);
             }
         }
@@ -240,7 +289,7 @@ impl Budget {
             }
         }
         if let Some(limit) = self.max_cells {
-            let used = self.cells.get();
+            let used = self.cells.load(Ordering::Relaxed);
             if used > limit {
                 return Err(SynopticError::CellBudgetExceeded { used, limit });
             }
@@ -255,12 +304,12 @@ impl Budget {
 
     /// Total work units charged so far.
     pub fn cells_used(&self) -> u64 {
-        self.cells.get()
+        self.cells.load(Ordering::Relaxed)
     }
 
     /// Total checkpoints observed so far.
     pub fn checks_performed(&self) -> u64 {
-        self.checks.get()
+        self.checks.load(Ordering::Relaxed)
     }
 
     /// Wall-clock time since the budget was created.
@@ -376,6 +425,50 @@ mod tests {
             .with_deadline(Duration::ZERO)
             .with_max_cells(0);
         assert_eq!(b.charge(10).unwrap_err(), SynopticError::Cancelled);
+    }
+
+    #[test]
+    fn is_cancelled_is_a_pure_read_with_no_observer_effect() {
+        // An armed trip point must be consumed only by counted observations
+        // (`observe`, i.e. budget checkpoints) — never by diagnostic reads.
+        let token = CancelToken::new();
+        token.cancel_after_checks(2);
+        for _ in 0..100 {
+            assert!(!token.is_cancelled(), "pure read must not consume checks");
+        }
+        let b = Budget::unlimited().with_cancel_token(token.clone());
+        b.charge(1).unwrap();
+        assert!(!token.is_cancelled());
+        b.charge(1).unwrap();
+        // Interleave more diagnostic reads: still exactly at check 2.
+        assert!(!token.is_cancelled());
+        assert_eq!(b.charge(1).unwrap_err(), SynopticError::Cancelled);
+        // After the trip the latched flag is visible to the pure read.
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn observe_counts_and_latches() {
+        let token = CancelToken::new();
+        token.cancel_after_checks(1);
+        assert!(!token.observe());
+        assert!(token.observe(), "second observation reaches the trip point");
+        assert!(token.observe(), "latched");
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn budget_meters_are_readable_across_threads() {
+        let b = std::sync::Arc::new(Budget::unlimited());
+        let b2 = std::sync::Arc::clone(&b);
+        let t = std::thread::spawn(move || {
+            for _ in 0..1000 {
+                b2.charge(3).unwrap();
+            }
+        });
+        t.join().unwrap();
+        assert_eq!(b.cells_used(), 3000);
+        assert_eq!(b.checks_performed(), 1000);
     }
 
     #[test]

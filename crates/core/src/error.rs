@@ -100,6 +100,13 @@ pub enum SynopticError {
         /// The panic payload rendered as text, when it was a string.
         detail: String,
     },
+    /// The background worker pool serving a maintained column has shut
+    /// down, so a rebuild could not be scheduled. Serving and ingest keep
+    /// working from the last-good synopsis; only maintenance stops.
+    WorkerUnavailable {
+        /// The column whose rebuild could not be scheduled.
+        column: String,
+    },
 }
 
 impl fmt::Display for SynopticError {
@@ -143,6 +150,9 @@ impl fmt::Display for SynopticError {
                 write!(f, "cell budget exceeded: {used} cells used, limit {limit}")
             }
             Self::BuildPanicked { detail } => write!(f, "builder panicked: {detail}"),
+            Self::WorkerUnavailable { column } => {
+                write!(f, "rebuild worker pool unavailable for column {column}")
+            }
         }
     }
 }

@@ -9,7 +9,14 @@ use crate::query::RangeQuery;
 /// Estimates are `f64`: the OPT-A answering procedure with
 /// [`crate::RoundingMode::NearestInt`] produces integral estimates, all other
 /// procedures are real-valued.
-pub trait RangeEstimator {
+///
+/// `Send + Sync` are supertraits: a synopsis is immutable answered data, and
+/// the maintained-serving layer (`synoptic-stream`) hot-swaps freshly built
+/// estimators from a background rebuild worker into serving threads. Every
+/// implementation in the workspace is a plain owned data structure, so the
+/// bounds are free; they are what lets `Arc<dyn RangeEstimator>` cross
+/// thread boundaries without per-implementation ceremony.
+pub trait RangeEstimator: Send + Sync {
     /// Domain size the synopsis was built for.
     fn n(&self) -> usize;
 

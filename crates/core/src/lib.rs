@@ -57,6 +57,7 @@ pub mod query;
 pub mod rng;
 pub mod rounding;
 pub mod sse;
+pub mod swap;
 pub mod window;
 
 pub use array::{DataArray, PrefixSums};
@@ -72,3 +73,4 @@ pub use outcome::{BuildAttempt, BuildOutcome};
 pub use query::RangeQuery;
 pub use rng::Rng;
 pub use rounding::RoundingMode;
+pub use swap::{HotSwap, HotSwapReader};

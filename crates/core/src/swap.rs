@@ -1,0 +1,180 @@
+//! A lock-light hot-swap cell for last-good values.
+//!
+//! The serving invariant of the maintained-synopsis layer ("the estimator
+//! never disappears") needs a place where a background rebuild worker can
+//! *publish* a fresh synopsis while serving threads keep answering from the
+//! previous one. [`HotSwap`] is that place: an [`Arc`] slot whose readers
+//! take a snapshot (`load`) and whose single writer replaces it atomically
+//! from the reader's point of view (`swap`).
+//!
+//! ## Why not a lock around the estimator itself?
+//!
+//! A rebuild takes milliseconds-to-seconds; an answer takes nanoseconds.
+//! Holding any lock across the rebuild would stall every reader for the
+//! build duration. Here the only critical section is a reference-count
+//! increment (`Arc::clone`) or a pointer replacement (`mem::replace`) —
+//! **no lock is ever held across a build, an I/O call, or a sleep**. The
+//! monotone [`HotSwap::generation`] counter additionally lets hot readers
+//! cache their snapshot ([`HotSwapReader`]) and touch the slot mutex only
+//! when a swap has actually happened, making the steady-state read path a
+//! single relaxed atomic load with zero shared-lock traffic.
+//!
+//! This cell is deliberately minimal safe code (`forbid(unsafe_code)`
+//! holds for the whole crate): the classic epoch/hazard-pointer designs
+//! buy readers a lock-free slow path too, but at the cost of unsafe
+//! reclamation logic that this workspace does not need — the slot mutex is
+//! touched once per *swap*, not per answer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A shared slot holding an `Arc<T>` that readers snapshot and a writer
+/// hot-swaps. See the [module docs](self) for the locking discipline.
+#[derive(Debug)]
+pub struct HotSwap<T: ?Sized> {
+    slot: Mutex<Arc<T>>,
+    /// Bumped on every [`HotSwap::swap`]; lets readers skip the slot mutex
+    /// entirely while nothing has changed.
+    generation: AtomicU64,
+}
+
+impl<T: ?Sized> HotSwap<T> {
+    /// A cell initially holding `value` at generation 0.
+    pub fn new(value: Arc<T>) -> Self {
+        Self {
+            slot: Mutex::new(value),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshots the current value. The critical section is one
+    /// `Arc::clone`; the returned snapshot stays valid (and keeps
+    /// answering) even if a swap happens immediately after.
+    pub fn load(&self) -> Arc<T> {
+        self.slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Publishes `value`, returning the previous one. Readers that already
+    /// hold a snapshot are unaffected; new `load`s see the new value.
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        let mut guard = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        let old = std::mem::replace(&mut *guard, value);
+        // Publish the bump *after* the slot holds the new value (the mutex
+        // release orders the store; the counter itself is a hint).
+        self.generation.fetch_add(1, Ordering::Release);
+        old
+    }
+
+    /// How many swaps have been published. Monotone; readers use it to
+    /// detect staleness without touching the slot.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// A caching reader handle for hot read paths (see [`HotSwapReader`]).
+    pub fn reader(self: &Arc<Self>) -> HotSwapReader<T> {
+        HotSwapReader {
+            cell: Arc::clone(self),
+            seen: self.generation(),
+            cached: self.load(),
+        }
+    }
+}
+
+/// A per-thread caching reader over a [`HotSwap`].
+///
+/// `get` is one relaxed-ish atomic load in the steady state: the slot mutex
+/// is taken only on the first read after a swap. Each reader thread owns
+/// its `HotSwapReader`; the cell itself is shared.
+#[derive(Debug)]
+pub struct HotSwapReader<T: ?Sized> {
+    cell: Arc<HotSwap<T>>,
+    seen: u64,
+    cached: Arc<T>,
+}
+
+impl<T: ?Sized> HotSwapReader<T> {
+    /// The current value, refreshing the cached snapshot only when a swap
+    /// has been published since the last call.
+    pub fn get(&mut self) -> &Arc<T> {
+        let now = self.cell.generation();
+        if now != self.seen {
+            self.cached = self.cell.load();
+            self.seen = now;
+        }
+        &self.cached
+    }
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<HotSwap<dyn crate::RangeEstimator>>();
+    assert_send_sync::<HotSwapReader<dyn crate::RangeEstimator>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_swap_round_trip() {
+        let cell = HotSwap::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        assert_eq!(cell.generation(), 0);
+        let old = cell.swap(Arc::new(2));
+        assert_eq!(*old, 1);
+        assert_eq!(*cell.load(), 2);
+        assert_eq!(cell.generation(), 1);
+    }
+
+    #[test]
+    fn snapshots_survive_swaps() {
+        let cell = HotSwap::new(Arc::new(vec![1, 2, 3]));
+        let snap = cell.load();
+        cell.swap(Arc::new(vec![9]));
+        assert_eq!(*snap, vec![1, 2, 3], "old snapshot keeps serving");
+        assert_eq!(*cell.load(), vec![9]);
+    }
+
+    #[test]
+    fn reader_caches_until_generation_moves() {
+        let cell = Arc::new(HotSwap::new(Arc::new(10u64)));
+        let mut r = cell.reader();
+        assert_eq!(**r.get(), 10);
+        cell.swap(Arc::new(20));
+        assert_eq!(**r.get(), 20);
+        // Stable when nothing changes.
+        assert_eq!(**r.get(), 20);
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_an_absent_value() {
+        let cell = Arc::new(HotSwap::new(Arc::new(0u64)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut r = cell.reader();
+                let mut last = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let v = **r.get();
+                    assert!(v >= last, "published values are monotone");
+                    last = v;
+                }
+            }));
+        }
+        for v in 1..=1000u64 {
+            cell.swap(Arc::new(v));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cell.generation(), 1000);
+    }
+}

@@ -22,6 +22,10 @@
 //! * [`maintained`] — a rebuild-policy wrapper around any histogram family:
 //!   ingest updates, serve the last-built synopsis, and rebuild when the
 //!   accumulated drift or update count crosses a policy threshold.
+//! * [`pool`] — the multi-threaded serving layer: a [`pool::MaintainedPool`]
+//!   shards columns across a fixed set of background rebuild workers so that
+//!   ingest and query threads never block on a rebuild or a persist retry;
+//!   serving estimators are published through `synoptic_core::HotSwap`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,9 +33,13 @@
 pub mod fenwick;
 pub mod haar_stream;
 pub mod maintained;
+pub mod pool;
 pub mod progressive;
 
 pub use fenwick::Fenwick;
 pub use haar_stream::{StreamingHaar, StreamingRangeOptimal};
-pub use maintained::{MaintainedHistogram, RebuildConfig, RebuildPolicy, RebuildStats};
+pub use maintained::{
+    drift_exceeds, MaintainedHistogram, PersistFn, RebuildConfig, RebuildPolicy, RebuildStats,
+};
+pub use pool::{ColumnBuild, ColumnHandle, MaintainedPool, PoolBuildFn};
 pub use progressive::{ProgressiveAnswer, ProgressiveQuery};

@@ -26,9 +26,24 @@
 //!   the ingest path into a rebuild storm.
 //! * An optional persist hook runs after each successful rebuild, with
 //!   bounded retry + doubling backoff on transient
-//!   [`SynopticError::Io`] / [`SynopticError::CorruptSynopsis`] errors. A
-//!   persist failure **never** unseats the freshly built in-memory
-//!   synopsis — durability lags, serving does not.
+//!   [`SynopticError::Io`] / [`SynopticError::CorruptSynopsis`] errors,
+//!   and a **hard cap on total retry wall-clock**
+//!   ([`RebuildConfig::persist_total_backoff`], default 2 s) so a dead disk
+//!   cannot wedge the maintenance loop. A persist failure **never** unseats
+//!   the freshly built in-memory synopsis — durability lags, serving does
+//!   not.
+//!
+//! ## Single-threaded facade vs. the worker pool
+//!
+//! `MaintainedHistogram` is the *embedded*, single-threaded driver: ingest,
+//! rebuild, and persist all run on the caller's thread, in order. That is
+//! the right shape for batch jobs and tests, but it means a rebuild (or a
+//! persist retry ladder) stalls the caller. Production serving uses
+//! [`crate::pool::MaintainedPool`] instead, which splits each column into a
+//! lock-light serving/ingest handle and a sharded background worker that
+//! owns the rebuild + persist + upgrade loop; the policy logic, the exact
+//! drift test ([`drift_exceeds`]), and the bounded persist retry ladder
+//! ([`persist_with_retry`]) here are shared by both drivers.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
@@ -68,14 +83,29 @@ pub struct RebuildConfig {
     pub persist_retries: u32,
     /// Initial backoff between persist attempts; doubles per retry.
     pub persist_backoff: Duration,
+    /// Hard cap on the *total* wall-clock spent sleeping between persist
+    /// attempts, across the whole doubling ladder. Once the cap is spent,
+    /// the next failure is final regardless of `persist_retries` — a dead
+    /// disk must not wedge a maintenance thread. Default 2 s.
+    pub persist_total_backoff: Duration,
     /// Updates to suppress policy-fired rebuilds after a failure; doubles
     /// per consecutive failure (capped at 1024×), resets on success.
     pub failure_cooldown_updates: u64,
+    /// Pool-only: after a *degraded* anytime build commits, re-run the
+    /// originally requested rung in the background with a
+    /// [`RebuildConfig::upgrade_budget_factor`]× budget and hot-swap the
+    /// better synopsis on success (the inverse of the fallback ladder).
+    /// Ignored by the single-threaded [`MaintainedHistogram`] facade.
+    pub upgrade_in_background: bool,
+    /// Budget multiplier (deadline and cell cap) for background upgrade
+    /// attempts. Default 4.
+    pub upgrade_budget_factor: u32,
 }
 
 impl RebuildConfig {
     /// Defaults: no execution constraints, 2 persist retries with 1 ms
-    /// initial backoff, 8-update failure cooldown.
+    /// initial backoff capped at 2 s total, 8-update failure cooldown, no
+    /// background upgrades.
     pub fn new(policy: RebuildPolicy) -> Self {
         Self {
             policy,
@@ -84,7 +114,10 @@ impl RebuildConfig {
             cancel: None,
             persist_retries: 2,
             persist_backoff: Duration::from_millis(1),
+            persist_total_backoff: Duration::from_secs(2),
             failure_cooldown_updates: 8,
+            upgrade_in_background: false,
+            upgrade_budget_factor: 4,
         }
     }
 
@@ -117,7 +150,23 @@ impl RebuildConfig {
         self
     }
 
-    fn budget(&self) -> Budget {
+    /// Caps the total wall-clock spent sleeping between persist retries.
+    #[must_use]
+    pub fn with_persist_total_backoff(mut self, cap: Duration) -> Self {
+        self.persist_total_backoff = cap;
+        self
+    }
+
+    /// Enables background upgrades after degraded anytime builds (pool
+    /// columns only), with the given budget multiplier.
+    #[must_use]
+    pub fn with_background_upgrade(mut self, budget_factor: u32) -> Self {
+        self.upgrade_in_background = true;
+        self.upgrade_budget_factor = budget_factor.max(1);
+        self
+    }
+
+    pub(crate) fn budget(&self) -> Budget {
         let mut b = Budget::unlimited();
         if let Some(d) = self.deadline {
             b = b.with_deadline(d);
@@ -150,10 +199,100 @@ pub struct RebuildStats {
     pub persist_failures: u64,
     /// Individual persist attempts that errored and were retried.
     pub persist_retries: u64,
+    /// Background upgrades that completed and hot-swapped a better synopsis
+    /// over a degraded rung's result (pool columns only).
+    pub upgrades: u64,
+    /// Background upgrade attempts that failed; the degraded synopsis kept
+    /// serving (pool columns only).
+    pub failed_upgrades: u64,
+}
+
+/// Exact integer test for the [`RebuildPolicy::DriftFraction`] trigger:
+/// fires iff `drift_abs > f · mass` **in exact rational arithmetic**.
+///
+/// The naive `drift_abs as f64 > f * mass as f64` comparison silently loses
+/// precision once either side exceeds 2⁵³ (an `i128` mass does not fit in
+/// an `f64` mantissa), producing spurious or missed fires near the
+/// threshold. Instead we use the fact that every finite `f64` is exactly
+/// `m · 2^e` for integers `m ≤ 2⁵³` and `e`, and cross-multiply:
+///
+/// ```text
+/// drift > (m · 2^e) · mass   ⟺   drift · 2^-e > m · mass      (e < 0)
+///                            ⟺   drift > (m · mass) · 2^e     (e ≥ 0)
+/// ```
+///
+/// both sides evaluated in 256-bit integers (`m · mass` needs ≤ 181 bits;
+/// the shifts saturate, which is exact for comparison purposes because the
+/// unshifted side always fits in 128 bits). `mass` is clamped to ≥ 1,
+/// matching the policy's treatment of empty distributions.
+pub fn drift_exceeds(drift_abs: i128, f: f64, mass: i128) -> bool {
+    debug_assert!(f > 0.0 && f.is_finite(), "policy validation enforces f > 0");
+    let drift = drift_abs.unsigned_abs();
+    let mass = mass.unsigned_abs().max(1);
+    // Exact decomposition f = m · 2^e.
+    let bits = f.to_bits();
+    let exp_field = ((bits >> 52) & 0x7ff) as i32;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (m, e) = if exp_field == 0 {
+        (frac, -1074i32) // subnormal
+    } else {
+        (frac | (1u64 << 52), exp_field - 1075)
+    };
+    if m == 0 {
+        return drift > 0; // f == +0.0: defensive, excluded by validation
+    }
+    let rhs = mul_u128_by_u64(mass, m);
+    let lhs = (0u128, drift);
+    if e >= 0 {
+        cmp_u256(lhs, shl_u256_saturating(rhs, e as u32)) == std::cmp::Ordering::Greater
+    } else {
+        cmp_u256(shl_u256_saturating(lhs, e.unsigned_abs()), rhs) == std::cmp::Ordering::Greater
+    }
+}
+
+/// `a · b` as a 256-bit `(hi, lo)` pair.
+fn mul_u128_by_u64(a: u128, b: u64) -> (u128, u128) {
+    const LOW64: u128 = (1u128 << 64) - 1;
+    let b = b as u128;
+    let p0 = (a & LOW64) * b;
+    let p1 = (a >> 64) * b;
+    let mid = (p0 >> 64) + p1; // ≤ 2^64 + 2^117: no overflow
+    ((mid >> 64), (mid << 64) | (p0 & LOW64))
+}
+
+/// `v << s` on a 256-bit `(hi, lo)` pair, saturating to the 256-bit max on
+/// overflow. Saturation is exact for our comparisons: the opposite side of
+/// every comparison fits in far fewer than 256 bits.
+fn shl_u256_saturating(v: (u128, u128), s: u32) -> (u128, u128) {
+    const SAT: (u128, u128) = (u128::MAX, u128::MAX);
+    let (hi, lo) = v;
+    if s == 0 || (hi == 0 && lo == 0) {
+        return v;
+    }
+    if s >= 256 {
+        return SAT;
+    }
+    if s < 128 {
+        if hi >> (128 - s) != 0 {
+            return SAT;
+        }
+        ((hi << s) | (lo >> (128 - s)), lo << s)
+    } else {
+        let s2 = s - 128;
+        if hi != 0 || (s2 > 0 && lo >> (128 - s2) != 0) {
+            return SAT;
+        }
+        (lo << s2, 0)
+    }
+}
+
+/// Lexicographic comparison of 256-bit `(hi, lo)` pairs.
+fn cmp_u256(a: (u128, u128), b: (u128, u128)) -> std::cmp::Ordering {
+    a.0.cmp(&b.0).then(a.1.cmp(&b.1))
 }
 
 /// Renders a caught panic payload as text.
-fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -165,14 +304,70 @@ fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Classifies persist errors worth retrying: transient storage conditions,
 /// not logic errors.
-fn persist_error_is_transient(err: &SynopticError) -> bool {
+pub(crate) fn persist_error_is_transient(err: &SynopticError) -> bool {
     matches!(
         err,
         SynopticError::Io { .. } | SynopticError::CorruptSynopsis { .. }
     )
 }
 
-type PersistFn = Box<dyn FnMut(&dyn RangeEstimator) -> Result<()>>;
+/// The post-rebuild durability hook. `Send` because the hook crosses a
+/// thread boundary in the pool design: the serving thread installs it, the
+/// background rebuild worker runs it (with retries and backoff) off the
+/// ingest path.
+pub type PersistFn = Box<dyn FnMut(&dyn RangeEstimator) -> Result<()> + Send>;
+
+/// What one run of the persist retry ladder did.
+#[derive(Debug, Default)]
+pub(crate) struct PersistReport {
+    /// Attempts that errored and were retried.
+    pub retries: u64,
+    /// Whether the ladder gave up (the synopsis is fresh in memory but not
+    /// durable).
+    pub failed: bool,
+    /// The most recent error observed, if any attempt errored (present
+    /// even when a later retry succeeded).
+    pub last_error: Option<SynopticError>,
+}
+
+/// Runs the persist hook with bounded retry + doubling backoff, and a hard
+/// cap on the total wall-clock slept ([`RebuildConfig::persist_total_backoff`]).
+///
+/// This function may sleep; callers decide *whose* thread pays for that.
+/// The single-threaded [`MaintainedHistogram`] runs it inline (bounded by
+/// the cap); the worker pool runs it on the rebuild worker, where the
+/// sleeps overlap serving and ingest instead of stalling them.
+pub(crate) fn persist_with_retry(
+    persist: &mut (dyn FnMut(&dyn RangeEstimator) -> Result<()> + Send),
+    estimator: &dyn RangeEstimator,
+    config: &RebuildConfig,
+) -> PersistReport {
+    let mut report = PersistReport::default();
+    let mut backoff = config.persist_backoff;
+    let mut slept = Duration::ZERO;
+    let attempts = 1 + config.persist_retries;
+    for attempt in 0..attempts {
+        match persist(estimator) {
+            Ok(()) => return report,
+            Err(err) => {
+                let transient = persist_error_is_transient(&err);
+                report.last_error = Some(err);
+                let remaining = config.persist_total_backoff.saturating_sub(slept);
+                if !transient || attempt + 1 >= attempts || remaining.is_zero() {
+                    report.failed = true;
+                    return report;
+                }
+                report.retries += 1;
+                let nap = backoff.min(remaining);
+                std::thread::sleep(nap);
+                slept += nap;
+                backoff = backoff.saturating_mul(2);
+            }
+        }
+    }
+    report.failed = true;
+    report
+}
 
 /// A histogram synopsis kept (approximately) fresh under point updates,
 /// with budgeted, panic-isolated rebuilds and last-good serving.
@@ -265,9 +460,7 @@ where
         }
         let fire = match self.config.policy {
             RebuildPolicy::EveryKUpdates(k) => self.stats.updates_since_rebuild >= k,
-            RebuildPolicy::DriftFraction(f) => {
-                self.drift_abs as f64 > f * self.mass_at_build.max(1) as f64
-            }
+            RebuildPolicy::DriftFraction(f) => drift_exceeds(self.drift_abs, f, self.mass_at_build),
             RebuildPolicy::Manual => false,
         };
         if !fire {
@@ -315,28 +508,22 @@ where
         }
     }
 
-    /// Runs the persist hook with bounded retry + doubling backoff.
+    /// Runs the persist hook through the shared bounded retry ladder
+    /// ([`persist_with_retry`]). This single-threaded facade pays for the
+    /// backoff sleeps inline, but the total is capped by
+    /// [`RebuildConfig::persist_total_backoff`]; the pool runs the same
+    /// ladder on a background worker instead.
     fn persist_current(&mut self) {
         let Some(persist) = self.persist.as_mut() else {
             return;
         };
-        let mut backoff = self.config.persist_backoff;
-        let attempts = 1 + self.config.persist_retries;
-        for attempt in 0..attempts {
-            match persist(self.current.as_ref()) {
-                Ok(()) => return,
-                Err(err) => {
-                    let retryable = persist_error_is_transient(&err) && attempt + 1 < attempts;
-                    self.last_error = Some(err);
-                    if !retryable {
-                        self.stats.persist_failures += 1;
-                        return;
-                    }
-                    self.stats.persist_retries += 1;
-                    std::thread::sleep(backoff);
-                    backoff = backoff.saturating_mul(2);
-                }
-            }
+        let report = persist_with_retry(persist.as_mut(), self.current.as_ref(), &self.config);
+        self.stats.persist_retries += report.retries;
+        if report.failed {
+            self.stats.persist_failures += 1;
+        }
+        if let Some(err) = report.last_error {
+            self.last_error = Some(err);
         }
     }
 
@@ -369,7 +556,7 @@ where
 }
 
 /// Invokes the builder with panics contained at this subsystem boundary.
-fn run_builder<F>(
+pub(crate) fn run_builder<F>(
     build: &mut F,
     values: &[i64],
     ps: &PrefixSums,
@@ -657,5 +844,76 @@ mod tests {
         let est = m.estimator().estimate(RangeQuery { lo: 0, hi: 5 });
         assert!((est - 66.0).abs() < 10.0, "fresh estimate, got {est}");
         assert!(matches!(m.last_error(), Some(SynopticError::Io { .. })));
+    }
+
+    #[test]
+    fn drift_exceeds_is_exact_at_the_2p53_boundary() {
+        // mass = 2⁵³ + 1 is not representable in f64: `mass as f64` rounds
+        // down to 2⁵³, so the naive float comparison
+        // `drift as f64 > f * mass as f64` would fire at drift == mass.
+        // The exact test must NOT fire there (strict inequality) and MUST
+        // fire at drift == mass + 1.
+        let mass: i128 = (1i128 << 53) + 1;
+        assert!(!drift_exceeds(mass, 1.0, mass), "drift == f·mass: no fire");
+        assert!(drift_exceeds(mass + 1, 1.0, mass), "drift == f·mass + 1");
+
+        // Demonstrate the naive float comparison genuinely misses a fire:
+        // drift = 2⁵³ + 1 exceeds mass = 2⁵³, but `drift as f64` rounds
+        // down to exactly 2⁵³ and the strict float inequality fails.
+        let mass: i128 = 1i128 << 53;
+        let drift = mass + 1;
+        let naive = (drift as f64) > 1.0 * (mass as f64);
+        assert!(!naive, "float rounding hides the exceedance");
+        assert!(drift_exceeds(drift, 1.0, mass), "exact math catches it");
+
+        // f = 0.5 with an odd huge mass: f·mass = (2⁵⁴ + 2)/2 = 2⁵³ + 1,
+        // again straddling the mantissa limit.
+        let mass: i128 = (1i128 << 54) + 2;
+        let thresh: i128 = (1i128 << 53) + 1;
+        assert!(!drift_exceeds(thresh, 0.5, mass));
+        assert!(drift_exceeds(thresh + 1, 0.5, mass));
+
+        // Subnormal f: f = 2^-1074 (minimum positive f64). Exact threshold
+        // is mass·2^-1074; for any mass < 2^1074 and drift ≥ 1 this fires.
+        let tiny = f64::from_bits(1);
+        assert!(drift_exceeds(1, tiny, i128::MAX));
+        assert!(!drift_exceeds(0, tiny, 10));
+
+        // Very large f saturates the shifted side; drift (≤ 2^127) can
+        // never exceed it.
+        assert!(!drift_exceeds(i128::MAX, f64::MAX, i128::MAX));
+
+        // Small sanity values agree with plain arithmetic.
+        assert!(drift_exceeds(11, 0.1, 100));
+        assert!(!drift_exceeds(10, 0.1, 100));
+    }
+
+    #[test]
+    fn persist_total_backoff_caps_wall_clock() {
+        // 20 retries with 100 ms starting backoff would sleep > 2 s doubling;
+        // a 5 ms cap must bound the whole ladder to ~5 ms.
+        let mut persist: PersistFn = Box::new(|_e: &dyn RangeEstimator| {
+            Err(SynopticError::Io {
+                path: "/dev/full".into(),
+                detail: "enospc".into(),
+            })
+        });
+        let config = RebuildConfig::new(RebuildPolicy::Manual)
+            .with_persist_retries(20, Duration::from_millis(100))
+            .with_persist_total_backoff(Duration::from_millis(5));
+        let vals = vec![2i64; 4];
+        let est = build_sap0(&PrefixSums::from_values(&vals), 2).unwrap();
+        let start = std::time::Instant::now();
+        let report = persist_with_retry(&mut *persist, &est, &config);
+        let elapsed = start.elapsed();
+        assert!(report.failed);
+        // One 5 ms nap, then `remaining` hits zero and the ladder gives up:
+        // far below the 2+ seconds the uncapped ladder would burn.
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "retry ladder must respect the wall-clock cap, took {elapsed:?}"
+        );
+        assert!(report.retries >= 1, "at least one retry before the cap");
+        assert!(report.last_error.is_some());
     }
 }

@@ -8,8 +8,7 @@
 //! previous committed generation — durability lags, serving does not, and
 //! the store never advances to a generation that cannot be loaded.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use synoptic_catalog::{
@@ -19,7 +18,7 @@ use synoptic_core::{Budget, PrefixSums, RangeEstimator, RangeQuery, Result, Sap0
 use synoptic_hist::sap0::build_sap0_with_budget;
 use synoptic_stream::{MaintainedHistogram, RebuildConfig, RebuildPolicy};
 
-type SharedStore = Rc<DurableCatalog<FaultyStorage<FsStorage>>>;
+type SharedStore = Arc<DurableCatalog<FaultyStorage<FsStorage>>>;
 
 fn tmp_root(tag: &str) -> std::path::PathBuf {
     let d = std::env::temp_dir().join(format!("synoptic_mfault_{tag}_{}", std::process::id()));
@@ -37,16 +36,17 @@ fn maintained_with_store(
 ) -> MaintainedHistogram<impl FnMut(&[i64], &PrefixSums, &Budget) -> Result<Box<dyn RangeEstimator>>>
 {
     // The builder parks a clone of the concrete histogram for the persist
-    // hook (the hook only sees `&dyn RangeEstimator`).
-    let latest: Rc<RefCell<Option<Sap0Histogram>>> = Rc::new(RefCell::new(None));
-    let latest_build = Rc::clone(&latest);
+    // hook (the hook only sees `&dyn RangeEstimator`). `PersistFn` is `Send`
+    // (it may run on a background worker), so the shared slot is Arc/Mutex.
+    let latest: Arc<Mutex<Option<Sap0Histogram>>> = Arc::new(Mutex::new(None));
+    let latest_build = Arc::clone(&latest);
     let build = move |_v: &[i64], ps: &PrefixSums, budget: &Budget| {
         let h = build_sap0_with_budget(ps, 4, budget)?;
-        *latest_build.borrow_mut() = Some(h.clone());
+        *latest_build.lock().unwrap() = Some(h.clone());
         Ok(Box::new(h) as Box<dyn RangeEstimator>)
     };
     let persist = Box::new(move |_est: &dyn RangeEstimator| -> Result<()> {
-        let guard = latest.borrow();
+        let guard = latest.lock().unwrap();
         let h = guard.as_ref().expect("persist runs after a build");
         let mut cat = Catalog::new();
         cat.insert(
@@ -86,11 +86,12 @@ fn drive_one_rebuild(
 #[test]
 fn enospc_during_persist_keeps_serving_and_current_generation() {
     let root = tmp_root("enospc");
-    let store: SharedStore =
-        Rc::new(DurableCatalog::open(&root, FaultyStorage::new(FsStorage::new(), vec![])).unwrap());
+    let store: SharedStore = Arc::new(
+        DurableCatalog::open(&root, FaultyStorage::new(FsStorage::new(), vec![])).unwrap(),
+    );
     let values = vec![7i64; 10];
     // 1 retry → 2 attempts per persist.
-    let mut m = maintained_with_store(&values, Rc::clone(&store), 1);
+    let mut m = maintained_with_store(&values, Arc::clone(&store), 1);
 
     // First rebuild persists cleanly → generation 1 committed.
     drive_one_rebuild(&mut m);
@@ -128,10 +129,11 @@ fn enospc_during_persist_keeps_serving_and_current_generation() {
 #[test]
 fn torn_write_during_persist_is_caught_and_retried() {
     let root = tmp_root("torn");
-    let store: SharedStore =
-        Rc::new(DurableCatalog::open(&root, FaultyStorage::new(FsStorage::new(), vec![])).unwrap());
+    let store: SharedStore = Arc::new(
+        DurableCatalog::open(&root, FaultyStorage::new(FsStorage::new(), vec![])).unwrap(),
+    );
     let values = vec![3i64; 10];
-    let mut m = maintained_with_store(&values, Rc::clone(&store), 2);
+    let mut m = maintained_with_store(&values, Arc::clone(&store), 2);
 
     drive_one_rebuild(&mut m);
     assert_eq!(store.effective_manifest().unwrap().generation, 1);
@@ -159,10 +161,11 @@ fn torn_write_during_persist_is_caught_and_retried() {
 #[test]
 fn torn_write_with_no_retries_leaves_previous_generation_committed() {
     let root = tmp_root("tornfinal");
-    let store: SharedStore =
-        Rc::new(DurableCatalog::open(&root, FaultyStorage::new(FsStorage::new(), vec![])).unwrap());
+    let store: SharedStore = Arc::new(
+        DurableCatalog::open(&root, FaultyStorage::new(FsStorage::new(), vec![])).unwrap(),
+    );
     let values = vec![5i64; 10];
-    let mut m = maintained_with_store(&values, Rc::clone(&store), 0);
+    let mut m = maintained_with_store(&values, Arc::clone(&store), 0);
 
     drive_one_rebuild(&mut m);
     assert_eq!(store.effective_manifest().unwrap().generation, 1);
