@@ -27,6 +27,11 @@ pub struct ColumnEntry {
 #[derive(Debug, Default, PartialEq)]
 pub struct Catalog {
     columns: BTreeMap<String, ColumnEntry>,
+    /// Per-column WAL checkpoint marks: the last journal LSN whose effect is
+    /// captured by the synopses in this catalog. Kept beside (not inside)
+    /// [`ColumnEntry`] because most columns never journal. Persisted in the
+    /// manifest's trailing WAL-marks section.
+    wal_marks: BTreeMap<String, u64>,
 }
 
 impl Catalog {
@@ -68,6 +73,23 @@ impl Catalog {
     /// Whether the catalog is empty.
     pub fn is_empty(&self) -> bool {
         self.columns.is_empty()
+    }
+
+    /// Records the WAL checkpoint mark for a column: every journal record
+    /// with LSN ≤ `lsn` is captured by this catalog's synopsis for `name`.
+    pub fn set_wal_mark(&mut self, name: impl Into<String>, lsn: u64) {
+        self.wal_marks.insert(name.into(), lsn);
+    }
+
+    /// The WAL checkpoint mark for a column (`0` when the column has never
+    /// journaled — replay everything).
+    pub fn wal_mark(&self, name: &str) -> u64 {
+        self.wal_marks.get(name).copied().unwrap_or(0)
+    }
+
+    /// All WAL checkpoint marks, sorted by column name.
+    pub fn wal_marks(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.wal_marks.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
     /// Total storage footprint across all columns (paper words).

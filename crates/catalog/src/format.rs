@@ -335,6 +335,13 @@ impl<'a> ByteReader<'a> {
         Ok(out)
     }
 
+    /// Whether unread bytes remain — used for optional trailing sections
+    /// (a reader that sees `false` treats the section as absent, which is
+    /// how newer writers stay readable without a version bump).
+    pub fn has_remaining(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
     /// Asserts the payload is fully consumed (no trailing garbage).
     pub fn finish(self) -> Result<()> {
         if self.pos != self.buf.len() {
@@ -355,6 +362,7 @@ const TAG_SAP0: u8 = 3;
 const TAG_SAP1: u8 = 4;
 const TAG_WPOINT: u8 = 5;
 const TAG_WRANGE: u8 = 6;
+const TAG_FREQ: u8 = 7;
 
 const SLOT_CORNER: u8 = 0;
 const SLOT_ROW: u8 = 1;
@@ -418,6 +426,13 @@ pub fn encode_synopsis(s: &PersistentSynopsis) -> Vec<u8> {
             for &(idx, v) in entries {
                 w.u32(idx);
                 w.f64(v);
+            }
+        }
+        PersistentSynopsis::Frequencies { values } => {
+            w.u8(TAG_FREQ);
+            w.u64(values.len() as u64);
+            for &v in values {
+                w.i64(v);
             }
         }
         PersistentSynopsis::WaveletRange { n, padded, entries } => {
@@ -529,6 +544,14 @@ pub fn decode_synopsis(payload: &[u8], context: &str) -> Result<PersistentSynops
             }
             PersistentSynopsis::WaveletPoint { n, padded, entries }
         }
+        TAG_FREQ => {
+            let n = read_n(&mut r)?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.i64()?);
+            }
+            PersistentSynopsis::Frequencies { values }
+        }
         TAG_WRANGE => {
             let n = read_n(&mut r)?;
             let padded = r.u64()? as usize;
@@ -621,6 +644,12 @@ pub struct Manifest {
     pub generation: u64,
     /// Column records, sorted by name.
     pub columns: Vec<ManifestColumn>,
+    /// WAL checkpoint marks, sorted by column name: the last journal LSN
+    /// whose effect is captured by this generation's synopses. Replay after
+    /// recovery applies only records *beyond* the committed mark. Encoded as
+    /// an optional trailing section so pre-WAL manifests (which simply end
+    /// after the columns) decode with no marks — no version bump needed.
+    pub wal_marks: Vec<(String, u64)>,
 }
 
 /// Encodes a manifest into framed file bytes.
@@ -634,6 +663,11 @@ pub fn manifest_to_bytes(m: &Manifest) -> Vec<u8> {
         w.i64(c.total_rows);
         w.str(&c.file);
         w.str(&c.method);
+    }
+    w.u64(m.wal_marks.len() as u64);
+    for (name, lsn) in &m.wal_marks {
+        w.str(name);
+        w.u64(*lsn);
     }
     frame(FileKind::Manifest, &w.into_bytes())
 }
@@ -665,10 +699,26 @@ pub fn manifest_from_bytes(bytes: &[u8], context: &str) -> Result<Manifest> {
             method,
         });
     }
+    let mut wal_marks = Vec::new();
+    if r.has_remaining() {
+        let marks = r.u64()?;
+        if marks > MAX_SECTION_LEN {
+            return Err(SynopticError::CorruptSynopsis {
+                context: context.into(),
+                detail: format!("implausible WAL-mark count {marks}"),
+            });
+        }
+        for _ in 0..marks {
+            let name = r.str()?;
+            let lsn = r.u64()?;
+            wal_marks.push((name, lsn));
+        }
+    }
     r.finish()?;
     Ok(Manifest {
         generation,
         columns,
+        wal_marks,
     })
 }
 
@@ -799,6 +849,9 @@ mod tests {
                 padded: 8,
                 entries: vec![(0, 4.5), (3, -1.25)],
             },
+            PersistentSynopsis::Frequencies {
+                values: vec![3, 0, -2, 7, 1],
+            },
             PersistentSynopsis::WaveletRange {
                 n: 7,
                 padded: 8,
@@ -859,9 +912,29 @@ mod tests {
                     method: "OPT-A".into(),
                 },
             ],
+            wal_marks: vec![("age".into(), 17), ("price".into(), 0)],
         };
         let bytes = manifest_to_bytes(&m);
         assert_eq!(manifest_from_bytes(&bytes, "t").unwrap(), m);
+    }
+
+    #[test]
+    fn pre_wal_manifest_without_marks_section_still_decodes() {
+        // A manifest written before the WAL-marks section existed: the
+        // payload simply ends after the column records.
+        let mut w = ByteWriter::new();
+        w.u64(3); // generation
+        w.u64(1); // one column
+        w.str("age");
+        w.u64(100);
+        w.i64(42);
+        w.str("age-3.syn");
+        w.str("SAP0");
+        let bytes = frame(FileKind::Manifest, &w.into_bytes());
+        let m = manifest_from_bytes(&bytes, "t").unwrap();
+        assert_eq!(m.generation, 3);
+        assert_eq!(m.columns.len(), 1);
+        assert!(m.wal_marks.is_empty());
     }
 
     #[test]

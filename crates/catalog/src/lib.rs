@@ -23,6 +23,11 @@
 //!   atomically-swapped `CURRENT` pointer, quarantine of corrupt files, and
 //!   graceful-degradation answering whose provenance is surfaced through
 //!   [`synoptic_core::AnswerSource`].
+//! * [`wal`] — the per-column write-ahead update journal: checksummed
+//!   segment files of `(index, delta)` records appended before the
+//!   in-memory state changes, rotated by size, truncated at checkpoints,
+//!   and replayed by startup recovery on top of the last committed
+//!   generation (the manifest's WAL marks say where to resume).
 //! * [`allocation`] — exact grid-DP and greedy allocation of a total word
 //!   budget across columns under per-column SSE curves.
 //! * [`catalog`] — the in-memory named-column registry.
@@ -37,10 +42,14 @@ pub mod format;
 pub mod persist;
 pub mod storage;
 pub mod store;
+pub mod wal;
 
 pub use allocation::{allocate_budget, AllocationResult, ColumnCurve};
 pub use catalog::{Catalog, ColumnEntry};
 pub use format::{synopsis_from_bytes, synopsis_to_bytes, Manifest, ManifestColumn};
-pub use persist::PersistentSynopsis;
+pub use persist::{LoadedSynopsis, PersistentSynopsis};
 pub use storage::{Fault, FaultyStorage, FsStorage, Storage};
-pub use store::{DurableCatalog, FsckReport, RepairReport};
+pub use store::{DurableCatalog, FsckReport, PruneReport, RepairReport};
+pub use wal::{
+    scan_column_journal, ColumnWal, FsyncCadence, JournalScan, SegmentMeta, WalConfig, WalRecord,
+};

@@ -85,6 +85,14 @@ pub enum PersistentSynopsis {
         /// `(slot, value)` pairs.
         entries: Vec<(CoeffSlot, f64)>,
     },
+    /// The exact frequency array itself (`n` words). Not a summary: this is
+    /// the snapshot the write-ahead journal replays deltas onto, so
+    /// WAL-maintained columns persist it to make recovery exact. Answers
+    /// every range sum exactly via prefix sums rebuilt at load.
+    Frequencies {
+        /// The frequency at every domain position.
+        values: Vec<i64>,
+    },
 }
 
 /// A reloaded synopsis, answering queries exactly as the original did.
@@ -104,6 +112,37 @@ pub enum LoadedSynopsis {
     WaveletPoint(PointWaveletSynopsis),
     /// Range-optimal wavelet.
     WaveletRange(RangeOptimalWavelet),
+    /// Exact frequencies (prefix-sum answering).
+    Frequencies(FrequenciesEstimator),
+}
+
+/// Exact range-sum answering over a reloaded frequency array.
+#[derive(Debug, Clone)]
+pub struct FrequenciesEstimator {
+    values: Vec<i64>,
+    ps: PrefixSums,
+}
+
+impl FrequenciesEstimator {
+    /// The reloaded frequency array (what WAL replay applies deltas to).
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+}
+
+impl RangeEstimator for FrequenciesEstimator {
+    fn n(&self) -> usize {
+        self.ps.n()
+    }
+    fn estimate(&self, q: RangeQuery) -> f64 {
+        self.ps.answer(q) as f64
+    }
+    fn storage_words(&self) -> usize {
+        self.values.len()
+    }
+    fn method_name(&self) -> &str {
+        "FREQ"
+    }
 }
 
 /// A reconstructed NAIVE estimator (the core type requires prefix sums to
@@ -238,6 +277,7 @@ impl RangeEstimator for LoadedSynopsis {
             LoadedSynopsis::Sap(e) => e.n(),
             LoadedSynopsis::WaveletPoint(e) => e.n(),
             LoadedSynopsis::WaveletRange(e) => e.n(),
+            LoadedSynopsis::Frequencies(e) => e.n(),
         }
     }
     fn estimate(&self, q: RangeQuery) -> f64 {
@@ -247,6 +287,7 @@ impl RangeEstimator for LoadedSynopsis {
             LoadedSynopsis::Sap(e) => e.estimate(q),
             LoadedSynopsis::WaveletPoint(e) => e.estimate(q),
             LoadedSynopsis::WaveletRange(e) => e.estimate(q),
+            LoadedSynopsis::Frequencies(e) => e.estimate(q),
         }
     }
     fn storage_words(&self) -> usize {
@@ -256,6 +297,7 @@ impl RangeEstimator for LoadedSynopsis {
             LoadedSynopsis::Sap(e) => e.storage_words(),
             LoadedSynopsis::WaveletPoint(e) => e.storage_words(),
             LoadedSynopsis::WaveletRange(e) => e.storage_words(),
+            LoadedSynopsis::Frequencies(e) => e.storage_words(),
         }
     }
     fn method_name(&self) -> &str {
@@ -265,6 +307,19 @@ impl RangeEstimator for LoadedSynopsis {
             LoadedSynopsis::Sap(e) => e.method_name(),
             LoadedSynopsis::WaveletPoint(e) => e.method_name(),
             LoadedSynopsis::WaveletRange(e) => e.method_name(),
+            LoadedSynopsis::Frequencies(e) => e.method_name(),
+        }
+    }
+}
+
+impl LoadedSynopsis {
+    /// The exact frequency array, when this synopsis is a
+    /// [`LoadedSynopsis::Frequencies`] snapshot (`None` for every summary
+    /// variant). WAL recovery replays journal deltas onto this.
+    pub fn exact_frequencies(&self) -> Option<&[i64]> {
+        match self {
+            LoadedSynopsis::Frequencies(e) => Some(e.values()),
+            _ => None,
         }
     }
 }
@@ -342,6 +397,13 @@ impl PersistentSynopsis {
         }
     }
 
+    /// Captures the exact frequency array (the WAL recovery snapshot).
+    pub fn from_frequencies(values: &[i64]) -> Self {
+        PersistentSynopsis::Frequencies {
+            values: values.to_vec(),
+        }
+    }
+
     /// Storage footprint of the persisted form, in the paper's words.
     pub fn storage_words(&self) -> usize {
         match self {
@@ -351,6 +413,7 @@ impl PersistentSynopsis {
             PersistentSynopsis::Sap1 { suff_slope, .. } => 5 * suff_slope.len(),
             PersistentSynopsis::WaveletPoint { entries, .. } => 2 * entries.len(),
             PersistentSynopsis::WaveletRange { entries, .. } => 2 * entries.len(),
+            PersistentSynopsis::Frequencies { values } => values.len(),
         }
     }
 
@@ -462,6 +525,18 @@ impl PersistentSynopsis {
                     0.0,
                 ))
             }
+            PersistentSynopsis::Frequencies { values } => {
+                if values.is_empty() {
+                    return Err(SynopticError::CorruptSynopsis {
+                        context: "frequencies".into(),
+                        detail: "empty frequency array".into(),
+                    });
+                }
+                LoadedSynopsis::Frequencies(FrequenciesEstimator {
+                    ps: PrefixSums::from_values(values),
+                    values: values.clone(),
+                })
+            }
         })
     }
 }
@@ -552,6 +627,25 @@ mod tests {
         let p = PersistentSynopsis::from_wavelet_range(&w);
         assert_eq!(p.storage_words(), w.storage_words());
         assert_roundtrip(&w, &p, 1e-12);
+    }
+
+    #[test]
+    fn frequencies_roundtrip_is_exact() {
+        let (vals, ps) = data();
+        let p = PersistentSynopsis::from_frequencies(&vals);
+        assert_eq!(p.storage_words(), vals.len());
+        let bytes = crate::format::synopsis_to_bytes(&p);
+        let back = crate::format::synopsis_from_bytes(&bytes, "test").unwrap();
+        assert_eq!(back, p);
+        let loaded = back.load().unwrap();
+        assert_eq!(loaded.method_name(), "FREQ");
+        assert_eq!(loaded.exact_frequencies(), Some(&vals[..]));
+        for q in RangeQuery::all(vals.len()) {
+            assert_eq!(loaded.estimate(q), ps.answer(q) as f64, "{q:?}");
+        }
+        // Summary variants expose no frequency array.
+        let naive = PersistentSynopsis::from_naive(&ps).load().unwrap();
+        assert!(naive.exact_frequencies().is_none());
     }
 
     #[test]

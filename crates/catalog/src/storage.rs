@@ -35,6 +35,16 @@ pub trait Storage {
     /// Atomically replaces `path` with `bytes` (write temp → fsync → rename).
     fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<()>;
 
+    /// Appends `bytes` to `path`, creating the file when absent. When `sync`
+    /// is set the data is fsynced before returning — the write-ahead journal
+    /// uses this for its durability cadence. Appends are *not* atomic: a
+    /// crash may leave a torn tail, which journal readers must tolerate.
+    fn append(&self, path: &Path, bytes: &[u8], sync: bool) -> Result<()>;
+
+    /// Removes a file (used by checkpoint truncation and pruning, which
+    /// delete only data already captured by a committed generation).
+    fn remove(&self, path: &Path) -> Result<()>;
+
     /// Renames a file (used for quarantine; must not delete on failure).
     fn rename(&self, from: &Path, to: &Path) -> Result<()>;
 
@@ -46,6 +56,43 @@ pub trait Storage {
 
     /// Whether a path exists.
     fn exists(&self, path: &Path) -> bool;
+}
+
+/// Shared-ownership backends forward to their inner storage, so one
+/// instance — and one fault schedule — can serve both a
+/// [`crate::store::DurableCatalog`] and a [`crate::wal::ColumnWal`].
+impl<S: Storage + ?Sized> Storage for std::sync::Arc<S> {
+    fn read(&self, path: &Path) -> Result<Vec<u8>> {
+        (**self).read(path)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        (**self).write_atomic(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8], sync: bool) -> Result<()> {
+        (**self).append(path, bytes, sync)
+    }
+
+    fn remove(&self, path: &Path) -> Result<()> {
+        (**self).remove(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        (**self).rename(from, to)
+    }
+
+    fn list(&self, dir: &Path) -> Result<Vec<String>> {
+        (**self).list(dir)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> Result<()> {
+        (**self).create_dir_all(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        (**self).exists(path)
+    }
 }
 
 /// The production backend: write-temp → fsync → atomic-rename, plus a
@@ -83,6 +130,24 @@ impl Storage for FsStorage {
             }
         }
         Ok(())
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8], sync: bool) -> Result<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        f.write_all(bytes).map_err(|e| io_err(path, e))?;
+        if sync {
+            f.sync_all().map_err(|e| io_err(path, e))?;
+        }
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> Result<()> {
+        std::fs::remove_file(path).map_err(|e| io_err(path, e))
     }
 
     fn rename(&self, from: &Path, to: &Path) -> Result<()> {
@@ -309,6 +374,66 @@ impl<S: Storage> Storage for FaultyStorage<S> {
         }
     }
 
+    fn append(&self, path: &Path, bytes: &[u8], sync: bool) -> Result<()> {
+        let fault = self
+            .write_faults
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front();
+        match fault {
+            None | Some(Fault::CleanWrite) => self.inner.append(path, bytes, sync),
+            Some(Fault::TornWrite { keep }) => {
+                self.fire();
+                // A torn tail that the caller never learns about: the bytes
+                // were accepted into the page cache but only a prefix hit the
+                // platter before power was lost. Journal recovery must
+                // truncate-and-continue past exactly this.
+                self.inner
+                    .append(path, &bytes[..keep.min(bytes.len())], sync)
+            }
+            Some(Fault::Enospc) => {
+                self.fire();
+                Err(SynopticError::Io {
+                    path: path.display().to_string(),
+                    detail: "no space left on device (injected)".into(),
+                })
+            }
+            Some(Fault::CrashBeforeRename) => {
+                self.fire();
+                // For appends this models a crash before any byte reached the
+                // file: the caller sees an error, the journal tail is clean.
+                Err(SynopticError::Io {
+                    path: path.display().to_string(),
+                    detail: "simulated crash before append".into(),
+                })
+            }
+            Some(r) => unreachable!("read fault {r:?} in write queue"),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> Result<()> {
+        let fault = self
+            .write_faults
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front();
+        match fault {
+            None | Some(Fault::CleanWrite) | Some(Fault::TornWrite { .. }) => {
+                self.inner.remove(path)
+            }
+            Some(Fault::Enospc) | Some(Fault::CrashBeforeRename) => {
+                self.fire();
+                // Crash before the unlink: the file survives. Recovery must
+                // treat a stale-but-valid journal segment as skippable.
+                Err(SynopticError::Io {
+                    path: path.display().to_string(),
+                    detail: "simulated crash before remove".into(),
+                })
+            }
+            Some(r) => unreachable!("read fault {r:?} in write queue"),
+        }
+    }
+
     fn rename(&self, from: &Path, to: &Path) -> Result<()> {
         self.inner.rename(from, to)
     }
@@ -401,6 +526,54 @@ mod tests {
         // Old content intact; temp file left behind like a real crash.
         assert_eq!(s.read(&p).unwrap(), b"gen1");
         assert!(s.exists(&tmp_path(&p)));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn append_accumulates_and_remove_unlinks() {
+        let d = tmp_dir("append");
+        let s = FsStorage::new();
+        let p = d.join("j.wal");
+        s.append(&p, b"abc", false).unwrap();
+        s.append(&p, b"def", true).unwrap();
+        assert_eq!(s.read(&p).unwrap(), b"abcdef");
+        s.remove(&p).unwrap();
+        assert!(!s.exists(&p));
+        assert!(s.remove(&p).is_err(), "removing a missing file errors");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn append_faults_tear_fail_or_crash() {
+        let d = tmp_dir("appendf");
+        let s = FaultyStorage::new(
+            FsStorage::new(),
+            vec![
+                Fault::TornWrite { keep: 2 },
+                Fault::Enospc,
+                Fault::CrashBeforeRename,
+            ],
+        );
+        let p = d.join("j.wal");
+        // Torn: silent success, only a prefix lands.
+        s.append(&p, b"0123", false).unwrap();
+        assert_eq!(s.read(&p).unwrap(), b"01");
+        // ENOSPC: loud failure, nothing lands.
+        assert!(s.append(&p, b"4567", false).is_err());
+        assert_eq!(s.read(&p).unwrap(), b"01");
+        // Crash-before-append: loud failure, nothing lands.
+        assert!(s.append(&p, b"89", false).is_err());
+        assert_eq!(s.read(&p).unwrap(), b"01");
+        assert_eq!(s.faults_fired(), 3);
+        // Schedule exhausted: appends are clean again.
+        s.append(&p, b"ab", true).unwrap();
+        assert_eq!(s.read(&p).unwrap(), b"01ab");
+        // A scripted crash-before-remove keeps the file.
+        s.push_fault(Fault::CrashBeforeRename);
+        assert!(s.remove(&p).is_err());
+        assert!(s.exists(&p));
+        s.remove(&p).unwrap();
+        assert!(!s.exists(&p));
         let _ = std::fs::remove_dir_all(&d);
     }
 

@@ -92,6 +92,12 @@ pub struct FsckReport {
     pub current_generation: Option<u64>,
     /// Generations whose manifest validates, newest first.
     pub valid_generations: Vec<u64>,
+    /// Generations whose manifest validates but whose number exceeds the
+    /// committed `CURRENT` pointer, ascending: leftovers of saves that
+    /// crashed between the manifest write and the pointer swap. They are
+    /// dead weight, not corruption, so they do not make the store
+    /// unhealthy; [`DurableCatalog::prune_abandoned`] reclaims them.
+    pub abandoned_generations: Vec<u64>,
     /// Columns in the effective manifest whose synopsis validates.
     pub columns_ok: usize,
     /// Columns in the effective manifest (total).
@@ -119,6 +125,13 @@ impl FsckReport {
             }
         }
         let _ = writeln!(out, "valid generations: {:?}", self.valid_generations);
+        if !self.abandoned_generations.is_empty() {
+            let _ = writeln!(
+                out,
+                "abandoned generations (written but never committed): {:?}",
+                self.abandoned_generations
+            );
+        }
         let _ = writeln!(
             out,
             "columns: {}/{} synopses valid",
@@ -169,13 +182,52 @@ impl RepairReport {
     }
 }
 
+/// What [`DurableCatalog::prune_abandoned`] found and — unless it ran as a
+/// dry run — deleted.
+#[derive(Debug, Clone, Default)]
+pub struct PruneReport {
+    /// Abandoned (valid but never committed) generations, ascending.
+    pub abandoned_generations: Vec<u64>,
+    /// Files belonging to those generations, relative to the store root.
+    pub files: Vec<String>,
+    /// `true` when the files were actually deleted; `false` for a dry run.
+    pub deleted: bool,
+}
+
+impl PruneReport {
+    /// A human-readable rendering for the CLI.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.abandoned_generations.is_empty() {
+            let _ = writeln!(out, "prune: no abandoned generations");
+            return out;
+        }
+        let verb = if self.deleted {
+            "pruned"
+        } else {
+            "would prune (dry run)"
+        };
+        let _ = writeln!(
+            out,
+            "{verb} abandoned generation(s) {:?}:",
+            self.abandoned_generations
+        );
+        for f in &self.files {
+            let _ = writeln!(out, "  {f}");
+        }
+        out
+    }
+}
+
 fn manifest_file(generation: u64) -> String {
     format!("{MANIFEST_PREFIX}{generation}")
 }
 
-fn synopsis_file(column: &str, generation: u64) -> String {
-    // Column names are sanitized so every synopsis maps to a flat file.
-    let safe: String = column
+/// Maps a column name onto a safe flat-file component. Shared by synopsis
+/// files and WAL segment files so one column's artifacts sort together.
+pub(crate) fn sanitize_column(column: &str) -> String {
+    column
         .chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '_' {
@@ -184,8 +236,11 @@ fn synopsis_file(column: &str, generation: u64) -> String {
                 '_'
             }
         })
-        .collect();
-    format!("{safe}-{generation}.{SYNOPSIS_EXT}")
+        .collect()
+}
+
+fn synopsis_file(column: &str, generation: u64) -> String {
+    format!("{}-{generation}.{SYNOPSIS_EXT}", sanitize_column(column))
 }
 
 fn parse_manifest_generation(name: &str) -> Option<u64> {
@@ -314,6 +369,10 @@ impl<S: Storage> DurableCatalog<S> {
         let manifest = Manifest {
             generation,
             columns,
+            wal_marks: catalog
+                .wal_marks()
+                .map(|(name, lsn)| (name.to_string(), lsn))
+                .collect(),
         };
         self.storage.write_atomic(
             &self.path(&manifest_file(generation)),
@@ -370,6 +429,9 @@ impl<S: Storage> DurableCatalog<S> {
                     synopsis,
                 },
             );
+        }
+        for (name, lsn) in &m.wal_marks {
+            cat.set_wal_mark(name.clone(), *lsn);
         }
         Ok(cat)
     }
@@ -531,6 +593,15 @@ impl<S: Storage> DurableCatalog<S> {
             }
         }
         report.valid_generations = valid;
+        if let Some(cur) = report.current_generation {
+            report.abandoned_generations = report
+                .valid_generations
+                .iter()
+                .copied()
+                .filter(|&g| g > cur)
+                .collect();
+            report.abandoned_generations.sort_unstable();
+        }
 
         // Stray temp files from interrupted writes.
         for name in &names {
@@ -664,6 +735,56 @@ impl<S: Storage> DurableCatalog<S> {
                 }
             }
         }
+        Ok(report)
+    }
+
+    /// Deletes (or, with `dry_run`, merely reports) abandoned generations:
+    /// manifests that validate but whose generation number exceeds the
+    /// committed `CURRENT` pointer, plus the synopsis files they reference.
+    /// These are leftovers of saves that crashed after writing their files
+    /// but before the pointer swap — fully readable, never authoritative.
+    ///
+    /// Only *valid* uncommitted generations are touched; corrupt files stay
+    /// on the quarantine path ([`Self::repair`]), which never deletes.
+    /// Without a valid committed pointer nothing is provably abandoned and
+    /// nothing is removed. Synopsis files go first and the manifest last,
+    /// so an interrupted prune resumes cleanly on the next call.
+    /// Idempotent: a second call finds nothing.
+    pub fn prune_abandoned(&self, dry_run: bool) -> Result<PruneReport> {
+        let mut report = PruneReport {
+            deleted: !dry_run,
+            ..Default::default()
+        };
+        let Some(current) = self.current_pointer() else {
+            return Ok(report);
+        };
+        let mut gens: Vec<u64> = Vec::new();
+        for name in self.storage.list(&self.root)? {
+            let Some(g) = parse_manifest_generation(&name) else {
+                continue;
+            };
+            if g > current && self.read_manifest(g).is_ok() {
+                gens.push(g);
+            }
+        }
+        gens.sort_unstable();
+        for &g in &gens {
+            let m = self.read_manifest(g)?;
+            for c in &m.columns {
+                if self.storage.exists(&self.path(&c.file)) {
+                    if !dry_run {
+                        self.storage.remove(&self.path(&c.file))?;
+                    }
+                    report.files.push(c.file.clone());
+                }
+            }
+            let mf = manifest_file(g);
+            if !dry_run {
+                self.storage.remove(&self.path(&mf))?;
+            }
+            report.files.push(mf);
+        }
+        report.abandoned_generations = gens;
         Ok(report)
     }
 }
@@ -899,6 +1020,104 @@ mod tests {
         let store = DurableCatalog::open(&root, FsStorage::new()).unwrap();
         assert_eq!(store.effective_manifest().unwrap().generation, 1);
         assert!(store.load().is_ok());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn wal_marks_survive_save_and_load() {
+        let root = tmp_root("walmarks");
+        let store = DurableCatalog::open(&root, FsStorage::new()).unwrap();
+        let mut cat = sample_catalog();
+        cat.set_wal_mark("price", 37);
+        store.save(&cat).unwrap();
+        let back = store.load().unwrap();
+        assert_eq!(back.wal_mark("price"), 37);
+        assert_eq!(back.wal_mark("other"), 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fsck_reports_and_prune_reclaims_abandoned_generation() {
+        // Crash a gen-2 save at the CURRENT swap: synopses + manifest for
+        // generation 2 are valid on disk but were never committed.
+        let root = tmp_root("prune");
+        {
+            let store = DurableCatalog::open(&root, FsStorage::new()).unwrap();
+            store.save(&sample_catalog()).unwrap();
+        }
+        let faulty = FaultyStorage::new(
+            FsStorage::new(),
+            vec![
+                Fault::CleanWrite,
+                Fault::CleanWrite,
+                Fault::CrashBeforeRename,
+            ],
+        );
+        let store = DurableCatalog::open(&root, faulty).unwrap();
+        assert!(store.save(&sample_catalog()).is_err());
+        let store = DurableCatalog::open(&root, FsStorage::new()).unwrap();
+        // Sweep the stray CURRENT.tmp the crash left behind.
+        store.repair().unwrap();
+
+        let rep = store.fsck().unwrap();
+        assert_eq!(rep.current_generation, Some(1));
+        assert_eq!(rep.abandoned_generations, vec![2]);
+        // Abandoned is dead weight, not corruption.
+        assert!(rep.healthy(), "{:?}", rep.issues);
+        assert!(rep.render().contains("abandoned"), "{}", rep.render());
+
+        // A dry run reports the same files but deletes nothing.
+        let dry = store.prune_abandoned(true).unwrap();
+        assert_eq!(dry.abandoned_generations, vec![2]);
+        assert!(!dry.deleted);
+        assert!(dry.render().contains("dry run"), "{}", dry.render());
+        assert!(root.join("MANIFEST-2").exists());
+        assert!(root.join("price-2.syn").exists());
+
+        // A real prune deletes both files of generation 2, is idempotent,
+        // and leaves the committed generation serving as primary.
+        let p = store.prune_abandoned(false).unwrap();
+        assert_eq!(p.abandoned_generations, vec![2]);
+        assert!(p.deleted);
+        assert!(
+            p.files.contains(&"price-2.syn".to_string())
+                && p.files.contains(&"MANIFEST-2".to_string()),
+            "{:?}",
+            p.files
+        );
+        assert!(!root.join("MANIFEST-2").exists());
+        assert!(!root.join("price-2.syn").exists());
+        let again = store.prune_abandoned(false).unwrap();
+        assert!(again.abandoned_generations.is_empty());
+        let e = store
+            .estimate("price", RangeQuery { lo: 0, hi: 11 })
+            .unwrap();
+        assert_eq!(e.source, AnswerSource::Primary);
+        assert!(store.fsck().unwrap().healthy());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn prune_without_committed_pointer_removes_nothing() {
+        // A store whose only save crashed at the pointer swap has a valid
+        // generation-1 manifest and no CURRENT: nothing is provably
+        // abandoned, so prune must not destroy the only copy of the data.
+        let root = tmp_root("prunenocur");
+        let faulty = FaultyStorage::new(
+            FsStorage::new(),
+            vec![
+                Fault::CleanWrite,
+                Fault::CleanWrite,
+                Fault::CrashBeforeRename,
+            ],
+        );
+        let store = DurableCatalog::open(&root, faulty).unwrap();
+        assert!(store.save(&sample_catalog()).is_err());
+        let store = DurableCatalog::open(&root, FsStorage::new()).unwrap();
+        let p = store.prune_abandoned(false).unwrap();
+        assert!(p.abandoned_generations.is_empty());
+        assert!(p.files.is_empty());
+        assert!(root.join("MANIFEST-1").exists());
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -1,0 +1,971 @@
+//! The per-column write-ahead update journal.
+//!
+//! Point updates applied to a maintained synopsis live only in memory until
+//! the next background rebuild persists a new catalog generation. The WAL
+//! closes that window: every acknowledged `(index, delta)` is appended to a
+//! checksummed segment file *before* the in-memory state changes, so a crash
+//! loses at most the one record that was mid-append when power failed.
+//!
+//! ## Segment format
+//!
+//! One column owns a sequence of segment files `<sanitized>-<seq>.wal`:
+//!
+//! ```text
+//! header:  magic "SYNWAL01" (8) | version u16 | name_len u16
+//!          | base_generation u64 | first_lsn u64 | name bytes | crc32 u32
+//! record:  len u32 (= 24) | lsn u64 | index u64 | delta i64 | crc32 u32
+//! ```
+//!
+//! All integers are little-endian. The header CRC covers every header byte
+//! before it; a record CRC covers the length prefix and payload. Records
+//! carry consecutive LSNs starting at the header's `first_lsn`, and
+//! consecutive segments chain (`next.first_lsn = prev.last_lsn + 1`), so a
+//! vanished middle segment is detectable. `base_generation` is the catalog
+//! generation that was committed when the segment was opened.
+//!
+//! ## Durability and truncation
+//!
+//! Appends go through [`Storage::append`] with an fsync cadence chosen by
+//! [`FsyncCadence`]. Segments rotate once they exceed
+//! [`WalConfig::segment_bytes`]. After a catalog generation commits with a
+//! WAL mark (see [`crate::Catalog::set_wal_mark`]), [`ColumnWal::checkpoint`]
+//! deletes every segment whose records are all covered by the mark — the
+//! only place the journal ever deletes, and only data a committed snapshot
+//! already holds. A failed delete is harmless: replay skips records at or
+//! below the mark.
+//!
+//! ## Reading back
+//!
+//! [`scan_column_journal`] validates the whole chain. A torn *tail* —
+//! fewer trailing bytes than one record, or an unreadable header on the
+//! final segment (the crash hit the segment's very first append) — is
+//! tolerated and truncated, because those bytes were never acknowledged as
+//! durable. Everything else (mid-stream CRC mismatch, broken LSN chain,
+//! torn tail on a non-final segment) is a hard
+//! [`SynopticError::CorruptJournal`]: the journal cannot be trusted and
+//! recovery must say so rather than guess.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+use synoptic_core::{Result, SynopticError};
+
+use crate::checksum::crc32;
+use crate::storage::Storage;
+use crate::store::sanitize_column;
+
+/// Magic bytes opening every WAL segment file.
+pub const WAL_MAGIC: [u8; 8] = *b"SYNWAL01";
+/// Highest segment format version this build reads and the one it writes.
+pub const WAL_VERSION: u16 = 1;
+/// Extension of WAL segment files.
+pub const WAL_EXT: &str = "wal";
+/// Encoded size of one record: length prefix (4) + payload (24) + CRC (4).
+pub const WAL_RECORD_LEN: usize = 32;
+
+/// Fixed-size prefix of the header, before the column name bytes.
+const HEADER_FIXED_LEN: usize = 28;
+/// Declared payload length of every record.
+const RECORD_PAYLOAD_LEN: u32 = 24;
+
+/// How often appended records are fsynced to the platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncCadence {
+    /// Every record is synced before the append returns (maximum
+    /// durability: a crash loses at most the record being appended).
+    #[default]
+    EveryRecord,
+    /// Sync once every `N` records; up to `N - 1` acknowledged records may
+    /// be lost to a crash.
+    EveryN(u64),
+    /// Sync only when a segment is sealed at rotation; a crash may lose
+    /// everything appended to the active segment since it opened.
+    OnRotate,
+}
+
+/// Tuning knobs for one column's journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Rotate to a new segment once the active one reaches this many bytes.
+    pub segment_bytes: usize,
+    /// Fsync cadence for appends.
+    pub fsync: FsyncCadence,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 64 * 1024,
+            fsync: FsyncCadence::EveryRecord,
+        }
+    }
+}
+
+/// One decoded journal record: apply `delta` at `index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Log sequence number, consecutive from 1 per column.
+    pub lsn: u64,
+    /// Domain index the update targets.
+    pub index: u64,
+    /// Signed frequency delta.
+    pub delta: i64,
+}
+
+/// Metadata of one readable segment found by [`scan_column_journal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// File name relative to the journal directory.
+    pub file: String,
+    /// Sequence number parsed from the file name.
+    pub seq: u64,
+    /// Catalog generation committed when the segment was opened.
+    pub base_generation: u64,
+    /// LSN of the segment's first record.
+    pub first_lsn: u64,
+    /// LSN of the segment's last record (`first_lsn - 1` when empty).
+    pub last_lsn: u64,
+    /// Whether a torn final record was truncated off this segment.
+    pub torn_tail: bool,
+}
+
+/// Everything [`scan_column_journal`] recovered for one column.
+#[derive(Debug, Clone, Default)]
+pub struct JournalScan {
+    /// All valid records across all segments, in LSN order.
+    pub records: Vec<WalRecord>,
+    /// Readable segments, ascending by sequence number.
+    pub segments: Vec<SegmentMeta>,
+    /// Segments skipped wholesale because their header never became
+    /// readable (the crash hit the segment's very first append). Skipping
+    /// is only allowed when the segment provably held no acknowledged
+    /// records: it is the final segment, or the LSN chain runs unbroken
+    /// from the segment before it to the segment after it.
+    pub skipped: Vec<String>,
+    /// Highest valid LSN seen (`0` when the journal is empty).
+    pub max_lsn: u64,
+}
+
+/// The file name of segment `seq` of `column`'s journal.
+pub fn wal_file_name(column: &str, seq: u64) -> String {
+    format!("{}-{seq}.{WAL_EXT}", sanitize_column(column))
+}
+
+/// Parses the sequence number out of a segment file name, given the
+/// column's `"<sanitized>-"` prefix. Sanitized names never contain `-`, so
+/// the parse is unambiguous.
+fn parse_wal_seq(name: &str, prefix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(&format!(".{WAL_EXT}"))?
+        .parse::<u64>()
+        .ok()
+}
+
+fn corrupt(file: &str, detail: impl Into<String>) -> SynopticError {
+    SynopticError::CorruptJournal {
+        context: file.to_string(),
+        detail: detail.into(),
+    }
+}
+
+fn encode_header(column: &str, base_generation: u64, first_lsn: u64) -> Vec<u8> {
+    let name = column.as_bytes();
+    let mut out = Vec::with_capacity(HEADER_FIXED_LEN + name.len() + 4);
+    out.extend_from_slice(&WAL_MAGIC);
+    out.extend_from_slice(&WAL_VERSION.to_le_bytes());
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(&base_generation.to_le_bytes());
+    out.extend_from_slice(&first_lsn.to_le_bytes());
+    out.extend_from_slice(name);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn encode_record(lsn: u64, index: u64, delta: i64) -> [u8; WAL_RECORD_LEN] {
+    let mut out = [0u8; WAL_RECORD_LEN];
+    out[0..4].copy_from_slice(&RECORD_PAYLOAD_LEN.to_le_bytes());
+    out[4..12].copy_from_slice(&lsn.to_le_bytes());
+    out[12..20].copy_from_slice(&index.to_le_bytes());
+    out[20..28].copy_from_slice(&delta.to_le_bytes());
+    let crc = crc32(&out[0..28]);
+    out[28..32].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+struct ParsedHeader {
+    column: String,
+    base_generation: u64,
+    first_lsn: u64,
+    /// Total header length including name and CRC.
+    len: usize,
+}
+
+fn u16_at(bytes: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(bytes[at..at + 2].try_into().expect("bounds checked"))
+}
+
+fn u32_at(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("bounds checked"))
+}
+
+/// Validates a segment header. Integrity failures are
+/// [`SynopticError::CorruptJournal`]; a CRC-valid header from a newer
+/// format is [`SynopticError::UnsupportedVersion`] — never skippable,
+/// because its contents are intact, just not ours to interpret.
+fn parse_header(bytes: &[u8], file: &str) -> Result<ParsedHeader> {
+    if bytes.len() < HEADER_FIXED_LEN + 4 {
+        return Err(corrupt(
+            file,
+            format!("{} bytes is shorter than a segment header", bytes.len()),
+        ));
+    }
+    if bytes[0..8] != WAL_MAGIC {
+        return Err(corrupt(file, "bad magic"));
+    }
+    let name_len = u16_at(bytes, 10) as usize;
+    let header_len = HEADER_FIXED_LEN + name_len + 4;
+    if bytes.len() < header_len {
+        return Err(corrupt(
+            file,
+            "shorter than its declared header (torn at creation)",
+        ));
+    }
+    let crc_stored = u32_at(bytes, HEADER_FIXED_LEN + name_len);
+    let crc_actual = crc32(&bytes[..HEADER_FIXED_LEN + name_len]);
+    if crc_stored != crc_actual {
+        return Err(corrupt(file, "header CRC mismatch"));
+    }
+    // The CRC validated, so the version field is trustworthy.
+    let version = u16_at(bytes, 8);
+    if version > WAL_VERSION {
+        return Err(SynopticError::UnsupportedVersion {
+            found: version,
+            supported: WAL_VERSION,
+        });
+    }
+    let first_lsn = u64_at(bytes, 20);
+    if first_lsn == 0 {
+        return Err(corrupt(file, "first LSN is 0 (LSNs start at 1)"));
+    }
+    let column = std::str::from_utf8(&bytes[HEADER_FIXED_LEN..HEADER_FIXED_LEN + name_len])
+        .map_err(|_| corrupt(file, "column name is not UTF-8"))?
+        .to_string();
+    Ok(ParsedHeader {
+        column,
+        base_generation: u64_at(bytes, 12),
+        first_lsn,
+        len: header_len,
+    })
+}
+
+/// Decodes the record stream following a segment header. `Err` means
+/// untrustworthy mid-stream bytes; `Ok(.., Some(detail))` means a torn
+/// tail was truncated off.
+fn parse_records(
+    bytes: &[u8],
+    first_lsn: u64,
+    file: &str,
+) -> Result<(Vec<WalRecord>, Option<String>)> {
+    let mut records = Vec::with_capacity(bytes.len() / WAL_RECORD_LEN);
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let remaining = bytes.len() - at;
+        if remaining < WAL_RECORD_LEN {
+            // A torn append leaves a strict prefix of one record; anything
+            // shorter than a whole record can only be that.
+            return Ok((
+                records,
+                Some(format!("{remaining} trailing bytes, less than one record")),
+            ));
+        }
+        let len = u32_at(bytes, at);
+        if len != RECORD_PAYLOAD_LEN {
+            return Err(corrupt(
+                file,
+                format!("record at byte {at} declares payload length {len}"),
+            ));
+        }
+        let crc_stored = u32_at(bytes, at + 28);
+        let crc_actual = crc32(&bytes[at..at + 28]);
+        if crc_stored != crc_actual {
+            return Err(corrupt(file, format!("record CRC mismatch at byte {at}")));
+        }
+        let lsn = u64_at(bytes, at + 4);
+        let expect = first_lsn + records.len() as u64;
+        if lsn != expect {
+            return Err(corrupt(
+                file,
+                format!("LSN {lsn} where {expect} was expected"),
+            ));
+        }
+        records.push(WalRecord {
+            lsn,
+            index: u64_at(bytes, at + 12),
+            delta: u64_at(bytes, at + 20) as i64,
+        });
+        at += WAL_RECORD_LEN;
+    }
+    Ok((records, None))
+}
+
+/// Reads and validates `column`'s whole journal under `dir`.
+///
+/// Tolerates exactly the damage an interrupted append can cause at the
+/// journal's tail (see the module docs); everything else errors. Returns
+/// all valid records in LSN order plus per-segment metadata, so recovery
+/// can check each contributing segment's `base_generation` against the
+/// snapshot it replays onto.
+pub fn scan_column_journal<S: Storage>(
+    storage: &S,
+    dir: &Path,
+    column: &str,
+) -> Result<JournalScan> {
+    let mut scan = JournalScan::default();
+    if !storage.exists(dir) {
+        return Ok(scan);
+    }
+    let prefix = format!("{}-", sanitize_column(column));
+    let mut files: Vec<(u64, String)> = storage
+        .list(dir)?
+        .into_iter()
+        .filter_map(|name| parse_wal_seq(&name, &prefix).map(|seq| (seq, name)))
+        .collect();
+    files.sort_unstable();
+
+    // Unreadable-header segments seen since the last readable one. They are
+    // forgiven only if the next readable segment proves (by LSN continuity)
+    // that they never held an acknowledged record.
+    let mut wrecks: Vec<(String, SynopticError)> = Vec::new();
+
+    for (i, (seq, name)) in files.iter().enumerate() {
+        let is_final = i + 1 == files.len();
+        let bytes = storage.read(&dir.join(name))?;
+        let header = match parse_header(&bytes, name) {
+            Ok(h) => h,
+            Err(e @ SynopticError::UnsupportedVersion { .. }) => return Err(e),
+            Err(e) => {
+                if is_final {
+                    // The crash hit this segment's very first append: no
+                    // record in it was ever acknowledged as durable.
+                    scan.skipped.push(name.clone());
+                    break;
+                }
+                if scan.segments.is_empty() {
+                    // No earlier readable segment to anchor a continuity
+                    // proof: the wreck may hold real records. Refuse.
+                    return Err(e);
+                }
+                wrecks.push((name.clone(), e));
+                continue;
+            }
+        };
+        if header.column != column {
+            return Err(corrupt(
+                name,
+                format!(
+                    "segment belongs to column '{}' (sanitized file-name collision)",
+                    header.column
+                ),
+            ));
+        }
+        if let Some(prev) = scan.segments.last() {
+            if header.first_lsn != prev.last_lsn + 1 {
+                // A broken chain: either this segment is damaged, or one of
+                // the unreadable segments between it and `prev` held real
+                // records. Surface the wreck's own error when there is one.
+                if let Some((_, e)) = wrecks.drain(..).next() {
+                    return Err(e);
+                }
+                return Err(corrupt(
+                    name,
+                    format!(
+                        "LSN chain broken: segment starts at {} but {} was expected",
+                        header.first_lsn,
+                        prev.last_lsn + 1
+                    ),
+                ));
+            }
+        }
+        // Continuity held across any intervening wrecks: they provably
+        // carried nothing durable.
+        scan.skipped.extend(wrecks.drain(..).map(|(n, _)| n));
+        let (records, torn) = parse_records(&bytes[header.len..], header.first_lsn, name)?;
+        if let Some(detail) = &torn {
+            if !is_final {
+                return Err(corrupt(
+                    name,
+                    format!("torn tail on a non-final segment: {detail}"),
+                ));
+            }
+        }
+        let last_lsn = header.first_lsn + records.len() as u64 - 1;
+        scan.max_lsn = scan.max_lsn.max(last_lsn);
+        scan.segments.push(SegmentMeta {
+            file: name.clone(),
+            seq: *seq,
+            base_generation: header.base_generation,
+            first_lsn: header.first_lsn,
+            last_lsn,
+            torn_tail: torn.is_some(),
+        });
+        scan.records.extend(records);
+    }
+    // Wrecks with no later readable segment to vouch for them (the journal
+    // ended in the middle of them) stay unproven: refuse.
+    if let Some((_, e)) = wrecks.into_iter().next() {
+        return Err(e);
+    }
+    Ok(scan)
+}
+
+struct ActiveSegment {
+    path: PathBuf,
+    bytes: usize,
+}
+
+struct SealedSegment {
+    path: PathBuf,
+    last_lsn: u64,
+}
+
+struct WalState {
+    next_lsn: u64,
+    next_seq: u64,
+    /// Base generation stamped into the next segment opened.
+    generation: u64,
+    active: Option<ActiveSegment>,
+    sealed: Vec<SealedSegment>,
+    /// Records appended since the last fsync (for [`FsyncCadence::EveryN`]).
+    since_sync: u64,
+}
+
+/// The append side of one column's journal.
+///
+/// Thread-safe behind an internal mutex: the ingest path appends while a
+/// background worker checkpoints. Opening never appends to pre-existing
+/// segments (their tails may be torn); it seals them as found and starts a
+/// fresh segment on the first append.
+pub struct ColumnWal<S: Storage> {
+    storage: S,
+    dir: PathBuf,
+    column: String,
+    config: WalConfig,
+    state: Mutex<WalState>,
+}
+
+impl<S: Storage> ColumnWal<S> {
+    /// Opens `column`'s journal under `dir`, creating the directory when
+    /// absent. `committed_generation` is the catalog generation the
+    /// in-memory state was loaded from; it is stamped into new segment
+    /// headers until the first [`Self::checkpoint`]. The existing journal
+    /// must scan cleanly — run recovery first when in doubt.
+    pub fn open(
+        storage: S,
+        dir: impl Into<PathBuf>,
+        column: &str,
+        committed_generation: u64,
+        config: WalConfig,
+    ) -> Result<Self> {
+        let dir = dir.into();
+        if column.is_empty() || column.len() > u16::MAX as usize {
+            return Err(SynopticError::InvalidParameter(format!(
+                "column name length {} outside 1..=65535",
+                column.len()
+            )));
+        }
+        storage.create_dir_all(&dir)?;
+        let scan = scan_column_journal(&storage, &dir, column)?;
+        let prefix = format!("{}-", sanitize_column(column));
+        // Never reuse a sequence number, including one whose header never
+        // became readable — appending to that file would bury live records
+        // behind garbage.
+        let next_seq = storage
+            .list(&dir)?
+            .iter()
+            .filter_map(|n| parse_wal_seq(n, &prefix))
+            .max()
+            .map_or(1, |s| s + 1);
+        let mut sealed: Vec<SealedSegment> = scan
+            .segments
+            .iter()
+            .map(|s| SealedSegment {
+                path: dir.join(&s.file),
+                last_lsn: s.last_lsn,
+            })
+            .collect();
+        for name in &scan.skipped {
+            // Unreadable and already written off by the scan: eligible for
+            // deletion at the first checkpoint.
+            sealed.push(SealedSegment {
+                path: dir.join(name),
+                last_lsn: 0,
+            });
+        }
+        Ok(Self {
+            storage,
+            dir,
+            column: column.to_string(),
+            config,
+            state: Mutex::new(WalState {
+                next_lsn: scan.max_lsn + 1,
+                next_seq,
+                generation: committed_generation,
+                active: None,
+                sealed,
+                since_sync: 0,
+            }),
+        })
+    }
+
+    /// The column this journal belongs to.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WalState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Seals the active segment: fsyncs it when the cadence defers syncs to
+    /// rotation, then moves it to the sealed list. On fsync failure the
+    /// segment stays active so a later append retries the seal.
+    fn seal_active(&self, st: &mut WalState) -> Result<()> {
+        let Some(a) = st.active.take() else {
+            return Ok(());
+        };
+        if self.config.fsync == FsyncCadence::OnRotate {
+            if let Err(e) = self.storage.append(&a.path, &[], true) {
+                st.active = Some(a);
+                return Err(e);
+            }
+            st.since_sync = 0;
+        }
+        st.sealed.push(SealedSegment {
+            path: a.path,
+            last_lsn: st.next_lsn - 1,
+        });
+        Ok(())
+    }
+
+    /// Journals one update and returns its LSN. The record is on its way
+    /// to disk (synced, per the cadence) before this returns; only then may
+    /// the caller mutate the in-memory state it protects.
+    pub fn append(&self, index: u64, delta: i64) -> Result<u64> {
+        let mut st = self.lock();
+        let over_budget = st
+            .active
+            .as_ref()
+            .is_some_and(|a| a.bytes >= self.config.segment_bytes);
+        if over_budget {
+            self.seal_active(&mut st)?;
+        }
+        let lsn = st.next_lsn;
+        let record = encode_record(lsn, index, delta);
+        let sync = match self.config.fsync {
+            FsyncCadence::EveryRecord => true,
+            FsyncCadence::EveryN(n) => st.since_sync + 1 >= n.max(1),
+            FsyncCadence::OnRotate => false,
+        };
+        match &mut st.active {
+            Some(a) => {
+                self.storage.append(&a.path, &record, sync)?;
+                a.bytes += WAL_RECORD_LEN;
+            }
+            None => {
+                // First record of a new segment: header and record go out
+                // in one append, so a tear at any byte is a torn creation
+                // or a torn tail — never a half-header with a live record
+                // stranded behind it.
+                let seq = st.next_seq;
+                let file = wal_file_name(&self.column, seq);
+                let path = self.dir.join(&file);
+                let mut buf = encode_header(&self.column, st.generation, lsn);
+                let bytes = buf.len() + WAL_RECORD_LEN;
+                buf.extend_from_slice(&record);
+                self.storage.append(&path, &buf, sync)?;
+                st.next_seq = seq + 1;
+                st.active = Some(ActiveSegment { path, bytes });
+            }
+        }
+        st.next_lsn = lsn + 1;
+        st.since_sync = if sync { 0 } else { st.since_sync + 1 };
+        Ok(lsn)
+    }
+
+    /// The LSN of the last acknowledged record (`0` when nothing was ever
+    /// journaled). A snapshot built from the current in-memory state covers
+    /// exactly the records up to this mark — capture it under the same lock
+    /// that freezes the state.
+    pub fn pending_mark(&self) -> u64 {
+        self.lock().next_lsn - 1
+    }
+
+    /// Checkpoint: a catalog generation `generation` committed, covering
+    /// every record with LSN ≤ `snapshot_lsn`. Deletes segments whose
+    /// records are all covered and stamps `generation` into future segment
+    /// headers. Returns the number of files removed. A failed delete keeps
+    /// the segment queued for the next checkpoint — stale segments are
+    /// harmless, replay skips records at or below the committed mark.
+    pub fn checkpoint(&self, snapshot_lsn: u64, generation: u64) -> Result<usize> {
+        let mut st = self.lock();
+        st.generation = generation;
+        let mut removed = 0usize;
+        let mut failure = None;
+        let sealed = std::mem::take(&mut st.sealed);
+        let mut keep = Vec::new();
+        for s in sealed {
+            if failure.is_none() && s.last_lsn <= snapshot_lsn {
+                match self.storage.remove(&s.path) {
+                    Ok(()) => removed += 1,
+                    Err(e) => {
+                        failure = Some(e);
+                        keep.push(s);
+                    }
+                }
+            } else {
+                keep.push(s);
+            }
+        }
+        st.sealed = keep;
+        // The active segment too, when everything it holds is covered; the
+        // next append then opens a fresh segment at the new generation.
+        if failure.is_none() && st.active.is_some() && st.next_lsn - 1 <= snapshot_lsn {
+            let path = st.active.as_ref().expect("checked is_some").path.clone();
+            match self.storage.remove(&path) {
+                Ok(()) => {
+                    st.active = None;
+                    removed += 1;
+                }
+                Err(e) => failure = Some(e),
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(removed),
+        }
+    }
+
+    /// File names of the segments currently on disk for this column
+    /// (sealed then active), for diagnostics and tests.
+    pub fn segment_count(&self) -> usize {
+        let st = self.lock();
+        st.sealed.len() + usize::from(st.active.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{Fault, FaultyStorage, FsStorage};
+    use std::sync::Arc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("synoptic_wal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn append_scan_round_trip() {
+        let d = tmp_dir("roundtrip");
+        let wal = ColumnWal::open(FsStorage::new(), &d, "price", 3, WalConfig::default()).unwrap();
+        assert_eq!(wal.pending_mark(), 0);
+        for (i, delta) in [2i64, -1, 5].into_iter().enumerate() {
+            let lsn = wal.append(i as u64, delta).unwrap();
+            assert_eq!(lsn, i as u64 + 1);
+        }
+        assert_eq!(wal.pending_mark(), 3);
+        let scan = scan_column_journal(&FsStorage::new(), &d, "price").unwrap();
+        assert_eq!(scan.max_lsn, 3);
+        assert_eq!(scan.segments.len(), 1);
+        assert_eq!(scan.segments[0].base_generation, 3);
+        assert_eq!(scan.segments[0].first_lsn, 1);
+        assert_eq!(scan.segments[0].last_lsn, 3);
+        assert!(!scan.segments[0].torn_tail);
+        assert_eq!(
+            scan.records,
+            vec![
+                WalRecord {
+                    lsn: 1,
+                    index: 0,
+                    delta: 2
+                },
+                WalRecord {
+                    lsn: 2,
+                    index: 1,
+                    delta: -1
+                },
+                WalRecord {
+                    lsn: 3,
+                    index: 2,
+                    delta: 5
+                },
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_the_chain_validates() {
+        let d = tmp_dir("rotate");
+        let cfg = WalConfig {
+            segment_bytes: 1, // over budget after every record
+            fsync: FsyncCadence::EveryRecord,
+        };
+        let wal = ColumnWal::open(FsStorage::new(), &d, "c", 1, cfg).unwrap();
+        for i in 0..5u64 {
+            wal.append(i, 1).unwrap();
+        }
+        assert_eq!(wal.segment_count(), 5);
+        let scan = scan_column_journal(&FsStorage::new(), &d, "c").unwrap();
+        assert_eq!(scan.segments.len(), 5);
+        assert_eq!(scan.records.len(), 5);
+        for (i, s) in scan.segments.iter().enumerate() {
+            assert_eq!(s.first_lsn, i as u64 + 1);
+            assert_eq!(s.last_lsn, i as u64 + 1);
+        }
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn empty_or_missing_journal_scans_clean() {
+        let d = tmp_dir("empty");
+        let scan = scan_column_journal(&FsStorage::new(), &d, "none").unwrap();
+        assert!(scan.records.is_empty() && scan.segments.is_empty());
+        assert_eq!(scan.max_lsn, 0);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_final_record_is_truncated_and_flagged() {
+        let d = tmp_dir("torntail");
+        let s = FsStorage::new();
+        let wal = ColumnWal::open(s.clone(), &d, "t", 1, WalConfig::default()).unwrap();
+        wal.append(1, 10).unwrap();
+        wal.append(2, 20).unwrap();
+        // Power fails mid-append: a strict prefix of record 3 lands.
+        let partial = &encode_record(3, 3, 30)[..11];
+        s.append(&d.join(wal_file_name("t", 1)), partial, false)
+            .unwrap();
+        let scan = scan_column_journal(&s, &d, "t").unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.max_lsn, 2);
+        assert!(scan.segments[0].torn_tail);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_tail_on_a_non_final_segment_is_corrupt() {
+        let d = tmp_dir("tornmid");
+        let s = FsStorage::new();
+        let cfg = WalConfig {
+            segment_bytes: 1,
+            ..WalConfig::default()
+        };
+        let wal = ColumnWal::open(s.clone(), &d, "t", 1, cfg).unwrap();
+        wal.append(1, 1).unwrap();
+        wal.append(2, 2).unwrap();
+        s.append(&d.join(wal_file_name("t", 1)), b"stray", false)
+            .unwrap();
+        let err = scan_column_journal(&s, &d, "t").unwrap_err();
+        assert!(
+            matches!(err, SynopticError::CorruptJournal { .. }),
+            "{err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn bit_flip_mid_stream_is_corrupt_not_truncated() {
+        let d = tmp_dir("bitflip");
+        let s = FsStorage::new();
+        let wal = ColumnWal::open(s.clone(), &d, "b", 1, WalConfig::default()).unwrap();
+        wal.append(1, 1).unwrap();
+        wal.append(2, 2).unwrap();
+        let p = d.join(wal_file_name("b", 1));
+        let mut bytes = std::fs::read(&p).unwrap();
+        let flip = bytes.len() - WAL_RECORD_LEN - 10; // inside record 1
+        bytes[flip] ^= 0x20;
+        std::fs::write(&p, bytes).unwrap();
+        let err = scan_column_journal(&s, &d, "b").unwrap_err();
+        assert!(
+            matches!(err, SynopticError::CorruptJournal { ref detail, .. } if detail.contains("CRC")),
+            "{err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn unreadable_final_segment_header_is_skipped_and_never_reused() {
+        let d = tmp_dir("tornhead");
+        let s = FsStorage::new();
+        let cfg = WalConfig {
+            segment_bytes: 1,
+            ..WalConfig::default()
+        };
+        let wal = ColumnWal::open(s.clone(), &d, "h", 1, cfg).unwrap();
+        wal.append(1, 1).unwrap();
+        // Crash hits the very first append of segment 2: only a few header
+        // bytes land.
+        s.append(&d.join(wal_file_name("h", 2)), &WAL_MAGIC[..5], false)
+            .unwrap();
+        let scan = scan_column_journal(&s, &d, "h").unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.skipped, vec!["h-2.wal".to_string()]);
+        // Reopening seals the wreck and appends into a fresh sequence. The
+        // wreck is now mid-chain, but LSN continuity (1 then 2) proves it
+        // never held an acknowledged record, so the scan still succeeds.
+        let wal = ColumnWal::open(s.clone(), &d, "h", 1, cfg).unwrap();
+        assert_eq!(wal.append(9, 9).unwrap(), 2);
+        let scan = scan_column_journal(&s, &d, "h").unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.skipped, vec!["h-2.wal".to_string()]);
+        // The first checkpoint reclaims the wreck along with covered
+        // segments.
+        wal.checkpoint(2, 2).unwrap();
+        assert!(!s.exists(&d.join("h-2.wal")));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn checkpoint_deletes_covered_segments_and_restamps_generation() {
+        let d = tmp_dir("checkpoint");
+        let s = FsStorage::new();
+        let cfg = WalConfig {
+            segment_bytes: 1,
+            ..WalConfig::default()
+        };
+        let wal = ColumnWal::open(s.clone(), &d, "k", 1, cfg).unwrap();
+        for i in 1..=4u64 {
+            wal.append(i, i as i64).unwrap();
+        }
+        // Snapshot covering LSNs 1..=3 committed as generation 2: the three
+        // sealed segments go, the active one (LSN 4) stays.
+        let removed = wal.checkpoint(3, 2).unwrap();
+        assert_eq!(removed, 3);
+        let scan = scan_column_journal(&s, &d, "k").unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].lsn, 4);
+        // Covering everything removes the active segment too; the next
+        // append opens a segment stamped with the new generation.
+        let removed = wal.checkpoint(4, 3).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(wal.segment_count(), 0);
+        wal.append(0, 1).unwrap();
+        let scan = scan_column_journal(&s, &d, "k").unwrap();
+        assert_eq!(scan.segments.len(), 1);
+        assert_eq!(scan.segments[0].base_generation, 3);
+        assert_eq!(scan.records[0].lsn, 5, "LSNs never restart");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn failed_checkpoint_delete_keeps_segment_for_retry() {
+        let d = tmp_dir("ckptfail");
+        let storage = Arc::new(FaultyStorage::new(FsStorage::new(), vec![]));
+        let cfg = WalConfig {
+            segment_bytes: 1,
+            ..WalConfig::default()
+        };
+        let wal = ColumnWal::open(Arc::clone(&storage), &d, "r", 1, cfg).unwrap();
+        wal.append(1, 1).unwrap();
+        wal.append(2, 2).unwrap();
+        storage.push_fault(Fault::CrashBeforeRename);
+        assert!(wal.checkpoint(2, 2).is_err());
+        // The stale segment survived and is still readable.
+        let scan = scan_column_journal(&FsStorage::new(), &d, "r").unwrap();
+        assert_eq!(scan.records.len(), 2);
+        // The retry (no fault scheduled) reclaims both segments.
+        assert_eq!(wal.checkpoint(2, 2).unwrap(), 2);
+        assert_eq!(wal.segment_count(), 0);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn reopen_continues_lsns_without_touching_old_tails() {
+        let d = tmp_dir("reopen");
+        let s = FsStorage::new();
+        {
+            let wal = ColumnWal::open(s.clone(), &d, "c", 1, WalConfig::default()).unwrap();
+            wal.append(5, 50).unwrap();
+            wal.append(6, 60).unwrap();
+        }
+        let wal = ColumnWal::open(s.clone(), &d, "c", 1, WalConfig::default()).unwrap();
+        assert_eq!(wal.pending_mark(), 2);
+        assert_eq!(wal.append(7, 70).unwrap(), 3);
+        let scan = scan_column_journal(&s, &d, "c").unwrap();
+        assert_eq!(scan.segments.len(), 2, "old segment sealed, new one opened");
+        assert_eq!(scan.max_lsn, 3);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn every_n_and_on_rotate_cadences_journal_identically() {
+        for fsync in [FsyncCadence::EveryN(2), FsyncCadence::OnRotate] {
+            let d = tmp_dir("cadence");
+            let cfg = WalConfig {
+                segment_bytes: 100,
+                fsync,
+            };
+            let wal = ColumnWal::open(FsStorage::new(), &d, "f", 1, cfg).unwrap();
+            for i in 0..7u64 {
+                wal.append(i, 1).unwrap();
+            }
+            let scan = scan_column_journal(&FsStorage::new(), &d, "f").unwrap();
+            assert_eq!(scan.records.len(), 7, "{fsync:?}");
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+
+    #[test]
+    fn future_format_version_is_refused_even_on_the_final_segment() {
+        let d = tmp_dir("version");
+        let s = FsStorage::new();
+        std::fs::create_dir_all(&d).unwrap();
+        // A CRC-valid header claiming version 2.
+        let mut h = encode_header("v", 1, 1);
+        h[8] = 2;
+        let crc = crc32(&h[..h.len() - 4]);
+        let at = h.len() - 4;
+        h[at..].copy_from_slice(&crc.to_le_bytes());
+        s.append(&d.join(wal_file_name("v", 1)), &h, false).unwrap();
+        let err = scan_column_journal(&s, &d, "v").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SynopticError::UnsupportedVersion {
+                    found: 2,
+                    supported: 1
+                }
+            ),
+            "{err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn sanitized_name_collision_is_detected() {
+        let d = tmp_dir("collide");
+        let s = FsStorage::new();
+        let wal = ColumnWal::open(s.clone(), &d, "a.b", 1, WalConfig::default()).unwrap();
+        wal.append(0, 1).unwrap();
+        // "a_b" sanitizes to the same file prefix but is a different column.
+        let err = scan_column_journal(&s, &d, "a_b").unwrap_err();
+        assert!(
+            matches!(err, SynopticError::CorruptJournal { ref detail, .. } if detail.contains("collision")),
+            "{err:?}"
+        );
+        assert!(scan_column_journal(&s, &d, "a.b").is_ok());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -29,6 +29,10 @@ pub const EXIT_DEADLINE: u8 = 5;
 /// Exit code when the build was cancelled (cancellation always aborts; it is
 /// never absorbed by the fallback ladder).
 pub const EXIT_CANCELLED: u8 = 6;
+/// Exit code when a write-ahead journal cannot be trusted during `recover`:
+/// damage beyond the tolerated torn tail, or a journal written against a
+/// newer generation than the recovered snapshot.
+pub const EXIT_UNRECOVERABLE: u8 = 7;
 
 /// A CLI failure carrying the process exit code it maps to. The code
 /// contract is part of the CLI's public interface (see `USAGE` and
@@ -62,14 +66,16 @@ impl From<String> for CliError {
 
 impl From<SynopticError> for CliError {
     fn from(e: SynopticError) -> Self {
-        let code = match &e {
-            SynopticError::Cancelled => EXIT_CANCELLED,
-            SynopticError::DeadlineExceeded { .. } | SynopticError::CellBudgetExceeded { .. } => {
-                EXIT_DEADLINE
-            }
-            SynopticError::CorruptSynopsis { .. } => EXIT_CORRUPT,
-            _ => EXIT_FAILURE,
-        };
+        let code =
+            match &e {
+                SynopticError::Cancelled => EXIT_CANCELLED,
+                SynopticError::DeadlineExceeded { .. }
+                | SynopticError::CellBudgetExceeded { .. } => EXIT_DEADLINE,
+                SynopticError::CorruptSynopsis { .. } => EXIT_CORRUPT,
+                SynopticError::CorruptJournal { .. }
+                | SynopticError::WalGenerationMismatch { .. } => EXIT_UNRECOVERABLE,
+                _ => EXIT_FAILURE,
+            };
         Self {
             msg: e.to_string(),
             code,
@@ -103,10 +109,12 @@ USAGE:
   synoptic maintain --input FILE --method METHOD [--budget WORDS] \\
                     [--updates U] [--every-k K | --drift F] [--workers W] \\
                     [--upgrade-in-background] [--upgrade-factor X] \\
-                    [--deadline-ms MS] [--max-cells N] [--seed S]
+                    [--deadline-ms MS] [--max-cells N] [--seed S] \\
+                    [--wal-dir DIR --catalog DIR [--fsync every|N|rotate]]
+  synoptic recover  --catalog DIR --wal-dir DIR [--commit]
   synoptic report   --catalog DIR
   synoptic fsck     --catalog DIR
-  synoptic repair   --catalog DIR
+  synoptic repair   --catalog DIR [--prune]
 
 METHODS: naive | opt-a | opt-a-reopt | sap0 | sap1 | wavelet-range
          (maintain: naive | equi-depth | point-opt | a0 | sap0 | sap1 | opt-a)
@@ -119,6 +127,19 @@ MAINTAIN: simulates a live column on the background worker pool: U updates
          --drift policy); --upgrade-in-background re-runs the requested
          method at --upgrade-factor x budget after a degraded rebuild and
          hot-swaps the result (see docs/ROBUSTNESS.md).
+DURABILITY: with --wal-dir every acknowledged update is appended to a
+         checksummed write-ahead journal before it touches memory, and each
+         successful rebuild commits an exact snapshot + WAL mark to
+         --catalog, truncating the journal. --fsync picks the sync cadence:
+         'every' record (default), every N records, or on segment rotation.
+         `recover` replays journal records past the committed mark onto the
+         snapshot (fsck + abandoned-generation pruning run first) and with
+         --commit saves the result as a new generation and checkpoints the
+         journals (see docs/PERSISTENCE.md).
+REPAIR:  quarantines corrupt/stray files and re-points CURRENT at the
+         newest valid generation; with --prune it also deletes abandoned
+         never-committed generation files (fsck lists them; repair without
+         --prune never deletes anything).
 BUDGETS: --deadline-ms / --max-cells bound the build (wall clock / DP cells).
          By default an exhausted budget aborts with a distinct exit code;
          with --anytime the build falls down a cheaper-method ladder and the
@@ -128,7 +149,8 @@ BUDGETS: --deadline-ms / --max-cells bound the build (wall clock / DP cells).
 
 EXIT CODES:
   0 success    1 failure    2 usage error    4 corrupt synopsis/store
-  5 deadline or cell budget exceeded         6 build cancelled";
+  5 deadline or cell budget exceeded         6 build cancelled
+  7 unrecoverable write-ahead journal (recover)";
 
 /// Opens the store at `dir`, creating it only when `create` is set —
 /// read-only commands must not invent an empty store at a mistyped path.
@@ -508,12 +530,33 @@ fn maintained_method(name: &str) -> Result<synoptic_hist::HistogramMethod, CliEr
     })
 }
 
+/// Parses the `--fsync` cadence: `every` (per record, the default), a
+/// number `N` (every N records), or `rotate` (on segment rotation only).
+fn parse_fsync(s: &str) -> Result<synoptic_catalog::wal::FsyncCadence, CliError> {
+    use synoptic_catalog::wal::FsyncCadence;
+    Ok(match s {
+        "every" => FsyncCadence::EveryRecord,
+        "rotate" => FsyncCadence::OnRotate,
+        n => match n.parse::<u64>() {
+            Ok(k) if k > 0 => FsyncCadence::EveryN(k),
+            _ => {
+                return Err(CliError::usage(format!(
+                    "invalid --fsync '{s}' (every | N | rotate)"
+                )));
+            }
+        },
+    })
+}
+
 /// `maintain`: simulate a live column on the sharded background worker
 /// pool — ingest a pseudo-random update stream, let the rebuild policy
 /// fire, and report what the maintenance layer did. With budget flags the
 /// rebuilds degrade down the anytime ladder; with
 /// `--upgrade-in-background` the pool then quietly re-runs the requested
-/// method at a larger budget and hot-swaps the better synopsis in.
+/// method at a larger budget and hot-swaps the better synopsis in. With
+/// `--wal-dir` (plus `--catalog`) ingest becomes crash-safe: updates are
+/// journaled before they are acknowledged and rebuild snapshots commit
+/// durably with their WAL mark (see `recover`).
 pub fn maintain(args: &[String]) -> Result<(), CliError> {
     use synoptic_stream::{ColumnBuild, MaintainedPool, RebuildConfig, RebuildPolicy};
 
@@ -550,15 +593,81 @@ pub fn maintain(args: &[String]) -> Result<(), CliError> {
 
     let n = values.len();
     let pool = MaintainedPool::new(workers);
-    let col = pool.add_column(
-        "cli",
-        &values,
-        ColumnBuild::Anytime {
-            method,
-            budget_words: budget,
-        },
-        config,
-    )?;
+    let build = ColumnBuild::Anytime {
+        method,
+        budget_words: budget,
+    };
+    let wal_dir = f.optional("wal-dir").map(str::to_string);
+    let col = match &wal_dir {
+        None => pool.add_column("cli", &values, build, config)?,
+        Some(wal_dir) => {
+            use std::sync::Arc;
+            use synoptic_catalog::wal::scan_column_journal;
+            use synoptic_stream::{DurabilityConfig, DurablePersistFn, SharedStorage};
+
+            let Some(catalog_dir) = f.optional("catalog") else {
+                return Err(CliError::usage(
+                    "--wal-dir requires --catalog (the journal replays onto \
+                     committed snapshots; see `synoptic recover`)",
+                ));
+            };
+            let mut durability = DurabilityConfig::journaled(wal_dir);
+            if let Some(s) = f.optional("fsync") {
+                durability = durability.with_fsync(parse_fsync(s)?);
+            }
+            // Commit the input as the initial generation. The WAL mark is
+            // set past any pre-existing journal so stale records from an
+            // earlier run never replay onto this fresh snapshot.
+            let store = DurableCatalog::open(catalog_dir, FsStorage::new())?;
+            let mut catalog = match store.effective_manifest() {
+                Ok(_) => store.load()?,
+                Err(_) => Catalog::new(),
+            };
+            let total: i64 = values.iter().sum();
+            catalog.insert(
+                "cli",
+                ColumnEntry {
+                    n,
+                    total_rows: total,
+                    synopsis: PersistentSynopsis::from_frequencies(&values),
+                },
+            );
+            let scan =
+                scan_column_journal(&FsStorage::new(), std::path::Path::new(wal_dir), "cli")?;
+            catalog.set_wal_mark("cli", scan.max_lsn);
+            let generation = store.save(&catalog)?;
+
+            // Each successful rebuild commits the exact snapshot + WAL mark
+            // as a new generation; the pool then truncates the journal up
+            // to that mark.
+            let persist_store = DurableCatalog::open(catalog_dir, FsStorage::new())?;
+            let hook: DurablePersistFn = Box::new(move |snap| {
+                let mut cat = persist_store.load()?;
+                let total: i64 = snap.values.iter().sum();
+                cat.insert(
+                    "cli",
+                    ColumnEntry {
+                        n: snap.values.len(),
+                        total_rows: total,
+                        synopsis: PersistentSynopsis::from_frequencies(snap.values),
+                    },
+                );
+                cat.set_wal_mark("cli", snap.wal_mark);
+                persist_store.save(&cat)
+            });
+            let storage: SharedStorage = Arc::new(FsStorage::new());
+            pool.add_column_durable(
+                "cli",
+                &values,
+                build,
+                config,
+                storage,
+                &durability,
+                generation,
+                Some(hook),
+            )?
+        }
+    };
     if let Some(outcome) = col.last_outcome() {
         println!("initial build: {outcome}");
     }
@@ -585,15 +694,22 @@ pub fn maintain(args: &[String]) -> Result<(), CliError> {
     let est = col.estimate(full);
     println!(
         "ingested {} updates on {} worker(s): {} rebuilds scheduled, \
-         {} completed, {} failed, {} upgrades ({} failed)",
+         {} completed, {} failed, {} upgrades ({} failed), {} coalesced",
         stats.updates,
         pool.workers(),
         scheduled,
         stats.rebuilds,
         stats.failed_rebuilds,
         stats.upgrades,
-        stats.failed_upgrades
+        stats.failed_upgrades,
+        stats.coalesced
     );
+    if let Some(wal_dir) = &wal_dir {
+        println!(
+            "journal: wal mark {} in {wal_dir} (replay with `synoptic recover`)",
+            col.wal_mark()
+        );
+    }
     if let Some(outcome) = col.last_outcome() {
         println!(
             "serving: {} (generation {}) — {outcome}",
@@ -609,6 +725,65 @@ pub fn maintain(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `recover`: replay the write-ahead journals under `--wal-dir` on top of
+/// the committed catalog snapshots (running fsck/repair and
+/// abandoned-generation pruning first) and report the reconstructed
+/// per-column state. With `--commit` the recovered frequencies are saved
+/// back as a new generation and the journals are checkpointed, so the
+/// next `maintain` run starts from the recovered state. An untrustworthy
+/// journal (corruption beyond the tolerated torn tail, or a journal from
+/// a newer generation than the snapshot) exits with the dedicated
+/// unrecoverable code.
+pub fn recover(args: &[String]) -> Result<(), CliError> {
+    use synoptic_catalog::wal::{ColumnWal, WalConfig};
+
+    let f = Flags::parse(args).usage()?;
+    let store = open_store(f.required("catalog").usage()?, false)?;
+    let wal_dir = f.required("wal-dir").usage()?;
+    let report = synoptic_stream::recover(&store, wal_dir)?;
+    print!("{}", report.render());
+    if !f.switch("commit") {
+        return Ok(());
+    }
+    if report.columns.is_empty() {
+        println!("nothing to commit");
+        return Ok(());
+    }
+    let synoptic_stream::RecoveryReport {
+        columns,
+        mut catalog,
+        ..
+    } = report;
+    for c in &columns {
+        let total: i64 = c.values.iter().sum();
+        catalog.insert(
+            &c.name,
+            ColumnEntry {
+                n: c.values.len(),
+                total_rows: total,
+                synopsis: PersistentSynopsis::from_frequencies(&c.values),
+            },
+        );
+        catalog.set_wal_mark(&c.name, c.max_lsn.max(c.committed_mark));
+    }
+    let generation = store.save(&catalog)?;
+    for c in &columns {
+        let wal = ColumnWal::open(
+            FsStorage::new(),
+            wal_dir,
+            &c.name,
+            generation,
+            WalConfig::default(),
+        )?;
+        wal.checkpoint(c.max_lsn.max(c.committed_mark), generation)?;
+    }
+    println!(
+        "committed recovered state as generation {generation}; {} journal(s) checkpointed",
+        columns.len()
+    );
+    Ok(())
+}
+
 /// `report`: summarize the committed generation of a store.
 pub fn report(args: &[String]) -> Result<(), CliError> {
     let f = Flags::parse(args).usage()?;
@@ -621,12 +796,19 @@ pub fn report(args: &[String]) -> Result<(), CliError> {
 }
 
 /// `fsck`: read-only consistency check. Exits non-zero when issues exist.
+/// On a healthy store it also reports (without touching) abandoned
+/// never-committed generations that `repair --prune` would reclaim.
 pub fn fsck(args: &[String]) -> Result<(), CliError> {
     let f = Flags::parse(args).usage()?;
     let store = open_store(f.required("catalog").usage()?, false)?;
     let report = store.fsck()?;
     print!("{}", report.render());
     if report.healthy() {
+        let prunable = store.prune_abandoned(true)?;
+        if !prunable.abandoned_generations.is_empty() {
+            print!("{}", prunable.render());
+            println!("reclaim with `synoptic repair --catalog DIR --prune`");
+        }
         Ok(())
     } else {
         Err(CliError {
@@ -640,12 +822,19 @@ pub fn fsck(args: &[String]) -> Result<(), CliError> {
 }
 
 /// `repair`: quarantine corrupt/stray files and re-point `CURRENT` at the
-/// newest valid generation. Never deletes anything.
+/// newest valid generation. Deletes nothing by default; `--prune`
+/// additionally reclaims abandoned (valid but never committed) generation
+/// files, which is idempotent and skips anything the committed chain still
+/// references.
 pub fn repair(args: &[String]) -> Result<(), CliError> {
     let f = Flags::parse(args).usage()?;
     let store = open_store(f.required("catalog").usage()?, false)?;
     let report = store.repair()?;
     print!("{}", report.render());
+    if f.switch("prune") {
+        let pruned = store.prune_abandoned(false)?;
+        print!("{}", pruned.render());
+    }
     Ok(())
 }
 
@@ -839,6 +1028,54 @@ mod tests {
         ]))
         .unwrap();
         let _ = std::fs::remove_file(&col);
+    }
+
+    #[test]
+    fn maintain_journals_and_recover_replays() {
+        let col = tmp("synoptic_cli_col7.txt");
+        let cat = tmp("synoptic_cli_store7");
+        let wal = tmp("synoptic_cli_wal7");
+        let _ = std::fs::remove_dir_all(&cat);
+        let _ = std::fs::remove_dir_all(&wal);
+        generate(&s(&["--n", "32", "--out", &col])).unwrap();
+        // A rebuild threshold above the update count keeps every update in
+        // the journal only: the committed snapshot stays at generation 1.
+        maintain(&s(&[
+            "--input",
+            &col,
+            "--method",
+            "sap0",
+            "--budget",
+            "18",
+            "--updates",
+            "100",
+            "--every-k",
+            "1000000",
+            "--workers",
+            "1",
+            "--wal-dir",
+            &wal,
+            "--catalog",
+            &cat,
+            "--fsync",
+            "rotate",
+        ]))
+        .unwrap();
+        let store = open_store(&cat, false).unwrap();
+        let r1 = synoptic_stream::recover(&store, &wal).unwrap();
+        let c1 = r1.column("cli").unwrap().clone();
+        assert_eq!(c1.replayed, 100, "all acknowledged updates replay");
+        recover(&s(&["--catalog", &cat, "--wal-dir", &wal, "--commit"])).unwrap();
+        // After --commit the journal is checkpointed and the catalog holds
+        // the recovered values: a second recovery replays nothing and
+        // reconstructs the same state.
+        let r2 = synoptic_stream::recover(&store, &wal).unwrap();
+        let c2 = r2.column("cli").unwrap();
+        assert_eq!(c2.replayed, 0);
+        assert_eq!(c2.values, c1.values);
+        let _ = std::fs::remove_file(&col);
+        let _ = std::fs::remove_dir_all(&cat);
+        let _ = std::fs::remove_dir_all(&wal);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! synoptic estimate --catalog stats/ --column price --range 10..40
 //! synoptic evaluate --input column.txt --budget 32
 //! synoptic maintain --input column.txt --method opt-a --updates 512 --workers 2
+//! synoptic recover  --catalog stats/ --wal-dir stats/wal --commit
 //! synoptic report   --catalog stats/
 //! synoptic fsck     --catalog stats/
 //! synoptic repair   --catalog stats/
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
         "estimate" => commands::estimate(rest),
         "evaluate" => commands::evaluate(rest),
         "maintain" => commands::maintain(rest),
+        "recover" => commands::recover(rest),
         "report" => commands::report(rest),
         "fsck" => commands::fsck(rest),
         "repair" => commands::repair(rest),

@@ -140,9 +140,115 @@ fn fsck_and_repair_lifecycle() {
     let _ = std::fs::remove_dir_all(&store);
 }
 
+/// The crash-recovery lifecycle of a journaled `maintain` run, and the
+/// dedicated exit code (7) for a journal that cannot be trusted.
+#[test]
+fn recover_replays_journals_and_exit_7_on_corruption() {
+    let col = tmp("synoptic_rec_col.txt");
+    let store = tmp("synoptic_rec_store");
+    let wal = tmp("synoptic_rec_wal");
+    let _ = std::fs::remove_dir_all(&store);
+    let _ = std::fs::remove_dir_all(&wal);
+    let col_s = col.to_str().unwrap();
+    let store_s = store.to_str().unwrap();
+    let wal_s = wal.to_str().unwrap();
+
+    ok(&["generate", "--n", "32", "--seed", "7", "--out", col_s]);
+    // The rebuild threshold exceeds the update count, so every update
+    // lives only in the journal — exactly the state a crash mid-stream
+    // leaves behind.
+    ok(&[
+        "maintain",
+        "--input",
+        col_s,
+        "--method",
+        "sap0",
+        "--budget",
+        "18",
+        "--updates",
+        "100",
+        "--every-k",
+        "1000000",
+        "--workers",
+        "1",
+        "--wal-dir",
+        wal_s,
+        "--catalog",
+        store_s,
+        "--fsync",
+        "rotate",
+    ]);
+
+    // Recovery replays all 100 acknowledged updates onto the snapshot.
+    let out = ok(&["recover", "--catalog", store_s, "--wal-dir", wal_s]);
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("100 journal record(s) replayed"), "{text}");
+
+    // A torn final record (the classic kill-mid-append) is tolerated:
+    // it was never acknowledged as durable.
+    let seg = std::fs::read_dir(&wal)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|x| x == "wal"))
+        .expect("one journal segment");
+    let bytes = std::fs::read(&seg).unwrap();
+    std::fs::write(&seg, &bytes[..bytes.len() - 10]).unwrap();
+    let out = ok(&["recover", "--catalog", store_s, "--wal-dir", wal_s]);
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("torn final record dropped"), "{text}");
+    assert!(text.contains("99 journal record(s) replayed"), "{text}");
+
+    // Damage inside the journal body is NOT tolerated: exit 7, nothing
+    // committed.
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&seg, &bytes).unwrap();
+    let out = run(&[
+        "recover",
+        "--catalog",
+        store_s,
+        "--wal-dir",
+        wal_s,
+        "--commit",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(7),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(err.contains("journal"), "{err}");
+    // The committed snapshot is untouched by the failed recovery.
+    let report = ok(&["report", "--catalog", store_s]);
+    let report_text = String::from_utf8_lossy(&report.stdout).to_string();
+    assert!(report_text.contains("generation 1"), "{report_text}");
+
+    // A missing journal directory is a clean (empty) recovery, and
+    // `repair --prune` on a healthy store has nothing to reclaim.
+    let out = ok(&[
+        "recover",
+        "--catalog",
+        store_s,
+        "--wal-dir",
+        "/nonexistent/wal",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("0 journal record(s) replayed"), "{text}");
+    let out = ok(&["repair", "--catalog", store_s, "--prune"]);
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("no abandoned generations"), "{text}");
+
+    let _ = std::fs::remove_file(&col);
+    let _ = std::fs::remove_dir_all(&store);
+    let _ = std::fs::remove_dir_all(&wal);
+}
+
 /// The documented exit-code contract (see `synoptic help`):
 /// 0 success, 1 failure, 2 usage, 4 corrupt synopsis/store,
-/// 5 deadline/cell budget exceeded, 6 cancelled.
+/// 5 deadline/cell budget exceeded, 6 cancelled, 7 unrecoverable journal
+/// (exercised in `recover_replays_journals_and_exit_7_on_corruption`).
 #[test]
 fn exit_code_contract() {
     let col = tmp("synoptic_exit_col.txt");

@@ -107,6 +107,26 @@ pub enum SynopticError {
         /// The column whose rebuild could not be scheduled.
         column: String,
     },
+    /// A write-ahead journal segment was written against a different base
+    /// generation than the snapshot it is being replayed onto. Replaying it
+    /// would apply deltas to state that never saw them (or saw them twice),
+    /// so recovery refuses rather than guessing.
+    WalGenerationMismatch {
+        /// The base generation recorded in the segment header.
+        wal_generation: u64,
+        /// The committed generation of the recovered snapshot.
+        snapshot_generation: u64,
+    },
+    /// A write-ahead journal failed integrity validation beyond the
+    /// tolerated torn final record: a corrupt header, a mid-stream CRC
+    /// mismatch, a broken LSN chain, or an out-of-range replay index.
+    /// The journal's deltas cannot be trusted and replay stops.
+    CorruptJournal {
+        /// Which journal (segment file or column) failed.
+        context: String,
+        /// What exactly failed validation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SynopticError {
@@ -152,6 +172,19 @@ impl fmt::Display for SynopticError {
             Self::BuildPanicked { detail } => write!(f, "builder panicked: {detail}"),
             Self::WorkerUnavailable { column } => {
                 write!(f, "rebuild worker pool unavailable for column {column}")
+            }
+            Self::WalGenerationMismatch {
+                wal_generation,
+                snapshot_generation,
+            } => {
+                write!(
+                    f,
+                    "journal base generation {wal_generation} does not match \
+                     recovered snapshot generation {snapshot_generation}"
+                )
+            }
+            Self::CorruptJournal { context, detail } => {
+                write!(f, "corrupt journal ({context}): {detail}")
             }
         }
     }
@@ -222,6 +255,26 @@ mod tests {
                     detail: "index out of range".into(),
                 },
                 "panicked",
+            ),
+            (
+                SynopticError::WorkerUnavailable {
+                    column: "price".into(),
+                },
+                "price",
+            ),
+            (
+                SynopticError::WalGenerationMismatch {
+                    wal_generation: 4,
+                    snapshot_generation: 2,
+                },
+                "generation 4",
+            ),
+            (
+                SynopticError::CorruptJournal {
+                    context: "col-3.wal".into(),
+                    detail: "record CRC mismatch".into(),
+                },
+                "col-3.wal",
             ),
         ];
         for (err, needle) in cases {

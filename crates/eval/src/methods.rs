@@ -185,13 +185,44 @@ impl MethodSpec {
         })
     }
 
+    /// Builds the wavelet family of `self` with `b` retained coefficients
+    /// under `budget`. Panics on histogram variants (callers dispatch those
+    /// to the histogram ladder first).
+    fn build_wavelet_with_budget(
+        &self,
+        values: &[i64],
+        ps: &PrefixSums,
+        b: usize,
+        budget: &Budget,
+    ) -> Result<Box<dyn RangeEstimator>> {
+        match self {
+            MethodSpec::WaveletPoint => PointWaveletSynopsis::build_with_budget(values, b, budget)
+                .map(|w| Box::new(w) as Box<dyn RangeEstimator>),
+            MethodSpec::WaveletPrefix => PrefixWaveletSynopsis::build_with_budget(ps, b, budget)
+                .map(|w| Box::new(w) as Box<dyn RangeEstimator>),
+            MethodSpec::WaveletRange => RangeOptimalWavelet::build_with_budget(ps, b, budget)
+                .map(|w| Box::new(w) as Box<dyn RangeEstimator>),
+            MethodSpec::WaveletRangeGreedy => {
+                synoptic_wavelet::build_range_greedy_with_budget(ps, b, budget)
+                    .map(|w| Box::new(w) as Box<dyn RangeEstimator>)
+            }
+            _ => unreachable!("histograms handled above"),
+        }
+    }
+
     /// Like [`MethodSpec::build_at_budget`] but under execution control,
     /// returning the estimator together with its [`BuildOutcome`]
     /// provenance. Histogram methods descend the anytime ladder
-    /// (`synoptic_hist::build_anytime`); a wavelet method that exhausts its
-    /// budget records the failed attempt and falls into the histogram
-    /// ladder at the equi-depth tier. Unconstrained `params` reproduce
-    /// [`MethodSpec::build_at_budget`] bit-for-bit.
+    /// (`synoptic_hist::build_anytime`). A wavelet method that exhausts
+    /// its budget first retries the *same* family at half the coefficient
+    /// count under a fresh budget — truncating to the top `B/2`
+    /// coefficients is the wavelet-native degradation, typically far
+    /// cheaper than the full-B selection — and only if that rung also
+    /// exhausts its budget does the build fall into the histogram ladder
+    /// at the equi-depth tier. Every abandoned rung is recorded in
+    /// [`BuildOutcome::attempts`] (the truncation rung as `"NAME(B/2)"`).
+    /// Unconstrained `params` reproduce [`MethodSpec::build_at_budget`]
+    /// bit-for-bit.
     pub fn build_tracked(
         &self,
         values: &[i64],
@@ -204,16 +235,19 @@ impl MethodSpec {
             return Ok((r.estimator, r.outcome));
         }
         // Wavelet tier: one constrained attempt of the method itself.
-        let mut budget = Budget::unlimited();
-        if let Some(d) = params.deadline {
-            budget = budget.with_deadline(d);
-        }
-        if let Some(c) = params.max_cells {
-            budget = budget.with_max_cells(c);
-        }
-        if let Some(t) = &params.cancel {
-            budget = budget.with_cancel_token(t.clone());
-        }
+        let make_budget = || {
+            let mut budget = Budget::unlimited();
+            if let Some(d) = params.deadline {
+                budget = budget.with_deadline(d);
+            }
+            if let Some(c) = params.max_cells {
+                budget = budget.with_max_cells(c);
+            }
+            if let Some(t) = &params.cancel {
+                budget = budget.with_cancel_token(t.clone());
+            }
+            budget
+        };
         let b = if budget_words < 2 {
             return Err(SynopticError::BudgetTooSmall {
                 words: budget_words,
@@ -222,45 +256,72 @@ impl MethodSpec {
         } else {
             budget_words / 2
         };
+        let budget = make_budget();
         let started = Instant::now();
-        let attempt: Result<Box<dyn RangeEstimator>> = match self {
-            MethodSpec::WaveletPoint => PointWaveletSynopsis::build_with_budget(values, b, &budget)
-                .map(|w| Box::new(w) as Box<dyn RangeEstimator>),
-            MethodSpec::WaveletPrefix => PrefixWaveletSynopsis::build_with_budget(ps, b, &budget)
-                .map(|w| Box::new(w) as Box<dyn RangeEstimator>),
-            MethodSpec::WaveletRange => RangeOptimalWavelet::build_with_budget(ps, b, &budget)
-                .map(|w| Box::new(w) as Box<dyn RangeEstimator>),
-            MethodSpec::WaveletRangeGreedy => {
-                synoptic_wavelet::build_range_greedy_with_budget(ps, b, &budget)
-                    .map(|w| Box::new(w) as Box<dyn RangeEstimator>)
-            }
-            _ => unreachable!("histograms handled above"),
-        };
+        let attempt = self.build_wavelet_with_budget(values, ps, b, &budget);
         let elapsed_ms = started.elapsed().as_millis() as u64;
-        match attempt {
-            Ok(est) => Ok((
-                est,
-                BuildOutcome::direct(self.name(), elapsed_ms, budget.cells_used()),
-            )),
-            Err(e) if BuildOutcome::error_triggers_fallback(&e) => {
-                let failed = BuildAttempt {
-                    method: self.name().to_string(),
-                    error: e.to_string(),
-                    elapsed_ms,
-                    cells: budget.cells_used(),
-                };
-                let r =
-                    build_anytime(HistogramMethod::EquiDepth, values, ps, budget_words, params)?;
-                let mut outcome = r.outcome;
-                outcome.requested = self.name().to_string();
-                outcome.tier += 1;
-                outcome.elapsed_ms += failed.elapsed_ms;
-                outcome.cells += failed.cells;
-                outcome.attempts.insert(0, failed);
-                Ok((r.estimator, outcome))
+        let first_failed = match attempt {
+            Ok(est) => {
+                return Ok((
+                    est,
+                    BuildOutcome::direct(self.name(), elapsed_ms, budget.cells_used()),
+                ))
             }
-            Err(e) => Err(e),
+            Err(e) if BuildOutcome::error_triggers_fallback(&e) => BuildAttempt {
+                method: self.name().to_string(),
+                error: e.to_string(),
+                elapsed_ms,
+                cells: budget.cells_used(),
+            },
+            Err(e) => return Err(e),
+        };
+        let mut attempts = vec![first_failed];
+        // Wavelet-native fallback rung: same family, top B/2 coefficients,
+        // fresh budget (the first attempt's cell spend is not charged
+        // against the retry; an absolute deadline still applies as-is).
+        if b / 2 >= 1 {
+            let rung_name = format!("{}(B/2)", self.name());
+            let retry_budget = make_budget();
+            let retry_started = Instant::now();
+            let retry = self.build_wavelet_with_budget(values, ps, b / 2, &retry_budget);
+            let retry_ms = retry_started.elapsed().as_millis() as u64;
+            match retry {
+                Ok(est) => {
+                    let total: u64 = attempts.iter().map(|a| a.elapsed_ms).sum();
+                    let cells: u64 = attempts.iter().map(|a| a.cells).sum();
+                    return Ok((
+                        est,
+                        BuildOutcome {
+                            requested: self.name().to_string(),
+                            used: rung_name,
+                            tier: 1,
+                            attempts,
+                            elapsed_ms: total + retry_ms,
+                            cells: cells + retry_budget.cells_used(),
+                        },
+                    ));
+                }
+                Err(e) if BuildOutcome::error_triggers_fallback(&e) => {
+                    attempts.push(BuildAttempt {
+                        method: rung_name,
+                        error: e.to_string(),
+                        elapsed_ms: retry_ms,
+                        cells: retry_budget.cells_used(),
+                    });
+                }
+                Err(e) => return Err(e),
+            }
         }
+        let r = build_anytime(HistogramMethod::EquiDepth, values, ps, budget_words, params)?;
+        let mut outcome = r.outcome;
+        outcome.requested = self.name().to_string();
+        outcome.tier += attempts.len();
+        outcome.elapsed_ms += attempts.iter().map(|a| a.elapsed_ms).sum::<u64>();
+        outcome.cells += attempts.iter().map(|a| a.cells).sum::<u64>();
+        for (i, failed) in attempts.into_iter().enumerate() {
+            outcome.attempts.insert(i, failed);
+        }
+        Ok((r.estimator, outcome))
     }
 }
 
@@ -371,8 +432,48 @@ mod tests {
             assert!(outcome.is_degraded(), "{}: {outcome}", m.name());
             assert_eq!(outcome.requested, m.name());
             assert_eq!(outcome.attempts.first().unwrap().method, m.name());
+            // The B/2 truncation rung is tried (and abandoned) before the
+            // histogram ladder takes over.
+            assert_eq!(
+                outcome.attempts[1].method,
+                format!("{}(B/2)", m.name()),
+                "{outcome}"
+            );
+            assert!(outcome.tier >= 2, "{outcome}");
             assert!(exact_sse(est.as_ref(), &ps).is_finite());
         }
+    }
+
+    #[test]
+    fn tracked_wavelet_b_half_rung_catches_a_mid_sized_cap() {
+        use synoptic_core::Budget;
+        let d = paper_dataset(&ZipfConfig {
+            n: 32,
+            ..ZipfConfig::default()
+        });
+        let ps = d.prefix_sums();
+        // Greedy selection charges per round, so the B/2 build is strictly
+        // cheaper than the full-B build. Meter both to pick a cap that
+        // kills full B but admits B/2.
+        let full = Budget::unlimited();
+        synoptic_wavelet::build_range_greedy_with_budget(&ps, 7, &full).unwrap();
+        let half = Budget::unlimited();
+        synoptic_wavelet::build_range_greedy_with_budget(&ps, 3, &half).unwrap();
+        let (c_full, c_half) = (full.cells_used(), half.cells_used());
+        assert!(
+            c_half < c_full,
+            "need separable costs: {c_half} vs {c_full}"
+        );
+        let params = AnytimeParams::unconstrained().with_max_cells(c_full - 1);
+        let (est, outcome) = MethodSpec::WaveletRangeGreedy
+            .build_tracked(d.values(), &ps, 14, &params)
+            .unwrap();
+        assert_eq!(outcome.used, "TOPBB-GREEDY(B/2)", "{outcome}");
+        assert_eq!(outcome.tier, 1, "{outcome}");
+        assert_eq!(outcome.attempts.len(), 1);
+        assert_eq!(outcome.attempts[0].method, "TOPBB-GREEDY");
+        assert!(est.storage_words() <= 14);
+        assert!(exact_sse(est.as_ref(), &ps).is_finite());
     }
 
     #[test]

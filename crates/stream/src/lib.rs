@@ -26,6 +26,11 @@
 //!   shards columns across a fixed set of background rebuild workers so that
 //!   ingest and query threads never block on a rebuild or a persist retry;
 //!   serving estimators are published through `synoptic_core::HotSwap`.
+//! * [`recovery`] — crash recovery for journaled columns: fsck the durable
+//!   catalog, prune abandoned generations, replay the write-ahead journal
+//!   on top of the committed snapshot, and hand back exact frequencies to
+//!   re-serve from. Durability itself is opt-in per column via
+//!   [`maintained::DurabilityConfig`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,11 +40,14 @@ pub mod haar_stream;
 pub mod maintained;
 pub mod pool;
 pub mod progressive;
+pub mod recovery;
 
 pub use fenwick::Fenwick;
 pub use haar_stream::{StreamingHaar, StreamingRangeOptimal};
 pub use maintained::{
-    drift_exceeds, MaintainedHistogram, PersistFn, RebuildConfig, RebuildPolicy, RebuildStats,
+    drift_exceeds, ColumnJournal, DurabilityConfig, DurablePersistFn, DurableSnapshot,
+    MaintainedHistogram, PersistFn, RebuildConfig, RebuildPolicy, RebuildStats, SharedStorage,
 };
 pub use pool::{ColumnBuild, ColumnHandle, MaintainedPool, PoolBuildFn};
 pub use progressive::{ProgressiveAnswer, ProgressiveQuery};
+pub use recovery::{recover, RecoveredColumn, RecoveryReport};

@@ -46,13 +46,23 @@
 //! ([`persist_with_retry`]) here are shared by both drivers.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::time::Duration;
 
+use synoptic_catalog::wal::{ColumnWal, FsyncCadence, WalConfig};
+use synoptic_catalog::Storage;
 use synoptic_core::{
     Budget, CancelToken, PrefixSums, RangeEstimator, RangeQuery, Result, SynopticError,
 };
 
 use crate::fenwick::Fenwick;
+
+/// The storage handle journaled columns append through: shared because
+/// appends run on ingest threads while checkpoints run on rebuild workers.
+pub type SharedStorage = std::sync::Arc<dyn Storage + Send + Sync>;
+
+/// A column's write-ahead journal over the shared storage handle.
+pub type ColumnJournal = ColumnWal<SharedStorage>;
 
 /// When to rebuild the synopsis.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -181,6 +191,82 @@ impl RebuildConfig {
     }
 }
 
+/// Opt-in crash durability for the ingest path of a pool column.
+///
+/// When enabled, every acknowledged `update()` is appended to a
+/// checksummed per-column write-ahead journal
+/// ([`synoptic_catalog::wal::ColumnWal`]) *before* the in-memory Fenwick
+/// state changes, and startup recovery ([`crate::recovery`]) replays the
+/// journal on top of the last committed catalog generation. Disabled by
+/// default: with `wal_dir` unset, the ingest path is bit-identical to the
+/// journal-free behaviour — no extra branches taken, no I/O, no locks.
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityConfig {
+    /// Directory holding the column's journal segments. `None` (the
+    /// default) disables write-ahead logging entirely.
+    pub wal_dir: Option<PathBuf>,
+    /// Segment-rotation and fsync tuning, consulted only when `wal_dir`
+    /// is set.
+    pub wal: WalConfig,
+}
+
+impl DurabilityConfig {
+    /// Durability off (the default): no journal, no recovery obligations.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Journals ingest under `dir` with default tuning (64 KiB segments,
+    /// fsync on every record).
+    pub fn journaled(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            wal_dir: Some(dir.into()),
+            wal: WalConfig::default(),
+        }
+    }
+
+    /// Sets the segment-rotation size in bytes.
+    #[must_use]
+    pub fn with_segment_bytes(mut self, bytes: usize) -> Self {
+        self.wal.segment_bytes = bytes;
+        self
+    }
+
+    /// Sets the fsync cadence ([`FsyncCadence`]).
+    #[must_use]
+    pub fn with_fsync(mut self, cadence: FsyncCadence) -> Self {
+        self.wal.fsync = cadence;
+        self
+    }
+
+    /// Whether write-ahead logging is enabled.
+    pub fn enabled(&self) -> bool {
+        self.wal_dir.is_some()
+    }
+
+    /// Opens `column`'s journal per this configuration: `Ok(None)` when
+    /// durability is disabled. `committed_generation` is stamped into new
+    /// segment headers until the first checkpoint (see
+    /// [`ColumnWal::open`]).
+    pub fn open_journal(
+        &self,
+        storage: SharedStorage,
+        column: &str,
+        committed_generation: u64,
+    ) -> Result<Option<ColumnJournal>> {
+        match &self.wal_dir {
+            None => Ok(None),
+            Some(dir) => Ok(Some(ColumnWal::open(
+                storage,
+                dir.clone(),
+                column,
+                committed_generation,
+                self.wal,
+            )?)),
+        }
+    }
+}
+
 /// Counters describing the maintenance history.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RebuildStats {
@@ -205,6 +291,10 @@ pub struct RebuildStats {
     /// Background upgrade attempts that failed; the degraded synopsis kept
     /// serving (pool columns only).
     pub failed_upgrades: u64,
+    /// Duplicate rebuild/upgrade jobs collapsed by worker-queue coalescing
+    /// before they ran (pool columns only; always 0 for the single-threaded
+    /// facade, which never queues).
+    pub coalesced: u64,
 }
 
 /// Exact integer test for the [`RebuildPolicy::DriftFraction`] trigger:
@@ -317,6 +407,28 @@ pub(crate) fn persist_error_is_transient(err: &SynopticError) -> bool {
 /// ingest path.
 pub type PersistFn = Box<dyn FnMut(&dyn RangeEstimator) -> Result<()> + Send>;
 
+/// What a durable persist hook is handed after a successful rebuild of a
+/// journaled column: the fresh estimator, the **exact frequencies** the
+/// build snapshotted (recovery replays journal deltas on top of these, so
+/// the hook must persist them — typically via
+/// [`synoptic_catalog::PersistentSynopsis::from_frequencies`]), and the
+/// journal LSN the snapshot covers (to record as the column's WAL mark via
+/// [`synoptic_catalog::Catalog::set_wal_mark`]).
+pub struct DurableSnapshot<'a> {
+    /// The freshly built (now serving) estimator.
+    pub estimator: &'a dyn RangeEstimator,
+    /// The exact frequency vector the build ran over.
+    pub values: &'a [i64],
+    /// LSN of the last journal record captured by `values`.
+    pub wal_mark: u64,
+}
+
+/// The persist hook for journaled columns. Returns the committed catalog
+/// generation on success; the maintenance loop then checkpoints the
+/// journal at the snapshot's WAL mark, truncating segments whose deltas
+/// the committed generation now covers.
+pub type DurablePersistFn = Box<dyn FnMut(&DurableSnapshot<'_>) -> Result<u64> + Send>;
+
 /// What one run of the persist retry ladder did.
 #[derive(Debug, Default)]
 pub(crate) struct PersistReport {
@@ -369,6 +481,23 @@ pub(crate) fn persist_with_retry(
     report
 }
 
+/// Runs a durable persist hook through the same bounded retry ladder as
+/// [`persist_with_retry`], returning the committed generation alongside
+/// the report when any attempt succeeded.
+pub(crate) fn persist_durable_with_retry(
+    persist: &mut (dyn FnMut(&DurableSnapshot<'_>) -> Result<u64> + Send),
+    snapshot: &DurableSnapshot<'_>,
+    config: &RebuildConfig,
+) -> (PersistReport, Option<u64>) {
+    let mut generation = None;
+    let mut adaptor = |_: &dyn RangeEstimator| -> Result<()> {
+        generation = Some(persist(snapshot)?);
+        Ok(())
+    };
+    let report = persist_with_retry(&mut adaptor, snapshot.estimator, config);
+    (report, generation)
+}
+
 /// A histogram synopsis kept (approximately) fresh under point updates,
 /// with budgeted, panic-isolated rebuilds and last-good serving.
 pub struct MaintainedHistogram<F>
@@ -380,6 +509,8 @@ where
     config: RebuildConfig,
     current: Box<dyn RangeEstimator>,
     persist: Option<PersistFn>,
+    wal: Option<ColumnJournal>,
+    durable_persist: Option<DurablePersistFn>,
     drift_abs: i128,
     mass_at_build: i128,
     stats: RebuildStats,
@@ -424,6 +555,8 @@ where
             config,
             current,
             persist: None,
+            wal: None,
+            durable_persist: None,
             drift_abs: 0,
             mass_at_build: ps.total().abs(),
             stats: RebuildStats::default(),
@@ -444,12 +577,55 @@ where
         self
     }
 
+    /// Enables write-ahead durability per `durability`: every subsequent
+    /// `update()` is journaled *before* the Fenwick state changes, so a
+    /// crash loses at most the record being appended (per the configured
+    /// [`FsyncCadence`]). With durability disabled in the config this is a
+    /// no-op and the ingest path stays journal-free.
+    pub fn with_durability(
+        mut self,
+        storage: SharedStorage,
+        column: &str,
+        durability: &DurabilityConfig,
+        committed_generation: u64,
+    ) -> Result<Self> {
+        self.wal = durability.open_journal(storage, column, committed_generation)?;
+        Ok(self)
+    }
+
+    /// Attaches the durable persist hook used instead of
+    /// [`MaintainedHistogram::with_persist`] when the column is journaled:
+    /// it receives the snapshot (estimator + exact frequencies + WAL mark)
+    /// and returns the committed generation, after which the journal is
+    /// checkpointed and covered segments are truncated.
+    #[must_use]
+    pub fn with_durable_persist(mut self, persist: DurablePersistFn) -> Self {
+        self.durable_persist = Some(persist);
+        self
+    }
+
+    /// Whether this instance journals its updates.
+    pub fn journaled(&self) -> bool {
+        self.wal.is_some()
+    }
+
     /// Ingests `A[i] += delta`, rebuilding if the policy fires (and the
     /// failure cooldown has elapsed). Returns whether a rebuild *happened
     /// successfully*. A policy-fired rebuild that fails is absorbed: the
     /// error is recorded in [`MaintainedHistogram::last_error`] and
     /// counted, the last-good synopsis keeps serving, and ingest continues.
     pub fn update(&mut self, i: usize, delta: i64) -> Result<bool> {
+        if let Some(wal) = &self.wal {
+            // Write-ahead: journal before mutating, so an acknowledged
+            // update is never lost to a crash. A failed append rejects the
+            // update without touching in-memory state.
+            assert!(
+                i < self.fenwick.n(),
+                "index {i} out of bounds for n={}",
+                self.fenwick.n()
+            );
+            wal.append(i as u64, delta)?;
+        }
         self.fenwick.update(i, delta);
         self.drift_abs += (delta as i128).abs();
         self.stats.updates += 1;
@@ -481,6 +657,10 @@ where
     }
 
     fn try_rebuild(&mut self) -> Result<()> {
+        // Single-threaded: no update can land between capturing the mark
+        // and materializing the values, so the pair is a consistent
+        // snapshot for checkpointing.
+        let wal_mark = self.wal.as_ref().map(|w| w.pending_mark());
         let values = self.fenwick.to_values();
         let ps = PrefixSums::from_values(&values);
         let budget = self.config.budget();
@@ -494,7 +674,7 @@ where
                 self.last_error = None;
                 self.cooldown_remaining = 0;
                 self.cooldown_factor = 1;
-                self.persist_current();
+                self.persist_current(&values, wal_mark);
                 Ok(())
             }
             Err(err) => {
@@ -513,7 +693,39 @@ where
     /// backoff sleeps inline, but the total is capped by
     /// [`RebuildConfig::persist_total_backoff`]; the pool runs the same
     /// ladder on a background worker instead.
-    fn persist_current(&mut self) {
+    fn persist_current(&mut self, values: &[i64], wal_mark: Option<u64>) {
+        if let Some(wal) = &self.wal {
+            let Some(hook) = self.durable_persist.as_mut() else {
+                return;
+            };
+            let mark = wal_mark.unwrap_or(0);
+            let (report, generation) = {
+                let snapshot = DurableSnapshot {
+                    estimator: self.current.as_ref(),
+                    values,
+                    wal_mark: mark,
+                };
+                persist_durable_with_retry(hook.as_mut(), &snapshot, &self.config)
+            };
+            self.stats.persist_retries += report.retries;
+            if report.failed {
+                self.stats.persist_failures += 1;
+            }
+            if let Some(err) = report.last_error {
+                self.last_error = Some(err);
+            }
+            if !report.failed {
+                if let Some(generation) = generation {
+                    // A failed truncation is non-fatal: stale segments are
+                    // skipped at replay (their LSNs are ≤ the committed
+                    // mark) and the next checkpoint retries the delete.
+                    if let Err(err) = wal.checkpoint(mark, generation) {
+                        self.last_error = Some(err);
+                    }
+                }
+            }
+            return;
+        }
         let Some(persist) = self.persist.as_mut() else {
             return;
         };

@@ -60,8 +60,9 @@ use synoptic_hist::builder::{build_anytime, build_with_budget, AnytimeParams, Hi
 
 use crate::fenwick::Fenwick;
 use crate::maintained::{
-    drift_exceeds, panic_detail, persist_with_retry, run_builder, PersistFn, RebuildConfig,
-    RebuildPolicy, RebuildStats,
+    drift_exceeds, panic_detail, persist_durable_with_retry, persist_with_retry, run_builder,
+    ColumnJournal, DurabilityConfig, DurablePersistFn, DurableSnapshot, PersistFn, RebuildConfig,
+    RebuildPolicy, RebuildStats, SharedStorage,
 };
 
 /// A boxed construction function for [`ColumnBuild::Custom`] columns.
@@ -108,6 +109,7 @@ struct AtomicStats {
     persist_retries: AtomicU64,
     upgrades: AtomicU64,
     failed_upgrades: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 /// Shared state of one maintained column.
@@ -118,6 +120,13 @@ struct ColumnInner {
     /// mutexes make the struct `Sync` and recover from builder panics).
     build: Mutex<ColumnBuild>,
     persist: Mutex<Option<PersistFn>>,
+    /// Write-ahead journal for durable columns (`None` = durability off,
+    /// the default; the ingest path then never touches it). Appends run
+    /// under the ingest lock so the journal order and the Fenwick order
+    /// agree with the snapshot cut taken by rebuilds.
+    wal: Option<ColumnJournal>,
+    /// Persist hook for journaled columns (used instead of `persist`).
+    durable_persist: Mutex<Option<DurablePersistFn>>,
     serving: Arc<HotSwap<dyn RangeEstimator>>,
     ingest: Mutex<IngestState>,
     stats: AtomicStats,
@@ -148,6 +157,7 @@ impl ColumnInner {
             persist_retries: self.stats.persist_retries.load(Ordering::Relaxed),
             upgrades: self.stats.upgrades.load(Ordering::Relaxed),
             failed_upgrades: self.stats.failed_upgrades.load(Ordering::Relaxed),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
         }
     }
 
@@ -192,6 +202,18 @@ impl ColumnHandle {
     pub fn update(&self, i: usize, delta: i64) -> Result<bool> {
         let fire = {
             let mut st = lock(&self.inner.ingest);
+            if let Some(wal) = &self.inner.wal {
+                // Write-ahead: journal before mutating, inside the ingest
+                // critical section so the journal order agrees with the
+                // snapshot cut a concurrent rebuild takes. A failed append
+                // rejects the update without touching in-memory state.
+                assert!(
+                    i < st.fenwick.n(),
+                    "index {i} out of bounds for n={}",
+                    st.fenwick.n()
+                );
+                wal.append(i as u64, delta)?;
+            }
             st.fenwick.update(i, delta);
             st.drift_abs += (delta as i128).abs();
             st.updates_since_rebuild += 1;
@@ -290,6 +312,18 @@ impl ColumnHandle {
         self.inner.serving.generation()
     }
 
+    /// Whether this column journals its updates
+    /// ([`MaintainedPool::add_column_durable`]).
+    pub fn journaled(&self) -> bool {
+        self.inner.wal.is_some()
+    }
+
+    /// LSN of the last acknowledged journal record (0 when nothing was
+    /// journaled yet, or durability is off).
+    pub fn wal_mark(&self) -> u64 {
+        self.inner.wal.as_ref().map_or(0, |w| w.pending_mark())
+    }
+
     /// Blocks until every scheduled job (rebuilds and upgrades) for this
     /// column has finished. Test/shutdown aid; serving threads never need
     /// it.
@@ -370,9 +404,47 @@ impl MaintainedPool {
         &self,
         name: &str,
         values: &[i64],
+        build: ColumnBuild,
+        config: RebuildConfig,
+        persist: Option<PersistFn>,
+    ) -> Result<ColumnHandle> {
+        self.register_column(name, values, build, config, persist, None, None)
+    }
+
+    /// [`MaintainedPool::add_column_with_persist`] for a **journaled**
+    /// column: opens (or resumes) the column's write-ahead journal per
+    /// `durability`, appends every acknowledged update to it before the
+    /// in-memory state changes, and checkpoints it after each committed
+    /// persist (`persist` returns the committed generation;
+    /// `committed_generation` seeds new segment headers until then). With
+    /// durability disabled in the config this degrades to the journal-free
+    /// registration path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_column_durable(
+        &self,
+        name: &str,
+        values: &[i64],
+        build: ColumnBuild,
+        config: RebuildConfig,
+        storage: SharedStorage,
+        durability: &DurabilityConfig,
+        committed_generation: u64,
+        persist: Option<DurablePersistFn>,
+    ) -> Result<ColumnHandle> {
+        let wal = durability.open_journal(storage, name, committed_generation)?;
+        self.register_column(name, values, build, config, None, wal, persist)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn register_column(
+        &self,
+        name: &str,
+        values: &[i64],
         mut build: ColumnBuild,
         config: RebuildConfig,
         persist: Option<PersistFn>,
+        wal: Option<ColumnJournal>,
+        durable_persist: Option<DurablePersistFn>,
     ) -> Result<ColumnHandle> {
         validate_policy(&config.policy)?;
         let ps = PrefixSums::from_values(values);
@@ -384,6 +456,8 @@ impl MaintainedPool {
             config,
             build: Mutex::new(build),
             persist: Mutex::new(persist),
+            wal,
+            durable_persist: Mutex::new(durable_persist),
             serving: Arc::new(HotSwap::new(initial)),
             ingest: Mutex::new(IngestState {
                 fenwick: Fenwick::from_values(values),
@@ -510,27 +584,80 @@ fn run_column_build(
     }
 }
 
-/// The worker loop: drains its queue until shutdown. On shutdown, queued
-/// jobs are abandoned but their bookkeeping (pending flag, quiesce counter)
-/// is released so handles never wedge.
-fn worker_loop(rx: mpsc::Receiver<Job>, self_tx: mpsc::Sender<Job>) {
-    for job in rx.iter() {
-        match job {
-            Job::Rebuild(col) => run_rebuild(&col, &self_tx),
-            Job::Upgrade(col) => run_upgrade(&col),
-            Job::Shutdown => {
-                while let Ok(stale) = rx.try_recv() {
-                    match stale {
-                        Job::Rebuild(col) => {
-                            col.rebuild_pending.store(false, Ordering::Release);
-                            col.job_finished();
-                        }
-                        Job::Upgrade(col) => col.job_finished(),
-                        Job::Shutdown => {}
-                    }
-                }
-                break;
+/// Releases an abandoned job's bookkeeping (pending flag, quiesce counter)
+/// so handles never wedge on shutdown.
+fn abandon(job: Job) {
+    match job {
+        Job::Rebuild(col) => {
+            col.rebuild_pending.store(false, Ordering::Release);
+            col.job_finished();
+        }
+        Job::Upgrade(col) => col.job_finished(),
+        Job::Shutdown => {}
+    }
+}
+
+/// The column `job` duplicates within `queued` (same column, same kind),
+/// if any. Running the earlier job serves both: a rebuild/upgrade always
+/// works from a *fresh* snapshot of the live frequencies, so the duplicate
+/// would redo identical work.
+fn coalesces_into(queued: &[Job], job: &Job) -> Option<Arc<ColumnInner>> {
+    for earlier in queued {
+        match (earlier, job) {
+            (Job::Rebuild(a), Job::Rebuild(b)) | (Job::Upgrade(a), Job::Upgrade(b))
+                if Arc::ptr_eq(a, b) =>
+            {
+                return Some(Arc::clone(a));
             }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The worker loop: drains its queue until shutdown. Each wake-up pulls
+/// the whole backlog and collapses duplicate jobs for the same column
+/// before running any of them — a very hot column whose upgrades queue
+/// faster than they run cannot build a backlog; dropped duplicates release
+/// their bookkeeping and are counted in [`RebuildStats::coalesced`]. On
+/// shutdown, queued jobs are abandoned but their bookkeeping (pending
+/// flag, quiesce counter) is released so handles never wedge.
+fn worker_loop(rx: mpsc::Receiver<Job>, self_tx: mpsc::Sender<Job>) {
+    while let Ok(first) = rx.recv() {
+        let mut shutdown = false;
+        let mut run: Vec<Job> = Vec::new();
+        let mut accept = |job: Job, run: &mut Vec<Job>| {
+            if shutdown {
+                abandon(job);
+                return;
+            }
+            if matches!(job, Job::Shutdown) {
+                shutdown = true;
+                return;
+            }
+            if let Some(col) = coalesces_into(run, &job) {
+                col.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                abandon(job);
+                return;
+            }
+            run.push(job);
+        };
+        accept(first, &mut run);
+        while let Ok(job) = rx.try_recv() {
+            accept(job, &mut run);
+        }
+        for job in run {
+            match job {
+                Job::Rebuild(col) => run_rebuild(&col, &self_tx),
+                Job::Upgrade(col) => run_upgrade(&col),
+                Job::Shutdown => unreachable!("shutdown jobs never enter the run list"),
+            }
+        }
+        if shutdown {
+            while let Ok(stale) = rx.try_recv() {
+                abandon(stale);
+            }
+            break;
         }
     }
 }
@@ -540,13 +667,16 @@ fn worker_loop(rx: mpsc::Receiver<Job>, self_tx: mpsc::Sender<Job>) {
 /// rung.
 fn run_rebuild(col: &Arc<ColumnInner>, self_tx: &mpsc::Sender<Job>) {
     // 1. Snapshot the live frequencies. The ingest lock is held for the
-    //    O(n) copy only — the build below runs without it.
-    let (values, drift_snap, usr_snap) = {
+    //    O(n) copy only — the build below runs without it. The WAL mark is
+    //    read under the same lock: appends also run under it, so the mark
+    //    names exactly the last journal record the snapshot contains.
+    let (values, drift_snap, usr_snap, wal_mark) = {
         let st = lock(&col.ingest);
         (
             st.fenwick.to_values(),
             st.drift_abs,
             st.updates_since_rebuild,
+            col.wal.as_ref().map(|w| w.pending_mark()),
         )
     };
     let ps = PrefixSums::from_values(&values);
@@ -579,7 +709,7 @@ fn run_rebuild(col: &Arc<ColumnInner>, self_tx: &mpsc::Sender<Job>) {
             // run after this job (same worker), which is exactly the
             // serialization we want.
             col.rebuild_pending.store(false, Ordering::Release);
-            run_persist(col);
+            run_persist(col, &values, wal_mark);
             if degraded && col.config.upgrade_in_background {
                 schedule_upgrade(self_tx, col);
             }
@@ -623,12 +753,13 @@ fn run_upgrade(col: &Arc<ColumnInner>) {
             }
         }
     };
-    let (values, drift_snap, usr_snap) = {
+    let (values, drift_snap, usr_snap, wal_mark) = {
         let st = lock(&col.ingest);
         (
             st.fenwick.to_values(),
             st.drift_abs,
             st.updates_since_rebuild,
+            col.wal.as_ref().map(|w| w.pending_mark()),
         )
     };
     let ps = PrefixSums::from_values(&values);
@@ -668,7 +799,7 @@ fn run_upgrade(col: &Arc<ColumnInner>) {
                 started.elapsed().as_millis() as u64,
                 budget.cells_used(),
             ));
-            run_persist(col);
+            run_persist(col, &values, wal_mark);
         }
         Err(err) => {
             // The degraded synopsis keeps serving; the next degraded
@@ -681,9 +812,45 @@ fn run_upgrade(col: &Arc<ColumnInner>) {
 }
 
 /// Runs the persist hook (if any) through the shared bounded retry ladder,
-/// on the worker thread.
-fn run_persist(col: &Arc<ColumnInner>) {
+/// on the worker thread. Journaled columns run the durable hook instead
+/// (snapshot values + WAL mark), then checkpoint the journal at the mark
+/// the committed generation now covers.
+fn run_persist(col: &Arc<ColumnInner>, values: &[i64], wal_mark: Option<u64>) {
     let estimator = col.serving.load();
+    if let Some(wal) = &col.wal {
+        let mut hook = lock(&col.durable_persist);
+        let Some(hook) = hook.as_mut() else {
+            return;
+        };
+        let mark = wal_mark.unwrap_or(0);
+        let snapshot = DurableSnapshot {
+            estimator: estimator.as_ref(),
+            values,
+            wal_mark: mark,
+        };
+        let (report, generation) =
+            persist_durable_with_retry(hook.as_mut(), &snapshot, &col.config);
+        col.stats
+            .persist_retries
+            .fetch_add(report.retries, Ordering::Relaxed);
+        if report.failed {
+            col.stats.persist_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(err) = report.last_error {
+            col.set_error(err);
+        }
+        if !report.failed {
+            if let Some(generation) = generation {
+                // A failed truncation is non-fatal: stale segments are
+                // skipped at replay (LSNs ≤ the committed mark) and the
+                // next checkpoint retries the delete.
+                if let Err(err) = wal.checkpoint(mark, generation) {
+                    col.set_error(err);
+                }
+            }
+        }
+        return;
+    }
     let mut persist = lock(&col.persist);
     let Some(persist) = persist.as_mut() else {
         return;

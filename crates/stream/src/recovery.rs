@@ -1,0 +1,387 @@
+//! Startup recovery for journaled maintained columns: **fsck → prune →
+//! replay → serve**.
+//!
+//! A crash can leave the durable state of a maintained column in three
+//! layers: the last *committed* catalog generation (manifest + synopses +
+//! per-column WAL marks), *abandoned* generation files from persists that
+//! died before the `CURRENT` swap, and the write-ahead journal holding
+//! every acknowledged update since the committed snapshot. [`recover`]
+//! walks them in order:
+//!
+//! 1. **fsck** — [`DurableCatalog::fsck`] validates the `CURRENT` chain;
+//!    when unhealthy, [`DurableCatalog::repair`] quarantines corrupt
+//!    files and re-points `CURRENT` at the newest valid generation.
+//! 2. **prune** — [`DurableCatalog::prune_abandoned`] reclaims generation
+//!    files that were written but never committed (idempotent; never runs
+//!    without a valid committed pointer).
+//! 3. **replay** — for every column whose committed snapshot is an exact
+//!    frequency vector ([`PersistentSynopsis::Frequencies`]), the journal
+//!    is scanned ([`scan_column_journal`]) and records with `lsn >` the
+//!    column's committed WAL mark are applied in order. A torn final
+//!    record is tolerated (truncate-and-continue: it was never
+//!    acknowledged as durable under `FsyncCadence::EveryRecord`); any
+//!    deeper damage surfaces as [`SynopticError::CorruptJournal`], and a
+//!    segment written against a *newer* base generation than the
+//!    recovered snapshot is refused with
+//!    [`SynopticError::WalGenerationMismatch`] — replaying it would apply
+//!    deltas the snapshot never saw from a history that superseded it.
+//! 4. **serve** — the caller re-registers each [`RecoveredColumn`] with a
+//!    [`crate::MaintainedPool`] (or [`crate::MaintainedHistogram`]) using
+//!    its exact `values`; reopening the journal via
+//!    [`crate::DurabilityConfig::open_journal`] continues the LSN chain
+//!    without touching the replayed segments, which the next successful
+//!    checkpoint truncates.
+//!
+//! Columns whose snapshot is *not* an exact frequency vector are skipped
+//! when their journal is clean, and refused (corrupt journal) when it has
+//! unreplayed records — deltas cannot be applied exactly to a lossy
+//! synopsis, so acknowledging them would be a silent durability lie.
+
+use std::path::Path;
+
+use synoptic_catalog::wal::scan_column_journal;
+use synoptic_catalog::{
+    Catalog, DurableCatalog, FsckReport, PersistentSynopsis, PruneReport, RepairReport, Storage,
+};
+use synoptic_core::{Result, SynopticError};
+
+/// One column's state reconstructed by [`recover`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredColumn {
+    /// Column name.
+    pub name: String,
+    /// Exact frequencies: the committed snapshot plus every replayed
+    /// journal delta. Re-register the column with these.
+    pub values: Vec<i64>,
+    /// The WAL mark the committed manifest recorded (records at or below
+    /// it were already captured by the snapshot and are skipped).
+    pub committed_mark: u64,
+    /// Journal records applied on top of the snapshot.
+    pub replayed: u64,
+    /// Highest LSN observed in the journal (0 when empty).
+    pub max_lsn: u64,
+    /// Whether the final segment ended in a torn (truncated) record that
+    /// was tolerated and dropped.
+    pub torn_tail: bool,
+    /// Segment files skipped because a crash interrupted their creation
+    /// before any record in them was acknowledged.
+    pub skipped_segments: Vec<String>,
+}
+
+/// What [`recover`] did, layer by layer.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// The committed generation everything was recovered on top of.
+    pub generation: u64,
+    /// The fsck findings prior to any repair.
+    pub fsck: FsckReport,
+    /// The repair pass, when fsck found issues.
+    pub repaired: Option<RepairReport>,
+    /// Abandoned-generation reclamation (always run, idempotent).
+    pub pruned: PruneReport,
+    /// Every journaled column reconstructed, in catalog order.
+    pub columns: Vec<RecoveredColumn>,
+    /// The recovered catalog (committed snapshots + WAL marks), for
+    /// callers that want to re-serve non-journaled columns too.
+    pub catalog: Catalog,
+}
+
+impl RecoveryReport {
+    /// The recovered column named `name`, if it was journal-replayed.
+    pub fn column(&self, name: &str) -> Option<&RecoveredColumn> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Total journal records applied across all columns.
+    pub fn total_replayed(&self) -> u64 {
+        self.columns.iter().map(|c| c.replayed).sum()
+    }
+
+    /// Human-readable summary for logs and the CLI.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "recovered generation {} ({} column(s), {} journal record(s) replayed)\n",
+            self.generation,
+            self.columns.len(),
+            self.total_replayed()
+        ));
+        if let Some(rep) = &self.repaired {
+            out.push_str(&rep.render());
+            out.push('\n');
+        }
+        if !self.pruned.abandoned_generations.is_empty() {
+            out.push_str(&self.pruned.render());
+            out.push('\n');
+        }
+        for c in &self.columns {
+            out.push_str(&format!(
+                "  {}: {} replayed (mark {} -> lsn {}){}{}\n",
+                c.name,
+                c.replayed,
+                c.committed_mark,
+                c.max_lsn.max(c.committed_mark),
+                if c.torn_tail {
+                    ", torn final record dropped"
+                } else {
+                    ""
+                },
+                if c.skipped_segments.is_empty() {
+                    String::new()
+                } else {
+                    format!(", {} empty wreck(s) skipped", c.skipped_segments.len())
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// Recovers the maintained serving state from `store` and the write-ahead
+/// journals under `wal_dir`. See the module docs for the state machine.
+///
+/// Errors: anything fsck/repair/prune/load surface, plus
+/// [`SynopticError::CorruptJournal`] (journal damage beyond the tolerated
+/// torn tail, an out-of-range replay index, or unreplayable records
+/// against a lossy snapshot) and [`SynopticError::WalGenerationMismatch`]
+/// (journal written against a newer generation than the one recovered).
+/// Both of the latter mean the journal cannot be trusted; the CLI maps
+/// them to a dedicated exit code.
+pub fn recover<S: Storage>(
+    store: &DurableCatalog<S>,
+    wal_dir: impl AsRef<Path>,
+) -> Result<RecoveryReport> {
+    let wal_dir = wal_dir.as_ref();
+    let fsck = store.fsck()?;
+    let repaired = if fsck.healthy() {
+        None
+    } else {
+        Some(store.repair()?)
+    };
+    let pruned = store.prune_abandoned(false)?;
+    let catalog = store.load()?;
+    let generation = store.effective_manifest()?.generation;
+
+    let mut columns = Vec::new();
+    for (name, entry) in catalog.iter() {
+        let mark = catalog.wal_mark(name);
+        let scan = scan_column_journal(store.storage(), wal_dir, name)?;
+        let pending: Vec<_> = scan.records.iter().filter(|r| r.lsn > mark).collect();
+        let base = match &entry.synopsis {
+            PersistentSynopsis::Frequencies { values } => values,
+            _ if pending.is_empty() => continue, // lossy synopsis, clean journal
+            _ => {
+                return Err(SynopticError::CorruptJournal {
+                    context: name.to_string(),
+                    detail: format!(
+                        "{} journal record(s) past mark {mark}, but the committed \
+                         snapshot is not an exact frequency vector: deltas cannot \
+                         be replayed",
+                        pending.len()
+                    ),
+                });
+            }
+        };
+        // Every segment contributing replayed records must have been
+        // written against the recovered generation or an older one.
+        for seg in &scan.segments {
+            if seg.last_lsn >= seg.first_lsn
+                && seg.last_lsn > mark
+                && seg.base_generation > generation
+            {
+                return Err(SynopticError::WalGenerationMismatch {
+                    wal_generation: seg.base_generation,
+                    snapshot_generation: generation,
+                });
+            }
+        }
+        let mut values = base.clone();
+        let mut replayed = 0u64;
+        for rec in pending {
+            let idx = usize::try_from(rec.index)
+                .ok()
+                .filter(|&i| i < values.len());
+            let Some(idx) = idx else {
+                return Err(SynopticError::CorruptJournal {
+                    context: name.to_string(),
+                    detail: format!(
+                        "record lsn {} targets index {} outside domain 0..{}",
+                        rec.lsn,
+                        rec.index,
+                        values.len()
+                    ),
+                });
+            };
+            values[idx] = values[idx].wrapping_add(rec.delta);
+            replayed += 1;
+        }
+        columns.push(RecoveredColumn {
+            name: name.to_string(),
+            values,
+            committed_mark: mark,
+            replayed,
+            max_lsn: scan.max_lsn,
+            torn_tail: scan.segments.iter().any(|s| s.torn_tail),
+            skipped_segments: scan.skipped.clone(),
+        });
+    }
+    Ok(RecoveryReport {
+        generation,
+        fsck,
+        repaired,
+        pruned,
+        columns,
+        catalog,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use synoptic_catalog::wal::{ColumnWal, WalConfig};
+    use synoptic_catalog::{ColumnEntry, FsStorage};
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("synoptic-recovery-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn commit_frequencies(
+        store: &DurableCatalog<FsStorage>,
+        name: &str,
+        values: &[i64],
+        mark: u64,
+    ) -> u64 {
+        let mut cat = Catalog::new();
+        cat.insert(
+            name,
+            ColumnEntry {
+                n: values.len(),
+                total_rows: values.len() as i64,
+                synopsis: PersistentSynopsis::from_frequencies(values),
+            },
+        );
+        cat.set_wal_mark(name, mark);
+        store.save(&cat).unwrap()
+    }
+
+    #[test]
+    fn replay_applies_only_records_past_the_committed_mark() {
+        let root = tempdir("mark");
+        let store = DurableCatalog::open(root.join("cat"), FsStorage).unwrap();
+        let wal_dir = root.join("wal");
+        let storage: Arc<dyn Storage + Send + Sync> = Arc::new(FsStorage);
+        let wal =
+            ColumnWal::open(Arc::clone(&storage), &wal_dir, "c", 0, WalConfig::default()).unwrap();
+        // Records 1..=3 are captured by the snapshot (mark 3); 4..=5 not.
+        for (i, d) in [(0u64, 5i64), (1, -2), (2, 7), (3, 11), (0, 1)] {
+            wal.append(i, d).unwrap();
+        }
+        let gen = commit_frequencies(&store, "c", &[5, -2, 7, 0], 3);
+        let report = recover(&store, &wal_dir).unwrap();
+        assert_eq!(report.generation, gen);
+        let col = report.column("c").unwrap();
+        assert_eq!(col.values, vec![6, -2, 7, 11]);
+        assert_eq!(col.replayed, 2);
+        assert_eq!(col.committed_mark, 3);
+        assert_eq!(col.max_lsn, 5);
+        assert!(!col.torn_tail);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_journal_recovers_the_snapshot_verbatim() {
+        let root = tempdir("nowal");
+        let store = DurableCatalog::open(root.join("cat"), FsStorage).unwrap();
+        commit_frequencies(&store, "c", &[1, 2, 3], 0);
+        let report = recover(&store, root.join("wal")).unwrap();
+        let col = report.column("c").unwrap();
+        assert_eq!(col.values, vec![1, 2, 3]);
+        assert_eq!(col.replayed, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn newer_base_generation_is_refused_with_a_typed_error() {
+        let root = tempdir("gen");
+        let store = DurableCatalog::open(root.join("cat"), FsStorage).unwrap();
+        let wal_dir = root.join("wal");
+        let storage: Arc<dyn Storage + Send + Sync> = Arc::new(FsStorage);
+        // Journal claims base generation 9; the committed snapshot is 1.
+        let wal =
+            ColumnWal::open(Arc::clone(&storage), &wal_dir, "c", 9, WalConfig::default()).unwrap();
+        wal.append(0, 1).unwrap();
+        let gen = commit_frequencies(&store, "c", &[0, 0], 0);
+        assert_eq!(gen, 1);
+        match recover(&store, &wal_dir) {
+            Err(SynopticError::WalGenerationMismatch {
+                wal_generation,
+                snapshot_generation,
+            }) => {
+                assert_eq!(wal_generation, 9);
+                assert_eq!(snapshot_generation, 1);
+            }
+            other => panic!("expected WalGenerationMismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn out_of_range_replay_index_is_a_corrupt_journal() {
+        let root = tempdir("oob");
+        let store = DurableCatalog::open(root.join("cat"), FsStorage).unwrap();
+        let wal_dir = root.join("wal");
+        let storage: Arc<dyn Storage + Send + Sync> = Arc::new(FsStorage);
+        let wal =
+            ColumnWal::open(Arc::clone(&storage), &wal_dir, "c", 0, WalConfig::default()).unwrap();
+        wal.append(99, 1).unwrap(); // domain is only 2 wide
+        commit_frequencies(&store, "c", &[0, 0], 0);
+        match recover(&store, &wal_dir) {
+            Err(SynopticError::CorruptJournal { detail, .. }) => {
+                assert!(detail.contains("index 99"), "{detail}");
+            }
+            other => panic!("expected CorruptJournal, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn lossy_snapshot_with_pending_records_is_refused() {
+        let root = tempdir("lossy");
+        let store = DurableCatalog::open(root.join("cat"), FsStorage).unwrap();
+        let wal_dir = root.join("wal");
+        let storage: Arc<dyn Storage + Send + Sync> = Arc::new(FsStorage);
+        let wal =
+            ColumnWal::open(Arc::clone(&storage), &wal_dir, "c", 0, WalConfig::default()).unwrap();
+        wal.append(0, 1).unwrap();
+        let mut cat = Catalog::new();
+        cat.insert(
+            "c",
+            ColumnEntry {
+                n: 4,
+                total_rows: 4,
+                synopsis: PersistentSynopsis::Sap0 {
+                    n: 4,
+                    starts: vec![0],
+                    suff: vec![4.0],
+                    pref: vec![4.0],
+                },
+            },
+        );
+        store.save(&cat).unwrap();
+        match recover(&store, &wal_dir) {
+            Err(SynopticError::CorruptJournal { detail, .. }) => {
+                assert!(detail.contains("exact frequency"), "{detail}");
+            }
+            other => panic!("expected CorruptJournal, got {other:?}"),
+        }
+        // A lossy snapshot with a *clean* journal is simply skipped.
+        let report = recover(&store, root.join("no-such-wal")).unwrap();
+        assert!(report.columns.is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
