@@ -108,6 +108,17 @@ impl FsStorage {
     }
 }
 
+/// Fsyncs the directory containing `path` so a just-created or just-renamed
+/// entry survives a crash (best-effort — not all platforms allow opening
+/// directories).
+fn fsync_parent_dir(path: &Path) {
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
 impl Storage for FsStorage {
     fn read(&self, path: &Path) -> Result<Vec<u8>> {
         std::fs::read(path).map_err(|e| io_err(path, e))
@@ -122,18 +133,14 @@ impl Storage for FsStorage {
             f.sync_all().map_err(|e| io_err(&tmp, e))?;
         }
         std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
-        // Durability of the rename: fsync the containing directory
-        // (best-effort — not all platforms allow opening directories).
-        if let Some(dir) = path.parent() {
-            if let Ok(d) = std::fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
-        }
+        // Durability of the rename.
+        fsync_parent_dir(path);
         Ok(())
     }
 
     fn append(&self, path: &Path, bytes: &[u8], sync: bool) -> Result<()> {
         use std::io::Write as _;
+        let created = !path.exists();
         let mut f = std::fs::OpenOptions::new()
             .append(true)
             .create(true)
@@ -142,6 +149,14 @@ impl Storage for FsStorage {
         f.write_all(bytes).map_err(|e| io_err(path, e))?;
         if sync {
             f.sync_all().map_err(|e| io_err(path, e))?;
+        }
+        // A new file's directory entry must be durable too, or a crash
+        // loses the whole file even after its data was fsynced — for a WAL
+        // segment that silently shortens an otherwise well-formed chain.
+        // Syncing the entry once at creation covers later appends as well:
+        // they change the inode, not the entry.
+        if created {
+            fsync_parent_dir(path);
         }
         Ok(())
     }

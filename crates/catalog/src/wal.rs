@@ -423,6 +423,39 @@ pub fn scan_column_journal<S: Storage>(
     Ok(scan)
 }
 
+/// Distinct column names owning at least one segment with a readable
+/// header under `dir`, sorted. Recovery uses this to find journals whose
+/// column is *absent* from the committed catalog (e.g. a column whose
+/// first durable persist never committed) — silently skipping them would
+/// drop acknowledged records. Segments whose header never became readable
+/// are ignored here: the header goes out in the same append as the first
+/// record, so an unreadable header means nothing in that segment was ever
+/// acknowledged as durable.
+pub fn list_journal_columns<S: Storage>(storage: &S, dir: &Path) -> Result<Vec<String>> {
+    let mut columns: Vec<String> = Vec::new();
+    if !storage.exists(dir) {
+        return Ok(columns);
+    }
+    let suffix = format!(".{WAL_EXT}");
+    for name in storage.list(dir)? {
+        if !name.ends_with(&suffix) {
+            continue;
+        }
+        let bytes = storage.read(&dir.join(&name))?;
+        match parse_header(&bytes, &name) {
+            Ok(h) => {
+                if !columns.contains(&h.column) {
+                    columns.push(h.column);
+                }
+            }
+            Err(e @ SynopticError::UnsupportedVersion { .. }) => return Err(e),
+            Err(_) => {}
+        }
+    }
+    columns.sort();
+    Ok(columns)
+}
+
 struct ActiveSegment {
     path: PathBuf,
     bytes: usize,
@@ -536,14 +569,18 @@ impl<S: Storage> ColumnWal<S> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Seals the active segment: fsyncs it when the cadence defers syncs to
-    /// rotation, then moves it to the sealed list. On fsync failure the
-    /// segment stays active so a later append retries the seal.
+    /// Seals the active segment: fsyncs it whenever any record in it is
+    /// still unsynced (`EveryN` between sync points as well as `OnRotate`),
+    /// then moves it to the sealed list — a sealed segment must be fully
+    /// durable before the next segment starts receiving synced records, or
+    /// a crash would tear a *non-final* segment, which recovery rightly
+    /// treats as hard corruption. On fsync failure the segment stays active
+    /// so a later append retries the seal.
     fn seal_active(&self, st: &mut WalState) -> Result<()> {
         let Some(a) = st.active.take() else {
             return Ok(());
         };
-        if self.config.fsync == FsyncCadence::OnRotate {
+        if st.since_sync > 0 {
             if let Err(e) = self.storage.append(&a.path, &[], true) {
                 st.active = Some(a);
                 return Err(e);
@@ -925,6 +962,104 @@ mod tests {
             assert_eq!(scan.records.len(), 7, "{fsync:?}");
             let _ = std::fs::remove_dir_all(&d);
         }
+    }
+
+    /// Records every `append` the WAL issues so tests can assert *when*
+    /// syncs happen, not just that data survives.
+    #[derive(Clone)]
+    struct SyncSpy {
+        inner: FsStorage,
+        appends: Arc<Mutex<Vec<(String, usize, bool)>>>,
+    }
+
+    impl SyncSpy {
+        fn new() -> Self {
+            Self {
+                inner: FsStorage::new(),
+                appends: Arc::new(Mutex::new(Vec::new())),
+            }
+        }
+    }
+
+    impl Storage for SyncSpy {
+        fn read(&self, path: &Path) -> Result<Vec<u8>> {
+            self.inner.read(path)
+        }
+        fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+            self.inner.write_atomic(path, bytes)
+        }
+        fn append(&self, path: &Path, bytes: &[u8], sync: bool) -> Result<()> {
+            self.appends.lock().unwrap().push((
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                bytes.len(),
+                sync,
+            ));
+            self.inner.append(path, bytes, sync)
+        }
+        fn remove(&self, path: &Path) -> Result<()> {
+            self.inner.remove(path)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+            self.inner.rename(from, to)
+        }
+        fn list(&self, dir: &Path) -> Result<Vec<String>> {
+            self.inner.list(dir)
+        }
+        fn create_dir_all(&self, dir: &Path) -> Result<()> {
+            self.inner.create_dir_all(dir)
+        }
+        fn exists(&self, path: &Path) -> bool {
+            self.inner.exists(path)
+        }
+    }
+
+    #[test]
+    fn seal_fsyncs_unsynced_records_under_every_n() {
+        let d = tmp_dir("sealsync");
+        let spy = SyncSpy::new();
+        let cfg = WalConfig {
+            // Two records fit before rotation; EveryN(100) never syncs on
+            // its own, so both are unsynced when the segment seals.
+            segment_bytes: 2 * WAL_RECORD_LEN,
+            fsync: FsyncCadence::EveryN(100),
+        };
+        let wal = ColumnWal::open(spy.clone(), &d, "s", 1, cfg).unwrap();
+        for i in 0..3u64 {
+            wal.append(i, 1).unwrap();
+        }
+        let appends = spy.appends.lock().unwrap().clone();
+        // Segment 1 receives two unsynced appends, then a zero-byte synced
+        // flush at seal time, and only then does segment 2 open: the sealed
+        // segment is durable before any later record can be.
+        let seg1 = wal_file_name("s", 1);
+        let seg2 = wal_file_name("s", 2);
+        let seal_at = appends
+            .iter()
+            .position(|(f, len, sync)| f == &seg1 && *len == 0 && *sync)
+            .expect("seal must fsync the sealed segment under EveryN");
+        let open2 = appends
+            .iter()
+            .position(|(f, _, _)| f == &seg2)
+            .expect("rotation opens segment 2");
+        assert!(seal_at < open2, "{appends:?}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn list_journal_columns_names_every_readable_journal() {
+        let d = tmp_dir("listcols");
+        let s = FsStorage::new();
+        assert!(list_journal_columns(&s, &d).unwrap().is_empty());
+        for col in ["beta", "alpha"] {
+            let wal = ColumnWal::open(s.clone(), &d, col, 1, WalConfig::default()).unwrap();
+            wal.append(0, 1).unwrap();
+        }
+        // A wreck whose header never landed names nothing: it was never
+        // acknowledged.
+        s.append(&d.join(wal_file_name("ghost", 1)), &WAL_MAGIC[..4], false)
+            .unwrap();
+        assert_eq!(list_journal_columns(&s, &d).unwrap(), vec!["alpha", "beta"]);
+        let _ = std::fs::remove_dir_all(&d);
     }
 
     #[test]

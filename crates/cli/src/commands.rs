@@ -110,7 +110,8 @@ USAGE:
                     [--updates U] [--every-k K | --drift F] [--workers W] \\
                     [--upgrade-in-background] [--upgrade-factor X] \\
                     [--deadline-ms MS] [--max-cells N] [--seed S] \\
-                    [--wal-dir DIR --catalog DIR [--fsync every|N|rotate]]
+                    [--wal-dir DIR --catalog DIR [--fsync every|N|rotate]
+                     [--discard-journal]]
   synoptic recover  --catalog DIR --wal-dir DIR [--commit]
   synoptic report   --catalog DIR
   synoptic fsck     --catalog DIR
@@ -135,7 +136,9 @@ DURABILITY: with --wal-dir every acknowledged update is appended to a
          `recover` replays journal records past the committed mark onto the
          snapshot (fsck + abandoned-generation pruning run first) and with
          --commit saves the result as a new generation and checkpoints the
-         journals (see docs/PERSISTENCE.md).
+         journals (see docs/PERSISTENCE.md). maintain refuses to start over
+         a journal holding unreplayed acknowledged records from an earlier
+         run unless --discard-journal explicitly drops them.
 REPAIR:  quarantines corrupt/stray files and re-points CURRENT at the
          newest valid generation; with --prune it also deletes abandoned
          never-committed generation files (fsck lists them; repair without
@@ -617,12 +620,27 @@ pub fn maintain(args: &[String]) -> Result<(), CliError> {
             }
             // Commit the input as the initial generation. The WAL mark is
             // set past any pre-existing journal so stale records from an
-            // earlier run never replay onto this fresh snapshot.
+            // earlier run never replay onto this fresh snapshot — which
+            // would silently discard acknowledged records a crashed earlier
+            // run left unreplayed, so that needs explicit consent.
             let store = DurableCatalog::open(catalog_dir, FsStorage::new())?;
             let mut catalog = match store.effective_manifest() {
                 Ok(_) => store.load()?,
                 Err(_) => Catalog::new(),
             };
+            let scan =
+                scan_column_journal(&FsStorage::new(), std::path::Path::new(wal_dir), "cli")?;
+            if scan.max_lsn > catalog.wal_mark("cli") && !f.switch("discard-journal") {
+                return Err(CliError::usage(format!(
+                    "journal in {wal_dir} holds acknowledged record(s) past the \
+                     committed mark {} (up to lsn {}) from an earlier run; replay \
+                     them first with `synoptic recover --catalog {catalog_dir} \
+                     --wal-dir {wal_dir} --commit`, or pass --discard-journal to \
+                     drop them",
+                    catalog.wal_mark("cli"),
+                    scan.max_lsn
+                )));
+            }
             let total: i64 = values.iter().sum();
             catalog.insert(
                 "cli",
@@ -632,8 +650,6 @@ pub fn maintain(args: &[String]) -> Result<(), CliError> {
                     synopsis: PersistentSynopsis::from_frequencies(&values),
                 },
             );
-            let scan =
-                scan_column_journal(&FsStorage::new(), std::path::Path::new(wal_dir), "cli")?;
             catalog.set_wal_mark("cli", scan.max_lsn);
             let generation = store.save(&catalog)?;
 
@@ -1073,6 +1089,50 @@ mod tests {
         let c2 = r2.column("cli").unwrap();
         assert_eq!(c2.replayed, 0);
         assert_eq!(c2.values, c1.values);
+        let _ = std::fs::remove_file(&col);
+        let _ = std::fs::remove_dir_all(&cat);
+        let _ = std::fs::remove_dir_all(&wal);
+    }
+
+    #[test]
+    fn maintain_refuses_an_unreplayed_journal_without_discard() {
+        let col = tmp("synoptic_cli_col8.txt");
+        let cat = tmp("synoptic_cli_store8");
+        let wal = tmp("synoptic_cli_wal8");
+        let _ = std::fs::remove_dir_all(&cat);
+        let _ = std::fs::remove_dir_all(&wal);
+        generate(&s(&["--n", "32", "--out", &col])).unwrap();
+        let base = [
+            "--input",
+            &col,
+            "--method",
+            "naive",
+            "--updates",
+            "50",
+            "--every-k",
+            "1000000",
+            "--workers",
+            "1",
+            "--wal-dir",
+            &wal,
+            "--catalog",
+            &cat,
+        ];
+        // First run leaves 50 acknowledged records in the journal (the
+        // rebuild threshold is never reached, so no checkpoint runs): a
+        // rerun would silently discard them by fast-forwarding the mark.
+        maintain(&s(&base)).unwrap();
+        let err = maintain(&s(&base)).unwrap_err();
+        assert_eq!(err.code, EXIT_USAGE);
+        assert!(err.msg.contains("synoptic recover"), "{}", err.msg);
+        assert!(err.msg.contains("--discard-journal"), "{}", err.msg);
+        // Replaying them via `recover --commit` clears the debt...
+        recover(&s(&["--catalog", &cat, "--wal-dir", &wal, "--commit"])).unwrap();
+        maintain(&s(&base)).unwrap();
+        // ...and --discard-journal is the explicit drop-them escape hatch.
+        let mut discard: Vec<&str> = base.to_vec();
+        discard.push("--discard-journal");
+        maintain(&s(&discard)).unwrap();
         let _ = std::fs::remove_file(&col);
         let _ = std::fs::remove_dir_all(&cat);
         let _ = std::fs::remove_dir_all(&wal);

@@ -35,11 +35,18 @@
 //! Columns whose snapshot is *not* an exact frequency vector are skipped
 //! when their journal is clean, and refused (corrupt journal) when it has
 //! unreplayed records — deltas cannot be applied exactly to a lossy
-//! synopsis, so acknowledging them would be a silent durability lie.
+//! synopsis, so acknowledging them would be a silent durability lie. Two
+//! more refusals close silent-loss holes: the replayable chain must
+//! *anchor* at the committed mark (first pending record at `mark + 1` —
+//! a gap means a lost newer generation's checkpoint truncated
+//! acknowledged deltas), and a journal whose column is absent from the
+//! committed catalog must hold no acknowledged records (they would have
+//! nothing to replay onto); record-free orphan journals are reported in
+//! [`RecoveryReport::orphaned`].
 
 use std::path::Path;
 
-use synoptic_catalog::wal::scan_column_journal;
+use synoptic_catalog::wal::{list_journal_columns, scan_column_journal};
 use synoptic_catalog::{
     Catalog, DurableCatalog, FsckReport, PersistentSynopsis, PruneReport, RepairReport, Storage,
 };
@@ -81,6 +88,13 @@ pub struct RecoveryReport {
     pub pruned: PruneReport,
     /// Every journaled column reconstructed, in catalog order.
     pub columns: Vec<RecoveredColumn>,
+    /// Columns that own journal segments under the WAL directory but are
+    /// absent from the committed catalog, and whose journals hold no
+    /// acknowledged records (only wrecked segments from torn creations).
+    /// An absent column whose journal *does* hold acknowledged records is
+    /// refused with [`SynopticError::CorruptJournal`] instead — those
+    /// records have nothing to replay onto and must not vanish silently.
+    pub orphaned: Vec<String>,
     /// The recovered catalog (committed snapshots + WAL marks), for
     /// callers that want to re-serve non-journaled columns too.
     pub catalog: Catalog,
@@ -113,6 +127,12 @@ impl RecoveryReport {
         if !self.pruned.abandoned_generations.is_empty() {
             out.push_str(&self.pruned.render());
             out.push('\n');
+        }
+        for name in &self.orphaned {
+            out.push_str(&format!(
+                "  {name}: journal present but column absent from the catalog \
+                 (no acknowledged records; wrecked segments only)\n"
+            ));
         }
         for c in &self.columns {
             out.push_str(&format!(
@@ -182,6 +202,28 @@ pub fn recover<S: Storage>(
                 });
             }
         };
+        // The replayable chain must anchor exactly at the committed mark.
+        // A gap can only mean records were truncated by a *newer*
+        // generation's checkpoint than the one recovered (e.g. repair fell
+        // back after the newer CURRENT was damaged): the deltas in
+        // (mark, first_lsn) were acknowledged, captured only by the lost
+        // snapshot, and are gone — replaying around the hole would serve
+        // silently wrong counts.
+        if let Some(first) = pending.first() {
+            if first.lsn != mark + 1 {
+                return Err(SynopticError::CorruptJournal {
+                    context: name.to_string(),
+                    detail: format!(
+                        "journal does not anchor at the committed mark: first \
+                         replayable record is lsn {} but mark {mark} requires \
+                         {}; acknowledged records in between were truncated \
+                         by a checkpoint of a lost newer generation",
+                        first.lsn,
+                        mark + 1
+                    ),
+                });
+            }
+        }
         // Every segment contributing replayed records must have been
         // written against the recovered generation or an older one.
         for seg in &scan.segments {
@@ -225,12 +267,39 @@ pub fn recover<S: Storage>(
             skipped_segments: scan.skipped.clone(),
         });
     }
+    // Journals for columns the committed catalog does not know. The one
+    // legitimate way these arise is a crash after a durable column's
+    // journal was created but before its first persist ever committed a
+    // catalog entry — if such a journal holds acknowledged records, they
+    // have no snapshot to replay onto and must be refused, not dropped.
+    let mut orphaned = Vec::new();
+    for column in list_journal_columns(store.storage(), wal_dir)? {
+        if catalog.get(&column).is_some() {
+            continue;
+        }
+        let scan = scan_column_journal(store.storage(), wal_dir, &column)?;
+        if !scan.records.is_empty() {
+            return Err(SynopticError::CorruptJournal {
+                context: column.clone(),
+                detail: format!(
+                    "{} acknowledged journal record(s) (lsn up to {}) for a \
+                     column absent from the committed catalog: the snapshot \
+                     that owned them never committed, so they cannot be \
+                     replayed — and must not be silently dropped",
+                    scan.records.len(),
+                    scan.max_lsn
+                ),
+            });
+        }
+        orphaned.push(column);
+    }
     Ok(RecoveryReport {
         generation,
         fsck,
         repaired,
         pruned,
         columns,
+        orphaned,
         catalog,
     })
 }
@@ -290,6 +359,108 @@ mod tests {
         assert_eq!(col.committed_mark, 3);
         assert_eq!(col.max_lsn, 5);
         assert!(!col.torn_tail);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn replay_refuses_a_journal_that_does_not_anchor_at_the_mark() {
+        let root = tempdir("anchor");
+        let store = DurableCatalog::open(root.join("cat"), FsStorage).unwrap();
+        let wal_dir = root.join("wal");
+        let storage: Arc<dyn Storage + Send + Sync> = Arc::new(FsStorage);
+        let cfg = WalConfig {
+            segment_bytes: 1, // one record per segment
+            ..WalConfig::default()
+        };
+        let wal = ColumnWal::open(Arc::clone(&storage), &wal_dir, "c", 0, cfg).unwrap();
+        for i in 1..=4u64 {
+            wal.append(i % 2, 1).unwrap();
+        }
+        // A newer generation's checkpoint truncated segments 1..=3, then
+        // that generation was lost and repair fell back to a manifest whose
+        // mark is only 1: lsn 2..=3 are gone for good.
+        wal.checkpoint(3, 2).unwrap();
+        commit_frequencies(&store, "c", &[0, 0], 1);
+        match recover(&store, &wal_dir) {
+            Err(SynopticError::CorruptJournal { detail, .. }) => {
+                assert!(detail.contains("anchor"), "{detail}");
+                assert!(detail.contains("lsn 4"), "{detail}");
+            }
+            other => panic!("expected CorruptJournal, got {other:?}"),
+        }
+        // With the mark at 3 the same journal anchors (4 = 3 + 1) and
+        // replays cleanly.
+        commit_frequencies(&store, "c", &[0, 0], 3);
+        let report = recover(&store, &wal_dir).unwrap();
+        assert_eq!(report.column("c").unwrap().replayed, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn journal_for_a_column_absent_from_the_catalog_is_refused() {
+        let root = tempdir("orphan");
+        let store = DurableCatalog::open(root.join("cat"), FsStorage).unwrap();
+        let wal_dir = root.join("wal");
+        let storage: Arc<dyn Storage + Send + Sync> = Arc::new(FsStorage);
+        // "ghost" acknowledged two updates, but its first durable persist
+        // never committed a catalog entry; only "c" is in the catalog.
+        let wal = ColumnWal::open(
+            Arc::clone(&storage),
+            &wal_dir,
+            "ghost",
+            0,
+            WalConfig::default(),
+        )
+        .unwrap();
+        wal.append(0, 1).unwrap();
+        wal.append(1, 2).unwrap();
+        commit_frequencies(&store, "c", &[0, 0], 0);
+        match recover(&store, &wal_dir) {
+            Err(SynopticError::CorruptJournal { context, detail }) => {
+                assert_eq!(context, "ghost");
+                assert!(
+                    detail.contains("absent from the committed catalog"),
+                    "{detail}"
+                );
+            }
+            other => panic!("expected CorruptJournal, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn record_free_orphan_journal_is_reported_not_refused() {
+        let root = tempdir("orphan-clean");
+        let store = DurableCatalog::open(root.join("cat"), FsStorage).unwrap();
+        let wal_dir = root.join("wal");
+        std::fs::create_dir_all(&wal_dir).unwrap();
+        // The crash hit the ghost journal's very first append: an
+        // unreadable header means nothing was ever acknowledged.
+        std::fs::write(wal_dir.join("ghost-1.wal"), b"SYN").unwrap();
+        commit_frequencies(&store, "c", &[0, 0], 0);
+        let report = recover(&store, &wal_dir).unwrap();
+        assert!(
+            report.orphaned.is_empty(),
+            "unreadable headers name no column"
+        );
+        // A readable header with zero whole records (torn first record,
+        // never acknowledged) IS nameable: reported as orphaned, not fatal.
+        let storage: Arc<dyn Storage + Send + Sync> = Arc::new(FsStorage);
+        let wal = ColumnWal::open(
+            Arc::clone(&storage),
+            &wal_dir,
+            "wisp",
+            0,
+            WalConfig::default(),
+        )
+        .unwrap();
+        wal.append(0, 1).unwrap();
+        let seg = wal_dir.join("wisp-1.wal");
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 5]).unwrap();
+        let report = recover(&store, &wal_dir).unwrap();
+        assert_eq!(report.orphaned, vec!["wisp".to_string()]);
+        assert!(report.render().contains("wisp"), "{}", report.render());
         let _ = std::fs::remove_dir_all(&root);
     }
 
