@@ -42,6 +42,15 @@ ${CAP} cargo test -q -p synoptic-stream --test recovery_sweep --offline
 ${CAP} cargo test -q -p synoptic-stream --test maintained_faults --offline
 ${CAP} cargo test -q -p synoptic-cli --test store_cli --offline
 
+echo "==> replication suite: wire + transports, faulty-link convergence, promotion sweep, TCP e2e (capped at ${TEST_CAP}s)"
+${CAP} cargo test -q -p synoptic-repl --offline
+${CAP} cargo test -q -p synoptic-stream --test replication --offline
+${CAP} cargo test -q -p synoptic-stream --test promotion_sweep --offline
+${CAP} cargo test -q -p synoptic-cli --test replication_cli --offline
+
+echo "==> replication bench: ship+replay throughput and follower lag (capped at ${TEST_CAP}s)"
+${CAP} cargo run -q --release --offline --example replication_bench
+
 echo "==> full workspace tests (offline, capped at ${TEST_CAP}s)"
 ${CAP} cargo test -q --workspace --offline
 

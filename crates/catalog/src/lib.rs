@@ -51,5 +51,7 @@ pub use persist::{LoadedSynopsis, PersistentSynopsis};
 pub use storage::{Fault, FaultyStorage, FsStorage, Storage};
 pub use store::{DurableCatalog, FsckReport, PruneReport, RepairReport};
 pub use wal::{
-    scan_column_journal, ColumnWal, FsyncCadence, JournalScan, SegmentMeta, WalConfig, WalRecord,
+    decode_segment, list_sealed_segments, restamp_segment_generation, scan_column_journal,
+    CheckpointReport, ColumnWal, DecodedSegment, FsyncCadence, JournalScan, SegmentFile,
+    SegmentMeta, WalConfig, WalRecord,
 };

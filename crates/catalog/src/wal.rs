@@ -45,6 +45,7 @@
 //! [`SynopticError::CorruptJournal`]: the journal cannot be trusted and
 //! recovery must say so rather than guess.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, PoisonError};
 
@@ -90,6 +91,13 @@ pub struct WalConfig {
     pub segment_bytes: usize,
     /// Fsync cadence for appends.
     pub fsync: FsyncCadence,
+    /// Upper bound on checkpoint-covered segments retained *solely* for
+    /// lagging replication followers (see
+    /// [`ColumnWal::set_retention_hold`]). When a checkpoint would hold
+    /// back more covered segments than this, the most-lagging followers
+    /// are evicted — reported in the [`CheckpointReport`], never silently.
+    /// `None` retains without bound.
+    pub retain_cap_segments: Option<usize>,
 }
 
 impl Default for WalConfig {
@@ -97,6 +105,7 @@ impl Default for WalConfig {
         Self {
             segment_bytes: 64 * 1024,
             fsync: FsyncCadence::EveryRecord,
+            retain_cap_segments: None,
         }
     }
 }
@@ -144,6 +153,60 @@ pub struct JournalScan {
     pub skipped: Vec<String>,
     /// Highest valid LSN seen (`0` when the journal is empty).
     pub max_lsn: u64,
+}
+
+/// One segment file found by [`list_sealed_segments`]: a header-validated
+/// on-disk segment, the unit replication ships.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentFile {
+    /// File name relative to the journal directory.
+    pub file: String,
+    /// Sequence number parsed from the file name.
+    pub seq: u64,
+    /// Column the header declares ownership by.
+    pub column: String,
+    /// Catalog generation committed when the segment was opened.
+    pub base_generation: u64,
+    /// LSN of the segment's first record.
+    pub first_lsn: u64,
+}
+
+/// One fully decoded segment, as [`decode_segment`] returns it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedSegment {
+    /// Total encoded header length in bytes. `header_len +
+    /// records.len() * WAL_RECORD_LEN` is the validated prefix of the
+    /// segment bytes — what a shipper sends when the tail is torn.
+    pub header_len: usize,
+    /// Column the header declares ownership by.
+    pub column: String,
+    /// Catalog generation committed when the segment was opened.
+    pub base_generation: u64,
+    /// LSN of the segment's first record.
+    pub first_lsn: u64,
+    /// LSN of the segment's last record (`first_lsn - 1` when empty).
+    pub last_lsn: u64,
+    /// All valid records, consecutive from `first_lsn`.
+    pub records: Vec<WalRecord>,
+    /// Whether trailing bytes short of one whole record were truncated
+    /// off. A sealed, fully shipped segment is never torn; receivers treat
+    /// a torn decode as an incomplete transfer, not corruption.
+    pub torn_tail: bool,
+}
+
+/// What one [`ColumnWal::checkpoint_report`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Segment files removed.
+    pub removed: usize,
+    /// Covered segments kept back only because a registered follower has
+    /// not acknowledged them yet.
+    pub retained_for_followers: usize,
+    /// Followers whose retention hold was evicted by
+    /// [`WalConfig::retain_cap_segments`], with the LSN each had
+    /// acknowledged when evicted. An evicted follower must bootstrap from
+    /// a snapshot; it can no longer catch up from this journal alone.
+    pub evicted: Vec<(String, u64)>,
 }
 
 /// The file name of segment `seq` of `column`'s journal.
@@ -423,18 +486,18 @@ pub fn scan_column_journal<S: Storage>(
     Ok(scan)
 }
 
-/// Distinct column names owning at least one segment with a readable
-/// header under `dir`, sorted. Recovery uses this to find journals whose
-/// column is *absent* from the committed catalog (e.g. a column whose
-/// first durable persist never committed) — silently skipping them would
-/// drop acknowledged records. Segments whose header never became readable
-/// are ignored here: the header goes out in the same append as the first
-/// record, so an unreadable header means nothing in that segment was ever
-/// acknowledged as durable.
-pub fn list_journal_columns<S: Storage>(storage: &S, dir: &Path) -> Result<Vec<String>> {
-    let mut columns: Vec<String> = Vec::new();
+/// Enumerates every segment file with a readable, CRC-valid header under
+/// `dir`, ordered by `(column, first_lsn)` — the one directory walk both
+/// replication shipping and fsck/recovery share. Segments whose header
+/// never became readable are skipped here: the header goes out in the same
+/// append as the first record, so an unreadable header means nothing in
+/// that segment was ever acknowledged as durable (and there is nothing to
+/// ship). A CRC-valid header from a newer format version still errors —
+/// its contents are intact, just not ours to interpret.
+pub fn list_sealed_segments<S: Storage>(storage: &S, dir: &Path) -> Result<Vec<SegmentFile>> {
+    let mut segments: Vec<SegmentFile> = Vec::new();
     if !storage.exists(dir) {
-        return Ok(columns);
+        return Ok(segments);
     }
     let suffix = format!(".{WAL_EXT}");
     for name in storage.list(dir)? {
@@ -444,16 +507,83 @@ pub fn list_journal_columns<S: Storage>(storage: &S, dir: &Path) -> Result<Vec<S
         let bytes = storage.read(&dir.join(&name))?;
         match parse_header(&bytes, &name) {
             Ok(h) => {
-                if !columns.contains(&h.column) {
-                    columns.push(h.column);
-                }
+                let prefix = format!("{}-", sanitize_column(&h.column));
+                let Some(seq) = parse_wal_seq(&name, &prefix) else {
+                    // A readable header inside a file whose name does not
+                    // match its own column: a sanitized-name collision.
+                    // The per-column scan reports it precisely; the
+                    // enumeration just leaves it out.
+                    continue;
+                };
+                segments.push(SegmentFile {
+                    file: name,
+                    seq,
+                    column: h.column,
+                    base_generation: h.base_generation,
+                    first_lsn: h.first_lsn,
+                });
             }
             Err(e @ SynopticError::UnsupportedVersion { .. }) => return Err(e),
             Err(_) => {}
         }
     }
-    columns.sort();
+    segments.sort_by(|a, b| (&a.column, a.first_lsn, a.seq).cmp(&(&b.column, b.first_lsn, b.seq)));
+    Ok(segments)
+}
+
+/// Distinct column names owning at least one segment with a readable
+/// header under `dir`, sorted. Recovery uses this to find journals whose
+/// column is *absent* from the committed catalog (e.g. a column whose
+/// first durable persist never committed) — silently skipping them would
+/// drop acknowledged records. Built on [`list_sealed_segments`], the same
+/// enumeration the replication shipper walks.
+pub fn list_journal_columns<S: Storage>(storage: &S, dir: &Path) -> Result<Vec<String>> {
+    let mut columns: Vec<String> = Vec::new();
+    for seg in list_sealed_segments(storage, dir)? {
+        if columns.last() != Some(&seg.column) {
+            columns.push(seg.column);
+        }
+    }
     Ok(columns)
+}
+
+/// Decodes one whole segment file as shipped over a replication transport:
+/// header plus record stream, CRC- and LSN-chain-validated exactly like
+/// [`scan_column_journal`] validates it on disk. Trailing bytes short of a
+/// whole record are truncated off and flagged (`torn_tail`) rather than
+/// refused — over a transport that means an incomplete transfer the sender
+/// will retry, and on disk it means a torn final append.
+pub fn decode_segment(bytes: &[u8], file: &str) -> Result<DecodedSegment> {
+    let header = parse_header(bytes, file)?;
+    let (records, torn) = parse_records(&bytes[header.len..], header.first_lsn, file)?;
+    let last_lsn = header.first_lsn + records.len() as u64 - 1;
+    Ok(DecodedSegment {
+        header_len: header.len,
+        column: header.column,
+        base_generation: header.base_generation,
+        first_lsn: header.first_lsn,
+        last_lsn,
+        records,
+        torn_tail: torn.is_some(),
+    })
+}
+
+/// Rewrites the `base_generation` a segment's header declares, in place,
+/// and recomputes the header CRC. A follower applies this before
+/// persisting a shipped segment locally: the leader stamped its own
+/// committed generation, but relative to the *follower's* catalog the
+/// segment extends the follower's committed snapshot — recovery's
+/// generation check must see the local generation or promotion would
+/// refuse a perfectly consistent journal. Sound because `base_generation`
+/// is an annotation relative to the local snapshot, not part of the record
+/// stream, and the anchor-at-mark check still guarantees completeness.
+pub fn restamp_segment_generation(bytes: &mut [u8], file: &str, generation: u64) -> Result<()> {
+    let header = parse_header(bytes, file)?;
+    bytes[12..20].copy_from_slice(&generation.to_le_bytes());
+    let crc_at = header.len - 4;
+    let crc = crc32(&bytes[..crc_at]);
+    bytes[crc_at..header.len].copy_from_slice(&crc.to_le_bytes());
+    Ok(())
 }
 
 struct ActiveSegment {
@@ -477,6 +607,13 @@ struct WalState {
     since_sync: u64,
 }
 
+/// Called after a segment seals durably, with its path and last LSN.
+///
+/// Invoked while the journal's internal lock is held: the hook must only
+/// enqueue (notify a shipper) — calling back into the same `ColumnWal`
+/// deadlocks.
+pub type SealHook = Box<dyn Fn(&Path, u64) + Send + Sync>;
+
 /// The append side of one column's journal.
 ///
 /// Thread-safe behind an internal mutex: the ingest path appends while a
@@ -489,6 +626,9 @@ pub struct ColumnWal<S: Storage> {
     column: String,
     config: WalConfig,
     state: Mutex<WalState>,
+    /// Per-follower acknowledged LSNs holding back checkpoint truncation.
+    holds: Mutex<BTreeMap<String, u64>>,
+    seal_hook: Mutex<Option<SealHook>>,
 }
 
 impl<S: Storage> ColumnWal<S> {
@@ -552,6 +692,8 @@ impl<S: Storage> ColumnWal<S> {
                 sealed,
                 since_sync: 0,
             }),
+            holds: Mutex::new(BTreeMap::new()),
+            seal_hook: Mutex::new(None),
         })
     }
 
@@ -587,11 +729,70 @@ impl<S: Storage> ColumnWal<S> {
             }
             st.since_sync = 0;
         }
+        let last_lsn = st.next_lsn - 1;
+        if let Some(hook) = self
+            .seal_hook
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
+            hook(&a.path, last_lsn);
+        }
         st.sealed.push(SealedSegment {
             path: a.path,
-            last_lsn: st.next_lsn - 1,
+            last_lsn,
         });
         Ok(())
+    }
+
+    /// Seals the active segment now, without waiting for rotation: after
+    /// this returns `Ok`, every acknowledged record is in a durable sealed
+    /// segment — the unit replication ships. A no-op when nothing is
+    /// active. The next append opens a fresh segment.
+    pub fn seal(&self) -> Result<()> {
+        let mut st = self.lock();
+        self.seal_active(&mut st)
+    }
+
+    /// Installs (or clears) the hook called whenever a segment seals
+    /// durably — the leader-side replication shipper's wake-up. See
+    /// [`SealHook`] for the reentrancy contract.
+    pub fn set_seal_hook(&self, hook: Option<SealHook>) {
+        *self
+            .seal_hook
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = hook;
+    }
+
+    /// Registers (or advances) follower `name`'s acknowledged LSN.
+    /// Checkpoints retain every segment holding records above the smallest
+    /// registered hold, so a lagging follower can still catch up from this
+    /// journal — bounded by [`WalConfig::retain_cap_segments`].
+    pub fn set_retention_hold(&self, name: &str, acked_lsn: u64) {
+        self.holds
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_string(), acked_lsn);
+    }
+
+    /// Drops follower `name`'s retention hold (it deregistered or was
+    /// promoted). Returns whether a hold existed.
+    pub fn remove_retention_hold(&self, name: &str) -> bool {
+        self.holds
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(name)
+            .is_some()
+    }
+
+    /// Currently registered `(follower, acked_lsn)` holds, sorted by name.
+    pub fn retention_holds(&self) -> Vec<(String, u64)> {
+        self.holds
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(n, l)| (n.clone(), *l))
+            .collect()
     }
 
     /// Journals one update and returns its LSN. The record is on its way
@@ -653,42 +854,100 @@ impl<S: Storage> ColumnWal<S> {
     /// headers. Returns the number of files removed. A failed delete keeps
     /// the segment queued for the next checkpoint — stale segments are
     /// harmless, replay skips records at or below the committed mark.
+    ///
+    /// Shorthand for [`Self::checkpoint_report`] when follower retention
+    /// detail is not needed.
     pub fn checkpoint(&self, snapshot_lsn: u64, generation: u64) -> Result<usize> {
+        self.checkpoint_report(snapshot_lsn, generation)
+            .map(|r| r.removed)
+    }
+
+    /// [`Self::checkpoint`], reporting replication retention decisions.
+    ///
+    /// Truncation honours follower holds ([`Self::set_retention_hold`]):
+    /// a segment is deleted only when its records are covered by the
+    /// snapshot *and* acknowledged by every registered follower. Covered
+    /// segments kept back for followers count as `retained_for_followers`.
+    /// When [`WalConfig::retain_cap_segments`] caps that backlog, the
+    /// most-lagging followers are evicted (their holds dropped, names and
+    /// acked LSNs reported in `evicted`) until the backlog fits — an
+    /// evicted follower must re-bootstrap from a snapshot.
+    pub fn checkpoint_report(
+        &self,
+        snapshot_lsn: u64,
+        generation: u64,
+    ) -> Result<CheckpointReport> {
+        let mut holds = self.holds.lock().unwrap_or_else(PoisonError::into_inner);
         let mut st = self.lock();
         st.generation = generation;
-        let mut removed = 0usize;
+        let mut report = CheckpointReport::default();
+        let floor_of = |holds: &BTreeMap<String, u64>| -> u64 {
+            holds
+                .values()
+                .copied()
+                .min()
+                .map_or(snapshot_lsn, |h| h.min(snapshot_lsn))
+        };
+        if let Some(cap) = self.config.retain_cap_segments {
+            loop {
+                let floor = floor_of(&holds);
+                let held = st
+                    .sealed
+                    .iter()
+                    .filter(|s| s.last_lsn <= snapshot_lsn && s.last_lsn > floor)
+                    .count();
+                if held <= cap || holds.is_empty() {
+                    break;
+                }
+                // Evict the most-lagging follower (ties broken by name,
+                // the BTreeMap's iteration order — deterministic).
+                let (name, lsn) = holds
+                    .iter()
+                    .min_by_key(|(_, l)| **l)
+                    .map(|(n, l)| (n.clone(), *l))
+                    .expect("holds is non-empty");
+                holds.remove(&name);
+                report.evicted.push((name, lsn));
+            }
+        }
+        let floor = floor_of(&holds);
+        drop(holds);
         let mut failure = None;
         let sealed = std::mem::take(&mut st.sealed);
         let mut keep = Vec::new();
         for s in sealed {
-            if failure.is_none() && s.last_lsn <= snapshot_lsn {
+            if failure.is_none() && s.last_lsn <= floor {
                 match self.storage.remove(&s.path) {
-                    Ok(()) => removed += 1,
+                    Ok(()) => report.removed += 1,
                     Err(e) => {
                         failure = Some(e);
                         keep.push(s);
                     }
                 }
             } else {
+                if s.last_lsn > floor && s.last_lsn <= snapshot_lsn {
+                    report.retained_for_followers += 1;
+                }
                 keep.push(s);
             }
         }
         st.sealed = keep;
-        // The active segment too, when everything it holds is covered; the
-        // next append then opens a fresh segment at the new generation.
-        if failure.is_none() && st.active.is_some() && st.next_lsn - 1 <= snapshot_lsn {
+        // The active segment too, when everything it holds is covered and
+        // acknowledged; the next append then opens a fresh segment at the
+        // new generation.
+        if failure.is_none() && st.active.is_some() && st.next_lsn - 1 <= floor {
             let path = st.active.as_ref().expect("checked is_some").path.clone();
             match self.storage.remove(&path) {
                 Ok(()) => {
                     st.active = None;
-                    removed += 1;
+                    report.removed += 1;
                 }
                 Err(e) => failure = Some(e),
             }
         }
         match failure {
             Some(e) => Err(e),
-            None => Ok(removed),
+            None => Ok(report),
         }
     }
 
@@ -757,7 +1016,7 @@ mod tests {
         let d = tmp_dir("rotate");
         let cfg = WalConfig {
             segment_bytes: 1, // over budget after every record
-            fsync: FsyncCadence::EveryRecord,
+            ..WalConfig::default()
         };
         let wal = ColumnWal::open(FsStorage::new(), &d, "c", 1, cfg).unwrap();
         for i in 0..5u64 {
@@ -953,6 +1212,7 @@ mod tests {
             let cfg = WalConfig {
                 segment_bytes: 100,
                 fsync,
+                ..WalConfig::default()
             };
             let wal = ColumnWal::open(FsStorage::new(), &d, "f", 1, cfg).unwrap();
             for i in 0..7u64 {
@@ -1022,6 +1282,7 @@ mod tests {
             // its own, so both are unsynced when the segment seals.
             segment_bytes: 2 * WAL_RECORD_LEN,
             fsync: FsyncCadence::EveryN(100),
+            ..WalConfig::default()
         };
         let wal = ColumnWal::open(spy.clone(), &d, "s", 1, cfg).unwrap();
         for i in 0..3u64 {
@@ -1085,6 +1346,176 @@ mod tests {
             ),
             "{err:?}"
         );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn list_sealed_segments_orders_by_column_then_first_lsn() {
+        let d = tmp_dir("listsegs");
+        let s = FsStorage::new();
+        let cfg = WalConfig {
+            segment_bytes: 1,
+            ..WalConfig::default()
+        };
+        for col in ["b", "a"] {
+            let wal = ColumnWal::open(s.clone(), &d, col, 1, cfg).unwrap();
+            for i in 0..3u64 {
+                wal.append(i, 1).unwrap();
+            }
+        }
+        // A wreck whose header never landed is not a shippable segment.
+        s.append(&d.join(wal_file_name("a", 9)), &WAL_MAGIC[..5], false)
+            .unwrap();
+        let segs = list_sealed_segments(&s, &d).unwrap();
+        assert_eq!(segs.len(), 6);
+        let keys: Vec<(&str, u64)> = segs
+            .iter()
+            .map(|g| (g.column.as_str(), g.first_lsn))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![("a", 1), ("a", 2), ("a", 3), ("b", 1), ("b", 2), ("b", 3)]
+        );
+        // The column walk is the same enumeration.
+        assert_eq!(list_journal_columns(&s, &d).unwrap(), vec!["a", "b"]);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn decode_segment_round_trips_and_flags_torn_tails() {
+        let d = tmp_dir("decode");
+        let s = FsStorage::new();
+        let wal = ColumnWal::open(s.clone(), &d, "price", 7, WalConfig::default()).unwrap();
+        wal.append(3, -2).unwrap();
+        wal.append(4, 9).unwrap();
+        let bytes = s.read(&d.join(wal_file_name("price", 1))).unwrap();
+        let seg = decode_segment(&bytes, "price-1.wal").unwrap();
+        assert_eq!(seg.column, "price");
+        assert_eq!(seg.base_generation, 7);
+        assert_eq!((seg.first_lsn, seg.last_lsn), (1, 2));
+        assert_eq!(seg.records.len(), 2);
+        assert!(!seg.torn_tail);
+        // A transfer cut mid-record decodes to the same prefix, flagged.
+        let cut = &bytes[..bytes.len() - 5];
+        let torn = decode_segment(cut, "price-1.wal").unwrap();
+        assert_eq!(torn.records.len(), 1);
+        assert!(torn.torn_tail);
+        // A flipped record byte is corruption, not truncation.
+        let mut flipped = bytes.clone();
+        let at = flipped.len() - WAL_RECORD_LEN - 3;
+        flipped[at] ^= 0x40;
+        assert!(matches!(
+            decode_segment(&flipped, "price-1.wal"),
+            Err(SynopticError::CorruptJournal { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn restamp_segment_generation_rewrites_header_in_place() {
+        let d = tmp_dir("restamp");
+        let s = FsStorage::new();
+        let wal = ColumnWal::open(s.clone(), &d, "g", 12, WalConfig::default()).unwrap();
+        wal.append(0, 1).unwrap();
+        let mut bytes = s.read(&d.join(wal_file_name("g", 1))).unwrap();
+        restamp_segment_generation(&mut bytes, "g-1.wal", 3).unwrap();
+        let seg = decode_segment(&bytes, "g-1.wal").unwrap();
+        assert_eq!(seg.base_generation, 3);
+        assert_eq!(seg.records.len(), 1, "records untouched");
+        // Corrupt headers refuse the restamp rather than writing blind.
+        let mut junk = vec![0u8; 40];
+        assert!(restamp_segment_generation(&mut junk, "x", 1).is_err());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn explicit_seal_fires_hook_and_rotates() {
+        let d = tmp_dir("sealhook");
+        let s = FsStorage::new();
+        let sealed: Arc<Mutex<Vec<(String, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&sealed);
+        let cfg = WalConfig {
+            fsync: FsyncCadence::OnRotate,
+            ..WalConfig::default()
+        };
+        let wal = ColumnWal::open(s.clone(), &d, "s", 1, cfg).unwrap();
+        wal.set_seal_hook(Some(Box::new(move |path, last_lsn| {
+            log.lock().unwrap().push((
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                last_lsn,
+            ));
+        })));
+        wal.seal().unwrap(); // nothing active: no-op, no hook
+        wal.append(0, 1).unwrap();
+        wal.append(1, 1).unwrap();
+        wal.seal().unwrap();
+        assert_eq!(*sealed.lock().unwrap(), vec![(wal_file_name("s", 1), 2)]);
+        // The next append opens a fresh segment chained at LSN 3.
+        wal.append(2, 1).unwrap();
+        let scan = scan_column_journal(&s, &d, "s").unwrap();
+        assert_eq!(scan.segments.len(), 2);
+        assert_eq!(scan.segments[1].first_lsn, 3);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn retention_holds_keep_covered_segments_until_acked() {
+        let d = tmp_dir("retain");
+        let s = FsStorage::new();
+        let cfg = WalConfig {
+            segment_bytes: 1,
+            ..WalConfig::default()
+        };
+        let wal = ColumnWal::open(s.clone(), &d, "r", 1, cfg).unwrap();
+        for i in 1..=4u64 {
+            wal.append(i, 1).unwrap();
+        }
+        wal.set_retention_hold("f1", 1);
+        // Snapshot covers 1..=3, but f1 only acked 1: segments 2 and 3
+        // stay for the follower.
+        let rep = wal.checkpoint_report(3, 2).unwrap();
+        assert_eq!(rep.removed, 1);
+        assert_eq!(rep.retained_for_followers, 2);
+        assert!(rep.evicted.is_empty());
+        let scan = scan_column_journal(&s, &d, "r").unwrap();
+        assert_eq!(scan.records.first().unwrap().lsn, 2);
+        // The follower catches up: the hold advances and the retained
+        // segments go.
+        wal.set_retention_hold("f1", 3);
+        let rep = wal.checkpoint_report(3, 2).unwrap();
+        assert_eq!(rep.removed, 2);
+        assert_eq!(rep.retained_for_followers, 0);
+        assert!(wal.remove_retention_hold("f1"));
+        assert!(!wal.remove_retention_hold("f1"));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn retention_cap_evicts_most_lagging_follower_with_report() {
+        let d = tmp_dir("retaincap");
+        let s = FsStorage::new();
+        let cfg = WalConfig {
+            segment_bytes: 1,
+            retain_cap_segments: Some(2),
+            ..WalConfig::default()
+        };
+        let wal = ColumnWal::open(s.clone(), &d, "e", 1, cfg).unwrap();
+        for i in 1..=6u64 {
+            wal.append(i, 1).unwrap();
+        }
+        wal.set_retention_hold("slow", 0);
+        wal.set_retention_hold("near", 4);
+        // Snapshot covers 1..=6 (five sealed segments plus the active
+        // one). "slow" would hold back all five sealed covered segments —
+        // over the cap of 2 — so it is evicted, loudly. "near" holds back
+        // only the sealed segment with LSN 5, which fits.
+        let rep = wal.checkpoint_report(6, 2).unwrap();
+        assert_eq!(rep.evicted, vec![("slow".to_string(), 0)]);
+        assert_eq!(rep.retained_for_followers, 1);
+        assert_eq!(rep.removed, 4);
+        assert_eq!(wal.retention_holds(), vec![("near".to_string(), 4)]);
+        let scan = scan_column_journal(&s, &d, "e").unwrap();
+        assert_eq!(scan.records.first().unwrap().lsn, 5);
         let _ = std::fs::remove_dir_all(&d);
     }
 

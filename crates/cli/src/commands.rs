@@ -33,6 +33,10 @@ pub const EXIT_CANCELLED: u8 = 6;
 /// damage beyond the tolerated torn tail, or a journal written against a
 /// newer generation than the recovered snapshot.
 pub const EXIT_UNRECOVERABLE: u8 = 7;
+/// Exit code for replication divergence: a shipped segment stream that a
+/// follower refused (and retries could not repair), or a replica read
+/// refused because it trails the leader beyond `--max-lag`.
+pub const EXIT_REPLICATION: u8 = 8;
 
 /// A CLI failure carrying the process exit code it maps to. The code
 /// contract is part of the CLI's public interface (see `USAGE` and
@@ -74,6 +78,8 @@ impl From<SynopticError> for CliError {
                 SynopticError::CorruptSynopsis { .. } => EXIT_CORRUPT,
                 SynopticError::CorruptJournal { .. }
                 | SynopticError::WalGenerationMismatch { .. } => EXIT_UNRECOVERABLE,
+                SynopticError::ReplicationDivergence { .. }
+                | SynopticError::ReplicationLagExceeded { .. } => EXIT_REPLICATION,
                 _ => EXIT_FAILURE,
             };
         Self {
@@ -111,7 +117,11 @@ USAGE:
                     [--upgrade-in-background] [--upgrade-factor X] \\
                     [--deadline-ms MS] [--max-cells N] [--seed S] \\
                     [--wal-dir DIR --catalog DIR [--fsync every|N|rotate]
-                     [--discard-journal]]
+                     [--segment-bytes B] [--discard-journal]
+                     [--replicate-to HOST:PORT]]
+  synoptic ship     --wal-dir DIR --to HOST:PORT [--column NAME]
+  synoptic follow   --catalog DIR --wal-dir DIR --listen HOST:PORT \\
+                    [--max-lag N] [--sessions K] [--port-file FILE]
   synoptic recover  --catalog DIR --wal-dir DIR [--commit]
   synoptic report   --catalog DIR
   synoptic fsck     --catalog DIR
@@ -139,6 +149,19 @@ DURABILITY: with --wal-dir every acknowledged update is appended to a
          journals (see docs/PERSISTENCE.md). maintain refuses to start over
          a journal holding unreplayed acknowledged records from an earlier
          run unless --discard-journal explicitly drops them.
+REPLICATION: `follow` binds a listener, accepts --sessions leader
+         connections (default 1), verifies every shipped segment (frame
+         CRC, record CRCs, consecutive-LSN anchoring at its applied mark),
+         journals it locally, and applies it to a live read-only replica;
+         a segment that does not validate is refused with the reason, never
+         applied in part. `ship` streams a journal's sealed segments to a
+         follower and retries until the follower's cumulative ack covers
+         the journal; `maintain --replicate-to` does the same continuously,
+         shipping on every segment seal while retention holds keep
+         checkpoint truncation from deleting unacknowledged segments.
+         Replica reads staler than --max-lag records are refused with the
+         observed lag (exit 8). Promotion is `recover` on the follower's
+         own catalog + journal (see docs/REPLICATION.md).
 REPAIR:  quarantines corrupt/stray files and re-points CURRENT at the
          newest valid generation; with --prune it also deletes abandoned
          never-committed generation files (fsck lists them; repair without
@@ -153,7 +176,8 @@ BUDGETS: --deadline-ms / --max-cells bound the build (wall clock / DP cells).
 EXIT CODES:
   0 success    1 failure    2 usage error    4 corrupt synopsis/store
   5 deadline or cell budget exceeded         6 build cancelled
-  7 unrecoverable write-ahead journal (recover)";
+  7 unrecoverable write-ahead journal (recover)
+  8 replication divergence or stale replica read refused";
 
 /// Opens the store at `dir`, creating it only when `create` is set —
 /// read-only commands must not invent an empty store at a mistyped path.
@@ -618,6 +642,9 @@ pub fn maintain(args: &[String]) -> Result<(), CliError> {
             if let Some(s) = f.optional("fsync") {
                 durability = durability.with_fsync(parse_fsync(s)?);
             }
+            if let Some(bytes) = f.parsed_opt("segment-bytes").usage()? {
+                durability = durability.with_segment_bytes(bytes);
+            }
             // Commit the input as the initial generation. The WAL mark is
             // set past any pre-existing journal so stale records from an
             // earlier run never replay onto this fresh snapshot — which
@@ -688,6 +715,21 @@ pub fn maintain(args: &[String]) -> Result<(), CliError> {
         println!("initial build: {outcome}");
     }
 
+    // Continuous replication: a shipping thread streams every sealed
+    // segment to the follower, while a retention hold keeps checkpoint
+    // truncation from deleting anything the follower has not acked.
+    let replication = match f.optional("replicate-to") {
+        None => None,
+        Some(addr) => {
+            let Some(wal_dir) = &wal_dir else {
+                return Err(CliError::usage(
+                    "--replicate-to requires --wal-dir (only journaled segments ship)",
+                ));
+            };
+            Some(start_replication(&col, addr, wal_dir)?)
+        }
+    };
+
     // A deterministic xorshift update stream: positions over the domain,
     // deltas in ±[1, 8].
     let mut state = seed | 1;
@@ -736,8 +778,185 @@ pub fn maintain(args: &[String]) -> Result<(), CliError> {
     if let Some(err) = col.last_error() {
         eprintln!("warning: last maintenance error: {err}");
     }
+    if let Some(link) = replication {
+        let (acked, rounds) = link.finish(&col)?;
+        println!(
+            "replication: follower acked lsn {acked} (of mark {}) over {rounds} ship round(s)",
+            col.wal_mark()
+        );
+    }
     println!("full-range estimate {est:.2} vs exact {exact} after the stream");
     pool.shutdown();
+    Ok(())
+}
+
+/// Name under which `maintain --replicate-to` registers its follower's
+/// retention hold.
+const REPLICA_HOLD: &str = "replica";
+
+/// A live leader→follower shipping link: a seal hook feeding a channel,
+/// drained by a thread that ships and advances the retention hold.
+struct ReplicationLink {
+    tx: std::sync::mpsc::Sender<u64>,
+    thread: std::thread::JoinHandle<Result<(u64, u64), SynopticError>>,
+}
+
+/// Connects to the follower, registers the retention hold, and installs
+/// the seal hook that triggers a ship round on every segment rotation.
+/// Fails fast (before any ingest) when the follower is unreachable.
+fn start_replication(
+    col: &synoptic_stream::ColumnHandle,
+    addr: &str,
+    wal_dir: &str,
+) -> Result<ReplicationLink, CliError> {
+    use synoptic_repl::{Shipper, TcpTransport};
+
+    let journal = col.journal().expect("--replicate-to requires a journal");
+    let mut transport = TcpTransport::connect(addr)?;
+    journal.set_retention_hold(REPLICA_HOLD, 0);
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    let hook_tx = tx.clone();
+    // The hook runs under the journal lock: enqueue only, ship elsewhere.
+    journal.set_seal_hook(Some(Box::new(move |_path, last_lsn| {
+        let _ = hook_tx.send(last_lsn);
+    })));
+    let handle = col.clone();
+    let shipper = Shipper::new(FsStorage::new(), wal_dir, "cli");
+    let thread = std::thread::spawn(move || -> Result<(u64, u64), SynopticError> {
+        let mut acked = 0u64;
+        let mut rounds = 0u64;
+        while let Ok(mark) = rx.recv() {
+            // Coalesce a burst of seals into one ship round.
+            let mut mark = mark;
+            while let Ok(later) = rx.try_recv() {
+                mark = mark.max(later);
+            }
+            let report = shipper.ship(&mut transport, mark)?;
+            acked = acked.max(report.acked_lsn);
+            rounds += 1;
+            // Checkpoints may now truncate everything the follower holds.
+            if let Some(journal) = handle.journal() {
+                journal.set_retention_hold(REPLICA_HOLD, acked);
+            }
+        }
+        Ok((acked, rounds))
+    });
+    Ok(ReplicationLink { tx, thread })
+}
+
+impl ReplicationLink {
+    /// Seals the journal's active tail, ships it as the final round, and
+    /// joins the shipping thread. A divergence surfaces here with its
+    /// dedicated exit code.
+    fn finish(self, col: &synoptic_stream::ColumnHandle) -> Result<(u64, u64), CliError> {
+        if let Some(journal) = col.journal() {
+            journal.set_seal_hook(None);
+            journal.seal()?;
+            let _ = self.tx.send(journal.pending_mark());
+        }
+        drop(self.tx);
+        match self.thread.join() {
+            Ok(result) => Ok(result?),
+            Err(_) => Err(CliError::from("replication thread panicked".to_string())),
+        }
+    }
+}
+
+/// `ship`: stream a journal's segments to a listening follower and block
+/// until the follower's cumulative ack covers the journal's last record.
+pub fn ship(args: &[String]) -> Result<(), CliError> {
+    use synoptic_catalog::wal::scan_column_journal;
+    use synoptic_repl::{Shipper, TcpTransport};
+
+    let f = Flags::parse(args).usage()?;
+    let wal_dir = f.required("wal-dir").usage()?;
+    let to = f.required("to").usage()?;
+    let column = f.optional("column").unwrap_or("cli");
+    if !std::path::Path::new(wal_dir).is_dir() {
+        return Err(CliError::usage(format!(
+            "journal directory '{wal_dir}' does not exist"
+        )));
+    }
+    let scan = scan_column_journal(&FsStorage::new(), std::path::Path::new(wal_dir), column)?;
+    let mut transport = TcpTransport::connect(to)?;
+    let shipper = Shipper::new(FsStorage::new(), wal_dir, column);
+    let report = shipper.ship(&mut transport, scan.max_lsn)?;
+    println!(
+        "shipped {} segment(s) of column {column} to {to}: follower acked \
+         lsn {} of {} in {} pass(es)",
+        report.shipped, report.acked_lsn, report.target_lsn, report.passes
+    );
+    for refusal in &report.refusals {
+        eprintln!("follower refused: {refusal}");
+    }
+    Ok(())
+}
+
+/// `follow`: run a read-only replica. Bootstraps via full crash recovery
+/// over its own catalog + journal, then accepts `--sessions` leader
+/// connections, verifying and applying shipped segments. Reads staler
+/// than `--max-lag` are refused with the observed lag (exit 8).
+pub fn follow(args: &[String]) -> Result<(), CliError> {
+    use std::net::TcpListener;
+    use std::sync::Arc;
+    use synoptic_repl::TcpTransport;
+    use synoptic_stream::{FollowConfig, Follower, SharedStorage};
+
+    let f = Flags::parse(args).usage()?;
+    let catalog_dir = f.required("catalog").usage()?;
+    let wal_dir = f.required("wal-dir").usage()?;
+    let listen = f.required("listen").usage()?;
+    let max_lag: Option<u64> = f.parsed_opt("max-lag").usage()?;
+    let sessions: u64 = f.parsed_or("sessions", 1).usage()?;
+    if !std::path::Path::new(catalog_dir).is_dir() {
+        return Err(CliError::usage(format!(
+            "catalog store '{catalog_dir}' does not exist"
+        )));
+    }
+    let storage: SharedStorage = Arc::new(FsStorage::new());
+    let config = FollowConfig {
+        max_lag,
+        ..FollowConfig::default()
+    };
+    let (mut follower, report) = Follower::open(storage, catalog_dir, wal_dir, config)?;
+    print!("{}", report.render());
+
+    let listener =
+        TcpListener::bind(listen).map_err(|e| CliError::from(format!("bind {listen}: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| CliError::from(format!("local_addr: {e}")))?;
+    // Port 0 binds an ephemeral port; the port file tells scripts (and
+    // tests) where the replica actually listens.
+    if let Some(path) = f.optional("port-file") {
+        std::fs::write(path, local.port().to_string())
+            .map_err(|e| CliError::from(format!("write {path}: {e}")))?;
+    }
+    println!("replica listening on {local} for {sessions} session(s)");
+    for session in 1..=sessions {
+        let (stream, peer) = listener
+            .accept()
+            .map_err(|e| CliError::from(format!("accept: {e}")))?;
+        let mut transport = TcpTransport::from_stream(stream);
+        follower.serve(&mut transport)?;
+        println!("session {session} from {peer}: stream complete");
+    }
+    for column in follower.columns() {
+        let applied = follower.applied_lsn(&column).unwrap_or(0);
+        let lag = follower.lag(&column).unwrap_or(0);
+        println!("replica column {column}: applied lsn {applied}, lag {lag}");
+        if let Some(values) = follower.values(&column) {
+            if !values.is_empty() {
+                let q = RangeQuery::new(0, values.len() - 1)?;
+                // The lag-bounded read: refuses (exit 8) when too stale.
+                let est = follower.estimate(&column, q)?;
+                println!("replica column {column}: full-range sum {est:.0}");
+            }
+        }
+    }
+    for refusal in follower.refusals() {
+        eprintln!("refused: {refusal}");
+    }
     Ok(())
 }
 

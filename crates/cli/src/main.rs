@@ -8,6 +8,8 @@
 //! synoptic estimate --catalog stats/ --column price --range 10..40
 //! synoptic evaluate --input column.txt --budget 32
 //! synoptic maintain --input column.txt --method opt-a --updates 512 --workers 2
+//! synoptic ship     --wal-dir stats/wal --to 127.0.0.1:7501
+//! synoptic follow   --catalog replica/ --wal-dir replica/wal --listen 127.0.0.1:7501
 //! synoptic recover  --catalog stats/ --wal-dir stats/wal --commit
 //! synoptic report   --catalog stats/
 //! synoptic fsck     --catalog stats/
@@ -35,6 +37,8 @@ fn main() -> ExitCode {
         "estimate" => commands::estimate(rest),
         "evaluate" => commands::evaluate(rest),
         "maintain" => commands::maintain(rest),
+        "ship" => commands::ship(rest),
+        "follow" => commands::follow(rest),
         "recover" => commands::recover(rest),
         "report" => commands::report(rest),
         "fsck" => commands::fsck(rest),

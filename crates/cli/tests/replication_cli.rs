@@ -1,0 +1,279 @@
+//! End-to-end replication through the `synoptic` binary: a leader
+//! `maintain --replicate-to` run streams its journal to a `follow`
+//! process over real TCP; the replica's served sum must equal the
+//! leader's exact post-stream state, and promotion (`recover` on the
+//! replica's own directories) must succeed. A follower that cannot apply
+//! the stream exits the shipper with the dedicated replication code.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_synoptic")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("failed to launch synoptic binary")
+}
+
+fn ok(args: &[&str]) -> Output {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "`synoptic {}` failed:\nstdout: {}\nstderr: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("{name}_{}", std::process::id()))
+}
+
+/// Spawns `synoptic follow` with an ephemeral port and waits for the port
+/// file to learn where it listens.
+fn spawn_follower(catalog: &str, wal: &str, port_file: &PathBuf, extra: &[&str]) -> (Child, u16) {
+    let _ = std::fs::remove_file(port_file);
+    let mut args = vec![
+        "follow",
+        "--catalog",
+        catalog,
+        "--wal-dir",
+        wal,
+        "--listen",
+        "127.0.0.1:0",
+        "--port-file",
+        port_file.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    let child = Command::new(bin())
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("failed to spawn follower");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let port = loop {
+        if let Ok(s) = std::fs::read_to_string(port_file) {
+            if let Ok(p) = s.trim().parse::<u16>() {
+                break p;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower never wrote its port file"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (child, port)
+}
+
+fn wait(child: Child, what: &str) -> Output {
+    let out = child.wait_with_output().expect("wait on follower");
+    assert!(
+        out.status.success(),
+        "{what} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// Leader maintains with continuous replication; the replica converges to
+/// the leader's exact state and promotes via plain `recover`.
+#[test]
+fn maintain_replicates_to_follower_and_replica_promotes() {
+    let col = tmp("synoptic_repl_col.txt");
+    let leader_cat = tmp("synoptic_repl_leader_cat");
+    let leader_wal = tmp("synoptic_repl_leader_wal");
+    let replica_cat = tmp("synoptic_repl_replica_cat");
+    let replica_wal = tmp("synoptic_repl_replica_wal");
+    let port_file = tmp("synoptic_repl_port");
+    for d in [&leader_cat, &leader_wal, &replica_cat, &replica_wal] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let col_s = col.to_str().unwrap();
+    let (lc, lw) = (leader_cat.to_str().unwrap(), leader_wal.to_str().unwrap());
+    let (rc, rw) = (replica_cat.to_str().unwrap(), replica_wal.to_str().unwrap());
+
+    ok(&["generate", "--n", "48", "--seed", "11", "--out", col_s]);
+    // Commit the same starting snapshot on the replica (zero updates: this
+    // just writes the initial generation the journal will replay onto).
+    ok(&[
+        "maintain",
+        "--input",
+        col_s,
+        "--method",
+        "sap0",
+        "--updates",
+        "0",
+        "--workers",
+        "1",
+        "--wal-dir",
+        rw,
+        "--catalog",
+        rc,
+    ]);
+
+    let (follower, port) = spawn_follower(rc, rw, &port_file, &[]);
+    let to = format!("127.0.0.1:{port}");
+
+    // The leader: 160 updates, small segments so seals (and ship rounds)
+    // happen mid-run, checkpoints racing the retention holds.
+    let leader_out = ok(&[
+        "maintain",
+        "--input",
+        col_s,
+        "--method",
+        "sap0",
+        "--updates",
+        "160",
+        "--every-k",
+        "40",
+        "--workers",
+        "1",
+        "--seed",
+        "9",
+        "--wal-dir",
+        lw,
+        "--catalog",
+        lc,
+        "--segment-bytes",
+        "256",
+        "--fsync",
+        "rotate",
+        "--replicate-to",
+        &to,
+    ]);
+    let leader_stdout = String::from_utf8_lossy(&leader_out.stdout).to_string();
+    assert!(
+        leader_stdout.contains("replication: follower acked lsn"),
+        "{leader_stdout}"
+    );
+    let exact: i64 = leader_stdout
+        .lines()
+        .find_map(|l| l.split(" vs exact ").nth(1))
+        .and_then(|r| r.split_whitespace().next())
+        .expect("leader must print its exact full-range sum")
+        .parse()
+        .unwrap();
+
+    let follower_out = wait(follower, "follower");
+    let follower_stdout = String::from_utf8_lossy(&follower_out.stdout).to_string();
+    assert!(
+        follower_stdout.contains("replica column cli: full-range sum"),
+        "{follower_stdout}"
+    );
+    let replica_sum: i64 = follower_stdout
+        .lines()
+        .find_map(|l| l.split("full-range sum ").nth(1))
+        .expect("replica must print its sum")
+        .trim()
+        .parse()
+        .unwrap();
+    assert_eq!(
+        replica_sum, exact,
+        "replica must serve the leader's exact acknowledged state\n\
+         leader:\n{leader_stdout}\nfollower:\n{follower_stdout}"
+    );
+
+    // Promotion: recovery over the replica's own directories.
+    let promote = ok(&["recover", "--catalog", rc, "--wal-dir", rw]);
+    let promote_stdout = String::from_utf8_lossy(&promote.stdout).to_string();
+    assert!(promote_stdout.contains("cli"), "{promote_stdout}");
+
+    for p in [&col, &port_file] {
+        let _ = std::fs::remove_file(p);
+    }
+    for d in [&leader_cat, &leader_wal, &replica_cat, &replica_wal] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+/// A follower that cannot apply the stream (no such column in its
+/// committed catalog) refuses every pass; the shipper reports divergence
+/// with exit code 8 instead of hanging or pretending success.
+#[test]
+fn ship_to_incompatible_follower_exits_with_replication_code() {
+    let col = tmp("synoptic_div_col.txt");
+    let leader_cat = tmp("synoptic_div_leader_cat");
+    let leader_wal = tmp("synoptic_div_leader_wal");
+    let replica_cat = tmp("synoptic_div_replica_cat");
+    let replica_wal = tmp("synoptic_div_replica_wal");
+    let port_file = tmp("synoptic_div_port");
+    for d in [&leader_cat, &leader_wal, &replica_cat, &replica_wal] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let col_s = col.to_str().unwrap();
+    let (lc, lw) = (leader_cat.to_str().unwrap(), leader_wal.to_str().unwrap());
+    let (rc, rw) = (replica_cat.to_str().unwrap(), replica_wal.to_str().unwrap());
+
+    ok(&["generate", "--n", "32", "--seed", "3", "--out", col_s]);
+    // Leader journals column "cli" with records past the committed mark.
+    let leader_out = run(&[
+        "maintain",
+        "--input",
+        col_s,
+        "--method",
+        "sap0",
+        "--updates",
+        "40",
+        "--every-k",
+        "1000000",
+        "--workers",
+        "1",
+        "--wal-dir",
+        lw,
+        "--catalog",
+        lc,
+    ]);
+    assert!(leader_out.status.success());
+    // The replica's catalog holds a different column ("price", and as a
+    // lossy synopsis at that) — the shipped stream can never apply.
+    ok(&[
+        "build",
+        "--input",
+        col_s,
+        "--method",
+        "sap0",
+        "--budget",
+        "16",
+        "--catalog",
+        rc,
+        "--column",
+        "price",
+    ]);
+
+    let (follower, port) = spawn_follower(rc, rw, &port_file, &[]);
+    let to = format!("127.0.0.1:{port}");
+    let ship_out = run(&["ship", "--wal-dir", lw, "--to", &to]);
+    assert_eq!(
+        ship_out.status.code(),
+        Some(8),
+        "divergence must exit 8\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&ship_out.stdout),
+        String::from_utf8_lossy(&ship_out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&ship_out.stderr).to_string();
+    assert!(stderr.contains("replication divergence"), "{stderr}");
+
+    // The follower survives the refused stream and reports why.
+    let follower_out = wait(follower, "follower");
+    let follower_stderr = String::from_utf8_lossy(&follower_out.stderr).to_string();
+    assert!(
+        follower_stderr.contains("unknown column"),
+        "refusals must be reported: {follower_stderr}"
+    );
+
+    let _ = std::fs::remove_file(&col);
+    let _ = std::fs::remove_file(&port_file);
+    for d in [&leader_cat, &leader_wal, &replica_cat, &replica_wal] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}

@@ -127,6 +127,30 @@ pub enum SynopticError {
         /// What exactly failed validation.
         detail: String,
     },
+    /// A replication stream diverged irreparably from the receiver's
+    /// state: a shipped segment does not anchor at the follower's applied
+    /// mark (and no retry can bridge the gap), the reorder buffer
+    /// overflowed, or the stream ended with unbridged segments pending.
+    /// The follower refuses to apply and reports why — never a silent
+    /// divergence.
+    ReplicationDivergence {
+        /// Which stream (column or peer) diverged.
+        context: String,
+        /// What exactly diverged.
+        detail: String,
+    },
+    /// A follower read was refused because its replica lags the leader
+    /// beyond the configured staleness bound. The provenance fields say
+    /// exactly how stale the replica was when it refused.
+    ReplicationLagExceeded {
+        /// The column whose read was refused.
+        column: String,
+        /// Records the leader has journaled but this replica has not
+        /// applied.
+        lag: u64,
+        /// The configured maximum tolerated lag.
+        max_lag: u64,
+    },
 }
 
 impl fmt::Display for SynopticError {
@@ -185,6 +209,20 @@ impl fmt::Display for SynopticError {
             }
             Self::CorruptJournal { context, detail } => {
                 write!(f, "corrupt journal ({context}): {detail}")
+            }
+            Self::ReplicationDivergence { context, detail } => {
+                write!(f, "replication divergence ({context}): {detail}")
+            }
+            Self::ReplicationLagExceeded {
+                column,
+                lag,
+                max_lag,
+            } => {
+                write!(
+                    f,
+                    "replica of column {column} lags the leader by {lag} records \
+                     (max tolerated {max_lag}); read refused"
+                )
             }
         }
     }
@@ -275,6 +313,21 @@ mod tests {
                     detail: "record CRC mismatch".into(),
                 },
                 "col-3.wal",
+            ),
+            (
+                SynopticError::ReplicationDivergence {
+                    context: "price".into(),
+                    detail: "segment starts at LSN 9 but 4 was expected".into(),
+                },
+                "LSN 9",
+            ),
+            (
+                SynopticError::ReplicationLagExceeded {
+                    column: "price".into(),
+                    lag: 12,
+                    max_lag: 8,
+                },
+                "lags the leader by 12",
             ),
         ];
         for (err, needle) in cases {

@@ -1,0 +1,386 @@
+//! Leader-side segment shipping.
+//!
+//! A [`Shipper`] pushes one column's sealed WAL segments to one follower
+//! over any [`Transport`], in LSN order, and tracks the follower's
+//! *cumulative* acknowledged LSN. The protocol is pipelined and
+//! retry-driven:
+//!
+//! 1. **Probe.** A [`Frame::Heartbeat`] solicits an [`Frame::Ack`], so
+//!    the shipper learns where the follower already is (a restarted
+//!    leader does not re-ship what the follower holds; a duplicate would
+//!    be absorbed idempotently anyway).
+//! 2. **Ship.** Every on-disk segment holding records past the acked LSN
+//!    is sent as a [`Frame::Segment`] — byte-for-byte, clipped to its
+//!    validated prefix, so a torn on-disk tail (never acknowledged) is
+//!    not shipped.
+//! 3. **Drain.** Acks advance the watermark; [`Frame::Refuse`] frames are
+//!    recorded. When the watermark reaches the last sealed LSN the pass
+//!    succeeds.
+//! 4. **Retry.** Lost, torn, or refused segments leave the watermark
+//!    short; the shipper backs off (doubling per pass) and re-ships
+//!    everything still unacknowledged. A follower that cannot converge
+//!    within the retry budget is a loud
+//!    [`SynopticError::ReplicationDivergence`] carrying the follower's
+//!    own refusal reason — never a silent divergence.
+//!
+//! The shipper is deliberately storage-driven (it walks
+//! [`list_sealed_segments`], the same enumeration fsck uses) rather than
+//! hooked into a live `ColumnWal`'s internals: the one-shot `synoptic
+//! ship` CLI and the in-process `maintain --replicate-to` loop ship
+//! through the identical code path.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use synoptic_catalog::storage::Storage;
+use synoptic_catalog::wal::{decode_segment, list_sealed_segments, WAL_RECORD_LEN};
+use synoptic_core::{Result, SynopticError};
+
+use crate::transport::{Received, Transport};
+use crate::wire::{decode_frame, encode_frame, Frame};
+
+/// What one [`Shipper::ship`] call accomplished.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShipReport {
+    /// Segment frames sent (including re-ships).
+    pub shipped: usize,
+    /// The follower's cumulative acknowledged LSN when shipping finished.
+    pub acked_lsn: u64,
+    /// The highest sealed LSN on disk — the convergence target.
+    pub target_lsn: u64,
+    /// Ship/drain passes used (1 = everything acked first try).
+    pub passes: u32,
+    /// Refusal reasons the follower reported along the way (retries may
+    /// have resolved them; `acked_lsn` is the ground truth).
+    pub refusals: Vec<String>,
+}
+
+/// Ships one column's sealed segments to one follower. See the module
+/// docs for the protocol.
+pub struct Shipper<S: Storage> {
+    storage: S,
+    dir: PathBuf,
+    column: String,
+    max_passes: u32,
+    backoff: Duration,
+    drain_timeout: Duration,
+}
+
+impl<S: Storage> Shipper<S> {
+    /// A shipper for `column`'s journal under `dir`. Defaults: 4 retry
+    /// passes, 10 ms initial backoff (doubling), 500 ms ack-drain
+    /// timeout.
+    pub fn new(storage: S, dir: impl Into<PathBuf>, column: &str) -> Self {
+        Self {
+            storage,
+            dir: dir.into(),
+            column: column.to_string(),
+            max_passes: 4,
+            backoff: Duration::from_millis(10),
+            drain_timeout: Duration::from_millis(500),
+        }
+    }
+
+    /// Sets the retry budget: `passes` ship/drain rounds with `backoff`
+    /// doubling between them.
+    #[must_use]
+    pub fn with_retry(mut self, passes: u32, backoff: Duration) -> Self {
+        self.max_passes = passes.max(1);
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets how long each drain waits for the next ack before re-shipping.
+    #[must_use]
+    pub fn with_drain_timeout(mut self, timeout: Duration) -> Self {
+        self.drain_timeout = timeout;
+        self
+    }
+
+    fn diverged(&self, detail: impl Into<String>) -> SynopticError {
+        SynopticError::ReplicationDivergence {
+            context: self.column.clone(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Probes the follower's cumulative applied LSN with a heartbeat.
+    /// `leader_mark` is the leader's current pending mark (what the
+    /// follower bounds its lag against).
+    pub fn probe(&self, transport: &mut dyn Transport, leader_mark: u64) -> Result<u64> {
+        for pass in 0..self.max_passes {
+            transport.send(&encode_frame(&Frame::Heartbeat {
+                column: self.column.clone(),
+                leader_mark,
+            }))?;
+            loop {
+                match transport.recv(Some(self.drain_timeout))? {
+                    Received::Frame(bytes) => match decode_frame(&bytes)? {
+                        Frame::Ack {
+                            column,
+                            applied_lsn,
+                        } if column == self.column => return Ok(applied_lsn),
+                        // Stale acks for other columns, late refusals:
+                        // keep draining.
+                        _ => continue,
+                    },
+                    Received::TimedOut => break,
+                    Received::Closed => {
+                        return Err(self.diverged("follower closed the link during probe"))
+                    }
+                }
+            }
+            std::thread::sleep(self.backoff * 2u32.pow(pass));
+        }
+        Err(self.diverged(format!(
+            "follower never answered a probe within {} passes",
+            self.max_passes
+        )))
+    }
+
+    /// Segments of this column holding records past `acked`, each clipped
+    /// to its validated prefix, ordered by first LSN. Returns
+    /// `(file, seq, last_lsn, bytes)` tuples and the on-disk target LSN.
+    #[allow(clippy::type_complexity)]
+    fn pending_segments(&self, acked: u64) -> Result<(Vec<(String, u64, u64, Vec<u8>)>, u64)> {
+        let mut out = Vec::new();
+        let mut target = acked;
+        for seg in list_sealed_segments(&self.storage, &self.dir)? {
+            if seg.column != self.column {
+                continue;
+            }
+            let bytes = self.storage.read(&self.dir.join(&seg.file))?;
+            let decoded = decode_segment(&bytes, &seg.file)?;
+            if decoded.records.is_empty() {
+                continue;
+            }
+            target = target.max(decoded.last_lsn);
+            if decoded.last_lsn <= acked {
+                continue;
+            }
+            // Ship only the validated prefix: a torn on-disk tail was
+            // never acknowledged and must not travel.
+            let valid = decoded.header_len + decoded.records.len() * WAL_RECORD_LEN;
+            out.push((seg.file, seg.seq, decoded.last_lsn, bytes[..valid].to_vec()));
+        }
+        Ok((out, target))
+    }
+
+    /// Ships every sealed segment the follower has not acknowledged and
+    /// drains acks until the follower converges to the highest sealed
+    /// LSN, retrying with backoff. `leader_mark` is stamped into every
+    /// segment frame for follower-side lag accounting.
+    pub fn ship(&self, transport: &mut dyn Transport, leader_mark: u64) -> Result<ShipReport> {
+        let mut report = ShipReport {
+            acked_lsn: self.probe(transport, leader_mark)?,
+            ..ShipReport::default()
+        };
+        for pass in 0..self.max_passes {
+            report.passes = pass + 1;
+            let (pending, target) = self.pending_segments(report.acked_lsn)?;
+            report.target_lsn = target;
+            if report.acked_lsn >= target {
+                return Ok(report);
+            }
+            for (_, seq, _, bytes) in &pending {
+                transport.send(&encode_frame(&Frame::Segment {
+                    column: self.column.clone(),
+                    seq: *seq,
+                    leader_mark,
+                    bytes: bytes.clone(),
+                }))?;
+                report.shipped += 1;
+            }
+            // Drain until converged or the link goes quiet.
+            loop {
+                if report.acked_lsn >= target {
+                    return Ok(report);
+                }
+                match transport.recv(Some(self.drain_timeout))? {
+                    Received::Frame(bytes) => match decode_frame(&bytes)? {
+                        Frame::Ack {
+                            column,
+                            applied_lsn,
+                        } if column == self.column => {
+                            report.acked_lsn = report.acked_lsn.max(applied_lsn);
+                        }
+                        // An empty column is the follower saying "the
+                        // outer frame itself did not validate" — it
+                        // cannot know which column the wreck was for, so
+                        // every shipper takes the hint.
+                        Frame::Refuse {
+                            column,
+                            applied_lsn,
+                            reason,
+                        } if column == self.column || column.is_empty() => {
+                            if column == self.column {
+                                report.acked_lsn = report.acked_lsn.max(applied_lsn);
+                            }
+                            report.refusals.push(reason);
+                        }
+                        _ => continue,
+                    },
+                    Received::TimedOut => break,
+                    Received::Closed => {
+                        return Err(self.diverged(format!(
+                            "follower closed the link at LSN {} of {}",
+                            report.acked_lsn, target
+                        )))
+                    }
+                }
+            }
+            std::thread::sleep(self.backoff * 2u32.pow(pass));
+        }
+        let detail = match report.refusals.last() {
+            Some(reason) => format!(
+                "follower refused and never converged (stalled at LSN {} of {}): {reason}",
+                report.acked_lsn, report.target_lsn
+            ),
+            None => format!(
+                "follower stalled at LSN {} of {} after {} passes",
+                report.acked_lsn, report.target_lsn, report.passes
+            ),
+        };
+        Err(self.diverged(detail))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::MemTransport;
+    use synoptic_catalog::storage::FsStorage;
+    use synoptic_catalog::wal::{ColumnWal, WalConfig};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("synoptic_ship_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    /// A hand-rolled follower stub: acks everything whole, refusing
+    /// nothing — enough to unit-test the shipper's bookkeeping. The real
+    /// follower lives in synoptic-stream.
+    fn ack_everything(mut t: MemTransport) -> std::thread::JoinHandle<usize> {
+        std::thread::spawn(move || {
+            let mut applied = 0u64;
+            let mut segments = 0usize;
+            loop {
+                match t.recv(None).unwrap() {
+                    Received::Frame(bytes) => {
+                        let frame = decode_frame(&bytes).unwrap();
+                        let column = match frame {
+                            Frame::Segment { column, bytes, .. } => {
+                                let seg = decode_segment(&bytes, "shipped").unwrap();
+                                applied = applied.max(seg.last_lsn);
+                                segments += 1;
+                                column
+                            }
+                            Frame::Heartbeat { column, .. } => column,
+                            _ => continue,
+                        };
+                        t.send(&encode_frame(&Frame::Ack {
+                            column,
+                            applied_lsn: applied,
+                        }))
+                        .unwrap();
+                    }
+                    Received::Closed => return segments,
+                    Received::TimedOut => unreachable!(),
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn ships_all_sealed_segments_and_converges() {
+        let d = tmp_dir("converge");
+        let s = FsStorage::new();
+        let cfg = WalConfig {
+            segment_bytes: 1,
+            ..WalConfig::default()
+        };
+        let wal = ColumnWal::open(s.clone(), &d, "c", 1, cfg).unwrap();
+        for i in 0..5u64 {
+            wal.append(i, 1).unwrap();
+        }
+        wal.seal().unwrap();
+        let (leader_end, follower_end) = MemTransport::pair();
+        let follower = ack_everything(follower_end);
+        let shipper = Shipper::new(s, &d, "c");
+        let mut t: Box<dyn Transport> = Box::new(leader_end);
+        let report = shipper.ship(t.as_mut(), wal.pending_mark()).unwrap();
+        assert_eq!(report.acked_lsn, 5);
+        assert_eq!(report.target_lsn, 5);
+        assert_eq!(report.shipped, 5);
+        assert_eq!(report.passes, 1);
+        assert!(report.refusals.is_empty());
+        t.close();
+        assert_eq!(follower.join().unwrap(), 5);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn second_ship_is_incremental_from_the_ack_watermark() {
+        let d = tmp_dir("incremental");
+        let s = FsStorage::new();
+        let cfg = WalConfig {
+            segment_bytes: 1,
+            ..WalConfig::default()
+        };
+        let wal = ColumnWal::open(s.clone(), &d, "c", 1, cfg).unwrap();
+        wal.append(0, 1).unwrap();
+        wal.seal().unwrap();
+        let (leader_end, follower_end) = MemTransport::pair();
+        let follower = ack_everything(follower_end);
+        let shipper = Shipper::new(s, &d, "c");
+        let mut t: Box<dyn Transport> = Box::new(leader_end);
+        let r1 = shipper.ship(t.as_mut(), wal.pending_mark()).unwrap();
+        assert_eq!((r1.shipped, r1.acked_lsn), (1, 1));
+        wal.append(1, 2).unwrap();
+        wal.seal().unwrap();
+        // The probe finds the follower at LSN 1; only the new segment
+        // travels.
+        let r2 = shipper.ship(t.as_mut(), wal.pending_mark()).unwrap();
+        assert_eq!((r2.shipped, r2.acked_lsn), (1, 2));
+        t.close();
+        assert_eq!(follower.join().unwrap(), 2);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn silent_follower_is_a_loud_divergence_not_a_hang() {
+        let d = tmp_dir("silent");
+        let s = FsStorage::new();
+        let wal = ColumnWal::open(s.clone(), &d, "c", 1, WalConfig::default()).unwrap();
+        wal.append(0, 1).unwrap();
+        wal.seal().unwrap();
+        let (mut leader_end, _follower_end_kept_silent) = MemTransport::pair();
+        let shipper = Shipper::new(s, &d, "c")
+            .with_retry(2, Duration::from_millis(1))
+            .with_drain_timeout(Duration::from_millis(10));
+        let err = shipper.ship(&mut leader_end, 1).unwrap_err();
+        assert!(
+            matches!(err, SynopticError::ReplicationDivergence { ref detail, .. } if detail.contains("probe")),
+            "{err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn empty_journal_ships_nothing_and_succeeds() {
+        let d = tmp_dir("empty");
+        let s = FsStorage::new();
+        s.create_dir_all(&d).unwrap();
+        let (leader_end, follower_end) = MemTransport::pair();
+        let follower = ack_everything(follower_end);
+        let shipper = Shipper::new(s, &d, "c");
+        let mut t: Box<dyn Transport> = Box::new(leader_end);
+        let report = shipper.ship(t.as_mut(), 0).unwrap();
+        assert_eq!(report.shipped, 0);
+        assert_eq!(report.acked_lsn, 0);
+        t.close();
+        assert_eq!(follower.join().unwrap(), 0);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -1,0 +1,448 @@
+//! Frame transports: how replication frames move between processes.
+//!
+//! A [`Transport`] carries *whole frames* (the wire layer's checksummed
+//! byte strings) in order, with three implementations:
+//!
+//! * [`TcpTransport`] — std-only `u32`-length-prefixed frames over a
+//!   `TcpStream`, for real leader/follower deployments.
+//! * [`MemTransport`] — an in-process duplex pair backed by two queues,
+//!   for tests and same-process followers. Blocking `recv` with optional
+//!   timeout, unbounded buffering (a lagging receiver models unbounded
+//!   replication lag, not backpressure).
+//! * [`FaultyTransport`] — wraps any transport with a deterministic
+//!   sender-side fault queue, mirroring `synoptic_catalog::FaultyStorage`:
+//!   dropped frames, torn mid-record deliveries, duplicated frames, and
+//!   reordering. Unbounded lag is a streak of [`TransportFault::Drop`]s.
+//!
+//! Transports never interpret frames; all validation happens in
+//! [`crate::wire`] and above. A transport failure is loud
+//! ([`SynopticError::Io`]) — silent loss only ever comes from an injected
+//! fault, and those are counted.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use synoptic_core::{Result, SynopticError};
+
+/// Ceiling on a received frame's declared length: a sealed WAL segment is
+/// at most a few hundred KiB, so anything past this is stream garbage,
+/// not a frame.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Outcome of one [`Transport::recv`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Received {
+    /// One whole frame arrived.
+    Frame(Vec<u8>),
+    /// The timeout elapsed with no frame; the link is still up.
+    TimedOut,
+    /// The peer closed the link cleanly; no more frames will arrive.
+    Closed,
+}
+
+/// A bidirectional, ordered, whole-frame byte channel.
+pub trait Transport: Send {
+    /// Sends one frame. Returns only after the frame is handed to the
+    /// underlying channel (not necessarily received).
+    fn send(&mut self, frame: &[u8]) -> Result<()>;
+
+    /// Receives the next frame, blocking up to `timeout` (`None` blocks
+    /// until a frame arrives or the peer closes).
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Received>;
+
+    /// Closes this end; the peer's next `recv` drains buffered frames and
+    /// then reports [`Received::Closed`].
+    fn close(&mut self);
+}
+
+fn io_err(detail: impl Into<String>) -> SynopticError {
+    SynopticError::Io {
+        path: "transport".to_string(),
+        detail: detail.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory duplex pair
+
+#[derive(Default)]
+struct ChannelState {
+    queue: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+#[derive(Default)]
+struct Channel {
+    state: Mutex<ChannelState>,
+    ready: Condvar,
+}
+
+impl Channel {
+    fn lock(&self) -> std::sync::MutexGuard<'_, ChannelState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// One end of an in-process duplex frame channel (see
+/// [`MemTransport::pair`]).
+pub struct MemTransport {
+    tx: Arc<Channel>,
+    rx: Arc<Channel>,
+}
+
+impl MemTransport {
+    /// A connected pair: frames sent on one end arrive, in order, at the
+    /// other.
+    pub fn pair() -> (MemTransport, MemTransport) {
+        let a = Arc::new(Channel::default());
+        let b = Arc::new(Channel::default());
+        (
+            MemTransport {
+                tx: Arc::clone(&a),
+                rx: Arc::clone(&b),
+            },
+            MemTransport { tx: b, rx: a },
+        )
+    }
+}
+
+impl Transport for MemTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        let mut st = self.tx.lock();
+        if st.closed {
+            return Err(io_err("peer closed the link"));
+        }
+        st.queue.push_back(frame.to_vec());
+        drop(st);
+        self.tx.ready.notify_all();
+        Ok(())
+    }
+
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Received> {
+        let mut st = self.rx.lock();
+        loop {
+            if let Some(frame) = st.queue.pop_front() {
+                return Ok(Received::Frame(frame));
+            }
+            if st.closed {
+                return Ok(Received::Closed);
+            }
+            match timeout {
+                Some(t) => {
+                    let (next, res) = self
+                        .rx
+                        .ready
+                        .wait_timeout(st, t)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    st = next;
+                    if res.timed_out() && st.queue.is_empty() && !st.closed {
+                        return Ok(Received::TimedOut);
+                    }
+                }
+                None => {
+                    st = self
+                        .rx
+                        .ready
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        for ch in [&self.tx, &self.rx] {
+            ch.lock().closed = true;
+            ch.ready.notify_all();
+        }
+    }
+}
+
+impl Drop for MemTransport {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+
+/// `u32`-length-prefixed frames over a [`TcpStream`]. Std-only: the
+/// workspace's zero-external-deps contract holds.
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to a listening peer (e.g. `"127.0.0.1:7501"`).
+    pub fn connect(addr: &str) -> Result<Self> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| io_err(format!("connect {addr}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { stream })
+    }
+
+    /// Wraps an accepted connection.
+    pub fn from_stream(stream: TcpStream) -> Self {
+        stream.set_nodelay(true).ok();
+        Self { stream }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        let len = u32::try_from(frame.len()).map_err(|_| io_err("frame exceeds u32 length"))?;
+        self.stream
+            .write_all(&len.to_le_bytes())
+            .and_then(|()| self.stream.write_all(frame))
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| io_err(format!("send: {e}")))
+    }
+
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Received> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| io_err(format!("set timeout: {e}")))?;
+        let mut len_buf = [0u8; 4];
+        match self.stream.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(Received::Closed),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(Received::TimedOut)
+            }
+            Err(e) => return Err(io_err(format!("recv: {e}"))),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io_err(format!(
+                "frame length {len} exceeds {MAX_FRAME_LEN}"
+            )));
+        }
+        // The length prefix arrived, so the body is in flight: block for
+        // it without a timeout — a half-received frame cannot be resumed.
+        self.stream
+            .set_read_timeout(None)
+            .map_err(|e| io_err(format!("set timeout: {e}")))?;
+        let mut frame = vec![0u8; len];
+        self.stream
+            .read_exact(&mut frame)
+            .map_err(|e| io_err(format!("recv body: {e}")))?;
+        Ok(Received::Frame(frame))
+    }
+
+    fn close(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+
+/// One sender-side delivery fault, consumed per [`Transport::send`] in
+/// FIFO order (exactly like `synoptic_catalog::Fault` schedules storage
+/// faults). With the queue empty, delivery is clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFault {
+    /// The frame vanishes in flight.
+    Drop,
+    /// Only the first `keep` bytes arrive — a torn mid-record stream: the
+    /// receiver's CRC/torn-tail validation must catch it.
+    Torn {
+        /// Bytes of the frame that survive.
+        keep: usize,
+    },
+    /// The frame arrives twice — replay idempotence must absorb it.
+    Duplicate,
+    /// The frame is held back and delivered *after* the next sent frame.
+    Reorder,
+    /// The frame arrives intact (a scheduling placeholder).
+    Clean,
+}
+
+/// A [`Transport`] decorator injecting a deterministic queue of delivery
+/// faults, for driving every follower-side refusal path from tests.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    faults: Mutex<VecDeque<TransportFault>>,
+    /// A frame held back by [`TransportFault::Reorder`], delivered after
+    /// the next send.
+    held: Option<Vec<u8>>,
+    fired: AtomicUsize,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` with a FIFO fault schedule.
+    pub fn new(inner: T, schedule: Vec<TransportFault>) -> Self {
+        Self {
+            inner,
+            faults: Mutex::new(schedule.into()),
+            held: None,
+            fired: AtomicUsize::new(0),
+        }
+    }
+
+    /// Appends one fault to the schedule.
+    pub fn push_fault(&self, fault: TransportFault) {
+        self.faults
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(fault);
+    }
+
+    /// How many non-[`TransportFault::Clean`] faults have fired.
+    pub fn faults_fired(&self) -> usize {
+        self.fired.load(Ordering::SeqCst)
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        let fault = self
+            .faults
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+            .unwrap_or(TransportFault::Clean);
+        if !matches!(fault, TransportFault::Clean) {
+            self.fired.fetch_add(1, Ordering::SeqCst);
+        }
+        match fault {
+            TransportFault::Drop => {}
+            TransportFault::Torn { keep } => {
+                self.inner.send(&frame[..keep.min(frame.len())])?;
+            }
+            TransportFault::Duplicate => {
+                self.inner.send(frame)?;
+                self.inner.send(frame)?;
+            }
+            TransportFault::Reorder => {
+                self.held = Some(frame.to_vec());
+                return Ok(()); // delivered after the *next* frame
+            }
+            TransportFault::Clean => self.inner.send(frame)?,
+        }
+        if let Some(held) = self.held.take() {
+            self.inner.send(&held)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Received> {
+        self.inner.recv(timeout)
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(t: &mut dyn Transport, n: usize) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for _ in 0..n {
+            match t.recv(Some(Duration::from_millis(200))).unwrap() {
+                Received::Frame(f) => out.push(f),
+                other => panic!("expected a frame, got {other:?}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn mem_pair_delivers_in_order_both_ways() {
+        let (mut a, mut b) = MemTransport::pair();
+        a.send(b"one").unwrap();
+        a.send(b"two").unwrap();
+        b.send(b"reply").unwrap();
+        assert_eq!(frames(&mut b, 2), vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(frames(&mut a, 1), vec![b"reply".to_vec()]);
+        assert_eq!(
+            b.recv(Some(Duration::from_millis(10))).unwrap(),
+            Received::TimedOut
+        );
+        a.close();
+        assert_eq!(b.recv(None).unwrap(), Received::Closed);
+        assert!(b.send(b"x").is_err(), "send after peer closed is loud");
+    }
+
+    #[test]
+    fn mem_close_drains_buffered_frames_first() {
+        let (mut a, mut b) = MemTransport::pair();
+        a.send(b"last words").unwrap();
+        drop(a);
+        assert_eq!(
+            b.recv(None).unwrap(),
+            Received::Frame(b"last words".to_vec())
+        );
+        assert_eq!(b.recv(None).unwrap(), Received::Closed);
+    }
+
+    #[test]
+    fn faults_fire_in_schedule_order() {
+        let (inner, mut rx) = MemTransport::pair();
+        let mut t = FaultyTransport::new(
+            inner,
+            vec![
+                TransportFault::Drop,
+                TransportFault::Torn { keep: 2 },
+                TransportFault::Duplicate,
+                TransportFault::Reorder,
+                TransportFault::Clean,
+            ],
+        );
+        for frame in [&b"AAAA"[..], b"BBBB", b"CCCC", b"DDDD", b"EEEE", b"FFFF"] {
+            t.send(frame).unwrap();
+        }
+        assert_eq!(t.faults_fired(), 4, "Clean is not a fault");
+        let got = frames(&mut rx, 6);
+        assert_eq!(
+            got,
+            vec![
+                b"BB".to_vec(),   // torn survivor of BBBB (AAAA dropped)
+                b"CCCC".to_vec(), // duplicated
+                b"CCCC".to_vec(),
+                b"EEEE".to_vec(), // DDDD held back, EEEE overtakes
+                b"DDDD".to_vec(),
+                b"FFFF".to_vec(), // schedule exhausted: clean
+            ]
+        );
+    }
+
+    #[test]
+    fn tcp_round_trips_frames_with_timeouts() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::from_stream(stream);
+            let frame = match t.recv(None).unwrap() {
+                Received::Frame(f) => f,
+                other => panic!("{other:?}"),
+            };
+            t.send(&frame).unwrap(); // echo
+            assert_eq!(t.recv(None).unwrap(), Received::Closed);
+        });
+        let mut c = TcpTransport::connect(&addr).unwrap();
+        assert_eq!(
+            c.recv(Some(Duration::from_millis(20))).unwrap(),
+            Received::TimedOut
+        );
+        c.send(b"ping with some payload").unwrap();
+        assert_eq!(
+            c.recv(None).unwrap(),
+            Received::Frame(b"ping with some payload".to_vec())
+        );
+        c.close();
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,322 @@
+//! The replication frame format.
+//!
+//! Every frame is self-delimiting at the transport layer (transports carry
+//! whole frames) and self-validating at this layer:
+//!
+//! ```text
+//! frame:   magic "SRP1" (4) | type u8 | payload | crc32 u32
+//! string:  len u16 | bytes            (column names, refusal reasons)
+//! blob:    len u32 | bytes            (raw segment file bytes)
+//! ```
+//!
+//! All integers are little-endian; the CRC covers every byte before it.
+//! A frame that fails validation decodes to
+//! [`SynopticError::ReplicationDivergence`] — the receiver reports the
+//! reason and the sender's retry ladder re-ships; nothing is ever applied
+//! from bytes that did not validate.
+//!
+//! The protocol is deliberately tiny and leader-driven:
+//!
+//! * [`Frame::Segment`] — one sealed WAL segment, byte-for-byte as it
+//!   exists in the leader's journal, plus the leader's current pending
+//!   mark so the follower can bound its replication lag.
+//! * [`Frame::Heartbeat`] — the leader's mark with no payload: a probe
+//!   that solicits an [`Frame::Ack`] (how far is this follower?) and keeps
+//!   lag accounting fresh between segments.
+//! * [`Frame::Ack`] — the follower's *cumulative* applied LSN. Duplicate
+//!   and stale acks are harmless: the shipper tracks the maximum.
+//! * [`Frame::Refuse`] — the follower could not apply a segment, with the
+//!   reason and its (unchanged) applied LSN. Refusals are the loud half of
+//!   the "converge or refuse, never silently diverge" contract.
+
+use synoptic_catalog::checksum::crc32;
+use synoptic_core::{Result, SynopticError};
+
+/// Magic bytes opening every replication frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"SRP1";
+
+const TYPE_SEGMENT: u8 = 1;
+const TYPE_HEARTBEAT: u8 = 2;
+const TYPE_ACK: u8 = 3;
+const TYPE_REFUSE: u8 = 4;
+
+/// One replication protocol message. See the module docs for the roles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Leader → follower: one sealed WAL segment, verbatim file bytes.
+    Segment {
+        /// Column the segment belongs to.
+        column: String,
+        /// Segment sequence number (the follower persists under the same
+        /// name, keeping scan order).
+        seq: u64,
+        /// The leader's pending mark (last acknowledged LSN) when this
+        /// frame was sent — the follower's lag reference point.
+        leader_mark: u64,
+        /// The raw segment file: header plus record stream.
+        bytes: Vec<u8>,
+    },
+    /// Leader → follower: a probe carrying the leader's pending mark.
+    Heartbeat {
+        /// Column being probed.
+        column: String,
+        /// The leader's pending mark.
+        leader_mark: u64,
+    },
+    /// Follower → leader: cumulative progress.
+    Ack {
+        /// Column acknowledged.
+        column: String,
+        /// Highest LSN applied *and locally persisted* by the follower.
+        applied_lsn: u64,
+    },
+    /// Follower → leader: a segment was not applied, and why.
+    Refuse {
+        /// Column refused.
+        column: String,
+        /// The follower's applied LSN, unchanged by the refusal.
+        applied_lsn: u64,
+        /// Human-readable reason, also recorded follower-side.
+        reason: String,
+    },
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn diverged(detail: impl Into<String>) -> SynopticError {
+    SynopticError::ReplicationDivergence {
+        context: "wire".to_string(),
+        detail: detail.into(),
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.at < n {
+            return Err(diverged("frame payload truncated"));
+        }
+        let out = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().expect("2")) as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| diverged("frame string is not UTF-8"))
+    }
+
+    fn blob(&mut self) -> Result<Vec<u8>> {
+        let len = u32::from_le_bytes(self.take(4)?.try_into().expect("4")) as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.at != self.bytes.len() {
+            return Err(diverged(format!(
+                "{} trailing bytes after frame payload",
+                self.bytes.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a frame into its checksummed byte representation.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&FRAME_MAGIC);
+    match frame {
+        Frame::Segment {
+            column,
+            seq,
+            leader_mark,
+            bytes,
+        } => {
+            out.push(TYPE_SEGMENT);
+            put_str(&mut out, column);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&leader_mark.to_le_bytes());
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+        Frame::Heartbeat {
+            column,
+            leader_mark,
+        } => {
+            out.push(TYPE_HEARTBEAT);
+            put_str(&mut out, column);
+            out.extend_from_slice(&leader_mark.to_le_bytes());
+        }
+        Frame::Ack {
+            column,
+            applied_lsn,
+        } => {
+            out.push(TYPE_ACK);
+            put_str(&mut out, column);
+            out.extend_from_slice(&applied_lsn.to_le_bytes());
+        }
+        Frame::Refuse {
+            column,
+            applied_lsn,
+            reason,
+        } => {
+            out.push(TYPE_REFUSE);
+            put_str(&mut out, column);
+            out.extend_from_slice(&applied_lsn.to_le_bytes());
+            put_str(&mut out, reason);
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes and validates one frame. Any failure — bad magic, CRC
+/// mismatch, truncation, an unknown type — is
+/// [`SynopticError::ReplicationDivergence`]; the bytes are never trusted
+/// after this.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame> {
+    if bytes.len() < FRAME_MAGIC.len() + 1 + 4 {
+        return Err(diverged(format!(
+            "{} bytes is shorter than any frame",
+            bytes.len()
+        )));
+    }
+    if bytes[0..4] != FRAME_MAGIC {
+        return Err(diverged("bad frame magic"));
+    }
+    let crc_at = bytes.len() - 4;
+    let crc_stored = u32::from_le_bytes(bytes[crc_at..].try_into().expect("4"));
+    let crc_actual = crc32(&bytes[..crc_at]);
+    if crc_stored != crc_actual {
+        return Err(diverged("frame CRC mismatch"));
+    }
+    let kind = bytes[4];
+    let mut r = Reader {
+        bytes: &bytes[5..crc_at],
+        at: 0,
+    };
+    let frame = match kind {
+        TYPE_SEGMENT => {
+            let column = r.str()?;
+            let seq = r.u64()?;
+            let leader_mark = r.u64()?;
+            let bytes = r.blob()?;
+            Frame::Segment {
+                column,
+                seq,
+                leader_mark,
+                bytes,
+            }
+        }
+        TYPE_HEARTBEAT => Frame::Heartbeat {
+            column: r.str()?,
+            leader_mark: r.u64()?,
+        },
+        TYPE_ACK => Frame::Ack {
+            column: r.str()?,
+            applied_lsn: r.u64()?,
+        },
+        TYPE_REFUSE => Frame::Refuse {
+            column: r.str()?,
+            applied_lsn: r.u64()?,
+            reason: r.str()?,
+        },
+        other => return Err(diverged(format!("unknown frame type {other}"))),
+    };
+    r.done()?;
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let bytes = encode_frame(&frame);
+        assert_eq!(decode_frame(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        round_trip(Frame::Segment {
+            column: "price".into(),
+            seq: 7,
+            leader_mark: 901,
+            bytes: vec![1, 2, 3, 0, 255],
+        });
+        round_trip(Frame::Heartbeat {
+            column: "c".into(),
+            leader_mark: 0,
+        });
+        round_trip(Frame::Ack {
+            column: "c".into(),
+            applied_lsn: u64::MAX,
+        });
+        round_trip(Frame::Refuse {
+            column: "c".into(),
+            applied_lsn: 3,
+            reason: "segment starts at LSN 9 but 4 was expected".into(),
+        });
+    }
+
+    #[test]
+    fn corruption_anywhere_is_refused() {
+        let good = encode_frame(&Frame::Ack {
+            column: "c".into(),
+            applied_lsn: 5,
+        });
+        for at in 0..good.len() {
+            let mut bad = good.clone();
+            bad[at] ^= 0x01;
+            assert!(
+                matches!(
+                    decode_frame(&bad),
+                    Err(SynopticError::ReplicationDivergence { .. })
+                ),
+                "flip at byte {at} must not decode"
+            );
+        }
+        for cut in 0..good.len() {
+            assert!(
+                decode_frame(&good[..cut]).is_err(),
+                "truncation to {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_refused() {
+        let mut bytes = encode_frame(&Frame::Heartbeat {
+            column: "c".into(),
+            leader_mark: 1,
+        });
+        // Valid-CRC frame with extra payload spliced in before re-CRCing.
+        let crc_at = bytes.len() - 4;
+        bytes.truncate(crc_at);
+        bytes.extend_from_slice(&[0, 0, 0]);
+        let crc = synoptic_catalog::checksum::crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        let err = decode_frame(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SynopticError::ReplicationDivergence { ref detail, .. } if detail.contains("trailing")
+            ),
+            "{err:?}"
+        );
+    }
+}

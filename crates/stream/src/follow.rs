@@ -1,0 +1,466 @@
+//! Follower-side replication: continuous WAL replay into read-only
+//! serving state, with lag-bounded reads and recovery-based promotion.
+//!
+//! A [`Follower`] bootstraps by running the *existing* crash-recovery
+//! path ([`crate::recovery::recover`]) over its local catalog and journal
+//! — startup and promotion are the same code — then applies shipped
+//! segments (see `synoptic_repl`) as they arrive:
+//!
+//! 1. **Validate on receipt.** Each [`Frame::Segment`] is decoded with
+//!    [`decode_segment`]: every record CRC and the consecutive-LSN chain
+//!    are re-verified on the follower, so a transport (or a buggy leader)
+//!    cannot smuggle corruption into the replica's journal.
+//! 2. **Anchor at the applied mark** — the PR 5 recovery invariant,
+//!    enforced *online*: a segment is applied only when it starts at
+//!    `applied_lsn + 1` (or overlaps below it). A fully duplicate segment
+//!    is re-acknowledged idempotently. A segment that leaves a gap parks
+//!    in a bounded reorder window; overflow is a loud refusal, and a
+//!    stream that *ends* with parked segments is a
+//!    [`SynopticError::ReplicationDivergence`] — never silence.
+//! 3. **Journal before state.** The accepted segment's bytes are
+//!    persisted into the follower's own journal directory (re-stamped to
+//!    the follower's committed generation via
+//!    [`restamp_segment_generation`]) *before* the in-memory frequencies
+//!    change, preserving the leader-side WAL discipline. Promotion is
+//!    therefore exactly [`crate::recovery::recover`] over local files.
+//! 4. **Serve read-only, lag-bounded.** After each apply the follower
+//!    publishes a fresh exact estimator through a
+//!    [`synoptic_core::HotSwap`]; reads via [`Follower::estimate`] are
+//!    refused with [`SynopticError::ReplicationLagExceeded`] (column,
+//!    lag, and bound in the error — provenance, not a bare "no") once the
+//!    replica trails the leader's mark beyond
+//!    [`FollowConfig::max_lag`].
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use synoptic_catalog::wal::{
+    decode_segment, restamp_segment_generation, wal_file_name, DecodedSegment, WAL_RECORD_LEN,
+};
+use synoptic_catalog::DurableCatalog;
+use synoptic_core::{
+    HotSwap, HotSwapReader, PrefixSums, RangeEstimator, RangeQuery, Result, SynopticError,
+};
+use synoptic_repl::transport::{Received, Transport};
+use synoptic_repl::wire::{decode_frame, encode_frame, Frame};
+
+use crate::maintained::SharedStorage;
+use crate::recovery::{recover, RecoveryReport};
+
+/// Tuning for a [`Follower`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FollowConfig {
+    /// Refuse reads once the replica trails the leader's pending mark by
+    /// more than this many records. `None` serves at any staleness.
+    pub max_lag: Option<u64>,
+    /// How many non-anchoring (out-of-order) segments may park awaiting
+    /// the gap-filler before the follower refuses. `0` refuses any
+    /// non-anchoring segment immediately.
+    pub reorder_window: usize,
+}
+
+impl Default for FollowConfig {
+    fn default() -> Self {
+        Self {
+            max_lag: None,
+            reorder_window: 8,
+        }
+    }
+}
+
+/// Exact read-only answering over the replica's live frequencies.
+#[derive(Debug)]
+struct ReplicaEstimator {
+    n: usize,
+    ps: PrefixSums,
+}
+
+impl ReplicaEstimator {
+    fn new(values: &[i64]) -> Self {
+        Self {
+            n: values.len(),
+            ps: PrefixSums::from_values(values),
+        }
+    }
+}
+
+impl RangeEstimator for ReplicaEstimator {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn estimate(&self, q: RangeQuery) -> f64 {
+        self.ps.answer(q) as f64
+    }
+    fn storage_words(&self) -> usize {
+        self.n
+    }
+    fn method_name(&self) -> &str {
+        "REPLICA"
+    }
+}
+
+struct FollowedColumn {
+    values: Vec<i64>,
+    applied_lsn: u64,
+    leader_mark: u64,
+    /// Parked out-of-order segments keyed by first LSN: `(seq, bytes)`.
+    pending: BTreeMap<u64, (u64, Vec<u8>)>,
+    serving: Arc<HotSwap<dyn RangeEstimator>>,
+}
+
+impl FollowedColumn {
+    fn lag(&self) -> u64 {
+        self.leader_mark.saturating_sub(self.applied_lsn)
+    }
+}
+
+/// A read-only replica of journaled columns, fed by shipped WAL segments.
+pub struct Follower {
+    storage: SharedStorage,
+    wal_dir: PathBuf,
+    generation: u64,
+    config: FollowConfig,
+    columns: BTreeMap<String, FollowedColumn>,
+    refusals: Vec<String>,
+}
+
+impl Follower {
+    /// Opens a follower over its local durable state: runs full crash
+    /// recovery (fsck → repair → prune → replay) on `catalog_dir` +
+    /// `wal_dir` and serves every recovered journaled column. The same
+    /// call *is* promotion — a promoted follower is just a process that
+    /// ran this and started accepting writes instead of segments.
+    pub fn open(
+        storage: SharedStorage,
+        catalog_dir: impl AsRef<Path>,
+        wal_dir: impl Into<PathBuf>,
+        config: FollowConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let wal_dir = wal_dir.into();
+        let store = DurableCatalog::open(catalog_dir.as_ref(), Arc::clone(&storage))?;
+        let report = recover(&store, &wal_dir)?;
+        storage.create_dir_all(&wal_dir)?;
+        let mut columns = BTreeMap::new();
+        for col in &report.columns {
+            let serving: Arc<HotSwap<dyn RangeEstimator>> =
+                Arc::new(HotSwap::new(Arc::new(ReplicaEstimator::new(&col.values))));
+            columns.insert(
+                col.name.clone(),
+                FollowedColumn {
+                    values: col.values.clone(),
+                    applied_lsn: col.committed_mark.max(col.max_lsn),
+                    leader_mark: col.committed_mark.max(col.max_lsn),
+                    pending: BTreeMap::new(),
+                    serving,
+                },
+            );
+        }
+        Ok((
+            Self {
+                storage,
+                wal_dir,
+                generation: report.generation,
+                config,
+                columns,
+                refusals: Vec::new(),
+            },
+            report,
+        ))
+    }
+
+    /// Columns this replica serves, sorted.
+    pub fn columns(&self) -> Vec<String> {
+        self.columns.keys().cloned().collect()
+    }
+
+    /// The highest LSN applied *and locally journaled* for `column`.
+    pub fn applied_lsn(&self, column: &str) -> Option<u64> {
+        self.columns.get(column).map(|c| c.applied_lsn)
+    }
+
+    /// Records the leader has journaled beyond this replica's applied
+    /// mark, per the freshest leader mark seen.
+    pub fn lag(&self, column: &str) -> Option<u64> {
+        self.columns.get(column).map(FollowedColumn::lag)
+    }
+
+    /// The replica's live frequencies for `column`.
+    pub fn values(&self, column: &str) -> Option<&[i64]> {
+        self.columns.get(column).map(|c| c.values.as_slice())
+    }
+
+    /// A hot-swap reader over the column's serving estimator. The reader
+    /// itself does **not** enforce the lag bound — use
+    /// [`Follower::estimate`] for bounded reads.
+    pub fn reader(&self, column: &str) -> Option<HotSwapReader<dyn RangeEstimator>> {
+        self.columns.get(column).map(|c| c.serving.reader())
+    }
+
+    /// Every refusal this follower has recorded, in order — the loud
+    /// half of "converge or refuse".
+    pub fn refusals(&self) -> &[String] {
+        &self.refusals
+    }
+
+    /// Answers a range-sum query from the replica, refusing with full
+    /// provenance ([`SynopticError::ReplicationLagExceeded`]) when the
+    /// replica is staler than [`FollowConfig::max_lag`].
+    pub fn estimate(&self, column: &str, q: RangeQuery) -> Result<f64> {
+        let col = self
+            .columns
+            .get(column)
+            .ok_or_else(|| SynopticError::InvalidParameter(format!("unknown column {column}")))?;
+        if let Some(max_lag) = self.config.max_lag {
+            let lag = col.lag();
+            if lag > max_lag {
+                return Err(SynopticError::ReplicationLagExceeded {
+                    column: column.to_string(),
+                    lag,
+                    max_lag,
+                });
+            }
+        }
+        Ok(col.serving.load().estimate(q))
+    }
+
+    fn refuse(&mut self, column: &str, reason: String) -> Frame {
+        let applied_lsn = self.columns.get(column).map(|c| c.applied_lsn).unwrap_or(0);
+        self.refusals.push(format!("{column}: {reason}"));
+        Frame::Refuse {
+            column: column.to_string(),
+            applied_lsn,
+            reason,
+        }
+    }
+
+    /// Applies one decoded, validated, anchoring segment: journal first,
+    /// then memory, then publish. Returns a refusal reason on failure
+    /// (nothing applied).
+    fn apply_anchored(
+        &mut self,
+        column: &str,
+        seq: u64,
+        bytes: &[u8],
+        decoded: &DecodedSegment,
+    ) -> std::result::Result<(), String> {
+        let col = self.columns.get_mut(column).expect("caller checked");
+        let n = col.values.len();
+        let fresh: Vec<_> = decoded
+            .records
+            .iter()
+            .filter(|r| r.lsn > col.applied_lsn)
+            .collect();
+        // Validate everything before touching journal or memory: a
+        // half-applied segment would be exactly the silent divergence
+        // this subsystem exists to refuse.
+        for r in &fresh {
+            if r.index >= n as u64 {
+                return Err(format!(
+                    "record LSN {} targets index {} outside 0..{n}",
+                    r.lsn, r.index
+                ));
+            }
+        }
+        // Journal before state, re-stamped to the *local* committed
+        // generation so promotion-time recovery anchors cleanly.
+        let valid = decoded.header_len + decoded.records.len() * WAL_RECORD_LEN;
+        let mut local = bytes[..valid].to_vec();
+        let file = wal_file_name(column, seq);
+        restamp_segment_generation(&mut local, &file, self.generation)
+            .map_err(|e| e.to_string())?;
+        self.storage
+            .write_atomic(&self.wal_dir.join(&file), &local)
+            .map_err(|e| format!("journaling shipped segment failed: {e}"))?;
+        let col = self.columns.get_mut(column).expect("caller checked");
+        for r in fresh {
+            let i = r.index as usize;
+            col.values[i] = col.values[i].wrapping_add(r.delta);
+        }
+        col.applied_lsn = decoded.last_lsn;
+        col.serving
+            .swap(Arc::new(ReplicaEstimator::new(&col.values)));
+        Ok(())
+    }
+
+    fn handle_segment(
+        &mut self,
+        column: String,
+        seq: u64,
+        leader_mark: u64,
+        bytes: Vec<u8>,
+    ) -> Frame {
+        let Some(col) = self.columns.get_mut(&column) else {
+            return self.refuse(
+                &column,
+                "unknown column: not in this replica's committed catalog".to_string(),
+            );
+        };
+        col.leader_mark = col.leader_mark.max(leader_mark);
+        let file = wal_file_name(&column, seq);
+        let decoded = match decode_segment(&bytes, &file) {
+            Ok(d) => d,
+            Err(e) => return self.refuse(&column, format!("corrupt shipped segment: {e}")),
+        };
+        if decoded.torn_tail {
+            return self.refuse(
+                &column,
+                format!(
+                    "torn segment transfer: {} of {} bytes decoded",
+                    decoded.header_len + decoded.records.len() * WAL_RECORD_LEN,
+                    bytes.len()
+                ),
+            );
+        }
+        if decoded.column != column {
+            return self.refuse(
+                &column,
+                format!("segment header names column '{}'", decoded.column),
+            );
+        }
+        if decoded.records.is_empty() || decoded.last_lsn <= col.applied_lsn {
+            // Fully duplicate (or empty): replay is idempotent — re-ack.
+            let applied_lsn = col.applied_lsn;
+            return Frame::Ack {
+                column,
+                applied_lsn,
+            };
+        }
+        if decoded.first_lsn > col.applied_lsn + 1 {
+            // Does not anchor at the applied mark. Park it when the
+            // reorder window allows; otherwise refuse, loudly.
+            if col.pending.len() < self.config.reorder_window {
+                let applied_lsn = col.applied_lsn;
+                col.pending.insert(decoded.first_lsn, (seq, bytes));
+                return Frame::Ack {
+                    column,
+                    applied_lsn,
+                };
+            }
+            let expected = col.applied_lsn + 1;
+            let window = self.config.reorder_window;
+            return self.refuse(
+                &column,
+                format!(
+                    "segment does not anchor: starts at LSN {} where {} was expected \
+                     (reorder window of {} is full)",
+                    decoded.first_lsn, expected, window
+                ),
+            );
+        }
+        if let Err(reason) = self.apply_anchored(&column, seq, &bytes, &decoded) {
+            return self.refuse(&column, reason);
+        }
+        // The gap-filler may unblock parked segments — drain in LSN order.
+        loop {
+            let col = self.columns.get_mut(&column).expect("checked");
+            let Some((&first_lsn, _)) = col.pending.iter().next() else {
+                break;
+            };
+            if first_lsn > col.applied_lsn + 1 {
+                break;
+            }
+            let (seq, parked) = col.pending.remove(&first_lsn).expect("peeked");
+            let file = wal_file_name(&column, seq);
+            match decode_segment(&parked, &file) {
+                Ok(d) if d.last_lsn <= self.columns[&column].applied_lsn => {} // stale duplicate
+                Ok(d) => {
+                    if let Err(reason) = self.apply_anchored(&column, seq, &parked, &d) {
+                        return self.refuse(&column, reason);
+                    }
+                }
+                Err(e) => {
+                    return self.refuse(&column, format!("corrupt parked segment: {e}"));
+                }
+            }
+        }
+        let applied_lsn = self.columns[&column].applied_lsn;
+        Frame::Ack {
+            column,
+            applied_lsn,
+        }
+    }
+
+    /// Processes one raw frame and returns the encoded response frame
+    /// (always exactly one: an ack or a refusal).
+    pub fn handle(&mut self, frame_bytes: &[u8]) -> Vec<u8> {
+        let response = match decode_frame(frame_bytes) {
+            Ok(Frame::Segment {
+                column,
+                seq,
+                leader_mark,
+                bytes,
+            }) => self.handle_segment(column, seq, leader_mark, bytes),
+            Ok(Frame::Heartbeat {
+                column,
+                leader_mark,
+            }) => match self.columns.get_mut(&column) {
+                Some(col) => {
+                    col.leader_mark = col.leader_mark.max(leader_mark);
+                    let applied_lsn = col.applied_lsn;
+                    Frame::Ack {
+                        column,
+                        applied_lsn,
+                    }
+                }
+                None => self.refuse(&column, "unknown column".to_string()),
+            },
+            Ok(Frame::Ack { column, .. } | Frame::Refuse { column, .. }) => self.refuse(
+                &column,
+                "follower received a follower-side frame".to_string(),
+            ),
+            Err(e) => {
+                // The outer frame did not validate; there is no column to
+                // charge it to. The empty column name tells the shipper
+                // "yours, probably torn in flight".
+                self.refusals.push(format!("<frame>: {e}"));
+                Frame::Refuse {
+                    column: String::new(),
+                    applied_lsn: 0,
+                    reason: e.to_string(),
+                }
+            }
+        };
+        encode_frame(&response)
+    }
+
+    /// The end-of-stream invariant: a stream may not end with parked
+    /// (unanchored) segments — that gap is a divergence, reported with
+    /// the exact LSNs involved.
+    pub fn finish(&self) -> Result<()> {
+        for (name, col) in &self.columns {
+            if let Some((&first_lsn, _)) = col.pending.iter().next() {
+                return Err(SynopticError::ReplicationDivergence {
+                    context: name.clone(),
+                    detail: format!(
+                        "stream ended with a parked segment at LSN {first_lsn} that never \
+                         anchored (applied mark {})",
+                        col.applied_lsn
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves one replication session: applies frames until the peer
+    /// closes, then checks the end-of-stream invariant.
+    pub fn serve(&mut self, transport: &mut dyn Transport) -> Result<()> {
+        loop {
+            match transport.recv(None)? {
+                Received::Frame(bytes) => {
+                    let response = self.handle(&bytes);
+                    // The peer may close immediately after its last frame;
+                    // an undeliverable response is the peer's loss (its
+                    // retry ladder re-solicits), not replica corruption.
+                    if transport.send(&response).is_err() {
+                        break;
+                    }
+                }
+                Received::Closed => break,
+                Received::TimedOut => unreachable!("recv(None) cannot time out"),
+            }
+        }
+        self.finish()
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod fenwick;
+pub mod follow;
 pub mod haar_stream;
 pub mod maintained;
 pub mod pool;
@@ -43,6 +44,7 @@ pub mod progressive;
 pub mod recovery;
 
 pub use fenwick::Fenwick;
+pub use follow::{FollowConfig, Follower};
 pub use haar_stream::{StreamingHaar, StreamingRangeOptimal};
 pub use maintained::{
     drift_exceeds, ColumnJournal, DurabilityConfig, DurablePersistFn, DurableSnapshot,

@@ -110,6 +110,13 @@ pub struct RebuildConfig {
     /// Budget multiplier (deadline and cell cap) for background upgrade
     /// attempts. Default 4.
     pub upgrade_budget_factor: u32,
+    /// Evaluate budget constraints only at every `charge_batch`-th
+    /// checkpoint ([`Budget::with_charge_batch`]): on small `n`, where a
+    /// checkpoint guards a handful of DP cells, this trades up to
+    /// `charge_batch - 1` checkpoints of cancellation/deadline latency for
+    /// lower per-checkpoint overhead. Default 1 (check every checkpoint);
+    /// never changes what an unconstrained build produces.
+    pub charge_batch: u64,
 }
 
 impl RebuildConfig {
@@ -128,6 +135,7 @@ impl RebuildConfig {
             failure_cooldown_updates: 8,
             upgrade_in_background: false,
             upgrade_budget_factor: 4,
+            charge_batch: 1,
         }
     }
 
@@ -176,8 +184,16 @@ impl RebuildConfig {
         self
     }
 
+    /// Sets the checkpoint batching factor (see
+    /// [`RebuildConfig::charge_batch`]).
+    #[must_use]
+    pub fn with_charge_batch(mut self, batch: u64) -> Self {
+        self.charge_batch = batch;
+        self
+    }
+
     pub(crate) fn budget(&self) -> Budget {
-        let mut b = Budget::unlimited();
+        let mut b = Budget::unlimited().with_charge_batch(self.charge_batch);
         if let Some(d) = self.deadline {
             b = b.with_deadline(d);
         }
@@ -607,6 +623,14 @@ where
     /// Whether this instance journals its updates.
     pub fn journaled(&self) -> bool {
         self.wal.is_some()
+    }
+
+    /// Direct access to the column's journal when durability is enabled.
+    /// Replication hangs off this: sealing the active segment before a
+    /// ship, registering per-follower retention holds, and reading the
+    /// pending mark that bounds follower lag.
+    pub fn journal(&self) -> Option<&ColumnJournal> {
+        self.wal.as_ref()
     }
 
     /// Ingests `A[i] += delta`, rebuilding if the policy fires (and the

@@ -324,6 +324,14 @@ impl ColumnHandle {
         self.inner.wal.as_ref().map_or(0, |w| w.pending_mark())
     }
 
+    /// Direct access to the column's journal when durability is enabled.
+    /// Replication hangs off this: seal hooks, explicit seals, and
+    /// per-follower retention holds that keep checkpoint truncation from
+    /// deleting segments a registered follower has not acknowledged.
+    pub fn journal(&self) -> Option<&ColumnJournal> {
+        self.inner.wal.as_ref()
+    }
+
     /// Blocks until every scheduled job (rebuilds and upgrades) for this
     /// column has finished. Test/shutdown aid; serving threads never need
     /// it.

@@ -1,0 +1,513 @@
+//! Integration tests for the replication path: leader-side segment
+//! shipping ([`synoptic_repl::Shipper`]) feeding a follower
+//! ([`synoptic_stream::Follower`]) across in-memory and fault-injecting
+//! transports.
+//!
+//! The contract under test is the same one the recovery sweep enforces
+//! on a single node, extended across a wire: **a follower either
+//! converges to exactly the leader's acknowledged state, or refuses with
+//! a recorded reason — it never silently diverges.** Every refusal path
+//! the follower owns is driven here: non-anchoring segments, CRC-corrupt
+//! records mid-stream, torn segment transfers, duplicate replay (which
+//! must be idempotent, not refused), and lag-bounded reads.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use synoptic_catalog::wal::{ColumnWal, FsyncCadence, WalConfig};
+use synoptic_catalog::{Catalog, ColumnEntry, DurableCatalog, FsStorage, PersistentSynopsis};
+use synoptic_core::{RangeQuery, SynopticError};
+use synoptic_repl::transport::{FaultyTransport, MemTransport, Transport, TransportFault};
+use synoptic_repl::wire::{decode_frame, encode_frame, Frame};
+use synoptic_repl::Shipper;
+use synoptic_stream::{FollowConfig, Follower, SharedStorage};
+
+const COLUMN: &str = "c";
+const N: usize = 16;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "synoptic-repl-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn initial_values() -> Vec<i64> {
+    (0..N as i64).map(|i| 10 + (i * 7) % 23).collect()
+}
+
+/// Deterministic update stream, same shape as the recovery sweep's.
+fn stream(len: usize) -> Vec<(usize, i64)> {
+    let mut s = 0x2001_u64;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let i = (s % N as u64) as usize;
+        let d = ((s >> 32) % 9) as i64 - 4;
+        out.push((i, if d == 0 { 5 } else { d }));
+    }
+    out
+}
+
+fn commit_initial(cat_dir: &Path, values: &[i64]) -> u64 {
+    let store = DurableCatalog::open(cat_dir, FsStorage::new()).unwrap();
+    let mut cat = Catalog::new();
+    cat.insert(
+        COLUMN,
+        ColumnEntry {
+            n: values.len(),
+            total_rows: values.iter().sum(),
+            synopsis: PersistentSynopsis::from_frequencies(values),
+        },
+    );
+    store.save(&cat).unwrap()
+}
+
+/// A leader: committed catalog + journal that appends `updates` and seals
+/// everything. Returns `(wal_dir, shadow, pending_mark)`.
+fn build_leader(root: &Path, updates: usize) -> (PathBuf, Vec<i64>, u64) {
+    let cat_dir = root.join("leader-cat");
+    let wal_dir = root.join("leader-wal");
+    let values = initial_values();
+    let generation = commit_initial(&cat_dir, &values);
+    let wal = ColumnWal::open(
+        FsStorage::new(),
+        &wal_dir,
+        COLUMN,
+        generation,
+        WalConfig {
+            segment_bytes: 128, // ~3 records per segment
+            fsync: FsyncCadence::OnRotate,
+            ..WalConfig::default()
+        },
+    )
+    .unwrap();
+    let mut shadow = values;
+    for (i, d) in stream(updates) {
+        wal.append(i as u64, d).unwrap();
+        shadow[i] += d;
+    }
+    wal.seal().unwrap();
+    let mark = wal.pending_mark();
+    (wal_dir, shadow, mark)
+}
+
+/// A follower bootstrapped from its own committed catalog and an empty
+/// local journal.
+fn build_follower(root: &Path, config: FollowConfig) -> Follower {
+    let cat_dir = root.join("follower-cat");
+    let wal_dir = root.join("follower-wal");
+    commit_initial(&cat_dir, &initial_values());
+    let storage: SharedStorage = Arc::new(FsStorage::new());
+    let (follower, _report) = Follower::open(storage, &cat_dir, wal_dir, config).unwrap();
+    follower
+}
+
+/// Runs the follower's serve loop on its own thread until the leader
+/// closes the link, returning the follower for inspection.
+fn serve_in_thread(
+    mut follower: Follower,
+    mut transport: MemTransport,
+) -> std::thread::JoinHandle<(Follower, Result<(), SynopticError>)> {
+    std::thread::spawn(move || {
+        let served = follower.serve(&mut transport);
+        (follower, served)
+    })
+}
+
+/// Reads the leader's sealed segments in LSN order as raw file bytes.
+fn leader_segments(wal_dir: &Path) -> Vec<(u64, Vec<u8>)> {
+    let storage = FsStorage::new();
+    synoptic_catalog::list_sealed_segments(&storage, wal_dir)
+        .unwrap()
+        .into_iter()
+        .map(|s| (s.seq, std::fs::read(wal_dir.join(&s.file)).unwrap()))
+        .collect()
+}
+
+fn total(q_values: &[i64]) -> f64 {
+    q_values.iter().sum::<i64>() as f64
+}
+
+/// Clean transport: shipping converges, the replica's values and its
+/// lag-free estimates equal the leader's acknowledged state exactly.
+#[test]
+fn shipped_segments_converge_to_leader_state() {
+    let root = tempdir("clean");
+    let (wal_dir, shadow, mark) = build_leader(&root, 20);
+    let follower = build_follower(&root, FollowConfig::default());
+
+    let (mut leader_end, follower_end) = MemTransport::pair();
+    let handle = serve_in_thread(follower, follower_end);
+
+    let shipper = Shipper::new(FsStorage::new(), &wal_dir, COLUMN);
+    let report = shipper.ship(&mut leader_end, mark).unwrap();
+    assert_eq!(report.acked_lsn, mark, "every sealed record must be acked");
+    assert!(report.shipped > 0);
+    assert!(report.refusals.is_empty(), "{:?}", report.refusals);
+
+    leader_end.close();
+    let (follower, served) = handle.join().unwrap();
+    served.unwrap();
+    assert_eq!(follower.values(COLUMN).unwrap(), &shadow[..]);
+    assert_eq!(follower.applied_lsn(COLUMN), Some(mark));
+    assert_eq!(follower.lag(COLUMN), Some(0));
+    let q = RangeQuery::new(0, N - 1).unwrap();
+    assert_eq!(follower.estimate(COLUMN, q).unwrap(), total(&shadow));
+    assert!(follower.refusals().is_empty(), "{:?}", follower.refusals());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Shipping twice is incremental and idempotent: the second ship finds
+/// the follower already at the watermark and re-ships nothing.
+#[test]
+fn reshipping_an_up_to_date_follower_ships_nothing() {
+    let root = tempdir("reship");
+    let (wal_dir, shadow, mark) = build_leader(&root, 12);
+    let follower = build_follower(&root, FollowConfig::default());
+
+    let (mut leader_end, follower_end) = MemTransport::pair();
+    let handle = serve_in_thread(follower, follower_end);
+
+    let shipper = Shipper::new(FsStorage::new(), &wal_dir, COLUMN);
+    let first = shipper.ship(&mut leader_end, mark).unwrap();
+    assert!(first.shipped > 0);
+    let second = shipper.ship(&mut leader_end, mark).unwrap();
+    assert_eq!(second.shipped, 0, "second ship must be incremental");
+    assert_eq!(second.acked_lsn, mark);
+
+    leader_end.close();
+    let (follower, served) = handle.join().unwrap();
+    served.unwrap();
+    assert_eq!(follower.values(COLUMN).unwrap(), &shadow[..]);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The full fault menu on the wire — dropped frames, a torn mid-record
+/// transfer, duplicated segments, reordering — and the follower still
+/// converges to exactly the leader's state, refusing (loudly, with
+/// recorded reasons) rather than applying anything invalid.
+#[test]
+fn faulty_transport_converges_to_exact_leader_state() {
+    let root = tempdir("faulty");
+    let (wal_dir, shadow, mark) = build_leader(&root, 24);
+    let follower = build_follower(&root, FollowConfig::default());
+
+    let (leader_end, follower_end) = MemTransport::pair();
+    let schedule = vec![
+        TransportFault::Drop,
+        TransportFault::Clean,
+        TransportFault::Torn { keep: 13 },
+        TransportFault::Reorder,
+        TransportFault::Clean,
+        TransportFault::Duplicate,
+        TransportFault::Drop,
+    ];
+    let fault_count = schedule
+        .iter()
+        .filter(|f| !matches!(f, TransportFault::Clean))
+        .count();
+    let mut faulty = FaultyTransport::new(leader_end, schedule);
+    let handle = serve_in_thread(follower, follower_end);
+
+    let shipper = Shipper::new(FsStorage::new(), &wal_dir, COLUMN)
+        .with_retry(8, Duration::from_millis(2))
+        .with_drain_timeout(Duration::from_millis(100));
+    let report = match shipper.ship(&mut faulty, mark) {
+        Ok(r) => r,
+        Err(e) => {
+            let (f, served) = handle.join().unwrap();
+            panic!(
+                "ship failed: {e}; served={served:?}; refusals={:?}",
+                f.refusals()
+            );
+        }
+    };
+    assert_eq!(report.acked_lsn, mark, "must converge despite faults");
+    assert_eq!(
+        faulty.faults_fired(),
+        fault_count,
+        "every scheduled fault must actually fire"
+    );
+
+    faulty.close();
+    let (follower, served) = handle.join().unwrap();
+    served.unwrap();
+    assert_eq!(
+        follower.values(COLUMN).unwrap(),
+        &shadow[..],
+        "converge-or-refuse: the converged state must be exact"
+    );
+    // The torn transfer must have been noticed, not swallowed.
+    assert!(
+        follower.refusals().iter().any(|r| r.contains("<frame>")),
+        "torn frame must be recorded as a refusal: {:?}",
+        follower.refusals()
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A segment that skips ahead of the applied mark parks in the reorder
+/// window; with the window disabled it is refused immediately, with the
+/// expected and actual LSNs in the reason.
+#[test]
+fn non_anchoring_segment_is_refused_when_window_disabled() {
+    let root = tempdir("anchor");
+    let (wal_dir, _shadow, mark) = build_leader(&root, 9);
+    let mut follower = build_follower(
+        &root,
+        FollowConfig {
+            max_lag: None,
+            reorder_window: 0,
+        },
+    );
+
+    let segments = leader_segments(&wal_dir);
+    assert!(segments.len() >= 2, "need at least two sealed segments");
+    // Skip the first segment: the second cannot anchor at LSN 0.
+    let (seq, bytes) = segments.last().unwrap().clone();
+    let response = follower.handle(&encode_frame(&Frame::Segment {
+        column: COLUMN.into(),
+        seq,
+        leader_mark: mark,
+        bytes,
+    }));
+    match decode_frame(&response).unwrap() {
+        Frame::Refuse {
+            column,
+            applied_lsn,
+            reason,
+        } => {
+            assert_eq!(column, COLUMN);
+            assert_eq!(applied_lsn, 0, "nothing may have been applied");
+            assert!(reason.contains("does not anchor"), "{reason}");
+            assert!(reason.contains("LSN"), "{reason}");
+        }
+        other => panic!("expected a refusal, got {other:?}"),
+    }
+    assert_eq!(follower.values(COLUMN).unwrap(), &initial_values()[..]);
+    assert_eq!(follower.refusals().len(), 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A CRC-corrupt record mid-stream: the whole segment is refused before
+/// anything is applied, and a pristine retry of the same segment then
+/// applies cleanly — corruption costs a retry, never integrity.
+#[test]
+fn crc_corrupt_record_mid_stream_is_refused_then_retried() {
+    let root = tempdir("crc");
+    let (wal_dir, _shadow, mark) = build_leader(&root, 5);
+    let mut follower = build_follower(&root, FollowConfig::default());
+
+    let segments = leader_segments(&wal_dir);
+    let (seq, pristine) = segments[0].clone();
+    let mut corrupt = pristine.clone();
+    // Flip one bit inside the final record's delta so the failure sits
+    // mid-stream, after records that validate.
+    let at = pristine.len() - 12;
+    corrupt[at] ^= 0x40;
+    let response = follower.handle(&encode_frame(&Frame::Segment {
+        column: COLUMN.into(),
+        seq,
+        leader_mark: mark,
+        bytes: corrupt,
+    }));
+    match decode_frame(&response).unwrap() {
+        Frame::Refuse { reason, .. } => {
+            assert!(reason.contains("corrupt shipped segment"), "{reason}")
+        }
+        other => panic!("expected a refusal, got {other:?}"),
+    }
+    assert_eq!(
+        follower.values(COLUMN).unwrap(),
+        &initial_values()[..],
+        "a refused segment must not be partially applied"
+    );
+
+    // The leader's retry ladder re-ships the same bytes intact.
+    let response = follower.handle(&encode_frame(&Frame::Segment {
+        column: COLUMN.into(),
+        seq,
+        leader_mark: mark,
+        bytes: pristine,
+    }));
+    match decode_frame(&response).unwrap() {
+        Frame::Ack { applied_lsn, .. } => assert!(applied_lsn > 0),
+        other => panic!("expected an ack, got {other:?}"),
+    }
+    let mut expect = initial_values();
+    for (i, d) in stream(5)
+        .into_iter()
+        .take(follower.applied_lsn(COLUMN).unwrap() as usize)
+    {
+        expect[i] += d;
+    }
+    assert_eq!(follower.values(COLUMN).unwrap(), &expect[..]);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A segment truncated mid-record inside a valid frame (the transfer
+/// tore, the frame CRC was recomputed by a hypothetical buggy relay) is
+/// refused as torn — the follower never journals a prefix.
+#[test]
+fn torn_segment_transfer_is_refused() {
+    let root = tempdir("torn-seg");
+    let (wal_dir, _shadow, mark) = build_leader(&root, 5);
+    let mut follower = build_follower(&root, FollowConfig::default());
+
+    let (seq, pristine) = leader_segments(&wal_dir)[0].clone();
+    let torn = pristine[..pristine.len() - 11].to_vec();
+    let response = follower.handle(&encode_frame(&Frame::Segment {
+        column: COLUMN.into(),
+        seq,
+        leader_mark: mark,
+        bytes: torn,
+    }));
+    match decode_frame(&response).unwrap() {
+        Frame::Refuse { reason, .. } => {
+            assert!(reason.contains("torn segment transfer"), "{reason}")
+        }
+        other => panic!("expected a refusal, got {other:?}"),
+    }
+    assert_eq!(follower.applied_lsn(COLUMN), Some(0));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Replaying an already-applied segment is idempotent: same ack, same
+/// values, no double-application of deltas.
+#[test]
+fn duplicate_segment_replay_is_idempotent() {
+    let root = tempdir("dup");
+    let (wal_dir, _shadow, mark) = build_leader(&root, 6);
+    let mut follower = build_follower(&root, FollowConfig::default());
+
+    let (seq, bytes) = leader_segments(&wal_dir)[0].clone();
+    let frame = encode_frame(&Frame::Segment {
+        column: COLUMN.into(),
+        seq,
+        leader_mark: mark,
+        bytes,
+    });
+    let first = decode_frame(&follower.handle(&frame)).unwrap();
+    let after_first = follower.values(COLUMN).unwrap().to_vec();
+    let second = decode_frame(&follower.handle(&frame)).unwrap();
+    assert_eq!(first, second, "duplicate replay must re-ack identically");
+    assert_eq!(follower.values(COLUMN).unwrap(), &after_first[..]);
+    assert!(follower.refusals().is_empty());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Reads past the configured lag bound are refused with full provenance
+/// (column, observed lag, bound), and start serving again the moment the
+/// replica catches up.
+#[test]
+fn reads_beyond_max_lag_are_refused_with_provenance() {
+    let root = tempdir("lag");
+    let (wal_dir, shadow, mark) = build_leader(&root, 10);
+    let mut follower = build_follower(
+        &root,
+        FollowConfig {
+            max_lag: Some(2),
+            reorder_window: 8,
+        },
+    );
+    let q = RangeQuery::new(0, N - 1).unwrap();
+
+    // Fresh replica, no leader contact yet: lag is 0, reads flow.
+    assert!(follower.estimate(COLUMN, q).is_ok());
+
+    // A heartbeat reveals the leader is `mark` ahead: reads refuse.
+    follower.handle(&encode_frame(&Frame::Heartbeat {
+        column: COLUMN.into(),
+        leader_mark: mark,
+    }));
+    match follower.estimate(COLUMN, q) {
+        Err(SynopticError::ReplicationLagExceeded {
+            column,
+            lag,
+            max_lag,
+        }) => {
+            assert_eq!(column, COLUMN);
+            assert_eq!(lag, mark);
+            assert_eq!(max_lag, 2);
+        }
+        other => panic!("expected a lag refusal, got {other:?}"),
+    }
+
+    // Catch up over the wire; reads flow again and are exact.
+    for (seq, bytes) in leader_segments(&wal_dir) {
+        follower.handle(&encode_frame(&Frame::Segment {
+            column: COLUMN.into(),
+            seq,
+            leader_mark: mark,
+            bytes,
+        }));
+    }
+    assert_eq!(follower.lag(COLUMN), Some(0));
+    assert_eq!(follower.estimate(COLUMN, q).unwrap(), total(&shadow));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The follower's local journal is a real journal: restarting the
+/// follower (fresh process, recovery from its own files) reproduces the
+/// replicated state exactly — this is the promotion primitive.
+#[test]
+fn follower_restart_recovers_replicated_state_from_its_own_journal() {
+    let root = tempdir("restart");
+    let (wal_dir, shadow, mark) = build_leader(&root, 15);
+    let follower = build_follower(&root, FollowConfig::default());
+
+    let (mut leader_end, follower_end) = MemTransport::pair();
+    let handle = serve_in_thread(follower, follower_end);
+    let shipper = Shipper::new(FsStorage::new(), &wal_dir, COLUMN);
+    shipper.ship(&mut leader_end, mark).unwrap();
+    leader_end.close();
+    let (follower, served) = handle.join().unwrap();
+    served.unwrap();
+    assert_eq!(follower.values(COLUMN).unwrap(), &shadow[..]);
+    drop(follower); // the follower process dies
+
+    // A fresh follower bootstraps purely from local durable state.
+    let storage: SharedStorage = Arc::new(FsStorage::new());
+    let (reborn, report) = Follower::open(
+        storage,
+        root.join("follower-cat"),
+        root.join("follower-wal"),
+        FollowConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(reborn.values(COLUMN).unwrap(), &shadow[..]);
+    assert_eq!(reborn.applied_lsn(COLUMN), Some(mark));
+    assert!(report.column(COLUMN).unwrap().replayed > 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A stream that ends with a parked (never-anchored) segment is a
+/// divergence at end-of-stream, not a silent gap.
+#[test]
+fn stream_ending_with_parked_segment_is_divergence() {
+    let root = tempdir("parked");
+    let (wal_dir, _shadow, mark) = build_leader(&root, 9);
+    let mut follower = build_follower(&root, FollowConfig::default());
+
+    let (seq, bytes) = leader_segments(&wal_dir).last().unwrap().clone();
+    follower.handle(&encode_frame(&Frame::Segment {
+        column: COLUMN.into(),
+        seq,
+        leader_mark: mark,
+        bytes,
+    }));
+    let err = follower.finish().unwrap_err();
+    assert!(
+        matches!(err, SynopticError::ReplicationDivergence { .. }),
+        "{err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

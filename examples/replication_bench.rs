@@ -1,0 +1,216 @@
+//! Replication throughput and follower-lag benchmark — the offline
+//! emitter behind `results/BENCH_replication.json`.
+//!
+//! Two curves, both over an in-memory transport so the numbers measure
+//! the replication machinery (encode → validate → journal → apply →
+//! publish), not a network stack:
+//!
+//! * **ship+replay throughput** — a pre-built journal of sealed segments
+//!   is shipped to a fresh follower in one converging ship; the rate is
+//!   records through the full pipeline per second.
+//! * **lag under sustained ingest** — the leader appends and ships in
+//!   rounds while sampling the follower's replication lag after each
+//!   round, reporting the worst and mean observed lag and asserting the
+//!   stream ends fully converged.
+//!
+//! Run with: `cargo run --release --example replication_bench`
+//! Writes `results/BENCH_replication.json` (override dir with
+//! `BENCH_OUT_DIR`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use synoptic::catalog::wal::{ColumnWal, FsyncCadence, WalConfig};
+use synoptic::catalog::{Catalog, ColumnEntry, DurableCatalog, FsStorage, PersistentSynopsis};
+use synoptic::eval::json::JsonValue;
+use synoptic::repl::{MemTransport, Shipper};
+use synoptic::stream::{FollowConfig, Follower, SharedStorage};
+
+const COLUMN: &str = "c";
+const N: usize = 1024;
+const RECORDS: usize = 20_000;
+const SEGMENT_BYTES: usize = 4096; // ~127 records per segment
+const ROUNDS: usize = 40;
+const BATCH: usize = 250;
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("synoptic-bench-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn initial_values() -> Vec<i64> {
+    (0..N as i64).map(|i| 100 + (i * 13) % 57).collect()
+}
+
+fn commit_initial(cat_dir: &std::path::Path) -> u64 {
+    let values = initial_values();
+    let store = DurableCatalog::open(cat_dir, FsStorage::new()).unwrap();
+    let mut cat = Catalog::new();
+    cat.insert(
+        COLUMN,
+        ColumnEntry {
+            n: values.len(),
+            total_rows: values.iter().sum(),
+            synopsis: PersistentSynopsis::from_frequencies(&values),
+        },
+    );
+    store.save(&cat).unwrap()
+}
+
+fn open_leader_wal(root: &std::path::Path, generation: u64) -> ColumnWal<FsStorage> {
+    ColumnWal::open(
+        FsStorage::new(),
+        root.join("leader-wal"),
+        COLUMN,
+        generation,
+        WalConfig {
+            segment_bytes: SEGMENT_BYTES,
+            fsync: FsyncCadence::OnRotate,
+            ..WalConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn open_follower(root: &std::path::Path) -> Follower {
+    commit_initial(&root.join("follower-cat"));
+    let storage: SharedStorage = Arc::new(FsStorage::new());
+    let (follower, _) = Follower::open(
+        storage,
+        root.join("follower-cat"),
+        root.join("follower-wal"),
+        FollowConfig::default(),
+    )
+    .unwrap();
+    follower
+}
+
+/// Deterministic update stream.
+fn updates(len: usize) -> impl Iterator<Item = (u64, i64)> {
+    let mut s = 0xB5EC_u64;
+    (0..len).map(move |_| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        ((s % N as u64), ((s >> 32) % 17) as i64 - 8)
+    })
+}
+
+/// One converging ship of a fully built journal into a fresh follower.
+fn bench_ship_replay() -> JsonValue {
+    let root = tempdir("throughput");
+    let generation = commit_initial(&root.join("leader-cat"));
+    let wal = open_leader_wal(&root, generation);
+    for (i, d) in updates(RECORDS) {
+        wal.append(i, d).unwrap();
+    }
+    wal.seal().unwrap();
+    let mark = wal.pending_mark();
+
+    let mut follower = open_follower(&root);
+    let (mut leader_end, mut follower_end) = MemTransport::pair();
+    let serve = std::thread::spawn(move || {
+        follower.serve(&mut follower_end).unwrap();
+        follower
+    });
+    let shipper = Shipper::new(FsStorage::new(), root.join("leader-wal"), COLUMN);
+
+    let start = Instant::now();
+    let report = shipper.ship(&mut leader_end, mark).unwrap();
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(report.acked_lsn, mark, "throughput run must converge");
+
+    use synoptic::repl::Transport;
+    leader_end.close();
+    let follower = serve.join().unwrap();
+    assert_eq!(follower.applied_lsn(COLUMN), Some(mark));
+    let _ = std::fs::remove_dir_all(&root);
+
+    println!(
+        "ship+replay: {RECORDS} records in {} segment(s), {secs:.3}s ({:.0} records/s)",
+        report.shipped,
+        RECORDS as f64 / secs
+    );
+    JsonValue::obj([
+        ("records", JsonValue::Int(RECORDS as i128)),
+        ("segments", JsonValue::Int(report.shipped as i128)),
+        ("segment_bytes", JsonValue::Int(SEGMENT_BYTES as i128)),
+        ("seconds", JsonValue::Num(secs)),
+        ("records_per_sec", JsonValue::Num(RECORDS as f64 / secs)),
+    ])
+}
+
+/// Leader ingest racing follower replay: lag sampled after every round.
+fn bench_sustained_lag() -> JsonValue {
+    let root = tempdir("lag");
+    let generation = commit_initial(&root.join("leader-cat"));
+    let wal = open_leader_wal(&root, generation);
+    let mut follower = open_follower(&root);
+    let (mut leader_end, mut follower_end) = MemTransport::pair();
+    let serve = std::thread::spawn(move || {
+        follower.serve(&mut follower_end).unwrap();
+        follower
+    });
+    let shipper = Shipper::new(FsStorage::new(), root.join("leader-wal"), COLUMN);
+
+    let mut feed = updates(ROUNDS * BATCH);
+    let mut lags = Vec::with_capacity(ROUNDS);
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        for _ in 0..BATCH {
+            let (i, d) = feed.next().unwrap();
+            wal.append(i, d).unwrap();
+        }
+        wal.seal().unwrap();
+        let mark = wal.pending_mark();
+        let report = shipper.ship(&mut leader_end, mark).unwrap();
+        // Lag the leader observes at round end: its mark vs the ack.
+        lags.push(mark.saturating_sub(report.acked_lsn) as f64);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let final_mark = wal.pending_mark();
+
+    use synoptic::repl::Transport;
+    leader_end.close();
+    let follower = serve.join().unwrap();
+    assert_eq!(
+        follower.applied_lsn(COLUMN),
+        Some(final_mark),
+        "sustained run must end converged"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+
+    let max_lag = lags.iter().cloned().fold(0.0_f64, f64::max);
+    let mean_lag = lags.iter().sum::<f64>() / lags.len() as f64;
+    println!(
+        "sustained ingest: {} records over {ROUNDS} rounds in {secs:.3}s, \
+         lag max {max_lag:.0} / mean {mean_lag:.1}, final lag {}",
+        ROUNDS * BATCH,
+        final_mark - follower.applied_lsn(COLUMN).unwrap()
+    );
+    JsonValue::obj([
+        ("rounds", JsonValue::Int(ROUNDS as i128)),
+        ("batch", JsonValue::Int(BATCH as i128)),
+        ("seconds", JsonValue::Num(secs)),
+        ("max_lag", JsonValue::Num(max_lag)),
+        ("mean_lag", JsonValue::Num(mean_lag)),
+        ("final_lag", JsonValue::Int(0)),
+    ])
+}
+
+fn main() {
+    let report = JsonValue::obj([
+        ("bench", JsonValue::Str("replication".to_string())),
+        ("n", JsonValue::Int(N as i128)),
+        ("ship_replay", bench_ship_replay()),
+        ("sustained_ingest", bench_sustained_lag()),
+    ]);
+    let out_dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| "results".to_string());
+    std::fs::create_dir_all(&out_dir).unwrap();
+    let path = std::path::Path::new(&out_dir).join("BENCH_replication.json");
+    std::fs::write(&path, report.to_string_pretty()).unwrap();
+    println!("wrote {}", path.display());
+}

@@ -15,6 +15,8 @@
 //! * [`stream`] — dynamic maintenance under point updates (extension).
 //! * [`catalog`] — multi-column statistics catalog with persistence and
 //!   budget allocation (extension).
+//! * [`repl`] — WAL segment replication: transports, shipping, and the
+//!   wire protocol behind read-only followers (extension).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@ pub use synoptic_data as data;
 pub use synoptic_eval as eval;
 pub use synoptic_hist as hist;
 pub use synoptic_linalg as linalg;
+pub use synoptic_repl as repl;
 pub use synoptic_stream as stream;
 pub use synoptic_twod as twod;
 pub use synoptic_wavelet as wavelet;
