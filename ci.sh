@@ -48,8 +48,15 @@ ${CAP} cargo test -q -p synoptic-stream --test replication --offline
 ${CAP} cargo test -q -p synoptic-stream --test promotion_sweep --offline
 ${CAP} cargo test -q -p synoptic-cli --test replication_cli --offline
 
+echo "==> failover suite: kill-the-leader sweep, CLI election e2e (capped at ${TEST_CAP}s)"
+${CAP} cargo test -q -p synoptic-stream --test failover_sweep --offline
+${CAP} cargo test -q -p synoptic-cli --test failover_cli --offline
+
 echo "==> replication bench: ship+replay throughput and follower lag (capped at ${TEST_CAP}s)"
 ${CAP} cargo run -q --release --offline --example replication_bench
+
+echo "==> failover bench: detection -> promotion -> first-served-read latency (capped at ${TEST_CAP}s)"
+${CAP} cargo run -q --release --offline --example failover_bench
 
 echo "==> full workspace tests (offline, capped at ${TEST_CAP}s)"
 ${CAP} cargo test -q --workspace --offline

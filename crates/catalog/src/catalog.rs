@@ -11,6 +11,14 @@ use synoptic_core::{RangeEstimator, RangeQuery, Result, SynopticError};
 
 use crate::persist::{LoadedSynopsis, PersistentSynopsis};
 
+/// Reserved WAL-marks key holding the node's current election term.
+/// `'#'` cannot start a real column's journal name, so reserved keys and
+/// column marks share the section without collision.
+pub const ELECTION_TERM_KEY: &str = "#election/term";
+
+/// Reserved WAL-marks key holding the node granted the current term.
+pub const ELECTION_VOTE_KEY: &str = "#election/vote";
+
 /// Metadata + synopsis for one column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnEntry {
@@ -24,7 +32,7 @@ pub struct ColumnEntry {
 
 /// A catalog of per-column synopses, as a database engine would keep in its
 /// system tables.
-#[derive(Debug, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Catalog {
     columns: BTreeMap<String, ColumnEntry>,
     /// Per-column WAL checkpoint marks: the last journal LSN whose effect is
@@ -90,6 +98,34 @@ impl Catalog {
     /// All WAL checkpoint marks, sorted by column name.
     pub fn wal_marks(&self) -> impl Iterator<Item = (&str, u64)> {
         self.wal_marks.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// The current election term this node has granted or claimed (`0` =
+    /// never participated in an election). Persisted as a reserved key in
+    /// the manifest's WAL-marks section — the section is feed-forward
+    /// compatible, so builds predating elections carry it untouched, and
+    /// mark lookups only ever consult keys for columns the catalog
+    /// actually holds, so `'#'`-prefixed reserved keys never collide.
+    pub fn election_term(&self) -> u64 {
+        self.wal_marks.get(ELECTION_TERM_KEY).copied().unwrap_or(0)
+    }
+
+    /// Records the current election term. Terms are monotonic; callers
+    /// must never move one backwards (persisting a lower term would let
+    /// two leaders hold the same term after a crash).
+    pub fn set_election_term(&mut self, term: u64) {
+        self.wal_marks.insert(ELECTION_TERM_KEY.to_string(), term);
+    }
+
+    /// The node this catalog's owner recognizes as the leader of
+    /// [`Catalog::election_term`], if any vote was granted.
+    pub fn election_vote(&self) -> Option<u64> {
+        self.wal_marks.get(ELECTION_VOTE_KEY).copied()
+    }
+
+    /// Records the node granted leadership of the current term.
+    pub fn set_election_vote(&mut self, node: u64) {
+        self.wal_marks.insert(ELECTION_VOTE_KEY.to_string(), node);
     }
 
     /// Total storage footprint across all columns (paper words).

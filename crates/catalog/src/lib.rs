@@ -45,7 +45,7 @@ pub mod store;
 pub mod wal;
 
 pub use allocation::{allocate_budget, AllocationResult, ColumnCurve};
-pub use catalog::{Catalog, ColumnEntry};
+pub use catalog::{Catalog, ColumnEntry, ELECTION_TERM_KEY, ELECTION_VOTE_KEY};
 pub use format::{synopsis_from_bytes, synopsis_to_bytes, Manifest, ManifestColumn};
 pub use persist::{LoadedSynopsis, PersistentSynopsis};
 pub use storage::{Fault, FaultyStorage, FsStorage, Storage};

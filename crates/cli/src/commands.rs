@@ -37,6 +37,10 @@ pub const EXIT_UNRECOVERABLE: u8 = 7;
 /// follower refused (and retries could not repair), or a replica read
 /// refused because it trails the leader beyond `--max-lag`.
 pub const EXIT_REPLICATION: u8 = 8;
+/// Exit code when this process's election term was superseded: a write or
+/// ship was refused by a replica that granted a newer term. The holder
+/// must stand down (and may `reseed` back in as a follower).
+pub const EXIT_FENCED: u8 = 9;
 
 /// A CLI failure carrying the process exit code it maps to. The code
 /// contract is part of the CLI's public interface (see `USAGE` and
@@ -80,6 +84,7 @@ impl From<SynopticError> for CliError {
                 | SynopticError::WalGenerationMismatch { .. } => EXIT_UNRECOVERABLE,
                 SynopticError::ReplicationDivergence { .. }
                 | SynopticError::ReplicationLagExceeded { .. } => EXIT_REPLICATION,
+                SynopticError::StaleLeaderTerm { .. } => EXIT_FENCED,
                 _ => EXIT_FAILURE,
             };
         Self {
@@ -119,9 +124,13 @@ USAGE:
                     [--wal-dir DIR --catalog DIR [--fsync every|N|rotate]
                      [--segment-bytes B] [--discard-journal]
                      [--replicate-to HOST:PORT]]
-  synoptic ship     --wal-dir DIR --to HOST:PORT [--column NAME]
+  synoptic ship     --wal-dir DIR --to HOST:PORT [--column NAME] \\
+                    [--seed --catalog DIR [--node N] [--term T]]
   synoptic follow   --catalog DIR --wal-dir DIR --listen HOST:PORT \\
-                    [--max-lag N] [--sessions K] [--port-file FILE]
+                    [--max-lag N] [--sessions K] [--port-file FILE] \\
+                    [--auto-promote [--node N] [--lease-ttl-ms MS]]
+  synoptic reseed   --catalog DIR --wal-dir DIR --listen HOST:PORT \\
+                    [--max-lag N] [--port-file FILE]
   synoptic recover  --catalog DIR --wal-dir DIR [--commit]
   synoptic report   --catalog DIR
   synoptic fsck     --catalog DIR
@@ -161,7 +170,20 @@ REPLICATION: `follow` binds a listener, accepts --sessions leader
          checkpoint truncation from deleting unacknowledged segments.
          Replica reads staler than --max-lag records are refused with the
          observed lag (exit 8). Promotion is `recover` on the follower's
-         own catalog + journal (see docs/REPLICATION.md).
+         own catalog + journal (see docs/REPLICATION.md). `maintain
+         --replicate-to` also fans in every other column journal found
+         under --wal-dir over the same link before the live loop starts.
+FAILOVER: with --auto-promote, `follow` serves under a heartbeat lease:
+         a leader silent past --lease-ttl-ms (default 3000) expires the
+         lease and the replica promotes itself in place — crash recovery
+         over its own files plus a durable claim of the next election
+         term — and serves its first read immediately. Every shipped
+         frame carries the sender's term; a deposed leader's writes are
+         refused with both terms and its shipper exits fenced (exit 9).
+         `ship --seed` streams the committed snapshot + journal tail of
+         --catalog so the fenced ex-leader can run `reseed` (fresh
+         directories) and rejoin as a follower of the new leader
+         (see docs/REPLICATION.md and docs/ROBUSTNESS.md).
 REPAIR:  quarantines corrupt/stray files and re-points CURRENT at the
          newest valid generation; with --prune it also deletes abandoned
          never-committed generation files (fsck lists them; repair without
@@ -177,7 +199,8 @@ EXIT CODES:
   0 success    1 failure    2 usage error    4 corrupt synopsis/store
   5 deadline or cell budget exceeded         6 build cancelled
   7 unrecoverable write-ahead journal (recover)
-  8 replication divergence or stale replica read refused";
+  8 replication divergence or stale replica read refused
+  9 fenced: this node's election term was superseded by a newer leader";
 
 /// Opens the store at `dir`, creating it only when `create` is set —
 /// read-only commands must not invent an empty store at a mistyped path.
@@ -726,7 +749,13 @@ pub fn maintain(args: &[String]) -> Result<(), CliError> {
                     "--replicate-to requires --wal-dir (only journaled segments ship)",
                 ));
             };
-            Some(start_replication(&col, addr, wal_dir)?)
+            // Stamp every shipped frame with this node's election term so
+            // a replica that granted a newer term fences us loudly
+            // (exit 9) instead of accepting a deposed leader's writes.
+            let catalog_dir = f.required("catalog").usage()?;
+            let (term, _) =
+                synoptic_repl::TermLedger::open(catalog_dir, FsStorage::new())?.current()?;
+            Some(start_replication(&col, addr, wal_dir, term)?)
         }
     };
 
@@ -808,12 +837,37 @@ fn start_replication(
     col: &synoptic_stream::ColumnHandle,
     addr: &str,
     wal_dir: &str,
+    term: u64,
 ) -> Result<ReplicationLink, CliError> {
+    use synoptic_catalog::wal::{list_journal_columns, scan_column_journal};
     use synoptic_repl::{Shipper, TcpTransport};
 
     let journal = col.journal().expect("--replicate-to requires a journal");
     let mut transport = TcpTransport::connect(addr)?;
     journal.set_retention_hold(REPLICA_HOLD, 0);
+
+    // Multi-column fan-in: journals other columns left under the same
+    // --wal-dir (earlier runs, other processes) ship over this same link
+    // before the live loop starts, so one follower session converges on
+    // every column the directory holds — not just the maintained one.
+    let wal_path = std::path::Path::new(wal_dir);
+    let mut fanned_in = 0usize;
+    for column in list_journal_columns(&FsStorage::new(), wal_path)? {
+        if column == "cli" {
+            continue;
+        }
+        let scan = scan_column_journal(&FsStorage::new(), wal_path, &column)?;
+        let side = Shipper::new(FsStorage::new(), wal_dir, &column).with_term(term);
+        let report = side.ship(&mut transport, scan.max_lsn)?;
+        println!(
+            "replication: fanned in column {column} (follower acked lsn {} of {})",
+            report.acked_lsn, report.target_lsn
+        );
+        fanned_in += 1;
+    }
+    if fanned_in > 0 {
+        println!("replication: {fanned_in} side column(s) fanned in over the link");
+    }
     let (tx, rx) = std::sync::mpsc::channel::<u64>();
     let hook_tx = tx.clone();
     // The hook runs under the journal lock: enqueue only, ship elsewhere.
@@ -821,7 +875,7 @@ fn start_replication(
         let _ = hook_tx.send(last_lsn);
     })));
     let handle = col.clone();
-    let shipper = Shipper::new(FsStorage::new(), wal_dir, "cli");
+    let shipper = Shipper::new(FsStorage::new(), wal_dir, "cli").with_term(term);
     let thread = std::thread::spawn(move || -> Result<(u64, u64), SynopticError> {
         let mut acked = 0u64;
         let mut rounds = 0u64;
@@ -864,9 +918,12 @@ impl ReplicationLink {
 
 /// `ship`: stream a journal's segments to a listening follower and block
 /// until the follower's cumulative ack covers the journal's last record.
+/// With `--seed` it instead streams the full leader state — committed
+/// snapshots, the granted election term, and every column's journal
+/// tail — to a `reseed` receiver, so a fenced ex-leader can rejoin.
 pub fn ship(args: &[String]) -> Result<(), CliError> {
     use synoptic_catalog::wal::scan_column_journal;
-    use synoptic_repl::{Shipper, TcpTransport};
+    use synoptic_repl::{Seeder, Shipper, TcpTransport, TermLedger, Transport};
 
     let f = Flags::parse(args).usage()?;
     let wal_dir = f.required("wal-dir").usage()?;
@@ -876,6 +933,36 @@ pub fn ship(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::usage(format!(
             "journal directory '{wal_dir}' does not exist"
         )));
+    }
+    if f.switch("seed") {
+        let Some(catalog_dir) = f.optional("catalog") else {
+            return Err(CliError::usage(
+                "--seed requires --catalog (it streams the committed snapshots)",
+            ));
+        };
+        let ledger = TermLedger::open(catalog_dir, FsStorage::new())?;
+        let (recorded_term, vote) = ledger.current()?;
+        let term = f.parsed_opt("term").usage()?.unwrap_or(recorded_term);
+        if term == 0 {
+            return Err(CliError::usage(format!(
+                "catalog '{catalog_dir}' records no election term; promote \
+                 first (`follow --auto-promote`) or pass --term explicitly"
+            )));
+        }
+        let node: u64 = match f.parsed_opt("node").usage()? {
+            Some(n) => n,
+            None => vote.unwrap_or(1),
+        };
+        let mut transport = TcpTransport::connect(to)?;
+        let seeder = Seeder::new(FsStorage::new(), catalog_dir, wal_dir, term, node);
+        let report = seeder.seed(&mut transport)?;
+        transport.close();
+        println!(
+            "seeded {} snapshot(s) and {} journal segment(s) to {to} on \
+             term {} (node {node})",
+            report.snapshots, report.segments, report.term
+        );
+        return Ok(());
     }
     let scan = scan_column_journal(&FsStorage::new(), std::path::Path::new(wal_dir), column)?;
     let mut transport = TcpTransport::connect(to)?;
@@ -899,8 +986,8 @@ pub fn ship(args: &[String]) -> Result<(), CliError> {
 pub fn follow(args: &[String]) -> Result<(), CliError> {
     use std::net::TcpListener;
     use std::sync::Arc;
-    use synoptic_repl::TcpTransport;
-    use synoptic_stream::{FollowConfig, Follower, SharedStorage};
+    use synoptic_repl::{TcpTransport, WallClock};
+    use synoptic_stream::{promote, FollowConfig, Follower, ServeOutcome, SharedStorage};
 
     let f = Flags::parse(args).usage()?;
     let catalog_dir = f.required("catalog").usage()?;
@@ -908,6 +995,9 @@ pub fn follow(args: &[String]) -> Result<(), CliError> {
     let listen = f.required("listen").usage()?;
     let max_lag: Option<u64> = f.parsed_opt("max-lag").usage()?;
     let sessions: u64 = f.parsed_or("sessions", 1).usage()?;
+    let auto_promote = f.switch("auto-promote");
+    let node: u64 = f.parsed_or("node", 1).usage()?;
+    let lease_ttl_ms: u64 = f.parsed_or("lease-ttl-ms", 3000).usage()?;
     if !std::path::Path::new(catalog_dir).is_dir() {
         return Err(CliError::usage(format!(
             "catalog store '{catalog_dir}' does not exist"
@@ -938,8 +1028,54 @@ pub fn follow(args: &[String]) -> Result<(), CliError> {
             .accept()
             .map_err(|e| CliError::from(format!("accept: {e}")))?;
         let mut transport = TcpTransport::from_stream(stream);
-        follower.serve(&mut transport)?;
-        println!("session {session} from {peer}: stream complete");
+        if !auto_promote {
+            follower.serve(&mut transport)?;
+            println!("session {session} from {peer}: stream complete");
+            continue;
+        }
+        // Automated failover: serve under a heartbeat lease. A leader
+        // that closes cleanly ends the session as usual; a leader that
+        // goes silent past the TTL expires the lease and this replica
+        // promotes itself in place.
+        let clock = WallClock::new();
+        match follower.serve_with_lease(
+            &mut transport,
+            &clock,
+            lease_ttl_ms,
+            Duration::from_millis(50),
+        )? {
+            ServeOutcome::LeaderClosed => {
+                println!("session {session} from {peer}: stream complete");
+            }
+            ServeOutcome::LeaseExpired => {
+                println!(
+                    "session {session} from {peer}: lease expired after \
+                     {lease_ttl_ms} ms of leader silence — promoting"
+                );
+                let storage: SharedStorage = Arc::new(FsStorage::new());
+                let (term, report) = promote(storage, catalog_dir, wal_dir, node)?;
+                print!("{}", report.render());
+                println!("promoted node {node} to leader for term {term}");
+                // The promoted replica serves its first read immediately,
+                // straight off the recovered state (lag 0 by definition).
+                let storage: SharedStorage = Arc::new(FsStorage::new());
+                let (promoted, _) =
+                    Follower::open(storage, catalog_dir, wal_dir, FollowConfig::default())?;
+                for column in promoted.columns() {
+                    if let Some(values) = promoted.values(&column) {
+                        if !values.is_empty() {
+                            let q = RangeQuery::new(0, values.len() - 1)?;
+                            let est = promoted.estimate(&column, q)?;
+                            println!(
+                                "promoted column {column}: first served read \
+                                 (full-range sum) {est:.0}"
+                            );
+                        }
+                    }
+                }
+                return Ok(());
+            }
+        }
     }
     for column in follower.columns() {
         let applied = follower.applied_lsn(&column).unwrap_or(0);
@@ -951,6 +1087,68 @@ pub fn follow(args: &[String]) -> Result<(), CliError> {
                 // The lag-bounded read: refuses (exit 8) when too stale.
                 let est = follower.estimate(&column, q)?;
                 println!("replica column {column}: full-range sum {est:.0}");
+            }
+        }
+    }
+    for refusal in follower.refusals() {
+        eprintln!("refused: {refusal}");
+    }
+    Ok(())
+}
+
+/// `reseed`: rebuild a stranded (typically fenced ex-leader) node as a
+/// follower from a live leader's `ship --seed` stream. The target
+/// directories must be fresh — re-seeding exists precisely because the
+/// local history diverged, so it never merges onto old state. Receives
+/// the granted term, committed snapshots, and journal tail, then keeps
+/// serving the session like `follow` until the seeder closes.
+pub fn reseed(args: &[String]) -> Result<(), CliError> {
+    use std::net::TcpListener;
+    use std::sync::Arc;
+    use synoptic_repl::TcpTransport;
+    use synoptic_stream::{rejoin, FollowConfig, SharedStorage};
+
+    let f = Flags::parse(args).usage()?;
+    let catalog_dir = f.required("catalog").usage()?;
+    let wal_dir = f.required("wal-dir").usage()?;
+    let listen = f.required("listen").usage()?;
+    let max_lag: Option<u64> = f.parsed_opt("max-lag").usage()?;
+
+    let listener =
+        TcpListener::bind(listen).map_err(|e| CliError::from(format!("bind {listen}: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| CliError::from(format!("local_addr: {e}")))?;
+    if let Some(path) = f.optional("port-file") {
+        std::fs::write(path, local.port().to_string())
+            .map_err(|e| CliError::from(format!("write {path}: {e}")))?;
+    }
+    println!("re-seed target listening on {local} (into {catalog_dir} + {wal_dir})");
+    let (stream, peer) = listener
+        .accept()
+        .map_err(|e| CliError::from(format!("accept: {e}")))?;
+    let mut transport = TcpTransport::from_stream(stream);
+    let storage: SharedStorage = Arc::new(FsStorage::new());
+    let config = FollowConfig {
+        max_lag,
+        ..FollowConfig::default()
+    };
+    let (mut follower, report) = rejoin(storage, catalog_dir, wal_dir, config, &mut transport)?;
+    print!("{}", report.render());
+    println!(
+        "re-seeded from {peer}: rejoined as a follower on term {}",
+        follower.term()
+    );
+    follower.serve(&mut transport)?;
+    for column in follower.columns() {
+        let applied = follower.applied_lsn(&column).unwrap_or(0);
+        let lag = follower.lag(&column).unwrap_or(0);
+        println!("rejoined column {column}: applied lsn {applied}, lag {lag}");
+        if let Some(values) = follower.values(&column) {
+            if !values.is_empty() {
+                let q = RangeQuery::new(0, values.len() - 1)?;
+                let est = follower.estimate(&column, q)?;
+                println!("rejoined column {column}: full-range sum {est:.0}");
             }
         }
     }

@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         "maintain" => commands::maintain(rest),
         "ship" => commands::ship(rest),
         "follow" => commands::follow(rest),
+        "reseed" => commands::reseed(rest),
         "recover" => commands::recover(rest),
         "report" => commands::report(rest),
         "fsck" => commands::fsck(rest),

@@ -1,0 +1,260 @@
+//! End-to-end automated failover through the `synoptic` binary: a
+//! term-stamped leader streams to `follow --auto-promote` over real TCP
+//! and then goes silent; the replica's lease expires, it promotes itself
+//! in place (claiming the next term) and serves its first read. The
+//! promoted state then `ship --seed`s into a `reseed` receiver, which
+//! rejoins as a follower on the granted term, and a stale term-0 shipper
+//! against the rejoined node exits with the dedicated fenced code (9).
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+use synoptic_catalog::wal::{ColumnWal, WalConfig};
+use synoptic_catalog::FsStorage;
+use synoptic_repl::{Shipper, TcpTransport};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_synoptic")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("failed to launch synoptic binary")
+}
+
+fn ok(args: &[&str]) -> Output {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "`synoptic {}` failed:\nstdout: {}\nstderr: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("{name}_{}", std::process::id()))
+}
+
+/// Spawns a listening subcommand (`follow`/`reseed`) on an ephemeral port
+/// and waits for the port file to learn where it listens.
+fn spawn_listener(args: &[&str], port_file: &PathBuf) -> (Child, u16) {
+    let _ = std::fs::remove_file(port_file);
+    let mut full = args.to_vec();
+    full.extend_from_slice(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--port-file",
+        port_file.to_str().unwrap(),
+    ]);
+    let child = Command::new(bin())
+        .args(&full)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("failed to spawn listener");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let port = loop {
+        if let Ok(s) = std::fs::read_to_string(port_file) {
+            if let Ok(p) = s.trim().parse::<u16>() {
+                break p;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "listener never wrote its port file"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (child, port)
+}
+
+fn wait(child: Child, what: &str) -> Output {
+    let out = child.wait_with_output().expect("wait on child");
+    assert!(
+        out.status.success(),
+        "{what} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// The whole failover loop: silent leader → lease expiry → in-place
+/// promotion and first served read → seed → rejoin → fence.
+#[test]
+fn leader_silence_promotes_replica_then_reseed_and_fencing() {
+    let col = tmp("synoptic_fo_col.txt");
+    let leader_wal = tmp("synoptic_fo_leader_wal");
+    let replica_cat = tmp("synoptic_fo_replica_cat");
+    let replica_wal = tmp("synoptic_fo_replica_wal");
+    let rejoin_cat = tmp("synoptic_fo_rejoin_cat");
+    let rejoin_wal = tmp("synoptic_fo_rejoin_wal");
+    let pf1 = tmp("synoptic_fo_port1");
+    let pf2 = tmp("synoptic_fo_port2");
+    let pf3 = tmp("synoptic_fo_port3");
+    for d in [
+        &leader_wal,
+        &replica_cat,
+        &replica_wal,
+        &rejoin_cat,
+        &rejoin_wal,
+    ] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    // 32 values of 3: the initial full-range sum is 96, exactly.
+    std::fs::write(&col, "3\n".repeat(32)).unwrap();
+    let col_s = col.to_str().unwrap();
+    let (rc, rw) = (replica_cat.to_str().unwrap(), replica_wal.to_str().unwrap());
+
+    // Commit the starting snapshot on the replica (zero updates).
+    ok(&[
+        "maintain",
+        "--input",
+        col_s,
+        "--method",
+        "naive",
+        "--updates",
+        "0",
+        "--workers",
+        "1",
+        "--wal-dir",
+        rw,
+        "--catalog",
+        rc,
+    ]);
+
+    // The replica serves under a heartbeat lease and may promote itself.
+    let (follower, port) = spawn_listener(
+        &[
+            "follow",
+            "--catalog",
+            rc,
+            "--wal-dir",
+            rw,
+            "--auto-promote",
+            "--lease-ttl-ms",
+            "500",
+            "--node",
+            "5",
+        ],
+        &pf1,
+    );
+
+    // A term-1 leader ships 20 updates of +2 (sum 136 after)... and then
+    // goes silent without ever closing the link — the crash under test.
+    let wal = ColumnWal::open(
+        FsStorage::new(),
+        &leader_wal,
+        "cli",
+        1,
+        WalConfig {
+            segment_bytes: 64,
+            ..WalConfig::default()
+        },
+    )
+    .unwrap();
+    for i in 0..20u64 {
+        wal.append(i % 32, 2).unwrap();
+    }
+    wal.seal().unwrap();
+    let mut transport = TcpTransport::connect(&format!("127.0.0.1:{port}")).unwrap();
+    let shipper = Shipper::new(FsStorage::new(), &leader_wal, "cli").with_term(1);
+    let report = shipper.ship(&mut transport, wal.pending_mark()).unwrap();
+    assert_eq!(report.acked_lsn, 20, "replica must ack the whole journal");
+    // Silence: the transport stays open, no heartbeat ever arrives again.
+
+    let follower_out = wait(follower, "auto-promoting follower");
+    drop(transport);
+    let stdout = String::from_utf8_lossy(&follower_out.stdout).to_string();
+    assert!(stdout.contains("lease expired"), "{stdout}");
+    assert!(
+        stdout.contains("promoted node 5 to leader for term 2"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("first served read (full-range sum) 136"),
+        "detection -> promotion -> first read must serve the exact \
+         replicated state: {stdout}"
+    );
+
+    // Re-seed: the promoted node streams its state to a fresh `reseed`
+    // receiver, which rejoins as a follower on the granted term.
+    let (fc, fw) = (rejoin_cat.to_str().unwrap(), rejoin_wal.to_str().unwrap());
+    let (reseed, port2) = spawn_listener(&["reseed", "--catalog", fc, "--wal-dir", fw], &pf2);
+    let seed_out = ok(&[
+        "ship",
+        "--seed",
+        "--catalog",
+        rc,
+        "--wal-dir",
+        rw,
+        "--to",
+        &format!("127.0.0.1:{port2}"),
+    ]);
+    let seed_stdout = String::from_utf8_lossy(&seed_out.stdout).to_string();
+    assert!(
+        seed_stdout.contains("term 2 (node 5)"),
+        "the seeder announces the recorded term and vote: {seed_stdout}"
+    );
+    let reseed_out = wait(reseed, "reseed receiver");
+    let reseed_stdout = String::from_utf8_lossy(&reseed_out.stdout).to_string();
+    assert!(
+        reseed_stdout.contains("rejoined as a follower on term 2"),
+        "{reseed_stdout}"
+    );
+    assert!(
+        reseed_stdout.contains("full-range sum 136"),
+        "the rejoined node converges to the promoted state: {reseed_stdout}"
+    );
+
+    // Fencing through the binary: a term-0 shipper (the deposed leader's
+    // old journal, no election state) against the term-2 rejoined node
+    // exits with the dedicated fenced code and provenance.
+    let (fenced_follower, port3) =
+        spawn_listener(&["follow", "--catalog", fc, "--wal-dir", fw], &pf3);
+    let lw = leader_wal.to_str().unwrap();
+    let fenced = run(&[
+        "ship",
+        "--wal-dir",
+        lw,
+        "--to",
+        &format!("127.0.0.1:{port3}"),
+    ]);
+    assert_eq!(
+        fenced.status.code(),
+        Some(9),
+        "a stale-term write must exit fenced\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&fenced.stdout),
+        String::from_utf8_lossy(&fenced.stderr)
+    );
+    let fenced_stderr = String::from_utf8_lossy(&fenced.stderr).to_string();
+    assert!(
+        fenced_stderr.contains("term 0 is stale") && fenced_stderr.contains("term is 2"),
+        "fencing must carry both terms: {fenced_stderr}"
+    );
+    let fenced_follower_out = wait(fenced_follower, "fenced-side follower");
+    let ff_stderr = String::from_utf8_lossy(&fenced_follower_out.stderr).to_string();
+    assert!(
+        ff_stderr.contains("fenced"),
+        "the replica records the refusal with provenance: {ff_stderr}"
+    );
+
+    for p in [&col, &pf1, &pf2, &pf3] {
+        let _ = std::fs::remove_file(p);
+    }
+    for d in [
+        &leader_wal,
+        &replica_cat,
+        &replica_wal,
+        &rejoin_cat,
+        &rejoin_wal,
+    ] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}

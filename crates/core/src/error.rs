@@ -139,6 +139,19 @@ pub enum SynopticError {
         /// What exactly diverged.
         detail: String,
     },
+    /// A write (shipped segment or heartbeat) was fenced: the sender's
+    /// election term is older than the receiver's, so a newer leader has
+    /// been elected since the sender last held the lease. The stale
+    /// leader must stop writing, re-seed from the current leader, and
+    /// rejoin as a follower. Both terms travel in the error — fencing is
+    /// always refused with provenance, never silently dropped.
+    StaleLeaderTerm {
+        /// The term the fenced sender was still writing under.
+        stale_term: u64,
+        /// The receiver's current term (the newest leadership it has
+        /// granted or observed).
+        current_term: u64,
+    },
     /// A follower read was refused because its replica lags the leader
     /// beyond the configured staleness bound. The provenance fields say
     /// exactly how stale the replica was when it refused.
@@ -212,6 +225,17 @@ impl fmt::Display for SynopticError {
             }
             Self::ReplicationDivergence { context, detail } => {
                 write!(f, "replication divergence ({context}): {detail}")
+            }
+            Self::StaleLeaderTerm {
+                stale_term,
+                current_term,
+            } => {
+                write!(
+                    f,
+                    "write fenced: leader term {stale_term} is stale (current \
+                     term is {current_term}); the deposed leader must re-seed \
+                     and rejoin as a follower"
+                )
             }
             Self::ReplicationLagExceeded {
                 column,
@@ -320,6 +344,13 @@ mod tests {
                     detail: "segment starts at LSN 9 but 4 was expected".into(),
                 },
                 "LSN 9",
+            ),
+            (
+                SynopticError::StaleLeaderTerm {
+                    stale_term: 3,
+                    current_term: 5,
+                },
+                "term 3 is stale",
             ),
             (
                 SynopticError::ReplicationLagExceeded {

@@ -21,6 +21,12 @@
 //!   LSN, ships every sealed segment past it in order, tracks cumulative
 //!   acks, retries refused or lost segments with backoff, and reports —
 //!   loudly, never silently — when a follower cannot converge.
+//! * [`election`] — lease-based leader election and automated failover:
+//!   monotonic terms persisted through the catalog's manifest
+//!   generations, heartbeat-renewed leases over injectable clocks,
+//!   fencing of deposed leaders via term-stamped frames, and the
+//!   [`Seeder`] re-seed path that brings a fenced ex-leader or evicted
+//!   laggard back as a follower.
 //!
 //! The follower side lives in `synoptic_stream::follow`, next to the
 //! recovery machinery it reuses for promotion.
@@ -28,10 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod election;
 pub mod ship;
 pub mod transport;
 pub mod wire;
 
+pub use election::{Clock, LeaseTracker, ManualClock, SeedReport, Seeder, TermLedger, WallClock};
 pub use ship::{ShipReport, Shipper};
 pub use transport::{
     FaultyTransport, MemTransport, Received, TcpTransport, Transport, TransportFault,

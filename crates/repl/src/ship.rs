@@ -61,6 +61,7 @@ pub struct Shipper<S: Storage> {
     storage: S,
     dir: PathBuf,
     column: String,
+    term: u64,
     max_passes: u32,
     backoff: Duration,
     drain_timeout: Duration,
@@ -69,16 +70,27 @@ pub struct Shipper<S: Storage> {
 impl<S: Storage> Shipper<S> {
     /// A shipper for `column`'s journal under `dir`. Defaults: 4 retry
     /// passes, 10 ms initial backoff (doubling), 500 ms ack-drain
-    /// timeout.
+    /// timeout, election term 0 (no election in play).
     pub fn new(storage: S, dir: impl Into<PathBuf>, column: &str) -> Self {
         Self {
             storage,
             dir: dir.into(),
             column: column.to_string(),
+            term: 0,
             max_passes: 4,
             backoff: Duration::from_millis(10),
             drain_timeout: Duration::from_millis(500),
         }
+    }
+
+    /// Stamps every outgoing frame with the leader's election term. A
+    /// follower on a newer term refuses the frames, and the shipper turns
+    /// that refusal into [`SynopticError::StaleLeaderTerm`] — the fencing
+    /// signal that this leader was deposed and must stand down.
+    #[must_use]
+    pub fn with_term(mut self, term: u64) -> Self {
+        self.term = term;
+        self
     }
 
     /// Sets the retry budget: `passes` ship/drain rounds with `backoff`
@@ -110,6 +122,7 @@ impl<S: Storage> Shipper<S> {
     pub fn probe(&self, transport: &mut dyn Transport, leader_mark: u64) -> Result<u64> {
         for pass in 0..self.max_passes {
             transport.send(&encode_frame(&Frame::Heartbeat {
+                term: self.term,
                 column: self.column.clone(),
                 leader_mark,
             }))?;
@@ -119,7 +132,17 @@ impl<S: Storage> Shipper<S> {
                         Frame::Ack {
                             column,
                             applied_lsn,
+                            ..
                         } if column == self.column => return Ok(applied_lsn),
+                        // A refusal on a newer term is the fence: stop
+                        // immediately, no retry can make a deposed leader
+                        // current again.
+                        Frame::Refuse { term, .. } if term > self.term => {
+                            return Err(SynopticError::StaleLeaderTerm {
+                                stale_term: self.term,
+                                current_term: term,
+                            })
+                        }
                         // Stale acks for other columns, late refusals:
                         // keep draining.
                         _ => continue,
@@ -149,7 +172,18 @@ impl<S: Storage> Shipper<S> {
             if seg.column != self.column {
                 continue;
             }
-            let bytes = self.storage.read(&self.dir.join(&seg.file))?;
+            let path = self.dir.join(&seg.file);
+            let bytes = match self.storage.read(&path) {
+                Ok(bytes) => bytes,
+                // A checkpoint may truncate a fully-acknowledged segment
+                // between the directory listing and this read (the live
+                // `maintain --replicate-to` loop races its own
+                // checkpoints, which delete nothing past the retention
+                // hold). A vanished segment holds nothing the follower
+                // still needs.
+                Err(_) if !self.storage.exists(&path) => continue,
+                Err(e) => return Err(e),
+            };
             let decoded = decode_segment(&bytes, &seg.file)?;
             if decoded.records.is_empty() {
                 continue;
@@ -184,6 +218,7 @@ impl<S: Storage> Shipper<S> {
             }
             for (_, seq, _, bytes) in &pending {
                 transport.send(&encode_frame(&Frame::Segment {
+                    term: self.term,
                     column: self.column.clone(),
                     seq: *seq,
                     leader_mark,
@@ -201,8 +236,18 @@ impl<S: Storage> Shipper<S> {
                         Frame::Ack {
                             column,
                             applied_lsn,
+                            ..
                         } if column == self.column => {
                             report.acked_lsn = report.acked_lsn.max(applied_lsn);
+                        }
+                        // A refusal on a newer term fences this leader
+                        // outright — retrying a deposed term would split
+                        // the replicated history.
+                        Frame::Refuse { term, .. } if term > self.term => {
+                            return Err(SynopticError::StaleLeaderTerm {
+                                stale_term: self.term,
+                                current_term: term,
+                            })
                         }
                         // An empty column is the follower saying "the
                         // outer frame itself did not validate" — it
@@ -212,6 +257,7 @@ impl<S: Storage> Shipper<S> {
                             column,
                             applied_lsn,
                             reason,
+                            ..
                         } if column == self.column || column.is_empty() => {
                             if column == self.column {
                                 report.acked_lsn = report.acked_lsn.max(applied_lsn);
@@ -280,6 +326,7 @@ mod tests {
                             _ => continue,
                         };
                         t.send(&encode_frame(&Frame::Ack {
+                            term: 0,
                             column,
                             applied_lsn: applied,
                         }))
@@ -364,6 +411,52 @@ mod tests {
             matches!(err, SynopticError::ReplicationDivergence { ref detail, .. } if detail.contains("probe")),
             "{err:?}"
         );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn newer_term_refusal_fences_the_shipper() {
+        let d = tmp_dir("fenced");
+        let s = FsStorage::new();
+        let wal = ColumnWal::open(s.clone(), &d, "c", 1, WalConfig::default()).unwrap();
+        wal.append(0, 1).unwrap();
+        wal.seal().unwrap();
+        let (leader_end, mut follower_end) = MemTransport::pair();
+        // A follower that has granted term 7 fences everything from this
+        // term-3 leader.
+        let follower = std::thread::spawn(move || loop {
+            match follower_end.recv(None).unwrap() {
+                Received::Frame(bytes) => {
+                    let frame = decode_frame(&bytes).unwrap();
+                    follower_end
+                        .send(&encode_frame(&Frame::Refuse {
+                            term: 7,
+                            column: match frame {
+                                Frame::Segment { column, .. } | Frame::Heartbeat { column, .. } => {
+                                    column
+                                }
+                                _ => String::new(),
+                            },
+                            applied_lsn: 0,
+                            reason: "fenced: leader term 3 is stale (current term 7)".into(),
+                        }))
+                        .unwrap();
+                }
+                _ => return,
+            }
+        });
+        let shipper = Shipper::new(s, &d, "c").with_term(3);
+        let mut t: Box<dyn Transport> = Box::new(leader_end);
+        let err = shipper.ship(t.as_mut(), 1).unwrap_err();
+        assert_eq!(
+            err,
+            SynopticError::StaleLeaderTerm {
+                stale_term: 3,
+                current_term: 7
+            }
+        );
+        t.close();
+        follower.join().unwrap();
         let _ = std::fs::remove_dir_all(&d);
     }
 

@@ -9,10 +9,16 @@
 //!   for tests and same-process followers. Blocking `recv` with optional
 //!   timeout, unbounded buffering (a lagging receiver models unbounded
 //!   replication lag, not backpressure).
-//! * [`FaultyTransport`] — wraps any transport with a deterministic
-//!   sender-side fault queue, mirroring `synoptic_catalog::FaultyStorage`:
-//!   dropped frames, torn mid-record deliveries, duplicated frames, and
-//!   reordering. Unbounded lag is a streak of [`TransportFault::Drop`]s.
+//! * [`FaultyTransport`] — wraps any transport with deterministic fault
+//!   queues, mirroring `synoptic_catalog::FaultyStorage`: dropped frames,
+//!   torn mid-record deliveries, duplicated frames, reordering, and
+//!   k-frame delays. Unbounded lag is a streak of
+//!   [`TransportFault::Drop`]s. Faults are scheduled per *direction*:
+//!   the send-side queue corrupts outgoing frames, the recv-side queue
+//!   corrupts incoming ones — an **asymmetric partition** (one direction
+//!   dark, the other clean) is a recv-side `Drop` streak with an empty
+//!   send schedule, and a **delayed heartbeat** is a recv-side
+//!   [`TransportFault::Delay`].
 //!
 //! Transports never interpret frames; all validation happens in
 //! [`crate::wire`] and above. A transport failure is loud
@@ -245,12 +251,14 @@ impl Transport for TcpTransport {
 // ---------------------------------------------------------------------------
 // Deterministic fault injection
 
-/// One sender-side delivery fault, consumed per [`Transport::send`] in
-/// FIFO order (exactly like `synoptic_catalog::Fault` schedules storage
-/// faults). With the queue empty, delivery is clean.
+/// One delivery fault, consumed in FIFO order from the schedule for its
+/// direction (exactly like `synoptic_catalog::Fault` schedules storage
+/// faults) — send-side faults per [`Transport::send`], recv-side faults
+/// per received frame. With the queue empty, delivery is clean.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransportFault {
-    /// The frame vanishes in flight.
+    /// The frame vanishes in flight. On the recv side this models an
+    /// asymmetric partition: the sender believes the frame was delivered.
     Drop,
     /// Only the first `keep` bytes arrive — a torn mid-record stream: the
     /// receiver's CRC/torn-tail validation must catch it.
@@ -262,33 +270,60 @@ pub enum TransportFault {
     Duplicate,
     /// The frame is held back and delivered *after* the next sent frame.
     Reorder,
+    /// The frame is held back for `frames` subsequent deliveries before
+    /// arriving — a delayed heartbeat. On the recv side, the delayed
+    /// frame surfaces only after `frames` further `recv` calls have each
+    /// produced (or failed to produce) a frame, so a lease clock keeps
+    /// ticking while the renewal is stuck in flight.
+    Delay {
+        /// How many deliveries overtake the delayed frame.
+        frames: usize,
+    },
     /// The frame arrives intact (a scheduling placeholder).
     Clean,
 }
 
-/// A [`Transport`] decorator injecting a deterministic queue of delivery
-/// faults, for driving every follower-side refusal path from tests.
+/// A [`Transport`] decorator injecting deterministic queues of delivery
+/// faults — one schedule per direction — for driving every follower-side
+/// refusal path and every election/lease timeout path from tests.
 pub struct FaultyTransport<T: Transport> {
     inner: T,
     faults: Mutex<VecDeque<TransportFault>>,
-    /// A frame held back by [`TransportFault::Reorder`], delivered after
-    /// the next send.
-    held: Option<Vec<u8>>,
+    recv_faults: Mutex<VecDeque<TransportFault>>,
+    /// Frames held back by [`TransportFault::Reorder`] /
+    /// [`TransportFault::Delay`] on the send side: `(frame, deliveries
+    /// still to overtake it)`.
+    held: Vec<(Vec<u8>, usize)>,
+    /// Same, for the recv side.
+    recv_held: Vec<(Vec<u8>, usize)>,
     fired: AtomicUsize,
 }
 
 impl<T: Transport> FaultyTransport<T> {
-    /// Wraps `inner` with a FIFO fault schedule.
+    /// Wraps `inner` with a FIFO send-side fault schedule.
     pub fn new(inner: T, schedule: Vec<TransportFault>) -> Self {
         Self {
             inner,
             faults: Mutex::new(schedule.into()),
-            held: None,
+            recv_faults: Mutex::new(VecDeque::new()),
+            held: Vec::new(),
+            recv_held: Vec::new(),
             fired: AtomicUsize::new(0),
         }
     }
 
-    /// Appends one fault to the schedule.
+    /// Wraps `inner` with both a send-side and a recv-side schedule.
+    pub fn with_recv_faults(
+        inner: T,
+        send_schedule: Vec<TransportFault>,
+        recv_schedule: Vec<TransportFault>,
+    ) -> Self {
+        let mut t = Self::new(inner, send_schedule);
+        t.recv_faults = Mutex::new(recv_schedule.into());
+        t
+    }
+
+    /// Appends one fault to the send-side schedule.
     pub fn push_fault(&self, fault: TransportFault) {
         self.faults
             .lock()
@@ -296,9 +331,28 @@ impl<T: Transport> FaultyTransport<T> {
             .push_back(fault);
     }
 
-    /// How many non-[`TransportFault::Clean`] faults have fired.
+    /// Appends one fault to the recv-side schedule.
+    pub fn push_recv_fault(&self, fault: TransportFault) {
+        self.recv_faults
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(fault);
+    }
+
+    /// How many non-[`TransportFault::Clean`] faults have fired, across
+    /// both directions.
     pub fn faults_fired(&self) -> usize {
         self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Ages held-back frames by one delivery and returns the first that
+    /// became due, preserving hold order.
+    fn release_due(held: &mut Vec<(Vec<u8>, usize)>) -> Option<Vec<u8>> {
+        for slot in held.iter_mut() {
+            slot.1 = slot.1.saturating_sub(1);
+        }
+        let due = held.iter().position(|(_, left)| *left == 0)?;
+        Some(held.remove(due).0)
     }
 }
 
@@ -323,19 +377,98 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 self.inner.send(frame)?;
             }
             TransportFault::Reorder => {
-                self.held = Some(frame.to_vec());
+                self.held.push((frame.to_vec(), 1));
                 return Ok(()); // delivered after the *next* frame
+            }
+            TransportFault::Delay { frames } => {
+                self.held.push((frame.to_vec(), frames.max(1)));
+                return Ok(());
             }
             TransportFault::Clean => self.inner.send(frame)?,
         }
-        if let Some(held) = self.held.take() {
-            self.inner.send(&held)?;
+        while let Some(due) = Self::release_due(&mut self.held) {
+            self.inner.send(&due)?;
         }
         Ok(())
     }
 
     fn recv(&mut self, timeout: Option<Duration>) -> Result<Received> {
-        self.inner.recv(timeout)
+        // A held-back frame whose delay has elapsed is delivered before
+        // the inner transport is polled again.
+        if let Some(due) = self
+            .recv_held
+            .iter()
+            .position(|(_, left)| *left == 0)
+            .map(|at| self.recv_held.remove(at).0)
+        {
+            return Ok(Received::Frame(due));
+        }
+        loop {
+            let frame = match self.inner.recv(timeout)? {
+                Received::Frame(f) => f,
+                Received::TimedOut => {
+                    // The wait itself counts as a delivery opportunity:
+                    // delayed frames age even while the link is quiet.
+                    if let Some(due) = Self::release_due(&mut self.recv_held) {
+                        return Ok(Received::Frame(due));
+                    }
+                    return Ok(Received::TimedOut);
+                }
+                Received::Closed => {
+                    // A closing peer flushes whatever was stuck in flight.
+                    if let Some((frame, _)) =
+                        (!self.recv_held.is_empty()).then(|| self.recv_held.remove(0))
+                    {
+                        return Ok(Received::Frame(frame));
+                    }
+                    return Ok(Received::Closed);
+                }
+            };
+            let fault = self
+                .recv_faults
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+                .unwrap_or(TransportFault::Clean);
+            if !matches!(fault, TransportFault::Clean) {
+                self.fired.fetch_add(1, Ordering::SeqCst);
+            }
+            let deliver = match fault {
+                TransportFault::Drop => {
+                    // The frame is gone, but its non-arrival still ages
+                    // delayed frames; then report the partition as
+                    // silence, exactly what the sender's peer observes.
+                    if let Some(due) = Self::release_due(&mut self.recv_held) {
+                        return Ok(Received::Frame(due));
+                    }
+                    return Ok(Received::TimedOut);
+                }
+                TransportFault::Torn { keep } => frame[..keep.min(frame.len())].to_vec(),
+                TransportFault::Duplicate => {
+                    self.recv_held.push((frame.clone(), 0));
+                    frame
+                }
+                TransportFault::Reorder => {
+                    self.recv_held.push((frame, 1));
+                    continue; // surfaces after the next arrival
+                }
+                TransportFault::Delay { frames } => {
+                    // Model the delay as silence for this recv call: the
+                    // receiver's lease clock sees nothing arrive, and the
+                    // frame surfaces only after `frames` further recvs.
+                    self.recv_held.push((frame, frames.max(1)));
+                    return Ok(Received::TimedOut);
+                }
+                TransportFault::Clean => frame,
+            };
+            if let Some(due) = Self::release_due(&mut self.recv_held) {
+                // An aged-out frame surfaces first; the current one waits
+                // its turn at the head of the held queue.
+                self.recv_held.insert(0, (deliver, 0));
+                return Ok(Received::Frame(due));
+            }
+            return Ok(Received::Frame(deliver));
+        }
     }
 
     fn close(&mut self) {
@@ -416,6 +549,97 @@ mod tests {
                 b"FFFF".to_vec(), // schedule exhausted: clean
             ]
         );
+    }
+
+    #[test]
+    fn send_side_delay_holds_a_frame_for_k_deliveries() {
+        let (inner, mut rx) = MemTransport::pair();
+        let mut t = FaultyTransport::new(
+            inner,
+            vec![TransportFault::Delay { frames: 2 }, TransportFault::Clean],
+        );
+        t.send(b"late").unwrap();
+        t.send(b"first").unwrap();
+        t.send(b"second").unwrap(); // "late" becomes due after this
+        assert_eq!(
+            frames(&mut rx, 3),
+            vec![b"first".to_vec(), b"second".to_vec(), b"late".to_vec()]
+        );
+        assert_eq!(t.faults_fired(), 1);
+    }
+
+    #[test]
+    fn recv_side_drop_models_an_asymmetric_partition() {
+        let (mut tx, inner) = MemTransport::pair();
+        let mut t = FaultyTransport::with_recv_faults(
+            inner,
+            vec![],
+            vec![TransportFault::Drop, TransportFault::Drop],
+        );
+        // One direction is dark: sends succeed, yet nothing arrives.
+        tx.send(b"into the void").unwrap();
+        tx.send(b"also lost").unwrap();
+        tx.send(b"heard").unwrap();
+        assert_eq!(
+            t.recv(Some(Duration::from_millis(200))).unwrap(),
+            Received::TimedOut
+        );
+        assert_eq!(
+            t.recv(Some(Duration::from_millis(200))).unwrap(),
+            Received::TimedOut
+        );
+        assert_eq!(
+            t.recv(Some(Duration::from_millis(200))).unwrap(),
+            Received::Frame(b"heard".to_vec())
+        );
+        assert_eq!(t.faults_fired(), 2);
+        // The reverse direction stays clean.
+        t.send(b"reply").unwrap();
+        assert_eq!(frames(&mut tx, 1), vec![b"reply".to_vec()]);
+    }
+
+    #[test]
+    fn recv_side_delay_surfaces_the_frame_after_k_recvs() {
+        let (mut tx, inner) = MemTransport::pair();
+        let mut t = FaultyTransport::with_recv_faults(
+            inner,
+            vec![],
+            vec![TransportFault::Delay { frames: 2 }],
+        );
+        tx.send(b"heartbeat").unwrap();
+        // The delayed frame reads as silence now…
+        assert_eq!(
+            t.recv(Some(Duration::from_millis(50))).unwrap(),
+            Received::TimedOut
+        );
+        // …ages through one more quiet recv…
+        assert_eq!(
+            t.recv(Some(Duration::from_millis(50))).unwrap(),
+            Received::TimedOut
+        );
+        // …and then arrives intact.
+        assert_eq!(
+            t.recv(Some(Duration::from_millis(50))).unwrap(),
+            Received::Frame(b"heartbeat".to_vec())
+        );
+    }
+
+    #[test]
+    fn recv_side_delay_is_flushed_by_peer_close() {
+        let (mut tx, inner) = MemTransport::pair();
+        let mut t = FaultyTransport::with_recv_faults(
+            inner,
+            vec![],
+            vec![TransportFault::Delay { frames: 50 }],
+        );
+        tx.send(b"stuck").unwrap();
+        assert_eq!(
+            t.recv(Some(Duration::from_millis(50))).unwrap(),
+            Received::TimedOut
+        );
+        tx.close();
+        assert_eq!(t.recv(None).unwrap(), Received::Frame(b"stuck".to_vec()));
+        assert_eq!(t.recv(None).unwrap(), Received::Closed);
     }
 
     #[test]

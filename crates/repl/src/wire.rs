@@ -7,6 +7,7 @@
 //! frame:   magic "SRP1" (4) | type u8 | payload | crc32 u32
 //! string:  len u16 | bytes            (column names, refusal reasons)
 //! blob:    len u32 | bytes            (raw segment file bytes)
+//! values:  len u32 | i64-LE × len     (snapshot frequency vectors)
 //! ```
 //!
 //! All integers are little-endian; the CRC covers every byte before it.
@@ -15,19 +16,34 @@
 //! reason and the sender's retry ladder re-ships; nothing is ever applied
 //! from bytes that did not validate.
 //!
-//! The protocol is deliberately tiny and leader-driven:
+//! The protocol is deliberately tiny and leader-driven. Every frame
+//! carries the sender's **election term** (see `crate::election`): a
+//! receiver on a newer term refuses the frame loudly with its own term in
+//! the refusal — that refusal *is* the fencing mechanism that stops a
+//! deposed leader from splitting the replicated history. Nodes that never
+//! run elections use term 0 everywhere and the checks are vacuous.
 //!
 //! * [`Frame::Segment`] — one sealed WAL segment, byte-for-byte as it
 //!   exists in the leader's journal, plus the leader's current pending
 //!   mark so the follower can bound its replication lag.
 //! * [`Frame::Heartbeat`] — the leader's mark with no payload: a probe
-//!   that solicits an [`Frame::Ack`] (how far is this follower?) and keeps
-//!   lag accounting fresh between segments.
+//!   that solicits an [`Frame::Ack`] (how far is this follower?), keeps
+//!   lag accounting fresh between segments, and renews the follower's
+//!   leader lease.
 //! * [`Frame::Ack`] — the follower's *cumulative* applied LSN. Duplicate
 //!   and stale acks are harmless: the shipper tracks the maximum.
 //! * [`Frame::Refuse`] — the follower could not apply a segment, with the
-//!   reason and its (unchanged) applied LSN. Refusals are the loud half of
-//!   the "converge or refuse, never silently diverge" contract.
+//!   reason, its (unchanged) applied LSN, and its current term. Refusals
+//!   are the loud half of the "converge or refuse, never silently
+//!   diverge" contract; a refusal whose term exceeds the sender's is a
+//!   fencing verdict.
+//! * [`Frame::Claim`] — a node announces leadership of a term.
+//! * [`Frame::Grant`] — the receiver recognizes that leadership (its vote
+//!   is persisted before this frame is sent).
+//! * [`Frame::Snapshot`] — one column's committed frequency snapshot plus
+//!   its WAL mark: the re-seed path for a follower whose retention hold
+//!   was cap-evicted (or a fenced ex-leader rejoining). The journal tail
+//!   past the mark follows as ordinary [`Frame::Segment`]s.
 
 use synoptic_catalog::checksum::crc32;
 use synoptic_core::{Result, SynopticError};
@@ -39,12 +55,17 @@ const TYPE_SEGMENT: u8 = 1;
 const TYPE_HEARTBEAT: u8 = 2;
 const TYPE_ACK: u8 = 3;
 const TYPE_REFUSE: u8 = 4;
+const TYPE_CLAIM: u8 = 5;
+const TYPE_GRANT: u8 = 6;
+const TYPE_SNAPSHOT: u8 = 7;
 
 /// One replication protocol message. See the module docs for the roles.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
     /// Leader → follower: one sealed WAL segment, verbatim file bytes.
     Segment {
+        /// The sender's election term (0 when elections are not in play).
+        term: u64,
         /// Column the segment belongs to.
         column: String,
         /// Segment sequence number (the follower persists under the same
@@ -57,7 +78,11 @@ pub enum Frame {
         bytes: Vec<u8>,
     },
     /// Leader → follower: a probe carrying the leader's pending mark.
+    /// Also the lease renewal: a follower counts heartbeats (of a
+    /// current-or-newer term) toward its leader lease.
     Heartbeat {
+        /// The sender's election term.
+        term: u64,
         /// Column being probed.
         column: String,
         /// The leader's pending mark.
@@ -65,20 +90,70 @@ pub enum Frame {
     },
     /// Follower → leader: cumulative progress.
     Ack {
+        /// The follower's current election term.
+        term: u64,
         /// Column acknowledged.
         column: String,
         /// Highest LSN applied *and locally persisted* by the follower.
         applied_lsn: u64,
     },
-    /// Follower → leader: a segment was not applied, and why.
+    /// Follower → leader: a segment was not applied, and why. When
+    /// `term` exceeds the sender's own term, this refusal is a fencing
+    /// verdict: a newer leader exists and the sender must stand down.
     Refuse {
-        /// Column refused.
+        /// The follower's current election term (fencing provenance).
+        term: u64,
+        /// Column refused (empty when the outer frame didn't validate).
         column: String,
         /// The follower's applied LSN, unchanged by the refusal.
         applied_lsn: u64,
         /// Human-readable reason, also recorded follower-side.
         reason: String,
     },
+    /// A node announces it holds leadership of `term`.
+    Claim {
+        /// The claimed term.
+        term: u64,
+        /// The claiming node's id.
+        node: u64,
+    },
+    /// The receiver recognizes `node` as the leader of `term`; its vote
+    /// was persisted (term + vote in the catalog's WAL-marks section)
+    /// before this frame was sent.
+    Grant {
+        /// The granted term.
+        term: u64,
+        /// The node granted leadership.
+        node: u64,
+    },
+    /// Re-seed: one column's committed frequency snapshot. Everything at
+    /// or below `mark` is captured by `values`; the journal tail past the
+    /// mark follows as ordinary [`Frame::Segment`]s.
+    Snapshot {
+        /// The sender's election term.
+        term: u64,
+        /// Column being seeded.
+        column: String,
+        /// The WAL mark the snapshot captures (records ≤ mark included).
+        mark: u64,
+        /// Exact frequencies at the mark.
+        values: Vec<i64>,
+    },
+}
+
+impl Frame {
+    /// The election term stamped on this frame.
+    pub fn term(&self) -> u64 {
+        match self {
+            Frame::Segment { term, .. }
+            | Frame::Heartbeat { term, .. }
+            | Frame::Ack { term, .. }
+            | Frame::Refuse { term, .. }
+            | Frame::Claim { term, .. }
+            | Frame::Grant { term, .. }
+            | Frame::Snapshot { term, .. } => *term,
+        }
+    }
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -123,6 +198,18 @@ impl<'a> Reader<'a> {
         Ok(self.take(len)?.to_vec())
     }
 
+    fn values(&mut self) -> Result<Vec<i64>> {
+        let len = u32::from_le_bytes(self.take(4)?.try_into().expect("4")) as usize;
+        let bytes = self.take(
+            len.checked_mul(8)
+                .ok_or_else(|| diverged("values overflow"))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().expect("8")))
+            .collect())
+    }
+
     fn done(&self) -> Result<()> {
         if self.at != self.bytes.len() {
             return Err(diverged(format!(
@@ -140,12 +227,14 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     out.extend_from_slice(&FRAME_MAGIC);
     match frame {
         Frame::Segment {
+            term,
             column,
             seq,
             leader_mark,
             bytes,
         } => {
             out.push(TYPE_SEGMENT);
+            out.extend_from_slice(&term.to_le_bytes());
             put_str(&mut out, column);
             out.extend_from_slice(&seq.to_le_bytes());
             out.extend_from_slice(&leader_mark.to_le_bytes());
@@ -153,30 +242,61 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             out.extend_from_slice(bytes);
         }
         Frame::Heartbeat {
+            term,
             column,
             leader_mark,
         } => {
             out.push(TYPE_HEARTBEAT);
+            out.extend_from_slice(&term.to_le_bytes());
             put_str(&mut out, column);
             out.extend_from_slice(&leader_mark.to_le_bytes());
         }
         Frame::Ack {
+            term,
             column,
             applied_lsn,
         } => {
             out.push(TYPE_ACK);
+            out.extend_from_slice(&term.to_le_bytes());
             put_str(&mut out, column);
             out.extend_from_slice(&applied_lsn.to_le_bytes());
         }
         Frame::Refuse {
+            term,
             column,
             applied_lsn,
             reason,
         } => {
             out.push(TYPE_REFUSE);
+            out.extend_from_slice(&term.to_le_bytes());
             put_str(&mut out, column);
             out.extend_from_slice(&applied_lsn.to_le_bytes());
             put_str(&mut out, reason);
+        }
+        Frame::Claim { term, node } => {
+            out.push(TYPE_CLAIM);
+            out.extend_from_slice(&term.to_le_bytes());
+            out.extend_from_slice(&node.to_le_bytes());
+        }
+        Frame::Grant { term, node } => {
+            out.push(TYPE_GRANT);
+            out.extend_from_slice(&term.to_le_bytes());
+            out.extend_from_slice(&node.to_le_bytes());
+        }
+        Frame::Snapshot {
+            term,
+            column,
+            mark,
+            values,
+        } => {
+            out.push(TYPE_SNAPSHOT);
+            out.extend_from_slice(&term.to_le_bytes());
+            put_str(&mut out, column);
+            out.extend_from_slice(&mark.to_le_bytes());
+            out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+            for v in values {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
         }
     }
     let crc = crc32(&out);
@@ -211,11 +331,13 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame> {
     };
     let frame = match kind {
         TYPE_SEGMENT => {
+            let term = r.u64()?;
             let column = r.str()?;
             let seq = r.u64()?;
             let leader_mark = r.u64()?;
             let bytes = r.blob()?;
             Frame::Segment {
+                term,
                 column,
                 seq,
                 leader_mark,
@@ -223,18 +345,41 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame> {
             }
         }
         TYPE_HEARTBEAT => Frame::Heartbeat {
+            term: r.u64()?,
             column: r.str()?,
             leader_mark: r.u64()?,
         },
         TYPE_ACK => Frame::Ack {
+            term: r.u64()?,
             column: r.str()?,
             applied_lsn: r.u64()?,
         },
         TYPE_REFUSE => Frame::Refuse {
+            term: r.u64()?,
             column: r.str()?,
             applied_lsn: r.u64()?,
             reason: r.str()?,
         },
+        TYPE_CLAIM => Frame::Claim {
+            term: r.u64()?,
+            node: r.u64()?,
+        },
+        TYPE_GRANT => Frame::Grant {
+            term: r.u64()?,
+            node: r.u64()?,
+        },
+        TYPE_SNAPSHOT => {
+            let term = r.u64()?;
+            let column = r.str()?;
+            let mark = r.u64()?;
+            let values = r.values()?;
+            Frame::Snapshot {
+                term,
+                column,
+                mark,
+                values,
+            }
+        }
         other => return Err(diverged(format!("unknown frame type {other}"))),
     };
     r.done()?;
@@ -253,29 +398,57 @@ mod tests {
     #[test]
     fn every_frame_round_trips() {
         round_trip(Frame::Segment {
+            term: 3,
             column: "price".into(),
             seq: 7,
             leader_mark: 901,
             bytes: vec![1, 2, 3, 0, 255],
         });
         round_trip(Frame::Heartbeat {
+            term: 0,
             column: "c".into(),
             leader_mark: 0,
         });
         round_trip(Frame::Ack {
+            term: u64::MAX,
             column: "c".into(),
             applied_lsn: u64::MAX,
         });
         round_trip(Frame::Refuse {
+            term: 5,
             column: "c".into(),
             applied_lsn: 3,
             reason: "segment starts at LSN 9 but 4 was expected".into(),
         });
+        round_trip(Frame::Claim { term: 2, node: 7 });
+        round_trip(Frame::Grant { term: 2, node: 7 });
+        round_trip(Frame::Snapshot {
+            term: 4,
+            column: "price".into(),
+            mark: 120,
+            values: vec![i64::MIN, -1, 0, 1, i64::MAX],
+        });
+    }
+
+    #[test]
+    fn frame_term_accessor_reads_every_variant() {
+        assert_eq!(Frame::Claim { term: 9, node: 1 }.term(), 9);
+        assert_eq!(
+            Frame::Snapshot {
+                term: 4,
+                column: "c".into(),
+                mark: 0,
+                values: vec![],
+            }
+            .term(),
+            4
+        );
     }
 
     #[test]
     fn corruption_anywhere_is_refused() {
         let good = encode_frame(&Frame::Ack {
+            term: 1,
             column: "c".into(),
             applied_lsn: 5,
         });
@@ -301,6 +474,7 @@ mod tests {
     #[test]
     fn trailing_garbage_is_refused() {
         let mut bytes = encode_frame(&Frame::Heartbeat {
+            term: 0,
             column: "c".into(),
             leader_mark: 1,
         });
@@ -318,5 +492,22 @@ mod tests {
             ),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn snapshot_with_truncated_values_is_refused() {
+        let mut bytes = encode_frame(&Frame::Snapshot {
+            term: 1,
+            column: "c".into(),
+            mark: 2,
+            values: vec![10, 20, 30],
+        });
+        // Cut one value out of the payload and re-CRC: the declared count
+        // no longer matches the bytes present.
+        let crc_at = bytes.len() - 4;
+        bytes.truncate(crc_at - 8);
+        let crc = synoptic_catalog::checksum::crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        assert!(decode_frame(&bytes).is_err());
     }
 }

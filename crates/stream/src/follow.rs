@@ -30,18 +30,38 @@
 //!    lag, and bound in the error — provenance, not a bare "no") once the
 //!    replica trails the leader's mark beyond
 //!    [`FollowConfig::max_lag`].
+//! 5. **Fence by term, fail over by lease.** Every frame carries its
+//!    sender's election term (see `synoptic_repl::election`). A frame on
+//!    an *older* term than the replica has granted is refused with the
+//!    replica's own term — the fencing verdict that stops a deposed
+//!    leader. A newer term is adopted and persisted (a manifest
+//!    generation) before anything of that term is applied. Under
+//!    [`Follower::serve_with_lease`] the replica tracks heartbeat
+//!    renewals on an injected clock and reports
+//!    [`ServeOutcome::LeaseExpired`] when the leader goes silent; the
+//!    caller then runs [`promote`] — recovery plus a persisted claim on
+//!    `term + 1` — and starts serving as the new leader.
+//! 6. **Checkpoint in place.** With
+//!    [`FollowConfig::checkpoint_segments`] set, a long-lived replica
+//!    periodically commits its live frequencies as a new catalog
+//!    generation and truncates the journal segments the snapshot
+//!    captured — the promote-in-place loop that keeps a
+//!    week-of-ingest replica's journal bounded.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 use synoptic_catalog::wal::{
-    decode_segment, restamp_segment_generation, wal_file_name, DecodedSegment, WAL_RECORD_LEN,
+    decode_segment, restamp_segment_generation, wal_file_name, ColumnWal, DecodedSegment,
+    WalConfig, WAL_RECORD_LEN,
 };
-use synoptic_catalog::DurableCatalog;
+use synoptic_catalog::{Catalog, ColumnEntry, DurableCatalog, PersistentSynopsis};
 use synoptic_core::{
     HotSwap, HotSwapReader, PrefixSums, RangeEstimator, RangeQuery, Result, SynopticError,
 };
+use synoptic_repl::election::{Clock, LeaseTracker};
 use synoptic_repl::transport::{Received, Transport};
 use synoptic_repl::wire::{decode_frame, encode_frame, Frame};
 
@@ -58,6 +78,11 @@ pub struct FollowConfig {
     /// the gap-filler before the follower refuses. `0` refuses any
     /// non-anchoring segment immediately.
     pub reorder_window: usize,
+    /// Auto-checkpoint: after this many applied segments a column commits
+    /// its live frequencies as a new catalog generation and truncates the
+    /// captured journal prefix, keeping a long-lived replica's journal
+    /// bounded. `None` never checkpoints (journal grows until promotion).
+    pub checkpoint_segments: Option<usize>,
 }
 
 impl Default for FollowConfig {
@@ -65,8 +90,20 @@ impl Default for FollowConfig {
         Self {
             max_lag: None,
             reorder_window: 8,
+            checkpoint_segments: None,
         }
     }
+}
+
+/// How a [`Follower::serve_with_lease`] session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// The leader closed the link cleanly; the end-of-stream invariant
+    /// held.
+    LeaderClosed,
+    /// The leader's lease expired: no current-term heartbeat or segment
+    /// arrived within the TTL. The replica should promote.
+    LeaseExpired,
 }
 
 /// Exact read-only answering over the replica's live frequencies.
@@ -107,6 +144,8 @@ struct FollowedColumn {
     /// Parked out-of-order segments keyed by first LSN: `(seq, bytes)`.
     pending: BTreeMap<u64, (u64, Vec<u8>)>,
     serving: Arc<HotSwap<dyn RangeEstimator>>,
+    /// Segments journaled since the last auto-checkpoint.
+    segments_since_checkpoint: usize,
 }
 
 impl FollowedColumn {
@@ -118,8 +157,11 @@ impl FollowedColumn {
 /// A read-only replica of journaled columns, fed by shipped WAL segments.
 pub struct Follower {
     storage: SharedStorage,
+    store: DurableCatalog<SharedStorage>,
+    catalog: Catalog,
     wal_dir: PathBuf,
     generation: u64,
+    term: u64,
     config: FollowConfig,
     columns: BTreeMap<String, FollowedColumn>,
     refusals: Vec<String>,
@@ -153,12 +195,16 @@ impl Follower {
                     leader_mark: col.committed_mark.max(col.max_lsn),
                     pending: BTreeMap::new(),
                     serving,
+                    segments_since_checkpoint: 0,
                 },
             );
         }
         Ok((
             Self {
                 storage,
+                catalog: report.catalog.clone(),
+                term: report.catalog.election_term(),
+                store,
                 wal_dir,
                 generation: report.generation,
                 config,
@@ -167,6 +213,12 @@ impl Follower {
             },
             report,
         ))
+    }
+
+    /// The election term this replica has granted or observed (0 = no
+    /// election has ever touched this node).
+    pub fn term(&self) -> u64 {
+        self.term
     }
 
     /// Columns this replica serves, sorted.
@@ -228,10 +280,131 @@ impl Follower {
         let applied_lsn = self.columns.get(column).map(|c| c.applied_lsn).unwrap_or(0);
         self.refusals.push(format!("{column}: {reason}"));
         Frame::Refuse {
+            term: self.term,
             column: column.to_string(),
             applied_lsn,
             reason,
         }
+    }
+
+    /// Adopts a newer term, persisting it (a manifest generation) before
+    /// it takes effect — a crash between observing and persisting must
+    /// re-observe, never regress. Returns a refusal reason on failure.
+    fn adopt_term(&mut self, term: u64) -> std::result::Result<(), String> {
+        if term <= self.term {
+            return Ok(());
+        }
+        self.catalog.set_election_term(term);
+        match self.store.save(&self.catalog) {
+            Ok(generation) => {
+                self.generation = generation;
+                self.term = term;
+                Ok(())
+            }
+            Err(e) => {
+                // Roll the in-memory copy back: the durable state still
+                // holds the old term, and the two must agree.
+                self.catalog.set_election_term(self.term);
+                Err(format!("persisting adopted term {term} failed: {e}"))
+            }
+        }
+    }
+
+    /// The fencing gate for leader-originated frames. `Ok` means the
+    /// frame's term is current (adopting and persisting a newer one);
+    /// `Err` is the refusal to send back, with term provenance.
+    fn check_term(&mut self, column: &str, frame_term: u64) -> std::result::Result<(), Frame> {
+        if frame_term < self.term {
+            let current = self.term;
+            return Err(self.refuse(
+                column,
+                format!(
+                    "fenced: sender term {frame_term} is stale, this replica is on \
+                     term {current}"
+                ),
+            ));
+        }
+        self.adopt_term(frame_term)
+            .map_err(|reason| self.refuse(column, reason))
+    }
+
+    /// Persists `column`'s live frequencies as a new catalog generation
+    /// and truncates the journal prefix the snapshot captured. Errors are
+    /// reported as refusal reasons; the replica's in-memory state is
+    /// untouched by a failed checkpoint (the journal simply stays long).
+    fn checkpoint_column(&mut self, column: &str) -> std::result::Result<(), String> {
+        let col = self.columns.get(column).expect("caller checked");
+        let (values, applied_lsn) = (col.values.clone(), col.applied_lsn);
+        self.catalog.insert(
+            column,
+            ColumnEntry {
+                n: values.len(),
+                total_rows: values.iter().sum(),
+                synopsis: PersistentSynopsis::from_frequencies(&values),
+            },
+        );
+        self.catalog.set_wal_mark(column, applied_lsn);
+        let generation = self
+            .store
+            .save(&self.catalog)
+            .map_err(|e| format!("checkpoint persist failed: {e}"))?;
+        self.generation = generation;
+        // Truncate through the proven WAL checkpoint path: sealed
+        // segments wholly at or below the mark are deleted. A failure
+        // here only delays truncation — replay filters by the mark.
+        let wal = ColumnWal::open(
+            Arc::clone(&self.storage),
+            &self.wal_dir,
+            column,
+            generation,
+            WalConfig::default(),
+        )
+        .map_err(|e| format!("checkpoint truncation open failed: {e}"))?;
+        wal.checkpoint(applied_lsn, generation)
+            .map_err(|e| format!("checkpoint truncation failed: {e}"))?;
+        let col = self.columns.get_mut(column).expect("caller checked");
+        col.segments_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Handles a leadership claim: grant when the term is newer (or a
+    /// re-claim by the already-granted node), persisting term + vote
+    /// *before* the grant frame travels — the at-most-one-grant-per-term
+    /// invariant survives any crash. Everything else is fenced.
+    fn handle_claim(&mut self, term: u64, node: u64) -> Frame {
+        let current = self.term;
+        let vote = self.catalog.election_vote();
+        if term < current || (term == current && vote != Some(node)) {
+            return self.refuse(
+                "",
+                format!(
+                    "claim of term {term} by node {node} fenced: this replica is on \
+                     term {current}{}",
+                    match vote {
+                        Some(v) if term == current => format!(", granted to node {v}"),
+                        _ => String::new(),
+                    }
+                ),
+            );
+        }
+        if term > current || vote != Some(node) {
+            // Stage on a copy: the in-memory catalog only advances when
+            // the grant is durably committed.
+            let mut staged = self.catalog.clone();
+            staged.set_election_term(term);
+            staged.set_election_vote(node);
+            match self.store.save(&staged) {
+                Ok(generation) => {
+                    self.catalog = staged;
+                    self.generation = generation;
+                    self.term = term;
+                }
+                Err(e) => {
+                    return self.refuse("", format!("persisting grant of term {term} failed: {e}"));
+                }
+            }
+        }
+        Frame::Grant { term, node }
     }
 
     /// Applies one decoded, validated, anchoring segment: journal first,
@@ -278,6 +451,7 @@ impl Follower {
             col.values[i] = col.values[i].wrapping_add(r.delta);
         }
         col.applied_lsn = decoded.last_lsn;
+        col.segments_since_checkpoint += 1;
         col.serving
             .swap(Arc::new(ReplicaEstimator::new(&col.values)));
         Ok(())
@@ -322,6 +496,7 @@ impl Follower {
             // Fully duplicate (or empty): replay is idempotent — re-ack.
             let applied_lsn = col.applied_lsn;
             return Frame::Ack {
+                term: self.term,
                 column,
                 applied_lsn,
             };
@@ -333,6 +508,7 @@ impl Follower {
                 let applied_lsn = col.applied_lsn;
                 col.pending.insert(decoded.first_lsn, (seq, bytes));
                 return Frame::Ack {
+                    term: self.term,
                     column,
                     applied_lsn,
                 };
@@ -374,40 +550,71 @@ impl Follower {
                 }
             }
         }
+        // Auto-checkpoint: promote-in-place once enough segments landed.
+        if let Some(threshold) = self.config.checkpoint_segments {
+            if self.columns[&column].segments_since_checkpoint >= threshold.max(1) {
+                if let Err(reason) = self.checkpoint_column(&column) {
+                    // A failed checkpoint is recorded but not fatal: the
+                    // replica keeps serving, the journal just stays long.
+                    self.refusals.push(format!("{column}: {reason}"));
+                }
+            }
+        }
         let applied_lsn = self.columns[&column].applied_lsn;
         Frame::Ack {
+            term: self.term,
             column,
             applied_lsn,
         }
     }
 
     /// Processes one raw frame and returns the encoded response frame
-    /// (always exactly one: an ack or a refusal).
+    /// (always exactly one: an ack, a grant, or a refusal).
     pub fn handle(&mut self, frame_bytes: &[u8]) -> Vec<u8> {
         let response = match decode_frame(frame_bytes) {
             Ok(Frame::Segment {
+                term,
                 column,
                 seq,
                 leader_mark,
                 bytes,
-            }) => self.handle_segment(column, seq, leader_mark, bytes),
+            }) => match self.check_term(&column, term) {
+                Ok(()) => self.handle_segment(column, seq, leader_mark, bytes),
+                Err(refusal) => refusal,
+            },
             Ok(Frame::Heartbeat {
+                term,
                 column,
                 leader_mark,
-            }) => match self.columns.get_mut(&column) {
-                Some(col) => {
-                    col.leader_mark = col.leader_mark.max(leader_mark);
-                    let applied_lsn = col.applied_lsn;
-                    Frame::Ack {
-                        column,
-                        applied_lsn,
+            }) => match self.check_term(&column, term) {
+                Ok(()) => match self.columns.get_mut(&column) {
+                    Some(col) => {
+                        col.leader_mark = col.leader_mark.max(leader_mark);
+                        let applied_lsn = col.applied_lsn;
+                        Frame::Ack {
+                            term: self.term,
+                            column,
+                            applied_lsn,
+                        }
                     }
-                }
-                None => self.refuse(&column, "unknown column".to_string()),
+                    None => self.refuse(&column, "unknown column".to_string()),
+                },
+                Err(refusal) => refusal,
             },
+            Ok(Frame::Claim { term, node }) => self.handle_claim(term, node),
+            Ok(Frame::Snapshot { column, .. }) => self.refuse(
+                &column,
+                "re-seed snapshot outside a rejoin session: this replica already \
+                 holds committed state"
+                    .to_string(),
+            ),
             Ok(Frame::Ack { column, .. } | Frame::Refuse { column, .. }) => self.refuse(
                 &column,
                 "follower received a follower-side frame".to_string(),
+            ),
+            Ok(Frame::Grant { term, .. }) => self.refuse(
+                "",
+                format!("follower received a grant for term {term} it never claimed"),
             ),
             Err(e) => {
                 // The outer frame did not validate; there is no column to
@@ -415,6 +622,7 @@ impl Follower {
                 // "yours, probably torn in flight".
                 self.refusals.push(format!("<frame>: {e}"));
                 Frame::Refuse {
+                    term: self.term,
                     column: String::new(),
                     applied_lsn: 0,
                     reason: e.to_string(),
@@ -463,4 +671,84 @@ impl Follower {
         }
         self.finish()
     }
+
+    /// Serves like [`Follower::serve`] while tracking the leader's lease
+    /// on the injected `clock`: any current-or-newer-term leader frame
+    /// renews the lease, and once `ttl` clock ticks pass without one the
+    /// session ends with [`ServeOutcome::LeaseExpired`] — the caller's
+    /// cue to [`promote`]. `poll` is the real-time granularity at which
+    /// the transport is polled between frames (the clock, not `poll`,
+    /// decides expiry — tests drive a `ManualClock` and never depend on
+    /// wall-time).
+    ///
+    /// A lease expiry does **not** run the end-of-stream invariant:
+    /// parked (never-anchored, never-acknowledged) segments are the dead
+    /// leader's unacknowledged tail, and promotion serves exactly the
+    /// acknowledged prefix.
+    pub fn serve_with_lease(
+        &mut self,
+        transport: &mut dyn Transport,
+        clock: &dyn Clock,
+        ttl: u64,
+        poll: Duration,
+    ) -> Result<ServeOutcome> {
+        let mut lease = LeaseTracker::arm(ttl, clock.now());
+        loop {
+            match transport.recv(Some(poll))? {
+                Received::Frame(bytes) => {
+                    // Only a frame carrying a current-or-newer term is
+                    // proof of a live, valid leader: a fenced ex-leader's
+                    // heartbeats must not keep the lease alive.
+                    if let Ok(frame) = decode_frame(&bytes) {
+                        if frame.term() >= self.term
+                            && matches!(
+                                frame,
+                                Frame::Segment { .. }
+                                    | Frame::Heartbeat { .. }
+                                    | Frame::Claim { .. }
+                            )
+                        {
+                            lease.renew(clock.now());
+                        }
+                    }
+                    let response = self.handle(&bytes);
+                    if transport.send(&response).is_err() {
+                        self.finish()?;
+                        return Ok(ServeOutcome::LeaderClosed);
+                    }
+                }
+                Received::Closed => {
+                    self.finish()?;
+                    return Ok(ServeOutcome::LeaderClosed);
+                }
+                Received::TimedOut => {
+                    if lease.expired(clock.now()) {
+                        return Ok(ServeOutcome::LeaseExpired);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Promotes a replica to leadership: full crash recovery over its local
+/// catalog + journal (exactly [`Follower::open`]'s path — the invariants
+/// the promotion sweep proves), then a durable claim of `term + 1` voted
+/// to `node`. Returns the claimed term and the recovery report; the
+/// caller re-opens the maintained loop over the recovered state and
+/// starts shipping with the new term stamped on every frame.
+pub fn promote(
+    storage: SharedStorage,
+    catalog_dir: impl AsRef<Path>,
+    wal_dir: impl AsRef<Path>,
+    node: u64,
+) -> Result<(u64, RecoveryReport)> {
+    let store = DurableCatalog::open(catalog_dir.as_ref(), Arc::clone(&storage))?;
+    let report = recover(&store, wal_dir.as_ref())?;
+    let mut catalog = report.catalog.clone();
+    let term = catalog.election_term() + 1;
+    catalog.set_election_term(term);
+    catalog.set_election_vote(node);
+    store.save(&catalog)?;
+    Ok((term, report))
 }

@@ -44,7 +44,7 @@ pub mod progressive;
 pub mod recovery;
 
 pub use fenwick::Fenwick;
-pub use follow::{FollowConfig, Follower};
+pub use follow::{promote, FollowConfig, Follower, ServeOutcome};
 pub use haar_stream::{StreamingHaar, StreamingRangeOptimal};
 pub use maintained::{
     drift_exceeds, ColumnJournal, DurabilityConfig, DurablePersistFn, DurableSnapshot,
@@ -52,4 +52,4 @@ pub use maintained::{
 };
 pub use pool::{ColumnBuild, ColumnHandle, MaintainedPool, PoolBuildFn};
 pub use progressive::{ProgressiveAnswer, ProgressiveQuery};
-pub use recovery::{recover, RecoveredColumn, RecoveryReport};
+pub use recovery::{recover, rejoin, RecoveredColumn, RecoveryReport};

@@ -45,12 +45,19 @@
 //! [`RecoveryReport::orphaned`].
 
 use std::path::Path;
+use std::sync::Arc;
 
 use synoptic_catalog::wal::{list_journal_columns, scan_column_journal};
 use synoptic_catalog::{
-    Catalog, DurableCatalog, FsckReport, PersistentSynopsis, PruneReport, RepairReport, Storage,
+    Catalog, ColumnEntry, DurableCatalog, FsckReport, PersistentSynopsis, PruneReport,
+    RepairReport, Storage,
 };
 use synoptic_core::{Result, SynopticError};
+use synoptic_repl::transport::{Received, Transport};
+use synoptic_repl::wire::{decode_frame, encode_frame, Frame};
+
+use crate::follow::{FollowConfig, Follower};
+use crate::maintained::SharedStorage;
 
 /// One column's state reconstructed by [`recover`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -304,12 +311,157 @@ pub fn recover<S: Storage>(
     })
 }
 
+fn reseed_diverged(detail: impl Into<String>) -> SynopticError {
+    SynopticError::ReplicationDivergence {
+        context: "reseed".to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// The receiving half of the re-seed path: rebuilds a stranded node — a
+/// fenced ex-leader or a follower whose retention hold was cap-evicted —
+/// from the current leader's snapshot transfer, and rejoins it as a
+/// follower.
+///
+/// Protocol (the sending half is `synoptic_repl::election::Seeder`):
+///
+/// 1. The leader's [`Frame::Claim`] arrives first; the grant (term +
+///    vote) is persisted as a catalog generation *before* the
+///    [`Frame::Grant`] travels, so a crash cannot double-grant the term.
+/// 2. Each [`Frame::Snapshot`] stages one column's committed frequencies
+///    and WAL mark; each is acknowledged at its mark.
+/// 3. The first non-snapshot frame (the shipper's probe, or a clean
+///    close) commits the staged catalog and runs the proven recovery
+///    path — a rejoin *is* [`Follower::open`] over the seeded state. The
+///    journal tail then ships as ordinary segments into the returned
+///    follower's serve loop.
+///
+/// The target directories must hold no committed catalog: a fenced
+/// node's own history diverged at its unacknowledged tail and must be
+/// discarded (point the rejoin at fresh directories), never merged.
+pub fn rejoin(
+    storage: SharedStorage,
+    catalog_dir: impl AsRef<Path>,
+    wal_dir: impl AsRef<Path>,
+    config: FollowConfig,
+    transport: &mut dyn Transport,
+) -> Result<(Follower, RecoveryReport)> {
+    let store = DurableCatalog::open(catalog_dir.as_ref(), Arc::clone(&storage))?;
+    if store.load().is_ok() {
+        return Err(reseed_diverged(
+            "target already holds a committed catalog: a re-seeded node discards \
+             its diverged state and rejoins from fresh directories",
+        ));
+    }
+    if !list_journal_columns(&storage, wal_dir.as_ref())?.is_empty() {
+        return Err(reseed_diverged(
+            "target journal directory already holds segments: a re-seeded node \
+             discards its diverged journal and rejoins from fresh directories",
+        ));
+    }
+
+    // 1. The claim handshake, persisted before the grant travels.
+    let (term, node) = match transport.recv(None)? {
+        Received::Frame(bytes) => match decode_frame(&bytes)? {
+            Frame::Claim { term, node } => (term, node),
+            other => {
+                return Err(reseed_diverged(format!(
+                    "expected the leader's claim, got {other:?}"
+                )))
+            }
+        },
+        other => {
+            return Err(reseed_diverged(format!(
+                "link ended before the leader's claim: {other:?}"
+            )))
+        }
+    };
+    let mut staged = Catalog::new();
+    staged.set_election_term(term);
+    staged.set_election_vote(node);
+    store.save(&staged)?;
+    transport.send(&encode_frame(&Frame::Grant { term, node }))?;
+
+    // 2. Snapshots, staged and acknowledged one by one.
+    let mut deferred = None;
+    loop {
+        match transport.recv(None)? {
+            Received::Frame(bytes) => match decode_frame(&bytes)? {
+                Frame::Snapshot {
+                    term: t,
+                    column,
+                    mark,
+                    values,
+                } => {
+                    if t != term {
+                        let reason = format!(
+                            "snapshot of column {column} carries term {t}, but this \
+                             rejoin granted term {term}"
+                        );
+                        transport.send(&encode_frame(&Frame::Refuse {
+                            term,
+                            column,
+                            applied_lsn: 0,
+                            reason: reason.clone(),
+                        }))?;
+                        return Err(reseed_diverged(reason));
+                    }
+                    if values.is_empty() {
+                        let reason = format!("snapshot of column {column} carries an empty domain");
+                        transport.send(&encode_frame(&Frame::Refuse {
+                            term,
+                            column,
+                            applied_lsn: 0,
+                            reason: reason.clone(),
+                        }))?;
+                        return Err(reseed_diverged(reason));
+                    }
+                    staged.insert(
+                        column.clone(),
+                        ColumnEntry {
+                            n: values.len(),
+                            total_rows: values.iter().sum(),
+                            synopsis: PersistentSynopsis::from_frequencies(&values),
+                        },
+                    );
+                    staged.set_wal_mark(&column, mark);
+                    transport.send(&encode_frame(&Frame::Ack {
+                        term,
+                        column,
+                        applied_lsn: mark,
+                    }))?;
+                }
+                // The shipper's probe (or first segment): the snapshot
+                // phase is over. Handled by the opened follower below.
+                _ => {
+                    deferred = Some(bytes);
+                    break;
+                }
+            },
+            Received::Closed => break,
+            Received::TimedOut => continue,
+        }
+    }
+
+    // 3. Commit the seeded catalog and rejoin through the proven
+    // recovery path.
+    store.save(&staged)?;
+    let (mut follower, report) =
+        Follower::open(storage, catalog_dir.as_ref(), wal_dir.as_ref(), config)?;
+    if let Some(bytes) = deferred {
+        let response = follower.handle(&bytes);
+        // An undeliverable response means the leader vanished mid-seed;
+        // its retry ladder (or the next leader) re-solicits.
+        let _ = transport.send(&response);
+    }
+    Ok((follower, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use synoptic_catalog::wal::{ColumnWal, WalConfig};
-    use synoptic_catalog::{ColumnEntry, FsStorage};
+    use synoptic_catalog::FsStorage;
 
     fn tempdir(tag: &str) -> std::path::PathBuf {
         let dir =

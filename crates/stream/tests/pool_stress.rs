@@ -44,7 +44,7 @@ fn flaky_sap0_builder(
 ) -> PoolBuildFn {
     Box::new(move |_v, ps, budget| {
         let c = calls.fetch_add(1, Ordering::Relaxed);
-        if c > 0 && c % 3 == 0 {
+        if c > 0 && c.is_multiple_of(3) {
             return Err(SynopticError::DeadlineExceeded { elapsed_ms: 1 });
         }
         let h = build_sap0_with_budget(ps, 4, budget)?;

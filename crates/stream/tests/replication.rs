@@ -15,13 +15,16 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
-use synoptic_catalog::wal::{ColumnWal, FsyncCadence, WalConfig};
+use synoptic_catalog::wal::{
+    list_journal_columns, scan_column_journal, ColumnWal, FsyncCadence, WalConfig,
+};
 use synoptic_catalog::{Catalog, ColumnEntry, DurableCatalog, FsStorage, PersistentSynopsis};
 use synoptic_core::{RangeQuery, SynopticError};
+use synoptic_repl::election::{ManualClock, Seeder, TermLedger};
 use synoptic_repl::transport::{FaultyTransport, MemTransport, Transport, TransportFault};
 use synoptic_repl::wire::{decode_frame, encode_frame, Frame};
 use synoptic_repl::Shipper;
-use synoptic_stream::{FollowConfig, Follower, SharedStorage};
+use synoptic_stream::{promote, rejoin, FollowConfig, Follower, ServeOutcome, SharedStorage};
 
 const COLUMN: &str = "c";
 const N: usize = 16;
@@ -266,6 +269,7 @@ fn non_anchoring_segment_is_refused_when_window_disabled() {
         FollowConfig {
             max_lag: None,
             reorder_window: 0,
+            checkpoint_segments: None,
         },
     );
 
@@ -274,6 +278,7 @@ fn non_anchoring_segment_is_refused_when_window_disabled() {
     // Skip the first segment: the second cannot anchor at LSN 0.
     let (seq, bytes) = segments.last().unwrap().clone();
     let response = follower.handle(&encode_frame(&Frame::Segment {
+        term: 0,
         column: COLUMN.into(),
         seq,
         leader_mark: mark,
@@ -284,6 +289,7 @@ fn non_anchoring_segment_is_refused_when_window_disabled() {
             column,
             applied_lsn,
             reason,
+            ..
         } => {
             assert_eq!(column, COLUMN);
             assert_eq!(applied_lsn, 0, "nothing may have been applied");
@@ -314,6 +320,7 @@ fn crc_corrupt_record_mid_stream_is_refused_then_retried() {
     let at = pristine.len() - 12;
     corrupt[at] ^= 0x40;
     let response = follower.handle(&encode_frame(&Frame::Segment {
+        term: 0,
         column: COLUMN.into(),
         seq,
         leader_mark: mark,
@@ -333,6 +340,7 @@ fn crc_corrupt_record_mid_stream_is_refused_then_retried() {
 
     // The leader's retry ladder re-ships the same bytes intact.
     let response = follower.handle(&encode_frame(&Frame::Segment {
+        term: 0,
         column: COLUMN.into(),
         seq,
         leader_mark: mark,
@@ -365,6 +373,7 @@ fn torn_segment_transfer_is_refused() {
     let (seq, pristine) = leader_segments(&wal_dir)[0].clone();
     let torn = pristine[..pristine.len() - 11].to_vec();
     let response = follower.handle(&encode_frame(&Frame::Segment {
+        term: 0,
         column: COLUMN.into(),
         seq,
         leader_mark: mark,
@@ -390,6 +399,7 @@ fn duplicate_segment_replay_is_idempotent() {
 
     let (seq, bytes) = leader_segments(&wal_dir)[0].clone();
     let frame = encode_frame(&Frame::Segment {
+        term: 0,
         column: COLUMN.into(),
         seq,
         leader_mark: mark,
@@ -416,6 +426,7 @@ fn reads_beyond_max_lag_are_refused_with_provenance() {
         FollowConfig {
             max_lag: Some(2),
             reorder_window: 8,
+            checkpoint_segments: None,
         },
     );
     let q = RangeQuery::new(0, N - 1).unwrap();
@@ -425,6 +436,7 @@ fn reads_beyond_max_lag_are_refused_with_provenance() {
 
     // A heartbeat reveals the leader is `mark` ahead: reads refuse.
     follower.handle(&encode_frame(&Frame::Heartbeat {
+        term: 0,
         column: COLUMN.into(),
         leader_mark: mark,
     }));
@@ -444,6 +456,7 @@ fn reads_beyond_max_lag_are_refused_with_provenance() {
     // Catch up over the wire; reads flow again and are exact.
     for (seq, bytes) in leader_segments(&wal_dir) {
         follower.handle(&encode_frame(&Frame::Segment {
+            term: 0,
             column: COLUMN.into(),
             seq,
             leader_mark: mark,
@@ -499,6 +512,7 @@ fn stream_ending_with_parked_segment_is_divergence() {
 
     let (seq, bytes) = leader_segments(&wal_dir).last().unwrap().clone();
     follower.handle(&encode_frame(&Frame::Segment {
+        term: 0,
         column: COLUMN.into(),
         seq,
         leader_mark: mark,
@@ -509,5 +523,488 @@ fn stream_ending_with_parked_segment_is_divergence() {
         matches!(err, SynopticError::ReplicationDivergence { .. }),
         "{err:?}"
     );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Fencing: once the replica has adopted a term, every frame from an
+/// older term — segments and heartbeats alike — is refused with both
+/// terms in the verdict, and the adopted term survives a restart.
+#[test]
+fn stale_term_frames_are_fenced_with_provenance() {
+    let root = tempdir("fence");
+    let (wal_dir, _shadow, mark) = build_leader(&root, 6);
+    let mut follower = build_follower(&root, FollowConfig::default());
+    assert_eq!(follower.term(), 0, "no election has touched this node yet");
+
+    // A term-3 heartbeat: the replica adopts and persists the term.
+    let resp = follower.handle(&encode_frame(&Frame::Heartbeat {
+        term: 3,
+        column: COLUMN.into(),
+        leader_mark: mark,
+    }));
+    assert!(
+        matches!(decode_frame(&resp).unwrap(), Frame::Ack { term: 3, .. }),
+        "the ack must carry the adopted term"
+    );
+    assert_eq!(follower.term(), 3);
+
+    // A deposed leader still shipping on term 2 is refused — loudly, with
+    // term provenance — and nothing is applied.
+    let (seq, bytes) = leader_segments(&wal_dir)[0].clone();
+    let resp = follower.handle(&encode_frame(&Frame::Segment {
+        term: 2,
+        column: COLUMN.into(),
+        seq,
+        leader_mark: mark,
+        bytes,
+    }));
+    match decode_frame(&resp).unwrap() {
+        Frame::Refuse { term, reason, .. } => {
+            assert_eq!(term, 3, "the refusal carries the replica's own term");
+            assert!(reason.contains("fenced"), "{reason}");
+            assert!(
+                reason.contains("term 2") && reason.contains("term 3"),
+                "{reason}"
+            );
+        }
+        other => panic!("expected a refusal, got {other:?}"),
+    }
+    assert_eq!(follower.applied_lsn(COLUMN), Some(0));
+
+    // Its heartbeats are fenced too: a stale leader gets no comfort.
+    let resp = follower.handle(&encode_frame(&Frame::Heartbeat {
+        term: 2,
+        column: COLUMN.into(),
+        leader_mark: mark,
+    }));
+    assert!(matches!(
+        decode_frame(&resp).unwrap(),
+        Frame::Refuse { term: 3, .. }
+    ));
+
+    // The adopted term was a manifest generation: a restarted replica is
+    // still on term 3 and still fences.
+    drop(follower);
+    let storage: SharedStorage = Arc::new(FsStorage::new());
+    let (reborn, _) = Follower::open(
+        storage,
+        root.join("follower-cat"),
+        root.join("follower-wal"),
+        FollowConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(reborn.term(), 3);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// At most one grant per term: the first claim wins and is persisted
+/// before the grant travels; a rival claim on the same term is refused
+/// naming the holder; a newer term supersedes cleanly.
+#[test]
+fn a_term_is_granted_at_most_once() {
+    let root = tempdir("claim");
+    let mut follower = build_follower(&root, FollowConfig::default());
+
+    let grant =
+        decode_frame(&follower.handle(&encode_frame(&Frame::Claim { term: 4, node: 1 }))).unwrap();
+    assert_eq!(grant, Frame::Grant { term: 4, node: 1 });
+    assert_eq!(follower.term(), 4);
+
+    // A rival claiming the already-granted term is fenced, with the
+    // holder named in the verdict.
+    match decode_frame(&follower.handle(&encode_frame(&Frame::Claim { term: 4, node: 2 }))).unwrap()
+    {
+        Frame::Refuse { term, reason, .. } => {
+            assert_eq!(term, 4);
+            assert!(reason.contains("granted to node 1"), "{reason}");
+        }
+        other => panic!("expected a refusal, got {other:?}"),
+    }
+
+    // Re-claiming by the holder is idempotent…
+    let again =
+        decode_frame(&follower.handle(&encode_frame(&Frame::Claim { term: 4, node: 1 }))).unwrap();
+    assert_eq!(again, Frame::Grant { term: 4, node: 1 });
+
+    // …and a newer term supersedes, whoever claims it.
+    let newer =
+        decode_frame(&follower.handle(&encode_frame(&Frame::Claim { term: 5, node: 2 }))).unwrap();
+    assert_eq!(newer, Frame::Grant { term: 5, node: 2 });
+
+    // The grant is durable: the persisted ledger names term 5, node 2.
+    drop(follower);
+    let ledger = TermLedger::open(root.join("follower-cat"), FsStorage::new()).unwrap();
+    assert_eq!(ledger.current().unwrap(), (5, Some(2)));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// An asymmetric partition — the follower hears the leader fine, but the
+/// leader is deaf to the first acks — resolves through the retry ladder:
+/// re-probes re-solicit the cumulative ack and shipping converges.
+#[test]
+fn asymmetric_partition_dropping_acks_still_converges() {
+    let root = tempdir("asym");
+    let (wal_dir, shadow, mark) = build_leader(&root, 20);
+    let follower = build_follower(&root, FollowConfig::default());
+
+    let (leader_end, follower_end) = MemTransport::pair();
+    let mut faulty = FaultyTransport::with_recv_faults(
+        leader_end,
+        vec![],
+        vec![TransportFault::Drop, TransportFault::Drop],
+    );
+    let handle = serve_in_thread(follower, follower_end);
+
+    let shipper = Shipper::new(FsStorage::new(), &wal_dir, COLUMN)
+        .with_retry(8, Duration::from_millis(2))
+        .with_drain_timeout(Duration::from_millis(100));
+    let report = shipper.ship(&mut faulty, mark).unwrap();
+    assert_eq!(
+        report.acked_lsn, mark,
+        "must converge once the partition heals"
+    );
+    assert_eq!(faulty.faults_fired(), 2, "both scheduled drops must fire");
+
+    faulty.close();
+    let (follower, served) = handle.join().unwrap();
+    served.unwrap();
+    assert_eq!(follower.values(COLUMN).unwrap(), &shadow[..]);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The failover trigger: a leader ships everything, then goes silent
+/// (crash without closing the link). The lease — tracked on a manual
+/// clock, no wall-time — expires, the serve loop reports it, and the
+/// replica promotes: recovery over its own files plus a durable claim of
+/// term + 1, serving exactly the replicated-acknowledged state.
+#[test]
+fn lease_expiry_after_leader_silence_promotes_the_replica() {
+    let root = tempdir("lease");
+    let (wal_dir, shadow, mark) = build_leader(&root, 10);
+    let follower = build_follower(&root, FollowConfig::default());
+    let clock = ManualClock::new();
+
+    let (mut leader_end, follower_end) = MemTransport::pair();
+    let serve_clock = clock.clone();
+    let handle = std::thread::spawn(move || {
+        let mut follower = follower;
+        let mut transport = follower_end;
+        let outcome =
+            follower.serve_with_lease(&mut transport, &serve_clock, 10, Duration::from_millis(1));
+        (follower, outcome)
+    });
+
+    // The leader ships everything…
+    let shipper = Shipper::new(FsStorage::new(), &wal_dir, COLUMN);
+    let report = shipper.ship(&mut leader_end, mark).unwrap();
+    assert_eq!(report.acked_lsn, mark);
+    // …then dies mid-lease: no close, no more heartbeats. The clock
+    // advancing past the TTL is the only signal the replica gets.
+    clock.advance(11);
+    let (follower, outcome) = handle.join().unwrap();
+    assert_eq!(outcome.unwrap(), ServeOutcome::LeaseExpired);
+    assert_eq!(follower.values(COLUMN).unwrap(), &shadow[..]);
+    drop(follower);
+
+    // Promotion: the proven recovery path over local files, then a
+    // durable claim of term + 1.
+    let storage: SharedStorage = Arc::new(FsStorage::new());
+    let (term, report) = promote(
+        storage,
+        root.join("follower-cat"),
+        root.join("follower-wal"),
+        7,
+    )
+    .unwrap();
+    assert_eq!(term, 1);
+    assert_eq!(
+        report.column(COLUMN).unwrap().values,
+        shadow,
+        "the promoted state is exactly the replicated-acknowledged state"
+    );
+    let ledger = TermLedger::open(root.join("follower-cat"), FsStorage::new()).unwrap();
+    assert_eq!(ledger.current().unwrap(), (1, Some(7)));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A heartbeat stuck in flight is indistinguishable from a dead leader:
+/// the lease expires on clock time even though the frame was sent.
+#[test]
+fn a_delayed_heartbeat_does_not_save_the_lease() {
+    let root = tempdir("hb-delay");
+    let (_wal_dir, _shadow, mark) = build_leader(&root, 5);
+    let follower = build_follower(&root, FollowConfig::default());
+    let clock = ManualClock::new();
+
+    let (mut leader_end, follower_end) = MemTransport::pair();
+    // Everything inbound to the follower is held back for 1000 polls —
+    // far past any lease — modelling a heartbeat stuck in flight.
+    let faulty = FaultyTransport::with_recv_faults(
+        follower_end,
+        vec![],
+        vec![TransportFault::Delay { frames: 1000 }],
+    );
+    let serve_clock = clock.clone();
+    let handle = std::thread::spawn(move || {
+        let mut follower = follower;
+        let mut transport = faulty;
+        let outcome =
+            follower.serve_with_lease(&mut transport, &serve_clock, 10, Duration::from_millis(1));
+        (transport, outcome)
+    });
+
+    leader_end
+        .send(&encode_frame(&Frame::Heartbeat {
+            term: 0,
+            column: COLUMN.into(),
+            leader_mark: mark,
+        }))
+        .unwrap();
+    // Tick until the serve loop notices the silence: however late the
+    // lease was armed, no on-time heartbeat ever reaches it.
+    while !handle.is_finished() {
+        clock.advance(1);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (faulty, outcome) = handle.join().unwrap();
+    assert_eq!(outcome.unwrap(), ServeOutcome::LeaseExpired);
+    assert_eq!(
+        faulty.faults_fired(),
+        1,
+        "the delay must actually have fired"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Follower auto-checkpointing: with `checkpoint_segments` set, a
+/// long-lived replica periodically commits its live frequencies and
+/// truncates the captured journal prefix — the journal stays bounded
+/// across a long ingest, and a restart still reproduces the exact state.
+#[test]
+fn auto_checkpoint_keeps_the_follower_journal_bounded() {
+    let root = tempdir("ckpt");
+    let (wal_dir, shadow, mark) = build_leader(&root, 60);
+    let shipped = leader_segments(&wal_dir).len();
+    assert!(shipped >= 10, "need a long stream, got {shipped} segments");
+    let follower = build_follower(
+        &root,
+        FollowConfig {
+            max_lag: None,
+            reorder_window: 8,
+            checkpoint_segments: Some(2),
+        },
+    );
+
+    let (mut leader_end, follower_end) = MemTransport::pair();
+    let handle = serve_in_thread(follower, follower_end);
+    let shipper = Shipper::new(FsStorage::new(), &wal_dir, COLUMN);
+    let report = shipper.ship(&mut leader_end, mark).unwrap();
+    assert_eq!(report.acked_lsn, mark);
+
+    leader_end.close();
+    let (follower, served) = handle.join().unwrap();
+    served.unwrap();
+    assert_eq!(follower.values(COLUMN).unwrap(), &shadow[..]);
+    assert_eq!(follower.applied_lsn(COLUMN), Some(mark));
+    assert!(follower.refusals().is_empty(), "{:?}", follower.refusals());
+    drop(follower);
+
+    // The journal was truncated along the way: only the post-checkpoint
+    // tail remains of the `shipped` segments that travelled.
+    let remaining =
+        synoptic_catalog::list_sealed_segments(&FsStorage::new(), &root.join("follower-wal"))
+            .unwrap()
+            .len();
+    assert!(
+        remaining <= 3,
+        "journal must stay bounded: {remaining} of {shipped} shipped segments remain"
+    );
+
+    // A truncated replica still restarts to the exact replicated state:
+    // the committed snapshot plus the surviving tail is the whole truth.
+    let storage: SharedStorage = Arc::new(FsStorage::new());
+    let (reborn, _) = Follower::open(
+        storage,
+        root.join("follower-cat"),
+        root.join("follower-wal"),
+        FollowConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(reborn.values(COLUMN).unwrap(), &shadow[..]);
+    assert_eq!(reborn.applied_lsn(COLUMN), Some(mark));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Multi-column fan-in: all of a pool's journaled columns replicate over
+/// ONE link; the follower demultiplexes per column and each converges to
+/// its own shadow exactly.
+#[test]
+fn multiple_columns_fan_in_over_one_link() {
+    let root = tempdir("fanin");
+    let cat_dir = root.join("leader-cat");
+    let wal_dir = root.join("leader-wal");
+    let a0 = initial_values();
+    let b0: Vec<i64> = (0..N as i64).map(|i| 3 + (i * 5) % 17).collect();
+
+    // One committed leader catalog holding both columns.
+    let store = DurableCatalog::open(&cat_dir, FsStorage::new()).unwrap();
+    let mut cat = Catalog::new();
+    for (name, values) in [("a", &a0), ("b", &b0)] {
+        cat.insert(
+            name,
+            ColumnEntry {
+                n: values.len(),
+                total_rows: values.iter().sum(),
+                synopsis: PersistentSynopsis::from_frequencies(values),
+            },
+        );
+    }
+    let generation = store.save(&cat).unwrap();
+
+    // Each column journals its own update stream into the same WAL dir.
+    let mut shadow_a = a0.clone();
+    let mut shadow_b = b0.clone();
+    for (name, shadow) in [("a", &mut shadow_a), ("b", &mut shadow_b)] {
+        let wal = ColumnWal::open(
+            FsStorage::new(),
+            &wal_dir,
+            name,
+            generation,
+            WalConfig {
+                segment_bytes: 128,
+                fsync: FsyncCadence::OnRotate,
+                ..WalConfig::default()
+            },
+        )
+        .unwrap();
+        for (i, d) in stream(14) {
+            wal.append(i as u64, d).unwrap();
+            shadow[i] += d;
+        }
+        wal.seal().unwrap();
+    }
+
+    // A follower whose committed catalog holds both columns.
+    let f_cat = root.join("follower-cat");
+    let f_store = DurableCatalog::open(&f_cat, FsStorage::new()).unwrap();
+    let mut fcat = Catalog::new();
+    for (name, values) in [("a", &a0), ("b", &b0)] {
+        fcat.insert(
+            name,
+            ColumnEntry {
+                n: values.len(),
+                total_rows: values.iter().sum(),
+                synopsis: PersistentSynopsis::from_frequencies(values),
+            },
+        );
+    }
+    f_store.save(&fcat).unwrap();
+    let storage: SharedStorage = Arc::new(FsStorage::new());
+    let (follower, _) = Follower::open(
+        storage,
+        &f_cat,
+        root.join("follower-wal"),
+        FollowConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(follower.columns(), vec!["a".to_string(), "b".to_string()]);
+
+    // Every journal column ships over the SAME transport, sequentially —
+    // exactly what `maintain --replicate-to` does per cycle.
+    let (mut leader_end, follower_end) = MemTransport::pair();
+    let handle = serve_in_thread(follower, follower_end);
+    for column in list_journal_columns(&FsStorage::new(), &wal_dir).unwrap() {
+        let scan = scan_column_journal(&FsStorage::new(), &wal_dir, &column).unwrap();
+        let report = Shipper::new(FsStorage::new(), &wal_dir, &column)
+            .ship(&mut leader_end, scan.max_lsn)
+            .unwrap();
+        assert_eq!(report.acked_lsn, scan.max_lsn, "column {column}");
+    }
+    leader_end.close();
+    let (follower, served) = handle.join().unwrap();
+    served.unwrap();
+    assert_eq!(follower.values("a").unwrap(), &shadow_a[..]);
+    assert_eq!(follower.values("b").unwrap(), &shadow_b[..]);
+    let q = RangeQuery::new(0, N - 1).unwrap();
+    assert_eq!(follower.estimate("a", q).unwrap(), total(&shadow_a));
+    assert_eq!(follower.estimate("b", q).unwrap(), total(&shadow_b));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The re-seed path end-to-end: a stranded node (fenced ex-leader or
+/// cap-evicted laggard) receives the leader's committed snapshot plus the
+/// journal tail over one link, rejoins as a follower on the leader's
+/// term, and converges exactly. A rejoin into directories that already
+/// hold state is refused — diverged history is discarded, never merged.
+#[test]
+fn a_stranded_node_reseeds_and_rejoins_as_a_follower() {
+    let root = tempdir("reseed");
+    let (wal_dir, shadow, mark) = build_leader(&root, 18);
+    let cat_dir = root.join("leader-cat");
+    let fresh_cat = root.join("reseed-cat");
+    let fresh_wal = root.join("reseed-wal");
+
+    let (mut leader_end, follower_end) = MemTransport::pair();
+    let (rx_cat, rx_wal) = (fresh_cat.clone(), fresh_wal.clone());
+    let receiver = std::thread::spawn(move || {
+        let storage: SharedStorage = Arc::new(FsStorage::new());
+        let mut transport = follower_end;
+        let (mut follower, report) = rejoin(
+            storage,
+            &rx_cat,
+            &rx_wal,
+            FollowConfig::default(),
+            &mut transport,
+        )
+        .unwrap();
+        let served = follower.serve(&mut transport);
+        (follower, report, served)
+    });
+
+    let seeder = Seeder::new(FsStorage::new(), &cat_dir, &wal_dir, 2, 7)
+        .with_timeout(Duration::from_millis(2000));
+    let report = seeder.seed(&mut leader_end).unwrap();
+    assert_eq!(report.snapshots, 1, "one frequency column to snapshot");
+    assert!(report.segments > 0, "the journal tail ships as segments");
+    assert_eq!(report.term, 2);
+
+    leader_end.close();
+    let (follower, _rejoin_report, served) = receiver.join().unwrap();
+    served.unwrap();
+    assert_eq!(follower.values(COLUMN).unwrap(), &shadow[..]);
+    assert_eq!(follower.applied_lsn(COLUMN), Some(mark));
+    assert_eq!(
+        follower.term(),
+        2,
+        "the rejoined node is on the leader's term"
+    );
+    let q = RangeQuery::new(0, N - 1).unwrap();
+    assert_eq!(follower.estimate(COLUMN, q).unwrap(), total(&shadow));
+    drop(follower);
+
+    // The grant was persisted: the re-seeded node's ledger names the
+    // leader.
+    let ledger = TermLedger::open(&fresh_cat, FsStorage::new()).unwrap();
+    assert_eq!(ledger.current().unwrap(), (2, Some(7)));
+
+    // Rejoining into non-fresh directories is refused loudly.
+    let storage: SharedStorage = Arc::new(FsStorage::new());
+    let (mut dead_end, _peer) = MemTransport::pair();
+    let err = match rejoin(
+        storage,
+        &fresh_cat,
+        &fresh_wal,
+        FollowConfig::default(),
+        &mut dead_end,
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("rejoin into non-fresh directories must refuse"),
+    };
+    match err {
+        SynopticError::ReplicationDivergence { detail, .. } => {
+            assert!(detail.contains("fresh directories"), "{detail}")
+        }
+        other => panic!("expected a divergence refusal, got {other:?}"),
+    }
     let _ = std::fs::remove_dir_all(&root);
 }
