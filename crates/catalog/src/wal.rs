@@ -868,10 +868,16 @@ impl<S: Storage> ColumnWal<S> {
     /// a segment is deleted only when its records are covered by the
     /// snapshot *and* acknowledged by every registered follower. Covered
     /// segments kept back for followers count as `retained_for_followers`.
-    /// When [`WalConfig::retain_cap_segments`] caps that backlog, the
-    /// most-lagging followers are evicted (their holds dropped, names and
-    /// acked LSNs reported in `evicted`) until the backlog fits — an
-    /// evicted follower must re-bootstrap from a snapshot.
+    /// When [`WalConfig::retain_cap_segments`] caps the backlog, the cap is
+    /// measured against **every** sealed segment this checkpoint must
+    /// retain — segments pinned by follower holds *and* segments sealed
+    /// past the snapshot under sustained ingest (no eviction can free
+    /// those, but they occupy the same disk budget). While the total
+    /// exceeds the cap, the most-lagging followers whose holds actually pin
+    /// covered segments are evicted (their holds dropped, names and acked
+    /// LSNs reported in `evicted`); followers at or past the snapshot are
+    /// never evicted, because dropping them frees nothing. An evicted
+    /// follower must re-bootstrap from a snapshot.
     pub fn checkpoint_report(
         &self,
         snapshot_lsn: u64,
@@ -891,21 +897,28 @@ impl<S: Storage> ColumnWal<S> {
         if let Some(cap) = self.config.retain_cap_segments {
             loop {
                 let floor = floor_of(&holds);
-                let held = st
-                    .sealed
-                    .iter()
-                    .filter(|s| s.last_lsn <= snapshot_lsn && s.last_lsn > floor)
-                    .count();
-                if held <= cap || holds.is_empty() {
+                // Everything this checkpoint cannot delete counts toward
+                // the cap — including segments sealed past the snapshot,
+                // which previously escaped the count and let a slow
+                // follower's backlog grow without bound under sustained
+                // ingest.
+                let held = st.sealed.iter().filter(|s| s.last_lsn > floor).count();
+                if held <= cap {
                     break;
                 }
-                // Evict the most-lagging follower (ties broken by name,
-                // the BTreeMap's iteration order — deterministic).
-                let (name, lsn) = holds
+                // Evict the most-lagging follower whose hold actually pins
+                // covered segments (hold below the snapshot) — evicting a
+                // follower at or past the snapshot frees nothing. Ties
+                // broken by name, the BTreeMap's iteration order —
+                // deterministic.
+                let Some((name, lsn)) = holds
                     .iter()
+                    .filter(|(_, l)| **l < snapshot_lsn)
                     .min_by_key(|(_, l)| **l)
                     .map(|(n, l)| (n.clone(), *l))
-                    .expect("holds is non-empty");
+                else {
+                    break;
+                };
                 holds.remove(&name);
                 report.evicted.push((name, lsn));
             }
@@ -1516,6 +1529,47 @@ mod tests {
         assert_eq!(wal.retention_holds(), vec![("near".to_string(), 4)]);
         let scan = scan_column_journal(&s, &d, "e").unwrap();
         assert_eq!(scan.records.first().unwrap().lsn, 5);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn retention_cap_counts_segments_sealed_past_the_snapshot() {
+        // Regression: the eviction loop used to count only covered
+        // segments (`last_lsn <= snapshot_lsn`), so a slow follower under
+        // sustained ingest kept its hold while segments sealed *past* the
+        // snapshot pushed the total retained backlog far over the cap.
+        let d = tmp_dir("retaincap_past");
+        let s = FsStorage::new();
+        let cfg = WalConfig {
+            segment_bytes: 1,
+            retain_cap_segments: Some(3),
+            ..WalConfig::default()
+        };
+        let wal = ColumnWal::open(s.clone(), &d, "p", 1, cfg).unwrap();
+        for i in 1..=8u64 {
+            wal.append(i, 1).unwrap();
+        }
+        // Sealed segments hold LSNs 1..=7; the active one holds 8. The
+        // snapshot covers only 1..=2 — five sealed segments sit past it.
+        wal.set_retention_hold("slow", 1);
+        let rep = wal.checkpoint_report(2, 2).unwrap();
+        // Only one *covered* segment (LSN 2) is pinned by the hold — under
+        // the old count that was far below the cap and "slow" survived with
+        // six segments of total backlog. The bounded count sees 6 > 3 and
+        // evicts.
+        assert_eq!(rep.evicted, vec![("slow".to_string(), 1)]);
+        assert!(wal.retention_holds().is_empty());
+        assert_eq!(rep.removed, 2); // LSNs 1 and 2, freed by the eviction
+        assert_eq!(rep.retained_for_followers, 0);
+        let scan = scan_column_journal(&s, &d, "p").unwrap();
+        assert_eq!(scan.records.first().unwrap().lsn, 3);
+
+        // A follower already at the snapshot pins nothing: even over cap,
+        // it is never evicted (dropping it would free no segment).
+        wal.set_retention_hold("current", 2);
+        let rep = wal.checkpoint_report(2, 2).unwrap();
+        assert!(rep.evicted.is_empty());
+        assert_eq!(wal.retention_holds(), vec![("current".to_string(), 2)]);
         let _ = std::fs::remove_dir_all(&d);
     }
 

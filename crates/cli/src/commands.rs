@@ -119,6 +119,7 @@ USAGE:
   synoptic evaluate --input FILE [--budget WORDS] [--deadline-ms MS] [--max-cells N]
   synoptic maintain --input FILE --method METHOD [--budget WORDS] \\
                     [--updates U] [--every-k K | --drift F] [--workers W] \\
+                    [--segments N] \\
                     [--upgrade-in-background] [--upgrade-factor X] \\
                     [--deadline-ms MS] [--max-cells N] [--seed S] \\
                     [--wal-dir DIR --catalog DIR [--fsync every|N|rotate]
@@ -146,7 +147,12 @@ MAINTAIN: simulates a live column on the background worker pool: U updates
          ingest while rebuilds run off-thread (--workers threads, --every-k /
          --drift policy); --upgrade-in-background re-runs the requested
          method at --upgrade-factor x budget after a degraded rebuild and
-         hot-swaps the result (see docs/ROBUSTNESS.md).
+         hot-swaps the result (see docs/ROBUSTNESS.md). --segments N splits
+         the domain into N equi-width segments with per-segment synopses
+         (budget divided once by the catalog's knapsack DP): updates dirty
+         only the touched segment, rebuilds re-run the ladder on dirty
+         slices alone, and the report lists per-segment provenance
+         (see docs/SEGMENTS.md).
 DURABILITY: with --wal-dir every acknowledged update is appended to a
          checksummed write-ahead journal before it touches memory, and each
          successful rebuild commits an exact snapshot + WAL mark to
@@ -641,6 +647,7 @@ pub fn maintain(args: &[String]) -> Result<(), CliError> {
         config = config.with_background_upgrade(factor);
     }
 
+    let segments: Option<usize> = f.parsed_opt("segments").usage()?;
     let n = values.len();
     let pool = MaintainedPool::new(workers);
     let build = ColumnBuild::Anytime {
@@ -649,7 +656,12 @@ pub fn maintain(args: &[String]) -> Result<(), CliError> {
     };
     let wal_dir = f.optional("wal-dir").map(str::to_string);
     let col = match &wal_dir {
-        None => pool.add_column("cli", &values, build, config)?,
+        None => match segments {
+            None => pool.add_column("cli", &values, build, config)?,
+            Some(segs) => {
+                pool.add_column_segmented("cli", &values, method, budget, segs, config)?
+            }
+        },
         Some(wal_dir) => {
             use std::sync::Arc;
             use synoptic_catalog::wal::scan_column_journal;
@@ -722,16 +734,30 @@ pub fn maintain(args: &[String]) -> Result<(), CliError> {
                 persist_store.save(&cat)
             });
             let storage: SharedStorage = Arc::new(FsStorage::new());
-            pool.add_column_durable(
-                "cli",
-                &values,
-                build,
-                config,
-                storage,
-                &durability,
-                generation,
-                Some(hook),
-            )?
+            match segments {
+                None => pool.add_column_durable(
+                    "cli",
+                    &values,
+                    build,
+                    config,
+                    storage,
+                    &durability,
+                    generation,
+                    Some(hook),
+                )?,
+                Some(segs) => pool.add_column_segmented_durable(
+                    "cli",
+                    &values,
+                    method,
+                    budget,
+                    segs,
+                    config,
+                    storage,
+                    &durability,
+                    generation,
+                    Some(hook),
+                )?,
+            }
         }
     };
     if let Some(outcome) = col.last_outcome() {
@@ -791,6 +817,17 @@ pub fn maintain(args: &[String]) -> Result<(), CliError> {
         stats.failed_upgrades,
         stats.coalesced
     );
+    if let Some(segs) = col.segments() {
+        println!(
+            "segments: {segs} — {} rebuilt, {} reused across {} rebuild(s)",
+            stats.segments_rebuilt, stats.segments_reused, stats.rebuilds
+        );
+        if let (Some(outcomes), Some(budgets)) = (col.segment_outcomes(), col.segment_budgets()) {
+            for (s, (outcome, words)) in outcomes.iter().zip(&budgets).enumerate() {
+                println!("  segment {s}: {words} words — {outcome}");
+            }
+        }
+    }
     if let Some(wal_dir) = &wal_dir {
         println!(
             "journal: wal mark {} in {wal_dir} (replay with `synoptic recover`)",

@@ -56,6 +56,7 @@ pub mod quantile;
 pub mod query;
 pub mod rng;
 pub mod rounding;
+pub mod segment;
 pub mod sse;
 pub mod swap;
 pub mod window;
@@ -73,4 +74,5 @@ pub use outcome::{BuildAttempt, BuildOutcome};
 pub use query::RangeQuery;
 pub use rng::Rng;
 pub use rounding::RoundingMode;
+pub use segment::{SegmentLayout, SegmentedEstimator};
 pub use swap::{HotSwap, HotSwapReader};

@@ -30,6 +30,7 @@ pub mod dp;
 pub mod exhaustive;
 pub mod heuristics;
 pub mod local_search;
+pub mod merge;
 pub mod opta;
 pub mod opta_rounded;
 pub mod opta_warmup;
@@ -43,4 +44,5 @@ pub use builder::{
     build, build_anytime, build_with_budget, fallback_ladder, AnytimeParams, AnytimeResult,
     HistogramMethod,
 };
+pub use merge::{build_sap0_partials, merge_sap0};
 pub use opta::{build_opt_a, build_opt_a_with_budget, OptAConfig, OptAResult};

@@ -31,6 +31,11 @@
 //!   on top of the committed snapshot, and hand back exact frequencies to
 //!   re-serve from. Durability itself is opt-in per column via
 //!   [`maintained::DurabilityConfig`].
+//! * [`segments`] — segmented columns: the domain splits into equi-width
+//!   segments, each with its own anytime-built partial synopsis and a word
+//!   budget fixed by the catalog's exact knapsack DP; `update()` dirties
+//!   only the touched segment and rebuilds re-run the ladder on dirty
+//!   slices alone ([`pool::MaintainedPool::add_column_segmented`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +47,7 @@ pub mod maintained;
 pub mod pool;
 pub mod progressive;
 pub mod recovery;
+pub mod segments;
 
 pub use fenwick::Fenwick;
 pub use follow::{promote, FollowConfig, Follower, ServeOutcome};
@@ -53,3 +59,4 @@ pub use maintained::{
 pub use pool::{ColumnBuild, ColumnHandle, MaintainedPool, PoolBuildFn};
 pub use progressive::{ProgressiveAnswer, ProgressiveQuery};
 pub use recovery::{recover, rejoin, RecoveredColumn, RecoveryReport};
+pub use segments::split_segment_budget;

@@ -311,6 +311,12 @@ pub struct RebuildStats {
     /// before they ran (pool columns only; always 0 for the single-threaded
     /// facade, which never queues).
     pub coalesced: u64,
+    /// Segments rebuilt across all successful rebuilds (segmented pool
+    /// columns only; always 0 for monolithic columns and the facade).
+    pub segments_rebuilt: u64,
+    /// Segments whose partial was reused unchanged because they were
+    /// clean at the rebuild cut (segmented pool columns only).
+    pub segments_reused: u64,
 }
 
 /// Exact integer test for the [`RebuildPolicy::DriftFraction`] trigger:

@@ -54,7 +54,7 @@ use std::thread;
 
 use synoptic_core::{
     Budget, BuildOutcome, HotSwap, HotSwapReader, PrefixSums, RangeEstimator, RangeQuery, Result,
-    SynopticError,
+    SegmentLayout, SegmentedEstimator, SynopticError,
 };
 use synoptic_hist::builder::{build_anytime, build_with_budget, AnytimeParams, HistogramMethod};
 
@@ -64,6 +64,7 @@ use crate::maintained::{
     ColumnJournal, DurabilityConfig, DurablePersistFn, DurableSnapshot, PersistFn, RebuildConfig,
     RebuildPolicy, RebuildStats, SharedStorage,
 };
+use crate::segments::{build_segment, split_segment_budget, upgrade_segment, SegmentRuntime};
 
 /// A boxed construction function for [`ColumnBuild::Custom`] columns.
 /// `Send` because it runs on the column's home worker thread.
@@ -95,8 +96,10 @@ struct IngestState {
     drift_abs: i128,
     mass_at_build: i128,
     updates_since_rebuild: u64,
-    cooldown_remaining: u64,
-    cooldown_factor: u64,
+    /// Per-segment dirty marks (segmented columns only; empty otherwise).
+    /// Set by `update()` under this lock, snapshot-and-cleared by the
+    /// worker at the rebuild cut.
+    dirty: Vec<bool>,
 }
 
 /// Lock-free maintenance counters (see [`RebuildStats`] for meanings).
@@ -110,6 +113,8 @@ struct AtomicStats {
     upgrades: AtomicU64,
     failed_upgrades: AtomicU64,
     coalesced: AtomicU64,
+    segments_rebuilt: AtomicU64,
+    segments_reused: AtomicU64,
 }
 
 /// Shared state of one maintained column.
@@ -129,6 +134,15 @@ struct ColumnInner {
     durable_persist: Mutex<Option<DurablePersistFn>>,
     serving: Arc<HotSwap<dyn RangeEstimator>>,
     ingest: Mutex<IngestState>,
+    /// Segment layout, per-segment budgets, and partial synopses for
+    /// columns registered through
+    /// [`MaintainedPool::add_column_segmented`]; `None` for monolithic
+    /// columns (the default — their paths are unchanged).
+    segments: Option<SegmentRuntime>,
+    /// Failure cooldown, kept as atomics so the ingest hot path can tick
+    /// it without holding the ingest lock.
+    cooldown_remaining: AtomicU64,
+    cooldown_factor: AtomicU64,
     stats: AtomicStats,
     /// True while a rebuild job is queued or running; gates scheduling so
     /// a hot ingest path cannot flood the worker queue.
@@ -158,7 +172,34 @@ impl ColumnInner {
             upgrades: self.stats.upgrades.load(Ordering::Relaxed),
             failed_upgrades: self.stats.failed_upgrades.load(Ordering::Relaxed),
             coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+            segments_rebuilt: self.stats.segments_rebuilt.load(Ordering::Relaxed),
+            segments_reused: self.stats.segments_reused.load(Ordering::Relaxed),
         }
+    }
+
+    /// Consumes one cooldown tick if any remain. Lock-free: `fetch_update`
+    /// only succeeds while the counter is positive, so concurrent ingest
+    /// threads each consume at most one tick and none fires the policy
+    /// while cooling down.
+    fn in_cooldown(&self) -> bool {
+        self.cooldown_remaining
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| c.checked_sub(1))
+            .is_ok()
+    }
+
+    fn start_cooldown(&self) {
+        let factor = self.cooldown_factor.load(Ordering::Relaxed);
+        self.cooldown_remaining.store(
+            self.config.failure_cooldown_updates.saturating_mul(factor),
+            Ordering::Release,
+        );
+        self.cooldown_factor
+            .store((factor * 2).min(1024), Ordering::Relaxed);
+    }
+
+    fn clear_cooldown(&self) {
+        self.cooldown_remaining.store(0, Ordering::Release);
+        self.cooldown_factor.store(1, Ordering::Relaxed);
     }
 
     fn job_started(&self) {
@@ -200,7 +241,11 @@ impl ColumnHandle {
     /// `bool` reports whether one was *scheduled* (the single-threaded
     /// facade's `update` reports synchronous completion instead).
     pub fn update(&self, i: usize, delta: i64) -> Result<bool> {
-        let fire = {
+        // Narrow critical section: the write-ahead append, the Fenwick
+        // write, the drift arithmetic it feeds, and the dirty-segment
+        // mark. The global counter, cooldown tick, and policy decision
+        // run on the captured snapshot after the lock drops.
+        let (usr, drift_abs, mass) = {
             let mut st = lock(&self.inner.ingest);
             if let Some(wal) = &self.inner.wal {
                 // Write-ahead: journal before mutating, inside the ingest
@@ -217,19 +262,19 @@ impl ColumnHandle {
             st.fenwick.update(i, delta);
             st.drift_abs += (delta as i128).abs();
             st.updates_since_rebuild += 1;
-            self.inner.stats.updates.fetch_add(1, Ordering::Relaxed);
-            if st.cooldown_remaining > 0 {
-                st.cooldown_remaining -= 1;
-                false
-            } else {
-                match self.inner.config.policy {
-                    RebuildPolicy::EveryKUpdates(k) => st.updates_since_rebuild >= k,
-                    RebuildPolicy::DriftFraction(f) => {
-                        drift_exceeds(st.drift_abs, f, st.mass_at_build)
-                    }
-                    RebuildPolicy::Manual => false,
-                }
+            if let Some(seg) = &self.inner.segments {
+                st.dirty[seg.layout.segment_of(i)] = true;
             }
+            (st.updates_since_rebuild, st.drift_abs, st.mass_at_build)
+        };
+        self.inner.stats.updates.fetch_add(1, Ordering::Relaxed);
+        if self.inner.in_cooldown() {
+            return Ok(false);
+        }
+        let fire = match self.inner.config.policy {
+            RebuildPolicy::EveryKUpdates(k) => usr >= k,
+            RebuildPolicy::DriftFraction(f) => drift_exceeds(drift_abs, f, mass),
+            RebuildPolicy::Manual => false,
         };
         if !fire {
             return Ok(false);
@@ -305,6 +350,40 @@ impl ColumnHandle {
     /// it (`tier == 0` with [`RebuildStats::upgrades`] incremented).
     pub fn last_outcome(&self) -> Option<BuildOutcome> {
         lock(&self.inner.last_outcome).clone()
+    }
+
+    /// Number of segments for columns registered through
+    /// [`MaintainedPool::add_column_segmented`]; `None` for monolithic
+    /// columns.
+    pub fn segments(&self) -> Option<usize> {
+        self.inner.segments.as_ref().map(|s| s.layout.segments())
+    }
+
+    /// Per-segment provenance: the committed [`BuildOutcome`] of every
+    /// segment's most recent build, in segment order. `None` for
+    /// monolithic columns. Clean segments keep the outcome of the build
+    /// that produced their serving partial — the vector always describes
+    /// exactly what is serving.
+    pub fn segment_outcomes(&self) -> Option<Vec<BuildOutcome>> {
+        self.inner
+            .segments
+            .as_ref()
+            .map(|s| lock(&s.outcomes).clone())
+    }
+
+    /// The per-segment word budgets fixed by the joint split at
+    /// registration. `None` for monolithic columns.
+    pub fn segment_budgets(&self) -> Option<Vec<usize>> {
+        self.inner.segments.as_ref().map(|s| s.budgets.clone())
+    }
+
+    /// Current dirty marks (segments touched since their last rebuild
+    /// cut), in segment order. `None` for monolithic columns.
+    pub fn dirty_segments(&self) -> Option<Vec<bool>> {
+        self.inner
+            .segments
+            .as_ref()
+            .map(|_| lock(&self.inner.ingest).dirty.clone())
     }
 
     /// How many swaps the serving cell has published (initial build = 0).
@@ -416,7 +495,74 @@ impl MaintainedPool {
         config: RebuildConfig,
         persist: Option<PersistFn>,
     ) -> Result<ColumnHandle> {
-        self.register_column(name, values, build, config, persist, None, None)
+        self.register_column(name, values, build, config, persist, None, None, None)
+    }
+
+    /// Registers a **segmented** column: the domain is split into
+    /// `segments` equi-width segments, the global `budget_words` is
+    /// divided across them once by the catalog's exact knapsack DP
+    /// ([`crate::split_segment_budget`]), and each segment builds its own
+    /// synopsis through the anytime ladder. Serving composes the partials
+    /// behind a [`SegmentedEstimator`]; `update()` marks only the touched
+    /// segment dirty, and rebuilds re-run the ladder on dirty slices
+    /// alone, reusing every clean partial bit-for-bit.
+    pub fn add_column_segmented(
+        &self,
+        name: &str,
+        values: &[i64],
+        method: HistogramMethod,
+        budget_words: usize,
+        segments: usize,
+        config: RebuildConfig,
+    ) -> Result<ColumnHandle> {
+        self.register_column(
+            name,
+            values,
+            ColumnBuild::Anytime {
+                method,
+                budget_words,
+            },
+            config,
+            None,
+            None,
+            None,
+            Some(segments),
+        )
+    }
+
+    /// [`MaintainedPool::add_column_segmented`] with write-ahead
+    /// durability, composing exactly like
+    /// [`MaintainedPool::add_column_durable`]: the journal, checkpoint,
+    /// and replication paths are unchanged — segmentation only alters
+    /// *what the worker rebuilds*, never what is journaled or persisted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_column_segmented_durable(
+        &self,
+        name: &str,
+        values: &[i64],
+        method: HistogramMethod,
+        budget_words: usize,
+        segments: usize,
+        config: RebuildConfig,
+        storage: SharedStorage,
+        durability: &DurabilityConfig,
+        committed_generation: u64,
+        persist: Option<DurablePersistFn>,
+    ) -> Result<ColumnHandle> {
+        let wal = durability.open_journal(storage, name, committed_generation)?;
+        self.register_column(
+            name,
+            values,
+            ColumnBuild::Anytime {
+                method,
+                budget_words,
+            },
+            config,
+            None,
+            wal,
+            persist,
+            Some(segments),
+        )
     }
 
     /// [`MaintainedPool::add_column_with_persist`] for a **journaled**
@@ -440,7 +586,7 @@ impl MaintainedPool {
         persist: Option<DurablePersistFn>,
     ) -> Result<ColumnHandle> {
         let wal = durability.open_journal(storage, name, committed_generation)?;
-        self.register_column(name, values, build, config, None, wal, persist)
+        self.register_column(name, values, build, config, None, wal, persist, None)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -453,12 +599,35 @@ impl MaintainedPool {
         persist: Option<PersistFn>,
         wal: Option<ColumnJournal>,
         durable_persist: Option<DurablePersistFn>,
+        segments: Option<usize>,
     ) -> Result<ColumnHandle> {
         validate_policy(&config.policy)?;
         let ps = PrefixSums::from_values(values);
         let budget = config.budget();
-        let (initial, outcome) = run_column_build(&mut build, values, &ps, &budget, &config)?;
+        let (initial, outcome, runtime) = match segments {
+            None => {
+                let (est, outcome) = run_column_build(&mut build, values, &ps, &budget, &config)?;
+                (est, outcome, None)
+            }
+            Some(segs) => {
+                let ColumnBuild::Anytime {
+                    method,
+                    budget_words,
+                } = &build
+                else {
+                    return Err(SynopticError::InvalidParameter(
+                        "segmented columns require an anytime build".into(),
+                    ));
+                };
+                let (est, outcome, runtime) =
+                    build_segmented_initial(*method, *budget_words, segs, values, &config)?;
+                (est, outcome, Some(runtime))
+            }
+        };
         let degraded = outcome.as_ref().is_some_and(BuildOutcome::is_degraded);
+        let dirty = runtime
+            .as_ref()
+            .map_or_else(Vec::new, |r| vec![false; r.layout.segments()]);
         let inner = Arc::new(ColumnInner {
             name: name.to_string(),
             config,
@@ -472,9 +641,11 @@ impl MaintainedPool {
                 drift_abs: 0,
                 mass_at_build: ps.total().abs(),
                 updates_since_rebuild: 0,
-                cooldown_remaining: 0,
-                cooldown_factor: 1,
+                dirty,
             }),
+            segments: runtime,
+            cooldown_remaining: AtomicU64::new(0),
+            cooldown_factor: AtomicU64::new(1),
             stats: AtomicStats::default(),
             rebuild_pending: AtomicBool::new(false),
             inflight: Mutex::new(0),
@@ -566,16 +737,7 @@ fn run_column_build(
             method,
             budget_words,
         } => {
-            let mut params = AnytimeParams::unconstrained();
-            if let Some(d) = config.deadline {
-                params = params.with_deadline(d);
-            }
-            if let Some(c) = config.max_cells {
-                params = params.with_max_cells(c);
-            }
-            if let Some(t) = &config.cancel {
-                params = params.with_cancel_token(t.clone());
-            }
+            let params = anytime_params(config);
             let method = *method;
             let words = *budget_words;
             let result = catch_unwind(AssertUnwindSafe(|| {
@@ -590,6 +752,67 @@ fn run_column_build(
             Ok((est, Some(result.outcome)))
         }
     }
+}
+
+/// The anytime-ladder execution constraints a [`RebuildConfig`] implies.
+fn anytime_params(config: &RebuildConfig) -> AnytimeParams {
+    let mut params = AnytimeParams::unconstrained();
+    if let Some(d) = config.deadline {
+        params = params.with_deadline(d);
+    }
+    if let Some(c) = config.max_cells {
+        params = params.with_max_cells(c);
+    }
+    if let Some(t) = &config.cancel {
+        params = params.with_cancel_token(t.clone());
+    }
+    params
+}
+
+/// The most-degraded outcome of a set (highest ladder tier), cloned — what
+/// a segmented column reports through the monolithic
+/// [`ColumnHandle::last_outcome`] accessor. Per-segment detail lives in
+/// [`ColumnHandle::segment_outcomes`].
+fn worst_outcome(outcomes: &[BuildOutcome]) -> Option<BuildOutcome> {
+    outcomes.iter().max_by_key(|o| o.tier).cloned()
+}
+
+/// Builds every segment of a new segmented column through the anytime
+/// ladder (synchronously, on the registering thread — like the monolithic
+/// initial build, a failure here means there is nothing to serve and the
+/// error propagates).
+fn build_segmented_initial(
+    method: HistogramMethod,
+    budget_words: usize,
+    segments: usize,
+    values: &[i64],
+    config: &RebuildConfig,
+) -> Result<(
+    Arc<dyn RangeEstimator>,
+    Option<BuildOutcome>,
+    SegmentRuntime,
+)> {
+    let layout = SegmentLayout::equi_width(values.len(), segments)?;
+    let budgets = split_segment_budget(values, &layout, method, budget_words)?;
+    let params = anytime_params(config);
+    let mut parts: Vec<Arc<dyn RangeEstimator>> = Vec::with_capacity(segments);
+    let mut outcomes: Vec<BuildOutcome> = Vec::with_capacity(segments);
+    for (s, words) in budgets.iter().enumerate() {
+        let (est, outcome) = build_segment(method, values, &layout, s, *words, &params)?;
+        parts.push(est);
+        outcomes.push(outcome);
+    }
+    let composed = SegmentedEstimator::new(layout.clone(), parts.clone())?;
+    let worst = worst_outcome(&outcomes);
+    let runtime = SegmentRuntime {
+        layout,
+        method,
+        budgets,
+        parts: Mutex::new(parts),
+        outcomes: Mutex::new(outcomes),
+        segment_builds: AtomicU64::new(segments as u64),
+    };
+    Ok((Arc::new(composed), worst, runtime))
 }
 
 /// Releases an abandoned job's bookkeeping (pending flag, quiesce counter)
@@ -674,6 +897,10 @@ fn worker_loop(rx: mpsc::Receiver<Job>, self_tx: mpsc::Sender<Job>) {
 /// off-thread persist → (optionally) schedule an upgrade of a degraded
 /// rung.
 fn run_rebuild(col: &Arc<ColumnInner>, self_tx: &mpsc::Sender<Job>) {
+    if col.segments.is_some() {
+        run_rebuild_segmented(col, self_tx);
+        return;
+    }
     // 1. Snapshot the live frequencies. The ingest lock is held for the
     //    O(n) copy only — the build below runs without it. The WAL mark is
     //    read under the same lock: appends also run under it, so the mark
@@ -704,9 +931,8 @@ fn run_rebuild(col: &Arc<ColumnInner>, self_tx: &mpsc::Sender<Job>) {
                 st.drift_abs -= drift_snap;
                 st.mass_at_build = ps.total().abs();
                 st.updates_since_rebuild -= usr_snap;
-                st.cooldown_remaining = 0;
-                st.cooldown_factor = 1;
             }
+            col.clear_cooldown();
             col.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
             *lock(&col.last_error) = None;
             let degraded = outcome.as_ref().is_some_and(BuildOutcome::is_degraded);
@@ -725,11 +951,119 @@ fn run_rebuild(col: &Arc<ColumnInner>, self_tx: &mpsc::Sender<Job>) {
         Err(err) => {
             col.stats.failed_rebuilds.fetch_add(1, Ordering::Relaxed);
             col.set_error(err);
+            col.start_cooldown();
+            col.rebuild_pending.store(false, Ordering::Release);
+        }
+    }
+    col.job_finished();
+}
+
+/// One background rebuild of a **segmented** column: snapshot the live
+/// frequencies *and* the dirty marks (clearing them at the cut), re-run
+/// the anytime ladder on dirty slices only, and hot-swap a composition of
+/// fresh and reused partials. A manual rebuild with nothing dirty
+/// refreshes every segment.
+///
+/// Failure is atomic: if any segment's build fails (budget exhaustion,
+/// cancellation mid-merge, panic), nothing swaps, the snapshot's dirty
+/// marks are OR-ed back over whatever ingest dirtied meanwhile, and the
+/// error — including cancellation provenance — surfaces through
+/// [`ColumnHandle::last_error`] exactly like a monolithic failure.
+fn run_rebuild_segmented(col: &Arc<ColumnInner>, self_tx: &mpsc::Sender<Job>) {
+    let seg = col.segments.as_ref().expect("caller checked segments");
+    let s_count = seg.layout.segments();
+    let (values, drift_snap, usr_snap, wal_mark, dirty) = {
+        let mut st = lock(&col.ingest);
+        let dirty = std::mem::replace(&mut st.dirty, vec![false; s_count]);
+        (
+            st.fenwick.to_values(),
+            st.drift_abs,
+            st.updates_since_rebuild,
+            col.wal.as_ref().map(|w| w.pending_mark()),
+            dirty,
+        )
+    };
+    let targets: Vec<usize> = if dirty.iter().any(|&d| d) {
+        (0..s_count).filter(|&s| dirty[s]).collect()
+    } else {
+        (0..s_count).collect()
+    };
+    let params = anytime_params(&col.config);
+    let mut fresh: Vec<(usize, Arc<dyn RangeEstimator>, BuildOutcome)> =
+        Vec::with_capacity(targets.len());
+    let mut failure: Option<SynopticError> = None;
+    for &s in &targets {
+        match build_segment(seg.method, &values, &seg.layout, s, seg.budgets[s], &params) {
+            Ok((est, outcome)) => fresh.push((s, est, outcome)),
+            Err(err) => {
+                failure = Some(err);
+                break;
+            }
+        }
+    }
+    seg.record_builds(fresh.len() as u64);
+    let composed = match failure {
+        Some(err) => Err(err),
+        None => {
+            let mut parts = lock(&seg.parts).clone();
+            for (s, est, _) in &fresh {
+                parts[*s] = Arc::clone(est);
+            }
+            SegmentedEstimator::new(seg.layout.clone(), parts)
+        }
+    };
+    match composed {
+        Ok(composed) => {
+            // Commit: publish the composition, then record the fresh
+            // partials and their provenance as the new baseline.
+            col.serving.swap(Arc::new(composed));
+            {
+                let mut parts = lock(&seg.parts);
+                let mut outcomes = lock(&seg.outcomes);
+                for (s, est, outcome) in fresh {
+                    parts[s] = est;
+                    outcomes[s] = outcome;
+                }
+            }
             {
                 let mut st = lock(&col.ingest);
-                st.cooldown_remaining = col.config.failure_cooldown_updates * st.cooldown_factor;
-                st.cooldown_factor = (st.cooldown_factor * 2).min(1024);
+                st.drift_abs -= drift_snap;
+                st.mass_at_build = PrefixSums::from_values(&values).total().abs();
+                st.updates_since_rebuild -= usr_snap;
             }
+            col.clear_cooldown();
+            col.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+            col.stats
+                .segments_rebuilt
+                .fetch_add(targets.len() as u64, Ordering::Relaxed);
+            col.stats
+                .segments_reused
+                .fetch_add((s_count - targets.len()) as u64, Ordering::Relaxed);
+            *lock(&col.last_error) = None;
+            let (worst, degraded) = {
+                let outcomes = lock(&seg.outcomes);
+                let degraded = outcomes.iter().any(BuildOutcome::is_degraded);
+                (worst_outcome(&outcomes), degraded)
+            };
+            *lock(&col.last_outcome) = worst;
+            col.rebuild_pending.store(false, Ordering::Release);
+            run_persist(col, &values, wal_mark);
+            if degraded && col.config.upgrade_in_background {
+                schedule_upgrade(self_tx, col);
+            }
+        }
+        Err(err) => {
+            {
+                let mut st = lock(&col.ingest);
+                for (s, &was) in dirty.iter().enumerate() {
+                    if was {
+                        st.dirty[s] = true;
+                    }
+                }
+            }
+            col.stats.failed_rebuilds.fetch_add(1, Ordering::Relaxed);
+            col.set_error(err);
+            col.start_cooldown();
             col.rebuild_pending.store(false, Ordering::Release);
         }
     }
@@ -739,6 +1073,10 @@ fn run_rebuild(col: &Arc<ColumnInner>, self_tx: &mpsc::Sender<Job>) {
 /// One background upgrade: re-run the abandoned tier-0 rung over a fresh
 /// snapshot with a multiplied budget; hot-swap and re-persist on success.
 fn run_upgrade(col: &Arc<ColumnInner>) {
+    if col.segments.is_some() {
+        run_upgrade_segmented(col);
+        return;
+    }
     let outcome = lock(&col.last_outcome).clone();
     let Some(outcome) = outcome else {
         col.job_finished();
@@ -812,6 +1150,97 @@ fn run_upgrade(col: &Arc<ColumnInner>) {
         Err(err) => {
             // The degraded synopsis keeps serving; the next degraded
             // rebuild will schedule another attempt.
+            col.stats.failed_upgrades.fetch_add(1, Ordering::Relaxed);
+            col.set_error(err);
+        }
+    }
+    col.job_finished();
+}
+
+/// One background upgrade of a **segmented** column: re-run the tier-0
+/// method directly (no ladder) on every segment whose committed outcome is
+/// degraded, at the multiplied budget, and hot-swap the re-composition.
+/// All-or-nothing like the monolithic upgrade: any failure keeps the
+/// degraded partials serving and counts one failed upgrade.
+fn run_upgrade_segmented(col: &Arc<ColumnInner>) {
+    let seg = col.segments.as_ref().expect("caller checked segments");
+    let degraded: Vec<usize> = {
+        let outcomes = lock(&seg.outcomes);
+        (0..outcomes.len())
+            .filter(|&s| outcomes[s].is_degraded())
+            .collect()
+    };
+    if degraded.is_empty() {
+        col.job_finished(); // a newer rebuild already restored full quality
+        return;
+    }
+    let (values, drift_snap, usr_snap, wal_mark) = {
+        let st = lock(&col.ingest);
+        (
+            st.fenwick.to_values(),
+            st.drift_abs,
+            st.updates_since_rebuild,
+            col.wal.as_ref().map(|w| w.pending_mark()),
+        )
+    };
+    let factor = col.config.upgrade_budget_factor.max(1);
+    let mut fresh: Vec<(usize, Arc<dyn RangeEstimator>, BuildOutcome)> =
+        Vec::with_capacity(degraded.len());
+    let mut failure: Option<SynopticError> = None;
+    for &s in &degraded {
+        let mut budget = Budget::unlimited();
+        if let Some(d) = col.config.deadline {
+            budget = budget.with_deadline(d * factor);
+        }
+        if let Some(c) = col.config.max_cells {
+            budget = budget.with_max_cells(c.saturating_mul(factor as u64));
+        }
+        if let Some(t) = &col.config.cancel {
+            budget = budget.with_cancel_token(t.clone());
+        }
+        match upgrade_segment(seg.method, &values, &seg.layout, s, seg.budgets[s], &budget) {
+            Ok((est, outcome)) => fresh.push((s, est, outcome)),
+            Err(err) => {
+                failure = Some(err);
+                break;
+            }
+        }
+    }
+    seg.record_builds(fresh.len() as u64);
+    let composed = match failure {
+        Some(err) => Err(err),
+        None => {
+            let mut parts = lock(&seg.parts).clone();
+            for (s, est, _) in &fresh {
+                parts[*s] = Arc::clone(est);
+            }
+            SegmentedEstimator::new(seg.layout.clone(), parts)
+        }
+    };
+    match composed {
+        Ok(composed) => {
+            col.serving.swap(Arc::new(composed));
+            {
+                let mut parts = lock(&seg.parts);
+                let mut outcomes = lock(&seg.outcomes);
+                for (s, est, outcome) in fresh {
+                    parts[s] = est;
+                    outcomes[s] = outcome;
+                }
+            }
+            {
+                let mut st = lock(&col.ingest);
+                st.drift_abs -= drift_snap;
+                st.mass_at_build = PrefixSums::from_values(&values).total().abs();
+                st.updates_since_rebuild -= usr_snap;
+            }
+            col.stats.upgrades.fetch_add(1, Ordering::Relaxed);
+            *lock(&col.last_outcome) = worst_outcome(&lock(&seg.outcomes));
+            run_persist(col, &values, wal_mark);
+        }
+        Err(err) => {
+            // The degraded partials keep serving; the next degraded
+            // rebuild schedules another attempt.
             col.stats.failed_upgrades.fetch_add(1, Ordering::Relaxed);
             col.set_error(err);
         }

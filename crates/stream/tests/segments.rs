@@ -1,0 +1,245 @@
+//! Segmented-column integration suite: dirty-segment incremental rebuilds,
+//! composed-answer correctness, per-segment provenance, durable
+//! composition, and seeded cancellation sweeps where the cancel lands
+//! mid-merge (some segments already rebuilt, the rest pending) — in every
+//! case provenance must propagate and the dirty set must survive.
+
+use std::sync::Arc;
+
+use synoptic_catalog::FsStorage;
+use synoptic_core::{CancelToken, RangeQuery, SynopticError};
+use synoptic_hist::builder::HistogramMethod;
+use synoptic_stream::{
+    DurabilityConfig, MaintainedPool, RebuildConfig, RebuildPolicy, SharedStorage,
+};
+
+const N: usize = 64;
+
+fn values() -> Vec<i64> {
+    (0..N as i64)
+        .map(|i| (i * i * 13 + 5 * i) % 89 - 30)
+        .collect()
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("synoptic-segtest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn rebuild_touches_only_the_dirty_segment() {
+    let pool = MaintainedPool::new(1);
+    let vals = values();
+    let col = pool
+        .add_column_segmented(
+            "c",
+            &vals,
+            HistogramMethod::Sap0,
+            48,
+            8,
+            RebuildConfig::new(RebuildPolicy::EveryKUpdates(4)),
+        )
+        .unwrap();
+    assert_eq!(col.segments(), Some(8));
+    // All four updates land in segment 2 (positions 16..24 at 8 segments
+    // of width 8).
+    for t in 0..4 {
+        col.update(17 + t, 5).unwrap();
+    }
+    col.quiesce();
+    let stats = col.stats();
+    assert_eq!(stats.rebuilds, 1);
+    assert_eq!(stats.segments_rebuilt, 1, "stats: {stats:?}");
+    assert_eq!(stats.segments_reused, 7);
+    // The dirty set is clean again after the committed rebuild.
+    assert_eq!(col.dirty_segments().unwrap(), vec![false; 8]);
+    // The refreshed segment reflects the new mass.
+    let q = RangeQuery { lo: 16, hi: 23 };
+    let est = col.estimate(q);
+    let exact = col.exact(q) as f64;
+    assert!(
+        (est - exact).abs() / exact.abs().max(1.0) < 0.5,
+        "estimate {est} should track exact {exact}"
+    );
+}
+
+#[test]
+fn updates_across_segments_mark_each_touched_segment() {
+    let pool = MaintainedPool::new(1);
+    let col = pool
+        .add_column_segmented(
+            "c",
+            &values(),
+            HistogramMethod::Sap0,
+            48,
+            4,
+            RebuildConfig::new(RebuildPolicy::Manual),
+        )
+        .unwrap();
+    col.update(0, 1).unwrap(); // segment 0
+    col.update(40, 1).unwrap(); // segment 2
+    assert_eq!(
+        col.dirty_segments().unwrap(),
+        vec![true, false, true, false]
+    );
+    col.request_rebuild().unwrap();
+    col.quiesce();
+    let stats = col.stats();
+    assert_eq!(stats.segments_rebuilt, 2);
+    assert_eq!(stats.segments_reused, 2);
+}
+
+#[test]
+fn manual_rebuild_with_clean_segments_refreshes_everything() {
+    let pool = MaintainedPool::new(1);
+    let col = pool
+        .add_column_segmented(
+            "c",
+            &values(),
+            HistogramMethod::Sap0,
+            48,
+            4,
+            RebuildConfig::new(RebuildPolicy::Manual),
+        )
+        .unwrap();
+    col.request_rebuild().unwrap();
+    col.quiesce();
+    let stats = col.stats();
+    assert_eq!(stats.rebuilds, 1);
+    assert_eq!(stats.segments_rebuilt, 4);
+    assert_eq!(stats.segments_reused, 0);
+}
+
+#[test]
+fn saturated_budget_makes_the_composition_exact() {
+    // One bucket per position in every segment ⇒ each partial is exact,
+    // and the composed estimator must answer every cross-segment range
+    // exactly (the segment-layer analogue of the merge-equivalence
+    // property: composing exact partials loses nothing).
+    let pool = MaintainedPool::new(1);
+    let vals = values();
+    let wpb = HistogramMethod::Sap0.words_per_bucket();
+    let col = pool
+        .add_column_segmented(
+            "c",
+            &vals,
+            HistogramMethod::Sap0,
+            wpb * N,
+            8,
+            RebuildConfig::new(RebuildPolicy::Manual),
+        )
+        .unwrap();
+    for q in RangeQuery::all(N) {
+        let est = col.estimate(q);
+        let exact = col.exact(q) as f64;
+        assert!(
+            (est - exact).abs() < 1e-6,
+            "q={q:?}: est {est} vs exact {exact}"
+        );
+    }
+    // Provenance: every segment committed a real (tier-0) build.
+    let outcomes = col.segment_outcomes().unwrap();
+    assert_eq!(outcomes.len(), 8);
+    for o in &outcomes {
+        assert_eq!(o.used, "SAP0");
+        assert!(!o.is_degraded());
+    }
+    // The joint split granted every segment a positive budget.
+    let budgets = col.segment_budgets().unwrap();
+    assert!(budgets.iter().all(|&w| w >= wpb));
+}
+
+/// Seeded sweep: cancellation lands mid-merge. Each seed dirties a
+/// different set of segments, then cancels the column's token before the
+/// rebuild drains, so the worker fails partway through the
+/// rebuild-and-compose cycle. Required invariants, per seed:
+/// provenance propagates (`last_error` is `Cancelled`, counted in
+/// `failed_rebuilds`, committed outcomes untouched), nothing swaps, and
+/// the dirty marks are restored so the next rebuild still knows what
+/// changed.
+#[test]
+fn seeded_cancellation_mid_merge_propagates_provenance_and_restores_dirty() {
+    for seed in 1u64..=5 {
+        let token = CancelToken::new();
+        let pool = MaintainedPool::new(1);
+        let col = pool
+            .add_column_segmented(
+                "c",
+                &values(),
+                HistogramMethod::Sap0,
+                48,
+                8,
+                RebuildConfig::new(RebuildPolicy::Manual).with_cancel_token(token.clone()),
+            )
+            .unwrap();
+        let outcomes_before = col.segment_outcomes().unwrap();
+        let generation_before = col.serving_generation();
+        // Deterministic xorshift dirty pattern: 1–4 distinct segments.
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut dirtied = Vec::new();
+        for _ in 0..=(seed % 4) {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let seg = (s % 8) as usize;
+            col.update(seg * 8, 3).unwrap();
+            dirtied.push(seg);
+        }
+        token.cancel();
+        col.request_rebuild().unwrap();
+        col.quiesce();
+        let stats = col.stats();
+        assert_eq!(stats.rebuilds, 0, "seed {seed}: nothing may commit");
+        assert_eq!(stats.failed_rebuilds, 1, "seed {seed}");
+        assert_eq!(stats.segments_rebuilt, 0, "seed {seed}");
+        assert!(
+            matches!(col.last_error(), Some(SynopticError::Cancelled)),
+            "seed {seed}: got {:?}",
+            col.last_error()
+        );
+        // Nothing swapped; the committed per-segment provenance is the
+        // registration-time provenance, bit for bit.
+        assert_eq!(col.serving_generation(), generation_before, "seed {seed}");
+        assert_eq!(col.segment_outcomes().unwrap(), outcomes_before);
+        // Every dirtied segment is still marked for the next rebuild.
+        let dirty = col.dirty_segments().unwrap();
+        for &seg in &dirtied {
+            assert!(dirty[seg], "seed {seed}: segment {seg} lost its mark");
+        }
+    }
+}
+
+#[test]
+fn segmented_durable_column_journals_and_checkpoints_like_monolithic() {
+    let dir = tempdir("durable");
+    let storage: SharedStorage = Arc::new(FsStorage::new());
+    let durability = DurabilityConfig::journaled(dir.join("wal"));
+    let pool = MaintainedPool::new(1);
+    let col = pool
+        .add_column_segmented_durable(
+            "c",
+            &values(),
+            HistogramMethod::Sap0,
+            48,
+            4,
+            RebuildConfig::new(RebuildPolicy::EveryKUpdates(3)),
+            storage,
+            &durability,
+            0,
+            None,
+        )
+        .unwrap();
+    assert!(col.journaled());
+    for t in 0..6 {
+        col.update(t, 2).unwrap();
+    }
+    col.quiesce();
+    // Every acknowledged update hit the journal before the Fenwick write.
+    assert_eq!(col.wal_mark(), 6);
+    let stats = col.stats();
+    assert!(stats.rebuilds >= 1);
+    assert!(stats.segments_rebuilt >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
