@@ -52,6 +52,11 @@ echo "==> failover suite: kill-the-leader sweep, CLI election e2e (capped at ${T
 ${CAP} cargo test -q -p synoptic-stream --test failover_sweep --offline
 ${CAP} cargo test -q -p synoptic-cli --test failover_cli --offline
 
+echo "==> serving suite: wire codec + exit-code table, batch pinning, cache invalidation, admission control, CLI e2e (capped at ${TEST_CAP}s)"
+${CAP} cargo test -q -p synoptic-api --offline
+${CAP} cargo test -q -p synoptic-serve --offline
+${CAP} cargo test -q -p synoptic-cli --test serve_cli --offline
+
 echo "==> segment suite: dirty-segment rebuilds + merge equivalence (capped at ${TEST_CAP}s)"
 ${CAP} cargo test -q -p synoptic-stream --test segments --offline
 ${CAP} cargo test -q -p synoptic-hist --test merge_equivalence --offline
@@ -65,6 +70,9 @@ ${CAP} cargo run -q --release --offline --example failover_bench
 
 echo "==> segments bench: dirty-segment vs full rebuild at 1/4/16/64 segments (capped at ${TEST_CAP}s)"
 ${CAP} cargo run -q --release --offline --example segments_bench
+
+echo "==> serve bench: mixed update+query throughput and wire latency over live TCP (capped at ${TEST_CAP}s)"
+${CAP} cargo run -q --release --offline --example serve_bench
 
 echo "==> full workspace tests (offline, capped at ${TEST_CAP}s)"
 ${CAP} cargo test -q --workspace --offline

@@ -1,0 +1,168 @@
+//! Answers that carry their provenance, and the one trait that produces
+//! them.
+//!
+//! Before this crate existed the workspace had three estimate entry
+//! points with three shapes: `ColumnHandle::estimate` returned a bare
+//! `f64` (dropping the serving generation and build outcome),
+//! `Follower::estimate` returned `Result<f64>` (dropping the observed
+//! lag that justified the answer), and `DurableCatalog::estimate`
+//! returned a `SourcedEstimate` (dropping the manifest generation).
+//! [`Queryable`] unifies them: every answer is an [`AnswerEnvelope`] and
+//! no boundary is allowed to strip the provenance off.
+
+use std::fmt;
+
+use synoptic_catalog::{DurableCatalog, Storage};
+use synoptic_core::{AnswerSource, BuildOutcome, RangeQuery, Result};
+
+/// An estimate plus everything needed to judge it: where the answer came
+/// from, which published snapshot answered, how stale it was, and how the
+/// synopsis that answered was built.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerEnvelope {
+    /// The estimated range sum.
+    pub value: f64,
+    /// Which synopsis answered (primary, an older generation, or the
+    /// naive fallback) — the serving-side half of the provenance.
+    pub source: AnswerSource,
+    /// The publication generation of the snapshot that answered: the
+    /// hot-swap generation for pool columns and batch servers, the
+    /// manifest generation for catalog reads, the applied LSN for
+    /// replication followers. Two answers with equal generations from
+    /// the same responder came from the same published snapshot.
+    pub generation: u64,
+    /// How stale the answerer was: records applied-but-not-rebuilt for a
+    /// maintained column, records behind the leader for a follower, `0`
+    /// for a fresh primary.
+    pub lag: u64,
+    /// Provenance of the build that produced the answering synopsis
+    /// (which anytime rung served and why), when the answerer tracks it.
+    pub outcome: Option<BuildOutcome>,
+    /// Per-segment build provenance for segmented columns, in segment
+    /// order; `None` for monolithic answerers.
+    pub segment_outcomes: Option<Vec<BuildOutcome>>,
+}
+
+impl AnswerEnvelope {
+    /// A fresh primary answer with no build provenance attached.
+    pub fn primary(value: f64, generation: u64) -> Self {
+        Self {
+            value,
+            source: AnswerSource::Primary,
+            generation,
+            lag: 0,
+            outcome: None,
+            segment_outcomes: None,
+        }
+    }
+
+    /// `true` when anything about this answer is weaker than asked for:
+    /// a non-primary source or a build that fell down the anytime ladder.
+    pub fn is_degraded(&self) -> bool {
+        self.source.is_degraded() || self.outcome.as_ref().is_some_and(BuildOutcome::is_degraded)
+    }
+}
+
+impl fmt::Display for AnswerEnvelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} (source {}, generation {}, lag {})",
+            self.value, self.source, self.generation, self.lag
+        )?;
+        if let Some(outcome) = &self.outcome {
+            write!(f, " — {outcome}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The one estimate entry point. Implementors answer a range-sum query
+/// for a named column and *must* return full provenance — or refuse
+/// loudly (lag bound exceeded, unknown column, out-of-bounds range).
+pub trait Queryable {
+    /// Answers `q` against `column`, or refuses with provenance.
+    fn query(&self, column: &str, q: RangeQuery) -> Result<AnswerEnvelope>;
+}
+
+/// Every `&Q` is as queryable as `Q` itself.
+impl<Q: Queryable + ?Sized> Queryable for &Q {
+    fn query(&self, column: &str, q: RangeQuery) -> Result<AnswerEnvelope> {
+        (**self).query(column, q)
+    }
+}
+
+/// Catalog reads answer through the degraded-mode fallback chain; the
+/// envelope carries the fallback source and the manifest generation that
+/// served.
+impl<S: Storage> Queryable for DurableCatalog<S> {
+    fn query(&self, column: &str, q: RangeQuery) -> Result<AnswerEnvelope> {
+        let answer = self.estimate(column, q)?;
+        let generation = self.effective_manifest()?.generation;
+        Ok(AnswerEnvelope {
+            value: answer.value,
+            source: answer.source,
+            generation,
+            lag: 0,
+            outcome: None,
+            segment_outcomes: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synoptic_catalog::{Catalog, ColumnEntry, FsStorage, PersistentSynopsis};
+
+    #[test]
+    fn degradation_is_visible_from_source_and_outcome() {
+        let mut env = AnswerEnvelope::primary(4.0, 7);
+        assert!(!env.is_degraded());
+        env.outcome = Some(BuildOutcome::direct("sap0", 1, 10));
+        assert!(!env.is_degraded());
+        env.source = AnswerSource::FallbackNaive;
+        assert!(env.is_degraded());
+        let mut degraded_build = AnswerEnvelope::primary(4.0, 7);
+        degraded_build.outcome = Some(BuildOutcome {
+            requested: "opt-a".into(),
+            used: "sap0".into(),
+            tier: 2,
+            attempts: Vec::new(),
+            elapsed_ms: 3,
+            cells: 9,
+        });
+        assert!(degraded_build.is_degraded());
+    }
+
+    #[test]
+    fn display_carries_the_provenance() {
+        let env = AnswerEnvelope::primary(12.5, 3);
+        let text = env.to_string();
+        assert!(text.contains("12.50"), "{text}");
+        assert!(text.contains("generation 3"), "{text}");
+    }
+
+    #[test]
+    fn durable_catalog_answers_with_manifest_generation() {
+        let dir = std::env::temp_dir().join(format!("synoptic-api-env-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DurableCatalog::open(&dir, FsStorage::new()).unwrap();
+        let values = vec![3i64, 1, 4, 1, 5, 9, 2, 6];
+        let mut catalog = Catalog::new();
+        catalog.insert(
+            "c",
+            ColumnEntry {
+                n: values.len(),
+                total_rows: values.iter().sum(),
+                synopsis: PersistentSynopsis::from_frequencies(&values),
+            },
+        );
+        let generation = store.save(&catalog).unwrap();
+        let env = store.query("c", RangeQuery::new(1, 3).unwrap()).unwrap();
+        assert_eq!(env.generation, generation);
+        assert_eq!(env.source, AnswerSource::Primary);
+        assert_eq!(env.value, (1 + 4 + 1) as f64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

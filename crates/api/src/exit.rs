@@ -1,0 +1,201 @@
+//! The one `SynopticError` → process-exit-code mapping.
+//!
+//! Every CLI exit code derives from [`exit_code`]; the wire error codec
+//! ([`crate::wire`]) round-trips errors structurally, so a refusal
+//! produced server-side maps to the *same* exit code when the client
+//! process reports it. The contract is documented in
+//! `docs/ROBUSTNESS.md` §7.2 and asserted against that table by the
+//! table-driven test below — the doc and the code cannot drift apart
+//! silently.
+
+use synoptic_core::SynopticError;
+
+/// Exit code for success.
+pub const EXIT_SUCCESS: u8 = 0;
+/// Exit code for generic failures (I/O, invalid data, internal errors).
+pub const EXIT_FAILURE: u8 = 1;
+/// Exit code for usage errors (bad flags, unknown commands/methods).
+pub const EXIT_USAGE: u8 = 2;
+/// Exit code when a synopsis, store, or wire frame fails checksum/format
+/// validation.
+pub const EXIT_CORRUPT: u8 = 4;
+/// Exit code when a deadline or DP-cell budget is exhausted and no
+/// fallback absorbed it.
+pub const EXIT_DEADLINE: u8 = 5;
+/// Exit code when the build was cancelled (cancellation always aborts; it
+/// is never absorbed by the fallback ladder).
+pub const EXIT_CANCELLED: u8 = 6;
+/// Exit code when a write-ahead journal cannot be trusted during
+/// `recover`: damage beyond the tolerated torn tail, or a journal written
+/// against a newer generation than the recovered snapshot.
+pub const EXIT_UNRECOVERABLE: u8 = 7;
+/// Exit code for replication divergence: a shipped segment stream that a
+/// follower refused (and retries could not repair), or a replica read
+/// refused because it trails the leader beyond `--max-lag`.
+pub const EXIT_REPLICATION: u8 = 8;
+/// Exit code when this process's election term was superseded: a write or
+/// ship was refused by a replica that granted a newer term.
+pub const EXIT_FENCED: u8 = 9;
+/// Exit code when the serving tier refused a request under admission
+/// control: queue depth, rebuild lag, or a per-connection quota exceeded
+/// its bound ([`SynopticError::ServerOverloaded`]). The refusal carries
+/// the bound and the observed value; back off and retry.
+pub const EXIT_REFUSED: u8 = 10;
+
+/// Maps an error to the exit code contract of `docs/ROBUSTNESS.md` §7.2.
+/// This is the *only* place the mapping lives: `CliError` derives from
+/// it, and the wire codec preserves variants so remote errors keep their
+/// code.
+pub fn exit_code(e: &SynopticError) -> u8 {
+    match e {
+        SynopticError::Cancelled => EXIT_CANCELLED,
+        SynopticError::DeadlineExceeded { .. } | SynopticError::CellBudgetExceeded { .. } => {
+            EXIT_DEADLINE
+        }
+        SynopticError::CorruptSynopsis { .. } => EXIT_CORRUPT,
+        SynopticError::CorruptJournal { .. } | SynopticError::WalGenerationMismatch { .. } => {
+            EXIT_UNRECOVERABLE
+        }
+        SynopticError::ReplicationDivergence { .. }
+        | SynopticError::ReplicationLagExceeded { .. } => EXIT_REPLICATION,
+        SynopticError::StaleLeaderTerm { .. } => EXIT_FENCED,
+        SynopticError::ServerOverloaded { .. } => EXIT_REFUSED,
+        _ => EXIT_FAILURE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Parses the two-column exit-code table out of
+    /// `docs/ROBUSTNESS.md` §7.2 (`| code | meaning |` rows). Other
+    /// tables in the doc have more columns and are skipped.
+    fn documented_codes() -> BTreeMap<u8, String> {
+        let doc = include_str!("../../../docs/ROBUSTNESS.md");
+        let mut rows = BTreeMap::new();
+        for line in doc.lines() {
+            let cells: Vec<&str> = line
+                .strip_prefix('|')
+                .and_then(|l| l.strip_suffix('|'))
+                .map(|l| l.split('|').map(str::trim).collect())
+                .unwrap_or_default();
+            if cells.len() != 2 {
+                continue;
+            }
+            if let Ok(code) = cells[0].parse::<u8>() {
+                rows.insert(code, cells[1].to_string());
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn every_exit_constant_is_documented() {
+        let rows = documented_codes();
+        for (code, needle) in [
+            (EXIT_SUCCESS, "success"),
+            (EXIT_FAILURE, "failure"),
+            (EXIT_USAGE, "usage"),
+            (EXIT_CORRUPT, "corrupt"),
+            (EXIT_DEADLINE, "deadline"),
+            (EXIT_CANCELLED, "cancelled"),
+            (EXIT_UNRECOVERABLE, "journal"),
+            (EXIT_REPLICATION, "replication"),
+            (EXIT_FENCED, "fenced"),
+            (EXIT_REFUSED, "refus"),
+        ] {
+            let meaning = rows
+                .get(&code)
+                .unwrap_or_else(|| panic!("exit code {code} missing from docs/ROBUSTNESS.md §7.2"));
+            assert!(
+                meaning.to_lowercase().contains(needle),
+                "docs row for code {code} ({meaning:?}) should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_mapping_matches_the_documented_table() {
+        let rows = documented_codes();
+        let cases: Vec<(SynopticError, u8)> = vec![
+            (SynopticError::EmptyInput, EXIT_FAILURE),
+            (
+                SynopticError::Io {
+                    path: "/x".into(),
+                    detail: "gone".into(),
+                },
+                EXIT_FAILURE,
+            ),
+            (SynopticError::InvalidParameter("eps".into()), EXIT_FAILURE),
+            (
+                SynopticError::CorruptSynopsis {
+                    context: "c".into(),
+                    detail: "crc".into(),
+                },
+                EXIT_CORRUPT,
+            ),
+            (
+                SynopticError::DeadlineExceeded { elapsed_ms: 9 },
+                EXIT_DEADLINE,
+            ),
+            (
+                SynopticError::CellBudgetExceeded { used: 2, limit: 1 },
+                EXIT_DEADLINE,
+            ),
+            (SynopticError::Cancelled, EXIT_CANCELLED),
+            (
+                SynopticError::CorruptJournal {
+                    context: "w".into(),
+                    detail: "crc".into(),
+                },
+                EXIT_UNRECOVERABLE,
+            ),
+            (
+                SynopticError::WalGenerationMismatch {
+                    wal_generation: 2,
+                    snapshot_generation: 1,
+                },
+                EXIT_UNRECOVERABLE,
+            ),
+            (
+                SynopticError::ReplicationDivergence {
+                    context: "c".into(),
+                    detail: "gap".into(),
+                },
+                EXIT_REPLICATION,
+            ),
+            (
+                SynopticError::ReplicationLagExceeded {
+                    column: "c".into(),
+                    lag: 9,
+                    max_lag: 4,
+                },
+                EXIT_REPLICATION,
+            ),
+            (
+                SynopticError::StaleLeaderTerm {
+                    stale_term: 1,
+                    current_term: 2,
+                },
+                EXIT_FENCED,
+            ),
+            (
+                SynopticError::ServerOverloaded {
+                    what: "queue depth".into(),
+                    observed: 65,
+                    limit: 64,
+                },
+                EXIT_REFUSED,
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(exit_code(&err), expected, "{err}");
+            assert!(
+                rows.contains_key(&expected),
+                "exit code {expected} for {err} is not documented"
+            );
+        }
+    }
+}

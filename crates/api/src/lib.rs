@@ -1,0 +1,41 @@
+//! The stable public query surface of the workspace.
+//!
+//! Everything an *external* consumer touches goes through this crate, so
+//! the CLI, the `synoptic serve` network tier, and the in-process
+//! libraries all speak the same types:
+//!
+//! * [`Request`] / [`Response`] — the four-verb query protocol
+//!   (EstimateBatch, Update, Stats, Ping) with a checksummed binary
+//!   encoding ([`wire`]), framed exactly like the replication protocol
+//!   (`magic | type | payload | crc32`, length-prefixed by the
+//!   transport).
+//! * [`AnswerEnvelope`] — every estimate travels with its provenance:
+//!   [`AnswerSource`](synoptic_core::AnswerSource), the hot-swap
+//!   generation it was answered from, replication/rebuild lag, and the
+//!   [`BuildOutcome`](synoptic_core::BuildOutcome) of the synopsis that
+//!   answered. Provenance is never dropped at a boundary.
+//! * [`Queryable`] — the one estimate entry point. Pool columns,
+//!   replication followers, the durable catalog, and the network client
+//!   all implement it, so call sites cannot tell (and need not care)
+//!   where an answer comes from — only the envelope says.
+//! * [`exit_code`] — the single `SynopticError` → process-exit-code
+//!   mapping. The CLI derives every exit code from it and the wire error
+//!   codec round-trips errors structurally, so a refusal keeps its exact
+//!   meaning (and exit code) across process and network boundaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod envelope;
+pub mod exit;
+pub mod wire;
+
+pub use envelope::{AnswerEnvelope, Queryable};
+pub use exit::{
+    exit_code, EXIT_CANCELLED, EXIT_CORRUPT, EXIT_DEADLINE, EXIT_FAILURE, EXIT_FENCED,
+    EXIT_REFUSED, EXIT_REPLICATION, EXIT_SUCCESS, EXIT_UNRECOVERABLE, EXIT_USAGE,
+};
+pub use wire::{
+    decode_request, decode_response, encode_request, encode_response, BatchAnswer, QueryBatch,
+    Request, Response, ServerStats,
+};

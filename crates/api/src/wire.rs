@@ -1,0 +1,1019 @@
+//! The query-protocol frame format.
+//!
+//! Same framing discipline as the replication protocol (`SRP1` in
+//! `synoptic-repl`): every frame is self-delimiting at the transport
+//! layer (transports carry whole frames, length-prefixed) and
+//! self-validating here:
+//!
+//! ```text
+//! frame:   magic "SQP1" (4) | type u8 | payload | crc32 u32
+//! string:  len u16 | bytes              (column names, error text)
+//! ranges:  len u32 | (lo u64, hi u64) × len
+//! deltas:  len u32 | (index u64, delta i64) × len
+//! answers: len u32 | (value f64-bits u64, cached u8) × len
+//! ```
+//!
+//! All integers are little-endian; the CRC covers every byte before it.
+//! A frame that fails validation decodes to
+//! [`SynopticError::CorruptSynopsis`] with context `"query frame"` —
+//! the receiver refuses it loudly (exit code 4 class) and never acts on
+//! bytes that did not validate.
+//!
+//! Errors cross the wire *structurally*: [`Response::Error`] carries the
+//! exact [`SynopticError`] variant, re-encoded field by field, so a
+//! server-side refusal keeps its provenance fields and its
+//! [`crate::exit_code`] mapping on the client — the consolidated
+//! `SynopticError` → wire error → exit code chain has exactly one link
+//! per hop and no lossy step.
+
+use synoptic_catalog::checksum::crc32;
+use synoptic_core::{AnswerSource, BuildAttempt, BuildOutcome, RangeQuery, Result, SynopticError};
+
+use crate::envelope::AnswerEnvelope;
+
+/// Magic bytes opening every query-protocol frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"SQP1";
+
+const TYPE_PING: u8 = 1;
+const TYPE_PONG: u8 = 2;
+const TYPE_ESTIMATE_BATCH: u8 = 3;
+const TYPE_ESTIMATES: u8 = 4;
+const TYPE_UPDATE: u8 = 5;
+const TYPE_UPDATED: u8 = 6;
+const TYPE_STATS: u8 = 7;
+const TYPE_STATS_RESP: u8 = 8;
+const TYPE_ERROR: u8 = 9;
+
+/// Many ranges against one column, answered from one snapshot pin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryBatch {
+    /// Column every range queries.
+    pub column: String,
+    /// The ranges, answered in order.
+    pub ranges: Vec<RangeQuery>,
+}
+
+impl QueryBatch {
+    /// A batch over `column`.
+    pub fn new(column: impl Into<String>, ranges: Vec<RangeQuery>) -> Self {
+        Self {
+            column: column.into(),
+            ranges,
+        }
+    }
+}
+
+/// A client request. The whole protocol is four verbs; anything richer
+/// composes out of them client-side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; the server answers [`Response::Pong`].
+    Ping,
+    /// Answer every range in the batch against one snapshot pin.
+    EstimateBatch(QueryBatch),
+    /// Ingest point updates `A[index] += delta`, in order.
+    Update {
+        /// Column to update.
+        column: String,
+        /// `(index, delta)` pairs, applied in order.
+        deltas: Vec<(u64, i64)>,
+    },
+    /// Maintenance counters and cache/admission meters for a column.
+    Stats {
+        /// Column to report on.
+        column: String,
+    },
+}
+
+/// One batch's answers plus the provenance shared by all of them (they
+/// were answered from a single pinned snapshot, so source, generation,
+/// lag, and build outcome are batch-wide by construction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchAnswer {
+    /// Publication generation of the pinned snapshot that answered every
+    /// range in the batch.
+    pub generation: u64,
+    /// Which synopsis answered.
+    pub source: AnswerSource,
+    /// Updates applied but not yet rebuilt into the snapshot at pin time.
+    pub lag: u64,
+    /// Build provenance of the answering synopsis, when tracked.
+    pub outcome: Option<BuildOutcome>,
+    /// Per-segment build provenance for segmented columns.
+    pub segment_outcomes: Option<Vec<BuildOutcome>>,
+    /// Estimated range sums, in request order.
+    pub values: Vec<f64>,
+    /// Per-range: `true` when the hot-range cache answered (same
+    /// `(column, generation, range)` key seen before), `false` when the
+    /// pinned synopsis computed it fresh.
+    pub cached: Vec<bool>,
+}
+
+impl BatchAnswer {
+    /// Expands the shared provenance into one [`AnswerEnvelope`] per
+    /// range, in request order.
+    pub fn envelopes(&self) -> Vec<AnswerEnvelope> {
+        self.values
+            .iter()
+            .map(|&value| AnswerEnvelope {
+                value,
+                source: self.source.clone(),
+                generation: self.generation,
+                lag: self.lag,
+                outcome: self.outcome.clone(),
+                segment_outcomes: self.segment_outcomes.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Maintenance, cache, and admission meters for one served column.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Column reported on.
+    pub column: String,
+    /// Domain size.
+    pub n: u64,
+    /// Current serving generation of the column's hot-swap cell.
+    pub generation: u64,
+    /// Total updates ingested.
+    pub updates: u64,
+    /// Successful background rebuilds.
+    pub rebuilds: u64,
+    /// Rebuild attempts that failed (previous synopsis kept serving).
+    pub failed_rebuilds: u64,
+    /// Updates applied since the last successful rebuild (the rebuild
+    /// lag that admission control bounds).
+    pub updates_since_rebuild: u64,
+    /// Hot-range cache hits across all connections.
+    pub cache_hits: u64,
+    /// Hot-range cache misses (fresh computations) across all
+    /// connections.
+    pub cache_misses: u64,
+    /// Times the cache dropped its entries because the serving
+    /// generation moved — every hot swap invalidates the whole keyed
+    /// set, making a stale-generation hit impossible.
+    pub cache_invalidations: u64,
+    /// Requests refused by admission control (queue depth, rebuild lag,
+    /// or quota) since the server started.
+    pub refused: u64,
+    /// Connections accepted since the server started.
+    pub connections: u64,
+}
+
+/// A server response. Every request gets exactly one, in order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::EstimateBatch`].
+    Estimates(BatchAnswer),
+    /// Answer to [`Request::Update`]: how many deltas were applied and
+    /// how many background rebuilds the stream scheduled.
+    Updated {
+        /// Deltas applied (always all of them, or the request errored).
+        applied: u64,
+        /// Rebuild jobs the updates scheduled.
+        scheduled: u64,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(ServerStats),
+    /// The request was refused or failed; the exact error crosses the
+    /// wire structurally (see the module docs).
+    Error(SynopticError),
+}
+
+fn corrupt(detail: impl Into<String>) -> SynopticError {
+    SynopticError::CorruptSynopsis {
+        context: "query frame".to_string(),
+        detail: detail.into(),
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.at < n {
+            return Err(corrupt("frame payload truncated"));
+        }
+        let out = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn count(&mut self, per_item: usize) -> Result<usize> {
+        let len = u32::from_le_bytes(self.take(4)?.try_into().expect("4")) as usize;
+        // Refuse counts the remaining payload cannot possibly hold, so a
+        // corrupt length cannot drive a giant allocation.
+        let need = len
+            .checked_mul(per_item)
+            .ok_or_else(|| corrupt("count overflow"))?;
+        if self.bytes.len() - self.at < need {
+            return Err(corrupt("count exceeds frame payload"));
+        }
+        Ok(len)
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().expect("2")) as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("frame string is not UTF-8"))
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.at != self.bytes.len() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after frame payload",
+                self.bytes.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_outcome_opt(out: &mut Vec<u8>, outcome: &Option<BuildOutcome>) {
+    match outcome {
+        None => out.push(0),
+        Some(o) => {
+            out.push(1);
+            put_outcome(out, o);
+        }
+    }
+}
+
+fn put_outcome(out: &mut Vec<u8>, o: &BuildOutcome) {
+    put_str(out, &o.requested);
+    put_str(out, &o.used);
+    out.extend_from_slice(&(o.tier as u64).to_le_bytes());
+    out.extend_from_slice(&o.elapsed_ms.to_le_bytes());
+    out.extend_from_slice(&o.cells.to_le_bytes());
+    out.extend_from_slice(&(o.attempts.len() as u32).to_le_bytes());
+    for a in &o.attempts {
+        put_str(out, &a.method);
+        put_str(out, &a.error);
+        out.extend_from_slice(&a.elapsed_ms.to_le_bytes());
+        out.extend_from_slice(&a.cells.to_le_bytes());
+    }
+}
+
+fn read_outcome_opt(r: &mut Reader<'_>) -> Result<Option<BuildOutcome>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(read_outcome(r)?)),
+        other => Err(corrupt(format!("bad outcome flag {other}"))),
+    }
+}
+
+fn read_outcome(r: &mut Reader<'_>) -> Result<BuildOutcome> {
+    let requested = r.str()?;
+    let used = r.str()?;
+    let tier = r.u64()? as usize;
+    let elapsed_ms = r.u64()?;
+    let cells = r.u64()?;
+    let attempts = r.count(4)?;
+    let attempts = (0..attempts)
+        .map(|_| {
+            Ok(BuildAttempt {
+                method: r.str()?,
+                error: r.str()?,
+                elapsed_ms: r.u64()?,
+                cells: r.u64()?,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(BuildOutcome {
+        requested,
+        used,
+        tier,
+        attempts,
+        elapsed_ms,
+        cells,
+    })
+}
+
+fn put_source(out: &mut Vec<u8>, source: &AnswerSource) {
+    match source {
+        AnswerSource::Primary => out.push(0),
+        AnswerSource::FallbackGeneration { generation } => {
+            out.push(1);
+            out.extend_from_slice(&generation.to_le_bytes());
+        }
+        AnswerSource::FallbackNaive => out.push(2),
+    }
+}
+
+fn read_source(r: &mut Reader<'_>) -> Result<AnswerSource> {
+    Ok(match r.u8()? {
+        0 => AnswerSource::Primary,
+        1 => AnswerSource::FallbackGeneration {
+            generation: r.u64()?,
+        },
+        2 => AnswerSource::FallbackNaive,
+        other => return Err(corrupt(format!("bad answer source tag {other}"))),
+    })
+}
+
+// Structural error codec. One tag per variant; fields in declaration
+// order. A variant this build does not know how to encode (the enum is
+// `#[non_exhaustive]`) degrades to `InvalidParameter` carrying its
+// rendered text — lossy display, lossless refusal.
+const ERR_EMPTY_INPUT: u8 = 1;
+const ERR_INDEX_OOB: u8 = 2;
+const ERR_INVALID_RANGE: u8 = 3;
+const ERR_INVALID_BUCKETS: u8 = 4;
+const ERR_INVALID_BOUNDARIES: u8 = 5;
+const ERR_BUDGET_TOO_SMALL: u8 = 6;
+const ERR_INVALID_PARAMETER: u8 = 7;
+const ERR_SINGULAR: u8 = 8;
+const ERR_OVERFLOW: u8 = 9;
+const ERR_CORRUPT_SYNOPSIS: u8 = 10;
+const ERR_UNSUPPORTED_VERSION: u8 = 11;
+const ERR_IO: u8 = 12;
+const ERR_CANCELLED: u8 = 13;
+const ERR_DEADLINE: u8 = 14;
+const ERR_CELL_BUDGET: u8 = 15;
+const ERR_BUILD_PANICKED: u8 = 16;
+const ERR_WORKER_UNAVAILABLE: u8 = 17;
+const ERR_WAL_GENERATION: u8 = 18;
+const ERR_CORRUPT_JOURNAL: u8 = 19;
+const ERR_REPL_DIVERGENCE: u8 = 20;
+const ERR_STALE_TERM: u8 = 21;
+const ERR_REPL_LAG: u8 = 22;
+const ERR_SERVER_OVERLOADED: u8 = 23;
+
+fn put_error(out: &mut Vec<u8>, e: &SynopticError) {
+    match e {
+        SynopticError::EmptyInput => out.push(ERR_EMPTY_INPUT),
+        SynopticError::IndexOutOfBounds { index, n } => {
+            out.push(ERR_INDEX_OOB);
+            out.extend_from_slice(&(*index as u64).to_le_bytes());
+            out.extend_from_slice(&(*n as u64).to_le_bytes());
+        }
+        SynopticError::InvalidRange { lo, hi } => {
+            out.push(ERR_INVALID_RANGE);
+            out.extend_from_slice(&(*lo as u64).to_le_bytes());
+            out.extend_from_slice(&(*hi as u64).to_le_bytes());
+        }
+        SynopticError::InvalidBucketCount { buckets, n } => {
+            out.push(ERR_INVALID_BUCKETS);
+            out.extend_from_slice(&(*buckets as u64).to_le_bytes());
+            out.extend_from_slice(&(*n as u64).to_le_bytes());
+        }
+        SynopticError::InvalidBoundaries(msg) => {
+            out.push(ERR_INVALID_BOUNDARIES);
+            put_str(out, msg);
+        }
+        SynopticError::BudgetTooSmall { words, minimum } => {
+            out.push(ERR_BUDGET_TOO_SMALL);
+            out.extend_from_slice(&(*words as u64).to_le_bytes());
+            out.extend_from_slice(&(*minimum as u64).to_le_bytes());
+        }
+        SynopticError::InvalidParameter(msg) => {
+            out.push(ERR_INVALID_PARAMETER);
+            put_str(out, msg);
+        }
+        SynopticError::SingularSystem(msg) => {
+            out.push(ERR_SINGULAR);
+            put_str(out, msg);
+        }
+        SynopticError::Overflow => out.push(ERR_OVERFLOW),
+        SynopticError::CorruptSynopsis { context, detail } => {
+            out.push(ERR_CORRUPT_SYNOPSIS);
+            put_str(out, context);
+            put_str(out, detail);
+        }
+        SynopticError::UnsupportedVersion { found, supported } => {
+            out.push(ERR_UNSUPPORTED_VERSION);
+            out.extend_from_slice(&u64::from(*found).to_le_bytes());
+            out.extend_from_slice(&u64::from(*supported).to_le_bytes());
+        }
+        SynopticError::Io { path, detail } => {
+            out.push(ERR_IO);
+            put_str(out, path);
+            put_str(out, detail);
+        }
+        SynopticError::Cancelled => out.push(ERR_CANCELLED),
+        SynopticError::DeadlineExceeded { elapsed_ms } => {
+            out.push(ERR_DEADLINE);
+            out.extend_from_slice(&elapsed_ms.to_le_bytes());
+        }
+        SynopticError::CellBudgetExceeded { used, limit } => {
+            out.push(ERR_CELL_BUDGET);
+            out.extend_from_slice(&used.to_le_bytes());
+            out.extend_from_slice(&limit.to_le_bytes());
+        }
+        SynopticError::BuildPanicked { detail } => {
+            out.push(ERR_BUILD_PANICKED);
+            put_str(out, detail);
+        }
+        SynopticError::WorkerUnavailable { column } => {
+            out.push(ERR_WORKER_UNAVAILABLE);
+            put_str(out, column);
+        }
+        SynopticError::WalGenerationMismatch {
+            wal_generation,
+            snapshot_generation,
+        } => {
+            out.push(ERR_WAL_GENERATION);
+            out.extend_from_slice(&wal_generation.to_le_bytes());
+            out.extend_from_slice(&snapshot_generation.to_le_bytes());
+        }
+        SynopticError::CorruptJournal { context, detail } => {
+            out.push(ERR_CORRUPT_JOURNAL);
+            put_str(out, context);
+            put_str(out, detail);
+        }
+        SynopticError::ReplicationDivergence { context, detail } => {
+            out.push(ERR_REPL_DIVERGENCE);
+            put_str(out, context);
+            put_str(out, detail);
+        }
+        SynopticError::StaleLeaderTerm {
+            stale_term,
+            current_term,
+        } => {
+            out.push(ERR_STALE_TERM);
+            out.extend_from_slice(&stale_term.to_le_bytes());
+            out.extend_from_slice(&current_term.to_le_bytes());
+        }
+        SynopticError::ReplicationLagExceeded {
+            column,
+            lag,
+            max_lag,
+        } => {
+            out.push(ERR_REPL_LAG);
+            put_str(out, column);
+            out.extend_from_slice(&lag.to_le_bytes());
+            out.extend_from_slice(&max_lag.to_le_bytes());
+        }
+        SynopticError::ServerOverloaded {
+            what,
+            observed,
+            limit,
+        } => {
+            out.push(ERR_SERVER_OVERLOADED);
+            put_str(out, what);
+            out.extend_from_slice(&observed.to_le_bytes());
+            out.extend_from_slice(&limit.to_le_bytes());
+        }
+        // `SynopticError` is #[non_exhaustive]: a variant added after
+        // this codec shipped still crosses the wire as a refusal, just
+        // without structure.
+        other => {
+            out.push(ERR_INVALID_PARAMETER);
+            put_str(out, &other.to_string());
+        }
+    }
+}
+
+fn read_error(r: &mut Reader<'_>) -> Result<SynopticError> {
+    Ok(match r.u8()? {
+        ERR_EMPTY_INPUT => SynopticError::EmptyInput,
+        ERR_INDEX_OOB => SynopticError::IndexOutOfBounds {
+            index: r.u64()? as usize,
+            n: r.u64()? as usize,
+        },
+        ERR_INVALID_RANGE => SynopticError::InvalidRange {
+            lo: r.u64()? as usize,
+            hi: r.u64()? as usize,
+        },
+        ERR_INVALID_BUCKETS => SynopticError::InvalidBucketCount {
+            buckets: r.u64()? as usize,
+            n: r.u64()? as usize,
+        },
+        ERR_INVALID_BOUNDARIES => SynopticError::InvalidBoundaries(r.str()?),
+        ERR_BUDGET_TOO_SMALL => SynopticError::BudgetTooSmall {
+            words: r.u64()? as usize,
+            minimum: r.u64()? as usize,
+        },
+        ERR_INVALID_PARAMETER => SynopticError::InvalidParameter(r.str()?),
+        ERR_SINGULAR => SynopticError::SingularSystem(r.str()?),
+        ERR_OVERFLOW => SynopticError::Overflow,
+        ERR_CORRUPT_SYNOPSIS => SynopticError::CorruptSynopsis {
+            context: r.str()?,
+            detail: r.str()?,
+        },
+        ERR_UNSUPPORTED_VERSION => SynopticError::UnsupportedVersion {
+            found: r.u64()? as u16,
+            supported: r.u64()? as u16,
+        },
+        ERR_IO => SynopticError::Io {
+            path: r.str()?,
+            detail: r.str()?,
+        },
+        ERR_CANCELLED => SynopticError::Cancelled,
+        ERR_DEADLINE => SynopticError::DeadlineExceeded {
+            elapsed_ms: r.u64()?,
+        },
+        ERR_CELL_BUDGET => SynopticError::CellBudgetExceeded {
+            used: r.u64()?,
+            limit: r.u64()?,
+        },
+        ERR_BUILD_PANICKED => SynopticError::BuildPanicked { detail: r.str()? },
+        ERR_WORKER_UNAVAILABLE => SynopticError::WorkerUnavailable { column: r.str()? },
+        ERR_WAL_GENERATION => SynopticError::WalGenerationMismatch {
+            wal_generation: r.u64()?,
+            snapshot_generation: r.u64()?,
+        },
+        ERR_CORRUPT_JOURNAL => SynopticError::CorruptJournal {
+            context: r.str()?,
+            detail: r.str()?,
+        },
+        ERR_REPL_DIVERGENCE => SynopticError::ReplicationDivergence {
+            context: r.str()?,
+            detail: r.str()?,
+        },
+        ERR_STALE_TERM => SynopticError::StaleLeaderTerm {
+            stale_term: r.u64()?,
+            current_term: r.u64()?,
+        },
+        ERR_REPL_LAG => SynopticError::ReplicationLagExceeded {
+            column: r.str()?,
+            lag: r.u64()?,
+            max_lag: r.u64()?,
+        },
+        ERR_SERVER_OVERLOADED => SynopticError::ServerOverloaded {
+            what: r.str()?,
+            observed: r.u64()?,
+            limit: r.u64()?,
+        },
+        other => return Err(corrupt(format!("unknown error tag {other}"))),
+    })
+}
+
+fn frame(kind: u8, payload: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(kind);
+    payload(&mut out);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validates magic + CRC and returns `(type, payload reader)`.
+fn open_frame(bytes: &[u8]) -> Result<(u8, Reader<'_>)> {
+    if bytes.len() < FRAME_MAGIC.len() + 1 + 4 {
+        return Err(corrupt(format!(
+            "{} bytes is shorter than any frame",
+            bytes.len()
+        )));
+    }
+    if bytes[0..4] != FRAME_MAGIC {
+        return Err(corrupt("bad frame magic"));
+    }
+    let crc_at = bytes.len() - 4;
+    let crc_stored = u32::from_le_bytes(bytes[crc_at..].try_into().expect("4"));
+    if crc_stored != crc32(&bytes[..crc_at]) {
+        return Err(corrupt("frame CRC mismatch"));
+    }
+    Ok((
+        bytes[4],
+        Reader {
+            bytes: &bytes[5..crc_at],
+            at: 0,
+        },
+    ))
+}
+
+/// Encodes a request into its checksummed byte representation.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Ping => frame(TYPE_PING, |_| {}),
+        Request::EstimateBatch(batch) => frame(TYPE_ESTIMATE_BATCH, |out| {
+            put_str(out, &batch.column);
+            out.extend_from_slice(&(batch.ranges.len() as u32).to_le_bytes());
+            for q in &batch.ranges {
+                out.extend_from_slice(&(q.lo as u64).to_le_bytes());
+                out.extend_from_slice(&(q.hi as u64).to_le_bytes());
+            }
+        }),
+        Request::Update { column, deltas } => frame(TYPE_UPDATE, |out| {
+            put_str(out, column);
+            out.extend_from_slice(&(deltas.len() as u32).to_le_bytes());
+            for (i, d) in deltas {
+                out.extend_from_slice(&i.to_le_bytes());
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+        }),
+        Request::Stats { column } => frame(TYPE_STATS, |out| put_str(out, column)),
+    }
+}
+
+/// Decodes and validates one request frame. Any failure — bad magic,
+/// CRC mismatch, truncation, an unknown or response-side type — refuses
+/// the bytes.
+pub fn decode_request(bytes: &[u8]) -> Result<Request> {
+    let (kind, mut r) = open_frame(bytes)?;
+    let req = match kind {
+        TYPE_PING => Request::Ping,
+        TYPE_ESTIMATE_BATCH => {
+            let column = r.str()?;
+            let count = r.count(16)?;
+            let ranges = (0..count)
+                .map(|_| {
+                    let lo = r.u64()? as usize;
+                    let hi = r.u64()? as usize;
+                    RangeQuery::new(lo, hi)
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Request::EstimateBatch(QueryBatch { column, ranges })
+        }
+        TYPE_UPDATE => {
+            let column = r.str()?;
+            let count = r.count(16)?;
+            let deltas = (0..count)
+                .map(|_| Ok((r.u64()?, r.i64()?)))
+                .collect::<Result<Vec<_>>>()?;
+            Request::Update { column, deltas }
+        }
+        TYPE_STATS => Request::Stats { column: r.str()? },
+        other => return Err(corrupt(format!("unknown request type {other}"))),
+    };
+    r.done()?;
+    Ok(req)
+}
+
+/// Encodes a response into its checksummed byte representation.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Pong => frame(TYPE_PONG, |_| {}),
+        Response::Estimates(b) => frame(TYPE_ESTIMATES, |out| {
+            out.extend_from_slice(&b.generation.to_le_bytes());
+            put_source(out, &b.source);
+            out.extend_from_slice(&b.lag.to_le_bytes());
+            put_outcome_opt(out, &b.outcome);
+            match &b.segment_outcomes {
+                None => out.push(0),
+                Some(outcomes) => {
+                    out.push(1);
+                    out.extend_from_slice(&(outcomes.len() as u32).to_le_bytes());
+                    for o in outcomes {
+                        put_outcome(out, o);
+                    }
+                }
+            }
+            out.extend_from_slice(&(b.values.len() as u32).to_le_bytes());
+            for (v, cached) in b.values.iter().zip(&b.cached) {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+                out.push(u8::from(*cached));
+            }
+        }),
+        Response::Updated { applied, scheduled } => frame(TYPE_UPDATED, |out| {
+            out.extend_from_slice(&applied.to_le_bytes());
+            out.extend_from_slice(&scheduled.to_le_bytes());
+        }),
+        Response::Stats(s) => frame(TYPE_STATS_RESP, |out| {
+            put_str(out, &s.column);
+            for v in [
+                s.n,
+                s.generation,
+                s.updates,
+                s.rebuilds,
+                s.failed_rebuilds,
+                s.updates_since_rebuild,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_invalidations,
+                s.refused,
+                s.connections,
+            ] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }),
+        Response::Error(e) => frame(TYPE_ERROR, |out| put_error(out, e)),
+    }
+}
+
+/// Decodes and validates one response frame.
+pub fn decode_response(bytes: &[u8]) -> Result<Response> {
+    let (kind, mut r) = open_frame(bytes)?;
+    let resp = match kind {
+        TYPE_PONG => Response::Pong,
+        TYPE_ESTIMATES => {
+            let generation = r.u64()?;
+            let source = read_source(&mut r)?;
+            let lag = r.u64()?;
+            let outcome = read_outcome_opt(&mut r)?;
+            let segment_outcomes = match r.u8()? {
+                0 => None,
+                1 => {
+                    let count = r.count(1)?;
+                    Some(
+                        (0..count)
+                            .map(|_| read_outcome(&mut r))
+                            .collect::<Result<Vec<_>>>()?,
+                    )
+                }
+                other => return Err(corrupt(format!("bad segment-outcomes flag {other}"))),
+            };
+            let count = r.count(9)?;
+            let mut values = Vec::with_capacity(count);
+            let mut cached = Vec::with_capacity(count);
+            for _ in 0..count {
+                values.push(r.f64()?);
+                cached.push(match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(corrupt(format!("bad cached flag {other}"))),
+                });
+            }
+            Response::Estimates(BatchAnswer {
+                generation,
+                source,
+                lag,
+                outcome,
+                segment_outcomes,
+                values,
+                cached,
+            })
+        }
+        TYPE_UPDATED => Response::Updated {
+            applied: r.u64()?,
+            scheduled: r.u64()?,
+        },
+        TYPE_STATS_RESP => {
+            let column = r.str()?;
+            let mut next = || r.u64();
+            Response::Stats(ServerStats {
+                column,
+                n: next()?,
+                generation: next()?,
+                updates: next()?,
+                rebuilds: next()?,
+                failed_rebuilds: next()?,
+                updates_since_rebuild: next()?,
+                cache_hits: next()?,
+                cache_misses: next()?,
+                cache_invalidations: next()?,
+                refused: next()?,
+                connections: next()?,
+            })
+        }
+        TYPE_ERROR => Response::Error(read_error(&mut r)?),
+        other => return Err(corrupt(format!("unknown response type {other}"))),
+    };
+    r.done()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exit::exit_code;
+
+    fn sample_outcome() -> BuildOutcome {
+        BuildOutcome {
+            requested: "opt-a".into(),
+            used: "sap0".into(),
+            tier: 2,
+            attempts: vec![BuildAttempt {
+                method: "opt-a".into(),
+                error: "deadline exceeded after 9 ms".into(),
+                elapsed_ms: 9,
+                cells: 1234,
+            }],
+            elapsed_ms: 12,
+            cells: 2048,
+        }
+    }
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::EstimateBatch(QueryBatch::new(
+                "price",
+                vec![
+                    RangeQuery::new(0, 5).unwrap(),
+                    RangeQuery::point(3),
+                    RangeQuery::new(2, 1023).unwrap(),
+                ],
+            )),
+            Request::Update {
+                column: "price".into(),
+                deltas: vec![(0, 5), (1023, -3), (7, 0)],
+            },
+            Request::Stats {
+                column: "price".into(),
+            },
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Pong,
+            Response::Estimates(BatchAnswer {
+                generation: 42,
+                source: AnswerSource::FallbackGeneration { generation: 41 },
+                lag: 7,
+                outcome: Some(sample_outcome()),
+                segment_outcomes: Some(vec![sample_outcome(), BuildOutcome::direct("sap0", 1, 2)]),
+                values: vec![1.5, -0.25, 1e12],
+                cached: vec![true, false, true],
+            }),
+            Response::Estimates(BatchAnswer {
+                generation: 0,
+                source: AnswerSource::Primary,
+                lag: 0,
+                outcome: None,
+                segment_outcomes: None,
+                values: vec![],
+                cached: vec![],
+            }),
+            Response::Updated {
+                applied: 100,
+                scheduled: 3,
+            },
+            Response::Stats(ServerStats {
+                column: "price".into(),
+                n: 1024,
+                generation: 9,
+                updates: 5000,
+                rebuilds: 12,
+                failed_rebuilds: 1,
+                updates_since_rebuild: 88,
+                cache_hits: 700,
+                cache_misses: 300,
+                cache_invalidations: 12,
+                refused: 4,
+                connections: 2,
+            }),
+            Response::Error(SynopticError::ServerOverloaded {
+                what: "rebuild lag".into(),
+                observed: 100,
+                limit: 64,
+            }),
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in sample_requests() {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in sample_responses() {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn every_error_variant_round_trips_with_its_exit_code() {
+        let errors = vec![
+            SynopticError::EmptyInput,
+            SynopticError::IndexOutOfBounds { index: 9, n: 4 },
+            SynopticError::InvalidRange { lo: 3, hi: 1 },
+            SynopticError::InvalidBucketCount { buckets: 0, n: 10 },
+            SynopticError::InvalidBoundaries("b".into()),
+            SynopticError::BudgetTooSmall {
+                words: 1,
+                minimum: 2,
+            },
+            SynopticError::InvalidParameter("eps".into()),
+            SynopticError::SingularSystem("Q".into()),
+            SynopticError::Overflow,
+            SynopticError::CorruptSynopsis {
+                context: "c".into(),
+                detail: "crc".into(),
+            },
+            SynopticError::UnsupportedVersion {
+                found: 9,
+                supported: 1,
+            },
+            SynopticError::Io {
+                path: "/x".into(),
+                detail: "denied".into(),
+            },
+            SynopticError::Cancelled,
+            SynopticError::DeadlineExceeded { elapsed_ms: 42 },
+            SynopticError::CellBudgetExceeded {
+                used: 101,
+                limit: 100,
+            },
+            SynopticError::BuildPanicked {
+                detail: "oor".into(),
+            },
+            SynopticError::WorkerUnavailable {
+                column: "price".into(),
+            },
+            SynopticError::WalGenerationMismatch {
+                wal_generation: 4,
+                snapshot_generation: 2,
+            },
+            SynopticError::CorruptJournal {
+                context: "w".into(),
+                detail: "crc".into(),
+            },
+            SynopticError::ReplicationDivergence {
+                context: "c".into(),
+                detail: "gap".into(),
+            },
+            SynopticError::StaleLeaderTerm {
+                stale_term: 3,
+                current_term: 5,
+            },
+            SynopticError::ReplicationLagExceeded {
+                column: "price".into(),
+                lag: 12,
+                max_lag: 8,
+            },
+            SynopticError::ServerOverloaded {
+                what: "connection quota".into(),
+                observed: 1001,
+                limit: 1000,
+            },
+        ];
+        for err in errors {
+            let bytes = encode_response(&Response::Error(err.clone()));
+            let Response::Error(back) = decode_response(&bytes).unwrap() else {
+                panic!("error response decoded to a non-error");
+            };
+            assert_eq!(back, err, "error must round-trip structurally");
+            assert_eq!(
+                exit_code(&back),
+                exit_code(&err),
+                "wire transit must preserve the exit code of {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_answer_expands_to_per_range_envelopes() {
+        let batch = BatchAnswer {
+            generation: 5,
+            source: AnswerSource::Primary,
+            lag: 2,
+            outcome: Some(sample_outcome()),
+            segment_outcomes: None,
+            values: vec![1.0, 2.0],
+            cached: vec![false, true],
+        };
+        let envelopes = batch.envelopes();
+        assert_eq!(envelopes.len(), 2);
+        for (env, v) in envelopes.iter().zip([1.0, 2.0]) {
+            assert_eq!(env.value, v);
+            assert_eq!(env.generation, 5);
+            assert_eq!(env.lag, 2);
+            assert_eq!(env.outcome.as_ref().unwrap().used, "sap0");
+        }
+    }
+
+    /// The repl wire discipline, applied here: flip any byte or truncate
+    /// at any length and the frame must refuse to decode — never a
+    /// partial or garbled result.
+    #[test]
+    fn corruption_anywhere_is_refused() {
+        let frames: Vec<Vec<u8>> = sample_requests()
+            .iter()
+            .map(encode_request)
+            .chain(sample_responses().iter().map(|r| encode_response(r)))
+            .collect();
+        for bytes in frames {
+            let decodes = |b: &[u8]| decode_request(b).is_ok() || decode_response(b).is_ok();
+            assert!(decodes(&bytes), "pristine frame must decode");
+            for i in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut bad = bytes.clone();
+                    bad[i] ^= 1 << bit;
+                    assert!(
+                        !decodes(&bad),
+                        "flipping bit {bit} of byte {i} must refuse the frame"
+                    );
+                }
+            }
+            for len in 0..bytes.len() {
+                assert!(!decodes(&bytes[..len]), "truncation at {len} must refuse");
+            }
+        }
+    }
+}

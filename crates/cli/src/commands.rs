@@ -17,30 +17,12 @@ use synoptic_wavelet::RangeOptimalWavelet;
 
 use crate::io::{parse_range, read_column, write_column, Flags};
 
-/// Exit code for generic failures (I/O, invalid data, internal errors).
-pub const EXIT_FAILURE: u8 = 1;
-/// Exit code for usage errors (bad flags, unknown commands/methods).
-pub const EXIT_USAGE: u8 = 2;
-/// Exit code when a synopsis or store fails checksum/format validation.
-pub const EXIT_CORRUPT: u8 = 4;
-/// Exit code when a `--deadline-ms`/`--max-cells` budget is exhausted and no
-/// fallback absorbed it.
-pub const EXIT_DEADLINE: u8 = 5;
-/// Exit code when the build was cancelled (cancellation always aborts; it is
-/// never absorbed by the fallback ladder).
-pub const EXIT_CANCELLED: u8 = 6;
-/// Exit code when a write-ahead journal cannot be trusted during `recover`:
-/// damage beyond the tolerated torn tail, or a journal written against a
-/// newer generation than the recovered snapshot.
-pub const EXIT_UNRECOVERABLE: u8 = 7;
-/// Exit code for replication divergence: a shipped segment stream that a
-/// follower refused (and retries could not repair), or a replica read
-/// refused because it trails the leader beyond `--max-lag`.
-pub const EXIT_REPLICATION: u8 = 8;
-/// Exit code when this process's election term was superseded: a write or
-/// ship was refused by a replica that granted a newer term. The holder
-/// must stand down (and may `reseed` back in as a follower).
-pub const EXIT_FENCED: u8 = 9;
+// The exit-code contract lives in `synoptic_api::exit` — one table shared
+// by the CLI, the serving tier's wire errors, and `docs/ROBUSTNESS.md`
+// (whose §7.2 table the api crate's tests parse). `CliError::from` maps
+// every `SynopticError` through `synoptic_api::exit_code`; the constants
+// imported here are the ones the command layer assigns directly.
+pub use synoptic_api::{EXIT_CORRUPT, EXIT_DEADLINE, EXIT_FAILURE, EXIT_USAGE};
 
 /// A CLI failure carrying the process exit code it maps to. The code
 /// contract is part of the CLI's public interface (see `USAGE` and
@@ -74,22 +56,9 @@ impl From<String> for CliError {
 
 impl From<SynopticError> for CliError {
     fn from(e: SynopticError) -> Self {
-        let code =
-            match &e {
-                SynopticError::Cancelled => EXIT_CANCELLED,
-                SynopticError::DeadlineExceeded { .. }
-                | SynopticError::CellBudgetExceeded { .. } => EXIT_DEADLINE,
-                SynopticError::CorruptSynopsis { .. } => EXIT_CORRUPT,
-                SynopticError::CorruptJournal { .. }
-                | SynopticError::WalGenerationMismatch { .. } => EXIT_UNRECOVERABLE,
-                SynopticError::ReplicationDivergence { .. }
-                | SynopticError::ReplicationLagExceeded { .. } => EXIT_REPLICATION,
-                SynopticError::StaleLeaderTerm { .. } => EXIT_FENCED,
-                _ => EXIT_FAILURE,
-            };
         Self {
             msg: e.to_string(),
-            code,
+            code: synoptic_api::exit_code(&e),
         }
     }
 }
@@ -125,6 +94,13 @@ USAGE:
                     [--wal-dir DIR --catalog DIR [--fsync every|N|rotate]
                      [--segment-bytes B] [--discard-journal]
                      [--replicate-to HOST:PORT]]
+  synoptic serve    --input FILE --method METHOD [--budget WORDS] \\
+                    --listen HOST:PORT [--port-file FILE] [--column NAME] \\
+                    [--workers W] [--every-k K | --drift F] \\
+                    [--max-batch N] [--max-queue-depth N] \\
+                    [--max-rebuild-lag N] [--ops-quota N] \\
+                    [--cache-capacity N] [--max-conns N] \\
+                    [--deadline-ms MS] [--max-cells N]
   synoptic ship     --wal-dir DIR --to HOST:PORT [--column NAME] \\
                     [--seed --catalog DIR [--node N] [--term T]]
   synoptic follow   --catalog DIR --wal-dir DIR --listen HOST:PORT \\
@@ -153,6 +129,16 @@ MAINTAIN: simulates a live column on the background worker pool: U updates
          only the touched segment, rebuilds re-run the ladder on dirty
          slices alone, and the report lists per-segment provenance
          (see docs/SEGMENTS.md).
+SERVE:   binds a TCP listener and answers the checksummed SQP1 query
+         protocol (see docs/SERVING.md): batched range estimates answered
+         against a single snapshot pin, point updates, and per-column
+         stats. A generation-keyed answer cache (--cache-capacity entries;
+         0 disables) is invalidated wholesale by every hot-swap. Admission
+         control refuses loudly (exit 10) when in-flight requests exceed
+         --max-queue-depth, a column's unrebuilt updates exceed
+         --max-rebuild-lag, a connection spends its --ops-quota, or
+         concurrent connections exceed --max-conns. --port-file publishes
+         the bound port (for --listen HOST:0).
 DURABILITY: with --wal-dir every acknowledged update is appended to a
          checksummed write-ahead journal before it touches memory, and each
          successful rebuild commits an exact snapshot + WAL mark to
@@ -206,7 +192,8 @@ EXIT CODES:
   5 deadline or cell budget exceeded         6 build cancelled
   7 unrecoverable write-ahead journal (recover)
   8 replication divergence or stale replica read refused
-  9 fenced: this node's election term was superseded by a newer leader";
+  9 fenced: this node's election term was superseded by a newer leader
+  10 refused by the serving tier's admission control (back off and retry)";
 
 /// Opens the store at `dir`, creating it only when `create` is set —
 /// read-only commands must not invent an empty store at a mistyped path.
@@ -469,21 +456,160 @@ pub fn build(args: &[String]) -> Result<(), CliError> {
 
 /// `estimate`: answer one range query through the degraded-mode-aware
 /// fallback chain. A non-primary answer prints a warning on stderr so
-/// degradation is never silent.
+/// degradation is never silent. Goes through the unified
+/// [`Queryable`](synoptic_api::Queryable) surface — the same trait the
+/// serving tier, pool columns, and replication followers answer on — so
+/// the CLI consumes exactly the envelope a remote client would.
 pub fn estimate(args: &[String]) -> Result<(), CliError> {
+    use synoptic_api::Queryable;
+
     let f = Flags::parse(args).usage()?;
     let store = open_store(f.required("catalog").usage()?, false)?;
     let column = f.required("column").usage()?;
     let (lo, hi) = parse_range(f.required("range").usage()?).usage()?;
     let q = RangeQuery::new(lo, hi)?;
-    let answer = store.estimate(column, q)?;
-    if answer.source.is_degraded() {
+    let answer = store.query(column, q)?;
+    if answer.is_degraded() {
         eprintln!(
             "warning: degraded answer for column '{column}' (source: {})",
             answer.source
         );
     }
     println!("{:.2}", answer.value);
+    Ok(())
+}
+
+/// `serve`: bind a TCP listener and answer the checksummed SQP1 batched
+/// query protocol over a maintained pool column — batched estimates
+/// against a single snapshot pin, point updates feeding the rebuild
+/// policy, per-column stats, and loud admission-control refusals
+/// (exit 10). Runs until killed (or the listener fails); scripts read
+/// the bound port from `--port-file`. See `docs/SERVING.md`.
+pub fn serve(args: &[String]) -> Result<(), CliError> {
+    use std::net::{TcpListener, ToSocketAddrs};
+    use synoptic_serve::{ServeConfig, Server};
+    use synoptic_stream::{ColumnBuild, MaintainedPool, RebuildConfig, RebuildPolicy};
+
+    let f = Flags::parse(args).usage()?;
+    let values = read_column(f.required("input").usage()?)?;
+    let method_name = f.required("method").usage()?;
+    let method = maintained_method(method_name)?;
+    let budget: usize = f.parsed_or("budget", 32).usage()?;
+    let column = f.optional("column").unwrap_or("cli").to_string();
+    let listen = f.required("listen").usage()?;
+    // Validate the address (including the port range) up front so a typo
+    // is a usage error, not a runtime bind failure.
+    if listen
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+        .is_none()
+    {
+        return Err(CliError::usage(format!(
+            "invalid --listen address '{listen}' (expected HOST:PORT)"
+        )));
+    }
+    let workers: usize = f.parsed_or("workers", 2).usage()?;
+    if workers == 0 {
+        return Err(CliError::usage("--workers must be at least 1"));
+    }
+
+    // Rebuild policy: the same --every-k / --drift pair as `maintain`,
+    // mutually exclusive and bounds-checked here (exit 2, not a runtime
+    // refusal later).
+    let every_k: Option<u64> = f.parsed_opt("every-k").usage()?;
+    let drift: Option<f64> = f.parsed_opt("drift").usage()?;
+    if every_k.is_some() && drift.is_some() {
+        return Err(CliError::usage(
+            "--every-k and --drift are mutually exclusive",
+        ));
+    }
+    if every_k == Some(0) {
+        return Err(CliError::usage("--every-k must be at least 1"));
+    }
+    if drift.is_some_and(|fr| fr <= 0.0 || fr.is_nan()) {
+        return Err(CliError::usage("--drift must be a positive fraction"));
+    }
+    let policy = match drift {
+        Some(fr) => RebuildPolicy::DriftFraction(fr),
+        None => RebuildPolicy::EveryKUpdates(every_k.unwrap_or(64)),
+    };
+    let exec = BudgetFlags::parse(&f)?;
+    let mut rebuild = RebuildConfig::new(policy);
+    if let Some(d) = exec.deadline {
+        rebuild = rebuild.with_deadline(d);
+    }
+    if let Some(c) = exec.max_cells {
+        rebuild = rebuild.with_max_cells(c);
+    }
+
+    // Serving-tier bounds, each validated before the listener binds.
+    let defaults = ServeConfig::default();
+    let max_batch: usize = f.parsed_or("max-batch", defaults.max_batch).usage()?;
+    if max_batch == 0 {
+        return Err(CliError::usage("--max-batch must be at least 1"));
+    }
+    let max_queue_depth: u64 = f
+        .parsed_or("max-queue-depth", defaults.max_queue_depth)
+        .usage()?;
+    if max_queue_depth == 0 {
+        return Err(CliError::usage("--max-queue-depth must be at least 1"));
+    }
+    let ops_quota: Option<u64> = f.parsed_opt("ops-quota").usage()?;
+    if ops_quota == Some(0) {
+        return Err(CliError::usage("--ops-quota must be at least 1"));
+    }
+    let cache_capacity: usize = f
+        .parsed_or("cache-capacity", defaults.cache_capacity)
+        .usage()?;
+    let max_connections: u64 = f.parsed_or("max-conns", defaults.max_connections).usage()?;
+    if max_connections == 0 {
+        return Err(CliError::usage("--max-conns must be at least 1"));
+    }
+    let config = ServeConfig {
+        max_batch,
+        max_queue_depth,
+        max_rebuild_lag: f.parsed_opt("max-rebuild-lag").usage()?,
+        ops_quota,
+        cache_capacity,
+        max_connections,
+        ..defaults
+    };
+
+    let n = values.len();
+    let pool = MaintainedPool::new(workers);
+    let col = pool.add_column(
+        &column,
+        &values,
+        ColumnBuild::Anytime {
+            method,
+            budget_words: budget,
+        },
+        rebuild,
+    )?;
+    if let Some(outcome) = col.last_outcome() {
+        println!("initial build: {outcome}");
+    }
+
+    let listener =
+        TcpListener::bind(listen).map_err(|e| CliError::from(format!("bind {listen}: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| CliError::from(format!("local_addr: {e}")))?;
+    // Port 0 binds an ephemeral port; the port file tells scripts (and
+    // tests) where the server actually listens.
+    if let Some(path) = f.optional("port-file") {
+        std::fs::write(path, local.port().to_string())
+            .map_err(|e| CliError::from(format!("write {path}: {e}")))?;
+    }
+
+    let server = Server::new(config);
+    server.register(col);
+    println!("serving column '{column}' ({method_name}, {budget} words, n = {n}) on {local}");
+    server
+        .serve(listener)
+        .map_err(|e| CliError::from(format!("serve: {e}")))?;
+    drop(pool);
     Ok(())
 }
 

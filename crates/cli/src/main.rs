@@ -6,6 +6,7 @@
 //! synoptic build    --input column.txt --method sap0 --budget 32 \
 //!                   --catalog stats/ --column price
 //! synoptic estimate --catalog stats/ --column price --range 10..40
+//! synoptic serve    --input column.txt --method sap0 --listen 127.0.0.1:7600
 //! synoptic evaluate --input column.txt --budget 32
 //! synoptic maintain --input column.txt --method opt-a --updates 512 --workers 2
 //! synoptic ship     --wal-dir stats/wal --to 127.0.0.1:7501
@@ -35,6 +36,7 @@ fn main() -> ExitCode {
         "generate" => commands::generate(rest),
         "build" => commands::build(rest),
         "estimate" => commands::estimate(rest),
+        "serve" => commands::serve(rest),
         "evaluate" => commands::evaluate(rest),
         "maintain" => commands::maintain(rest),
         "ship" => commands::ship(rest),

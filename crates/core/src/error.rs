@@ -152,6 +152,21 @@ pub enum SynopticError {
         /// granted or observed).
         current_term: u64,
     },
+    /// The serving tier refused a request under admission control: a
+    /// bound on queue depth, rebuild lag, or a per-connection quota was
+    /// exceeded. Mirrors [`SynopticError::ReplicationLagExceeded`]: the
+    /// refusal always carries which bound fired, the observed value, and
+    /// the configured limit — backpressure with provenance, never a bare
+    /// "no".
+    ServerOverloaded {
+        /// Which bound refused (`"queue depth"`, `"rebuild lag"`, or
+        /// `"connection quota"`).
+        what: String,
+        /// The observed value when the request was refused.
+        observed: u64,
+        /// The configured bound it exceeded.
+        limit: u64,
+    },
     /// A follower read was refused because its replica lags the leader
     /// beyond the configured staleness bound. The provenance fields say
     /// exactly how stale the replica was when it refused.
@@ -235,6 +250,17 @@ impl fmt::Display for SynopticError {
                     "write fenced: leader term {stale_term} is stale (current \
                      term is {current_term}); the deposed leader must re-seed \
                      and rejoin as a follower"
+                )
+            }
+            Self::ServerOverloaded {
+                what,
+                observed,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "server refused: {what} {observed} exceeds the configured \
+                     limit {limit}; back off and retry"
                 )
             }
             Self::ReplicationLagExceeded {
@@ -351,6 +377,14 @@ mod tests {
                     current_term: 5,
                 },
                 "term 3 is stale",
+            ),
+            (
+                SynopticError::ServerOverloaded {
+                    what: "queue depth".into(),
+                    observed: 65,
+                    limit: 64,
+                },
+                "queue depth 65",
             ),
             (
                 SynopticError::ReplicationLagExceeded {

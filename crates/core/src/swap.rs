@@ -100,12 +100,28 @@ impl<T: ?Sized> HotSwapReader<T> {
     /// The current value, refreshing the cached snapshot only when a swap
     /// has been published since the last call.
     pub fn get(&mut self) -> &Arc<T> {
+        self.pinned().1
+    }
+
+    /// Refreshes like [`get`](Self::get) and returns the snapshot
+    /// *together with the generation it was published at* — the pinning
+    /// primitive for batched answering. A caller that answers a whole
+    /// batch from one `pinned()` snapshot can stamp every answer with the
+    /// returned generation: all of them provably came from the same
+    /// published value, no matter how many swaps raced the batch.
+    pub fn pinned(&mut self) -> (u64, &Arc<T>) {
         let now = self.cell.generation();
         if now != self.seen {
             self.cached = self.cell.load();
             self.seen = now;
         }
-        &self.cached
+        (self.seen, &self.cached)
+    }
+
+    /// The generation of the snapshot [`get`](Self::get) currently
+    /// serves (without refreshing).
+    pub fn generation(&self) -> u64 {
+        self.seen
     }
 }
 
@@ -148,6 +164,22 @@ mod tests {
         assert_eq!(**r.get(), 20);
         // Stable when nothing changes.
         assert_eq!(**r.get(), 20);
+    }
+
+    #[test]
+    fn pinned_reports_the_snapshot_generation() {
+        let cell = Arc::new(HotSwap::new(Arc::new(10u64)));
+        let mut r = cell.reader();
+        let (generation, v) = r.pinned();
+        assert_eq!((generation, **v), (0, 10));
+        assert_eq!(r.generation(), 0);
+        cell.swap(Arc::new(20));
+        cell.swap(Arc::new(30));
+        let (generation, v) = r.pinned();
+        assert_eq!((generation, **v), (2, 30));
+        assert_eq!(r.generation(), 2);
+        // Stable while nothing swaps: the pin is the same snapshot.
+        assert_eq!(r.pinned().0, 2);
     }
 
     #[test]

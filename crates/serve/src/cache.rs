@@ -1,0 +1,152 @@
+//! The hot-range answer cache: `(column, generation, range) → value`.
+//!
+//! One cache per served column, shared by every connection. The key
+//! *includes the serving generation*: the cache holds answers for exactly
+//! one generation at a time, and the first lookup after a hot swap
+//! observes the mismatch, drops every entry, and re-keys to the new
+//! generation. A stale-generation hit is therefore impossible by
+//! construction — there is never an entry whose generation differs from
+//! the cache's current one, and the current one is compared against the
+//! *pinned* generation of the batch being answered on every call.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+struct CacheState {
+    /// The serving generation every stored answer was computed at.
+    generation: u64,
+    entries: HashMap<(usize, usize), f64>,
+}
+
+/// A bounded, generation-keyed answer cache (see the module docs).
+pub struct AnswerCache {
+    state: Mutex<CacheState>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl AnswerCache {
+    /// An empty cache holding at most `capacity` answers (0 disables it:
+    /// every lookup misses and nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(CacheState {
+                generation: 0,
+                entries: HashMap::new(),
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CacheState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Re-keys the cache to `generation`, dropping every entry computed
+    /// at a different one.
+    fn sync_generation(st: &mut CacheState, generation: u64, invalidations: &AtomicU64) {
+        if st.generation != generation {
+            if !st.entries.is_empty() {
+                invalidations.fetch_add(1, Ordering::Relaxed);
+            }
+            st.entries.clear();
+            st.generation = generation;
+        }
+    }
+
+    /// The cached answer for `(lo, hi)` computed at exactly `generation`,
+    /// if present. A generation mismatch invalidates the whole cache
+    /// before the lookup, so a hit is always same-generation.
+    pub fn lookup(&self, generation: u64, lo: usize, hi: usize) -> Option<f64> {
+        let mut st = self.lock();
+        Self::sync_generation(&mut st, generation, &self.invalidations);
+        let found = st.entries.get(&(lo, hi)).copied();
+        drop(st);
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores an answer computed at `generation`. Ignored when the cache
+    /// is full (simple admission: hot ranges that repeat will have been
+    /// stored while there was room) or when `generation` is no longer the
+    /// cache's current one.
+    pub fn store(&self, generation: u64, lo: usize, hi: usize, value: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut st = self.lock();
+        Self::sync_generation(&mut st, generation, &self.invalidations);
+        if st.entries.len() < self.capacity {
+            st.entries.insert((lo, hi), value);
+        }
+    }
+
+    /// Cache hits since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Whole-cache invalidations (generation moves observed with entries
+    /// present) since creation.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_require_the_exact_generation() {
+        let cache = AnswerCache::new(16);
+        assert_eq!(cache.lookup(1, 0, 5), None);
+        cache.store(1, 0, 5, 42.0);
+        assert_eq!(cache.lookup(1, 0, 5), Some(42.0));
+        // A generation bump drops the entry: no stale hit, one
+        // invalidation counted.
+        assert_eq!(cache.lookup(2, 0, 5), None);
+        assert_eq!(cache.invalidations(), 1);
+        // And the old generation cannot resurrect it either — the cache
+        // re-keyed to 2, so a lookup at 1 clears again and misses.
+        cache.store(2, 0, 5, 43.0);
+        assert_eq!(cache.lookup(1, 0, 5), None);
+    }
+
+    #[test]
+    fn capacity_bounds_the_entry_count() {
+        let cache = AnswerCache::new(2);
+        cache.store(1, 0, 0, 1.0);
+        cache.store(1, 1, 1, 2.0);
+        cache.store(1, 2, 2, 3.0); // over capacity: dropped
+        assert_eq!(cache.lookup(1, 0, 0), Some(1.0));
+        assert_eq!(cache.lookup(1, 1, 1), Some(2.0));
+        assert_eq!(cache.lookup(1, 2, 2), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = AnswerCache::new(0);
+        cache.store(1, 0, 0, 1.0);
+        assert_eq!(cache.lookup(1, 0, 0), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! The network client: the same [`Queryable`] surface as every
+//! in-process answerer, over a TCP connection to a `synoptic serve`
+//! process.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use synoptic_api::wire::{
+    decode_response, encode_request, BatchAnswer, Request, Response, ServerStats,
+};
+use synoptic_api::{AnswerEnvelope, Queryable};
+use synoptic_core::{RangeQuery, Result, SynopticError};
+use synoptic_repl::{Received, TcpTransport, Transport};
+
+/// A blocking call/response client. Methods take `&self` (the transport
+/// sits behind a mutex), so one client can be shared across threads —
+/// calls serialize on the connection.
+///
+/// Server-side errors come back structurally: a refusal under admission
+/// control surfaces as [`SynopticError::ServerOverloaded`] with the same
+/// fields (and exit code) it had on the server.
+pub struct Client {
+    transport: Mutex<TcpTransport>,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Connects with a 30-second response timeout.
+    pub fn connect(addr: &str) -> Result<Self> {
+        Self::connect_with_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// Connects with an explicit per-call response timeout.
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> Result<Self> {
+        Ok(Self {
+            transport: Mutex::new(TcpTransport::connect(addr)?),
+            timeout,
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TcpTransport> {
+        self.transport
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// One request, one response, in order on this connection.
+    fn call(&self, request: &Request) -> Result<Response> {
+        let mut t = self.lock();
+        t.send(&encode_request(request))?;
+        match t.recv(Some(self.timeout))? {
+            Received::Frame(frame) => match decode_response(&frame)? {
+                Response::Error(e) => Err(e),
+                other => Ok(other),
+            },
+            Received::TimedOut => Err(SynopticError::DeadlineExceeded {
+                elapsed_ms: self.timeout.as_millis() as u64,
+            }),
+            Received::Closed => Err(SynopticError::Io {
+                path: "serve client".to_string(),
+                detail: "server closed the connection mid-call".to_string(),
+            }),
+        }
+    }
+
+    fn mismatch(got: &Response) -> SynopticError {
+        SynopticError::CorruptSynopsis {
+            context: "query frame".to_string(),
+            detail: format!("response kind does not match the request: {got:?}"),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(Self::mismatch(&other)),
+        }
+    }
+
+    /// Answers every range against one server-side snapshot pin; the
+    /// returned [`BatchAnswer`] carries the shared generation, source,
+    /// lag, and build provenance plus per-range values and cache flags.
+    pub fn estimate_batch(&self, column: &str, ranges: Vec<RangeQuery>) -> Result<BatchAnswer> {
+        let request = Request::EstimateBatch(synoptic_api::wire::QueryBatch::new(column, ranges));
+        match self.call(&request)? {
+            Response::Estimates(b) => Ok(b),
+            other => Err(Self::mismatch(&other)),
+        }
+    }
+
+    /// Applies `A[index] += delta` point updates in order; returns
+    /// `(applied, rebuilds scheduled)`.
+    pub fn update(&self, column: &str, deltas: Vec<(u64, i64)>) -> Result<(u64, u64)> {
+        let request = Request::Update {
+            column: column.to_string(),
+            deltas,
+        };
+        match self.call(&request)? {
+            Response::Updated { applied, scheduled } => Ok((applied, scheduled)),
+            other => Err(Self::mismatch(&other)),
+        }
+    }
+
+    /// Maintenance, cache, and admission meters for one column.
+    pub fn stats(&self, column: &str) -> Result<ServerStats> {
+        let request = Request::Stats {
+            column: column.to_string(),
+        };
+        match self.call(&request)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(Self::mismatch(&other)),
+        }
+    }
+}
+
+/// A remote column is as queryable as a local one: a batch of one, with
+/// the envelope's provenance taken from the batch-wide fields.
+impl Queryable for Client {
+    fn query(&self, column: &str, q: RangeQuery) -> Result<AnswerEnvelope> {
+        let answer = self.estimate_batch(column, vec![q])?;
+        answer
+            .envelopes()
+            .into_iter()
+            .next()
+            .ok_or_else(|| SynopticError::CorruptSynopsis {
+                context: "query frame".to_string(),
+                detail: "empty answer for a one-range batch".to_string(),
+            })
+    }
+}

@@ -1,0 +1,33 @@
+//! `synoptic-serve`: the batched network serving tier.
+//!
+//! A std-only TCP front-end over the maintained-column pool, speaking
+//! the checksummed `SQP1` query protocol of `synoptic-api` (the same
+//! framing discipline as the replication tier's `SRP1`):
+//!
+//! * [`Server`] — answers [`QueryBatch`](synoptic_api::wire::QueryBatch)
+//!   requests against a **single snapshot pin per batch**, with a
+//!   hot-range answer cache keyed on `(column, generation, range)` that
+//!   a hot-swap generation bump invalidates wholesale, and admission
+//!   control that refuses loudly ([`SynopticError::ServerOverloaded`],
+//!   exit code 10) when queue depth, rebuild lag, or a connection quota
+//!   exceeds its bound.
+//! * [`Client`] — the same [`Queryable`](synoptic_api::Queryable)
+//!   surface as every in-process answerer, over TCP; server-side errors
+//!   arrive structurally with their exit codes intact.
+//! * [`AnswerCache`] — the generation-keyed cache, separately testable.
+//!
+//! See `docs/SERVING.md` for the protocol frame table, the batching and
+//! cache-invalidation contracts, and the backpressure semantics.
+//!
+//! [`SynopticError::ServerOverloaded`]: synoptic_core::SynopticError::ServerOverloaded
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod server;
+
+pub use cache::AnswerCache;
+pub use client::Client;
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,401 @@
+//! The serving tier: batched query execution over pinned snapshots, with
+//! admission control.
+//!
+//! A [`Server`] owns a set of maintained columns
+//! ([`ColumnHandle`]s from a `MaintainedPool`) and answers the four-verb
+//! protocol of `synoptic-api` over any [`Transport`] — a real TCP
+//! listener in production ([`Server::serve`]), an in-memory pair or a
+//! fault-injecting wrapper in tests ([`Server::handle_transport`]).
+//!
+//! ## Batching: one pin per batch
+//!
+//! Every [`Request::EstimateBatch`] is answered against a **single
+//! snapshot pin**: the connection's [`HotSwapReader`] is pinned once
+//! ([`HotSwapReader::pinned`]), and every range in the batch reads the
+//! same `Arc` snapshot at the same generation. A rebuild landing mid-batch
+//! cannot split the batch across snapshots — the response's
+//! batch-wide `generation` is the proof, and the answers are mutually
+//! consistent (e.g. a full-range sum equals the sum of its halves).
+//!
+//! ## Admission control
+//!
+//! Three bounds, each refusing with
+//! [`SynopticError::ServerOverloaded`] (exit code 10) carrying the
+//! observed value and the configured limit:
+//!
+//! * **queue depth** — requests in flight across all connections;
+//! * **rebuild lag** — a column whose `updates_since_rebuild` exceeds
+//!   the bound refuses estimates (mirroring the replication tier's
+//!   `ReplicationLagExceeded`: better loud refusal than a silently
+//!   stale answer);
+//! * **connection quota** — requests served on one connection, and the
+//!   concurrent-connection cap at accept time.
+//!
+//! Refusals are responses, not disconnects: the client keeps its
+//! connection and may back off and retry.
+
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use synoptic_api::wire::{
+    decode_request, encode_response, BatchAnswer, Request, Response, ServerStats,
+};
+use synoptic_core::{AnswerSource, HotSwapReader, RangeEstimator, SynopticError};
+use synoptic_repl::{Received, TcpTransport, Transport};
+use synoptic_stream::ColumnHandle;
+
+use crate::cache::AnswerCache;
+
+/// Serving-tier bounds and tunables. The CLI validates user input before
+/// constructing one; the defaults suit tests and small deployments.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Most ranges accepted in one [`Request::EstimateBatch`].
+    pub max_batch: usize,
+    /// Most requests in flight across all connections before refusal.
+    pub max_queue_depth: u64,
+    /// Refuse estimates for a column whose updates-since-rebuild exceed
+    /// this (`None` = never refuse on lag).
+    pub max_rebuild_lag: Option<u64>,
+    /// Most requests served per connection (`None` = unmetered).
+    pub ops_quota: Option<u64>,
+    /// Hot-range answer cache capacity per column (entries; 0 disables).
+    pub cache_capacity: usize,
+    /// Most concurrent connections before refusal-at-accept.
+    pub max_connections: u64,
+    /// How often an idle connection loop wakes to check for shutdown.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 4096,
+            max_queue_depth: 256,
+            max_rebuild_lag: None,
+            ops_quota: None,
+            cache_capacity: 4096,
+            max_connections: 256,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// One served column: its pool handle plus its shared answer cache.
+struct ColumnState {
+    handle: ColumnHandle,
+    cache: AnswerCache,
+}
+
+struct Inner {
+    config: ServeConfig,
+    columns: Mutex<HashMap<String, Arc<ColumnState>>>,
+    /// Requests being processed right now, across all connections.
+    inflight: AtomicU64,
+    /// Requests refused by admission control since start.
+    refused: AtomicU64,
+    /// Connections accepted since start.
+    connections: AtomicU64,
+    /// Connections currently open.
+    active: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Decrements a gauge on drop, so early returns cannot leak a slot.
+struct GaugeGuard<'a>(&'a AtomicU64);
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The batched serving front-end (see the module docs). Cheap to clone;
+/// clones share the column set, caches, and admission meters.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// A server with no columns yet; register them with
+    /// [`Server::register`].
+    pub fn new(config: ServeConfig) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                config,
+                columns: Mutex::new(HashMap::new()),
+                inflight: AtomicU64::new(0),
+                refused: AtomicU64::new(0),
+                connections: AtomicU64::new(0),
+                active: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Serves `handle` under its column name. Re-registering a name
+    /// replaces the column (and starts a fresh cache).
+    pub fn register(&self, handle: ColumnHandle) {
+        let capacity = self.inner.config.cache_capacity;
+        lock(&self.inner.columns).insert(
+            handle.name().to_string(),
+            Arc::new(ColumnState {
+                handle,
+                cache: AnswerCache::new(capacity),
+            }),
+        );
+    }
+
+    /// Asks the accept loop and every connection loop to wind down.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn column(&self, name: &str) -> Option<Arc<ColumnState>> {
+        lock(&self.inner.columns).get(name).cloned()
+    }
+
+    fn refuse(&self, what: &str, observed: u64, limit: u64) -> Response {
+        self.inner.refused.fetch_add(1, Ordering::Relaxed);
+        Response::Error(SynopticError::ServerOverloaded {
+            what: what.to_string(),
+            observed,
+            limit,
+        })
+    }
+
+    /// Accept loop: serves connections until [`Server::shutdown`] (or the
+    /// process exits). Each connection runs [`Server::handle_transport`]
+    /// on its own thread.
+    pub fn serve(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.inner.shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let server = self.clone();
+                    workers.push(std::thread::spawn(move || {
+                        let mut transport = TcpTransport::from_stream(stream);
+                        server.handle_transport(&mut transport);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(self.inner.config.poll_interval);
+                }
+                Err(e) => return Err(e),
+            }
+            workers.retain(|w| !w.is_finished());
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Serves one connection over any [`Transport`] until the peer closes
+    /// (or shutdown). Exposed so tests drive the exact production code
+    /// path through `MemTransport` pairs and `FaultyTransport` wrappers.
+    ///
+    /// A frame that fails validation (torn, bit-flipped, truncated) is
+    /// answered with the decode error and the connection keeps serving —
+    /// corruption refuses the *frame*, never the link.
+    pub fn handle_transport(&self, transport: &mut dyn Transport) {
+        self.inner.connections.fetch_add(1, Ordering::SeqCst);
+        let active = self.inner.active.fetch_add(1, Ordering::SeqCst) + 1;
+        let _active_guard = GaugeGuard(&self.inner.active);
+        if active > self.inner.config.max_connections {
+            let refusal = self.refuse(
+                "connection quota",
+                active,
+                self.inner.config.max_connections,
+            );
+            let _ = transport.send(&encode_response(&refusal));
+            transport.close();
+            return;
+        }
+        // Per-connection snapshot readers: one atomic generation check per
+        // batch in the steady state, no shared lock traffic on the answer
+        // path.
+        let mut readers: HashMap<String, HotSwapReader<dyn RangeEstimator>> = HashMap::new();
+        let mut ops: u64 = 0;
+        loop {
+            match transport.recv(Some(self.inner.config.poll_interval)) {
+                Ok(Received::Frame(bytes)) => {
+                    let response = self.respond(&bytes, &mut readers, &mut ops);
+                    if transport.send(&encode_response(&response)).is_err() {
+                        return;
+                    }
+                }
+                Ok(Received::TimedOut) => {
+                    if self.inner.shutdown.load(Ordering::SeqCst) {
+                        transport.close();
+                        return;
+                    }
+                }
+                Ok(Received::Closed) | Err(_) => return,
+            }
+        }
+    }
+
+    /// Decodes and executes one request frame, producing exactly one
+    /// response. Never panics on wire input: malformed bytes become the
+    /// decode error, refusals become [`SynopticError::ServerOverloaded`].
+    fn respond(
+        &self,
+        bytes: &[u8],
+        readers: &mut HashMap<String, HotSwapReader<dyn RangeEstimator>>,
+        ops: &mut u64,
+    ) -> Response {
+        let request = match decode_request(bytes) {
+            Ok(r) => r,
+            Err(e) => return Response::Error(e),
+        };
+        *ops += 1;
+        if let Some(quota) = self.inner.config.ops_quota {
+            if *ops > quota {
+                return self.refuse("connection quota", *ops, quota);
+            }
+        }
+        let inflight = self.inner.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        let _inflight_guard = GaugeGuard(&self.inner.inflight);
+        if inflight > self.inner.config.max_queue_depth {
+            return self.refuse("queue depth", inflight, self.inner.config.max_queue_depth);
+        }
+        match request {
+            Request::Ping => Response::Pong,
+            Request::EstimateBatch(batch) => self.estimate_batch(&batch.column, &batch, readers),
+            Request::Update { column, deltas } => self.apply_updates(&column, &deltas),
+            Request::Stats { column } => self.stats_for(&column),
+        }
+    }
+
+    fn estimate_batch(
+        &self,
+        name: &str,
+        batch: &synoptic_api::wire::QueryBatch,
+        readers: &mut HashMap<String, HotSwapReader<dyn RangeEstimator>>,
+    ) -> Response {
+        let Some(col) = self.column(name) else {
+            return Response::Error(unknown_column(name));
+        };
+        if batch.ranges.len() > self.inner.config.max_batch {
+            return Response::Error(SynopticError::InvalidParameter(format!(
+                "batch of {} ranges exceeds the configured maximum {}",
+                batch.ranges.len(),
+                self.inner.config.max_batch
+            )));
+        }
+        let stats = col.handle.stats();
+        if let Some(max_lag) = self.inner.config.max_rebuild_lag {
+            if stats.updates_since_rebuild > max_lag {
+                return self.refuse("rebuild lag", stats.updates_since_rebuild, max_lag);
+            }
+        }
+        // The batch's one snapshot pin: every range below reads this Arc
+        // at this generation, no matter what hot-swaps mid-batch.
+        let reader = readers
+            .entry(name.to_string())
+            .or_insert_with(|| col.handle.reader());
+        let (generation, snapshot) = reader.pinned();
+        let snapshot = Arc::clone(snapshot);
+        let n = snapshot.n();
+        let mut values = Vec::with_capacity(batch.ranges.len());
+        let mut cached = Vec::with_capacity(batch.ranges.len());
+        for q in &batch.ranges {
+            if q.hi >= n {
+                return Response::Error(SynopticError::IndexOutOfBounds { index: q.hi, n });
+            }
+            match col.cache.lookup(generation, q.lo, q.hi) {
+                Some(v) => {
+                    values.push(v);
+                    cached.push(true);
+                }
+                None => {
+                    let v = snapshot.estimate(*q);
+                    col.cache.store(generation, q.lo, q.hi, v);
+                    values.push(v);
+                    cached.push(false);
+                }
+            }
+        }
+        Response::Estimates(BatchAnswer {
+            generation,
+            source: AnswerSource::Primary,
+            lag: stats.updates_since_rebuild,
+            outcome: col.handle.last_outcome(),
+            segment_outcomes: col.handle.segment_outcomes(),
+            values,
+            cached,
+        })
+    }
+
+    fn apply_updates(&self, name: &str, deltas: &[(u64, i64)]) -> Response {
+        let Some(col) = self.column(name) else {
+            return Response::Error(unknown_column(name));
+        };
+        // Validate the whole batch before touching state: the pool handle
+        // only bounds-checks journaled columns itself, and a partially
+        // applied batch would leave the caller unable to retry safely.
+        let n = col.handle.estimator().n();
+        for &(i, _) in deltas {
+            if i as usize >= n {
+                return Response::Error(SynopticError::IndexOutOfBounds {
+                    index: i as usize,
+                    n,
+                });
+            }
+        }
+        let mut scheduled = 0u64;
+        for &(i, delta) in deltas {
+            match col.handle.update(i as usize, delta) {
+                Ok(true) => scheduled += 1,
+                Ok(false) => {}
+                Err(e) => return Response::Error(e),
+            }
+        }
+        Response::Updated {
+            applied: deltas.len() as u64,
+            scheduled,
+        }
+    }
+
+    fn stats_for(&self, name: &str) -> Response {
+        let Some(col) = self.column(name) else {
+            return Response::Error(unknown_column(name));
+        };
+        let stats = col.handle.stats();
+        Response::Stats(ServerStats {
+            column: name.to_string(),
+            n: col.handle.estimator().n() as u64,
+            generation: col.handle.serving_generation(),
+            updates: stats.updates,
+            rebuilds: stats.rebuilds,
+            failed_rebuilds: stats.failed_rebuilds,
+            updates_since_rebuild: stats.updates_since_rebuild,
+            cache_hits: col.cache.hits(),
+            cache_misses: col.cache.misses(),
+            cache_invalidations: col.cache.invalidations(),
+            refused: self.inner.refused.load(Ordering::Relaxed),
+            connections: self.inner.connections.load(Ordering::SeqCst),
+        })
+    }
+}
+
+fn unknown_column(name: &str) -> SynopticError {
+    SynopticError::InvalidParameter(format!("unknown column {name:?}"))
+}
+
+/// Compile-time proof the server crosses thread boundaries (one thread
+/// per connection).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Server>();
+};

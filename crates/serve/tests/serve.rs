@@ -1,0 +1,487 @@
+//! Integration tests for the serving tier: batch pinning, cache
+//! invalidation, admission control, and fault injection against the
+//! server's frame reader.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use synoptic_api::wire::{decode_response, encode_request, QueryBatch, Request, Response};
+use synoptic_api::{exit_code, Queryable, EXIT_CORRUPT, EXIT_REFUSED};
+use synoptic_core::{Budget, PrefixSums, RangeEstimator, RangeQuery, SynopticError};
+use synoptic_repl::{FaultyTransport, MemTransport, Received, Transport, TransportFault};
+use synoptic_serve::{Client, ServeConfig, Server};
+use synoptic_stream::{ColumnBuild, ColumnHandle, MaintainedPool, RebuildConfig, RebuildPolicy};
+
+/// An exact estimator: answers are the true range sums of the snapshot it
+/// was built from. Any mixing of two snapshots in one batch is therefore
+/// arithmetically visible.
+struct Exact {
+    ps: PrefixSums,
+}
+
+impl RangeEstimator for Exact {
+    fn n(&self) -> usize {
+        self.ps.n()
+    }
+    fn estimate(&self, q: RangeQuery) -> f64 {
+        self.ps.answer(q) as f64
+    }
+    fn storage_words(&self) -> usize {
+        self.ps.n()
+    }
+    fn method_name(&self) -> &str {
+        "EXACT"
+    }
+}
+
+fn exact_build() -> ColumnBuild {
+    ColumnBuild::Custom(Box::new(|v: &[i64], _ps: &PrefixSums, _b: &Budget| {
+        Ok(Box::new(Exact {
+            ps: PrefixSums::from_values(v),
+        }) as Box<dyn RangeEstimator>)
+    }))
+}
+
+fn exact_column(pool: &MaintainedPool, name: &str, values: &[i64]) -> ColumnHandle {
+    pool.add_column(
+        name,
+        values,
+        exact_build(),
+        RebuildConfig::new(RebuildPolicy::Manual),
+    )
+    .unwrap()
+}
+
+/// Spawns a connection thread serving one end of a mem pair; returns the
+/// client end.
+fn mem_session(server: &Server) -> MemTransport {
+    let (client_end, mut server_end) = MemTransport::pair();
+    let server = server.clone();
+    std::thread::spawn(move || server.handle_transport(&mut server_end));
+    client_end
+}
+
+fn call(t: &mut dyn Transport, req: &Request) -> Response {
+    t.send(&encode_request(req)).unwrap();
+    recv_response(t)
+}
+
+fn recv_response(t: &mut dyn Transport) -> Response {
+    match t.recv(Some(Duration::from_secs(10))).unwrap() {
+        Received::Frame(f) => decode_response(&f).unwrap(),
+        other => panic!("expected a response frame, got {other:?}"),
+    }
+}
+
+fn batch(column: &str, ranges: Vec<RangeQuery>) -> Request {
+    Request::EstimateBatch(QueryBatch::new(column, ranges))
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over real TCP
+
+#[test]
+fn tcp_round_trip_ping_estimates_updates_and_stats() {
+    let pool = MaintainedPool::new(1);
+    let values = vec![2i64; 64];
+    let col = exact_column(&pool, "price", &values);
+    let server = Server::new(ServeConfig::default());
+    server.register(col.clone());
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let accept = {
+        let server = server.clone();
+        std::thread::spawn(move || server.serve(listener).unwrap())
+    };
+
+    let client = Client::connect(&addr).unwrap();
+    client.ping().unwrap();
+
+    let answer = client
+        .estimate_batch(
+            "price",
+            vec![RangeQuery::new(0, 63).unwrap(), RangeQuery::point(5)],
+        )
+        .unwrap();
+    assert_eq!(answer.values, vec![128.0, 2.0]);
+    assert_eq!(answer.cached, vec![false, false]);
+    assert_eq!(answer.generation, 0, "nothing has rebuilt yet");
+
+    let (applied, _scheduled) = client.update("price", vec![(5, 10), (6, -1)]).unwrap();
+    assert_eq!(applied, 2);
+
+    // The envelope view: one range through the unified Queryable surface.
+    let env = client.query("price", RangeQuery::point(5)).unwrap();
+    assert_eq!(env.generation, 0);
+    assert_eq!(env.lag, 2, "two updates applied, none rebuilt yet");
+
+    let stats = client.stats("price").unwrap();
+    assert_eq!(stats.column, "price");
+    assert_eq!(stats.n, 64);
+    assert_eq!(stats.updates, 2);
+    assert_eq!(stats.updates_since_rebuild, 2);
+    assert!(stats.connections >= 1);
+
+    // Structural errors cross the wire: an out-of-bounds update refuses
+    // with the exact variant, nothing partially applied.
+    let err = client.update("price", vec![(0, 1), (64, 1)]).unwrap_err();
+    assert!(matches!(
+        err,
+        SynopticError::IndexOutOfBounds { index: 64, n: 64 }
+    ));
+    assert_eq!(client.stats("price").unwrap().updates, 2);
+
+    let err = client.query("ghost", RangeQuery::point(0)).unwrap_err();
+    assert!(matches!(err, SynopticError::InvalidParameter(_)));
+
+    server.shutdown();
+    accept.join().unwrap();
+    drop(pool);
+}
+
+// ---------------------------------------------------------------------------
+// Batch pinning
+
+/// Every batch is answered from ONE snapshot pin: with an exact
+/// estimator and racing updates+rebuilds, the full-range answer must
+/// equal the sum of the two halves, and asking the same range twice in
+/// one batch must return the identical value — both impossible if the
+/// batch straddled a hot swap. The cache is disabled so every value is
+/// computed from the pinned snapshot itself.
+#[test]
+fn a_batch_is_answered_from_one_snapshot_pin() {
+    let n = 256usize;
+    let pool = MaintainedPool::new(2);
+    let col = exact_column(&pool, "c", &vec![1i64; n]);
+    let server = Server::new(ServeConfig {
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    });
+    server.register(col.clone());
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let racer = {
+        let col = col.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut i = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                col.update(i % n, 1).unwrap();
+                let _ = col.request_rebuild();
+                i += 1;
+            }
+        })
+    };
+
+    let mut t = mem_session(&server);
+    let full = RangeQuery::new(0, n - 1).unwrap();
+    let left = RangeQuery::new(0, n / 2 - 1).unwrap();
+    let right = RangeQuery::new(n / 2, n - 1).unwrap();
+    let mut generations = Vec::new();
+    for _ in 0..60 {
+        let Response::Estimates(ans) = call(&mut t, &batch("c", vec![full, left, right, full]))
+        else {
+            panic!("expected estimates");
+        };
+        assert_eq!(
+            ans.values[0],
+            ans.values[1] + ans.values[2],
+            "halves must sum to the whole within one pinned batch (generation {})",
+            ans.generation
+        );
+        assert_eq!(
+            ans.values[0], ans.values[3],
+            "the same range twice in one batch must answer identically"
+        );
+        generations.push(ans.generation);
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    racer.join().unwrap();
+    col.quiesce();
+    assert!(
+        generations.last().copied().unwrap() > 0,
+        "rebuilds raced the batches (generations observed: {:?}…)",
+        &generations[..4.min(generations.len())]
+    );
+    drop(pool);
+}
+
+// ---------------------------------------------------------------------------
+// Cache invalidation across a hot swap
+
+#[test]
+fn cache_is_invalidated_by_a_hot_swap_so_stale_hits_are_impossible() {
+    let n = 32usize;
+    let pool = MaintainedPool::new(1);
+    let col = exact_column(&pool, "c", &vec![1i64; n]);
+    let server = Server::new(ServeConfig::default());
+    server.register(col.clone());
+    let mut t = mem_session(&server);
+    let q = RangeQuery::new(0, n - 1).unwrap();
+
+    // First ask computes and caches; second ask hits.
+    let Response::Estimates(first) = call(&mut t, &batch("c", vec![q])) else {
+        panic!()
+    };
+    assert_eq!(first.values, vec![n as f64]);
+    assert_eq!(first.cached, vec![false]);
+    let Response::Estimates(second) = call(&mut t, &batch("c", vec![q])) else {
+        panic!()
+    };
+    assert_eq!(second.cached, vec![true]);
+    assert_eq!(second.values, vec![n as f64]);
+    assert_eq!(second.generation, first.generation);
+
+    // Mutate and hot-swap: the generation bumps, and the cached answer
+    // for the old generation MUST NOT survive — the fresh answer reflects
+    // the new data exactly.
+    col.update(0, 100).unwrap();
+    assert!(col.request_rebuild().unwrap());
+    col.quiesce();
+    let Response::Estimates(after) = call(&mut t, &batch("c", vec![q])) else {
+        panic!()
+    };
+    assert!(after.generation > first.generation, "the swap published");
+    assert_eq!(
+        after.cached,
+        vec![false],
+        "a stale-generation cache hit must be impossible"
+    );
+    assert_eq!(after.values, vec![(n + 100) as f64]);
+
+    let Response::Stats(stats) = call(
+        &mut t,
+        &Request::Stats {
+            column: "c".to_string(),
+        },
+    ) else {
+        panic!()
+    };
+    assert!(stats.cache_hits >= 1);
+    assert!(stats.cache_invalidations >= 1);
+    drop(pool);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control: every bound refuses with provenance and exit code 10
+
+#[test]
+fn per_connection_quota_refuses_with_exit_code_10() {
+    let pool = MaintainedPool::new(1);
+    let col = exact_column(&pool, "c", &[1, 2, 3, 4]);
+    let server = Server::new(ServeConfig {
+        ops_quota: Some(2),
+        ..ServeConfig::default()
+    });
+    server.register(col);
+    let mut t = mem_session(&server);
+    assert_eq!(call(&mut t, &Request::Ping), Response::Pong);
+    assert_eq!(call(&mut t, &Request::Ping), Response::Pong);
+    let Response::Error(err) = call(&mut t, &Request::Ping) else {
+        panic!("third request must be refused");
+    };
+    assert!(matches!(
+        &err,
+        SynopticError::ServerOverloaded { what, observed: 3, limit: 2 } if what == "connection quota"
+    ));
+    assert_eq!(exit_code(&err), EXIT_REFUSED);
+    // A fresh connection has a fresh quota.
+    let mut t2 = mem_session(&server);
+    assert_eq!(call(&mut t2, &Request::Ping), Response::Pong);
+    drop(pool);
+}
+
+#[test]
+fn rebuild_lag_bound_refuses_estimates_until_a_rebuild_lands() {
+    let pool = MaintainedPool::new(1);
+    let col = exact_column(&pool, "c", &vec![1i64; 16]);
+    let server = Server::new(ServeConfig {
+        max_rebuild_lag: Some(2),
+        ..ServeConfig::default()
+    });
+    server.register(col.clone());
+    let mut t = mem_session(&server);
+    let q = RangeQuery::new(0, 15).unwrap();
+
+    for _ in 0..3 {
+        col.update(0, 1).unwrap();
+    }
+    let Response::Error(err) = call(&mut t, &batch("c", vec![q])) else {
+        panic!("estimate at lag 3 > bound 2 must refuse");
+    };
+    assert!(matches!(
+        &err,
+        SynopticError::ServerOverloaded { what, observed: 3, limit: 2 } if what == "rebuild lag"
+    ));
+    assert_eq!(exit_code(&err), EXIT_REFUSED);
+    // Updates are NOT refused on lag — backpressure applies to reads.
+    let Response::Updated { applied: 1, .. } = call(
+        &mut t,
+        &Request::Update {
+            column: "c".to_string(),
+            deltas: vec![(0, 1)],
+        },
+    ) else {
+        panic!("updates pass the lag bound");
+    };
+    // A rebuild clears the lag and estimates flow again.
+    col.request_rebuild().unwrap();
+    col.quiesce();
+    assert!(matches!(
+        call(&mut t, &batch("c", vec![q])),
+        Response::Estimates(_)
+    ));
+    drop(pool);
+}
+
+#[test]
+fn zero_queue_depth_refuses_every_request() {
+    let pool = MaintainedPool::new(1);
+    let col = exact_column(&pool, "c", &[1, 2]);
+    let server = Server::new(ServeConfig {
+        max_queue_depth: 0,
+        ..ServeConfig::default()
+    });
+    server.register(col);
+    let mut t = mem_session(&server);
+    let Response::Error(err) = call(&mut t, &Request::Ping) else {
+        panic!("queue depth 0 admits nothing");
+    };
+    assert!(matches!(
+        &err,
+        SynopticError::ServerOverloaded { what, .. } if what == "queue depth"
+    ));
+    assert_eq!(exit_code(&err), EXIT_REFUSED);
+    drop(pool);
+}
+
+#[test]
+fn connection_cap_refuses_at_accept() {
+    let server = Server::new(ServeConfig {
+        max_connections: 0,
+        ..ServeConfig::default()
+    });
+    let mut t = mem_session(&server);
+    let Response::Error(err) = recv_response(&mut t) else {
+        panic!("over-cap connections are refused before any request");
+    };
+    assert!(matches!(
+        &err,
+        SynopticError::ServerOverloaded { what, .. } if what == "connection quota"
+    ));
+    assert_eq!(exit_code(&err), EXIT_REFUSED);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection against the server's frame reader
+
+#[test]
+fn torn_frames_are_refused_loudly_and_the_connection_survives() {
+    let pool = MaintainedPool::new(1);
+    let col = exact_column(&pool, "c", &[1, 2, 3]);
+    let server = Server::new(ServeConfig::default());
+    server.register(col);
+
+    let (mut client_end, server_inner) = MemTransport::pair();
+    {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            let mut faulty = FaultyTransport::with_recv_faults(
+                server_inner,
+                vec![],
+                vec![TransportFault::Torn { keep: 5 }],
+            );
+            server.handle_transport(&mut faulty);
+        });
+    }
+    // Frame 1 arrives torn: the server answers with the decode error
+    // (corrupt frame, exit-code-4 class) instead of acting on garbage.
+    let Response::Error(err) = call(&mut client_end, &Request::Ping) else {
+        panic!("a torn frame must be refused");
+    };
+    assert!(matches!(
+        &err,
+        SynopticError::CorruptSynopsis { context, .. } if context == "query frame"
+    ));
+    assert_eq!(exit_code(&err), EXIT_CORRUPT);
+    // The link survives corruption: the next clean frame is served.
+    assert_eq!(call(&mut client_end, &Request::Ping), Response::Pong);
+    drop(pool);
+}
+
+#[test]
+fn duplicated_and_reordered_frames_each_get_exactly_one_valid_response() {
+    let pool = MaintainedPool::new(1);
+    let col = exact_column(&pool, "c", &[1, 2, 3]);
+    let server = Server::new(ServeConfig::default());
+    server.register(col);
+
+    let (mut client_end, server_inner) = MemTransport::pair();
+    {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            let mut faulty = FaultyTransport::with_recv_faults(
+                server_inner,
+                vec![],
+                vec![
+                    TransportFault::Duplicate,
+                    TransportFault::Reorder,
+                    TransportFault::Clean,
+                ],
+            );
+            server.handle_transport(&mut faulty);
+        });
+    }
+    // Duplicate: the ping is delivered twice, so two pongs come back —
+    // the server answers every frame it receives, exactly once each.
+    client_end.send(&encode_request(&Request::Ping)).unwrap();
+    assert_eq!(recv_response(&mut client_end), Response::Pong);
+    assert_eq!(recv_response(&mut client_end), Response::Pong);
+    // Reorder: a stats request and a ping swap on the wire; both still
+    // get exactly one well-formed response of the right kind (order on
+    // the wire is the transport's business, not correctness's).
+    client_end
+        .send(&encode_request(&Request::Stats {
+            column: "c".to_string(),
+        }))
+        .unwrap();
+    client_end.send(&encode_request(&Request::Ping)).unwrap();
+    let got = [
+        recv_response(&mut client_end),
+        recv_response(&mut client_end),
+    ];
+    assert!(got.iter().filter(|r| matches!(r, Response::Pong)).count() == 1);
+    assert!(
+        got.iter()
+            .filter(|r| matches!(r, Response::Stats(_)))
+            .count()
+            == 1
+    );
+    drop(pool);
+}
+
+// ---------------------------------------------------------------------------
+// Oversized batches are rejected, not served partially
+
+#[test]
+fn batches_over_the_configured_maximum_are_rejected() {
+    let pool = MaintainedPool::new(1);
+    let col = exact_column(&pool, "c", &vec![1i64; 8]);
+    let server = Server::new(ServeConfig {
+        max_batch: 2,
+        ..ServeConfig::default()
+    });
+    server.register(col);
+    let mut t = mem_session(&server);
+    let qs = vec![
+        RangeQuery::point(0),
+        RangeQuery::point(1),
+        RangeQuery::point(2),
+    ];
+    let Response::Error(err) = call(&mut t, &batch("c", qs)) else {
+        panic!("a 3-range batch against max_batch=2 must be rejected");
+    };
+    assert!(matches!(err, SynopticError::InvalidParameter(_)));
+    drop(pool);
+}

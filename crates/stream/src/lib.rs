@@ -46,6 +46,7 @@ pub mod haar_stream;
 pub mod maintained;
 pub mod pool;
 pub mod progressive;
+pub mod queryable;
 pub mod recovery;
 pub mod segments;
 

@@ -17,6 +17,12 @@
 //!   budget allocation (extension).
 //! * [`repl`] — WAL segment replication: transports, shipping, and the
 //!   wire protocol behind read-only followers (extension).
+//! * [`api`] — the unified query surface: `Queryable`, provenance-carrying
+//!   `AnswerEnvelope`s, the SQP1 wire codec, and the single exit-code
+//!   mapping (extension).
+//! * [`serve`] — the batched network serving tier: `synoptic serve`'s
+//!   server, the `Client`, and the generation-keyed answer cache
+//!   (extension).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +44,7 @@
 //! assert!(estimate >= 0.0 && truth >= 0.0 && sse >= 0.0);
 //! ```
 
+pub use synoptic_api as api;
 pub use synoptic_catalog as catalog;
 pub use synoptic_core as core;
 pub use synoptic_data as data;
@@ -45,6 +52,7 @@ pub use synoptic_eval as eval;
 pub use synoptic_hist as hist;
 pub use synoptic_linalg as linalg;
 pub use synoptic_repl as repl;
+pub use synoptic_serve as serve;
 pub use synoptic_stream as stream;
 pub use synoptic_twod as twod;
 pub use synoptic_wavelet as wavelet;
