@@ -190,9 +190,19 @@ fn corrupt(detail: impl Into<String>) -> SynopticError {
     }
 }
 
+/// Encodes a length-prefixed string. The prefix is a `u16`, so strings
+/// of 64 KiB or more (possible for error text built from user input) are
+/// truncated at a char boundary rather than silently wrapping the
+/// length — a wrapped prefix would make the payload disagree with the
+/// frame and the peer would refuse the whole frame as corruption instead
+/// of delivering the (merely shortened) text.
 fn put_str(out: &mut Vec<u8>, s: &str) {
-    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
-    out.extend_from_slice(s.as_bytes());
+    let mut end = s.len().min(usize::from(u16::MAX));
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    out.extend_from_slice(&(end as u16).to_le_bytes());
+    out.extend_from_slice(&s.as_bytes()[..end]);
 }
 
 struct Reader<'a> {
@@ -965,6 +975,28 @@ mod tests {
                 "wire transit must preserve the exit code of {err}"
             );
         }
+    }
+
+    /// A string of 64 KiB or more cannot be length-prefixed by a `u16`;
+    /// it must truncate (at a char boundary) rather than wrap the prefix
+    /// and corrupt the frame — the peer still gets a decodable error
+    /// carrying as much of the text as fits.
+    #[test]
+    fn over_long_strings_truncate_instead_of_corrupting_the_frame() {
+        // 65_534 ASCII bytes then multibyte chars: the u16::MAX cut at
+        // byte 65_535 lands mid-char and must back off to a boundary.
+        let long = "a".repeat(65_534) + &"é".repeat(100);
+        let bytes = encode_response(&Response::Error(SynopticError::InvalidParameter(
+            long.clone(),
+        )));
+        let Response::Error(SynopticError::InvalidParameter(back)) =
+            decode_response(&bytes).unwrap()
+        else {
+            panic!("over-long error text must still decode as the same variant");
+        };
+        assert!(back.len() <= usize::from(u16::MAX));
+        assert!(long.starts_with(&back), "truncation keeps a prefix");
+        assert_eq!(back.len(), 65_534, "the cut backs off to a char boundary");
     }
 
     #[test]

@@ -2,12 +2,19 @@
 //!
 //! One cache per served column, shared by every connection. The key
 //! *includes the serving generation*: the cache holds answers for exactly
-//! one generation at a time, and the first lookup after a hot swap
-//! observes the mismatch, drops every entry, and re-keys to the new
-//! generation. A stale-generation hit is therefore impossible by
-//! construction — there is never an entry whose generation differs from
-//! the cache's current one, and the current one is compared against the
-//! *pinned* generation of the batch being answered on every call.
+//! one generation at a time, and the first touch at a **newer**
+//! generation after a hot swap observes the mismatch, drops every entry,
+//! and re-keys forward. A stale-generation hit is therefore impossible
+//! by construction — there is never an entry whose generation differs
+//! from the cache's current one, and the current one is compared against
+//! the *pinned* generation of the batch being answered on every call.
+//!
+//! Re-keying is **forward only**. A batch still pinned at an *older*
+//! generation (its connection pinned before a swap landed) simply misses
+//! on lookup and is ignored on store: letting it re-key the cache
+//! backwards would clear every newer-generation entry and ping-pong the
+//! cache between generations whenever old-pin traffic overlaps post-swap
+//! traffic, without making any answer more correct.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -48,10 +55,11 @@ impl AnswerCache {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Re-keys the cache to `generation`, dropping every entry computed
-    /// at a different one.
-    fn sync_generation(st: &mut CacheState, generation: u64, invalidations: &AtomicU64) {
-        if st.generation != generation {
+    /// Re-keys the cache *forward* to `generation` when it is newer than
+    /// the current one, dropping every entry computed before it. Older
+    /// generations never re-key (see the module docs).
+    fn sync_forward(st: &mut CacheState, generation: u64, invalidations: &AtomicU64) {
+        if generation > st.generation {
             if !st.entries.is_empty() {
                 invalidations.fetch_add(1, Ordering::Relaxed);
             }
@@ -61,12 +69,17 @@ impl AnswerCache {
     }
 
     /// The cached answer for `(lo, hi)` computed at exactly `generation`,
-    /// if present. A generation mismatch invalidates the whole cache
-    /// before the lookup, so a hit is always same-generation.
+    /// if present. A newer generation invalidates the whole cache before
+    /// the lookup; an older one misses without disturbing the current
+    /// entries. Either way a hit is always same-generation.
     pub fn lookup(&self, generation: u64, lo: usize, hi: usize) -> Option<f64> {
         let mut st = self.lock();
-        Self::sync_generation(&mut st, generation, &self.invalidations);
-        let found = st.entries.get(&(lo, hi)).copied();
+        Self::sync_forward(&mut st, generation, &self.invalidations);
+        let found = if st.generation == generation {
+            st.entries.get(&(lo, hi)).copied()
+        } else {
+            None
+        };
         drop(st);
         match found {
             Some(v) => {
@@ -80,17 +93,19 @@ impl AnswerCache {
         }
     }
 
-    /// Stores an answer computed at `generation`. Ignored when the cache
-    /// is full (simple admission: hot ranges that repeat will have been
-    /// stored while there was room) or when `generation` is no longer the
-    /// cache's current one.
+    /// Stores an answer computed at `generation`. A newer generation
+    /// re-keys the cache forward first. Ignored when the cache is full
+    /// (simple admission: hot ranges that repeat will have been stored
+    /// while there was room) or when `generation` is older than the
+    /// cache's current one (a batch pinned before a swap must not clear
+    /// the post-swap entries).
     pub fn store(&self, generation: u64, lo: usize, hi: usize, value: f64) {
         if self.capacity == 0 {
             return;
         }
         let mut st = self.lock();
-        Self::sync_generation(&mut st, generation, &self.invalidations);
-        if st.entries.len() < self.capacity {
+        Self::sync_forward(&mut st, generation, &self.invalidations);
+        if st.generation == generation && st.entries.len() < self.capacity {
             st.entries.insert((lo, hi), value);
         }
     }
@@ -105,8 +120,8 @@ impl AnswerCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Whole-cache invalidations (generation moves observed with entries
-    /// present) since creation.
+    /// Whole-cache invalidations (forward generation moves observed with
+    /// entries present) since creation.
     pub fn invalidations(&self) -> u64 {
         self.invalidations.load(Ordering::Relaxed)
     }
@@ -127,9 +142,33 @@ mod tests {
         assert_eq!(cache.lookup(2, 0, 5), None);
         assert_eq!(cache.invalidations(), 1);
         // And the old generation cannot resurrect it either — the cache
-        // re-keyed to 2, so a lookup at 1 clears again and misses.
+        // re-keyed forward to 2, so a lookup at 1 misses (without
+        // disturbing the generation-2 entries).
         cache.store(2, 0, 5, 43.0);
         assert_eq!(cache.lookup(1, 0, 5), None);
+        assert_eq!(cache.lookup(2, 0, 5), Some(43.0));
+    }
+
+    /// A batch still pinned at an older generation must neither clear the
+    /// newer entries (store) nor re-key the cache backwards (lookup):
+    /// old-pin traffic overlapping post-swap traffic just misses, with no
+    /// ping-pong invalidation.
+    #[test]
+    fn old_generation_traffic_cannot_rekey_the_cache_backwards() {
+        let cache = AnswerCache::new(16);
+        cache.store(5, 0, 1, 1.0);
+        cache.store(3, 0, 2, 9.0); // old pin: ignored
+        assert_eq!(cache.lookup(3, 0, 2), None); // old pin: plain miss
+        assert_eq!(
+            cache.lookup(5, 0, 1),
+            Some(1.0),
+            "newer entries survive old-pin traffic"
+        );
+        assert_eq!(
+            cache.invalidations(),
+            0,
+            "old-pin traffic must not count as invalidation churn"
+        );
     }
 
     #[test]

@@ -12,6 +12,18 @@ use synoptic_api::{AnswerEnvelope, Queryable};
 use synoptic_core::{RangeQuery, Result, SynopticError};
 use synoptic_repl::{Received, TcpTransport, Transport};
 
+/// One connection plus its health. `SQP1` has no request IDs — pairing
+/// is purely positional — so any event that can leave a response in
+/// flight (a timeout, a torn transport) permanently **poisons** the
+/// connection: the alternative would be reading that stale response as
+/// the answer to the *next* request, silently serving the wrong values.
+struct Conn {
+    transport: Box<dyn Transport>,
+    /// Set the moment request/response pairing can no longer be trusted;
+    /// every later call fails loudly instead of desynchronizing.
+    poisoned: bool,
+}
+
 /// A blocking call/response client. Methods take `&self` (the transport
 /// sits behind a mutex), so one client can be shared across threads —
 /// calls serialize on the connection.
@@ -19,8 +31,15 @@ use synoptic_repl::{Received, TcpTransport, Transport};
 /// Server-side errors come back structurally: a refusal under admission
 /// control surfaces as [`SynopticError::ServerOverloaded`] with the same
 /// fields (and exit code) it had on the server.
+///
+/// A call that times out ([`SynopticError::DeadlineExceeded`]) or loses
+/// the transport closes and poisons the connection: the protocol pairs
+/// requests to responses by position only, so after a timeout the
+/// server's (late) response is still in flight and the connection can
+/// never be trusted again. Subsequent calls fail with an `Io` error
+/// naming the poisoning — reconnect to resume.
 pub struct Client {
-    transport: Mutex<TcpTransport>,
+    conn: Mutex<Conn>,
     timeout: Duration,
 }
 
@@ -32,34 +51,87 @@ impl Client {
 
     /// Connects with an explicit per-call response timeout.
     pub fn connect_with_timeout(addr: &str, timeout: Duration) -> Result<Self> {
-        Ok(Self {
-            transport: Mutex::new(TcpTransport::connect(addr)?),
+        Ok(Self::from_transport(
+            Box::new(TcpTransport::connect(addr)?),
             timeout,
-        })
+        ))
     }
 
-    fn lock(&self) -> MutexGuard<'_, TcpTransport> {
-        self.transport
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+    /// A client over an already-connected transport — how tests drive the
+    /// exact production client through `MemTransport` pairs and
+    /// `FaultyTransport` wrappers.
+    pub fn from_transport(transport: Box<dyn Transport>, timeout: Duration) -> Self {
+        Self {
+            conn: Mutex::new(Conn {
+                transport,
+                poisoned: false,
+            }),
+            timeout,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Conn> {
+        self.conn.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Whether an earlier timeout or transport failure has poisoned the
+    /// connection (every later call fails until the caller reconnects).
+    pub fn is_poisoned(&self) -> bool {
+        self.lock().poisoned
+    }
+
+    /// Marks the connection unusable and closes it, so a desynchronized
+    /// response stream can never be read as an answer.
+    fn poison(conn: &mut Conn) {
+        conn.poisoned = true;
+        conn.transport.close();
     }
 
     /// One request, one response, in order on this connection.
     fn call(&self, request: &Request) -> Result<Response> {
-        let mut t = self.lock();
-        t.send(&encode_request(request))?;
-        match t.recv(Some(self.timeout))? {
-            Received::Frame(frame) => match decode_response(&frame)? {
+        let mut conn = self.lock();
+        if conn.poisoned {
+            return Err(SynopticError::Io {
+                path: "serve client".to_string(),
+                detail: "connection poisoned by an earlier timeout or transport \
+                         failure; reconnect to resume"
+                    .to_string(),
+            });
+        }
+        if let Err(e) = conn.transport.send(&encode_request(request)) {
+            // A failed send may have written a partial frame: pairing is
+            // no longer trustworthy.
+            Self::poison(&mut conn);
+            return Err(e);
+        }
+        match conn.transport.recv(Some(self.timeout)) {
+            // A whole frame arrived, so pairing is intact even when its
+            // contents fail validation — the connection stays usable.
+            Ok(Received::Frame(frame)) => match decode_response(&frame)? {
                 Response::Error(e) => Err(e),
                 other => Ok(other),
             },
-            Received::TimedOut => Err(SynopticError::DeadlineExceeded {
-                elapsed_ms: self.timeout.as_millis() as u64,
-            }),
-            Received::Closed => Err(SynopticError::Io {
-                path: "serve client".to_string(),
-                detail: "server closed the connection mid-call".to_string(),
-            }),
+            // The response is still in flight; if we kept the connection,
+            // the next call would read it as its own answer (SQP1 has no
+            // request IDs). Poison instead: wrong answers are worse than
+            // a dead connection.
+            Ok(Received::TimedOut) => {
+                Self::poison(&mut conn);
+                Err(SynopticError::DeadlineExceeded {
+                    elapsed_ms: self.timeout.as_millis() as u64,
+                })
+            }
+            Ok(Received::Closed) => {
+                Self::poison(&mut conn);
+                Err(SynopticError::Io {
+                    path: "serve client".to_string(),
+                    detail: "server closed the connection mid-call".to_string(),
+                })
+            }
+            Err(e) => {
+                Self::poison(&mut conn);
+                Err(e)
+            }
         }
     }
 

@@ -90,6 +90,18 @@ struct ColumnState {
     cache: AnswerCache,
 }
 
+/// A per-connection cached snapshot reader, pinned to the *identity* of
+/// the [`ColumnState`] it was created from. [`Server::register`] may
+/// replace a column under the same name (fresh handle, fresh cache);
+/// comparing the stored `Arc` by pointer on every batch notices the
+/// replacement and re-fetches the reader, so a long-lived connection can
+/// never keep answering from the replaced column's hot-swap cell — or
+/// worse, store its values into the new column's cache.
+struct CachedReader {
+    column: Arc<ColumnState>,
+    reader: HotSwapReader<dyn RangeEstimator>,
+}
+
 struct Inner {
     config: ServeConfig,
     columns: Mutex<HashMap<String, Arc<ColumnState>>>,
@@ -142,7 +154,9 @@ impl Server {
     }
 
     /// Serves `handle` under its column name. Re-registering a name
-    /// replaces the column (and starts a fresh cache).
+    /// replaces the column (and starts a fresh cache); open connections
+    /// notice the replacement on their next batch (see [`CachedReader`])
+    /// and answer from it.
     pub fn register(&self, handle: ColumnHandle) {
         let capacity = self.inner.config.cache_capacity;
         lock(&self.inner.columns).insert(
@@ -223,8 +237,9 @@ impl Server {
         }
         // Per-connection snapshot readers: one atomic generation check per
         // batch in the steady state, no shared lock traffic on the answer
-        // path.
-        let mut readers: HashMap<String, HotSwapReader<dyn RangeEstimator>> = HashMap::new();
+        // path. Each entry remembers which ColumnState it belongs to, so
+        // a column replaced via `register` is noticed (see CachedReader).
+        let mut readers: HashMap<String, CachedReader> = HashMap::new();
         let mut ops: u64 = 0;
         loop {
             match transport.recv(Some(self.inner.config.poll_interval)) {
@@ -251,7 +266,7 @@ impl Server {
     fn respond(
         &self,
         bytes: &[u8],
-        readers: &mut HashMap<String, HotSwapReader<dyn RangeEstimator>>,
+        readers: &mut HashMap<String, CachedReader>,
         ops: &mut u64,
     ) -> Response {
         let request = match decode_request(bytes) {
@@ -281,7 +296,7 @@ impl Server {
         &self,
         name: &str,
         batch: &synoptic_api::wire::QueryBatch,
-        readers: &mut HashMap<String, HotSwapReader<dyn RangeEstimator>>,
+        readers: &mut HashMap<String, CachedReader>,
     ) -> Response {
         let Some(col) = self.column(name) else {
             return Response::Error(unknown_column(name));
@@ -300,11 +315,25 @@ impl Server {
             }
         }
         // The batch's one snapshot pin: every range below reads this Arc
-        // at this generation, no matter what hot-swaps mid-batch.
-        let reader = readers
+        // at this generation, no matter what hot-swaps mid-batch. The
+        // cached reader is only valid for the ColumnState it was created
+        // from — re-registration replaces that Arc, so a stale entry is
+        // re-fetched rather than pinning the replaced column forever.
+        let entry = readers
             .entry(name.to_string())
-            .or_insert_with(|| col.handle.reader());
-        let (generation, snapshot) = reader.pinned();
+            .and_modify(|cached| {
+                if !Arc::ptr_eq(&cached.column, &col) {
+                    *cached = CachedReader {
+                        column: Arc::clone(&col),
+                        reader: col.handle.reader(),
+                    };
+                }
+            })
+            .or_insert_with(|| CachedReader {
+                column: Arc::clone(&col),
+                reader: col.handle.reader(),
+            });
+        let (generation, snapshot) = entry.reader.pinned();
         let snapshot = Arc::clone(snapshot);
         let n = snapshot.n();
         let mut values = Vec::with_capacity(batch.ranges.len());
@@ -341,9 +370,10 @@ impl Server {
         let Some(col) = self.column(name) else {
             return Response::Error(unknown_column(name));
         };
-        // Validate the whole batch before touching state: the pool handle
-        // only bounds-checks journaled columns itself, and a partially
-        // applied batch would leave the caller unable to retry safely.
+        // Bounds are pre-validated so the common client mistake — a bad
+        // index anywhere in the batch — is refused atomically, before any
+        // delta touches state (the pool handle only bounds-checks
+        // journaled columns itself).
         let n = col.handle.estimator().n();
         for &(i, _) in deltas {
             if i as usize >= n {
@@ -353,12 +383,19 @@ impl Server {
                 });
             }
         }
+        // Past the bounds check, application is sequential and NOT
+        // atomic: a delta can still fail for non-bounds reasons (a WAL
+        // append error, the pool shut down mid-batch), leaving every
+        // earlier delta applied. The error names how far the batch got
+        // (on variants that carry free text) and docs/SERVING.md states
+        // the partial-application contract, so the client never mistakes
+        // such an error for "nothing happened".
         let mut scheduled = 0u64;
-        for &(i, delta) in deltas {
+        for (at, &(i, delta)) in deltas.iter().enumerate() {
             match col.handle.update(i as usize, delta) {
                 Ok(true) => scheduled += 1,
                 Ok(false) => {}
-                Err(e) => return Response::Error(e),
+                Err(e) => return Response::Error(annotate_partial(e, at, deltas.len())),
             }
         }
         Response::Updated {
@@ -391,6 +428,32 @@ impl Server {
 
 fn unknown_column(name: &str) -> SynopticError {
     SynopticError::InvalidParameter(format!("unknown column {name:?}"))
+}
+
+/// Notes mid-batch progress on error variants that carry free text, so a
+/// client receiving a non-bounds failure learns how far its update batch
+/// got. Deltas *before* `failed_at` are applied for certain; the failing
+/// delta itself may or may not be, depending on where in ingestion the
+/// error arose. Structured variants pass through unchanged and rely on
+/// the documented contract (docs/SERVING.md §2: updates past the bounds
+/// check are not atomic).
+fn annotate_partial(e: SynopticError, failed_at: usize, total: usize) -> SynopticError {
+    let note =
+        format!("update batch failed at delta {failed_at} of {total}; earlier deltas are applied");
+    match e {
+        SynopticError::Io { path, detail } => SynopticError::Io {
+            path,
+            detail: format!("{detail} ({note})"),
+        },
+        SynopticError::CorruptJournal { context, detail } => SynopticError::CorruptJournal {
+            context,
+            detail: format!("{detail} ({note})"),
+        },
+        SynopticError::InvalidParameter(msg) => {
+            SynopticError::InvalidParameter(format!("{msg} ({note})"))
+        }
+        other => other,
+    }
 }
 
 /// Compile-time proof the server crosses thread boundaries (one thread

@@ -5,7 +5,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use synoptic_api::wire::{decode_response, encode_request, QueryBatch, Request, Response};
+use synoptic_api::wire::{
+    decode_response, encode_request, encode_response, QueryBatch, Request, Response,
+};
 use synoptic_api::{exit_code, Queryable, EXIT_CORRUPT, EXIT_REFUSED};
 use synoptic_core::{Budget, PrefixSums, RangeEstimator, RangeQuery, SynopticError};
 use synoptic_repl::{FaultyTransport, MemTransport, Received, Transport, TransportFault};
@@ -261,6 +263,153 @@ fn cache_is_invalidated_by_a_hot_swap_so_stale_hits_are_impossible() {
     assert!(stats.cache_hits >= 1);
     assert!(stats.cache_invalidations >= 1);
     drop(pool);
+}
+
+// ---------------------------------------------------------------------------
+// Client connection poisoning: a timeout must never desynchronize pairing
+
+/// `SQP1` pairs requests to responses by position only, so a client that
+/// times out MUST poison its connection: otherwise the server's late
+/// response is still in flight, and the next call would read it as its
+/// own answer — silently serving the wrong batch's values.
+#[test]
+fn a_timed_out_call_poisons_the_connection_so_a_late_response_is_never_misread() {
+    let (client_end, mut server_end) = MemTransport::pair();
+    let client = Client::from_transport(Box::new(client_end), Duration::from_millis(50));
+    let (late_tx, late_rx) = std::sync::mpsc::channel::<()>();
+    let responder = std::thread::spawn(move || {
+        let Ok(Received::Frame(_)) = server_end.recv(Some(Duration::from_secs(10))) else {
+            panic!("expected the first request");
+        };
+        // Answer only after being told the client has already timed out:
+        // this Pong is exactly the stale in-flight response an unpoisoned
+        // client would misread as the answer to its NEXT request.
+        late_rx.recv().unwrap();
+        let _ = server_end.send(&encode_response(&Response::Pong));
+    });
+
+    assert!(!client.is_poisoned());
+    let err = client.ping().unwrap_err();
+    assert!(
+        matches!(err, SynopticError::DeadlineExceeded { .. }),
+        "got {err:?}"
+    );
+    assert!(client.is_poisoned(), "a timeout must poison the connection");
+
+    late_tx.send(()).unwrap();
+    responder.join().unwrap();
+
+    // The next call must fail loudly instead of pairing with the stale
+    // response (which would have returned Ok here).
+    let err = client.ping().unwrap_err();
+    assert!(
+        matches!(&err, SynopticError::Io { detail, .. } if detail.contains("poisoned")),
+        "a poisoned client must refuse further calls, got {err:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Column replacement: long-lived connections must notice
+
+/// `Server::register` may replace a column under the same name. An open
+/// connection's cached snapshot reader belongs to the OLD column; if it
+/// kept being used, the connection would pin the replaced hot-swap cell
+/// forever and seed the NEW column's cache with the old values (both
+/// cells start at generation 0, so the generation key cannot tell them
+/// apart).
+#[test]
+fn re_registering_a_column_refreshes_connection_readers_and_caches() {
+    let pool = MaintainedPool::new(1);
+    let col = exact_column(&pool, "c", &[1i64; 8]); // sum 8
+    let server = Server::new(ServeConfig::default());
+    server.register(col);
+    let mut t = mem_session(&server);
+    let q = RangeQuery::new(0, 7).unwrap();
+    let Response::Estimates(old) = call(&mut t, &batch("c", vec![q])) else {
+        panic!()
+    };
+    assert_eq!(old.values, vec![8.0]);
+    // Ask again so the answer sits in the old column's cache.
+    let Response::Estimates(old2) = call(&mut t, &batch("c", vec![q])) else {
+        panic!()
+    };
+    assert_eq!(old2.cached, vec![true]);
+
+    // Replace the column under the same name: same generation (0), same
+    // name, different data — the aliasing worst case.
+    let pool2 = MaintainedPool::new(1);
+    let col2 = exact_column(&pool2, "c", &[5i64; 8]); // sum 40
+    server.register(col2);
+
+    // The SAME connection answers from the replacement, freshly computed.
+    let Response::Estimates(fresh) = call(&mut t, &batch("c", vec![q])) else {
+        panic!()
+    };
+    assert_eq!(
+        fresh.values,
+        vec![40.0],
+        "an open connection must serve the replacement column"
+    );
+    assert_eq!(
+        fresh.cached,
+        vec![false],
+        "the replacement starts with an empty cache"
+    );
+
+    // A brand-new connection agrees — the old column's values never
+    // crossed into the new column's cache.
+    let mut t2 = mem_session(&server);
+    let Response::Estimates(fresh2) = call(&mut t2, &batch("c", vec![q])) else {
+        panic!()
+    };
+    assert_eq!(fresh2.values, vec![40.0]);
+    drop(pool);
+    drop(pool2);
+}
+
+// ---------------------------------------------------------------------------
+// Update batches: bounds refuse atomically, non-bounds failures are partial
+
+/// Past the atomic bounds pre-check, update application is sequential:
+/// a non-bounds mid-batch failure (here: the pool shut down, so the
+/// delta that fires the rebuild policy cannot schedule) leaves earlier
+/// deltas applied. The documented contract (docs/SERVING.md) is that the
+/// error is loud and the partial application is real — not rolled back,
+/// not hidden.
+#[test]
+fn non_bounds_mid_batch_update_failures_are_loud_and_partial() {
+    let pool = MaintainedPool::new(1);
+    let col = pool
+        .add_column(
+            "c",
+            &[0i64; 8],
+            exact_build(),
+            RebuildConfig::new(RebuildPolicy::EveryKUpdates(1)),
+        )
+        .unwrap();
+    let server = Server::new(ServeConfig::default());
+    server.register(col.clone());
+    let mut t = mem_session(&server);
+    // Kill the maintenance workers: the first delta applies, then fails
+    // to schedule the rebuild its policy fires.
+    pool.shutdown();
+    let Response::Error(err) = call(
+        &mut t,
+        &Request::Update {
+            column: "c".to_string(),
+            deltas: vec![(0, 1), (1, 1)],
+        },
+    ) else {
+        panic!("an update against a shut-down pool must fail loudly");
+    };
+    assert!(
+        matches!(err, SynopticError::WorkerUnavailable { .. }),
+        "got {err:?}"
+    );
+    // The failing delta landed before the scheduling failure; the one
+    // after it never ran. Partial — and visible, never silent.
+    assert_eq!(col.exact(RangeQuery::point(0)), 1);
+    assert_eq!(col.exact(RangeQuery::point(1)), 0);
 }
 
 // ---------------------------------------------------------------------------
