@@ -57,6 +57,10 @@ ${CAP} cargo test -q -p synoptic-api --offline
 ${CAP} cargo test -q -p synoptic-serve --offline
 ${CAP} cargo test -q -p synoptic-cli --test serve_cli --offline
 
+echo "==> overload suite: deadline sheds, tenant admission, degradation ladder, storm proof, retry/breaker sweep (capped at ${TEST_CAP}s)"
+${CAP} cargo test -q -p synoptic-serve --test overload --offline
+${CAP} cargo test -q -p synoptic-serve --test resilience --offline
+
 echo "==> segment suite: dirty-segment rebuilds + merge equivalence (capped at ${TEST_CAP}s)"
 ${CAP} cargo test -q -p synoptic-stream --test segments --offline
 ${CAP} cargo test -q -p synoptic-hist --test merge_equivalence --offline
@@ -73,6 +77,9 @@ ${CAP} cargo run -q --release --offline --example segments_bench
 
 echo "==> serve bench: mixed update+query throughput and wire latency over live TCP (capped at ${TEST_CAP}s)"
 ${CAP} cargo run -q --release --offline --example serve_bench
+
+echo "==> overload bench: goodput, shed rate, degraded fraction, p50/p99 at 1x/2x/4x offered load (capped at ${TEST_CAP}s)"
+${CAP} cargo run -q --release --offline --example overload_bench
 
 echo "==> full workspace tests (offline, capped at ${TEST_CAP}s)"
 ${CAP} cargo test -q --workspace --offline

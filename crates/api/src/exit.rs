@@ -37,9 +37,9 @@ pub const EXIT_REPLICATION: u8 = 8;
 /// ship was refused by a replica that granted a newer term.
 pub const EXIT_FENCED: u8 = 9;
 /// Exit code when the serving tier refused a request under admission
-/// control: queue depth, rebuild lag, or a per-connection quota exceeded
-/// its bound ([`SynopticError::ServerOverloaded`]). The refusal carries
-/// the bound and the observed value; back off and retry.
+/// control: queue depth, rebuild lag, or a tenant's token bucket
+/// exceeded its bound ([`SynopticError::ServerOverloaded`]). The refusal
+/// carries the bound and the observed value; back off and retry.
 pub const EXIT_REFUSED: u8 = 10;
 
 /// Maps an error to the exit code contract of `docs/ROBUSTNESS.md` §7.2.

@@ -36,6 +36,7 @@ pub use exit::{
     EXIT_REFUSED, EXIT_REPLICATION, EXIT_SUCCESS, EXIT_UNRECOVERABLE, EXIT_USAGE,
 };
 pub use wire::{
-    decode_request, decode_response, encode_request, encode_response, BatchAnswer, QueryBatch,
-    Request, Response, ServerStats,
+    decode_request, decode_request_with, decode_response, encode_request, encode_request_with,
+    encode_response, encode_response_extended, BatchAnswer, DegradeRung, QueryBatch, Request,
+    RequestHeader, Response, ServerStats,
 };

@@ -43,6 +43,98 @@ const TYPE_UPDATED: u8 = 6;
 const TYPE_STATS: u8 = 7;
 const TYPE_STATS_RESP: u8 = 8;
 const TYPE_ERROR: u8 = 9;
+const TYPE_HEADERED: u8 = 10;
+const TYPE_ESTIMATES_DEGRADED: u8 = 11;
+const TYPE_STATS_RESP2: u8 = 12;
+
+/// Optional per-request metadata riding ahead of any [`Request`].
+///
+/// The header is strictly additive to the PR-9 wire format: a request
+/// with an **empty** header encodes to the exact same bytes an
+/// un-headered client produces (no new frame type, no extra fields), and
+/// every old frame decodes to the request plus a default header. A
+/// non-empty header wraps the request in a `TYPE_HEADERED` frame that
+/// old servers refuse loudly as an unknown type — never misread.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RequestHeader {
+    /// Remaining client deadline in milliseconds. The server converts it
+    /// into a per-request `Budget` deadline and sheds already-expired
+    /// work before execution (`0` means "expired on arrival": the
+    /// request is always shed, with `DeadlineExceeded` provenance).
+    pub deadline_ms: Option<u64>,
+    /// Tenant identity for token-bucket admission. Requests without one
+    /// share the default `""` tenant.
+    pub tenant: Option<String>,
+    /// Whether the client accepts a degraded answer (cache hit,
+    /// last-good synopsis, or naive metadata estimate — see
+    /// [`DegradeRung`]) instead of a refusal when admission would shed
+    /// the estimate.
+    pub degrade_ok: bool,
+}
+
+impl RequestHeader {
+    /// Whether every field is at its default — an empty header encodes
+    /// to the un-headered (PR-9) frame bytes.
+    pub fn is_empty(&self) -> bool {
+        self.deadline_ms.is_none() && self.tenant.is_none() && !self.degrade_ok
+    }
+
+    /// The tenant name admission control buckets this request under.
+    pub fn tenant_or_default(&self) -> &str {
+        self.tenant.as_deref().unwrap_or("")
+    }
+}
+
+/// Which rung of the serving-side degradation ladder answered a batch
+/// whose request set [`RequestHeader::degrade_ok`] while admission would
+/// otherwise have refused it. Rungs descend in answer quality; every
+/// degraded answer carries its rung so it can never be mistaken for a
+/// normally-served one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeRung {
+    /// Every range was answered from the generation-keyed cache at the
+    /// pinned generation — values are as fresh as a normal answer, but
+    /// nothing was computed under overload.
+    CacheHit,
+    /// Computed from the last-good (pinned) synopsis even though its
+    /// rebuild lag exceeds the admission bound; the batch `lag` field
+    /// says by how much.
+    LastGood,
+    /// A naive metadata estimate: the column's total mass spread
+    /// uniformly over the domain. The cheapest possible answer, taken
+    /// when computing from the synopsis is exactly what overload must
+    /// avoid.
+    Naive,
+}
+
+impl DegradeRung {
+    fn tag(self) -> u8 {
+        match self {
+            DegradeRung::CacheHit => 0,
+            DegradeRung::LastGood => 1,
+            DegradeRung::Naive => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self> {
+        Ok(match tag {
+            0 => DegradeRung::CacheHit,
+            1 => DegradeRung::LastGood,
+            2 => DegradeRung::Naive,
+            other => return Err(corrupt(format!("bad degrade rung tag {other}"))),
+        })
+    }
+}
+
+impl std::fmt::Display for DegradeRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DegradeRung::CacheHit => "cache-hit",
+            DegradeRung::LastGood => "last-good",
+            DegradeRung::Naive => "naive",
+        })
+    }
+}
 
 /// Many ranges against one column, answered from one snapshot pin.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,6 +199,11 @@ pub struct BatchAnswer {
     /// `(column, generation, range)` key seen before), `false` when the
     /// pinned synopsis computed it fresh.
     pub cached: Vec<bool>,
+    /// The degradation-ladder rung that produced this answer, when the
+    /// server shed normal execution and the request allowed degradation
+    /// (`None` for normally-served batches). Travels in a dedicated
+    /// frame type, so only headered (PR-10+) clients ever receive it.
+    pub rung: Option<DegradeRung>,
 }
 
 impl BatchAnswer {
@@ -155,10 +252,44 @@ pub struct ServerStats {
     /// set, making a stale-generation hit impossible.
     pub cache_invalidations: u64,
     /// Requests refused by admission control (queue depth, rebuild lag,
-    /// or quota) since the server started.
+    /// or tenant quota) since the server started.
     pub refused: u64,
     /// Connections accepted since the server started.
     pub connections: u64,
+    /// Requests shed before execution because their propagated deadline
+    /// had already expired on arrival.
+    pub deadline_sheds: u64,
+    /// Estimates answered by the degradation ladder (any rung) instead
+    /// of being refused.
+    pub degraded: u64,
+    /// Distinct tenants the token-bucket admission layer has seen.
+    pub tenants: u64,
+    /// Median estimate-request service latency in microseconds, derived
+    /// from the server's log2-bucketed histogram (upper bucket bound).
+    pub estimate_p50_us: u64,
+    /// 99th-percentile estimate-request service latency in microseconds.
+    pub estimate_p99_us: u64,
+    /// Median update-request service latency in microseconds.
+    pub update_p50_us: u64,
+    /// 99th-percentile update-request service latency in microseconds.
+    pub update_p99_us: u64,
+}
+
+impl ServerStats {
+    /// The seven overload/latency meters added in the extended
+    /// (`TYPE_STATS_RESP2`) stats frame, in wire order. The legacy frame
+    /// omits them; a legacy decode leaves them zero.
+    fn extended_fields(&self) -> [u64; 7] {
+        [
+            self.deadline_sheds,
+            self.degraded,
+            self.tenants,
+            self.estimate_p50_us,
+            self.estimate_p99_us,
+            self.update_p50_us,
+            self.update_p99_us,
+        ]
+    }
 }
 
 /// A server response. Every request gets exactly one, in order.
@@ -611,36 +742,40 @@ fn open_frame(bytes: &[u8]) -> Result<(u8, Reader<'_>)> {
     ))
 }
 
-/// Encodes a request into its checksummed byte representation.
-pub fn encode_request(req: &Request) -> Vec<u8> {
+fn request_kind(req: &Request) -> u8 {
     match req {
-        Request::Ping => frame(TYPE_PING, |_| {}),
-        Request::EstimateBatch(batch) => frame(TYPE_ESTIMATE_BATCH, |out| {
+        Request::Ping => TYPE_PING,
+        Request::EstimateBatch(_) => TYPE_ESTIMATE_BATCH,
+        Request::Update { .. } => TYPE_UPDATE,
+        Request::Stats { .. } => TYPE_STATS,
+    }
+}
+
+fn put_request_body(out: &mut Vec<u8>, req: &Request) {
+    match req {
+        Request::Ping => {}
+        Request::EstimateBatch(batch) => {
             put_str(out, &batch.column);
             out.extend_from_slice(&(batch.ranges.len() as u32).to_le_bytes());
             for q in &batch.ranges {
                 out.extend_from_slice(&(q.lo as u64).to_le_bytes());
                 out.extend_from_slice(&(q.hi as u64).to_le_bytes());
             }
-        }),
-        Request::Update { column, deltas } => frame(TYPE_UPDATE, |out| {
+        }
+        Request::Update { column, deltas } => {
             put_str(out, column);
             out.extend_from_slice(&(deltas.len() as u32).to_le_bytes());
             for (i, d) in deltas {
                 out.extend_from_slice(&i.to_le_bytes());
                 out.extend_from_slice(&d.to_le_bytes());
             }
-        }),
-        Request::Stats { column } => frame(TYPE_STATS, |out| put_str(out, column)),
+        }
+        Request::Stats { column } => put_str(out, column),
     }
 }
 
-/// Decodes and validates one request frame. Any failure — bad magic,
-/// CRC mismatch, truncation, an unknown or response-side type — refuses
-/// the bytes.
-pub fn decode_request(bytes: &[u8]) -> Result<Request> {
-    let (kind, mut r) = open_frame(bytes)?;
-    let req = match kind {
+fn read_request_body(kind: u8, r: &mut Reader<'_>) -> Result<Request> {
+    Ok(match kind {
         TYPE_PING => Request::Ping,
         TYPE_ESTIMATE_BATCH => {
             let column = r.str()?;
@@ -664,126 +799,272 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request> {
         }
         TYPE_STATS => Request::Stats { column: r.str()? },
         other => return Err(corrupt(format!("unknown request type {other}"))),
-    };
-    r.done()?;
-    Ok(req)
+    })
 }
 
-/// Encodes a response into its checksummed byte representation.
+const HEADER_HAS_DEADLINE: u8 = 1;
+const HEADER_HAS_TENANT: u8 = 2;
+const HEADER_DEGRADE_OK: u8 = 4;
+
+/// Encodes a request into its checksummed byte representation (no
+/// header — the PR-9 frame bytes, unchanged).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    frame(request_kind(req), |out| put_request_body(out, req))
+}
+
+/// Encodes a request with its header. An **empty** header produces byte
+/// output identical to [`encode_request`] — the back-compat guarantee —
+/// while a non-empty one wraps the request in a `TYPE_HEADERED` frame:
+///
+/// ```text
+/// headered: flags u8 | [deadline_ms u64] | [tenant str] | inner type u8 | inner payload
+/// ```
+pub fn encode_request_with(header: &RequestHeader, req: &Request) -> Vec<u8> {
+    if header.is_empty() {
+        return encode_request(req);
+    }
+    frame(TYPE_HEADERED, |out| {
+        let mut flags = 0u8;
+        if header.deadline_ms.is_some() {
+            flags |= HEADER_HAS_DEADLINE;
+        }
+        if header.tenant.is_some() {
+            flags |= HEADER_HAS_TENANT;
+        }
+        if header.degrade_ok {
+            flags |= HEADER_DEGRADE_OK;
+        }
+        out.push(flags);
+        if let Some(ms) = header.deadline_ms {
+            out.extend_from_slice(&ms.to_le_bytes());
+        }
+        if let Some(tenant) = &header.tenant {
+            put_str(out, tenant);
+        }
+        out.push(request_kind(req));
+        put_request_body(out, req);
+    })
+}
+
+/// Decodes and validates one request frame. Any failure — bad magic,
+/// CRC mismatch, truncation, an unknown or response-side type — refuses
+/// the bytes. A headered frame decodes to its inner request (use
+/// [`decode_request_with`] to keep the header).
+pub fn decode_request(bytes: &[u8]) -> Result<Request> {
+    decode_request_with(bytes).map(|(_, req)| req)
+}
+
+/// Decodes one request frame together with its header. Un-headered
+/// (PR-9) frames decode to a default header, so a server upgraded past
+/// the header change keeps serving old clients unchanged.
+pub fn decode_request_with(bytes: &[u8]) -> Result<(RequestHeader, Request)> {
+    let (kind, mut r) = open_frame(bytes)?;
+    let (header, req) = if kind == TYPE_HEADERED {
+        let flags = r.u8()?;
+        if flags & !(HEADER_HAS_DEADLINE | HEADER_HAS_TENANT | HEADER_DEGRADE_OK) != 0 {
+            return Err(corrupt(format!("unknown request header flags {flags:#x}")));
+        }
+        let deadline_ms = if flags & HEADER_HAS_DEADLINE != 0 {
+            Some(r.u64()?)
+        } else {
+            None
+        };
+        let tenant = if flags & HEADER_HAS_TENANT != 0 {
+            Some(r.str()?)
+        } else {
+            None
+        };
+        let degrade_ok = flags & HEADER_DEGRADE_OK != 0;
+        let inner = r.u8()?;
+        if inner == TYPE_HEADERED {
+            return Err(corrupt("nested headered request"));
+        }
+        (
+            RequestHeader {
+                deadline_ms,
+                tenant,
+                degrade_ok,
+            },
+            read_request_body(inner, &mut r)?,
+        )
+    } else {
+        (RequestHeader::default(), read_request_body(kind, &mut r)?)
+    };
+    r.done()?;
+    Ok((header, req))
+}
+
+fn put_batch_answer(out: &mut Vec<u8>, b: &BatchAnswer) {
+    out.extend_from_slice(&b.generation.to_le_bytes());
+    put_source(out, &b.source);
+    out.extend_from_slice(&b.lag.to_le_bytes());
+    put_outcome_opt(out, &b.outcome);
+    match &b.segment_outcomes {
+        None => out.push(0),
+        Some(outcomes) => {
+            out.push(1);
+            out.extend_from_slice(&(outcomes.len() as u32).to_le_bytes());
+            for o in outcomes {
+                put_outcome(out, o);
+            }
+        }
+    }
+    out.extend_from_slice(&(b.values.len() as u32).to_le_bytes());
+    for (v, cached) in b.values.iter().zip(&b.cached) {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+        out.push(u8::from(*cached));
+    }
+}
+
+fn put_legacy_stats(out: &mut Vec<u8>, s: &ServerStats) {
+    put_str(out, &s.column);
+    for v in [
+        s.n,
+        s.generation,
+        s.updates,
+        s.rebuilds,
+        s.failed_rebuilds,
+        s.updates_since_rebuild,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_invalidations,
+        s.refused,
+        s.connections,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Encodes a response into its checksummed byte representation, in the
+/// frame dialect a **pre-header (PR-9) client** understands: stats use
+/// the legacy frame (the overload/latency meters are dropped). The one
+/// exception is a degraded batch answer (`rung` set): it has no legacy
+/// representation and always takes the degraded frame type — servers
+/// only produce one in reply to a headered request, so an old client
+/// can never receive it.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     match resp {
         Response::Pong => frame(TYPE_PONG, |_| {}),
-        Response::Estimates(b) => frame(TYPE_ESTIMATES, |out| {
-            out.extend_from_slice(&b.generation.to_le_bytes());
-            put_source(out, &b.source);
-            out.extend_from_slice(&b.lag.to_le_bytes());
-            put_outcome_opt(out, &b.outcome);
-            match &b.segment_outcomes {
-                None => out.push(0),
-                Some(outcomes) => {
-                    out.push(1);
-                    out.extend_from_slice(&(outcomes.len() as u32).to_le_bytes());
-                    for o in outcomes {
-                        put_outcome(out, o);
-                    }
-                }
-            }
-            out.extend_from_slice(&(b.values.len() as u32).to_le_bytes());
-            for (v, cached) in b.values.iter().zip(&b.cached) {
-                out.extend_from_slice(&v.to_bits().to_le_bytes());
-                out.push(u8::from(*cached));
-            }
-        }),
+        Response::Estimates(b) => match b.rung {
+            None => frame(TYPE_ESTIMATES, |out| put_batch_answer(out, b)),
+            Some(rung) => frame(TYPE_ESTIMATES_DEGRADED, |out| {
+                out.push(rung.tag());
+                put_batch_answer(out, b);
+            }),
+        },
         Response::Updated { applied, scheduled } => frame(TYPE_UPDATED, |out| {
             out.extend_from_slice(&applied.to_le_bytes());
             out.extend_from_slice(&scheduled.to_le_bytes());
         }),
-        Response::Stats(s) => frame(TYPE_STATS_RESP, |out| {
-            put_str(out, &s.column);
-            for v in [
-                s.n,
-                s.generation,
-                s.updates,
-                s.rebuilds,
-                s.failed_rebuilds,
-                s.updates_since_rebuild,
-                s.cache_hits,
-                s.cache_misses,
-                s.cache_invalidations,
-                s.refused,
-                s.connections,
-            ] {
-                out.extend_from_slice(&v.to_le_bytes());
-            }
-        }),
+        Response::Stats(s) => frame(TYPE_STATS_RESP, |out| put_legacy_stats(out, s)),
         Response::Error(e) => frame(TYPE_ERROR, |out| put_error(out, e)),
     }
 }
 
-/// Decodes and validates one response frame.
+/// Encodes a response in the extended dialect for a client that sent a
+/// headered request: stats carry the overload/latency meters
+/// (`TYPE_STATS_RESP2`). Every other variant encodes exactly as
+/// [`encode_response`]. Servers pick the dialect per request, so a
+/// pre-header client only ever sees frame types it can decode.
+pub fn encode_response_extended(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Stats(s) => frame(TYPE_STATS_RESP2, |out| {
+            put_legacy_stats(out, s);
+            for v in s.extended_fields() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }),
+        other => encode_response(other),
+    }
+}
+
+fn read_batch_answer(r: &mut Reader<'_>, rung: Option<DegradeRung>) -> Result<BatchAnswer> {
+    let generation = r.u64()?;
+    let source = read_source(r)?;
+    let lag = r.u64()?;
+    let outcome = read_outcome_opt(r)?;
+    let segment_outcomes = match r.u8()? {
+        0 => None,
+        1 => {
+            let count = r.count(1)?;
+            Some(
+                (0..count)
+                    .map(|_| read_outcome(r))
+                    .collect::<Result<Vec<_>>>()?,
+            )
+        }
+        other => return Err(corrupt(format!("bad segment-outcomes flag {other}"))),
+    };
+    let count = r.count(9)?;
+    let mut values = Vec::with_capacity(count);
+    let mut cached = Vec::with_capacity(count);
+    for _ in 0..count {
+        values.push(r.f64()?);
+        cached.push(match r.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(corrupt(format!("bad cached flag {other}"))),
+        });
+    }
+    Ok(BatchAnswer {
+        generation,
+        source,
+        lag,
+        outcome,
+        segment_outcomes,
+        values,
+        cached,
+        rung,
+    })
+}
+
+fn read_legacy_stats(r: &mut Reader<'_>) -> Result<ServerStats> {
+    let column = r.str()?;
+    let mut next = || r.u64();
+    Ok(ServerStats {
+        column,
+        n: next()?,
+        generation: next()?,
+        updates: next()?,
+        rebuilds: next()?,
+        failed_rebuilds: next()?,
+        updates_since_rebuild: next()?,
+        cache_hits: next()?,
+        cache_misses: next()?,
+        cache_invalidations: next()?,
+        refused: next()?,
+        connections: next()?,
+        ..ServerStats::default()
+    })
+}
+
+/// Decodes and validates one response frame (either dialect: legacy
+/// PR-9 frames and the extended degraded-answer / extended-stats
+/// frames all decode).
 pub fn decode_response(bytes: &[u8]) -> Result<Response> {
     let (kind, mut r) = open_frame(bytes)?;
     let resp = match kind {
         TYPE_PONG => Response::Pong,
-        TYPE_ESTIMATES => {
-            let generation = r.u64()?;
-            let source = read_source(&mut r)?;
-            let lag = r.u64()?;
-            let outcome = read_outcome_opt(&mut r)?;
-            let segment_outcomes = match r.u8()? {
-                0 => None,
-                1 => {
-                    let count = r.count(1)?;
-                    Some(
-                        (0..count)
-                            .map(|_| read_outcome(&mut r))
-                            .collect::<Result<Vec<_>>>()?,
-                    )
-                }
-                other => return Err(corrupt(format!("bad segment-outcomes flag {other}"))),
-            };
-            let count = r.count(9)?;
-            let mut values = Vec::with_capacity(count);
-            let mut cached = Vec::with_capacity(count);
-            for _ in 0..count {
-                values.push(r.f64()?);
-                cached.push(match r.u8()? {
-                    0 => false,
-                    1 => true,
-                    other => return Err(corrupt(format!("bad cached flag {other}"))),
-                });
-            }
-            Response::Estimates(BatchAnswer {
-                generation,
-                source,
-                lag,
-                outcome,
-                segment_outcomes,
-                values,
-                cached,
-            })
+        TYPE_ESTIMATES => Response::Estimates(read_batch_answer(&mut r, None)?),
+        TYPE_ESTIMATES_DEGRADED => {
+            let rung = DegradeRung::from_tag(r.u8()?)?;
+            Response::Estimates(read_batch_answer(&mut r, Some(rung))?)
         }
         TYPE_UPDATED => Response::Updated {
             applied: r.u64()?,
             scheduled: r.u64()?,
         },
-        TYPE_STATS_RESP => {
-            let column = r.str()?;
-            let mut next = || r.u64();
-            Response::Stats(ServerStats {
-                column,
-                n: next()?,
-                generation: next()?,
-                updates: next()?,
-                rebuilds: next()?,
-                failed_rebuilds: next()?,
-                updates_since_rebuild: next()?,
-                cache_hits: next()?,
-                cache_misses: next()?,
-                cache_invalidations: next()?,
-                refused: next()?,
-                connections: next()?,
-            })
+        TYPE_STATS_RESP => Response::Stats(read_legacy_stats(&mut r)?),
+        TYPE_STATS_RESP2 => {
+            let mut stats = read_legacy_stats(&mut r)?;
+            stats.deadline_sheds = r.u64()?;
+            stats.degraded = r.u64()?;
+            stats.tenants = r.u64()?;
+            stats.estimate_p50_us = r.u64()?;
+            stats.estimate_p99_us = r.u64()?;
+            stats.update_p50_us = r.u64()?;
+            stats.update_p99_us = r.u64()?;
+            Response::Stats(stats)
         }
         TYPE_ERROR => Response::Error(read_error(&mut r)?),
         other => return Err(corrupt(format!("unknown response type {other}"))),
@@ -845,6 +1126,7 @@ mod tests {
                 segment_outcomes: Some(vec![sample_outcome(), BuildOutcome::direct("sap0", 1, 2)]),
                 values: vec![1.5, -0.25, 1e12],
                 cached: vec![true, false, true],
+                rung: None,
             }),
             Response::Estimates(BatchAnswer {
                 generation: 0,
@@ -854,6 +1136,7 @@ mod tests {
                 segment_outcomes: None,
                 values: vec![],
                 cached: vec![],
+                rung: None,
             }),
             Response::Updated {
                 applied: 100,
@@ -872,6 +1155,7 @@ mod tests {
                 cache_invalidations: 12,
                 refused: 4,
                 connections: 2,
+                ..ServerStats::default()
             }),
             Response::Error(SynopticError::ServerOverloaded {
                 what: "rebuild lag".into(),
@@ -1009,6 +1293,7 @@ mod tests {
             segment_outcomes: None,
             values: vec![1.0, 2.0],
             cached: vec![false, true],
+            rung: None,
         };
         let envelopes = batch.envelopes();
         assert_eq!(envelopes.len(), 2);
@@ -1020,15 +1305,248 @@ mod tests {
         }
     }
 
+    fn sample_headers() -> Vec<RequestHeader> {
+        vec![
+            RequestHeader {
+                deadline_ms: Some(250),
+                tenant: Some("analytics".into()),
+                degrade_ok: true,
+            },
+            RequestHeader {
+                deadline_ms: Some(0),
+                tenant: None,
+                degrade_ok: false,
+            },
+            RequestHeader {
+                deadline_ms: None,
+                tenant: Some("ingest".into()),
+                degrade_ok: false,
+            },
+            RequestHeader {
+                deadline_ms: None,
+                tenant: None,
+                degrade_ok: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn headered_requests_round_trip_with_their_header() {
+        for header in sample_headers() {
+            for req in sample_requests() {
+                let bytes = encode_request_with(&header, &req);
+                let (back_header, back_req) = decode_request_with(&bytes).unwrap();
+                assert_eq!(back_header, header);
+                assert_eq!(back_req, req);
+                // The header-blind decoder still accepts the frame.
+                assert_eq!(decode_request(&bytes).unwrap(), req);
+            }
+        }
+    }
+
+    /// The back-compat contract, from the encoding side: an empty header
+    /// adds nothing — the frame is byte-for-byte what a pre-header client
+    /// sends, and decodes everywhere a pre-header frame does.
+    #[test]
+    fn an_empty_header_encodes_to_the_unheadered_frame_bytes() {
+        for req in sample_requests() {
+            let bare = encode_request(&req);
+            let headered = encode_request_with(&RequestHeader::default(), &req);
+            assert_eq!(bare, headered, "empty header must not change the bytes");
+            let (header, back) = decode_request_with(&bare).unwrap();
+            assert!(header.is_empty());
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn degraded_answers_round_trip_their_rung() {
+        for rung in [
+            DegradeRung::CacheHit,
+            DegradeRung::LastGood,
+            DegradeRung::Naive,
+        ] {
+            let resp = Response::Estimates(BatchAnswer {
+                generation: 7,
+                source: AnswerSource::FallbackNaive,
+                lag: 90,
+                outcome: None,
+                segment_outcomes: None,
+                values: vec![12.5],
+                cached: vec![false],
+                rung: Some(rung),
+            });
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn extended_stats_round_trip_and_the_legacy_dialect_drops_them() {
+        let stats = ServerStats {
+            column: "price".into(),
+            n: 64,
+            generation: 3,
+            refused: 4,
+            deadline_sheds: 11,
+            degraded: 6,
+            tenants: 3,
+            estimate_p50_us: 128,
+            estimate_p99_us: 4096,
+            update_p50_us: 64,
+            update_p99_us: 512,
+            ..ServerStats::default()
+        };
+        let resp = Response::Stats(stats.clone());
+        // Extended dialect: everything survives.
+        assert_eq!(
+            decode_response(&encode_response_extended(&resp)).unwrap(),
+            resp
+        );
+        // Legacy dialect: the PR-9 fields survive, the meters zero out —
+        // exactly what a pre-header client would have seen.
+        let Response::Stats(legacy) = decode_response(&encode_response(&resp)).unwrap() else {
+            panic!("stats frame decoded to a non-stats response");
+        };
+        assert_eq!(legacy.column, stats.column);
+        assert_eq!(legacy.refused, stats.refused);
+        assert_eq!(legacy.extended_fields(), [0; 7]);
+        // Non-stats responses are dialect-independent.
+        assert_eq!(
+            encode_response_extended(&Response::Pong),
+            encode_response(&Response::Pong)
+        );
+    }
+
+    /// Golden PR-9 frames, captured byte-for-byte from the codec **before**
+    /// the header change. Every one must still decode to the same value,
+    /// and re-encode to the identical bytes — the proof that a pre-PR-10
+    /// peer's wire traffic is untouched by this upgrade.
+    #[test]
+    fn pr9_golden_frames_decode_and_re_encode_identically() {
+        fn unhex(s: &str) -> Vec<u8> {
+            (0..s.len())
+                .step_by(2)
+                .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+                .collect()
+        }
+        let golden_requests = [
+            ("53515031015533c617", Request::Ping),
+            (
+                "53515031030500707269636502000000020000000000000009000000000000000400000000000000040000000000000040e7a4a5",
+                Request::EstimateBatch(QueryBatch::new(
+                    "price",
+                    vec![RangeQuery::new(2, 9).unwrap(), RangeQuery::point(4)],
+                )),
+            ),
+            (
+                "53515031050500707269636502000000010000000000000005000000000000000900000000000000fdfffffffffffffff99703a0",
+                Request::Update {
+                    column: "price".into(),
+                    deltas: vec![(1, 5), (9, -3)],
+                },
+            ),
+            (
+                "535150310705007072696365d4ed495d",
+                Request::Stats {
+                    column: "price".into(),
+                },
+            ),
+        ];
+        for (hex, expected) in golden_requests {
+            let bytes = unhex(hex);
+            let (header, req) = decode_request_with(&bytes).unwrap();
+            assert!(header.is_empty(), "golden frames carry no header");
+            assert_eq!(req, expected);
+            assert_eq!(encode_request(&req), bytes, "re-encode must be identical");
+        }
+        let golden_responses = [
+            ("5351503102ef62cf8e", Response::Pong),
+            (
+                "53515031040300000000000000000200000000000000000002000000000000000000f83f00000000000000004001a177c802",
+                Response::Estimates(BatchAnswer {
+                    generation: 3,
+                    source: AnswerSource::Primary,
+                    lag: 2,
+                    outcome: None,
+                    segment_outcomes: None,
+                    values: vec![1.5, 2.0],
+                    cached: vec![false, true],
+                    rung: None,
+                }),
+            ),
+            (
+                "5351503106020000000000000001000000000000001e3f851b",
+                Response::Updated {
+                    applied: 2,
+                    scheduled: 1,
+                },
+            ),
+            (
+                "535150310805007072696365400000000000000003000000000000000a00000000000000020000000000000000000000000000000400000000000000070000000000000005000000000000000100000000000000000000000000000002000000000000003a02f465",
+                Response::Stats(ServerStats {
+                    column: "price".into(),
+                    n: 64,
+                    generation: 3,
+                    updates: 10,
+                    rebuilds: 2,
+                    failed_rebuilds: 0,
+                    updates_since_rebuild: 4,
+                    cache_hits: 7,
+                    cache_misses: 5,
+                    cache_invalidations: 1,
+                    refused: 0,
+                    connections: 2,
+                    ..ServerStats::default()
+                }),
+            ),
+            (
+                "5351503109170b00717565756520646570746809000000000000000800000000000000b827e68f",
+                Response::Error(SynopticError::ServerOverloaded {
+                    what: "queue depth".into(),
+                    observed: 9,
+                    limit: 8,
+                }),
+            ),
+        ];
+        for (hex, expected) in golden_responses {
+            let bytes = unhex(hex);
+            assert_eq!(decode_response(&bytes).unwrap(), expected);
+            assert_eq!(
+                encode_response(&expected),
+                bytes,
+                "re-encode must be identical"
+            );
+        }
+    }
+
     /// The repl wire discipline, applied here: flip any byte or truncate
     /// at any length and the frame must refuse to decode — never a
-    /// partial or garbled result.
+    /// partial or garbled result. Headered requests and extended
+    /// responses are held to the same bar as the legacy frames.
     #[test]
     fn corruption_anywhere_is_refused() {
+        let header = RequestHeader {
+            deadline_ms: Some(250),
+            tenant: Some("analytics".into()),
+            degrade_ok: true,
+        };
         let frames: Vec<Vec<u8>> = sample_requests()
             .iter()
             .map(encode_request)
+            .chain(
+                sample_requests()
+                    .iter()
+                    .map(|r| encode_request_with(&header, r)),
+            )
             .chain(sample_responses().iter().map(|r| encode_response(r)))
+            .chain(std::iter::once(encode_response_extended(&Response::Stats(
+                ServerStats {
+                    column: "price".into(),
+                    estimate_p99_us: 4096,
+                    ..ServerStats::default()
+                },
+            ))))
             .collect();
         for bytes in frames {
             let decodes = |b: &[u8]| decode_request(b).is_ok() || decode_response(b).is_ok();

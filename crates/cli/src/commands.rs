@@ -98,7 +98,8 @@ USAGE:
                     --listen HOST:PORT [--port-file FILE] [--column NAME] \\
                     [--workers W] [--every-k K | --drift F] \\
                     [--max-batch N] [--max-queue-depth N] \\
-                    [--max-rebuild-lag N] [--ops-quota N] \\
+                    [--max-rebuild-lag N] [--tenant-burst N] \\
+                    [--tenant-refill-ms MS] \\
                     [--cache-capacity N] [--max-conns N] \\
                     [--deadline-ms MS] [--max-cells N]
   synoptic ship     --wal-dir DIR --to HOST:PORT [--column NAME] \\
@@ -136,9 +137,13 @@ SERVE:   binds a TCP listener and answers the checksummed SQP1 query
          0 disables) is invalidated wholesale by every hot-swap. Admission
          control refuses loudly (exit 10) when in-flight requests exceed
          --max-queue-depth, a column's unrebuilt updates exceed
-         --max-rebuild-lag, a connection spends its --ops-quota, or
-         concurrent connections exceed --max-conns. --port-file publishes
-         the bound port (for --listen HOST:0).
+         --max-rebuild-lag, a tenant's token bucket (--tenant-burst
+         tokens, one back every --tenant-refill-ms) runs dry, or
+         concurrent connections exceed --max-conns. Requests may carry a
+         deadline, a tenant name, and a degrade-ok flag; expired work is
+         shed before execution and degrade-ok estimates are answered
+         from a stamped fallback ladder instead of refused. --port-file
+         publishes the bound port (for --listen HOST:0).
 DURABILITY: with --wal-dir every acknowledged update is appended to a
          checksummed write-ahead journal before it touches memory, and each
          successful rebuild commits an exact snapshot + WAL mark to
@@ -555,10 +560,13 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
     if max_queue_depth == 0 {
         return Err(CliError::usage("--max-queue-depth must be at least 1"));
     }
-    let ops_quota: Option<u64> = f.parsed_opt("ops-quota").usage()?;
-    if ops_quota == Some(0) {
-        return Err(CliError::usage("--ops-quota must be at least 1"));
+    let tenant_burst: Option<u64> = f.parsed_opt("tenant-burst").usage()?;
+    if tenant_burst == Some(0) {
+        return Err(CliError::usage("--tenant-burst must be at least 1"));
     }
+    let tenant_refill_ms: u64 = f
+        .parsed_or("tenant-refill-ms", defaults.tenant_refill_ms)
+        .usage()?;
     let cache_capacity: usize = f
         .parsed_or("cache-capacity", defaults.cache_capacity)
         .usage()?;
@@ -570,7 +578,8 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
         max_batch,
         max_queue_depth,
         max_rebuild_lag: f.parsed_opt("max-rebuild-lag").usage()?,
-        ops_quota,
+        tenant_burst,
+        tenant_refill_ms,
         cache_capacity,
         max_connections,
         ..defaults

@@ -9,6 +9,7 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Output, Stdio};
 use std::time::{Duration, Instant};
 
+use synoptic_api::wire::RequestHeader;
 use synoptic_api::{exit_code, EXIT_REFUSED};
 use synoptic_core::{RangeQuery, SynopticError};
 use synoptic_serve::Client;
@@ -161,37 +162,66 @@ fn serve_answers_batches_and_survives_kill_dash_nine_via_restart() {
     let _ = std::fs::remove_file(&port_file);
 }
 
-/// Admission refusals cross the wire structurally: a spent per-connection
-/// quota refuses with `ServerOverloaded` carrying the observed count and
-/// the limit, mapping to exit code 10 — and a fresh connection starts a
-/// fresh quota.
+/// Admission refusals cross the wire structurally: a dry tenant token
+/// bucket refuses with `ServerOverloaded` carrying the observed count
+/// and the limit, mapping to exit code 10. The bucket follows the
+/// TENANT, not the connection — reconnecting buys nothing — while pings
+/// (liveness) and other tenants keep working.
 #[test]
-fn serve_quota_refusal_crosses_the_wire_with_exit_code_10() {
+fn serve_tenant_bucket_refusal_crosses_the_wire_with_exit_code_10() {
     let col = tmp("synoptic_serve_quota_col.txt");
     let port_file = tmp("synoptic_serve_quota_port");
     let col_s = col.to_str().unwrap();
     ok(&["generate", "--n", "32", "--seed", "5", "--out", col_s]);
 
-    let (mut server, addr) = spawn_server(col_s, &port_file, &["--ops-quota", "2"]);
+    // A refill interval far beyond the test's lifetime: the burst is all
+    // a tenant gets.
+    let (mut server, addr) = spawn_server(
+        col_s,
+        &port_file,
+        &["--tenant-burst", "2", "--tenant-refill-ms", "600000"],
+    );
     let client = Client::connect_with_timeout(&addr, Duration::from_secs(5)).expect("connect");
-    client.ping().expect("first op within quota");
-    client.ping().expect("second op within quota");
-    let err = client.ping().expect_err("third op must be refused");
+    let q = vec![RangeQuery::new(0, 31).unwrap()];
+    client
+        .estimate_batch("price", q.clone())
+        .expect("first estimate within the burst");
+    client
+        .estimate_batch("price", q.clone())
+        .expect("second estimate within the burst");
+    let err = client
+        .estimate_batch("price", q.clone())
+        .expect_err("third estimate must be refused");
     match &err {
         SynopticError::ServerOverloaded {
             what,
             observed,
             limit,
         } => {
-            assert_eq!(what, "connection quota");
+            assert!(what.contains("token bucket"), "got what={what:?}");
             assert_eq!((*observed, *limit), (3, 2));
         }
         other => panic!("expected ServerOverloaded, got {other}"),
     }
     assert_eq!(exit_code(&err), EXIT_REFUSED);
 
+    // Reconnecting does not refresh the bucket: admission follows the
+    // tenant (un-headered clients share the default tenant).
     let fresh = Client::connect_with_timeout(&addr, Duration::from_secs(5)).expect("reconnect");
-    fresh.ping().expect("a fresh connection has a fresh quota");
+    let err = fresh
+        .estimate_batch("price", q.clone())
+        .expect_err("the tenant bucket is still dry on a fresh connection");
+    assert!(matches!(err, SynopticError::ServerOverloaded { .. }));
+    // Liveness probes never spend tokens.
+    fresh.ping().expect("pings are exempt from metering");
+    // A different tenant has its own (full) bucket.
+    let header = RequestHeader {
+        tenant: Some("other".to_string()),
+        ..RequestHeader::default()
+    };
+    fresh
+        .estimate_batch_with(&header, "price", q)
+        .expect("another tenant is unaffected");
 
     server.kill().expect("stop the server");
     server.wait().expect("reap the server");
@@ -228,8 +258,8 @@ fn serve_flag_validation_exits_with_usage_code() {
             "--max-queue-depth",
         ),
         (
-            &["--listen", "127.0.0.1:0", "--ops-quota", "0"],
-            "--ops-quota",
+            &["--listen", "127.0.0.1:0", "--tenant-burst", "0"],
+            "--tenant-burst",
         ),
         (
             &["--listen", "127.0.0.1:0", "--max-conns", "0"],

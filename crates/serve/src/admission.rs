@@ -1,0 +1,190 @@
+//! Per-tenant token-bucket admission.
+//!
+//! PR 9 metered *connections* (a per-connection ops quota), which is the
+//! wrong unit under multiplexing: one tenant opening many connections
+//! outruns everyone else, and a shed request still burned the quota of
+//! the client being shed. This layer meters *tenants*: every request
+//! names its tenant (the [`RequestHeader`] `tenant` field; un-headered
+//! clients share the default `""` tenant) and spends one token from that
+//! tenant's bucket **only when the server commits to serving it** —
+//! refusals for queue depth, rebuild lag, or an expired deadline never
+//! consume a token.
+//!
+//! Buckets refill deterministically from an injected [`Clock`] (wall
+//! milliseconds in production, a `ManualClock` in tests): a bucket holds
+//! at most `burst` tokens and earns one back every `refill_ms` ticks.
+//! A refusal reports `observed = burst + refusals in the current
+//! depletion streak` against `limit = burst`, so a client can read how
+//! far over its budget it is straight out of the error.
+//!
+//! [`RequestHeader`]: synoptic_api::wire::RequestHeader
+//! [`Clock`]: synoptic_repl::Clock
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use synoptic_repl::Clock;
+
+struct Bucket {
+    tokens: u64,
+    /// Clock tick the bucket last earned a token at (refills accrue from
+    /// here, so fractional progress toward the next token is never lost).
+    last_refill: u64,
+    /// Consecutive refusals since the last admit — the overdraft the
+    /// refusal's `observed` field reports on top of `burst`.
+    debt: u64,
+}
+
+/// The per-tenant token-bucket table (see the module docs).
+pub struct TenantBuckets {
+    /// Bucket capacity; `None` disables metering entirely.
+    burst: Option<u64>,
+    /// Clock ticks (milliseconds in production) to earn one token back.
+    /// `0` means refill-to-full on every check — rate-unlimited, with
+    /// `burst` only bounding a single instant's overdraft accounting.
+    refill_ms: u64,
+    clock: Arc<dyn Clock>,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl TenantBuckets {
+    /// A bucket table over `clock`. `burst: None` admits everything.
+    pub fn new(burst: Option<u64>, refill_ms: u64, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            burst,
+            refill_ms,
+            clock,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, Bucket>> {
+        self.buckets.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Spends one token from `tenant`'s bucket. `Err((observed, limit))`
+    /// means the bucket is dry: the caller refuses the request with
+    /// those provenance fields and MUST NOT have done the work yet.
+    pub fn try_take(&self, tenant: &str) -> Result<(), (u64, u64)> {
+        let Some(burst) = self.burst else {
+            return Ok(());
+        };
+        let now = self.clock.now();
+        let mut buckets = self.lock();
+        let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
+            tokens: burst,
+            last_refill: now,
+            debt: 0,
+        });
+        match now
+            .saturating_sub(bucket.last_refill)
+            .checked_div(self.refill_ms)
+        {
+            // A zero refill interval means instant refill: always full.
+            None => bucket.tokens = burst,
+            Some(earned) if earned > 0 => {
+                bucket.tokens = bucket.tokens.saturating_add(earned).min(burst);
+                // Advance by whole intervals only, so fractional refill
+                // progress carries over to the next call.
+                bucket.last_refill += earned * self.refill_ms;
+            }
+            Some(_) => {}
+        }
+        if bucket.tokens > 0 {
+            bucket.tokens -= 1;
+            bucket.debt = 0;
+            Ok(())
+        } else {
+            bucket.debt = bucket.debt.saturating_add(1);
+            Err((burst.saturating_add(bucket.debt), burst))
+        }
+    }
+
+    /// Distinct tenants seen so far (0 when metering is disabled —
+    /// nothing is tracked).
+    pub fn tenants(&self) -> u64 {
+        self.lock().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synoptic_repl::ManualClock;
+
+    fn table(burst: u64, refill_ms: u64) -> (TenantBuckets, ManualClock) {
+        let clock = ManualClock::new();
+        let t = TenantBuckets::new(Some(burst), refill_ms, Arc::new(clock.clone()));
+        (t, clock)
+    }
+
+    #[test]
+    fn burst_admits_then_refuses_with_escalating_overdraft() {
+        let (t, _clock) = table(2, 1000);
+        assert!(t.try_take("a").is_ok());
+        assert!(t.try_take("a").is_ok());
+        assert_eq!(t.try_take("a"), Err((3, 2)));
+        assert_eq!(t.try_take("a"), Err((4, 2)), "overdraft escalates");
+        // A different tenant has its own bucket — fairness by key.
+        assert!(t.try_take("b").is_ok());
+        assert_eq!(t.tenants(), 2);
+    }
+
+    #[test]
+    fn tokens_refill_from_the_clock_and_cap_at_burst() {
+        let (t, clock) = table(2, 100);
+        assert!(t.try_take("a").is_ok());
+        assert!(t.try_take("a").is_ok());
+        assert!(t.try_take("a").is_err());
+        clock.advance(99);
+        assert!(t.try_take("a").is_err(), "one tick short of a token");
+        clock.advance(1);
+        assert!(t.try_take("a").is_ok(), "exactly one token earned");
+        assert!(t.try_take("a").is_err());
+        // A long idle period refills to burst, never beyond.
+        clock.advance(100_000);
+        assert!(t.try_take("a").is_ok());
+        assert!(t.try_take("a").is_ok());
+        assert!(t.try_take("a").is_err(), "capacity is still `burst`");
+    }
+
+    #[test]
+    fn refill_progress_is_not_lost_across_partial_windows() {
+        let (t, clock) = table(1, 100);
+        assert!(t.try_take("a").is_ok());
+        clock.advance(60);
+        assert!(t.try_take("a").is_err());
+        clock.advance(60);
+        // 120 ticks total since last refill: the token landed at 100.
+        assert!(t.try_take("a").is_ok());
+    }
+
+    #[test]
+    fn admit_resets_the_overdraft_streak() {
+        let (t, clock) = table(1, 100);
+        assert!(t.try_take("a").is_ok());
+        assert_eq!(t.try_take("a"), Err((2, 1)));
+        assert_eq!(t.try_take("a"), Err((3, 1)));
+        clock.advance(100);
+        assert!(t.try_take("a").is_ok());
+        assert_eq!(t.try_take("a"), Err((2, 1)), "streak restarts after admit");
+    }
+
+    #[test]
+    fn disabled_metering_admits_everything() {
+        let clock = ManualClock::new();
+        let t = TenantBuckets::new(None, 100, Arc::new(clock));
+        for _ in 0..10_000 {
+            assert!(t.try_take("a").is_ok());
+        }
+        assert_eq!(t.tenants(), 0);
+    }
+
+    #[test]
+    fn zero_refill_interval_means_rate_unlimited() {
+        let (t, _clock) = table(1, 0);
+        for _ in 0..100 {
+            assert!(t.try_take("a").is_ok());
+        }
+    }
+}

@@ -6,7 +6,8 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use synoptic_api::wire::{
-    decode_response, encode_request, BatchAnswer, Request, Response, ServerStats,
+    decode_response, encode_request_with, BatchAnswer, Request, RequestHeader, Response,
+    ServerStats,
 };
 use synoptic_api::{AnswerEnvelope, Queryable};
 use synoptic_core::{RangeQuery, Result, SynopticError};
@@ -87,8 +88,10 @@ impl Client {
         conn.transport.close();
     }
 
-    /// One request, one response, in order on this connection.
-    fn call(&self, request: &Request) -> Result<Response> {
+    /// One request, one response, in order on this connection. An empty
+    /// header encodes to the exact pre-header frame bytes, so a client
+    /// that never sets one is wire-identical to a PR-9 client.
+    fn call(&self, header: &RequestHeader, request: &Request) -> Result<Response> {
         let mut conn = self.lock();
         if conn.poisoned {
             return Err(SynopticError::Io {
@@ -98,13 +101,19 @@ impl Client {
                     .to_string(),
             });
         }
-        if let Err(e) = conn.transport.send(&encode_request(request)) {
+        if let Err(e) = conn.transport.send(&encode_request_with(header, request)) {
             // A failed send may have written a partial frame: pairing is
             // no longer trustworthy.
             Self::poison(&mut conn);
             return Err(e);
         }
-        match conn.transport.recv(Some(self.timeout)) {
+        // A per-call deadline bounds the local wait too: there is no
+        // point waiting longer than the server was given to answer.
+        let timeout = match header.deadline_ms {
+            Some(ms) => self.timeout.min(Duration::from_millis(ms.max(1))),
+            None => self.timeout,
+        };
+        match conn.transport.recv(Some(timeout)) {
             // A whole frame arrived, so pairing is intact even when its
             // contents fail validation — the connection stays usable.
             Ok(Received::Frame(frame)) => match decode_response(&frame)? {
@@ -118,7 +127,7 @@ impl Client {
             Ok(Received::TimedOut) => {
                 Self::poison(&mut conn);
                 Err(SynopticError::DeadlineExceeded {
-                    elapsed_ms: self.timeout.as_millis() as u64,
+                    elapsed_ms: timeout.as_millis() as u64,
                 })
             }
             Ok(Received::Closed) => {
@@ -144,7 +153,13 @@ impl Client {
 
     /// Liveness probe.
     pub fn ping(&self) -> Result<()> {
-        match self.call(&Request::Ping)? {
+        self.ping_with(&RequestHeader::default())
+    }
+
+    /// [`Client::ping`] with an explicit request header (deadline,
+    /// tenant).
+    pub fn ping_with(&self, header: &RequestHeader) -> Result<()> {
+        match self.call(header, &Request::Ping)? {
             Response::Pong => Ok(()),
             other => Err(Self::mismatch(&other)),
         }
@@ -154,8 +169,23 @@ impl Client {
     /// returned [`BatchAnswer`] carries the shared generation, source,
     /// lag, and build provenance plus per-range values and cache flags.
     pub fn estimate_batch(&self, column: &str, ranges: Vec<RangeQuery>) -> Result<BatchAnswer> {
+        self.estimate_batch_with(&RequestHeader::default(), column, ranges)
+    }
+
+    /// [`Client::estimate_batch`] with an explicit request header:
+    /// `deadline_ms` bounds both the server-side work and the local
+    /// wait, `tenant` names the admission bucket, and `degrade_ok` lets
+    /// an overloaded server answer from the degradation ladder — the
+    /// returned answer's `rung` field says which rung, so degradation is
+    /// never silent.
+    pub fn estimate_batch_with(
+        &self,
+        header: &RequestHeader,
+        column: &str,
+        ranges: Vec<RangeQuery>,
+    ) -> Result<BatchAnswer> {
         let request = Request::EstimateBatch(synoptic_api::wire::QueryBatch::new(column, ranges));
-        match self.call(&request)? {
+        match self.call(header, &request)? {
             Response::Estimates(b) => Ok(b),
             other => Err(Self::mismatch(&other)),
         }
@@ -164,11 +194,23 @@ impl Client {
     /// Applies `A[index] += delta` point updates in order; returns
     /// `(applied, rebuilds scheduled)`.
     pub fn update(&self, column: &str, deltas: Vec<(u64, i64)>) -> Result<(u64, u64)> {
+        self.update_with(&RequestHeader::default(), column, deltas)
+    }
+
+    /// [`Client::update`] with an explicit request header. `degrade_ok`
+    /// has no meaning for updates (there is no degraded write); the
+    /// deadline and tenant apply as for estimates.
+    pub fn update_with(
+        &self,
+        header: &RequestHeader,
+        column: &str,
+        deltas: Vec<(u64, i64)>,
+    ) -> Result<(u64, u64)> {
         let request = Request::Update {
             column: column.to_string(),
             deltas,
         };
-        match self.call(&request)? {
+        match self.call(header, &request)? {
             Response::Updated { applied, scheduled } => Ok((applied, scheduled)),
             other => Err(Self::mismatch(&other)),
         }
@@ -176,10 +218,18 @@ impl Client {
 
     /// Maintenance, cache, and admission meters for one column.
     pub fn stats(&self, column: &str) -> Result<ServerStats> {
+        self.stats_with(&RequestHeader::default(), column)
+    }
+
+    /// [`Client::stats`] with an explicit request header. A headered
+    /// stats request receives the extended frame, so the overload meters
+    /// (deadline sheds, degraded answers, tenants, latency percentiles)
+    /// come back populated instead of zeroed.
+    pub fn stats_with(&self, header: &RequestHeader, column: &str) -> Result<ServerStats> {
         let request = Request::Stats {
             column: column.to_string(),
         };
-        match self.call(&request)? {
+        match self.call(header, &request)? {
             Response::Stats(s) => Ok(s),
             other => Err(Self::mismatch(&other)),
         }

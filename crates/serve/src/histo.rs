@@ -1,0 +1,148 @@
+//! Lock-free log2-bucketed latency histograms for the stats surface.
+//!
+//! One histogram per request kind. Recording is a single relaxed
+//! `fetch_add` on an `AtomicU64` bucket — no lock, no allocation — so
+//! the answer path pays a few nanoseconds per request. Bucket `i` holds
+//! samples in `[2^i, 2^(i+1))` microseconds (bucket 0 also absorbs 0),
+//! which keeps the array at 64 entries while covering every expressible
+//! latency with ≤2× relative error — plenty for p50/p99 meters whose
+//! job is spotting order-of-magnitude shifts under load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets: one per possible `u64` bit position.
+const BUCKETS: usize = 64;
+
+/// A concurrent log2 histogram of microsecond latencies.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn bucket_for(us: u64) -> usize {
+        // ilog2, with 0 folded into bucket 0.
+        (63 - us.max(1).leading_zeros()) as usize
+    }
+
+    /// Records one sample of `us` microseconds.
+    pub fn record(&self, us: u64) {
+        self.buckets[Self::bucket_for(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper bound (exclusive, in µs) of the bucket containing the
+    /// `q`-quantile sample, or 0 when empty. `q` is in `[0, 1]`; the
+    /// value is conservative (an over-estimate by at most 2×), which is
+    /// the right direction for a latency meter.
+    pub fn quantile_upper_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // The rank of the quantile sample, 1-based, clamped into range.
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i + 1 >= BUCKETS {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                };
+            }
+        }
+        unreachable!("rank is clamped to the total count")
+    }
+
+    /// Median latency upper bound in µs.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_upper_us(0.50)
+    }
+
+    /// 99th-percentile latency upper bound in µs.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_upper_us(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_with_zero_folded_into_bucket_zero() {
+        assert_eq!(LatencyHistogram::bucket_for(0), 0);
+        assert_eq!(LatencyHistogram::bucket_for(1), 0);
+        assert_eq!(LatencyHistogram::bucket_for(2), 1);
+        assert_eq!(LatencyHistogram::bucket_for(3), 1);
+        assert_eq!(LatencyHistogram::bucket_for(4), 2);
+        assert_eq!(LatencyHistogram::bucket_for(1023), 9);
+        assert_eq!(LatencyHistogram::bucket_for(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_for(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_counts() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p50_us(), 0, "empty histogram reports 0");
+        // 98 fast samples (bucket 0: <2µs), 1 at ~1ms, 1 at ~16ms.
+        for _ in 0..98 {
+            h.record(1);
+        }
+        h.record(1000); // bucket 9 → upper bound 1024
+        h.record(16_000); // bucket 13 → upper bound 16384
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50_us(), 2, "the median sample sits in bucket 0");
+        assert_eq!(h.p99_us(), 1024, "rank 99 of 100 is the ~1ms sample");
+        assert_eq!(h.quantile_upper_us(1.0), 16_384, "the max is the tail");
+    }
+
+    #[test]
+    fn recording_is_safe_across_threads() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn top_bucket_reports_saturated_upper_bound() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.p50_us(), u64::MAX);
+    }
+}

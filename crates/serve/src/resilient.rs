@@ -1,0 +1,395 @@
+//! A self-healing client wrapper: retries, backoff, reconnect, and a
+//! circuit breaker over the plain [`Client`].
+//!
+//! The plain client is deliberately unforgiving — any event that could
+//! desynchronize request/response pairing poisons the connection and
+//! every later call fails. That is the right *primitive*, but callers
+//! under real networks want the obvious recovery policy applied for
+//! them. [`ResilientClient`] wraps a connection factory and:
+//!
+//! * **reconnects** — a poisoned or lost connection is dropped and the
+//!   next attempt dials a fresh one;
+//! * **retries idempotent calls** — estimates, pings, and stats are
+//!   retried up to the policy's attempt budget with **jittered
+//!   exponential backoff** (deterministic: the jitter comes from a
+//!   seeded [`Rng`], the waits go through an injectable sleeper, and the
+//!   breaker clock is injectable too, so tests sweep every transition
+//!   without wall time). Updates are **never retried** — an update whose
+//!   response was lost may have been applied, and replaying it would
+//!   double-count; the caller gets the error and decides;
+//! * **breaks the circuit** — after `breaker_threshold` *consecutive
+//!   transport* failures the breaker opens and calls fail fast (a local
+//!   [`SynopticError::ServerOverloaded`] naming the breaker, exit code
+//!   10) without touching the network. After `breaker_cooldown_ms` on
+//!   the injected clock it half-opens: the next call is the probe, and
+//!   its outcome closes or re-opens the breaker.
+//!
+//! **Transport vs structural** is the load-bearing distinction, and the
+//! plain client already encodes it: an error that poisoned the
+//! connection (send failure, timeout, peer close, torn frame) is a
+//! *transport* failure — it counts toward the breaker and forces a
+//! reconnect. An error that arrived as a well-formed response frame
+//! (a refusal, an unknown column, a server-side deadline shed) is
+//! *structural* — the connection is fine, the breaker resets, and only
+//! [`SynopticError::ServerOverloaded`] is worth retrying (the server
+//! said "not now", and backoff is exactly the polite response). When the
+//! retry budget runs out, the caller sees the **last structural** error
+//! if any attempt produced one — "the server refused me" explains the
+//! outcome better than "the wire also hiccuped once".
+//!
+//! [`Rng`]: synoptic_core::Rng
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use synoptic_api::wire::{BatchAnswer, RequestHeader, ServerStats};
+use synoptic_core::{RangeQuery, Result, Rng, SynopticError};
+use synoptic_repl::{Clock, WallClock};
+
+use crate::client::Client;
+
+/// Dials a fresh connection; called on first use and after any
+/// transport failure.
+pub type Connector = Box<dyn Fn() -> Result<Client> + Send + Sync>;
+
+/// Performs a backoff wait. Production sleeps the thread; tests inject a
+/// recorder and assert the exact schedule.
+pub type Sleeper = Box<dyn Fn(Duration) + Send + Sync>;
+
+/// Retry, backoff, and circuit-breaker tuning for a
+/// [`ResilientClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per idempotent call (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling.
+    pub max_backoff_ms: u64,
+    /// Consecutive transport failures that open the breaker.
+    pub breaker_threshold: u32,
+    /// Clock ticks (ms) the breaker stays open before half-opening.
+    pub breaker_cooldown_ms: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 1_000,
+            jitter_seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+/// Where the circuit breaker is in its closed → open → half-open cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls go to the network.
+    Closed,
+    /// Tripped: calls fail fast until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: the next call is the probe that decides.
+    HalfOpen,
+}
+
+struct State {
+    client: Option<Client>,
+    /// Consecutive transport failures since the last healthy exchange.
+    transport_failures: u32,
+    breaker: BreakerState,
+    /// Clock tick the breaker (re-)opened at.
+    opened_at: u64,
+}
+
+/// The self-healing wrapper (see the module docs). Methods take `&self`;
+/// state sits behind a mutex so one instance can be shared.
+pub struct ResilientClient {
+    connector: Connector,
+    policy: RetryPolicy,
+    clock: Arc<dyn Clock>,
+    sleep: Sleeper,
+    rng: Mutex<Rng>,
+    state: Mutex<State>,
+}
+
+impl ResilientClient {
+    /// Wraps `connector` with the default wall clock and a real
+    /// thread-sleep for backoff.
+    pub fn new(connector: Connector, policy: RetryPolicy) -> Self {
+        Self::with_clock(
+            connector,
+            policy,
+            Arc::new(WallClock::new()),
+            Box::new(std::thread::sleep),
+        )
+    }
+
+    /// Full dependency injection — how tests make every retry, backoff,
+    /// and breaker transition deterministic.
+    pub fn with_clock(
+        connector: Connector,
+        policy: RetryPolicy,
+        clock: Arc<dyn Clock>,
+        sleep: Sleeper,
+    ) -> Self {
+        let rng = Mutex::new(Rng::new(policy.jitter_seed));
+        Self {
+            connector,
+            policy,
+            clock,
+            sleep,
+            rng,
+            state: Mutex::new(State {
+                client: None,
+                transport_failures: 0,
+                breaker: BreakerState::Closed,
+                opened_at: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The breaker's current position (open transitions to half-open
+    /// lazily, on the next gated call — this accessor reports the stored
+    /// state without advancing it).
+    pub fn breaker_state(&self) -> BreakerState {
+        self.lock().breaker
+    }
+
+    /// Fail-fast gate: `Err` while the breaker is open and the cooldown
+    /// has not elapsed; flips open → half-open when it has.
+    fn gate(&self) -> Result<()> {
+        let mut state = self.lock();
+        if state.breaker == BreakerState::Open {
+            let now = self.clock.now();
+            if now.saturating_sub(state.opened_at) >= self.policy.breaker_cooldown_ms {
+                state.breaker = BreakerState::HalfOpen;
+            } else {
+                return Err(SynopticError::ServerOverloaded {
+                    what: "circuit breaker".to_string(),
+                    observed: state.transport_failures as u64,
+                    limit: self.policy.breaker_threshold as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The current connection, dialing a fresh one if the last was
+    /// dropped. A failed dial is itself a transport failure.
+    fn ensure_client(&self) -> Result<()> {
+        let mut state = self.lock();
+        if state.client.is_none() {
+            match (self.connector)() {
+                Ok(c) => state.client = Some(c),
+                Err(e) => {
+                    drop(state);
+                    self.on_transport_failure();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Any full request/response exchange — success *or* a structural
+    /// error frame — proves the transport healthy: the failure streak
+    /// resets and a probing breaker closes.
+    fn on_exchange(&self) {
+        let mut state = self.lock();
+        state.transport_failures = 0;
+        state.breaker = BreakerState::Closed;
+    }
+
+    /// A transport failure drops the connection (it is poisoned or
+    /// gone), advances the streak, and trips or re-opens the breaker.
+    fn on_transport_failure(&self) {
+        let mut state = self.lock();
+        state.client = None;
+        state.transport_failures = state.transport_failures.saturating_add(1);
+        let reopen_probe = state.breaker == BreakerState::HalfOpen;
+        if reopen_probe || state.transport_failures >= self.policy.breaker_threshold {
+            state.breaker = BreakerState::Open;
+            state.opened_at = self.clock.now();
+        }
+    }
+
+    /// The jittered exponential backoff before retry `attempt` (1-based
+    /// over the retries): `base << (attempt-1)` capped at the ceiling,
+    /// then equal-jittered to `[half, full]` so synchronized clients
+    /// de-synchronize. Deterministic per seed.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .policy
+            .base_backoff_ms
+            .saturating_mul(1u64 << attempt.min(32))
+            .min(self.policy.max_backoff_ms)
+            .max(1);
+        let half = exp / 2;
+        let jittered = half
+            + self
+                .rng
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .bounded_u64(exp - half + 1);
+        Duration::from_millis(jittered)
+    }
+
+    /// Runs one idempotent call under the full policy: breaker gate,
+    /// reconnect, classify, retry with backoff. See the module docs for
+    /// which errors retry and which surface immediately.
+    fn call_idempotent<T>(&self, f: impl Fn(&Client) -> Result<T>) -> Result<T> {
+        let mut last_structural: Option<SynopticError> = None;
+        let mut last_transport: Option<SynopticError> = None;
+        for attempt in 0..self.policy.max_attempts {
+            if let Err(gate_err) = self.gate() {
+                // The breaker opened (possibly mid-loop): fail fast — no
+                // backoff, no network — but prefer the structural answer
+                // an earlier attempt got; it explains *why* things went
+                // wrong, not just that the breaker noticed.
+                return Err(last_structural.unwrap_or(gate_err));
+            }
+            if attempt > 0 {
+                (self.sleep)(self.backoff(attempt - 1));
+            }
+            if let Err(e) = self.ensure_client() {
+                last_transport = Some(e);
+                continue;
+            }
+            // Call outside the state lock; the client serializes
+            // internally.
+            let result = {
+                let state = self.lock();
+                let client = state.client.as_ref().expect("ensured above");
+                f(client)
+            };
+            match result {
+                Ok(v) => {
+                    self.on_exchange();
+                    return Ok(v);
+                }
+                Err(e) => {
+                    let poisoned = self
+                        .lock()
+                        .client
+                        .as_ref()
+                        .map(|c| c.is_poisoned())
+                        .unwrap_or(true);
+                    if poisoned {
+                        self.on_transport_failure();
+                        last_transport = Some(e);
+                    } else {
+                        self.on_exchange();
+                        match e {
+                            // "Not now" — backoff and retry is the
+                            // designed response.
+                            SynopticError::ServerOverloaded { .. } => {
+                                last_structural = Some(e);
+                            }
+                            // Any other structural error is a fact about
+                            // the request; retrying cannot change it.
+                            other => return Err(other),
+                        }
+                    }
+                }
+            }
+        }
+        Err(last_structural
+            .or(last_transport)
+            .expect("max_attempts >= 1 guarantees at least one recorded error"))
+    }
+
+    /// Retrying [`Client::ping_with`].
+    pub fn ping_with(&self, header: &RequestHeader) -> Result<()> {
+        self.call_idempotent(|c| c.ping_with(header))
+    }
+
+    /// Retrying [`Client::ping`].
+    pub fn ping(&self) -> Result<()> {
+        self.ping_with(&RequestHeader::default())
+    }
+
+    /// Retrying [`Client::estimate_batch_with`] — estimates are
+    /// idempotent, so lost responses are safe to re-ask.
+    pub fn estimate_batch_with(
+        &self,
+        header: &RequestHeader,
+        column: &str,
+        ranges: Vec<RangeQuery>,
+    ) -> Result<BatchAnswer> {
+        self.call_idempotent(|c| c.estimate_batch_with(header, column, ranges.clone()))
+    }
+
+    /// Retrying [`Client::estimate_batch`].
+    pub fn estimate_batch(&self, column: &str, ranges: Vec<RangeQuery>) -> Result<BatchAnswer> {
+        self.estimate_batch_with(&RequestHeader::default(), column, ranges)
+    }
+
+    /// Retrying [`Client::stats_with`].
+    pub fn stats_with(&self, header: &RequestHeader, column: &str) -> Result<ServerStats> {
+        self.call_idempotent(|c| c.stats_with(header, column))
+    }
+
+    /// Retrying [`Client::stats`].
+    pub fn stats(&self, column: &str) -> Result<ServerStats> {
+        self.stats_with(&RequestHeader::default(), column)
+    }
+
+    /// [`Client::update_with`] behind the breaker gate and
+    /// auto-reconnect, but with **no retry**: an update whose response
+    /// was lost may have been applied, and replaying it would
+    /// double-count. The transport outcome still feeds the breaker.
+    pub fn update_with(
+        &self,
+        header: &RequestHeader,
+        column: &str,
+        deltas: Vec<(u64, i64)>,
+    ) -> Result<(u64, u64)> {
+        self.gate()?;
+        self.ensure_client()?;
+        let result = {
+            let state = self.lock();
+            let client = state.client.as_ref().expect("ensured above");
+            client.update_with(header, column, deltas)
+        };
+        match result {
+            Ok(v) => {
+                self.on_exchange();
+                Ok(v)
+            }
+            Err(e) => {
+                let poisoned = self
+                    .lock()
+                    .client
+                    .as_ref()
+                    .map(|c| c.is_poisoned())
+                    .unwrap_or(true);
+                if poisoned {
+                    self.on_transport_failure();
+                } else {
+                    self.on_exchange();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Non-retrying [`Client::update`] with reconnect and breaker gating.
+    pub fn update(&self, column: &str, deltas: Vec<(u64, i64)>) -> Result<(u64, u64)> {
+        self.update_with(&RequestHeader::default(), column, deltas)
+    }
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ResilientClient>();
+};

@@ -1,0 +1,403 @@
+//! Deterministic retry / backoff / circuit-breaker sweep for
+//! [`ResilientClient`]: every breaker transition (closed → open →
+//! half-open → closed, and half-open failure → re-open), retry-budget
+//! exhaustion surfacing the *last structural* error, the exact jittered
+//! backoff schedule, and auto-reconnect after poisoning — all over
+//! `MemTransport` pairs with a `ManualClock` and a recording sleeper.
+//! No wall time, no real sockets, no flakes.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use synoptic_core::{Budget, PrefixSums, RangeEstimator, RangeQuery, SynopticError};
+use synoptic_repl::{ManualClock, MemTransport};
+use synoptic_serve::{
+    BreakerState, Client, Connector, ResilientClient, RetryPolicy, ServeConfig, Server, Sleeper,
+};
+use synoptic_stream::{ColumnBuild, ColumnHandle, MaintainedPool, RebuildConfig, RebuildPolicy};
+
+struct Exact {
+    ps: PrefixSums,
+}
+
+impl RangeEstimator for Exact {
+    fn n(&self) -> usize {
+        self.ps.n()
+    }
+    fn estimate(&self, q: RangeQuery) -> f64 {
+        self.ps.answer(q) as f64
+    }
+    fn storage_words(&self) -> usize {
+        self.ps.n()
+    }
+    fn method_name(&self) -> &str {
+        "EXACT"
+    }
+}
+
+fn exact_column(pool: &MaintainedPool, name: &str, values: &[i64]) -> ColumnHandle {
+    pool.add_column(
+        name,
+        values,
+        ColumnBuild::Custom(Box::new(|v: &[i64], _ps: &PrefixSums, _b: &Budget| {
+            Ok(Box::new(Exact {
+                ps: PrefixSums::from_values(v),
+            }) as Box<dyn RangeEstimator>)
+        })),
+        RebuildConfig::new(RebuildPolicy::Manual),
+    )
+    .unwrap()
+}
+
+/// A connector to a healthy server: each dial opens a fresh mem pair
+/// served by the production connection loop, and counts itself.
+fn healthy_connector(server: &Server, dials: &Arc<AtomicU32>) -> Connector {
+    let server = server.clone();
+    let dials = Arc::clone(dials);
+    Box::new(move || {
+        dials.fetch_add(1, Ordering::SeqCst);
+        let (client_end, mut server_end) = MemTransport::pair();
+        let s = server.clone();
+        std::thread::spawn(move || s.handle_transport(&mut server_end));
+        Ok(Client::from_transport(
+            Box::new(client_end),
+            Duration::from_secs(10),
+        ))
+    })
+}
+
+/// A connector whose first `fail` dials are refused at the dial itself
+/// (connection refused), then healthy.
+fn flaky_connector(server: &Server, fail: u32, dials: &Arc<AtomicU32>) -> Connector {
+    let healthy = healthy_connector(server, dials);
+    let dials = Arc::clone(dials);
+    Box::new(move || {
+        if dials.load(Ordering::SeqCst) < fail {
+            dials.fetch_add(1, Ordering::SeqCst);
+            return Err(SynopticError::Io {
+                path: "test dial".to_string(),
+                detail: "connection refused".to_string(),
+            });
+        }
+        healthy()
+    })
+}
+
+/// A connector to a server end that closes immediately: every call on
+/// the resulting client fails as a transport error (peer closed).
+fn dead_connector(dials: &Arc<AtomicU32>) -> Connector {
+    let dials = Arc::clone(dials);
+    Box::new(move || {
+        dials.fetch_add(1, Ordering::SeqCst);
+        let (client_end, server_end) = MemTransport::pair();
+        drop(server_end);
+        Ok(Client::from_transport(
+            Box::new(client_end),
+            Duration::from_secs(10),
+        ))
+    })
+}
+
+/// A sleeper that records every backoff instead of waiting.
+fn recording_sleeper(log: &Arc<Mutex<Vec<Duration>>>) -> Sleeper {
+    let log = Arc::clone(log);
+    Box::new(move |d| log.lock().unwrap().push(d))
+}
+
+fn serving(values: &[i64]) -> (MaintainedPool, Server) {
+    let pool = MaintainedPool::new(1);
+    let col = exact_column(&pool, "c", values);
+    let server = Server::new(ServeConfig::default());
+    server.register(col);
+    (pool, server)
+}
+
+#[test]
+fn breaker_walks_closed_open_half_open_closed() {
+    let (_pool, server) = serving(&[1, 2, 3, 4]);
+    let dials = Arc::new(AtomicU32::new(0));
+    let sleeps = Arc::new(Mutex::new(Vec::new()));
+    let clock = ManualClock::new();
+    let rc = ResilientClient::with_clock(
+        // Two failed dials trip the threshold; later dials are healthy.
+        flaky_connector(&server, 2, &dials),
+        RetryPolicy {
+            max_attempts: 1, // one attempt per call: transitions are visible per call
+            breaker_threshold: 2,
+            breaker_cooldown_ms: 1_000,
+            ..RetryPolicy::default()
+        },
+        Arc::new(clock.clone()),
+        recording_sleeper(&sleeps),
+    );
+    assert_eq!(rc.breaker_state(), BreakerState::Closed);
+
+    // Two transport failures: closed → open.
+    assert!(rc.ping().is_err());
+    assert_eq!(
+        rc.breaker_state(),
+        BreakerState::Closed,
+        "one failure is not a pattern"
+    );
+    assert!(rc.ping().is_err());
+    assert_eq!(rc.breaker_state(), BreakerState::Open);
+
+    // Open: fail fast, without touching the connector.
+    let before = dials.load(Ordering::SeqCst);
+    let err = rc.ping().unwrap_err();
+    assert!(
+        matches!(&err, SynopticError::ServerOverloaded { what, observed: 2, limit: 2 } if what == "circuit breaker"),
+        "got {err:?}"
+    );
+    assert_eq!(dials.load(Ordering::SeqCst), before, "open = no network");
+    assert_eq!(rc.breaker_state(), BreakerState::Open);
+
+    // Cooldown elapses → the next call is the half-open probe; it
+    // succeeds (the connector is healthy now) and closes the breaker.
+    clock.advance(1_000);
+    rc.ping()
+        .expect("the half-open probe should reach the healthy server");
+    assert_eq!(rc.breaker_state(), BreakerState::Closed);
+    // And service is fully restored.
+    let answer = rc
+        .estimate_batch("c", vec![RangeQuery::new(0, 3).unwrap()])
+        .unwrap();
+    assert_eq!(answer.values, vec![10.0]);
+    assert!(
+        sleeps.lock().unwrap().is_empty(),
+        "max_attempts 1 never backs off"
+    );
+}
+
+#[test]
+fn a_failed_half_open_probe_reopens_the_breaker() {
+    let dials = Arc::new(AtomicU32::new(0));
+    let clock = ManualClock::new();
+    let sleeps = Arc::new(Mutex::new(Vec::new()));
+    let rc = ResilientClient::with_clock(
+        dead_connector(&dials), // every connection dies on first use
+        RetryPolicy {
+            max_attempts: 1,
+            breaker_threshold: 2,
+            breaker_cooldown_ms: 500,
+            ..RetryPolicy::default()
+        },
+        Arc::new(clock.clone()),
+        recording_sleeper(&sleeps),
+    );
+    assert!(rc.ping().is_err());
+    assert!(rc.ping().is_err());
+    assert_eq!(rc.breaker_state(), BreakerState::Open);
+
+    clock.advance(500);
+    // The probe goes to the network (a dial happens) and fails → re-open.
+    let before = dials.load(Ordering::SeqCst);
+    assert!(rc.ping().is_err());
+    assert_eq!(
+        dials.load(Ordering::SeqCst),
+        before + 1,
+        "half-open probes the network"
+    );
+    assert_eq!(
+        rc.breaker_state(),
+        BreakerState::Open,
+        "a failed probe re-opens"
+    );
+
+    // And the re-opened breaker fails fast again until the next cooldown.
+    let before = dials.load(Ordering::SeqCst);
+    assert!(rc.ping().is_err());
+    assert_eq!(
+        dials.load(Ordering::SeqCst),
+        before,
+        "re-opened = no network again"
+    );
+}
+
+#[test]
+fn retry_exhaustion_surfaces_the_last_structural_error() {
+    // A server refusing everything (queue depth 0) answers every attempt
+    // with a structural refusal; the wire also stays healthy. After the
+    // retry budget, the caller must see the refusal — the reason — not a
+    // generic exhaustion error.
+    let pool = MaintainedPool::new(1);
+    let col = exact_column(&pool, "c", &[1, 2, 3, 4]);
+    let server = Server::new(ServeConfig {
+        max_queue_depth: 0,
+        ..ServeConfig::default()
+    });
+    server.register(col);
+    let dials = Arc::new(AtomicU32::new(0));
+    let sleeps = Arc::new(Mutex::new(Vec::new()));
+    let clock = ManualClock::new();
+    let rc = ResilientClient::with_clock(
+        healthy_connector(&server, &dials),
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 100,
+            max_backoff_ms: 10_000,
+            jitter_seed: 42,
+            ..RetryPolicy::default()
+        },
+        Arc::new(clock.clone()),
+        recording_sleeper(&sleeps),
+    );
+    let err = rc
+        .estimate_batch("c", vec![RangeQuery::new(0, 3).unwrap()])
+        .unwrap_err();
+    assert!(
+        matches!(&err, SynopticError::ServerOverloaded { what, .. } if what == "queue depth"),
+        "exhaustion must surface the last structural error, got {err:?}"
+    );
+    // Refusals are structural: the connection stayed healthy, one dial.
+    assert_eq!(dials.load(Ordering::SeqCst), 1);
+    assert_eq!(
+        rc.breaker_state(),
+        BreakerState::Closed,
+        "refusals never trip the breaker"
+    );
+
+    // The backoff schedule: 2 retries → 2 sleeps, exponential with
+    // equal-jitter (each in [base<<k / 2, base<<k]) and — because the
+    // jitter Rng is seeded — exactly reproducible.
+    let recorded: Vec<Duration> = sleeps.lock().unwrap().clone();
+    assert_eq!(recorded.len(), 2, "attempts 2 and 3 each back off first");
+    for (k, d) in recorded.iter().enumerate() {
+        let full = 100u64 << k;
+        let ms = d.as_millis() as u64;
+        assert!(
+            ms >= full / 2 && ms <= full,
+            "backoff {k} = {ms}ms outside [{}, {full}]ms",
+            full / 2
+        );
+    }
+    let sleeps2 = Arc::new(Mutex::new(Vec::new()));
+    let dials2 = Arc::new(AtomicU32::new(0));
+    let rc2 = ResilientClient::with_clock(
+        healthy_connector(&server, &dials2),
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 100,
+            max_backoff_ms: 10_000,
+            jitter_seed: 42,
+            ..RetryPolicy::default()
+        },
+        Arc::new(ManualClock::new()),
+        recording_sleeper(&sleeps2),
+    );
+    let _ = rc2.estimate_batch("c", vec![RangeQuery::new(0, 3).unwrap()]);
+    assert_eq!(
+        *sleeps2.lock().unwrap(),
+        recorded,
+        "same seed, same schedule: the jitter is deterministic"
+    );
+    drop(pool);
+}
+
+#[test]
+fn non_retryable_structural_errors_return_immediately() {
+    let (_pool, server) = serving(&[1, 2, 3, 4]);
+    let dials = Arc::new(AtomicU32::new(0));
+    let sleeps = Arc::new(Mutex::new(Vec::new()));
+    let rc = ResilientClient::with_clock(
+        healthy_connector(&server, &dials),
+        RetryPolicy::default(),
+        Arc::new(ManualClock::new()),
+        recording_sleeper(&sleeps),
+    );
+    // An unknown column is a fact, not a transient: no retries, no
+    // backoff, error straight through.
+    let err = rc
+        .estimate_batch("nope", vec![RangeQuery::point(0)])
+        .unwrap_err();
+    assert!(
+        matches!(err, SynopticError::InvalidParameter(_)),
+        "got {err:?}"
+    );
+    assert_eq!(dials.load(Ordering::SeqCst), 1);
+    assert!(sleeps.lock().unwrap().is_empty());
+}
+
+#[test]
+fn transport_failures_reconnect_and_the_retry_succeeds() {
+    // First dial lands on a server end that is immediately dropped →
+    // the call poisons the connection. The wrapper must dial a fresh
+    // connection and answer from the healthy server on retry.
+    let (_pool, server) = serving(&[5, 5, 5, 5]);
+    let dials = Arc::new(AtomicU32::new(0));
+    let sleeps = Arc::new(Mutex::new(Vec::new()));
+    let healthy = healthy_connector(&server, &dials);
+    let first = AtomicU32::new(0);
+    let connector: Connector = Box::new(move || {
+        if first.fetch_add(1, Ordering::SeqCst) == 0 {
+            let (client_end, server_end) = MemTransport::pair();
+            drop(server_end);
+            return Ok(Client::from_transport(
+                Box::new(client_end),
+                Duration::from_secs(10),
+            ));
+        }
+        healthy()
+    });
+    let rc = ResilientClient::with_clock(
+        connector,
+        RetryPolicy::default(),
+        Arc::new(ManualClock::new()),
+        recording_sleeper(&sleeps),
+    );
+    let answer = rc
+        .estimate_batch("c", vec![RangeQuery::new(0, 3).unwrap()])
+        .expect("the retry must land on the fresh connection");
+    assert_eq!(answer.values, vec![20.0]);
+    assert_eq!(
+        dials.load(Ordering::SeqCst),
+        1,
+        "one healthy dial after the dead one"
+    );
+    assert_eq!(
+        sleeps.lock().unwrap().len(),
+        1,
+        "one backoff between the attempts"
+    );
+    assert_eq!(rc.breaker_state(), BreakerState::Closed);
+}
+
+#[test]
+fn updates_are_never_retried_but_do_reconnect_across_calls() {
+    // An update whose response is lost may have been applied; replaying
+    // it would double-count. The wrapper surfaces the transport error
+    // without retrying — and the NEXT call dials fresh.
+    let (_pool, server) = serving(&[0, 0, 0, 0]);
+    let dials = Arc::new(AtomicU32::new(0));
+    let sleeps = Arc::new(Mutex::new(Vec::new()));
+    let healthy = healthy_connector(&server, &dials);
+    let first = AtomicU32::new(0);
+    let connector: Connector = Box::new(move || {
+        if first.fetch_add(1, Ordering::SeqCst) == 0 {
+            let (client_end, server_end) = MemTransport::pair();
+            drop(server_end);
+            return Ok(Client::from_transport(
+                Box::new(client_end),
+                Duration::from_secs(10),
+            ));
+        }
+        healthy()
+    });
+    let rc = ResilientClient::with_clock(
+        connector,
+        RetryPolicy::default(),
+        Arc::new(ManualClock::new()),
+        recording_sleeper(&sleeps),
+    );
+    let err = rc.update("c", vec![(0, 7)]).unwrap_err();
+    assert!(matches!(err, SynopticError::Io { .. }), "got {err:?}");
+    assert!(
+        sleeps.lock().unwrap().is_empty(),
+        "updates never back off and retry"
+    );
+    // The next update dials a fresh connection and lands exactly once.
+    let (applied, _) = rc.update("c", vec![(0, 7)]).unwrap();
+    assert_eq!(applied, 1);
+    assert_eq!(dials.load(Ordering::SeqCst), 1);
+}

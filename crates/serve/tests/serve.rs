@@ -10,7 +10,9 @@ use synoptic_api::wire::{
 };
 use synoptic_api::{exit_code, Queryable, EXIT_CORRUPT, EXIT_REFUSED};
 use synoptic_core::{Budget, PrefixSums, RangeEstimator, RangeQuery, SynopticError};
-use synoptic_repl::{FaultyTransport, MemTransport, Received, Transport, TransportFault};
+use synoptic_repl::{
+    FaultyTransport, ManualClock, MemTransport, Received, Transport, TransportFault,
+};
 use synoptic_serve::{Client, ServeConfig, Server};
 use synoptic_stream::{ColumnBuild, ColumnHandle, MaintainedPool, RebuildConfig, RebuildPolicy};
 
@@ -416,28 +418,65 @@ fn non_bounds_mid_batch_update_failures_are_loud_and_partial() {
 // Admission control: every bound refuses with provenance and exit code 10
 
 #[test]
-fn per_connection_quota_refuses_with_exit_code_10() {
+fn tenant_token_bucket_refuses_with_exit_code_10_and_refills_on_the_clock() {
     let pool = MaintainedPool::new(1);
     let col = exact_column(&pool, "c", &[1, 2, 3, 4]);
+    let clock = ManualClock::new();
     let server = Server::new(ServeConfig {
-        ops_quota: Some(2),
+        tenant_burst: Some(2),
+        tenant_refill_ms: 100,
+        clock: Arc::new(clock.clone()),
         ..ServeConfig::default()
     });
     server.register(col);
     let mut t = mem_session(&server);
-    assert_eq!(call(&mut t, &Request::Ping), Response::Pong);
-    assert_eq!(call(&mut t, &Request::Ping), Response::Pong);
-    let Response::Error(err) = call(&mut t, &Request::Ping) else {
-        panic!("third request must be refused");
+    let q = RangeQuery::new(0, 3).unwrap();
+    // Un-headered requests all meter against the shared "" tenant.
+    for _ in 0..2 {
+        assert!(matches!(
+            call(&mut t, &batch("c", vec![q])),
+            Response::Estimates(_)
+        ));
+    }
+    let Response::Error(err) = call(&mut t, &batch("c", vec![q])) else {
+        panic!("third estimate must be refused: the bucket is dry");
     };
-    assert!(matches!(
-        &err,
-        SynopticError::ServerOverloaded { what, observed: 3, limit: 2 } if what == "connection quota"
-    ));
+    assert!(
+        matches!(
+            &err,
+            SynopticError::ServerOverloaded { what, observed: 3, limit: 2 }
+                if what.contains("token bucket")
+        ),
+        "got {err:?}"
+    );
     assert_eq!(exit_code(&err), EXIT_REFUSED);
-    // A fresh connection has a fresh quota.
+    // The bucket is per TENANT, not per connection: a fresh connection
+    // sees the same dry bucket (this is the fix over PR 9's
+    // per-connection quota, which a multi-connection tenant outran), and
+    // the overdraft streak keeps escalating in `observed`.
     let mut t2 = mem_session(&server);
+    let Response::Error(err2) = call(&mut t2, &batch("c", vec![q])) else {
+        panic!("a fresh connection must not refresh the tenant bucket");
+    };
+    assert!(
+        matches!(
+            &err2,
+            SynopticError::ServerOverloaded {
+                observed: 4,
+                limit: 2,
+                ..
+            }
+        ),
+        "got {err2:?}"
+    );
+    // Pings are liveness, not served work: they never spend a token.
     assert_eq!(call(&mut t2, &Request::Ping), Response::Pong);
+    // Tokens refill from the clock; service resumes without reconnecting.
+    clock.advance(100);
+    assert!(matches!(
+        call(&mut t2, &batch("c", vec![q])),
+        Response::Estimates(_)
+    ));
     drop(pool);
 }
 

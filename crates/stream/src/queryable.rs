@@ -22,7 +22,12 @@ impl Queryable for ColumnHandle {
                 self.name()
             )));
         }
-        let snapshot = self.estimator();
+        // One pinned read gives (generation, snapshot) atomically: a
+        // hot-swap landing between two separate loads would stamp the
+        // NEW generation onto a value computed from the OLD snapshot —
+        // provenance that lies. The serving tier pins the same way.
+        let mut reader = self.reader();
+        let (generation, snapshot) = reader.pinned();
         if q.hi >= snapshot.n() {
             return Err(SynopticError::IndexOutOfBounds {
                 index: q.hi,
@@ -32,7 +37,7 @@ impl Queryable for ColumnHandle {
         Ok(AnswerEnvelope {
             value: snapshot.estimate(q),
             source: AnswerSource::Primary,
-            generation: self.serving_generation(),
+            generation,
             lag: self.stats().updates_since_rebuild,
             outcome: self.last_outcome(),
             segment_outcomes: self.segment_outcomes(),
